@@ -1,0 +1,135 @@
+//! Criterion benches for the simulation engine hot paths: fluid max-min
+//! recompute, event scheduling, ECMP hashing, routing and RePaC search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hpn_routing::repac;
+use hpn_routing::{FiveTuple, HashMode, LinkHealth, RouteRequest, Router};
+use hpn_routing::hash::EcmpHasher;
+use hpn_sim::{Engine, FlowNet, FlowSpec, SimDuration, SimTime};
+use hpn_topology::HpnConfig;
+
+fn bench_flownet_recompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flownet_maxmin");
+    for &nflows in &[64usize, 512, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(nflows), &nflows, |b, &n| {
+            let mut net = FlowNet::new();
+            let links: Vec<_> = (0..n / 4).map(|_| net.add_link(400e9, 1e7)).collect();
+            for i in 0..n {
+                net.start_flow(
+                    SimTime::ZERO,
+                    FlowSpec {
+                        path: vec![links[i % links.len()], links[(i * 7) % links.len()]],
+                        size_bits: 1e15,
+                        demand_bps: 200e9,
+                        tag: i as u64,
+                    },
+                );
+            }
+            b.iter(|| {
+                // Toggling a link forces a full recompute each iteration.
+                net.set_link_capacity(links[0], 399e9);
+                net.recompute_if_dirty();
+                net.set_link_capacity(links[0], 400e9);
+                net.recompute_if_dirty();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_events(c: &mut Criterion) {
+    c.bench_function("engine_schedule_execute_10k", |b| {
+        b.iter(|| {
+            let mut eng: Engine<u64> = Engine::new();
+            let mut world = 0u64;
+            for i in 0..10_000u64 {
+                eng.schedule_at(SimTime::from_nanos(i), |w: &mut u64, _| *w += 1);
+            }
+            eng.run(&mut world);
+            assert_eq!(world, 10_000);
+        });
+    });
+}
+
+fn bench_hashing(c: &mut Criterion) {
+    let t = FiveTuple::rdma(1, 0, 2, 0, 51234);
+    let pol = EcmpHasher::new(HashMode::Polarized);
+    let ind = EcmpHasher::new(HashMode::Independent);
+    c.bench_function("ecmp_hash_polarized", |b| {
+        b.iter(|| pol.select(&t, 7, 60));
+    });
+    c.bench_function("ecmp_hash_independent", |b| {
+        b.iter(|| ind.select(&t, 7, 60));
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let fabric = HpnConfig::medium().build();
+    let router = Router::new(&fabric, HashMode::Polarized);
+    let health = LinkHealth::new(fabric.net.link_count());
+    let dst = fabric.segment_hosts(1)[0].id;
+    c.bench_function("router_cross_segment_route", |b| {
+        let mut sport = 0u16;
+        b.iter(|| {
+            sport = sport.wrapping_add(1);
+            router
+                .route(
+                    &fabric,
+                    &health,
+                    &RouteRequest {
+                        src_host: 0,
+                        src_rail: 0,
+                        dst_host: dst,
+                        dst_rail: 0,
+                        sport,
+                        port: None,
+                    },
+                )
+                .expect("routable")
+        });
+    });
+    c.bench_function("repac_find_4_disjoint_paths", |b| {
+        b.iter(|| repac::find_paths(&router, &fabric, &health, 0, 0, dst, 0, 4, 49152));
+    });
+}
+
+fn bench_fabric_build(c: &mut Criterion) {
+    c.bench_function("build_hpn_medium_fabric", |b| {
+        b.iter(|| HpnConfig::medium().build());
+    });
+}
+
+fn bench_flow_lifecycle(c: &mut Criterion) {
+    c.bench_function("flow_start_complete_cycle", |b| {
+        let mut net = FlowNet::new();
+        let l = net.add_link(400e9, 1e7);
+        let mut now = SimTime::ZERO;
+        b.iter(|| {
+            let _h = net.start_flow(
+                now,
+                FlowSpec {
+                    path: vec![l],
+                    size_bits: 4e9,
+                    demand_bps: 200e9,
+                    tag: 0,
+                },
+            );
+            let t = net.next_completion().expect("progresses");
+            let done = net.advance(t);
+            assert_eq!(done.len(), 1);
+            now = t + SimDuration::from_nanos(1);
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_flownet_recompute,
+    bench_engine_events,
+    bench_hashing,
+    bench_routing,
+    bench_fabric_build,
+    bench_flow_lifecycle
+);
+criterion_main!(benches);

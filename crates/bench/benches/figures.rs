@@ -1,0 +1,101 @@
+//! Criterion benches — one group per paper table/figure family.
+//!
+//! Each bench runs the core measurement of the corresponding experiment at
+//! quick scale (the `hpn-experiments` binary is the full-fidelity
+//! regeneration path; these track the cost and stability of each pipeline).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use hpn_bench::experiments::{self, common};
+use hpn_bench::Scale;
+use hpn_collectives::CommConfig;
+
+fn cfg(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn bench_static_tables(c: &mut Criterion) {
+    let c = cfg(c);
+    // Tables 1–4 + the analytic figures: cheap, so bench the whole runs.
+    c.bench_function("table1_complexity", |b| {
+        b.iter(|| experiments::tables::run_table1(Scale::Quick))
+    });
+    c.bench_function("table2_scale", |b| {
+        b.iter(|| experiments::tables::run_table2(Scale::Quick))
+    });
+    c.bench_function("table3_traffic", |b| {
+        b.iter(|| experiments::tables::run_table3(Scale::Quick))
+    });
+    c.bench_function("table4_railonly", |b| {
+        b.iter(|| experiments::tables::run_table4(Scale::Quick))
+    });
+    c.bench_function("fig01_cloud_trace", |b| {
+        b.iter(|| experiments::fig01::run(Scale::Quick))
+    });
+    c.bench_function("fig04_checkpoints", |b| {
+        b.iter(|| experiments::fig04::run(Scale::Quick))
+    });
+    c.bench_function("fig06_job_sizes", |b| {
+        b.iter(|| experiments::fig06::run(Scale::Quick))
+    });
+    c.bench_function("fig09_power_cooling", |b| {
+        b.iter(|| experiments::fig09::run(Scale::Quick))
+    });
+    c.bench_function("dualtor_state_machines", |b| {
+        b.iter(|| experiments::dualtor::run(Scale::Quick))
+    });
+    c.bench_function("hashing_polarization", |b| {
+        b.iter(|| experiments::hashing::run(Scale::Quick))
+    });
+}
+
+fn bench_simulated_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulated_figures");
+    group.sample_size(10);
+    group.bench_function("fig05_fault_schedule", |b| {
+        b.iter(|| experiments::fig05::run(Scale::Quick))
+    });
+    group.bench_function("fig17_allreduce_sweep_point", |b| {
+        b.iter(|| {
+            let mut cs = common::cluster(common::hpn_fabric(Scale::Quick, 1, 8));
+            common::run_collective(
+                &mut cs,
+                common::CollectiveKind::AllReduce,
+                8,
+                8e9,
+                CommConfig::hpn_default(),
+                49152,
+            )
+        })
+    });
+    group.bench_function("fig17_multiallreduce_point", |b| {
+        b.iter(|| {
+            let mut cs = common::cluster(common::hpn_fabric(Scale::Quick, 1, 8));
+            common::run_collective(
+                &mut cs,
+                common::CollectiveKind::MultiAllReduce,
+                8,
+                8e9,
+                CommConfig::hpn_default(),
+                49152,
+            )
+        })
+    });
+    group.bench_function("fig16_training_iteration", |b| {
+        b.iter(|| {
+            let mut cs = common::cluster(common::hpn_fabric(Scale::Quick, 1, 8));
+            let mut session = common::training_session(
+                &cs,
+                hpn_workload::ModelSpec::llama_7b(),
+                1,
+                8,
+                128,
+            );
+            session.run_iteration(&mut cs)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_static_tables, bench_simulated_figures);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Shared experiment setup: fabrics, jobs and collective sweeps.
+
+use hpn_collectives::{bw, graph, CommConfig, Communicator, Runner};
+use hpn_core::{placement, TrainingSession};
+use hpn_routing::HashMode;
+use hpn_sim::SimDuration;
+use hpn_topology::{DcnPlusConfig, Fabric, HpnConfig};
+use hpn_transport::ClusterSim;
+use hpn_workload::{ModelSpec, ParallelismPlan, TrainingJob};
+
+use crate::Scale;
+
+/// HPN fabric sized for the §9.1 experiments: `segments` segments of
+/// `hosts_per_segment` hosts (8 rails). Quick mode shrinks the radix.
+pub fn hpn_fabric(scale: Scale, segments: u32, hosts_per_segment: u32) -> Fabric {
+    let mut cfg = HpnConfig::paper();
+    cfg.segments_per_pod = segments;
+    cfg.hosts_per_segment = hosts_per_segment;
+    cfg.backup_hosts_per_segment = scale.pick(8, 0);
+    cfg.aggs_per_plane = scale.pick(60, 8);
+    cfg.cores_per_plane = scale.pick(64, 8);
+    cfg.build()
+}
+
+/// The typical-Clos tier-2 ablation of the same fabric (Fig 12a/13a/14a).
+pub fn hpn_clos_fabric(scale: Scale, segments: u32, hosts_per_segment: u32) -> Fabric {
+    let mut cfg = HpnConfig::paper();
+    cfg.segments_per_pod = segments;
+    cfg.hosts_per_segment = hosts_per_segment;
+    cfg.backup_hosts_per_segment = scale.pick(8, 0);
+    cfg.aggs_per_plane = scale.pick(60, 8);
+    cfg.cores_per_plane = scale.pick(64, 8);
+    cfg.dual_plane = false;
+    cfg.build()
+}
+
+/// DCN+ fabric covering at least `hosts` hosts (16 per segment, 4 segments
+/// per pod — Appendix C).
+pub fn dcn_fabric(scale: Scale, hosts: u32) -> Fabric {
+    let mut cfg = DcnPlusConfig::paper();
+    cfg.pods = hosts.div_ceil(64).max(1);
+    cfg.tor_agg_parallel = scale.pick(8, 4);
+    cfg.agg_core_uplinks = scale.pick(64, 8);
+    cfg.cores = scale.pick(128, 16);
+    cfg.build()
+}
+
+/// Build a cluster runtime with the production (polarization-prone) hash
+/// family — HPN's advantage must come from architecture, not magic hashes.
+pub fn cluster(fabric: Fabric) -> ClusterSim {
+    ClusterSim::new(fabric, HashMode::Polarized)
+}
+
+/// Place and create a training session: `pp × dp` hosts segment-first,
+/// TP = 8 rails per host.
+pub fn training_session(
+    cs: &ClusterSim,
+    model: ModelSpec,
+    pp: usize,
+    dp: usize,
+    global_batch: usize,
+) -> TrainingSession {
+    let rails = cs.fabric.host_params.rails;
+    let plan = ParallelismPlan::new(rails, pp, dp);
+    let hosts = placement::place_segment_first(&cs.fabric, pp * dp)
+        .expect("fabric too small for the requested job");
+    let job = TrainingJob::new(model, plan, hosts, rails, global_batch);
+    TrainingSession::new(job, CommConfig::hpn_default())
+}
+
+/// Which collective a sweep runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CollectiveKind {
+    /// Hierarchical AllReduce with NVLS (production NCCL on these hosts).
+    AllReduce,
+    /// Hierarchical AllGather (NVSwitch-bound either way, Fig 17b).
+    AllGather,
+    /// Per-rail Multi-AllReduce (Megatron TP=8 gradient pattern).
+    MultiAllReduce,
+}
+
+/// Run one collective of `size_bits` over the first `hosts` hosts of the
+/// fabric and return `(duration, busbw bytes/s)`.
+pub fn run_collective(
+    cs: &mut ClusterSim,
+    kind: CollectiveKind,
+    hosts: usize,
+    size_bits: f64,
+    config: CommConfig,
+    sport_base: u16,
+) -> (SimDuration, f64) {
+    let rails = cs.fabric.host_params.rails;
+    let host_ids = placement::place_segment_first(&cs.fabric, hosts).expect("enough hosts");
+    let ranks: Vec<(u32, usize)> = host_ids
+        .iter()
+        .flat_map(|&h| (0..rails).map(move |r| (h, r)))
+        .collect();
+    let n = ranks.len();
+    let g = match kind {
+        CollectiveKind::AllReduce => graph::hierarchical_allreduce(hosts, rails, size_bits, true, 2),
+        CollectiveKind::AllGather => graph::hierarchical_allgather(hosts, rails, size_bits, 2),
+        CollectiveKind::MultiAllReduce => graph::multi_allreduce(hosts, rails, size_bits, 2),
+    };
+    let comm = Communicator::new(ranks, config, sport_base);
+    let mut runner = Runner::new();
+    let c = runner.add_comm(comm);
+    let job = runner.add_job(g, c);
+    let horizon = cs.now() + SimDuration::from_secs(3600);
+    let ok = runner.run_job(cs, job, horizon);
+    assert!(ok, "collective did not finish within an hour of simulated time");
+    let dur = runner.job_duration(job).expect("finished");
+    let busbw = match kind {
+        CollectiveKind::AllReduce | CollectiveKind::MultiAllReduce => {
+            bw::allreduce_busbw(size_bits, n, dur)
+        }
+        CollectiveKind::AllGather => bw::allgather_busbw(size_bits, n, dur),
+    };
+    (dur, busbw)
+}
+
+/// NCCL-style size sweep (log-spaced from 1MB to `max` bytes).
+pub fn size_sweep(scale: Scale) -> Vec<f64> {
+    let max_exp = scale.pick(32, 28); // 4GB full, 256MB quick
+    (20..=max_exp)
+        .step_by(2)
+        .map(|e| 2f64.powi(e) * 8.0)
+        .collect()
+}
+
+/// Warm up + time `iters` iterations; returns mean samples/s.
+pub fn mean_samples_per_sec(
+    cs: &mut ClusterSim,
+    session: &mut TrainingSession,
+    iters: usize,
+) -> f64 {
+    session.run_iterations(cs, iters + 1);
+    session.mean_throughput(1)
+}

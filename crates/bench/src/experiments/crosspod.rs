@@ -1,0 +1,105 @@
+//! §7 — supporting larger scale: PP across the 15:1 oversubscribed core.
+//!
+//! When a job outgrows one pod, HPN's scheduler routes only pipeline-
+//! parallel traffic (6MB Send/Recv, bandwidth-insensitive) across the
+//! Aggregation–Core tier. This experiment trains the same 2-pod job with
+//! the recommended placement (PP crosses pods) and the naive one (DP rings
+//! cross pods), quantifying why the 15:1 compromise is safe.
+
+use hpn_collectives::CommConfig;
+use hpn_core::{placement, TrainingSession};
+use hpn_sim::SimDuration;
+use hpn_topology::HpnConfig;
+use hpn_workload::{ModelSpec, ParallelismPlan, TrainingJob};
+
+use crate::experiments::common;
+use crate::report::{pct_gain, Report};
+use crate::Scale;
+
+fn two_pod_fabric(scale: Scale) -> hpn_topology::Fabric {
+    let mut cfg = HpnConfig::paper();
+    cfg.pods = 2;
+    cfg.segments_per_pod = 1;
+    cfg.hosts_per_segment = scale.pick(16, 8);
+    cfg.backup_hosts_per_segment = 0;
+    cfg.aggs_per_plane = scale.pick(16, 8);
+    // Keep the paper's 15:1-ish Agg–Core squeeze at reduced radix: each
+    // Agg serves `hosts_per_segment × rails / aggs` downlinks with only a
+    // couple of core uplinks.
+    cfg.agg_core_uplinks = 2;
+    cfg.cores_per_plane = scale.pick(8, 4);
+    cfg.build()
+}
+
+fn run_placement(scale: Scale, pp_across_pods: bool) -> f64 {
+    let fabric = two_pod_fabric(scale);
+    let mut cs = common::cluster(fabric);
+    let rails = cs.fabric.host_params.rails;
+    let per_pod = scale.pick(16usize, 8);
+    let pp = 2usize;
+    let dp = per_pod; // pp × dp = 2 × per_pod hosts = both pods filled
+    let plan = ParallelismPlan::new(rails, pp, dp);
+    let hosts = if pp_across_pods {
+        // Recommended: stage 0 in pod 0, stage 1 in pod 1 — only PP
+        // crosses the core.
+        placement::place_cross_pod_pp(&cs.fabric, &plan).expect("fits")
+    } else {
+        // Naive: replicas split by pod, so every DP ring crosses the core.
+        let pod0: Vec<u32> = cs.fabric.hosts.iter().filter(|h| h.pod == 0).map(|h| h.id).collect();
+        let pod1: Vec<u32> = cs.fabric.hosts.iter().filter(|h| h.pod == 1).map(|h| h.id).collect();
+        let mut v = Vec::new();
+        for d in 0..dp {
+            // Alternate replicas between pods: ring neighbours d, d+1 land
+            // in different pods.
+            let pool = if d % 2 == 0 { &pod0 } else { &pod1 };
+            for s in 0..pp {
+                v.push(pool[(d / 2) * pp + s]);
+            }
+        }
+        v
+    };
+    let mut model = ModelSpec::gpt3_175b();
+    model.gpu_secs_per_sample = 0.5;
+    let job = TrainingJob::new(model, plan, hosts, rails, 256);
+    let mut session = TrainingSession::new(job, CommConfig::hpn_default());
+    session.min_timeout = SimDuration::from_secs(600);
+    session.run_iterations(&mut cs, scale.pick(3, 2) + 1);
+    session.mean_throughput(1)
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> Report {
+    let pp_cross = run_placement(scale, true);
+    let dp_cross = run_placement(scale, false);
+    let mut r = Report::new(
+        "crosspod",
+        "Cross-pod placement over the 15:1 core (§7)",
+        "PP (6MB, bandwidth-insensitive) across pods barely costs; DP across pods would drown the oversubscribed core",
+    );
+    r.row("PP across pods (recommended)", format!("{pp_cross:.1} samples/s"));
+    r.row("DP across pods (naive)", format!("{dp_cross:.1} samples/s"));
+    r.row(
+        "penalty of naive placement",
+        pct_gain(dp_cross, pp_cross).to_string(),
+    );
+    r.verdict(
+        "scheduling only PP traffic across the core keeps cross-pod jobs near intra-pod speed — \
+         the §7 design argument",
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pp_across_pods_beats_dp_across_pods() {
+        let pp = run_placement(Scale::Quick, true);
+        let dp = run_placement(Scale::Quick, false);
+        assert!(
+            pp > dp * 1.05,
+            "PP-across-pods ({pp}) should clearly beat DP-across-pods ({dp})"
+        );
+    }
+}

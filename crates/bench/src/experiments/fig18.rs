@@ -1,0 +1,192 @@
+//! Fig 18 — reliability under NIC-ToR link malfunctions (LLaMa-7B, 256 GPUs).
+//!
+//! Case 1: a hard link failure at t≈10s, repaired 60s later. Single-ToR
+//! halts training (and would crash the job past the 2-minute NCCL
+//! timeout); dual-ToR degrades by one port's bandwidth share (≈6.25% of a
+//! host's 3.2Tbps) and snaps back on repair.
+//!
+//! Case 2: a sub-second flap. Single-ToR stalls for several seconds
+//! (convergence + retransmission); dual-ToR barely notices.
+
+use hpn_core::IterationOutcome;
+use hpn_sim::SimDuration;
+use hpn_topology::Fabric;
+use hpn_workload::ModelSpec;
+
+use crate::experiments::common;
+use crate::report::Report;
+use crate::Scale;
+
+struct CaseOut {
+    baseline_sps: f64,
+    during_sps: f64,
+    after_sps: f64,
+    timed_out: bool,
+}
+
+fn fabric_for(scale: Scale, dual_tor: bool, hosts: u32) -> Fabric {
+    let mut cfg = hpn_topology::HpnConfig::paper();
+    cfg.segments_per_pod = 1;
+    cfg.hosts_per_segment = hosts;
+    cfg.backup_hosts_per_segment = 0;
+    cfg.aggs_per_plane = scale.pick(60, 8);
+    cfg.cores_per_plane = 8;
+    cfg.dual_tor = dual_tor;
+    cfg.build()
+}
+
+fn run_case(scale: Scale, dual_tor: bool, outage: Option<SimDuration>) -> CaseOut {
+    let hosts = scale.pick(32u32, 8);
+    let mut cs = common::cluster(fabric_for(scale, dual_tor, hosts));
+    let mut model = ModelSpec::llama_7b();
+    model.gpu_secs_per_sample = 0.1; // communication-visible iterations
+    let dp = hosts as usize;
+    let mut session = common::training_session(&cs, model, 1, dp, 512);
+    session.min_timeout = SimDuration::from_secs(120); // the 2-minute rule
+    session.timeout_factor = 4.0;
+
+    // Baseline iterations.
+    session.run_iterations(&mut cs, 3);
+    let baseline = session.mean_throughput(1);
+
+    // Fail host0 rail0's (first) access cable shortly into the next
+    // iteration; repair after `outage` (or never).
+    let link = cs.fabric.hosts[0].nic_up[0][0].unwrap();
+    let t_fail = cs.now() + SimDuration::from_millis(200);
+    cs.schedule_cable_event(t_fail, link, false);
+    let t_repair = outage.map(|o| t_fail + o);
+    if let Some(t) = t_repair {
+        cs.schedule_cable_event(t, link, true);
+    }
+
+    // Keep iterating until well past the repair (or until a timeout).
+    let stop_after = t_repair.unwrap_or(t_fail) + SimDuration::from_secs(5);
+    let mut timed_out = false;
+    let mut last = 0.0;
+    while cs.now() < stop_after {
+        let rec = session.run_iteration(&mut cs);
+        last = rec.samples_per_sec;
+        if matches!(rec.outcome, IterationOutcome::TimedOut) {
+            timed_out = true;
+            break;
+        }
+    }
+    // Throughput while the link was down — what Fig 18a/18b's y-axis
+    // shows. Long outages exclude the BGP-convergence transient (steady
+    // state); flaps shorter than the convergence window ARE the transient,
+    // so average over the seconds surrounding them instead.
+    let series = session.throughput_series(SimDuration::from_millis(100));
+    let long_outage = outage.is_none_or(|o| o > cs.convergence + cs.convergence);
+    let (win_start, win_end) = if long_outage {
+        (
+            (t_fail + cs.convergence + cs.convergence).as_secs_f64(),
+            t_repair
+                .map(|t| t.as_secs_f64())
+                .unwrap_or_else(|| cs.now().as_secs_f64()),
+        )
+    } else {
+        (t_fail.as_secs_f64(), (t_fail + SimDuration::from_secs(4)).as_secs_f64())
+    };
+    let during = series.window_mean(win_start, win_end);
+    CaseOut {
+        baseline_sps: baseline,
+        during_sps: during,
+        after_sps: last,
+        timed_out,
+    }
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> Report {
+    let mut r = Report::new(
+        "fig18",
+        "Performance under NIC-ToR link malfunctions (LLaMa-7B, 256 GPUs)",
+        "failure: single-ToR halts (recovers if repaired <1min, crashes past ~2min); dual-ToR \
+         −6.25% only. flapping: single-ToR stalls ~9s; dual-ToR negligible",
+    );
+
+    // Case 1a: hard failure repaired after 60 seconds.
+    let outage = Some(SimDuration::from_secs(60));
+    for (dual, label) in [(true, "dual-ToR"), (false, "single-ToR")] {
+        let out = run_case(scale, dual, outage);
+        let drop = (1.0 - out.during_sps / out.baseline_sps) * 100.0;
+        let halted = drop > 90.0;
+        r.row(
+            format!("failure repaired at 60s, {label}"),
+            format!(
+                "{:.0} → {:.0} samples/s during outage (−{drop:.1}%{}), {:.0} after repair",
+                out.baseline_sps,
+                out.during_sps,
+                if halted { " — HALTED" } else { "" },
+                out.after_sps
+            ),
+        );
+    }
+
+    // Case 1b: failure never repaired — past the ~2min NCCL window the
+    // job cannot recover.
+    for (dual, label) in [(true, "dual-ToR"), (false, "single-ToR")] {
+        let out = run_case(scale, dual, None);
+        r.row(
+            format!("failure unrepaired, {label}"),
+            if out.timed_out {
+                "iteration exceeded the NCCL timeout → JOB CRASH (rollback to checkpoint)".to_string()
+            } else {
+                format!(
+                    "training continues at {:.0} samples/s on the surviving port",
+                    out.during_sps
+                )
+            },
+        );
+    }
+
+    // Case 2: 800ms flap.
+    let flap = Some(SimDuration::from_millis(800));
+    for (dual, label) in [(true, "dual-ToR"), (false, "single-ToR")] {
+        let out = run_case(scale, dual, flap);
+        let slowdown = out.baseline_sps / out.during_sps.max(1e-9);
+        r.row(
+            format!("flap 0.8s, {label}"),
+            format!(
+                "iteration ran {slowdown:.2}× slower than baseline ({:.0} vs {:.0} samples/s)",
+                out.during_sps, out.baseline_sps
+            ),
+        );
+    }
+    r.verdict(
+        "dual-ToR turns a halting failure into a single-digit-% degradation and absorbs flaps; \
+         single-ToR halts on failure and crashes when repair is slow — the Fig 18 contrast",
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_tor_survives_single_tor_halts() {
+        let r = run(Scale::Quick);
+        let row = |key: &str| &r.rows.iter().find(|(k, _)| k.starts_with(key)).unwrap().1;
+        assert!(
+            !row("failure repaired at 60s, dual-ToR").contains("HALTED"),
+            "dual-ToR should keep training: {}",
+            row("failure repaired at 60s, dual-ToR")
+        );
+        assert!(
+            row("failure repaired at 60s, single-ToR").contains("HALTED"),
+            "single-ToR should halt during the outage: {}",
+            row("failure repaired at 60s, single-ToR")
+        );
+        assert!(
+            row("failure unrepaired, single-ToR").contains("JOB CRASH"),
+            "unrepaired single-ToR failure should crash: {}",
+            row("failure unrepaired, single-ToR")
+        );
+        assert!(
+            row("failure unrepaired, dual-ToR").contains("continues"),
+            "dual-ToR should survive an unrepaired failure: {}",
+            row("failure unrepaired, dual-ToR")
+        );
+    }
+}

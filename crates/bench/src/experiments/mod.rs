@@ -1,0 +1,25 @@
+//! One module per paper table/figure, plus the §4/§6 ablations.
+
+pub mod common;
+pub mod crosspod;
+pub mod dualtor;
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig09;
+pub mod fig13_14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod hashing;
+pub mod moe;
+pub mod pathsel;
+pub mod railopt;
+pub mod ringtree;
+pub mod storage;
+pub mod tables;

@@ -1,0 +1,128 @@
+//! §10 / Table 4 quantified — MoE all-to-all on any-to-any vs rail-only
+//! tier-2.
+//!
+//! Rail-only tier-2 multiplies pod scale by 8× but removes cross-rail
+//! network paths: expert-dispatch All-to-All (whose source and destination
+//! "may inherently reside on different rails") must relay over NVLink on
+//! the sender, concentrating all cross-rail bytes onto the intra-host
+//! fabric. This experiment times the same All-to-All on both designs.
+
+use hpn_collectives::{graph, CommConfig, Communicator, Runner};
+use hpn_sim::SimDuration;
+use hpn_topology::railonly::build_rail_only;
+use hpn_topology::{Fabric, HpnConfig};
+
+use crate::experiments::common;
+use crate::report::{pct_gain, Report};
+use crate::Scale;
+
+fn fabric_cfg(scale: Scale) -> HpnConfig {
+    let mut cfg = HpnConfig::paper();
+    cfg.segments_per_pod = 2;
+    cfg.hosts_per_segment = scale.pick(6, 4);
+    cfg.backup_hosts_per_segment = 0;
+    cfg.aggs_per_plane = scale.pick(16, 8);
+    cfg.cores_per_plane = 8;
+    cfg
+}
+
+fn all_to_all_time(fabric: Fabric, scale: Scale, relay: bool) -> f64 {
+    let mut cs = common::cluster(fabric);
+    cs.router.relay_cross_rail = relay;
+    let rails = cs.fabric.host_params.rails;
+    let hosts = scale.pick(6usize, 4);
+    // Ranks across rails AND hosts — the expert layout that breaks the
+    // rail-only assumption.
+    let host_ids: Vec<u32> = cs.fabric.segment_hosts(0).iter().map(|h| h.id).collect();
+    let ranks: Vec<(u32, usize)> = host_ids
+        .iter()
+        .take(hosts)
+        .flat_map(|&h| (0..rails).map(move |r| (h, r)))
+        .collect();
+    let n = ranks.len();
+    let size = scale.pick(1e9, 8e8); // per-rank dispatch volume
+    let mut runner = Runner::new();
+    let comm = runner.add_comm(Communicator::new(ranks, CommConfig::hpn_default(), 49152));
+    let job = runner.add_job(graph::all_to_all(n, size), comm);
+    let deadline = cs.now() + SimDuration::from_secs(3600);
+    assert!(runner.run_job(&mut cs, job, deadline), "all-to-all finishes");
+    runner.job_duration(job).expect("finished").as_secs_f64()
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> Report {
+    let cfg = fabric_cfg(scale);
+    // §10's serverless constraint: no NVLink relay. Any-to-any tier-2
+    // still routes cross-rail traffic (through the Aggregation layer);
+    // rail-only tier-2 has no such path and must fall back to the relay
+    // (impossible for actual multi-tenant hosts).
+    let any = all_to_all_time(cfg.build(), scale, false);
+    let rail = all_to_all_time(build_rail_only(&cfg), scale, true);
+    let serverless_on_rail_only = {
+        let f = build_rail_only(&cfg);
+        let mut cs = common::cluster(f);
+        cs.router.relay_cross_rail = false;
+        let dst = cs.fabric.segment_hosts(0)[1].id;
+        cs.router
+            .route(
+                &cs.fabric,
+                &cs.health,
+                &hpn_routing::RouteRequest {
+                    src_host: 0,
+                    src_rail: 0,
+                    dst_host: dst,
+                    dst_rail: 1,
+                    sport: 50_000,
+                    port: None,
+                },
+            )
+            .is_ok()
+    };
+    let mut r = Report::new(
+        "moe",
+        "MoE All-to-All: any-to-any tier2 vs rail-only tier2",
+        "rail-only relies on intra-rail traffic; MoE all-to-all breaks the assumption (§10)",
+    );
+    r.row("any-to-any All-to-All (no relay needed)", format!("{any:.4}s"));
+    r.row("rail-only All-to-All (forced NVLink relay)", format!("{rail:.4}s"));
+    r.row("rail-only slowdown", pct_gain(rail, any));
+    r.row(
+        "serverless (no relay) cross-rail on rail-only",
+        if serverless_on_rail_only { "routable (unexpected!)" } else { "UNROUTABLE — the fabric cannot serve it" },
+    );
+    r.verdict(
+        "with a relay available the NICs bound both designs — but rail-only *requires* the relay, \
+         and multi-tenant/serverless hosts cannot provide one: cross-rail traffic becomes \
+         unroutable. That qualitative limitation is Table 4's last row and why HPN kept \
+         any-to-any tier-2",
+    );
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rail_only_is_not_faster_for_all_to_all() {
+        let cfg = fabric_cfg(Scale::Quick);
+        let any = all_to_all_time(cfg.build(), Scale::Quick, false);
+        let rail = all_to_all_time(build_rail_only(&cfg), Scale::Quick, true);
+        // With the relay available the NICs bound both designs, so the
+        // times are close — the §10 argument is the qualitative row below.
+        assert!(
+            (rail / any - 1.0).abs() < 0.15,
+            "rail-only ({rail}s) vs any-to-any ({any}s) should be NIC-bound-close"
+        );
+    }
+
+    #[test]
+    fn serverless_cross_rail_is_unroutable_on_rail_only() {
+        let r = run(Scale::Quick);
+        assert!(
+            r.rows.last().unwrap().1.contains("UNROUTABLE"),
+            "{:?}",
+            r.rows.last()
+        );
+    }
+}

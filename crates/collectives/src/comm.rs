@@ -1,0 +1,174 @@
+//! Communicators: rank maps and per-pair connection groups.
+
+use std::collections::BTreeMap;
+
+use hpn_transport::{ClusterSim, GroupId, PathPolicy};
+
+/// Communicator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct CommConfig {
+    /// Disjoint connections per rank pair (`EstablishConns`' fan-out).
+    /// HPN production uses several; 1 disables multi-pathing.
+    pub conns_per_pair: usize,
+    /// Message → connection policy (Algorithm 2 or a baseline).
+    pub policy: PathPolicy,
+}
+
+impl CommConfig {
+    /// The paper's deployed scheme: disjoint paths + least-WQE selection.
+    pub fn hpn_default() -> Self {
+        CommConfig {
+            conns_per_pair: 4,
+            policy: PathPolicy::LeastWqe,
+        }
+    }
+
+    /// Single-path baseline (what plain per-QP ECMP gives you).
+    pub fn single_path() -> Self {
+        CommConfig {
+            conns_per_pair: 1,
+            policy: PathPolicy::Single,
+        }
+    }
+}
+
+/// A communicator: ordered ranks and their connection groups.
+#[derive(Debug)]
+pub struct Communicator {
+    /// `(host, rail)` per rank.
+    pub ranks: Vec<(u32, usize)>,
+    /// Configuration.
+    pub config: CommConfig,
+    groups: BTreeMap<(u32, u32), GroupId>,
+    /// Base for RePaC sport scans; advanced per established pair so
+    /// concurrent groups explore different tuple ranges.
+    sport_cursor: u16,
+}
+
+impl Communicator {
+    /// Create a communicator over the given ranks. `sport_base` seeds the
+    /// source-port plan; give different communicators different bases.
+    pub fn new(ranks: Vec<(u32, usize)>, config: CommConfig, sport_base: u16) -> Self {
+        assert!(!ranks.is_empty(), "empty communicator");
+        // Endpoints must be unique or ring neighbors degenerate.
+        let mut uniq = ranks.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), ranks.len(), "duplicate rank endpoints");
+        Communicator {
+            ranks,
+            config,
+            groups: BTreeMap::new(),
+            sport_cursor: sport_base,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// The endpoint of a rank.
+    pub fn endpoint(&self, rank: u32) -> (u32, usize) {
+        self.ranks[rank as usize]
+    }
+
+    /// Are two ranks on the same host (an NVLink edge)?
+    pub fn same_host(&self, a: u32, b: u32) -> bool {
+        self.ranks[a as usize].0 == self.ranks[b as usize].0
+    }
+
+    /// The connection group for `(src, dst)`, establishing it on first use.
+    pub fn group_for(&mut self, cs: &mut ClusterSim, src: u32, dst: u32) -> GroupId {
+        assert_ne!(src, dst, "group to self rank");
+        if let Some(&g) = self.groups.get(&(src, dst)) {
+            return g;
+        }
+        let base = self.sport_cursor;
+        // Leave room for the scan; wrap within the ephemeral range.
+        self.sport_cursor = self.sport_cursor.wrapping_add(613).max(16384);
+        let g = cs.establish_group(
+            self.endpoint(src),
+            self.endpoint(dst),
+            self.config.conns_per_pair,
+            self.config.policy,
+            base,
+        );
+        self.groups.insert((src, dst), g);
+        g
+    }
+
+    /// Number of distinct connections established so far (for the Fig 3
+    /// connections-per-host census).
+    pub fn established_connections(&self, cs: &ClusterSim) -> usize {
+        self.groups
+            .values()
+            .map(|&g| cs.group(g).conns.len())
+            .sum()
+    }
+
+    /// Connections originated per source host (the Fig 3 census at host
+    /// granularity).
+    pub fn connections_by_host(&self, cs: &ClusterSim) -> BTreeMap<u32, usize> {
+        let mut out: BTreeMap<u32, usize> = BTreeMap::new();
+        for (&(src, _), &g) in &self.groups {
+            let host = self.endpoint(src).0;
+            *out.entry(host).or_default() += cs.group(g).conns.len();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpn_routing::HashMode;
+    use hpn_topology::HpnConfig;
+
+    fn sim() -> ClusterSim {
+        ClusterSim::new(HpnConfig::tiny().build(), HashMode::Polarized)
+    }
+
+    #[test]
+    fn groups_are_cached() {
+        let mut cs = sim();
+        let mut comm = Communicator::new(
+            vec![(0, 0), (1, 0), (2, 0)],
+            CommConfig::hpn_default(),
+            49152,
+        );
+        let a = comm.group_for(&mut cs, 0, 1);
+        let b = comm.group_for(&mut cs, 0, 1);
+        assert_eq!(a, b);
+        let c = comm.group_for(&mut cs, 1, 0);
+        assert_ne!(a, c, "directions are distinct groups");
+    }
+
+    #[test]
+    fn hpn_default_gets_multiple_disjoint_conns() {
+        let mut cs = sim();
+        let mut comm =
+            Communicator::new(vec![(0, 0), (1, 0)], CommConfig::hpn_default(), 49152);
+        let g = comm.group_for(&mut cs, 0, 1);
+        // Same ToR pair: exactly the two planes are disjoint.
+        assert_eq!(cs.group(g).conns.len(), 2);
+        assert!(comm.established_connections(&cs) >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate rank")]
+    fn duplicate_endpoints_rejected() {
+        Communicator::new(vec![(0, 0), (0, 0)], CommConfig::single_path(), 1);
+    }
+
+    #[test]
+    fn same_host_detection() {
+        let comm = Communicator::new(
+            vec![(0, 0), (0, 1), (1, 0)],
+            CommConfig::single_path(),
+            49152,
+        );
+        assert!(comm.same_host(0, 1));
+        assert!(!comm.same_host(0, 2));
+    }
+}

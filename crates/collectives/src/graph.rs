@@ -1,0 +1,733 @@
+//! Collectives compiled to dependency graphs of primitive operations.
+//!
+//! Rank numbering convention for the hierarchical builders: **host-major**,
+//! `rank = host_index * rails + rail`. Builders only emit rank indices; the
+//! [`crate::runner::Runner`] resolves them to endpoints through the
+//! communicator (and turns same-host sends into NVLink copies).
+
+// Index loops mirror the paper's (host, rail, plane) notation; iterator
+// adaptors would obscure the wiring math.
+#![allow(clippy::needless_range_loop)]
+
+use hpn_sim::SimDuration;
+
+/// Default number of fluid batches a ring is modelled as (see the crate
+/// docs for why byte-faithful rounds are wasteful in a fluid simulation).
+pub const DEFAULT_ROUNDS: usize = 2;
+
+/// A primitive operation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum OpKind {
+    /// Network (or NVLink, if same-host) message between two ranks.
+    Send {
+        /// Sending rank.
+        src: u32,
+        /// Receiving rank.
+        dst: u32,
+        /// Payload in bits.
+        bits: f64,
+    },
+    /// Rank-local data movement over NVLink/NVSwitch.
+    Copy {
+        /// The rank doing the copy.
+        rank: u32,
+        /// Bits moved.
+        bits: f64,
+    },
+    /// GPU compute time (used by the workload layer for fwd/bwd phases).
+    Compute {
+        /// The rank computing.
+        rank: u32,
+        /// Duration of the computation.
+        dur: SimDuration,
+    },
+}
+
+/// One node of the DAG. Dependencies always point at earlier ops, so
+/// graphs are acyclic by construction.
+#[derive(Clone, Debug)]
+pub struct Op {
+    /// What to do.
+    pub kind: OpKind,
+    /// Ops that must complete first.
+    pub deps: Vec<u32>,
+}
+
+/// A dependency graph of operations.
+#[derive(Clone, Debug, Default)]
+pub struct OpGraph {
+    ops: Vec<Op>,
+}
+
+impl OpGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an op; `deps` must reference already-added ops.
+    pub fn add(&mut self, kind: OpKind, deps: Vec<u32>) -> u32 {
+        let id = self.ops.len() as u32;
+        for &d in &deps {
+            assert!(d < id, "dependency {d} not yet defined for op {id}");
+        }
+        if let OpKind::Send { src, dst, bits } = kind {
+            assert_ne!(src, dst, "send to self");
+            assert!(bits > 0.0, "empty send");
+        }
+        self.ops.push(Op { kind, deps });
+        id
+    }
+
+    /// The operations in id order.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Append another graph, shifting its dependency ids; returns the id
+    /// offset. `extra_deps` are added to every entry op (op with no deps)
+    /// of the appended graph — the workload layer uses this to sequence
+    /// iteration phases.
+    pub fn append(&mut self, other: &OpGraph, extra_deps: &[u32]) -> u32 {
+        let offset = self.ops.len() as u32;
+        for op in &other.ops {
+            let mut deps: Vec<u32> = op.deps.iter().map(|d| d + offset).collect();
+            if op.deps.is_empty() {
+                deps.extend_from_slice(extra_deps);
+            }
+            self.ops.push(Op {
+                kind: op.kind,
+                deps,
+            });
+        }
+        offset
+    }
+
+    /// Ids of ops nothing depends on (the graph's exit frontier).
+    pub fn exits(&self) -> Vec<u32> {
+        let mut has_dependent = vec![false; self.ops.len()];
+        for op in &self.ops {
+            for &d in &op.deps {
+                has_dependent[d as usize] = true;
+            }
+        }
+        (0..self.ops.len() as u32)
+            .filter(|&i| !has_dependent[i as usize])
+            .collect()
+    }
+
+    /// Total bits sent between ranks, split into `(network, local)` by the
+    /// provided same-host predicate.
+    pub fn traffic_split(&self, same_host: impl Fn(u32, u32) -> bool) -> (f64, f64) {
+        let mut network = 0.0;
+        let mut local = 0.0;
+        for op in &self.ops {
+            match op.kind {
+                OpKind::Send { src, dst, bits } => {
+                    if same_host(src, dst) {
+                        local += bits;
+                    } else {
+                        network += bits;
+                    }
+                }
+                OpKind::Copy { bits, .. } => local += bits,
+                OpKind::Compute { .. } => {}
+            }
+        }
+        (network, local)
+    }
+}
+
+// ----------------------------------------------------------------------
+// Ring primitives
+// ----------------------------------------------------------------------
+
+/// Emit a ring over `ring_ranks` where each member sends `total_bits` to
+/// its successor, in `rounds` dependent batches. Returns the last-round op
+/// ids. `entry_deps[i]` gates member i's first round. Public so workload
+/// code can build rings over arbitrary rank subsets (per-stage DP groups).
+pub fn emit_ring(
+    g: &mut OpGraph,
+    ring_ranks: &[u32],
+    total_bits: f64,
+    rounds: usize,
+    entry_deps: &[Vec<u32>],
+) -> Vec<u32> {
+    let n = ring_ranks.len();
+    assert!(n >= 2, "ring needs at least two members");
+    assert!(rounds >= 1, "at least one round");
+    let per_round = total_bits / rounds as f64;
+    let mut prev: Vec<u32> = Vec::new();
+    for round in 0..rounds {
+        let mut this: Vec<u32> = Vec::with_capacity(n);
+        for i in 0..n {
+            let src = ring_ranks[i];
+            let dst = ring_ranks[(i + 1) % n];
+            let mut deps: Vec<u32> = Vec::new();
+            if round == 0 {
+                deps.extend_from_slice(&entry_deps[i]);
+            } else {
+                // Own previous batch, and the predecessor's (the data we
+                // forward arrived from them).
+                deps.push(prev[i]);
+                deps.push(prev[(i + n - 1) % n]);
+            }
+            this.push(g.add(
+                OpKind::Send {
+                    src,
+                    dst,
+                    bits: per_round,
+                },
+                deps,
+            ));
+        }
+        prev = this;
+    }
+    prev
+}
+
+/// Flat ring AllReduce over `n` ranks (rank ids `0..n`): every rank sends
+/// `2·S·(N−1)/N` to its successor. Small-scale / test workhorse; the
+/// hierarchical builder is what production NCCL does on these hosts.
+pub fn ring_allreduce(n: usize, size_bits: f64, rounds: usize) -> OpGraph {
+    let mut g = OpGraph::new();
+    if n < 2 {
+        return g;
+    }
+    let ranks: Vec<u32> = (0..n as u32).collect();
+    let per_rank = 2.0 * size_bits * (n as f64 - 1.0) / n as f64;
+    let entry = vec![Vec::new(); n];
+    emit_ring(&mut g, &ranks, per_rank, rounds, &entry);
+    g
+}
+
+/// Flat ring AllGather: every rank sends `S·(N−1)/N`.
+pub fn ring_allgather(n: usize, size_bits: f64, rounds: usize) -> OpGraph {
+    let mut g = OpGraph::new();
+    if n < 2 {
+        return g;
+    }
+    let ranks: Vec<u32> = (0..n as u32).collect();
+    let per_rank = size_bits * (n as f64 - 1.0) / n as f64;
+    let entry = vec![Vec::new(); n];
+    emit_ring(&mut g, &ranks, per_rank, rounds, &entry);
+    g
+}
+
+/// Flat ring ReduceScatter: same wire bytes as AllGather.
+pub fn ring_reduce_scatter(n: usize, size_bits: f64, rounds: usize) -> OpGraph {
+    ring_allgather(n, size_bits, rounds)
+}
+
+/// Hierarchical AllReduce over `hosts × rails` ranks (host-major):
+///
+/// 1. intra-host reduce-scatter over NVSwitch — with NVLS the switch
+///    aggregates in-fabric and roughly halves GPU-side data movement,
+/// 2. per-rail inter-host ring AllReduce on the `S/rails` shard (this is
+///    the phase the fabric architecture decides: 8 rings per job, one per
+///    rail, exactly the rail-optimized traffic of §5.2),
+/// 3. intra-host all-gather.
+pub fn hierarchical_allreduce(
+    hosts: usize,
+    rails: usize,
+    size_bits: f64,
+    nvls: bool,
+    rounds: usize,
+) -> OpGraph {
+    let mut g = OpGraph::new();
+    assert!(rails >= 1 && hosts >= 1);
+    if hosts < 2 {
+        // Single host: NVSwitch-only collective.
+        for r in 0..rails as u32 {
+            let bits = intra_phase_bits(size_bits, rails, nvls);
+            if bits > 0.0 {
+                g.add(OpKind::Copy { rank: r, bits }, vec![]);
+            }
+        }
+        return g;
+    }
+    let rank_of = |h: usize, r: usize| (h * rails + r) as u32;
+
+    // Phase 1: intra reduce-scatter. p1[h][r] = deps gating host h rail r.
+    let intra1 = intra_phase_bits(size_bits, rails, nvls);
+    let mut p1: Vec<Vec<Vec<u32>>> = Vec::with_capacity(hosts);
+    for h in 0..hosts {
+        let mut per_host: Vec<Vec<u32>> = Vec::with_capacity(rails);
+        for r in 0..rails {
+            if intra1 > 0.0 {
+                let id = g.add(
+                    OpKind::Copy {
+                        rank: rank_of(h, r),
+                        bits: intra1,
+                    },
+                    vec![],
+                );
+                per_host.push(vec![id]);
+            } else {
+                per_host.push(Vec::new());
+            }
+        }
+        p1.push(per_host);
+    }
+
+    // Phase 2: one ring per rail over the hosts, shard S/rails.
+    let shard = size_bits / rails as f64;
+    let per_member = 2.0 * shard * (hosts as f64 - 1.0) / hosts as f64;
+    let mut last_rounds: Vec<Vec<u32>> = Vec::with_capacity(rails);
+    for r in 0..rails {
+        let ring: Vec<u32> = (0..hosts).map(|h| rank_of(h, r)).collect();
+        let entry: Vec<Vec<u32>> = (0..hosts).map(|h| p1[h][r].clone()).collect();
+        let last = emit_ring(&mut g, &ring, per_member, rounds, &entry);
+        last_rounds.push(last);
+    }
+
+    // Phase 3: intra all-gather, gated on the rank's own rail ring.
+    let intra3 = intra_phase_bits(size_bits, rails, nvls);
+    if intra3 > 0.0 {
+        for h in 0..hosts {
+            for r in 0..rails {
+                g.add(
+                    OpKind::Copy {
+                        rank: rank_of(h, r),
+                        bits: intra3,
+                    },
+                    last_rounds[r].clone(),
+                );
+            }
+        }
+    }
+    g
+}
+
+/// GPU-side NVLink bits for one intra-host phase. NVLS offloads the
+/// reduction into the NVSwitch, roughly halving endpoint data movement —
+/// the mechanism behind Fig 17a's AllReduce advantage (and why AllGather,
+/// which NVLS cannot accelerate, stays NVSwitch-bound in Fig 17b).
+fn intra_phase_bits(size_bits: f64, rails: usize, nvls: bool) -> f64 {
+    if rails < 2 {
+        return 0.0;
+    }
+    let ring = size_bits * (rails as f64 - 1.0) / rails as f64;
+    if nvls {
+        ring * 0.5
+    } else {
+        ring
+    }
+}
+
+/// Hierarchical AllGather over `hosts × rails` ranks (host-major):
+///
+/// 1. per-rail inter-host ring gathers each rail's slice (`S/rails`, so
+///    each member forwards `(S/rails)·(H−1)/H` over the network — all 8
+///    NICs in parallel),
+/// 2. intra-host exchange over NVSwitch hands every GPU the other rails'
+///    slices (`S·(rails−1)/rails` per GPU).
+///
+/// Phase 2 dominates: NVLink moves ~8× the per-NIC bytes of phase 1 at
+/// only 4× the speed — this is why Fig 17b finds AllGather NVSwitch-bound
+/// and insensitive to the fabric, and why NVLS (a reduction offload)
+/// cannot help it.
+pub fn hierarchical_allgather(hosts: usize, rails: usize, size_bits: f64, rounds: usize) -> OpGraph {
+    let mut g = OpGraph::new();
+    assert!(rails >= 1 && hosts >= 1);
+    let rank_of = |h: usize, r: usize| (h * rails + r) as u32;
+    let intra = size_bits * (rails as f64 - 1.0) / rails as f64;
+    if hosts < 2 {
+        for r in 0..rails as u32 {
+            if intra > 0.0 {
+                g.add(OpKind::Copy { rank: r, bits: intra }, vec![]);
+            }
+        }
+        return g;
+    }
+    let slice = size_bits / rails as f64;
+    let per_member = slice * (hosts as f64 - 1.0) / hosts as f64;
+    let mut last_rounds: Vec<Vec<u32>> = Vec::with_capacity(rails);
+    for r in 0..rails {
+        let ring: Vec<u32> = (0..hosts).map(|h| rank_of(h, r)).collect();
+        let entry = vec![Vec::new(); hosts];
+        last_rounds.push(emit_ring(&mut g, &ring, per_member, rounds, &entry));
+    }
+    if intra > 0.0 {
+        for h in 0..hosts {
+            for r in 0..rails {
+                g.add(
+                    OpKind::Copy {
+                        rank: rank_of(h, r),
+                        bits: intra,
+                    },
+                    last_rounds[r].clone(),
+                );
+            }
+        }
+    }
+    g
+}
+
+/// Multi-AllReduce (§9.2): with Megatron TP=8, gradient sync runs one
+/// AllReduce per rail among same-index GPUs of the DP group — **all** the
+/// data crosses the inter-host network, none rides NVLink. Full size `S`
+/// per ring.
+pub fn multi_allreduce(hosts: usize, rails: usize, size_bits: f64, rounds: usize) -> OpGraph {
+    let mut g = OpGraph::new();
+    if hosts < 2 {
+        return g;
+    }
+    let rank_of = |h: usize, r: usize| (h * rails + r) as u32;
+    let per_member = 2.0 * size_bits * (hosts as f64 - 1.0) / hosts as f64;
+    for r in 0..rails {
+        let ring: Vec<u32> = (0..hosts).map(|h| rank_of(h, r)).collect();
+        let entry = vec![Vec::new(); hosts];
+        emit_ring(&mut g, &ring, per_member, rounds, &entry);
+    }
+    g
+}
+
+/// Tree AllReduce over `n` ranks (rank ids `0..n`): binomial reduce to
+/// rank 0 followed by binomial broadcast — `2·⌈log2 N⌉` latency steps of
+/// full-size `S` transfers, versus the ring's `2(N−1)` steps of `S/N`.
+/// With per-message latency this wins at small sizes and loses at large
+/// ones, the classic NCCL ring/tree crossover.
+pub fn tree_allreduce(n: usize, size_bits: f64) -> OpGraph {
+    let mut g = OpGraph::new();
+    if n < 2 {
+        return g;
+    }
+    // Reduce phase: in round k, rank r (r % 2^(k+1) == 2^k) sends to
+    // r - 2^k. ready[r] = the op rank r must wait for before sending.
+    let mut ready: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut stride = 1usize;
+    while stride < n {
+        for r in (0..n).rev() {
+            if r % (stride * 2) == stride {
+                let parent = r - stride;
+                let mut deps = ready[r].clone();
+                deps.extend_from_slice(&ready[parent]);
+                let id = g.add(
+                    OpKind::Send {
+                        src: r as u32,
+                        dst: parent as u32,
+                        bits: size_bits,
+                    },
+                    deps,
+                );
+                ready[parent] = vec![id];
+            }
+        }
+        stride *= 2;
+    }
+    // Broadcast phase: mirror image, largest stride first.
+    let mut stride = 1usize;
+    while stride * 2 < n {
+        stride *= 2;
+    }
+    while stride >= 1 {
+        for r in 0..n {
+            if r % (stride * 2) == 0 && r + stride < n {
+                let child = r + stride;
+                let id = g.add(
+                    OpKind::Send {
+                        src: r as u32,
+                        dst: child as u32,
+                        bits: size_bits,
+                    },
+                    ready[r].clone(),
+                );
+                ready[child] = vec![id];
+            }
+        }
+        if stride == 1 {
+            break;
+        }
+        stride /= 2;
+    }
+    g
+}
+
+/// Broadcast from `root` over a flat ring (NCCL's default for these rank
+/// counts): the payload travels rank-to-rank around the ring, `S` per hop,
+/// pipelined in `rounds` chunks.
+pub fn ring_broadcast(n: usize, root: u32, size_bits: f64, rounds: usize) -> OpGraph {
+    let mut g = OpGraph::new();
+    if n < 2 {
+        return g;
+    }
+    assert!((root as usize) < n, "root {root} out of range");
+    let rounds = rounds.max(1);
+    let per_round = size_bits / rounds as f64;
+    // Pipeline: hop h forwards round r once it has received round r
+    // (dep on hop h-1 round r) and forwarded round r-1 (dep on itself).
+    let mut prev_round: Vec<Option<u32>> = vec![None; n - 1];
+    for _round in 0..rounds {
+        let mut prev_hop: Option<u32> = None;
+        for (h, slot) in prev_round.iter_mut().enumerate() {
+            let src = (root as usize + h) % n;
+            let dst = (root as usize + h + 1) % n;
+            let mut deps = Vec::new();
+            if let Some(p) = prev_hop {
+                deps.push(p);
+            }
+            if let Some(p) = *slot {
+                deps.push(p);
+            }
+            let id = g.add(
+                OpKind::Send {
+                    src: src as u32,
+                    dst: dst as u32,
+                    bits: per_round,
+                },
+                deps,
+            );
+            prev_hop = Some(id);
+            *slot = Some(id);
+        }
+    }
+    g
+}
+
+/// Point-to-point send (pipeline parallelism's primitive).
+pub fn send_recv(src: u32, dst: u32, size_bits: f64) -> OpGraph {
+    let mut g = OpGraph::new();
+    g.add(
+        OpKind::Send {
+            src,
+            dst,
+            bits: size_bits,
+        },
+        vec![],
+    );
+    g
+}
+
+/// All-to-All over `n` ranks, `size_bits` total per rank — the MoE expert
+/// dispatch pattern that §10 argues breaks rail-only fabrics. Quadratic in
+/// ranks; intended for focused experiments, not 10K-GPU jobs.
+pub fn all_to_all(n: usize, size_bits: f64) -> OpGraph {
+    let mut g = OpGraph::new();
+    if n < 2 {
+        return g;
+    }
+    let per_peer = size_bits / (n as f64 - 1.0);
+    for s in 0..n as u32 {
+        for d in 0..n as u32 {
+            if s != d {
+                g.add(
+                    OpKind::Send {
+                        src: s,
+                        dst: d,
+                        bits: per_peer,
+                    },
+                    vec![],
+                );
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: f64 = 8e9;
+
+    fn network_bits(g: &OpGraph) -> f64 {
+        g.traffic_split(|_, _| false).0
+    }
+
+    #[test]
+    fn ring_allreduce_byte_accounting() {
+        for n in [2usize, 4, 7] {
+            for rounds in [1usize, 2, 6] {
+                let g = ring_allreduce(n, S, rounds);
+                let expect = n as f64 * 2.0 * S * (n as f64 - 1.0) / n as f64;
+                let got = network_bits(&g);
+                assert!(
+                    (got - expect).abs() < 1.0,
+                    "n={n} rounds={rounds}: {got} vs {expect}"
+                );
+                assert_eq!(g.len(), n * rounds);
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_is_half_of_allreduce() {
+        let ar = network_bits(&ring_allreduce(8, S, 2));
+        let ag = network_bits(&ring_allgather(8, S, 2));
+        assert!((ar - 2.0 * ag).abs() < 1.0);
+    }
+
+    #[test]
+    fn trivial_sizes_yield_empty_graphs() {
+        assert!(ring_allreduce(1, S, 2).is_empty());
+        assert!(ring_allgather(0, S, 2).is_empty());
+        assert!(multi_allreduce(1, 8, S, 2).is_empty());
+        assert!(all_to_all(1, S).is_empty());
+    }
+
+    #[test]
+    fn deps_reference_earlier_ops_only() {
+        let g = hierarchical_allreduce(4, 2, S, true, 3);
+        for (i, op) in g.ops().iter().enumerate() {
+            for &d in &op.deps {
+                assert!((d as usize) < i);
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchical_network_bits_match_formula() {
+        let (hosts, rails) = (4usize, 2usize);
+        let g = hierarchical_allreduce(hosts, rails, S, true, 2);
+        // Per rail ring: hosts members × 2·(S/rails)·(H−1)/H.
+        let shard = S / rails as f64;
+        let expect =
+            rails as f64 * hosts as f64 * 2.0 * shard * (hosts as f64 - 1.0) / hosts as f64;
+        assert!((network_bits(&g) - expect).abs() < 1.0);
+        // NVLS halves intra bits vs the ring fallback.
+        let g_ring = hierarchical_allreduce(hosts, rails, S, false, 2);
+        let (_, local_nvls) = g.traffic_split(|_, _| false);
+        let (_, local_ring) = g_ring.traffic_split(|_, _| false);
+        assert!((local_ring - 2.0 * local_nvls).abs() < 1.0);
+    }
+
+    #[test]
+    fn hierarchical_allgather_byte_split() {
+        let (hosts, rails) = (4usize, 2usize);
+        let g = hierarchical_allgather(hosts, rails, S, 2);
+        let (net, local) = g.traffic_split(|_, _| false);
+        let expect_net =
+            rails as f64 * hosts as f64 * (S / rails as f64) * (hosts as f64 - 1.0) / hosts as f64;
+        let expect_local = (hosts * rails) as f64 * S * (rails as f64 - 1.0) / rails as f64;
+        assert!((net - expect_net).abs() < 1.0, "net {net} vs {expect_net}");
+        assert!((local - expect_local).abs() < 1.0, "local {local} vs {expect_local}");
+        // Intra-host bytes dominate network bytes per endpoint — the
+        // NVSwitch-bound property of Fig 17b.
+        assert!(expect_local / (hosts * rails) as f64 > expect_net / (hosts * rails) as f64);
+    }
+
+    #[test]
+    fn multi_allreduce_is_all_network() {
+        let g = multi_allreduce(4, 2, S, 2);
+        let (net, local) = g.traffic_split(|_, _| false);
+        assert_eq!(local, 0.0);
+        // 2 rails × 4 hosts × 2·S·3/4.
+        let expect = 2.0 * 4.0 * 2.0 * S * 0.75;
+        assert!((net - expect).abs() < 1.0);
+    }
+
+    #[test]
+    fn tree_allreduce_depth_and_bytes() {
+        for n in [2usize, 4, 8, 7] {
+            let g = tree_allreduce(n, S);
+            // Reduce sends: n-1 (every rank except the root sends once);
+            // broadcast sends: n-1.
+            assert_eq!(g.len(), 2 * (n - 1), "n={n}");
+            let (net, _) = g.traffic_split(|_, _| false);
+            assert!((net - 2.0 * (n as f64 - 1.0) * S).abs() < 1.0);
+        }
+        assert!(tree_allreduce(1, S).is_empty());
+    }
+
+    #[test]
+    fn tree_allreduce_critical_path_is_logarithmic() {
+        // Longest dependency chain ≈ 2·log2(n), far below the ring's 2(n−1).
+        let n = 16usize;
+        let g = tree_allreduce(n, S);
+        let mut depth = vec![0u32; g.len()];
+        let mut max_depth = 0;
+        for (i, op) in g.ops().iter().enumerate() {
+            let d = op.deps.iter().map(|&p| depth[p as usize] + 1).max().unwrap_or(1);
+            depth[i] = d.max(1);
+            max_depth = max_depth.max(depth[i]);
+        }
+        assert!(
+            max_depth <= 2 * 4 + 1,
+            "tree depth {max_depth} should be ~2·log2(16)"
+        );
+    }
+
+    #[test]
+    fn broadcast_carries_full_payload_per_hop() {
+        let g = ring_broadcast(4, 1, S, 2);
+        assert_eq!(g.len(), 3 * 2, "(n-1) hops × rounds");
+        let (net, _) = g.traffic_split(|_, _| false);
+        assert!((net - 3.0 * S).abs() < 1.0, "S per hop over n-1 hops");
+        // First hop starts at the root.
+        if let OpKind::Send { src, .. } = g.ops()[0].kind {
+            assert_eq!(src, 1);
+        } else {
+            panic!("first op must be a send");
+        }
+    }
+
+    #[test]
+    fn broadcast_trivial_and_bad_root() {
+        assert!(ring_broadcast(1, 0, S, 2).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn broadcast_root_out_of_range() {
+        ring_broadcast(4, 9, S, 2);
+    }
+
+    #[test]
+    fn all_to_all_quadratic_fanout() {
+        let g = all_to_all(4, S);
+        assert_eq!(g.len(), 12);
+        assert!((network_bits(&g) - 4.0 * S).abs() < 1e-3);
+    }
+
+    #[test]
+    fn append_offsets_and_gates() {
+        let mut g = ring_allreduce(2, S, 1);
+        let exits = g.exits();
+        let off = g.append(&send_recv(0, 1, S), &exits);
+        assert_eq!(off, 2);
+        let appended = &g.ops()[off as usize];
+        assert_eq!(appended.deps, exits, "entry gated on previous exits");
+    }
+
+    #[test]
+    fn exits_are_terminal_ops() {
+        let g = ring_allreduce(3, S, 2);
+        let exits = g.exits();
+        assert_eq!(exits.len(), 3, "last round of each member");
+        for e in exits {
+            assert!(e >= 3, "first round ops are not exits");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "send to self")]
+    fn self_send_rejected() {
+        let mut g = OpGraph::new();
+        g.add(
+            OpKind::Send {
+                src: 1,
+                dst: 1,
+                bits: 1.0,
+            },
+            vec![],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "not yet defined")]
+    fn forward_dep_rejected() {
+        let mut g = OpGraph::new();
+        g.add(OpKind::Copy { rank: 0, bits: 1.0 }, vec![5]);
+    }
+}

@@ -1,0 +1,42 @@
+//! # hpn-collectives — collective communication over the simulated fabric
+//!
+//! The NCCL-shaped layer of the reproduction (§6.1, §9.2, Appendix B):
+//!
+//! * [`comm::Communicator`] — a rank → `(host, rail)` mapping plus lazily
+//!   established connection **groups** per rank pair. Each group holds up
+//!   to `conns_per_pair` connections over pairwise-disjoint paths
+//!   (`EstablishConns`, Algorithm 1), and each message picks the member
+//!   with the least outstanding WQE bytes (`PathSelection`, Algorithm 2)
+//!   or a baseline policy for ablation.
+//! * [`graph`] — collectives compiled to dependency graphs of primitive
+//!   ops (network send, NVLink copy, compute): ring AllReduce (flat and
+//!   hierarchical with NVLS in-switch aggregation), AllGather,
+//!   ReduceScatter, Multi-AllReduce (the Megatron TP=8 gradient pattern
+//!   where all traffic crosses the inter-host network), point-to-point
+//!   Send/Recv for pipeline parallelism, and All-to-All (the MoE pattern
+//!   of §10's rail-only discussion).
+//! * [`runner::Runner`] — executes any number of op graphs concurrently
+//!   over a [`hpn_transport::ClusterSim`], tracking per-job completion
+//!   times; [`bw`] converts them to the algbw/busbw numbers Fig 17 & 19
+//!   report.
+//!
+//! ## Fluid-granularity rings
+//!
+//! A byte-faithful ring AllReduce performs `2(N−1)` rounds; at 448 GPUs
+//! that is ~400k messages per collective, which buys no accuracy in a fluid
+//! model where same-size flows on symmetric paths complete together.
+//! Builders therefore take a `rounds` parameter: total ring bytes are
+//! preserved but modelled as `rounds` dependent batches (default
+//! [`graph::DEFAULT_ROUNDS`]). Tests pin both the exact byte accounting
+//! and the timing equivalence across granularities.
+
+#![warn(missing_docs)]
+
+pub mod bw;
+pub mod comm;
+pub mod graph;
+pub mod runner;
+
+pub use comm::{CommConfig, Communicator};
+pub use graph::{OpGraph, OpKind};
+pub use runner::Runner;

@@ -1,0 +1,582 @@
+//! Executes op graphs over the cluster runtime.
+//!
+//! A [`Runner`] holds any number of jobs (graph + communicator) and plays
+//! them concurrently: ops whose dependencies are satisfied are issued as
+//! messages/copies/timers; completions unlock dependents. Per-job start
+//! and finish times give the collective latencies the experiments report.
+
+use std::collections::BTreeMap;
+
+use hpn_sim::{SimDuration, SimTime};
+use hpn_transport::{ClusterApp, ClusterSim, MessageDone};
+
+use crate::comm::Communicator;
+use crate::graph::{OpGraph, OpKind};
+
+/// Reserved timer tag for the periodic sampler.
+const SAMPLER_TAG: u64 = u64::MAX;
+
+/// One job: a graph bound to a communicator.
+struct Job {
+    graph: OpGraph,
+    comm: usize,
+    /// Unsatisfied dependency count per op.
+    remaining: Vec<u32>,
+    /// Reverse edges: op -> ops that depend on it.
+    dependents: Vec<Vec<u32>>,
+    /// Ops completed.
+    done: Vec<bool>,
+    outstanding: usize,
+    started: Option<SimTime>,
+    finished: Option<SimTime>,
+}
+
+/// Multi-job executor. Implements [`ClusterApp`]; drive it with
+/// [`Runner::run`].
+#[allow(clippy::type_complexity)] // the sampler slot is one closure field
+pub struct Runner {
+    comms: Vec<Communicator>,
+    jobs: Vec<Job>,
+    /// Message/timer tag -> (job, op). Local copies and computes get their
+    /// identity from here too.
+    sampler: Option<(SimDuration, Box<dyn FnMut(&mut ClusterSim)>)>,
+    sampler_armed: bool,
+    tags: BTreeMap<u64, (u32, u32)>,
+    spray: u32,
+    /// Chunk pipelining state per (job, op): network sends are sprayed
+    /// over the pair's connection group in a bounded window (NCCL
+    /// pipelines chunks across QPs — how a bonded NIC reaches 2×200G, and
+    /// where Algorithm 2's least-WQE selection earns its keep: each chunk
+    /// posted after the window fills goes to whichever connection drained).
+    chunks: BTreeMap<(u32, u32), ChunkState>,
+}
+
+/// Pipelined-spray bookkeeping for one Send op.
+struct ChunkState {
+    group: hpn_transport::GroupId,
+    per_chunk_bits: f64,
+    to_post: u32,
+    outstanding: u32,
+}
+
+/// Default chunks per connection of the group (total = spray × conns;
+/// window = conns). 1 disables pipelining; 4 keeps event counts modest
+/// while letting the policy react to drain rates. Large-fleet experiments
+/// lower it via [`Runner::with_spray`] to trade adaptivity for speed.
+const DEFAULT_SPRAY_FACTOR: u32 = 4;
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Runner {
+    /// An empty runner.
+    pub fn new() -> Self {
+        Runner {
+            comms: Vec::new(),
+            jobs: Vec::new(),
+            sampler: None,
+            sampler_armed: false,
+            tags: BTreeMap::new(),
+            spray: DEFAULT_SPRAY_FACTOR,
+            chunks: BTreeMap::new(),
+        }
+    }
+
+    /// Override the chunk spray factor (see [`DEFAULT_SPRAY_FACTOR`]'s
+    /// docs). Must be ≥ 1.
+    pub fn with_spray(mut self, spray: u32) -> Self {
+        assert!(spray >= 1, "spray factor must be positive");
+        self.spray = spray;
+        self
+    }
+
+    /// Install a periodic sampler (e.g. record queue lengths every 100ms).
+    /// The sampler starts when [`Runner::run`] is first called.
+    pub fn with_sampler(
+        mut self,
+        period: SimDuration,
+        f: impl FnMut(&mut ClusterSim) + 'static,
+    ) -> Self {
+        assert!(period > SimDuration::ZERO, "zero sample period");
+        self.sampler = Some((period, Box::new(f)));
+        self
+    }
+
+    /// Register a communicator for jobs to share; returns its index.
+    /// Sharing keeps connections (and their WQE history) alive across the
+    /// iterations of a training run instead of re-establishing every time.
+    pub fn add_comm(&mut self, comm: Communicator) -> usize {
+        self.comms.push(comm);
+        self.comms.len() - 1
+    }
+
+    /// Add a job over a registered communicator; returns the job index.
+    /// Launch it with [`Runner::launch_job`] or let [`Runner::run`] launch
+    /// everything pending.
+    pub fn add_job(&mut self, graph: OpGraph, comm: usize) -> usize {
+        assert!(comm < self.comms.len(), "unknown communicator {comm}");
+        let n = graph.len();
+        let mut remaining = vec![0u32; n];
+        let mut dependents = vec![Vec::new(); n];
+        for (i, op) in graph.ops().iter().enumerate() {
+            remaining[i] = op.deps.len() as u32;
+            for &d in &op.deps {
+                dependents[d as usize].push(i as u32);
+            }
+        }
+        self.jobs.push(Job {
+            graph,
+            comm,
+            remaining,
+            dependents,
+            done: vec![false; n],
+            outstanding: n,
+            started: None,
+            finished: None,
+        });
+        self.jobs.len() - 1
+    }
+
+    /// Launch a job's ready frontier now.
+    pub fn launch_job(&mut self, cs: &mut ClusterSim, job: usize) {
+        assert!(self.jobs[job].started.is_none(), "job {job} already launched");
+        self.jobs[job].started = Some(cs.now());
+        if self.jobs[job].outstanding == 0 {
+            self.jobs[job].finished = Some(cs.now());
+            return;
+        }
+        let ready: Vec<u32> = (0..self.jobs[job].graph.len() as u32)
+            .filter(|&i| self.jobs[job].remaining[i as usize] == 0)
+            .collect();
+        for op in ready {
+            self.issue(cs, job as u32, op);
+        }
+    }
+
+    /// Launch all unlaunched jobs, start the sampler, and run the cluster
+    /// until `deadline` (or keep calling to continue).
+    pub fn run(&mut self, cs: &mut ClusterSim, deadline: SimTime) {
+        self.launch_pending(cs);
+        cs.run(self, deadline);
+    }
+
+    fn launch_pending(&mut self, cs: &mut ClusterSim) {
+        let pending: Vec<usize> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .filter(|(_, j)| j.started.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        for j in pending {
+            self.launch_job(cs, j);
+        }
+        if !self.sampler_armed {
+            if let Some((period, _)) = &self.sampler {
+                cs.set_timer(cs.now() + *period, SAMPLER_TAG);
+                self.sampler_armed = true;
+            }
+        }
+    }
+
+    /// All jobs finished?
+    pub fn all_done(&self) -> bool {
+        self.jobs.iter().all(|j| j.finished.is_some())
+    }
+
+    /// A job's wall-clock duration, if finished.
+    pub fn job_duration(&self, job: usize) -> Option<SimDuration> {
+        let j = &self.jobs[job];
+        match (j.started, j.finished) {
+            (Some(s), Some(f)) => Some(f - s),
+            _ => None,
+        }
+    }
+
+    /// A job's finish instant, if finished.
+    pub fn job_finished_at(&self, job: usize) -> Option<SimTime> {
+        self.jobs[job].finished
+    }
+
+    /// Access a registered communicator (e.g. for the Fig 3 census).
+    pub fn comm(&self, idx: usize) -> &Communicator {
+        &self.comms[idx]
+    }
+
+    /// Run until the given job completes (or `deadline` passes, whichever
+    /// is first); launches any unlaunched jobs first. Returns whether the
+    /// job finished.
+    pub fn run_job(&mut self, cs: &mut ClusterSim, job: usize, deadline: SimTime) -> bool {
+        self.launch_pending(cs);
+        while self.jobs[job].finished.is_none() {
+            match cs.next_event_time() {
+                Some(t) if t <= deadline => {
+                    cs.step(self);
+                }
+                _ => {
+                    cs.run(self, deadline);
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn issue(&mut self, cs: &mut ClusterSim, job: u32, op: u32) {
+        let kind = self.jobs[job as usize].graph.ops()[op as usize].kind;
+        match kind {
+            OpKind::Send { src, dst, bits } => {
+                let comm = &mut self.comms[self.jobs[job as usize].comm];
+                if comm.same_host(src, dst) {
+                    let msg = cs.send_local(bits, 0);
+                    self.tags.insert(tag_msg(msg), (job, op));
+                } else {
+                    let g = comm.group_for(cs, src, dst);
+                    let window = cs.group(g).conns.len().max(1) as u32;
+                    let total = self.spray * window;
+                    let per = bits / total as f64;
+                    self.chunks.insert(
+                        (job, op),
+                        ChunkState {
+                            group: g,
+                            per_chunk_bits: per,
+                            to_post: total - window,
+                            outstanding: window,
+                        },
+                    );
+                    for _ in 0..window {
+                        let msg = cs.send_group(g, per, 0);
+                        self.tags.insert(tag_msg(msg), (job, op));
+                    }
+                }
+            }
+            OpKind::Copy { bits, .. } => {
+                let msg = cs.send_local(bits, 0);
+                self.tags.insert(tag_msg(msg), (job, op));
+            }
+            OpKind::Compute { dur, .. } => {
+                let tag = tag_compute(job, op);
+                self.tags.insert(tag, (job, op));
+                cs.set_timer(cs.now() + dur, tag);
+            }
+        }
+    }
+
+    fn op_done(&mut self, cs: &mut ClusterSim, job: u32, op: u32) {
+        let j = &mut self.jobs[job as usize];
+        debug_assert!(!j.done[op as usize], "op completed twice");
+        j.done[op as usize] = true;
+        j.outstanding -= 1;
+        if j.outstanding == 0 {
+            j.finished = Some(cs.now());
+        }
+        let deps = j.dependents[op as usize].clone();
+        let mut unlocked: Vec<u32> = Vec::new();
+        for d in deps {
+            let r = &mut self.jobs[job as usize].remaining[d as usize];
+            *r -= 1;
+            if *r == 0 {
+                unlocked.push(d);
+            }
+        }
+        for d in unlocked {
+            self.issue(cs, job, d);
+        }
+    }
+}
+
+/// Tag space: message ids get the top bit clear, compute timers the top
+/// bit set (message ids are a runtime counter and never reach 2^63).
+fn tag_msg(msg_id: u64) -> u64 {
+    msg_id
+}
+fn tag_compute(job: u32, op: u32) -> u64 {
+    (1 << 63) | ((job as u64) << 32) | op as u64
+}
+
+impl ClusterApp for Runner {
+    fn on_message_complete(&mut self, cs: &mut ClusterSim, done: MessageDone) {
+        if let Some((job, op)) = self.tags.remove(&tag_msg(done.msg_id)) {
+            if let Some(st) = self.chunks.get_mut(&(job, op)) {
+                st.outstanding -= 1;
+                if st.to_post > 0 {
+                    // Post the next pipelined chunk; the group's policy
+                    // consults the WQE counters *now*, so congested
+                    // connections receive fewer chunks (Algorithm 2).
+                    st.to_post -= 1;
+                    st.outstanding += 1;
+                    let (g, per) = (st.group, st.per_chunk_bits);
+                    let msg = cs.send_group(g, per, 0);
+                    self.tags.insert(tag_msg(msg), (job, op));
+                    return;
+                }
+                if st.outstanding > 0 {
+                    return;
+                }
+                self.chunks.remove(&(job, op));
+            }
+            self.op_done(cs, job, op);
+        }
+    }
+
+    fn on_timer(&mut self, cs: &mut ClusterSim, tag: u64) {
+        if tag == SAMPLER_TAG {
+            if let Some((period, f)) = &mut self.sampler {
+                f(cs);
+                let next = cs.now() + *period;
+                cs.set_timer(next, SAMPLER_TAG);
+            }
+            return;
+        }
+        if let Some((job, op)) = self.tags.remove(&tag) {
+            self.op_done(cs, job, op);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::CommConfig;
+    use crate::graph;
+    use hpn_routing::HashMode;
+    use hpn_topology::HpnConfig;
+    use hpn_transport::PathPolicy;
+
+    const GB: f64 = 8e9;
+
+    fn sim() -> ClusterSim {
+        ClusterSim::new(HpnConfig::tiny().build(), HashMode::Polarized)
+    }
+
+    fn rail0_comm(n: usize, cfg: CommConfig) -> Communicator {
+        Communicator::new((0..n as u32).map(|h| (h, 0usize)).collect(), cfg, 49152)
+    }
+
+    #[test]
+    fn ring_allreduce_completes_with_expected_time() {
+        let mut cs = sim();
+        let mut runner = Runner::new();
+        // 4 hosts, rail 0, 1GB AllReduce, single path.
+        let g = graph::ring_allreduce(4, GB, 2);
+        let c = runner.add_comm(rail0_comm(4, CommConfig::single_path()));
+        let job = runner.add_job(g, c);
+        runner.run(&mut cs, SimTime::from_secs(60));
+        assert!(runner.all_done());
+        let dur = runner.job_duration(job).unwrap().as_secs_f64();
+        // Each rank pushes 1.5GB = 12Gbit through its own 200G port,
+        // sequentially over 2 rounds: 0.06s.
+        assert!((dur - 0.06).abs() < 0.005, "duration {dur}");
+    }
+
+    #[test]
+    fn granularity_does_not_change_symmetric_ring_time() {
+        let mut times = Vec::new();
+        for rounds in [1usize, 2, 8] {
+            let mut cs = sim();
+            let mut runner = Runner::new();
+            let g = graph::ring_allreduce(4, GB, rounds);
+            let c = runner.add_comm(rail0_comm(4, CommConfig::single_path()));
+        let job = runner.add_job(g, c);
+            runner.run(&mut cs, SimTime::from_secs(60));
+            times.push(runner.job_duration(job).unwrap().as_secs_f64());
+        }
+        for w in times.windows(2) {
+            assert!(
+                (w[0] - w[1]).abs() / w[0] < 0.02,
+                "granularity changed timing: {times:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_graph_finishes_instantly() {
+        let mut cs = sim();
+        let mut runner = Runner::new();
+        let c = runner.add_comm(rail0_comm(2, CommConfig::single_path()));
+        let job = runner.add_job(OpGraph::new(), c);
+        runner.run(&mut cs, SimTime::from_secs(1));
+        assert_eq!(
+            runner.job_duration(job),
+            Some(SimDuration::ZERO),
+            "no ops, no time"
+        );
+    }
+
+    #[test]
+    fn compute_ops_take_their_duration() {
+        let mut cs = sim();
+        let mut g = OpGraph::new();
+        let a = g.add(
+            OpKind::Compute {
+                rank: 0,
+                dur: SimDuration::from_millis(30),
+            },
+            vec![],
+        );
+        g.add(
+            OpKind::Compute {
+                rank: 0,
+                dur: SimDuration::from_millis(20),
+            },
+            vec![a],
+        );
+        let mut runner = Runner::new();
+        let c = runner.add_comm(rail0_comm(2, CommConfig::single_path()));
+        let job = runner.add_job(g, c);
+        runner.run(&mut cs, SimTime::from_secs(1));
+        let dur = runner.job_duration(job).unwrap().as_secs_f64();
+        assert!((dur - 0.05).abs() < 1e-9, "dur {dur}");
+    }
+
+    #[test]
+    fn hierarchical_allreduce_runs_end_to_end() {
+        let mut cs = sim();
+        // tiny fabric: 2 rails. 4 hosts × 2 rails = 8 ranks host-major.
+        let ranks: Vec<(u32, usize)> = (0..4u32)
+            .flat_map(|h| (0..2usize).map(move |r| (h, r)))
+            .collect();
+        let comm = Communicator::new(ranks, CommConfig::hpn_default(), 49152);
+        let g = graph::hierarchical_allreduce(4, 2, GB, true, 2);
+        let mut runner = Runner::new();
+        let c = runner.add_comm(comm);
+        let job = runner.add_job(g, c);
+        runner.run(&mut cs, SimTime::from_secs(60));
+        assert!(runner.all_done());
+        assert!(runner.job_duration(job).unwrap() > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn concurrent_jobs_contend_for_bandwidth() {
+        // Two identical jobs on the same rank set should take roughly twice
+        // as long as one (they share every port).
+        let solo = {
+            let mut cs = sim();
+            let mut runner = Runner::new();
+            let c = runner.add_comm(rail0_comm(4, CommConfig::single_path()));
+            let job = runner.add_job(graph::ring_allreduce(4, GB, 1), c);
+            runner.run(&mut cs, SimTime::from_secs(60));
+            runner.job_duration(job).unwrap().as_secs_f64()
+        };
+        let duo = {
+            let mut cs = sim();
+            let mut runner = Runner::new();
+            let ca = runner.add_comm(rail0_comm(4, CommConfig::single_path()));
+            let cb = runner.add_comm(rail0_comm(4, CommConfig::single_path()));
+            let a = runner.add_job(graph::ring_allreduce(4, GB, 1), ca);
+            let b = runner.add_job(graph::ring_allreduce(4, GB, 1), cb);
+            runner.run(&mut cs, SimTime::from_secs(60));
+            runner
+                .job_duration(a)
+                .unwrap()
+                .as_secs_f64()
+                .max(runner.job_duration(b).unwrap().as_secs_f64())
+        };
+        assert!(
+            duo > solo * 1.7,
+            "two jobs on shared ports should slow down: solo {solo}, duo {duo}"
+        );
+    }
+
+    #[test]
+    fn multipath_beats_single_path_under_self_contention() {
+        // 2 concurrent AllReduce jobs over the same hosts crossing
+        // segments: LeastWqe over disjoint paths should not be slower than
+        // single-path.
+        let run_with = |cfg: CommConfig| {
+            let mut cs = ClusterSim::new(HpnConfig::medium().build(), HashMode::Polarized);
+            let mut runner = Runner::new();
+            // Hosts 0 and 16 are in different segments of medium config.
+            let ranks = vec![(0u32, 0usize), (16, 0), (1, 0), (17, 0)];
+            let mut jobs = Vec::new();
+            for j in 0..2 {
+                let comm = Communicator::new(ranks.clone(), cfg, 40000 + j * 997);
+                let c = runner.add_comm(comm);
+                jobs.push(runner.add_job(graph::ring_allreduce(4, GB, 1), c));
+            }
+            runner.run(&mut cs, SimTime::from_secs(120));
+            jobs.iter()
+                .map(|&j| runner.job_duration(j).unwrap().as_secs_f64())
+                .fold(0.0, f64::max)
+        };
+        let single = run_with(CommConfig::single_path());
+        let multi = run_with(CommConfig::hpn_default());
+        assert!(
+            multi <= single * 1.05,
+            "multipath {multi} should not lose to single {single}"
+        );
+    }
+
+    #[test]
+    fn least_wqe_outruns_round_robin_on_asymmetric_paths() {
+        // Degrade one plane's trunks; the pipelined spray (Algorithm 2)
+        // should shift chunks onto the healthy plane, while round-robin
+        // keeps feeding the slow one.
+        let run_with = |policy: PathPolicy| {
+            let mut cs = ClusterSim::new(HpnConfig::medium().build(), HashMode::Polarized);
+            // Halve... no: quarter the capacity of every plane-0 trunk.
+            for &t in &cs.fabric.tors.clone() {
+                let plane0 = matches!(
+                    cs.fabric.net.kind(t),
+                    hpn_topology::NodeKind::Tor { plane: 0, .. }
+                );
+                if plane0 {
+                    for l in cs.fabric.tor_uplinks(t) {
+                        cs.net.set_link_capacity(l.flow_link(), 50e9);
+                    }
+                }
+            }
+            let mut runner = Runner::new();
+            // Cross-segment pair so the trunks are on the path.
+            let dst = cs.fabric.segment_hosts(1)[0].id;
+            let comm = Communicator::new(
+                vec![(0, 0), (dst, 0)],
+                CommConfig {
+                    conns_per_pair: 4,
+                    policy,
+                },
+                49152,
+            );
+            let c = runner.add_comm(comm);
+            let mut g = OpGraph::new();
+            g.add(
+                OpKind::Send {
+                    src: 0,
+                    dst: 1,
+                    bits: 32.0 * GB,
+                },
+                vec![],
+            );
+            let job = runner.add_job(g, c);
+            assert!(runner.run_job(&mut cs, job, SimTime::from_secs(600)));
+            runner.job_duration(job).unwrap().as_secs_f64()
+        };
+        let rr = run_with(PathPolicy::RoundRobin);
+        let lw = run_with(PathPolicy::LeastWqe);
+        assert!(
+            lw < rr * 0.8,
+            "least-WQE ({lw}s) should clearly beat round-robin ({rr}s) with a degraded plane"
+        );
+    }
+
+    #[test]
+    fn sampler_fires_periodically() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let count = Rc::new(RefCell::new(0u32));
+        let c2 = count.clone();
+        let mut cs = sim();
+        let mut runner = Runner::new().with_sampler(SimDuration::from_millis(100), move |_| {
+            *c2.borrow_mut() += 1;
+        });
+        let c = runner.add_comm(rail0_comm(4, CommConfig::single_path()));
+        let _ = runner.add_job(graph::ring_allreduce(4, 10.0 * GB, 1), c);
+        runner.run(&mut cs, SimTime::from_secs(1));
+        // ~10 samples in one second.
+        let n = *count.borrow();
+        assert!((9..=11).contains(&n), "sampled {n} times");
+    }
+}

@@ -1,0 +1,117 @@
+//! Table 1 — complexity of path selection across fabrics.
+//!
+//! The quantity compared is the size of the search space a host must cover
+//! to pick ideal disjoint paths for its elephant flows: the product of the
+//! ECMP fan-outs of every tier that participates in load balancing. HPN's
+//! dual-plane pod pins everything except the ToR's 60 uplinks, so the
+//! search is O(60); 3-tier fabrics multiply each tier's choices.
+
+use hpn_routing::repac;
+use hpn_topology::Fabric;
+
+/// One Table 1 row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ComplexityRow {
+    /// Architecture name.
+    pub name: String,
+    /// GPUs the architecture supports in one load-balancing domain.
+    pub supported_gpus: u32,
+    /// Tier count.
+    pub tiers: u8,
+    /// Switch layers that participate in load balancing.
+    pub lb_switches: String,
+    /// Path-selection search-space size.
+    pub complexity: u64,
+}
+
+/// The paper's Table 1, as printed.
+pub fn table1() -> Vec<ComplexityRow> {
+    vec![
+        ComplexityRow {
+            name: "Pod in HPN".into(),
+            supported_gpus: 15360,
+            tiers: 2,
+            lb_switches: "ToR".into(),
+            complexity: 60,
+        },
+        ComplexityRow {
+            name: "SuperPod".into(),
+            supported_gpus: 16384,
+            tiers: 3,
+            lb_switches: "ToR+Aggregation+Core".into(),
+            complexity: 32 * 32 * 4,
+        },
+        ComplexityRow {
+            name: "Jupiter".into(),
+            supported_gpus: 26000,
+            tiers: 3,
+            lb_switches: "ToR+Aggregation".into(),
+            complexity: 8 * 256,
+        },
+        ComplexityRow {
+            name: "Fat tree (k=48)".into(),
+            supported_gpus: 27648,
+            tiers: 3,
+            lb_switches: "ToR+Aggregation".into(),
+            complexity: 48 * 48,
+        },
+    ]
+}
+
+/// Measure the search space on a *built* fabric (cross-check against the
+/// closed-form table; exact for our builders).
+pub fn measured_complexity(fabric: &Fabric) -> u64 {
+    repac::path_search_space(fabric)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpn_topology::superpod::SuperPodConfig;
+    use hpn_topology::{fattree, HpnConfig};
+
+    #[test]
+    fn table1_entries_match_paper() {
+        let t = table1();
+        assert_eq!(t[0].complexity, 60);
+        assert_eq!(t[1].complexity, 4096);
+        assert_eq!(t[2].complexity, 2048);
+        assert_eq!(t[3].complexity, 2304);
+        // HPN wins by 1–2 orders of magnitude (§6.1).
+        for row in &t[1..] {
+            let ratio = row.complexity as f64 / t[0].complexity as f64;
+            assert!(
+                (10.0..=100.0).contains(&ratio),
+                "{}: ratio {ratio}",
+                row.name
+            );
+        }
+    }
+
+    #[test]
+    fn measured_matches_closed_form_for_hpn() {
+        // Scaled-down builds preserve the structure: complexity equals the
+        // configured uplink fan-out.
+        let f = HpnConfig::medium().build();
+        assert_eq!(
+            measured_complexity(&f),
+            HpnConfig::medium().aggs_per_plane as u64
+        );
+    }
+
+    #[test]
+    fn measured_matches_closed_form_for_superpod() {
+        // tiny superpod: 2 spines × 2 cores × 2 core-down... fan-outs:
+        // leaf→spine = 2, spine→core = 2, core→spine = 2.
+        let f = SuperPodConfig::tiny().build();
+        assert_eq!(measured_complexity(&f), 2 * 2 * 2);
+    }
+
+    #[test]
+    fn measured_matches_closed_form_for_fat_tree() {
+        // fat-tree(4): edge fan-out 2, agg core-uplinks 2, core fan-out 4
+        // (one link per pod).
+        let f = fattree::fat_tree(4, 10e9, 1e6);
+        assert_eq!(measured_complexity(&f), 2 * 2 * 4);
+    }
+}

@@ -1,0 +1,106 @@
+//! Table 2 — key mechanisms affecting maximal scale.
+//!
+//! Starting from a single 51.2Tbps chip wired as a plain Clos (64 GPUs per
+//! ToR at 400Gbps each, 2K per pod), each HPN mechanism multiplies one of
+//! the tiers:
+//!
+//! | mechanism             | tier-1 | tier-2 |
+//! |-----------------------|--------|--------|
+//! | 51.2Tbps Clos         | 64     | 2K     |
+//! | dual-ToR              | ×2 → 128 | ×2 → 4K |
+//! | rail-optimized        | ×8 → 1K  | —      |
+//! | dual-plane            | —      | ×2 → 8K |
+//! | 15:1 oversubscription | —      | ×1.875 → 15K |
+
+use hpn_topology::HpnConfig;
+
+/// One Table 2 row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScaleRow {
+    /// Mechanism name.
+    pub mechanism: String,
+    /// Tier-1 (segment) GPU count after applying this mechanism, if it
+    /// affects tier-1.
+    pub tier1: Option<u32>,
+    /// Tier-2 (pod) GPU count after applying this mechanism, if it affects
+    /// tier-2.
+    pub tier2: Option<u32>,
+}
+
+/// Compute Table 2 from an HPN configuration.
+///
+/// The derivation: a ToR chip moves `chip_tbps`; with 1:1 over-
+/// subscription half faces down, so a single-ToR tier-1 holds
+/// `chip/2 / gpu_bw` GPUs. Dual-ToR serves each 2×200G NIC from two
+/// switches (×2); rail-optimization spreads a host's 8 NICs over 8 ToR
+/// pairs (×rails). At tier-2 the baseline pod is 32 segments of 64; dual-
+/// ToR doubles the GPUs under it, dual-plane halves ToR–Agg link count and
+/// doubles segment capacity again, and relaxing the Aggregation–Core
+/// ratio from 1:1 to 15:1 frees 87.5% more Agg ports (×15/8).
+pub fn table2(cfg: &HpnConfig) -> Vec<ScaleRow> {
+    let chip_bps = 51.2e12;
+    let gpu_bps = 2.0 * cfg.host.nic_port_bps;
+    let clos_tier1 = (chip_bps / 2.0 / gpu_bps) as u32;
+    let base_segments_per_pod = 32u32;
+    let clos_tier2 = clos_tier1 * base_segments_per_pod;
+
+    let dual_tor_tier1 = clos_tier1 * 2;
+    let dual_tor_tier2 = clos_tier2 * 2;
+    let rail_tier1 = dual_tor_tier1 * cfg.host.rails as u32;
+    let dual_plane_tier2 = dual_tor_tier2 * 2;
+    let oversub_tier2 = (dual_plane_tier2 as f64 * cfg.agg_core_oversubscription() / 8.0) as u32;
+
+    vec![
+        ScaleRow {
+            mechanism: "51.2Tbps Clos".into(),
+            tier1: Some(clos_tier1),
+            tier2: Some(clos_tier2),
+        },
+        ScaleRow {
+            mechanism: "Dual-ToR".into(),
+            tier1: Some(dual_tor_tier1),
+            tier2: Some(dual_tor_tier2),
+        },
+        ScaleRow {
+            mechanism: "Rail-optimized".into(),
+            tier1: Some(rail_tier1),
+            tier2: None,
+        },
+        ScaleRow {
+            mechanism: "Dual-plane".into(),
+            tier1: None,
+            tier2: Some(dual_plane_tier2),
+        },
+        ScaleRow {
+            mechanism: "Oversubscription of 15:1".into(),
+            tier1: None,
+            tier2: Some(oversub_tier2),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_reproduces_table2() {
+        let rows = table2(&HpnConfig::paper());
+        assert_eq!(rows[0].tier1, Some(64));
+        assert_eq!(rows[0].tier2, Some(2048));
+        assert_eq!(rows[1].tier1, Some(128));
+        assert_eq!(rows[1].tier2, Some(4096));
+        assert_eq!(rows[2].tier1, Some(1024));
+        assert_eq!(rows[2].tier2, None);
+        assert_eq!(rows[3].tier2, Some(8192));
+        assert_eq!(rows[4].tier2, Some(15360));
+    }
+
+    #[test]
+    fn final_row_matches_built_fabric_accounting() {
+        let cfg = HpnConfig::paper();
+        let rows = table2(&cfg);
+        assert_eq!(rows[2].tier1, Some(cfg.gpus_per_segment()));
+        assert_eq!(rows[4].tier2, Some(cfg.gpus_per_pod()));
+    }
+}

@@ -1,0 +1,106 @@
+//! Addressing: IPs for `(host, rail)` endpoints and RDMA 5-tuples.
+//!
+//! Each backend NIC carries one IP shared by both of its ports (§4: "these
+//! two ports are configured with the same IP and MAC addresses"), so a
+//! `(host, rail)` pair identifies an endpoint. RoCEv2 traffic runs over
+//! UDP with the well-known destination port 4791; the *source* port is the
+//! entropy knob that RePaC manipulates for path control.
+
+/// RoCEv2 well-known UDP destination port.
+pub const RDMA_DPORT: u16 = 4791;
+
+/// The 5-tuple that switch hashing operates on.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FiveTuple {
+    /// Source IPv4 address.
+    pub src_ip: u32,
+    /// Destination IPv4 address.
+    pub dst_ip: u32,
+    /// Source UDP port.
+    pub src_port: u16,
+    /// Destination UDP port.
+    pub dst_port: u16,
+    /// IP protocol (17 = UDP for RoCEv2).
+    pub proto: u8,
+}
+
+impl FiveTuple {
+    /// Canonical byte serialization fed to the switch hash.
+    pub fn to_bytes(&self) -> [u8; 13] {
+        let mut b = [0u8; 13];
+        b[0..4].copy_from_slice(&self.src_ip.to_be_bytes());
+        b[4..8].copy_from_slice(&self.dst_ip.to_be_bytes());
+        b[8..10].copy_from_slice(&self.src_port.to_be_bytes());
+        b[10..12].copy_from_slice(&self.dst_port.to_be_bytes());
+        b[12] = self.proto;
+        b
+    }
+
+    /// Build the RoCEv2 tuple between two endpoints with a chosen sport.
+    pub fn rdma(src_host: u32, src_rail: usize, dst_host: u32, dst_rail: usize, sport: u16) -> Self {
+        FiveTuple {
+            src_ip: endpoint_ip(src_host, src_rail),
+            dst_ip: endpoint_ip(dst_host, dst_rail),
+            src_port: sport,
+            dst_port: RDMA_DPORT,
+            proto: 17,
+        }
+    }
+}
+
+/// Deterministic IP for a `(host, rail)` endpoint: 10.0.0.0/8 with the
+/// host index in bits 4..20 and the rail in the low 4 bits. Supports 64K
+/// hosts × 16 rails, comfortably above the 100K-GPU long-term goal (§2.4).
+pub fn endpoint_ip(host: u32, rail: usize) -> u32 {
+    assert!(host < (1 << 16), "host index {host} out of IP plan");
+    assert!(rail < 16, "rail {rail} out of IP plan");
+    (10u32 << 24) | (host << 4) | rail as u32
+}
+
+/// Recover `(host, rail)` from an endpoint IP (for diagnostics).
+pub fn ip_endpoint(ip: u32) -> (u32, usize) {
+    ((ip >> 4) & 0xFFFF, (ip & 0xF) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ip_roundtrip() {
+        for host in [0u32, 1, 135, 2303, 65535] {
+            for rail in [0usize, 1, 7, 15] {
+                let ip = endpoint_ip(host, rail);
+                assert_eq!(ip_endpoint(ip), (host, rail));
+                assert_eq!(ip >> 24, 10, "stays inside 10/8");
+            }
+        }
+    }
+
+    #[test]
+    fn ips_are_unique() {
+        use std::collections::BTreeSet;
+        let mut seen = BTreeSet::new();
+        for host in 0..512 {
+            for rail in 0..8 {
+                assert!(seen.insert(endpoint_ip(host, rail)), "dup IP");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of IP plan")]
+    fn oversized_host_rejected() {
+        endpoint_ip(1 << 16, 0);
+    }
+
+    #[test]
+    fn tuple_bytes_cover_all_fields() {
+        let base = FiveTuple::rdma(1, 0, 2, 0, 5000);
+        let mut other = base;
+        other.src_port = 5001;
+        assert_ne!(base.to_bytes(), other.to_bytes());
+        assert_eq!(base.dst_port, RDMA_DPORT);
+        assert_eq!(base.proto, 17);
+    }
+}

@@ -1,0 +1,273 @@
+//! The /32 host-route machinery of §4.2.
+//!
+//! Non-stacked dual-ToR removes the inter-ToR sync link, so failover is
+//! delegated entirely to BGP:
+//!
+//! * every ARP entry a ToR learns is converted into a /32 host route and
+//!   advertised into the fabric (the "Host Routes" module of Fig 8b),
+//! * both ToRs also advertise the subnet /24, making them equal-cost in the
+//!   steady state,
+//! * when a NIC-ToR link fails, the owning ToR withdraws the /32; longest-
+//!   prefix match then steers the whole fabric through the surviving ToR,
+//! * the ARP proxy answers all host ARP queries with the switch MAC and
+//!   layer-2 broadcast is disabled, so even intra-segment traffic is
+//!   layer-3 routed and cannot blackhole on the 5-minute MAC aging (§4.2).
+//!
+//! This module is a faithful model of that state machine at the granularity
+//! the simulation needs: prefixes, advertisement sets, LPM resolution, and
+//! a convergence delay.
+
+use std::collections::BTreeMap;
+
+use hpn_sim::SimDuration;
+use hpn_topology::NodeId;
+
+/// An IPv4 prefix.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Prefix {
+    /// Network address (host bits zeroed).
+    pub addr: u32,
+    /// Prefix length in bits.
+    pub len: u8,
+}
+
+impl Prefix {
+    /// A host route.
+    pub fn host(addr: u32) -> Self {
+        Prefix { addr, len: 32 }
+    }
+
+    /// A subnet route.
+    pub fn subnet(addr: u32, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len}");
+        let mask = Self::mask(len);
+        Prefix {
+            addr: addr & mask,
+            len,
+        }
+    }
+
+    fn mask(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - len)
+        }
+    }
+
+    /// Does this prefix contain the address?
+    pub fn contains(&self, ip: u32) -> bool {
+        (ip & Self::mask(self.len)) == self.addr
+    }
+}
+
+/// Default BGP convergence delay after a withdrawal, used by fault
+/// injection to lag the routing view behind the physical state. Production
+/// BGP in a two-tier fabric converges in well under a second.
+pub const DEFAULT_CONVERGENCE: SimDuration = SimDuration::from_millis(500);
+
+/// The fabric-wide BGP RIB: which ToRs advertise which prefixes.
+#[derive(Clone, Debug, Default)]
+pub struct BgpRib {
+    routes: BTreeMap<Prefix, Vec<NodeId>>,
+}
+
+impl BgpRib {
+    /// Empty RIB.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advertise `prefix` from `tor` (idempotent).
+    pub fn advertise(&mut self, prefix: Prefix, tor: NodeId) {
+        let v = self.routes.entry(prefix).or_default();
+        if !v.contains(&tor) {
+            v.push(tor);
+            v.sort();
+        }
+    }
+
+    /// Withdraw `prefix` from `tor` (idempotent).
+    pub fn withdraw(&mut self, prefix: Prefix, tor: NodeId) {
+        if let Some(v) = self.routes.get_mut(&prefix) {
+            v.retain(|&t| t != tor);
+            if v.is_empty() {
+                self.routes.remove(&prefix);
+            }
+        }
+    }
+
+    /// Longest-prefix-match resolution: the set of ToRs traffic to `ip`
+    /// converges onto.
+    pub fn resolve(&self, ip: u32) -> &[NodeId] {
+        self.routes
+            .iter()
+            .filter(|(p, _)| p.contains(ip))
+            .max_by_key(|(p, _)| p.len)
+            .map(|(_, v)| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Number of distinct prefixes in the RIB.
+    pub fn prefix_count(&self) -> usize {
+        self.routes.len()
+    }
+}
+
+/// The dual-ToR access state for one endpoint: tracks which ToRs currently
+/// advertise its /32 and replays §4.2's failure/recovery choreography.
+#[derive(Clone, Debug)]
+pub struct HostRouteState {
+    /// The endpoint's IP.
+    pub ip: u32,
+    /// The two access ToRs.
+    pub tors: [NodeId; 2],
+    /// Whether each NIC-ToR link is up.
+    pub link_up: [bool; 2],
+}
+
+impl HostRouteState {
+    /// Steady state: both links up, both ToRs advertising.
+    pub fn new(ip: u32, tors: [NodeId; 2], rib: &mut BgpRib) -> Self {
+        for &t in &tors {
+            rib.advertise(Prefix::host(ip), t);
+            // Both ToRs also carry the subnet default (Fig 8b's /24).
+            rib.advertise(Prefix::subnet(ip, 24), t);
+        }
+        HostRouteState {
+            ip,
+            tors,
+            link_up: [true, true],
+        }
+    }
+
+    /// A NIC-ToR link changed state; update advertisements accordingly.
+    pub fn on_link_change(&mut self, port: usize, up: bool, rib: &mut BgpRib) {
+        assert!(port < 2);
+        if self.link_up[port] == up {
+            return;
+        }
+        self.link_up[port] = up;
+        if up {
+            rib.advertise(Prefix::host(self.ip), self.tors[port]);
+        } else {
+            // The ARP entry ages out / carrier loss: the ToR withdraws the
+            // /32 (but keeps the /24 — other hosts still live there).
+            rib.withdraw(Prefix::host(self.ip), self.tors[port]);
+        }
+    }
+}
+
+/// The ARP-proxy behaviour of §4.2, captured as a decision function: with
+/// the proxy enabled every host ARP query is answered with the switch MAC,
+/// so all intra-segment traffic terminates at the ToR and is layer-3
+/// routed; with it disabled, layer-2 forwarding uses the (stale-able) MAC
+/// table and blackholes for `mac_age` after a silent failure.
+#[derive(Clone, Copy, Debug)]
+pub struct ArpProxy {
+    /// Whether the proxy (and L2-broadcast-off) is deployed.
+    pub enabled: bool,
+    /// MAC table aging time when the proxy is off (de-facto 5 minutes).
+    pub mac_age: SimDuration,
+}
+
+impl ArpProxy {
+    /// HPN's production setting.
+    pub fn hpn() -> Self {
+        ArpProxy {
+            enabled: true,
+            mac_age: SimDuration::from_secs(300),
+        }
+    }
+
+    /// How long intra-segment traffic to a failed-over host is blackholed:
+    /// zero with the proxy (BGP reroutes immediately after convergence),
+    /// up to the MAC aging time without it.
+    pub fn blackhole_window(&self) -> SimDuration {
+        if self.enabled {
+            SimDuration::ZERO
+        } else {
+            self.mac_age
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IP: u32 = 0x0a00_0010;
+    const TOR1: NodeId = NodeId(100);
+    const TOR2: NodeId = NodeId(101);
+
+    #[test]
+    fn prefix_contains() {
+        let p = Prefix::subnet(0x0a00_0000, 24);
+        assert!(p.contains(0x0a00_00ff));
+        assert!(!p.contains(0x0a00_0100));
+        assert!(Prefix::host(IP).contains(IP));
+        assert!(!Prefix::host(IP).contains(IP + 1));
+        assert!(Prefix::subnet(0, 0).contains(0xffff_ffff), "default route");
+    }
+
+    #[test]
+    fn steady_state_is_equal_cost_dual_tor() {
+        let mut rib = BgpRib::new();
+        let _st = HostRouteState::new(IP, [TOR1, TOR2], &mut rib);
+        assert_eq!(rib.resolve(IP), &[TOR1, TOR2]);
+    }
+
+    #[test]
+    fn fig8b_failover_choreography() {
+        // The exact scenario of Fig 8b: 1.0.0.1/32 withdrawn by ToR1 on
+        // link failure; the fabric converges onto ToR2 via LPM.
+        let mut rib = BgpRib::new();
+        let mut st = HostRouteState::new(IP, [TOR1, TOR2], &mut rib);
+        st.on_link_change(0, false, &mut rib);
+        assert_eq!(rib.resolve(IP), &[TOR2], "LPM steers through surviving ToR");
+        // Another host in the same /24 is unaffected and still sees both
+        // ToRs via the subnet route.
+        let neighbor = (IP & 0xffff_ff00) | 0x42;
+        assert_eq!(rib.resolve(neighbor), &[TOR1, TOR2]);
+        // Repair restores equal-cost.
+        st.on_link_change(0, true, &mut rib);
+        assert_eq!(rib.resolve(IP), &[TOR1, TOR2]);
+    }
+
+    #[test]
+    fn double_failure_leaves_host_unreachable() {
+        let mut rib = BgpRib::new();
+        let mut st = HostRouteState::new(IP, [TOR1, TOR2], &mut rib);
+        st.on_link_change(0, false, &mut rib);
+        st.on_link_change(1, false, &mut rib);
+        // Only the /24 remains; the /32 is gone entirely.
+        assert_eq!(rib.resolve(IP), &[TOR1, TOR2], "/24 still matches");
+        assert_eq!(rib.prefix_count(), 1, "/32 fully withdrawn");
+    }
+
+    #[test]
+    fn link_change_is_idempotent() {
+        let mut rib = BgpRib::new();
+        let mut st = HostRouteState::new(IP, [TOR1, TOR2], &mut rib);
+        st.on_link_change(0, false, &mut rib);
+        st.on_link_change(0, false, &mut rib);
+        assert_eq!(rib.resolve(IP), &[TOR2]);
+        st.on_link_change(0, true, &mut rib);
+        st.on_link_change(0, true, &mut rib);
+        assert_eq!(rib.resolve(IP), &[TOR1, TOR2]);
+    }
+
+    #[test]
+    fn arp_proxy_eliminates_blackhole() {
+        assert_eq!(ArpProxy::hpn().blackhole_window(), SimDuration::ZERO);
+        let legacy = ArpProxy {
+            enabled: false,
+            mac_age: SimDuration::from_secs(300),
+        };
+        assert_eq!(
+            legacy.blackhole_window(),
+            SimDuration::from_secs(300),
+            "without the proxy, intra-segment traffic can blackhole for the MAC aging time"
+        );
+    }
+}

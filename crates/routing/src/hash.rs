@@ -1,0 +1,226 @@
+//! ECMP hash functions and the polarization phenomenon.
+//!
+//! Switches pick among equal-cost next hops by hashing the packet 5-tuple.
+//! Commodity chips implement a small family of CRC-based functions; when a
+//! flow crosses several tiers whose switches use the *same* function on the
+//! *same* (unchanged) 5-tuple, the hash values at successive tiers are
+//! deterministic functions of each other — downstream "random" choices are
+//! not independent, so some next-hop subsets can never be reached and load
+//! concentrates ("hash polarization", §2.2, [18, 72]).
+//!
+//! [`HashMode::Polarized`] reproduces this: every switch hashes with the
+//! same function and seed. [`HashMode::Independent`] is the idealized
+//! alternative (per-switch seed), which real deployments approximate only
+//! partially; HPN's answer is architectural (fewer hash stages + dual
+//! plane) rather than better hashing, so our HPN experiments keep the
+//! polarized family too.
+
+use crate::addr::FiveTuple;
+
+/// CRC-16/CCITT-FALSE, the classic switching-ASIC hash primitive.
+pub fn crc16_ccitt(data: &[u8], init: u16) -> u16 {
+    let mut crc = init;
+    for &b in data {
+        crc ^= (b as u16) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = (crc << 1) ^ 0x1021;
+            } else {
+                crc <<= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// CRC-32C (Castagnoli), bitwise implementation (table-free for clarity;
+/// routing hashes a handful of bytes so speed is irrelevant here).
+pub fn crc32c(data: &[u8], init: u32) -> u32 {
+    let mut crc = !init;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0x82F6_3B78 & mask);
+        }
+    }
+    !crc
+}
+
+/// How switches derive their hash seed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HashMode {
+    /// Every switch uses the same function and seed — the production
+    /// default that produces cascading polarization.
+    Polarized,
+    /// Every switch perturbs the hash with its own node id — idealized
+    /// independent hashing (upper bound for what seed tuning can achieve).
+    Independent,
+}
+
+/// A deterministic ECMP hasher for one fabric.
+#[derive(Clone, Copy, Debug)]
+pub struct EcmpHasher {
+    /// Seed derivation mode.
+    pub mode: HashMode,
+}
+
+impl EcmpHasher {
+    /// Construct a hasher in the given mode.
+    pub fn new(mode: HashMode) -> Self {
+        EcmpHasher { mode }
+    }
+
+    /// Hash a 5-tuple at switch `node_id`, returning a 32-bit value.
+    ///
+    /// Note that merely re-seeding a CRC does **not** decorrelate switches:
+    /// CRC is linear, so `crc(x, s1) ^ crc(x, s2)` is a constant independent
+    /// of `x` — changing the seed permutes buckets without breaking the
+    /// upstream→downstream determinism. (This is exactly the production
+    /// finding of "Hashing Design in Modern Networks" \[69].) Independent
+    /// mode therefore passes the CRC through a non-linear finalizer keyed
+    /// by the switch id.
+    pub fn hash(&self, tuple: &FiveTuple, node_id: u32) -> u32 {
+        let bytes = tuple.to_bytes();
+        let base = crc32c(&bytes, 0);
+        match self.mode {
+            HashMode::Polarized => base,
+            HashMode::Independent => {
+                let mut z = (base as u64) ^ ((node_id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) as u32
+            }
+        }
+    }
+
+    /// Pick an index into `n` equal-cost candidates.
+    pub fn select(&self, tuple: &FiveTuple, node_id: u32, n: usize) -> usize {
+        assert!(n > 0, "ECMP select over zero candidates");
+        (self.hash(tuple, node_id) as usize) % n
+    }
+}
+
+/// Quantify polarization: fraction of the `n2` second-stage buckets
+/// reachable after first hashing the same tuples into `n1` buckets at an
+/// upstream switch — i.e. among tuples that landed in one upstream bucket,
+/// how spread out are their downstream choices? 1.0 = fully independent.
+///
+/// Used by the hashing ablation bench to show *why* DCN+ needs this fixed
+/// and HPN sidesteps it.
+pub fn downstream_coverage(
+    hasher: &EcmpHasher,
+    upstream_node: u32,
+    downstream_node: u32,
+    n1: usize,
+    n2: usize,
+    tuples: &[FiveTuple],
+) -> f64 {
+    use std::collections::{BTreeMap, BTreeSet};
+    let mut buckets: BTreeMap<usize, BTreeSet<usize>> = BTreeMap::new();
+    for t in tuples {
+        let up = hasher.select(t, upstream_node, n1);
+        let down = hasher.select(t, downstream_node, n2);
+        buckets.entry(up).or_default().insert(down);
+    }
+    if buckets.is_empty() {
+        return 1.0;
+    }
+    let mean_cover: f64 = buckets
+        .values()
+        .map(|s| s.len() as f64 / n2.min(tuples.len()) as f64)
+        .sum::<f64>()
+        / buckets.len() as f64;
+    mean_cover
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::RDMA_DPORT;
+
+    fn tuple(sport: u16) -> FiveTuple {
+        FiveTuple {
+            src_ip: 0x0a000001,
+            dst_ip: 0x0a000002,
+            src_port: sport,
+            dst_port: RDMA_DPORT,
+            proto: 17,
+        }
+    }
+
+    #[test]
+    fn crc16_reference_vector() {
+        // CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+        assert_eq!(crc16_ccitt(b"123456789", 0xFFFF), 0x29B1);
+    }
+
+    #[test]
+    fn crc32c_reference_vector() {
+        // CRC-32C("123456789") = 0xE3069283.
+        assert_eq!(crc32c(b"123456789", 0), 0xE306_9283);
+    }
+
+    #[test]
+    fn hash_is_deterministic() {
+        let h = EcmpHasher::new(HashMode::Polarized);
+        let t = tuple(5000);
+        assert_eq!(h.hash(&t, 1), h.hash(&t, 1));
+        assert_eq!(h.select(&t, 1, 60), h.select(&t, 1, 60));
+    }
+
+    #[test]
+    fn polarized_ignores_node_independent_does_not() {
+        let t = tuple(5000);
+        let pol = EcmpHasher::new(HashMode::Polarized);
+        assert_eq!(pol.hash(&t, 1), pol.hash(&t, 2));
+        let ind = EcmpHasher::new(HashMode::Independent);
+        assert_ne!(ind.hash(&t, 1), ind.hash(&t, 2));
+    }
+
+    #[test]
+    fn select_respects_modulus() {
+        let h = EcmpHasher::new(HashMode::Independent);
+        for sport in 0..200 {
+            let i = h.select(&tuple(sport), 7, 60);
+            assert!(i < 60);
+        }
+    }
+
+    #[test]
+    fn sport_perturbs_selection() {
+        // RePaC's knob: varying the source port must reach many uplinks.
+        let h = EcmpHasher::new(HashMode::Polarized);
+        let mut seen = std::collections::BTreeSet::new();
+        for sport in 49152..49152 + 256 {
+            seen.insert(h.select(&tuple(sport), 3, 60));
+        }
+        assert!(seen.len() > 40, "only {} of 60 uplinks reachable", seen.len());
+    }
+
+    #[test]
+    fn polarization_collapses_downstream_choice() {
+        // With identical hashing at two tiers and equal bucket counts, the
+        // downstream choice is fully determined by the upstream one: each
+        // upstream bucket maps to exactly ONE downstream bucket.
+        let tuples: Vec<FiveTuple> = (0..2048).map(|s| tuple(s as u16)).collect();
+        let pol = EcmpHasher::new(HashMode::Polarized);
+        let cov_pol = downstream_coverage(&pol, 10, 20, 8, 8, &tuples);
+        let ind = EcmpHasher::new(HashMode::Independent);
+        let cov_ind = downstream_coverage(&ind, 10, 20, 8, 8, &tuples);
+        assert!(
+            cov_pol <= 0.2,
+            "polarized coverage should collapse, got {cov_pol}"
+        );
+        assert!(
+            cov_ind >= 0.9,
+            "independent hashing should cover nearly all buckets, got {cov_ind}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zero candidates")]
+    fn select_zero_panics() {
+        EcmpHasher::new(HashMode::Polarized).select(&tuple(1), 0, 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! The converged routing view of link liveness.
+//!
+//! Physical link state and what the routing layer *believes* differ during
+//! convergence: when a NIC-ToR link fails, the ToR withdraws the /32 host
+//! route and BGP propagates the withdrawal (§4.2); until then traffic is
+//! blackholed. [`LinkHealth`] is the belief; the instantaneous physical
+//! state lives in the [`hpn_sim::FlowNet`]. Fault injection flips the
+//! physical state immediately and schedules the belief update after the
+//! convergence delay.
+
+use hpn_topology::LinkIdx;
+
+/// Per-link routing liveness (the post-convergence view).
+#[derive(Clone, Debug)]
+pub struct LinkHealth {
+    up: Vec<bool>,
+    down_count: usize,
+}
+
+impl LinkHealth {
+    /// All links up.
+    pub fn new(link_count: usize) -> Self {
+        LinkHealth {
+            up: vec![true; link_count],
+            down_count: 0,
+        }
+    }
+
+    /// Is the link usable according to routing?
+    pub fn is_up(&self, l: LinkIdx) -> bool {
+        self.up[l.0 as usize]
+    }
+
+    /// Mark a link up/down in the routing view.
+    pub fn set(&mut self, l: LinkIdx, up: bool) {
+        let slot = &mut self.up[l.0 as usize];
+        if *slot != up {
+            *slot = up;
+            if up {
+                self.down_count -= 1;
+            } else {
+                self.down_count += 1;
+            }
+        }
+    }
+
+    /// Number of links currently down.
+    pub fn down_count(&self) -> usize {
+        self.down_count
+    }
+
+    /// Whether every link is up (fast path for routing filters).
+    pub fn all_up(&self) -> bool {
+        self.down_count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toggling_tracks_count() {
+        let mut h = LinkHealth::new(4);
+        assert!(h.all_up());
+        h.set(LinkIdx(2), false);
+        assert!(!h.is_up(LinkIdx(2)));
+        assert!(h.is_up(LinkIdx(1)));
+        assert_eq!(h.down_count(), 1);
+        // Idempotent.
+        h.set(LinkIdx(2), false);
+        assert_eq!(h.down_count(), 1);
+        h.set(LinkIdx(2), true);
+        assert!(h.all_up());
+    }
+}

@@ -1,0 +1,197 @@
+//! LACP bundling and the non-stacked dual-ToR "disguise" (§4.2).
+//!
+//! A host bonds its NIC's two ports with LACP (802.3ad mode 4). The bond
+//! aggregates the two partner ports into one logical device **only if**
+//! both LACPDUs report the same Actor system ID and *different* port IDs.
+//! Stacked dual-ToR satisfies this by negotiating over the inter-switch
+//! link; non-stacked dual-ToR has no such link, so the paper's customized
+//! LACP module fakes it:
+//!
+//! 1. the sysID is generated from a **pre-configured** MAC — the
+//!    RFC-reserved VRRP virtual-router MAC `00:00:5E:00:01:01` — identical
+//!    on both switches of a set by configuration, not negotiation;
+//! 2. each switch shifts its port IDs by a per-switch offset larger than
+//!    the port count (`p' = p + offset_i`, offset ≥ 256), so the two
+//!    switches can never emit a colliding port ID.
+//!
+//! MAC-conflict safety relies on layer-3 (BGP) separation between dual-ToR
+//! sets: two sets sharing a layer-2 subnet *would* collide on the reserved
+//! MAC, which [`check_l2_safety`] detects.
+
+/// The RFC 3768 VRRP virtual MAC the paper picks (VRID 1).
+pub const RESERVED_VIRTUAL_MAC: [u8; 6] = [0x00, 0x00, 0x5E, 0x00, 0x01, 0x01];
+
+/// Minimum port-ID offset: must exceed the switch's physical port count so
+/// shifted IDs cannot collide with real ones (§4.2: "an integer higher
+/// than 256").
+pub const MIN_PORT_OFFSET: u16 = 256;
+
+/// An LACPDU's Actor fields, as the host sees them from each ToR.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct LacpActor {
+    /// System ID (derived from a MAC address).
+    pub sys_mac: [u8; 6],
+    /// Port identifier.
+    pub port_id: u16,
+}
+
+/// Result of the host-side bundling decision.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BundleOutcome {
+    /// Both links aggregate into one bond — dual-ToR works.
+    Aggregated,
+    /// sysIDs differ: the host sees two distinct partners and keeps only
+    /// one link in the aggregate (the standard's fallback).
+    SplitPartners,
+    /// Same sysID but colliding portIDs: the partner looks like one device
+    /// reporting the same port twice; aggregation is refused.
+    PortIdCollision,
+}
+
+/// The IEEE 802.3ad bundling rule, as bonding mode 4 applies it.
+pub fn bundle(a: LacpActor, b: LacpActor) -> BundleOutcome {
+    if a.sys_mac != b.sys_mac {
+        BundleOutcome::SplitPartners
+    } else if a.port_id == b.port_id {
+        BundleOutcome::PortIdCollision
+    } else {
+        BundleOutcome::Aggregated
+    }
+}
+
+/// One ToR's customized LACP module configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct NonStackedLacpConfig {
+    /// The pre-configured MAC from which the sysID is generated.
+    pub sys_mac: [u8; 6],
+    /// This switch's port-ID offset.
+    pub port_offset: u16,
+}
+
+impl NonStackedLacpConfig {
+    /// The paper's deployment: reserved virtual MAC, offsets 300/600 for
+    /// the two switches of a set.
+    pub fn deployed(switch_in_pair: usize) -> Self {
+        NonStackedLacpConfig {
+            sys_mac: RESERVED_VIRTUAL_MAC,
+            port_offset: 300 + 300 * switch_in_pair as u16,
+        }
+    }
+
+    /// The Actor this switch puts in its response LACPDU for physical port
+    /// `p`.
+    ///
+    /// # Panics
+    /// Panics if the offset violates the ≥256 rule — a misconfiguration
+    /// that could collide shifted IDs with real port numbers.
+    pub fn actor_for_port(&self, p: u16) -> LacpActor {
+        assert!(
+            self.port_offset >= MIN_PORT_OFFSET,
+            "port offset {} violates the ≥{} rule",
+            self.port_offset,
+            MIN_PORT_OFFSET
+        );
+        LacpActor {
+            sys_mac: self.sys_mac,
+            port_id: p + self.port_offset,
+        }
+    }
+}
+
+/// Verify that no two dual-ToR sets sharing a layer-2 subnet use the same
+/// pre-configured MAC. In HPN this holds by construction because inter-set
+/// forwarding is layer-3 (BGP); the check exists to reject configurations
+/// that abandon that invariant.
+///
+/// `sets` maps a dual-ToR set to its (subnet id, configured MAC).
+pub fn check_l2_safety(sets: &[(u32, [u8; 6])]) -> Result<(), String> {
+    use std::collections::BTreeMap;
+    let mut seen: BTreeMap<(u32, [u8; 6]), usize> = BTreeMap::new();
+    for (i, &(subnet, mac)) in sets.iter().enumerate() {
+        if let Some(&j) = seen.get(&(subnet, mac)) {
+            return Err(format!(
+                "dual-ToR sets {j} and {i} share subnet {subnet} and MAC {mac:02x?}: \
+                 layer-2 MAC conflict"
+            ));
+        }
+        seen.insert((subnet, mac), i);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_would_collide() {
+        // Without the customization, both switches derive the sysID from
+        // their own chassis MACs (different) — the host refuses to bundle.
+        let tor1 = LacpActor {
+            sys_mac: [2, 0, 0, 0, 0, 1],
+            port_id: 17,
+        };
+        let tor2 = LacpActor {
+            sys_mac: [2, 0, 0, 0, 0, 2],
+            port_id: 17,
+        };
+        assert_eq!(bundle(tor1, tor2), BundleOutcome::SplitPartners);
+    }
+
+    #[test]
+    fn same_mac_same_port_is_rejected() {
+        // Pre-configuring the same MAC is not enough: similar wiring gives
+        // the same physical port number on both switches (§4.2 problem 2).
+        let mk = |port| LacpActor {
+            sys_mac: RESERVED_VIRTUAL_MAC,
+            port_id: port,
+        };
+        assert_eq!(bundle(mk(17), mk(17)), BundleOutcome::PortIdCollision);
+    }
+
+    #[test]
+    fn deployed_config_aggregates() {
+        let tor1 = NonStackedLacpConfig::deployed(0);
+        let tor2 = NonStackedLacpConfig::deployed(1);
+        // Same host plugs into the same physical port number on both.
+        let a = tor1.actor_for_port(17);
+        let b = tor2.actor_for_port(17);
+        assert_eq!(bundle(a, b), BundleOutcome::Aggregated);
+        assert_eq!(a.sys_mac, RESERVED_VIRTUAL_MAC);
+        assert_ne!(a.port_id, b.port_id);
+    }
+
+    #[test]
+    fn shifted_port_ids_clear_physical_range() {
+        let cfg = NonStackedLacpConfig::deployed(0);
+        for p in 0..256 {
+            assert!(cfg.actor_for_port(p).port_id >= MIN_PORT_OFFSET);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "violates")]
+    fn small_offset_rejected() {
+        let bad = NonStackedLacpConfig {
+            sys_mac: RESERVED_VIRTUAL_MAC,
+            port_offset: 10,
+        };
+        bad.actor_for_port(0);
+    }
+
+    #[test]
+    fn l2_safety_detects_conflicts() {
+        // Two sets in different subnets: fine (HPN's layer-3 separation).
+        let ok = [
+            (1u32, RESERVED_VIRTUAL_MAC),
+            (2u32, RESERVED_VIRTUAL_MAC),
+        ];
+        assert!(check_l2_safety(&ok).is_ok());
+        // Same subnet, same MAC: conflict.
+        let bad = [
+            (1u32, RESERVED_VIRTUAL_MAC),
+            (1u32, RESERVED_VIRTUAL_MAC),
+        ];
+        assert!(check_l2_safety(&bad).is_err());
+    }
+}

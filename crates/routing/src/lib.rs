@@ -1,0 +1,36 @@
+//! # hpn-routing — forwarding and control planes of the HPN reproduction
+//!
+//! * [`hash`] — the ECMP hash family. Commodity switching chips hash the
+//!   5-tuple with CRC variants; when every tier uses the same function the
+//!   "cascading hashing" of §2.2 polarizes load. Both the polarized and the
+//!   idealized per-switch-seed modes are provided.
+//! * [`addr`] — IP/5-tuple assignment for `(host, rail)` endpoints.
+//! * [`health`] — the converged routing view of link liveness (what BGP has
+//!   propagated), as opposed to the instantaneous physical state.
+//! * [`router`] — up/down ECMP routing over any [`hpn_topology::Fabric`],
+//!   including NVLink relay for cross-rail traffic (§5.2), dual-plane
+//!   constraints (§6.1) and the per-port Core hash (§7).
+//! * [`bgp`] — the /32 host-route machinery of §4.2 (ARP→host-route
+//!   conversion, withdrawal on link failure, longest-prefix failover).
+//! * [`lacp`] — LACP bundling: the non-stacked dual-ToR "disguise"
+//!   (reserved MAC sysID + portID offset) and why naive configs fail.
+//! * [`stacked`] — the stacked dual-ToR state machine and its §4.1 failure
+//!   modes (stack split, ISSU incompatibility).
+//! * [`repac`] — disjoint-path enumeration by hash inversion (Appendix B,
+//!   Algorithm 1) and the path-search-space accounting behind Table 1.
+
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod bgp;
+pub mod hash;
+pub mod health;
+pub mod lacp;
+pub mod repac;
+pub mod router;
+pub mod stacked;
+
+pub use addr::{endpoint_ip, FiveTuple, RDMA_DPORT};
+pub use hash::{EcmpHasher, HashMode};
+pub use health::LinkHealth;
+pub use router::{RouteError, RouteRequest, Router};

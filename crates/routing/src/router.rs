@@ -1,0 +1,803 @@
+//! Up/down ECMP routing over a [`Fabric`].
+//!
+//! A route is the exact sequence of directed links a flow occupies, from
+//! source GPU to destination GPU, including:
+//!
+//! * the NVLink relay hop on the source host when rail-optimized fabrics
+//!   carry cross-rail traffic (§5.2's "intra-host + inter-host forwarding"),
+//! * the NIC port (= plane) decision — bond hashing by default, or an
+//!   explicit override used by RePaC path control and failover,
+//! * per-switch ECMP hashing among healthy candidates, with the lookahead
+//!   filters that model converged BGP host routes (§4.2): a ToR never
+//!   hashes onto an Aggregation switch that has lost its way to the
+//!   destination,
+//! * the §7 per-port Core hash (ingress-port-determined, 5-tuple
+//!   irrelevant) with 5-tuple fallback under failure.
+//!
+//! Routing is pure: it never mutates the fabric and takes the routing
+//! health view as input, so callers can compute hypothetical paths (RePaC
+//! does exactly that to enumerate disjoint candidates).
+
+use hpn_topology::{Fabric, LinkIdx, NodeId, NodeKind};
+use std::collections::BTreeMap;
+
+use crate::addr::FiveTuple;
+use crate::hash::{EcmpHasher, HashMode};
+use crate::health::LinkHealth;
+
+/// How Core switches pick the downstream Aggregation link (§7).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CoreHashPolicy {
+    /// Prior per-port hash: the egress choice is a function of the ingress
+    /// port and destination pod only — immune to 5-tuple polarization.
+    PerPort,
+    /// Plain 5-tuple ECMP (the DCN+/fat-tree behaviour).
+    FiveTuple,
+}
+
+/// A routing request between two GPUs.
+#[derive(Clone, Copy, Debug)]
+pub struct RouteRequest {
+    /// Source host index.
+    pub src_host: u32,
+    /// Source GPU rail.
+    pub src_rail: usize,
+    /// Destination host index.
+    pub dst_host: u32,
+    /// Destination GPU rail.
+    pub dst_rail: usize,
+    /// UDP source port (the RePaC path-control knob).
+    pub sport: u16,
+    /// NIC port override: `Some(p)` forces port/plane `p`; `None` lets the
+    /// bond transmit hash decide.
+    pub port: Option<usize>,
+}
+
+/// A computed route.
+#[derive(Clone, Debug)]
+pub struct Route {
+    /// Directed links in traversal order (GPU to GPU).
+    pub links: Vec<LinkIdx>,
+    /// NIC port (plane) used at the source, when the route leaves the host.
+    pub port: Option<usize>,
+    /// 5-tuple the route was computed for.
+    pub tuple: FiveTuple,
+}
+
+/// Why routing failed.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RouteError {
+    /// Source and destination are the same GPU.
+    SameEndpoint,
+    /// No healthy path exists for the requested port; the caller may retry
+    /// with the other port (that is exactly the dual-ToR failover).
+    NoPath {
+        /// Description of where the search died, for diagnostics.
+        at: String,
+    },
+}
+
+impl std::fmt::Display for RouteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouteError::SameEndpoint => write!(f, "source and destination GPU are identical"),
+            RouteError::NoPath { at } => write!(f, "no healthy path: {at}"),
+        }
+    }
+}
+impl std::error::Error for RouteError {}
+
+/// The router: precomputed candidate tables over one fabric.
+pub struct Router {
+    hasher: EcmpHasher,
+    /// Core egress policy.
+    pub core_policy: CoreHashPolicy,
+    /// Relay cross-rail traffic over NVLink to the destination rail's NIC
+    /// (§5.2's rail-optimized forwarding). Turning this off models the
+    /// serverless/multi-tenant case of §10 where intra-host relay is
+    /// unavailable: cross-rail traffic must find a *network* path, which
+    /// exists on any-to-any tier-2 but not on rail-only tier-2.
+    pub relay_cross_rail: bool,
+    /// ToR → uplinks to Aggs (sorted by link index).
+    tor_up: BTreeMap<NodeId, Vec<LinkIdx>>,
+    /// (Agg, ToR) → parallel downlinks.
+    agg_down: BTreeMap<(NodeId, NodeId), Vec<LinkIdx>>,
+    /// Agg → uplinks to Cores.
+    agg_up: BTreeMap<NodeId, Vec<LinkIdx>>,
+    /// (Core, pod) → downlinks to that pod's Aggs.
+    core_down: BTreeMap<(NodeId, u32), Vec<LinkIdx>>,
+}
+
+impl Router {
+    /// Build routing tables for a fabric. The default Core policy follows
+    /// the fabric: HPN deploys the per-port hash, baselines do not.
+    pub fn new(fabric: &Fabric, mode: HashMode) -> Self {
+        let mut tor_up: BTreeMap<NodeId, Vec<LinkIdx>> = BTreeMap::new();
+        let mut agg_down: BTreeMap<(NodeId, NodeId), Vec<LinkIdx>> = BTreeMap::new();
+        let mut agg_up: BTreeMap<NodeId, Vec<LinkIdx>> = BTreeMap::new();
+        let mut core_down: BTreeMap<(NodeId, u32), Vec<LinkIdx>> = BTreeMap::new();
+
+        for &t in &fabric.tors {
+            tor_up.insert(t, fabric.tor_uplinks(t));
+        }
+        for &a in &fabric.aggs {
+            for l in fabric.net.out_links(a) {
+                let dst = fabric.net.link(l).dst;
+                match fabric.net.kind(dst) {
+                    NodeKind::Tor { .. } => {
+                        agg_down.entry((a, dst)).or_default().push(l);
+                    }
+                    NodeKind::Core { .. } => {
+                        agg_up.entry(a).or_default().push(l);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for &c in &fabric.cores {
+            for l in fabric.net.out_links(c) {
+                let dst = fabric.net.link(l).dst;
+                if let NodeKind::Agg { pod, .. } = fabric.net.kind(dst) {
+                    core_down.entry((c, pod)).or_default().push(l);
+                }
+            }
+        }
+
+        let core_policy = if fabric.kind == hpn_topology::FabricKind::Hpn {
+            CoreHashPolicy::PerPort
+        } else {
+            CoreHashPolicy::FiveTuple
+        };
+
+        Router {
+            hasher: EcmpHasher::new(mode),
+            core_policy,
+            relay_cross_rail: true,
+            tor_up,
+            agg_down,
+            agg_up,
+            core_down,
+        }
+    }
+
+    /// The hasher in use (exposed for RePaC, which inverts it).
+    pub fn hasher(&self) -> &EcmpHasher {
+        &self.hasher
+    }
+
+    /// Uplink fan-out of a ToR — the per-plane path-selection search space
+    /// (Table 1's "O(60)" for HPN).
+    pub fn tor_uplink_count(&self, tor: NodeId) -> usize {
+        self.tor_up.get(&tor).map_or(0, Vec::len)
+    }
+
+    /// Compute a route. Pure function of (fabric, health, request).
+    pub fn route(
+        &self,
+        fabric: &Fabric,
+        health: &LinkHealth,
+        req: &RouteRequest,
+    ) -> Result<Route, RouteError> {
+        if req.src_host == req.dst_host && req.src_rail == req.dst_rail {
+            return Err(RouteError::SameEndpoint);
+        }
+        let src = &fabric.hosts[req.src_host as usize];
+        let dst = &fabric.hosts[req.dst_host as usize];
+        let mut links: Vec<LinkIdx> = Vec::with_capacity(10);
+
+        // Pure intra-host traffic rides NVLink.
+        if req.src_host == req.dst_host {
+            links.push(self.host_link(fabric, src.gpus[req.src_rail], src.nvswitch)?);
+            links.push(self.host_link(fabric, src.nvswitch, dst.gpus[req.dst_rail])?);
+            return Ok(Route {
+                links,
+                port: None,
+                tuple: FiveTuple::rdma(req.src_host, req.src_rail, req.dst_host, req.dst_rail, req.sport),
+            });
+        }
+
+        // Rail-optimized fabrics relay cross-rail traffic over NVLink to
+        // the sender-side GPU of the destination rail (§5.2 example) —
+        // unless the relay is disabled (§10's serverless constraint), in
+        // which case the flow enters the network on its own rail and must
+        // cross rails at the Aggregation layer.
+        let net_rail = if fabric.rail_optimized && self.relay_cross_rail {
+            req.dst_rail
+        } else {
+            req.src_rail
+        };
+        if req.src_rail != net_rail {
+            links.push(self.host_link(fabric, src.gpus[req.src_rail], src.nvswitch)?);
+            links.push(self.host_link(fabric, src.nvswitch, src.gpus[net_rail])?);
+        }
+        links.push(self.host_link(fabric, src.gpus[net_rail], src.nics[net_rail])?);
+
+        let tuple = FiveTuple::rdma(req.src_host, net_rail, req.dst_host, req.dst_rail, req.sport);
+
+        // NIC port / plane choice.
+        let ports = if fabric.dual_tor { 2 } else { 1 };
+        let port = match req.port {
+            Some(p) => {
+                if p >= ports {
+                    return Err(RouteError::NoPath {
+                        at: format!("port {p} does not exist on this fabric"),
+                    });
+                }
+                p
+            }
+            None => {
+                // Bond transmit hash (layer3+4), among ports whose access
+                // link is healthy.
+                let healthy: Vec<usize> = (0..ports)
+                    .filter(|&p| {
+                        src.nic_up[net_rail][p].is_some_and(|l| health.is_up(l))
+                    })
+                    .collect();
+                if healthy.is_empty() {
+                    return Err(RouteError::NoPath {
+                        at: format!("all access links of host {} rail {} down", req.src_host, net_rail),
+                    });
+                }
+                healthy[self.hasher.select(&tuple, src.nics[net_rail].0, healthy.len())]
+            }
+        };
+        let access = src.nic_up[net_rail][port].ok_or_else(|| RouteError::NoPath {
+            at: format!("host {} rail {} has no port {port}", req.src_host, net_rail),
+        })?;
+        if !health.is_up(access) {
+            return Err(RouteError::NoPath {
+                at: format!("access link of host {} rail {} port {port} down", req.src_host, net_rail),
+            });
+        }
+        links.push(access);
+        let entry_tor = src.nic_tor[net_rail][port].expect("wired port has a ToR");
+
+        // Destination attachments that BGP still advertises (healthy
+        // ToR→NIC downlink).
+        let dst_attach: Vec<(NodeId, LinkIdx)> = (0..2)
+            .filter_map(|p| {
+                let tor = dst.nic_tor[req.dst_rail].get(p).copied().flatten()?;
+                let down = dst.nic_down[req.dst_rail][p]?;
+                health.is_up(down).then_some((tor, down))
+            })
+            .collect();
+        if dst_attach.is_empty() {
+            return Err(RouteError::NoPath {
+                at: format!("host {} rail {} fully detached", req.dst_host, req.dst_rail),
+            });
+        }
+        let dst_pod = dst.pod;
+
+        // Walk the fabric.
+        let mut current = entry_tor;
+        let mut ingress: Option<LinkIdx> = None;
+        for _hop in 0..8 {
+            // Arrived at a ToR that owns the destination?
+            if let Some(&(_, down)) = dst_attach.iter().find(|&&(t, _)| t == current) {
+                links.push(down);
+                links.push(self.host_link(fabric, dst.nics[req.dst_rail], dst.gpus[req.dst_rail])?);
+                return Ok(Route {
+                    links,
+                    port: Some(port),
+                    tuple,
+                });
+            }
+            match fabric.net.kind(current) {
+                NodeKind::Tor { .. } => {
+                    let ups = self.tor_up.get(&current).ok_or_else(|| RouteError::NoPath {
+                        at: format!("{} has no uplinks", fabric.net.kind(current).label()),
+                    })?;
+                    // Lookahead: keep only uplinks whose Agg can still make
+                    // progress (converged host routes, §4.2).
+                    let cands: Vec<LinkIdx> = ups
+                        .iter()
+                        .copied()
+                        .filter(|&l| {
+                            if !health.is_up(l) {
+                                return false;
+                            }
+                            let agg = fabric.net.link(l).dst;
+                            self.agg_can_reach(fabric, health, agg, dst_pod, &dst_attach)
+                        })
+                        .collect();
+                    if cands.is_empty() {
+                        return Err(RouteError::NoPath {
+                            at: format!(
+                                "{} has no viable uplink towards host {}",
+                                fabric.net.kind(current).label(),
+                                req.dst_host
+                            ),
+                        });
+                    }
+                    let pick = cands[self.hasher.select(&tuple, current.0, cands.len())];
+                    links.push(pick);
+                    ingress = Some(pick);
+                    current = fabric.net.link(pick).dst;
+                }
+                NodeKind::Agg { pod, .. } => {
+                    if pod == dst_pod {
+                        let mut cands: Vec<LinkIdx> = Vec::new();
+                        for &(tor, _) in &dst_attach {
+                            if let Some(ls) = self.agg_down.get(&(current, tor)) {
+                                cands.extend(ls.iter().copied().filter(|&l| health.is_up(l)));
+                            }
+                        }
+                        if cands.is_empty() {
+                            return Err(RouteError::NoPath {
+                                at: format!(
+                                    "{} has no healthy downlink to host {}",
+                                    fabric.net.kind(current).label(),
+                                    req.dst_host
+                                ),
+                            });
+                        }
+                        let pick = cands[self.hasher.select(&tuple, current.0, cands.len())];
+                        links.push(pick);
+                        ingress = Some(pick);
+                        current = fabric.net.link(pick).dst;
+                    } else {
+                        let ups: Vec<LinkIdx> = self
+                            .agg_up
+                            .get(&current)
+                            .map(|v| v.iter().copied().filter(|&l| health.is_up(l)).collect())
+                            .unwrap_or_default();
+                        if ups.is_empty() {
+                            return Err(RouteError::NoPath {
+                                at: format!(
+                                    "{} has no healthy core uplink",
+                                    fabric.net.kind(current).label()
+                                ),
+                            });
+                        }
+                        let pick = ups[self.hasher.select(&tuple, current.0, ups.len())];
+                        links.push(pick);
+                        ingress = Some(pick);
+                        current = fabric.net.link(pick).dst;
+                    }
+                }
+                NodeKind::Core { .. } => {
+                    let downs: Vec<LinkIdx> = self
+                        .core_down
+                        .get(&(current, dst_pod))
+                        .map(|v| {
+                            v.iter()
+                                .copied()
+                                .filter(|&l| {
+                                    health.is_up(l)
+                                        && self.agg_can_reach(
+                                            fabric,
+                                            health,
+                                            fabric.net.link(l).dst,
+                                            dst_pod,
+                                            &dst_attach,
+                                        )
+                                })
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    if downs.is_empty() {
+                        return Err(RouteError::NoPath {
+                            at: format!(
+                                "{} cannot reach pod {dst_pod}",
+                                fabric.net.kind(current).label()
+                            ),
+                        });
+                    }
+                    let pick = match self.core_policy {
+                        CoreHashPolicy::PerPort => {
+                            // §7: deterministic in (ingress port, dst pod);
+                            // falls back to 5-tuple only when the mapped
+                            // link is unusable (filtered out above).
+                            let seed = ingress.map_or(0, |l| l.0) as usize + dst_pod as usize;
+                            downs[seed % downs.len()]
+                        }
+                        CoreHashPolicy::FiveTuple => {
+                            downs[self.hasher.select(&tuple, current.0, downs.len())]
+                        }
+                    };
+                    links.push(pick);
+                    ingress = Some(pick);
+                    current = fabric.net.link(pick).dst;
+                }
+                k => {
+                    return Err(RouteError::NoPath {
+                        at: format!("walk reached unexpected node {}", k.label()),
+                    });
+                }
+            }
+        }
+        Err(RouteError::NoPath {
+            at: "hop budget exhausted (routing loop?)".into(),
+        })
+    }
+
+    /// Whether an Agg can still forward towards the destination.
+    fn agg_can_reach(
+        &self,
+        fabric: &Fabric,
+        health: &LinkHealth,
+        agg: NodeId,
+        dst_pod: u32,
+        dst_attach: &[(NodeId, LinkIdx)],
+    ) -> bool {
+        let NodeKind::Agg { pod, .. } = fabric.net.kind(agg) else {
+            return false;
+        };
+        if pod == dst_pod {
+            dst_attach.iter().any(|&(tor, _)| {
+                self.agg_down
+                    .get(&(agg, tor))
+                    .is_some_and(|ls| ls.iter().any(|&l| health.is_up(l)))
+            })
+        } else {
+            self.agg_up
+                .get(&agg)
+                .is_some_and(|ls| ls.iter().any(|&l| health.is_up(l)))
+        }
+    }
+
+    /// A host-internal link (NVLink/PCIe) that must exist by construction.
+    fn host_link(&self, fabric: &Fabric, a: NodeId, b: NodeId) -> Result<LinkIdx, RouteError> {
+        fabric.net.link_between(a, b).ok_or_else(|| RouteError::NoPath {
+            at: format!(
+                "missing host-internal link {} -> {}",
+                fabric.net.kind(a).label(),
+                fabric.net.kind(b).label()
+            ),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpn_topology::{DcnPlusConfig, HpnConfig};
+
+    fn hpn_setup() -> (Fabric, Router, LinkHealth) {
+        let f = HpnConfig::tiny().build();
+        let r = Router::new(&f, HashMode::Polarized);
+        let h = LinkHealth::new(f.net.link_count());
+        (f, r, h)
+    }
+
+    fn req(src: u32, sr: usize, dst: u32, dr: usize, sport: u16) -> RouteRequest {
+        RouteRequest {
+            src_host: src,
+            src_rail: sr,
+            dst_host: dst,
+            dst_rail: dr,
+            sport,
+            port: None,
+        }
+    }
+
+    /// Every consecutive link pair must be head-to-tail connected.
+    fn assert_contiguous(f: &Fabric, route: &Route) {
+        for w in route.links.windows(2) {
+            assert_eq!(
+                f.net.link(w[0]).dst,
+                f.net.link(w[1]).src,
+                "route breaks between {:?} and {:?}",
+                f.net.kind(f.net.link(w[0]).dst).label(),
+                f.net.kind(f.net.link(w[1]).src).label()
+            );
+        }
+    }
+
+    #[test]
+    fn same_gpu_rejected() {
+        let (f, r, h) = hpn_setup();
+        assert_eq!(
+            r.route(&f, &h, &req(0, 0, 0, 0, 1000)).unwrap_err(),
+            RouteError::SameEndpoint
+        );
+    }
+
+    #[test]
+    fn intra_host_rides_nvlink_only() {
+        let (f, r, h) = hpn_setup();
+        let route = r.route(&f, &h, &req(0, 0, 0, 1, 1000)).unwrap();
+        assert_eq!(route.links.len(), 2);
+        assert_contiguous(&f, &route);
+        assert_eq!(route.port, None);
+        // Endpoints: gpu0 -> nvswitch -> gpu1.
+        assert_eq!(f.net.link(route.links[0]).src, f.gpu(0, 0));
+        assert_eq!(f.net.link(route.links[1]).dst, f.gpu(0, 1));
+    }
+
+    #[test]
+    fn same_segment_same_rail_is_one_tor_hop() {
+        let (f, r, h) = hpn_setup();
+        // host 0 and 1 are in segment 0.
+        let route = r.route(&f, &h, &req(0, 0, 1, 0, 1000)).unwrap();
+        assert_contiguous(&f, &route);
+        // gpu->nic, nic->tor, tor->nic, nic->gpu: 4 links, no Agg.
+        assert_eq!(route.links.len(), 4, "route: {:?}", route.links);
+        for &l in &route.links {
+            let k = f.net.kind(f.net.link(l).dst);
+            assert!(
+                !matches!(k, NodeKind::Agg { .. } | NodeKind::Core { .. }),
+                "intra-segment traffic escaped to {}",
+                k.label()
+            );
+        }
+    }
+
+    #[test]
+    fn cross_rail_relays_over_nvlink() {
+        let (f, r, h) = hpn_setup();
+        let route = r.route(&f, &h, &req(0, 0, 1, 1, 1000)).unwrap();
+        assert_contiguous(&f, &route);
+        // gpu0->nvsw, nvsw->gpu1, gpu1->nic1, nic1->tor, tor->nic, nic->gpu.
+        assert_eq!(route.links.len(), 6, "route: {:?}", route.links);
+        // Network entry must be on the destination rail's NIC.
+        let entry_nic = f.net.link(route.links[2]).dst;
+        assert_eq!(entry_nic, f.hosts[0].nics[1]);
+    }
+
+    #[test]
+    fn cross_segment_goes_via_one_agg() {
+        let (f, r, h) = hpn_setup();
+        // hosts 0..5 in segment 0; 5..10 in segment 1 (4 active +1 backup).
+        let dst = f.segment_hosts(1)[0].id;
+        let route = r.route(&f, &h, &req(0, 0, dst, 0, 1000)).unwrap();
+        assert_contiguous(&f, &route);
+        let agg_hops = route
+            .links
+            .iter()
+            .filter(|&&l| matches!(f.net.kind(f.net.link(l).dst), NodeKind::Agg { .. }))
+            .count();
+        assert_eq!(agg_hops, 1, "2-tier fabric: exactly one Agg transit");
+        let core_hops = route
+            .links
+            .iter()
+            .filter(|&&l| matches!(f.net.kind(f.net.link(l).dst), NodeKind::Core { .. }))
+            .count();
+        assert_eq!(core_hops, 0, "intra-pod traffic must not touch Core");
+    }
+
+    #[test]
+    fn dual_plane_keeps_flow_in_entry_plane() {
+        let (f, r, h) = hpn_setup();
+        let dst = f.segment_hosts(1)[0].id;
+        for port in 0..2 {
+            let mut rq = req(0, 0, dst, 0, 777);
+            rq.port = Some(port);
+            let route = r.route(&f, &h, &rq).unwrap();
+            for &l in &route.links {
+                match f.net.kind(f.net.link(l).dst) {
+                    NodeKind::Tor { plane, .. } | NodeKind::Agg { plane, .. } => {
+                        assert_eq!(plane as usize, port, "plane isolation broken");
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn port_override_out_of_range_errors() {
+        let (f, r, h) = hpn_setup();
+        let mut rq = req(0, 0, 1, 0, 1);
+        rq.port = Some(2);
+        assert!(matches!(
+            r.route(&f, &h, &rq),
+            Err(RouteError::NoPath { .. })
+        ));
+    }
+
+    #[test]
+    fn access_link_failure_fails_over_to_other_port() {
+        let (f, r, mut h) = hpn_setup();
+        // Kill host0 rail0 port0 uplink.
+        let dead = f.hosts[0].nic_up[0][0].unwrap();
+        h.set(dead, false);
+        // Bond hash must now always pick port 1.
+        for sport in 0..32 {
+            let route = r.route(&f, &h, &req(0, 0, 1, 0, sport)).unwrap();
+            assert_eq!(route.port, Some(1));
+            assert!(!route.links.contains(&dead));
+        }
+    }
+
+    #[test]
+    fn dst_access_failure_converges_to_surviving_tor() {
+        let (f, r, mut h) = hpn_setup();
+        // Kill dst host1 rail0 port0 downlink (ToR->NIC).
+        let dead = f.hosts[1].nic_down[0][0].unwrap();
+        h.set(dead, false);
+        // Forcing source port 0 (plane 0) now has no path — the plane-0 ToR
+        // withdrew the /32.
+        let mut rq = req(0, 0, 1, 0, 9);
+        rq.port = Some(0);
+        assert!(matches!(r.route(&f, &h, &rq), Err(RouteError::NoPath { .. })));
+        // Port 1 still works.
+        rq.port = Some(1);
+        let route = r.route(&f, &h, &rq).unwrap();
+        assert!(!route.links.contains(&dead));
+    }
+
+    #[test]
+    fn fully_detached_destination_is_unreachable() {
+        let (f, r, mut h) = hpn_setup();
+        for p in 0..2 {
+            h.set(f.hosts[1].nic_down[0][p].unwrap(), false);
+        }
+        assert!(matches!(
+            r.route(&f, &h, &req(0, 0, 1, 0, 1)),
+            Err(RouteError::NoPath { .. })
+        ));
+    }
+
+    #[test]
+    fn agg_failure_routes_around() {
+        let (f, r, mut h) = hpn_setup();
+        let dst = f.segment_hosts(1)[0].id;
+        // Kill ALL uplinks to agg 0 of plane 0 — ToR lookahead must avoid it.
+        let agg0 = f.plane_aggs(0, 0)[0];
+        for &t in &f.tors {
+            for l in f.net.links_between(t, agg0) {
+                h.set(l, false);
+            }
+        }
+        for sport in 0..16 {
+            let mut rq = req(0, 0, dst, 0, sport);
+            rq.port = Some(0);
+            let route = r.route(&f, &h, &rq).unwrap();
+            for &l in &route.links {
+                assert_ne!(f.net.link(l).dst, agg0, "routed into dead agg");
+            }
+        }
+    }
+
+    #[test]
+    fn cross_pod_transits_core() {
+        let mut cfg = HpnConfig::tiny();
+        cfg.pods = 2;
+        let f = cfg.build();
+        let r = Router::new(&f, HashMode::Polarized);
+        let h = LinkHealth::new(f.net.link_count());
+        let dst = f
+            .hosts
+            .iter()
+            .find(|hh| hh.pod == 1 && !hh.backup)
+            .unwrap()
+            .id;
+        let route = r.route(&f, &h, &req(0, 0, dst, 0, 1000)).unwrap();
+        assert_contiguous(&f, &route);
+        let cores = route
+            .links
+            .iter()
+            .filter(|&&l| matches!(f.net.kind(f.net.link(l).dst), NodeKind::Core { .. }))
+            .count();
+        assert_eq!(cores, 1, "cross-pod traffic crosses the Core exactly once");
+        let aggs = route
+            .links
+            .iter()
+            .filter(|&&l| matches!(f.net.kind(f.net.link(l).dst), NodeKind::Agg { .. }))
+            .count();
+        assert_eq!(aggs, 2, "one Agg on each side");
+    }
+
+    #[test]
+    fn per_port_core_hash_is_five_tuple_irrelevant() {
+        // §7: traffic towards pod i entering a Core on port j always exits
+        // on the same port, whatever the 5-tuple.
+        let mut cfg = HpnConfig::tiny();
+        cfg.pods = 2;
+        let f = cfg.build();
+        let r = Router::new(&f, HashMode::Polarized);
+        assert_eq!(r.core_policy, CoreHashPolicy::PerPort);
+        let h = LinkHealth::new(f.net.link_count());
+        let dst = f.hosts.iter().find(|x| x.pod == 1 && !x.backup).unwrap().id;
+        // Group routes by their Core ingress link; within a group the Core
+        // egress must be constant across sports.
+        let mut egress_by_ingress = std::collections::BTreeMap::new();
+        for sport in 0..64u16 {
+            let route = r.route(&f, &h, &req(0, 0, dst, 0, sport)).unwrap();
+            let mut prev = None;
+            for &l in &route.links {
+                let link = f.net.link(l);
+                if matches!(f.net.kind(link.src), NodeKind::Core { .. }) {
+                    let ingress = prev.expect("core has an ingress");
+                    let seen = egress_by_ingress.entry(ingress).or_insert(l);
+                    assert_eq!(*seen, l, "core egress varied with the 5-tuple");
+                }
+                prev = Some(l);
+            }
+        }
+        assert!(!egress_by_ingress.is_empty(), "some route crossed a core");
+    }
+
+    #[test]
+    fn cross_pod_survives_core_downlink_failure() {
+        let mut cfg = HpnConfig::tiny();
+        cfg.pods = 2;
+        let f = cfg.build();
+        let r = Router::new(&f, HashMode::Polarized);
+        let mut h = LinkHealth::new(f.net.link_count());
+        let dst = f.hosts.iter().find(|x| x.pod == 1 && !x.backup).unwrap().id;
+        // Kill half of every core's downlinks into pod 1.
+        for &c in &f.cores {
+            let downs: Vec<_> = f
+                .net
+                .out_links_to(c, |k| matches!(k, NodeKind::Agg { .. }))
+                .into_iter()
+                .filter(|&l| matches!(f.net.kind(f.net.link(l).dst), NodeKind::Agg { pod: 1, .. }))
+                .collect();
+            for &l in downs.iter().step_by(2) {
+                h.set(l, false);
+            }
+        }
+        for sport in 0..16 {
+            let route = r.route(&f, &h, &req(0, 0, dst, 0, sport)).unwrap();
+            for &l in &route.links {
+                assert!(h.is_up(l), "routed onto a dead link");
+            }
+        }
+    }
+
+    #[test]
+    fn dcnplus_routes_and_can_cross_planes_downstream() {
+        let f = DcnPlusConfig::tiny().build();
+        let r = Router::new(&f, HashMode::Polarized);
+        let h = LinkHealth::new(f.net.link_count());
+        // Cross-segment, same pod. DCN+ has no plane isolation: over many
+        // sports, downstream must reach BOTH ToRs of the destination pair.
+        let dst = f.segment_hosts(1)[0].id;
+        let mut exit_tors = std::collections::BTreeSet::new();
+        for sport in 0..64 {
+            let mut rq = req(0, 0, dst, 0, sport);
+            rq.port = Some(0);
+            let route = r.route(&f, &h, &rq).unwrap();
+            // Penultimate link's source is the exit ToR.
+            let exit = f.net.link(route.links[route.links.len() - 2]).src;
+            exit_tors.insert(exit);
+        }
+        assert_eq!(
+            exit_tors.len(),
+            2,
+            "typical Clos downstream hashing reaches both ToRs (Fig 13a)"
+        );
+    }
+
+    #[test]
+    fn dcnplus_cross_rail_needs_no_relay() {
+        let f = DcnPlusConfig::tiny().build();
+        let r = Router::new(&f, HashMode::Polarized);
+        let h = LinkHealth::new(f.net.link_count());
+        let route = r.route(&f, &h, &req(0, 0, 1, 1, 5)).unwrap();
+        // gpu->nic(rail0), nic->tor, tor->nic(rail1), nic->gpu = 4 links.
+        assert_eq!(route.links.len(), 4, "no NVLink relay in non-rail fabric");
+    }
+
+    #[test]
+    fn routes_are_deterministic() {
+        let (f, r, h) = hpn_setup();
+        let dst = f.segment_hosts(1)[0].id;
+        let a = r.route(&f, &h, &req(0, 0, dst, 0, 4242)).unwrap();
+        let b = r.route(&f, &h, &req(0, 0, dst, 0, 4242)).unwrap();
+        assert_eq!(a.links, b.links);
+    }
+
+    #[test]
+    fn sport_diversity_spreads_over_aggs() {
+        let (f, r, h) = hpn_setup();
+        let dst = f.segment_hosts(1)[0].id;
+        let mut aggs_used = std::collections::BTreeSet::new();
+        for sport in 0..128 {
+            let mut rq = req(0, 0, dst, 0, sport);
+            rq.port = Some(0);
+            let route = r.route(&f, &h, &rq).unwrap();
+            for &l in &route.links {
+                if let NodeKind::Agg { index, .. } = f.net.kind(f.net.link(l).dst) {
+                    aggs_used.insert(index);
+                }
+            }
+        }
+        assert!(
+            aggs_used.len() >= 3,
+            "sport variation should reach most of the 4 plane-0 aggs, got {aggs_used:?}"
+        );
+    }
+}

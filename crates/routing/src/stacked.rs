@@ -1,0 +1,261 @@
+//! The stacked dual-ToR state machine and its §4.1 failure modes.
+//!
+//! Stacked dual-ToR synchronizes MAC/ARP/routing state over a direct
+//! inter-switch link, with controller roles (primary/secondary) negotiated
+//! over an out-of-band network. The paper reports that this architecture
+//! caused **over 40% of critical failures** in their traditional data
+//! centers, through two mechanisms we reproduce exactly:
+//!
+//! * **Stack failure** — ToR1's data plane silently dies (e.g. MMU
+//!   overflow) while its control plane stays healthy. Data-plane sync over
+//!   the direct link stops; the OOB control planes still negotiate; ToR1
+//!   insists it is primary; ToR2, unable to keep forwarding state
+//!   consistent, *shuts itself down*. Net effect: a healthy switch offline
+//!   and a dead one "primary" — the whole rack loses connectivity.
+//! * **ISSU upgrade incompatibility** — during a rolling upgrade one ToR
+//!   runs the new control-plane version; if the RPC schema diff is larger
+//!   than ISSU tolerates, sync RPCs fail and both ToRs can go down. The
+//!   paper observed 70% of their upgrades exceeded ISSU's small-diff
+//!   assumption.
+//!
+//! The non-stacked design ([`crate::lacp`], [`crate::bgp`]) removes the
+//! shared-fate coupling: [`NonStackedPair::rack_available`] is down only
+//! when *both* independent switches are down.
+
+/// Health of one stacked ToR.
+#[derive(Clone, Copy, Debug)]
+pub struct StackedTor {
+    /// Data-plane forwarding works.
+    pub data_plane_ok: bool,
+    /// Control plane (controller process) works.
+    pub control_plane_ok: bool,
+    /// Control-plane software version (for ISSU modelling).
+    pub version: u32,
+    /// Whether the switch is administratively online.
+    pub online: bool,
+}
+
+impl StackedTor {
+    /// A healthy switch at the given software version.
+    pub fn healthy(version: u32) -> Self {
+        StackedTor {
+            data_plane_ok: true,
+            control_plane_ok: true,
+            version,
+            online: true,
+        }
+    }
+
+    /// Can this switch actually carry rack traffic right now?
+    pub fn forwarding(&self) -> bool {
+        self.online && self.data_plane_ok
+    }
+}
+
+/// Outcome of evaluating the pair's coupled state machine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PairStatus {
+    /// Both switches forwarding.
+    FullyRedundant,
+    /// Exactly one switch forwarding — degraded but alive.
+    Degraded,
+    /// No switch forwarding: every NIC under this pair is offline. This is
+    /// the §4.1 rack-level failure.
+    RackDown,
+}
+
+/// A stacked dual-ToR pair.
+#[derive(Clone, Copy, Debug)]
+pub struct StackedPair {
+    /// The primary-role switch.
+    pub tor1: StackedTor,
+    /// The secondary-role switch.
+    pub tor2: StackedTor,
+    /// The direct inter-switch sync link.
+    pub sync_link_up: bool,
+    /// The out-of-band controller network.
+    pub oob_up: bool,
+    /// Largest version diff ISSU can bridge (sync RPCs fail beyond it).
+    pub issu_max_version_diff: u32,
+}
+
+impl StackedPair {
+    /// A healthy pair at one software version.
+    pub fn healthy(version: u32) -> Self {
+        StackedPair {
+            tor1: StackedTor::healthy(version),
+            tor2: StackedTor::healthy(version),
+            sync_link_up: true,
+            oob_up: true,
+            issu_max_version_diff: 0,
+        }
+    }
+
+    /// Can the two control planes synchronize forwarding state?
+    fn can_sync(&self) -> bool {
+        // Data-plane sync needs the direct link AND both data planes AND
+        // RPC-compatible versions.
+        let version_ok = self.tor1.version.abs_diff(self.tor2.version) <= self.issu_max_version_diff;
+        self.sync_link_up
+            && self.tor1.data_plane_ok
+            && self.tor2.data_plane_ok
+            && self.tor1.control_plane_ok
+            && self.tor2.control_plane_ok
+            && version_ok
+    }
+
+    /// Evaluate the coupled state machine and update `online` flags,
+    /// returning the rack-level outcome. Mirrors §4.1's narrative.
+    pub fn evaluate(&mut self) -> PairStatus {
+        if !self.can_sync() {
+            // Sync broken. The secondary's view: forwarding state can no
+            // longer be kept consistent with a primary that (per the OOB
+            // network) is still asserting primacy → the secondary shuts
+            // itself down to avoid inconsistent forwarding.
+            let primary_asserts = self.oob_up && self.tor1.control_plane_ok && self.tor1.online;
+            if primary_asserts && self.tor2.online {
+                self.tor2.online = false;
+            }
+            // If OOB is ALSO down the switches cannot even negotiate roles;
+            // the conservative production behaviour is split-brain
+            // avoidance: secondary stays down, primary keeps its state.
+        }
+        self.status()
+    }
+
+    /// Current rack availability without re-running the state machine.
+    pub fn status(&self) -> PairStatus {
+        match (self.tor1.forwarding(), self.tor2.forwarding()) {
+            (true, true) => PairStatus::FullyRedundant,
+            (false, false) => PairStatus::RackDown,
+            _ => PairStatus::Degraded,
+        }
+    }
+}
+
+/// A non-stacked pair: two fully independent switches (no sync link, no
+/// role protocol). Provided for side-by-side comparison in tests and the
+/// dual-ToR experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct NonStackedPair {
+    /// First switch's forwarding health.
+    pub tor1_forwarding: bool,
+    /// Second switch's forwarding health.
+    pub tor2_forwarding: bool,
+}
+
+impl NonStackedPair {
+    /// Healthy pair.
+    pub fn healthy() -> Self {
+        NonStackedPair {
+            tor1_forwarding: true,
+            tor2_forwarding: true,
+        }
+    }
+
+    /// The rack stays up while either switch forwards.
+    pub fn rack_available(&self) -> bool {
+        self.tor1_forwarding || self.tor2_forwarding
+    }
+}
+
+/// Simulate a fleet-wide software upgrade campaign over `pairs` stacked
+/// dual-ToR sets: each pair upgrades its secondary first (creating a
+/// version skew), and `large_diff_fraction` of upgrades exceed what ISSU
+/// can bridge (the paper observed 70%). Returns how many racks lose
+/// redundancy mid-campaign — the §4.1 "issues resulting from ToR upgrades".
+/// Deterministic: pair `i` has a large diff iff
+/// `i < pairs × large_diff_fraction`.
+pub fn upgrade_campaign(pairs: usize, large_diff_fraction: f64) -> usize {
+    assert!((0.0..=1.0).contains(&large_diff_fraction));
+    let cutoff = (pairs as f64 * large_diff_fraction) as usize;
+    let mut degraded = 0;
+    for i in 0..pairs {
+        let mut p = StackedPair::healthy(1);
+        p.issu_max_version_diff = 1;
+        // Small-diff upgrades bump one version; large-diff upgrades jump.
+        p.tor2.version = if i < cutoff { 7 } else { 2 };
+        if p.evaluate() != PairStatus::FullyRedundant {
+            degraded += 1;
+        }
+    }
+    degraded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upgrade_campaign_matches_the_70_percent_finding() {
+        // 100 racks, 70% of upgrades exceed ISSU's small-diff assumption:
+        // 70 racks lose redundancy during the campaign.
+        assert_eq!(upgrade_campaign(100, 0.7), 70);
+        assert_eq!(upgrade_campaign(100, 0.0), 0, "ISSU-compatible fleet is safe");
+        assert_eq!(upgrade_campaign(0, 0.7), 0);
+    }
+
+    #[test]
+    fn healthy_pair_is_redundant() {
+        let mut p = StackedPair::healthy(1);
+        assert_eq!(p.evaluate(), PairStatus::FullyRedundant);
+    }
+
+    #[test]
+    fn mmu_overflow_stack_failure_takes_rack_down() {
+        // §4.1's exact scenario: ToR1 data plane dead, control plane alive,
+        // OOB alive. ToR2 self-shuts; the rack goes dark even though ToR2's
+        // hardware is perfectly healthy.
+        let mut p = StackedPair::healthy(1);
+        p.tor1.data_plane_ok = false; // MMU overflow
+        assert_eq!(p.evaluate(), PairStatus::RackDown);
+        assert!(!p.tor2.online, "healthy secondary shut itself down");
+    }
+
+    #[test]
+    fn sync_link_cut_with_live_primary_degrades_to_rack_down() {
+        let mut p = StackedPair::healthy(1);
+        p.sync_link_up = false;
+        // Primary still forwards, but the secondary must exit.
+        assert_eq!(p.evaluate(), PairStatus::Degraded);
+        assert!(!p.tor2.online);
+        // A subsequent primary fault now has no backup.
+        p.tor1.data_plane_ok = false;
+        assert_eq!(p.evaluate(), PairStatus::RackDown);
+    }
+
+    #[test]
+    fn issu_version_skew_breaks_sync() {
+        let mut p = StackedPair::healthy(1);
+        p.issu_max_version_diff = 1;
+        // Small diff: ISSU bridges it.
+        p.tor2.version = 2;
+        assert_eq!(p.evaluate(), PairStatus::FullyRedundant);
+        // Large diff (the 70% case): RPC mismatch, secondary exits.
+        p.tor2.version = 5;
+        assert_eq!(p.evaluate(), PairStatus::Degraded);
+        assert!(!p.tor2.online);
+    }
+
+    #[test]
+    fn single_switch_fault_alone_is_survivable() {
+        // The case stacking was designed for: secondary hardware dies,
+        // primary keeps the rack alive.
+        let mut p = StackedPair::healthy(1);
+        p.tor2.data_plane_ok = false;
+        let st = p.evaluate();
+        assert_eq!(st, PairStatus::Degraded);
+        assert!(p.tor1.forwarding());
+    }
+
+    #[test]
+    fn non_stacked_pair_has_no_shared_fate() {
+        // Same MMU-overflow fault on a non-stacked pair: the other switch
+        // keeps forwarding because nothing couples them.
+        let mut p = NonStackedPair::healthy();
+        p.tor1_forwarding = false;
+        assert!(p.rack_available());
+        p.tor2_forwarding = false;
+        assert!(!p.rack_available(), "only a double fault downs the rack");
+    }
+}

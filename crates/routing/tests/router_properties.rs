@@ -1,0 +1,142 @@
+//! Property-based tests for the router over randomized fabrics and
+//! endpoint pairs: structural invariants that must hold for *every* route.
+
+use hpn_routing::{HashMode, LinkHealth, RouteRequest, Router};
+use hpn_topology::{Fabric, HpnConfig, NodeKind};
+use proptest::prelude::*;
+
+fn arb_fabric() -> impl Strategy<Value = Fabric> {
+    (2u32..4, 2u32..6, 2u16..6, prop::bool::ANY, prop::bool::ANY).prop_map(
+        |(segments, hosts, aggs, dual_tor, dual_plane)| {
+            let mut cfg = HpnConfig::tiny();
+            cfg.segments_per_pod = segments;
+            cfg.hosts_per_segment = hosts;
+            cfg.aggs_per_plane = aggs;
+            cfg.dual_tor = dual_tor;
+            cfg.dual_plane = dual_plane;
+            cfg.build()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every successful route is head-to-tail contiguous, starts at the
+    /// source GPU, ends at the destination GPU, and never visits a link
+    /// twice.
+    #[test]
+    fn routes_are_contiguous_paths(
+        fabric in arb_fabric(),
+        src in 0u32..8,
+        dst in 0u32..8,
+        src_rail in 0usize..2,
+        dst_rail in 0usize..2,
+        sport in 1024u16..u16::MAX,
+    ) {
+        let nactive = fabric.active_hosts().count() as u32;
+        let src = src % nactive;
+        let dst = dst % nactive;
+        prop_assume!(src != dst || src_rail != dst_rail);
+        let router = Router::new(&fabric, HashMode::Polarized);
+        let health = LinkHealth::new(fabric.net.link_count());
+        let req = RouteRequest { src_host: src, src_rail, dst_host: dst, dst_rail, sport, port: None };
+        let route = router.route(&fabric, &health, &req).expect("healthy fabric routes");
+        // Contiguity.
+        for w in route.links.windows(2) {
+            prop_assert_eq!(fabric.net.link(w[0]).dst, fabric.net.link(w[1]).src);
+        }
+        // Endpoints.
+        let first = fabric.net.link(route.links[0]).src;
+        let last = fabric.net.link(*route.links.last().unwrap()).dst;
+        prop_assert_eq!(first, fabric.gpu(src, src_rail));
+        prop_assert_eq!(last, fabric.gpu(dst, dst_rail));
+        // No repeated links (loop freedom).
+        let mut seen = route.links.clone();
+        seen.sort();
+        seen.dedup();
+        prop_assert_eq!(seen.len(), route.links.len());
+        // Bounded length: worst case gpu,nvsw,gpu,nic,tor,agg,core,agg,tor,nic,gpu.
+        prop_assert!(route.links.len() <= 10);
+    }
+
+    /// Dual-plane fabrics never leak a flow across planes: every switch on
+    /// the path carries the entry plane.
+    #[test]
+    fn dual_plane_no_cross_plane_leak(
+        fabric in arb_fabric().prop_filter("dual everything", |f| f.dual_plane && f.dual_tor),
+        dst in 1u32..8,
+        sport in 1024u16..u16::MAX,
+        port in 0usize..2,
+    ) {
+        let nactive = fabric.active_hosts().count() as u32;
+        let dst = 1 + (dst % (nactive - 1));
+        let router = Router::new(&fabric, HashMode::Polarized);
+        let health = LinkHealth::new(fabric.net.link_count());
+        let req = RouteRequest {
+            src_host: 0, src_rail: 0, dst_host: dst, dst_rail: 0, sport, port: Some(port),
+        };
+        let route = router.route(&fabric, &health, &req).expect("routes");
+        for &l in &route.links {
+            match fabric.net.kind(fabric.net.link(l).dst) {
+                NodeKind::Tor { plane, .. } | NodeKind::Agg { plane, .. } => {
+                    prop_assert_eq!(plane as usize, port, "plane leak");
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Killing any single non-access link leaves every pair routable in a
+    /// dual-ToR fabric (path diversity holds at tiers 1–2).
+    #[test]
+    fn single_trunk_failure_never_partitions_dual_tor(
+        fabric in arb_fabric().prop_filter("dual-ToR", |f| f.dual_tor),
+        dst in 1u32..8,
+        link_pick in 0usize..10_000,
+        sport in 1024u16..u16::MAX,
+    ) {
+        let nactive = fabric.active_hosts().count() as u32;
+        let dst = 1 + (dst % (nactive - 1));
+        let router = Router::new(&fabric, HashMode::Polarized);
+        let mut health = LinkHealth::new(fabric.net.link_count());
+        // Pick a ToR→Agg trunk to kill.
+        let trunks: Vec<_> = fabric
+            .tors
+            .iter()
+            .flat_map(|&t| fabric.tor_uplinks(t))
+            .collect();
+        prop_assume!(!trunks.is_empty());
+        let dead = trunks[link_pick % trunks.len()];
+        health.set(dead, false);
+        let req = RouteRequest {
+            src_host: 0, src_rail: 0, dst_host: dst, dst_rail: 0, sport, port: None,
+        };
+        let route = router.route(&fabric, &health, &req).expect("survives one trunk loss");
+        prop_assert!(!route.links.contains(&dead));
+    }
+
+    /// The bond hash spreads different sports over both ports when both
+    /// are healthy (no silent port starvation).
+    #[test]
+    fn bond_hash_uses_both_ports(
+        fabric in arb_fabric().prop_filter("dual-ToR", |f| f.dual_tor),
+        dst in 1u32..8,
+    ) {
+        let nactive = fabric.active_hosts().count() as u32;
+        let dst = 1 + (dst % (nactive - 1));
+        let router = Router::new(&fabric, HashMode::Polarized);
+        let health = LinkHealth::new(fabric.net.link_count());
+        let mut ports = std::collections::BTreeSet::new();
+        for sport in 0..64u16 {
+            let req = RouteRequest {
+                src_host: 0, src_rail: 0, dst_host: dst, dst_rail: 0,
+                sport: 20_000 + sport * 331, port: None,
+            };
+            if let Ok(r) = router.route(&fabric, &health, &req) {
+                ports.insert(r.port);
+            }
+        }
+        prop_assert_eq!(ports.len(), 2, "64 scattered sports must hit both ports");
+    }
+}

@@ -1,0 +1,297 @@
+//! Deterministic discrete-event scheduler.
+//!
+//! [`Engine<W>`] is generic over a *world* type `W` owned by the caller.
+//! Events are boxed `FnOnce(&mut W, &mut Engine<W>)` closures: when an event
+//! fires it may mutate the world and schedule further events. Keeping the
+//! world outside the engine sidesteps the usual self-borrowing knot (the
+//! event is popped off the queue *before* it runs, so the engine is freely
+//! reborrowable from inside the handler).
+//!
+//! Determinism: ties in firing time are broken by a monotonically increasing
+//! sequence number, so two runs with the same seed execute events in exactly
+//! the same order.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Handle to a scheduled event, usable for cancellation.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct EventId(u64);
+
+type Action<W> = Box<dyn FnOnce(&mut W, &mut Engine<W>)>;
+
+struct Entry<W> {
+    at: SimTime,
+    seq: u64,
+    action: Action<W>,
+}
+
+impl<W> PartialEq for Entry<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Entry<W> {}
+impl<W> PartialOrd for Entry<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Entry<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Discrete-event scheduler.
+pub struct Engine<W> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Entry<W>>,
+    cancelled: HashSet<u64>,
+    executed: u64,
+}
+
+impl<W> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W> Engine<W> {
+    /// A fresh engine at time zero with an empty queue.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending (including cancelled tombstones).
+    pub fn pending(&self) -> usize {
+        self.queue.len() - self.cancelled.len()
+    }
+
+    /// Schedule `action` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past: scheduling backwards in time is always
+    /// a logic error in a discrete-event simulation.
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        action: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventId {
+        assert!(
+            at >= self.now,
+            "scheduled event at {at:?} is before now {:?}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Entry {
+            at,
+            seq,
+            action: Box::new(action),
+        });
+        EventId(seq)
+    }
+
+    /// Schedule `action` to fire after delay `d`.
+    pub fn schedule_in(
+        &mut self,
+        d: SimDuration,
+        action: impl FnOnce(&mut W, &mut Engine<W>) + 'static,
+    ) -> EventId {
+        let at = self.now + d;
+        self.schedule_at(at, action)
+    }
+
+    /// Cancel a previously scheduled event. Cancelling an already-fired or
+    /// already-cancelled event is a harmless no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Execute the next pending event, if any. Returns `false` when the queue
+    /// is exhausted.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        loop {
+            let Some(entry) = self.queue.pop() else {
+                return false;
+            };
+            if self.cancelled.remove(&entry.seq) {
+                continue; // tombstone: skip silently
+            }
+            debug_assert!(entry.at >= self.now, "event queue went backwards");
+            self.now = entry.at;
+            self.executed += 1;
+            (entry.action)(world, self);
+            return true;
+        }
+    }
+
+    /// Run until the event queue is empty.
+    pub fn run(&mut self, world: &mut W) {
+        while self.step(world) {}
+    }
+
+    /// Run events with firing time `<= deadline`, then advance `now` to the
+    /// deadline (even if no event fires exactly there). Events scheduled
+    /// after the deadline remain queued.
+    pub fn run_until(&mut self, world: &mut W, deadline: SimTime) {
+        loop {
+            // Peek (skipping tombstones) without holding a borrow across step.
+            let next_at = loop {
+                match self.queue.peek() {
+                    None => break None,
+                    Some(e) if self.cancelled.contains(&e.seq) => {
+                        let e = self.queue.pop().expect("peeked entry vanished");
+                        self.cancelled.remove(&e.seq);
+                    }
+                    Some(e) => break Some(e.at),
+                }
+            };
+            match next_at {
+                Some(at) if at <= deadline => {
+                    self.step(world);
+                }
+                _ => break,
+            }
+        }
+        if deadline > self.now {
+            self.now = deadline;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct World {
+        log: Vec<(u64, &'static str)>,
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut w = World::default();
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_nanos(30), |w: &mut World, e| {
+            w.log.push((e.now().as_nanos(), "c"))
+        });
+        eng.schedule_at(SimTime::from_nanos(10), |w: &mut World, e| {
+            w.log.push((e.now().as_nanos(), "a"))
+        });
+        eng.schedule_at(SimTime::from_nanos(20), |w: &mut World, e| {
+            w.log.push((e.now().as_nanos(), "b"))
+        });
+        eng.run(&mut w);
+        assert_eq!(w.log, vec![(10, "a"), (20, "b"), (30, "c")]);
+        assert_eq!(eng.events_executed(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut w = World::default();
+        let mut eng = Engine::new();
+        for name in ["first", "second", "third"] {
+            eng.schedule_at(SimTime::from_nanos(5), move |w: &mut World, _| {
+                w.log.push((5, name))
+            });
+        }
+        eng.run(&mut w);
+        assert_eq!(
+            w.log.iter().map(|(_, n)| *n).collect::<Vec<_>>(),
+            vec!["first", "second", "third"]
+        );
+    }
+
+    #[test]
+    fn handlers_can_schedule_more_events() {
+        let mut w = World::default();
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_nanos(1), |_: &mut World, e| {
+            e.schedule_in(SimDuration::from_nanos(1), |w: &mut World, e| {
+                w.log.push((e.now().as_nanos(), "chained"));
+            });
+        });
+        eng.run(&mut w);
+        assert_eq!(w.log, vec![(2, "chained")]);
+    }
+
+    #[test]
+    fn cancellation_suppresses_events() {
+        let mut w = World::default();
+        let mut eng = Engine::new();
+        let id = eng.schedule_at(SimTime::from_nanos(10), |w: &mut World, _| {
+            w.log.push((10, "cancelled"))
+        });
+        eng.schedule_at(SimTime::from_nanos(20), |w: &mut World, _| {
+            w.log.push((20, "kept"))
+        });
+        eng.cancel(id);
+        eng.run(&mut w);
+        assert_eq!(w.log, vec![(20, "kept")]);
+        // Double-cancel and post-hoc cancel are no-ops.
+        eng.cancel(id);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline_and_advances_clock() {
+        let mut w = World::default();
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_nanos(10), |w: &mut World, _| {
+            w.log.push((10, "in"))
+        });
+        eng.schedule_at(SimTime::from_nanos(100), |w: &mut World, _| {
+            w.log.push((100, "out"))
+        });
+        eng.run_until(&mut w, SimTime::from_nanos(50));
+        assert_eq!(w.log, vec![(10, "in")]);
+        assert_eq!(eng.now(), SimTime::from_nanos(50));
+        assert_eq!(eng.pending(), 1);
+        eng.run(&mut w);
+        assert_eq!(w.log.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "before now")]
+    fn scheduling_in_the_past_panics() {
+        let mut w = World::default();
+        let mut eng = Engine::new();
+        eng.schedule_at(SimTime::from_nanos(10), |_: &mut World, _| {});
+        eng.run(&mut w);
+        eng.schedule_at(SimTime::from_nanos(5), |_: &mut World, _| {});
+    }
+
+    #[test]
+    fn run_until_skips_cancelled_head() {
+        let mut w = World::default();
+        let mut eng = Engine::new();
+        let id = eng.schedule_at(SimTime::from_nanos(10), |w: &mut World, _| {
+            w.log.push((10, "x"))
+        });
+        eng.cancel(id);
+        eng.run_until(&mut w, SimTime::from_nanos(50));
+        assert!(w.log.is_empty());
+        assert_eq!(eng.pending(), 0);
+    }
+}

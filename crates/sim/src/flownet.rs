@@ -1,0 +1,897 @@
+//! Fluid (rate-based) network model with max-min fair bandwidth sharing.
+//!
+//! A [`FlowNet`] holds directed links with finite capacity and a set of
+//! active flows, each following a fixed path of links. Rates are assigned by
+//! **progressive filling**: all flows ramp up together until a link
+//! saturates or a flow reaches its source demand; saturated flows freeze and
+//! the rest keep filling. This yields the classic max-min fair allocation,
+//! which is the standard fluid approximation for congestion-controlled
+//! traffic (RDMA with DCQCN in the paper's clusters).
+//!
+//! Two measurement facilities drive the paper's figures:
+//!
+//! * **Carried bits per link** — integrated rate, for the Aggregation-switch
+//!   traffic statistics of Fig 15b.
+//! * **Queue model per link** — the *offered* load on a link is the sum of
+//!   its flows' source demands; while offered load exceeds capacity the
+//!   queue integrates the excess (clamped to the buffer, with overflow
+//!   counted as drops), and drains otherwise. This captures the persistent
+//!   queue build-up on hash-imbalanced ToR downlinks that Fig 13/14 report,
+//!   without simulating individual packets.
+
+use std::collections::BTreeMap;
+
+use crate::time::SimTime;
+
+/// Index of a link within a [`FlowNet`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LinkId(pub u32);
+
+/// Stable handle to a flow (valid until the flow completes or is killed).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowHandle(pub u64);
+
+/// Description of a flow to inject into the network.
+#[derive(Clone, Debug)]
+pub struct FlowSpec {
+    /// Links traversed, in order. Must be non-empty.
+    pub path: Vec<LinkId>,
+    /// Flow size in bits. Must be positive and finite.
+    pub size_bits: f64,
+    /// Maximum sending rate in bits/s (e.g. the 400Gbps NIC limit).
+    /// `f64::INFINITY` means "only network-limited".
+    pub demand_bps: f64,
+    /// Opaque tag returned on completion; carries application context.
+    pub tag: u64,
+}
+
+/// Per-link state and accumulated statistics.
+#[derive(Clone, Debug)]
+pub struct LinkState {
+    /// Nominal capacity in bits/s.
+    pub nominal_bps: f64,
+    /// Whether the link is administratively/physically up.
+    pub up: bool,
+    /// Queue buffer size in bits (excess beyond this is dropped).
+    pub buffer_bits: f64,
+    /// Current queue occupancy in bits.
+    pub queue_bits: f64,
+    /// Total bits carried (integrated allocated rate).
+    pub carried_bits: f64,
+    /// Total bits dropped at this link's queue.
+    pub dropped_bits: f64,
+    /// Peak queue occupancy observed.
+    pub peak_queue_bits: f64,
+    /// Current number of flows crossing this link (updated on recompute).
+    pub active_flows: usize,
+    /// Sum of allocated flow rates (bits/s), updated on recompute.
+    pub allocated_bps: f64,
+    /// Sum of flow demands (bits/s), updated on recompute; the queue model's
+    /// offered load.
+    pub offered_bps: f64,
+}
+
+impl LinkState {
+    /// Effective capacity: nominal when up, zero when down.
+    pub fn capacity_bps(&self) -> f64 {
+        if self.up {
+            self.nominal_bps
+        } else {
+            0.0
+        }
+    }
+
+    /// Utilization of nominal capacity in `[0, 1]`.
+    pub fn utilization(&self) -> f64 {
+        if self.nominal_bps > 0.0 {
+            self.allocated_bps / self.nominal_bps
+        } else {
+            0.0
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Flow {
+    spec: FlowSpec,
+    remaining_bits: f64,
+    rate_bps: f64,
+    started: SimTime,
+}
+
+/// Completion record returned by [`FlowNet::advance`].
+#[derive(Clone, Copy, Debug)]
+pub struct Completion {
+    /// Handle of the completed flow.
+    pub handle: FlowHandle,
+    /// The application tag from the flow's spec.
+    pub tag: u64,
+    /// When the flow was injected.
+    pub started: SimTime,
+    /// Completion time (the `advance` target).
+    pub finished: SimTime,
+    /// Flow size in bits.
+    pub size_bits: f64,
+}
+
+/// Tolerance (bits) under which a flow counts as finished; absorbs the
+/// floating-point residue of advancing exactly to a computed finish time.
+const DONE_EPS_BITS: f64 = 1e-3;
+/// Tolerance (bits/s) for link saturation in progressive filling.
+const RATE_EPS: f64 = 1e-6;
+/// Standing-queue relaxation time constant when a link is not over-offered
+/// (models congestion-control backoff draining the queue).
+const QUEUE_RELAX_TAU_S: f64 = 0.05;
+
+/// The fluid network: links, flows, and fair-share rate allocation.
+///
+/// ```
+/// use hpn_sim::{FlowNet, FlowSpec, SimTime};
+///
+/// let mut net = FlowNet::new();
+/// let link = net.add_link(100e9, f64::INFINITY); // 100Gbps
+/// net.start_flow(SimTime::ZERO, FlowSpec {
+///     path: vec![link],
+///     size_bits: 100e9, // 100 Gbit
+///     demand_bps: f64::INFINITY,
+///     tag: 7,
+/// });
+/// let done_at = net.next_completion().unwrap();
+/// assert_eq!(done_at.as_nanos(), 1_000_000_000, "exactly one second");
+/// assert_eq!(net.advance(done_at)[0].tag, 7);
+/// ```
+pub struct FlowNet {
+    links: Vec<LinkState>,
+    flows: BTreeMap<u64, Flow>,
+    next_flow: u64,
+    /// Time up to which all flow progress and queue integrals are applied.
+    clock: SimTime,
+    rates_dirty: bool,
+    /// Links that currently carry flows or hold a non-empty queue; the only
+    /// links `integrate_to` must touch. Kept sorted and deduplicated.
+    hot_links: Vec<u32>,
+    /// Scratch: per-link free capacity during progressive filling.
+    scratch_free: Vec<f64>,
+    /// Scratch: per-link unfrozen-flow count during progressive filling.
+    scratch_unfrozen: Vec<u32>,
+}
+
+impl Default for FlowNet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlowNet {
+    /// An empty network at time zero.
+    pub fn new() -> Self {
+        FlowNet {
+            links: Vec::new(),
+            flows: BTreeMap::new(),
+            next_flow: 0,
+            clock: SimTime::ZERO,
+            rates_dirty: false,
+            hot_links: Vec::new(),
+            scratch_free: Vec::new(),
+            scratch_unfrozen: Vec::new(),
+        }
+    }
+
+    /// Internal clock: everything is integrated up to this instant.
+    pub fn clock(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Add a link with the given capacity (bits/s) and queue buffer (bits).
+    pub fn add_link(&mut self, capacity_bps: f64, buffer_bits: f64) -> LinkId {
+        assert!(capacity_bps >= 0.0, "negative link capacity");
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(LinkState {
+            nominal_bps: capacity_bps,
+            up: true,
+            buffer_bits,
+            queue_bits: 0.0,
+            carried_bits: 0.0,
+            dropped_bits: 0.0,
+            peak_queue_bits: 0.0,
+            active_flows: 0,
+            allocated_bps: 0.0,
+            offered_bps: 0.0,
+        });
+        id
+    }
+
+    /// Number of links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of active flows.
+    pub fn flow_count(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Read-only view of a link's state.
+    pub fn link(&self, id: LinkId) -> &LinkState {
+        &self.links[id.0 as usize]
+    }
+
+    /// Bring a link up or down. Rates are recomputed lazily.
+    pub fn set_link_up(&mut self, id: LinkId, up: bool) {
+        let l = &mut self.links[id.0 as usize];
+        if l.up != up {
+            l.up = up;
+            self.rates_dirty = true;
+        }
+    }
+
+    /// Change a link's nominal capacity (bits/s).
+    pub fn set_link_capacity(&mut self, id: LinkId, capacity_bps: f64) {
+        assert!(capacity_bps >= 0.0, "negative link capacity");
+        let l = &mut self.links[id.0 as usize];
+        if l.nominal_bps != capacity_bps {
+            l.nominal_bps = capacity_bps;
+            self.rates_dirty = true;
+        }
+    }
+
+    /// Inject a flow at time `now` (which must be ≥ the net's clock).
+    pub fn start_flow(&mut self, now: SimTime, spec: FlowSpec) -> FlowHandle {
+        assert!(!spec.path.is_empty(), "flow with empty path");
+        assert!(
+            spec.size_bits > 0.0 && spec.size_bits.is_finite(),
+            "flow size must be positive and finite, got {}",
+            spec.size_bits
+        );
+        assert!(spec.demand_bps > 0.0, "flow demand must be positive");
+        for l in &spec.path {
+            assert!(
+                (l.0 as usize) < self.links.len(),
+                "flow path references unknown link {l:?}"
+            );
+        }
+        self.integrate_to(now);
+        let id = self.next_flow;
+        self.next_flow += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                remaining_bits: spec.size_bits,
+                rate_bps: 0.0,
+                started: now,
+                spec,
+            },
+        );
+        self.rates_dirty = true;
+        FlowHandle(id)
+    }
+
+    /// Forcibly remove a flow (e.g. the job it belonged to crashed).
+    /// Returns `true` if the flow was still active.
+    pub fn kill_flow(&mut self, now: SimTime, h: FlowHandle) -> bool {
+        self.integrate_to(now);
+        let existed = self.flows.remove(&h.0).is_some();
+        if existed {
+            self.rates_dirty = true;
+        }
+        existed
+    }
+
+    /// Current allocated rate of a flow (bits/s), or `None` if finished/killed.
+    pub fn flow_rate(&mut self, h: FlowHandle) -> Option<f64> {
+        self.recompute_if_dirty();
+        self.flows.get(&h.0).map(|f| f.rate_bps)
+    }
+
+    /// Remaining bits of a flow, or `None` if finished/killed.
+    pub fn flow_remaining(&self, h: FlowHandle) -> Option<f64> {
+        self.flows.get(&h.0).map(|f| f.remaining_bits)
+    }
+
+    /// Advance the model to `now`, applying flow progress and queue
+    /// integrals, and return the flows that completed (in deterministic
+    /// handle order). Completions are *detected* here, so drivers should
+    /// advance to the time reported by [`FlowNet::next_completion`].
+    pub fn advance(&mut self, now: SimTime) -> Vec<Completion> {
+        self.integrate_to(now);
+        let mut done = Vec::new();
+        let finished: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.remaining_bits <= DONE_EPS_BITS)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in finished {
+            let f = self.flows.remove(&id).expect("flow disappeared");
+            done.push(Completion {
+                handle: FlowHandle(id),
+                tag: f.spec.tag,
+                started: f.started,
+                finished: now,
+                size_bits: f.spec.size_bits,
+            });
+            self.rates_dirty = true;
+        }
+        done
+    }
+
+    /// The earliest instant at which some flow will complete under current
+    /// rates, or `None` if no flow is making progress.
+    pub fn next_completion(&mut self) -> Option<SimTime> {
+        self.recompute_if_dirty();
+        let mut best: Option<f64> = None;
+        for f in self.flows.values() {
+            if f.rate_bps > RATE_EPS {
+                let secs = f.remaining_bits / f.rate_bps;
+                best = Some(match best {
+                    Some(b) => b.min(secs),
+                    None => secs,
+                });
+            }
+        }
+        best.map(|secs| {
+            let ns = (secs * 1e9).ceil().max(1.0) as u64;
+            SimTime::from_nanos(self.clock.as_nanos().saturating_add(ns))
+        })
+    }
+
+    /// Sum of allocated rates over a set of links (e.g. all Aggregation
+    /// ingress ports), in bits/s.
+    pub fn aggregate_rate(&mut self, links: &[LinkId]) -> f64 {
+        self.recompute_if_dirty();
+        links
+            .iter()
+            .map(|l| self.links[l.0 as usize].allocated_bps)
+            .sum()
+    }
+
+    /// Recompute fair-share rates if topology/flow membership changed.
+    pub fn recompute_if_dirty(&mut self) {
+        if self.rates_dirty {
+            self.recompute_rates();
+            self.rates_dirty = false;
+        }
+    }
+
+    /// Apply progress/queues from `clock` to `now` using current rates.
+    fn integrate_to(&mut self, now: SimTime) {
+        assert!(
+            now >= self.clock,
+            "FlowNet time went backwards: {:?} < {:?}",
+            now,
+            self.clock
+        );
+        self.recompute_if_dirty();
+        let dt = (now - self.clock).as_secs_f64();
+        if dt > 0.0 {
+            for f in self.flows.values_mut() {
+                if f.rate_bps > 0.0 {
+                    f.remaining_bits = (f.remaining_bits - f.rate_bps * dt).max(0.0);
+                }
+            }
+            // Only hot links can change: idle links have zero rate, zero
+            // offered load and an empty queue.
+            let mut still_hot = Vec::with_capacity(self.hot_links.len());
+            for &li in &self.hot_links {
+                let l = &mut self.links[li as usize];
+                l.carried_bits += l.allocated_bps * dt;
+                // Queue model: integrate offered-minus-capacity while the
+                // link is over-offered. When offered load is at or below
+                // capacity the standing queue relaxes exponentially — RDMA
+                // congestion control (DCQCN-style) backs senders off just
+                // under line rate, so a queue with no *sustained* overload
+                // drains within tens of milliseconds instead of standing
+                // forever at the offered == capacity fixed point.
+                let net_in = l.offered_bps - l.capacity_bps();
+                if net_in > 0.0 {
+                    let q = l.queue_bits + net_in * dt;
+                    if q > l.buffer_bits {
+                        l.dropped_bits += q - l.buffer_bits;
+                        l.queue_bits = l.buffer_bits;
+                    } else {
+                        l.queue_bits = q;
+                    }
+                } else {
+                    let drained = (l.queue_bits + net_in * dt).max(0.0);
+                    l.queue_bits = drained * (-dt / QUEUE_RELAX_TAU_S).exp();
+                }
+                l.peak_queue_bits = l.peak_queue_bits.max(l.queue_bits);
+                if l.active_flows > 0 || l.queue_bits > 1.0 {
+                    still_hot.push(li);
+                } else {
+                    l.queue_bits = 0.0;
+                }
+            }
+            self.hot_links = still_hot;
+        }
+        self.clock = now;
+    }
+
+    /// Progressive-filling max-min fair allocation.
+    ///
+    /// All per-iteration work is restricted to *active* links (links crossed
+    /// by at least one flow): a full HPN pod has ~10^5 directed links but a
+    /// training job touches only a few thousand, so the allocation must not
+    /// scan the whole link table per filling round.
+    fn recompute_rates(&mut self) {
+        // Dense working arrays over the active flows (BTreeMap iteration is
+        // ascending-id, so the dense order is deterministic). Per-link
+        // scratch buffers are members, reset sparsely, so a recompute costs
+        // O(active flows × hops × freeze-rounds), never O(total links).
+        let n = self.flows.len();
+        let nlinks = self.links.len();
+        self.scratch_free.resize(nlinks, 0.0);
+        self.scratch_unfrozen.resize(nlinks, 0);
+        let mut rate: Vec<f64> = vec![0.0; n];
+        let mut active_links: Vec<usize> = Vec::new();
+        {
+            let flows: Vec<&Flow> = self.flows.values().collect();
+            let free = &mut self.scratch_free;
+            let unfrozen_on = &mut self.scratch_unfrozen;
+            for f in &flows {
+                for l in &f.spec.path {
+                    let li = l.0 as usize;
+                    if unfrozen_on[li] == 0 {
+                        active_links.push(li);
+                        free[li] = self.links[li].capacity_bps();
+                    }
+                    unfrozen_on[li] += 1;
+                }
+            }
+
+            let mut frozen = vec![false; n];
+            let mut unfrozen_list: Vec<usize> = (0..n).collect();
+            let freeze =
+                |i: usize, frozen: &mut [bool], unfrozen_on: &mut [u32], flows: &[&Flow]| {
+                    frozen[i] = true;
+                    for l in &flows[i].spec.path {
+                        unfrozen_on[l.0 as usize] -= 1;
+                    }
+                };
+
+            // Immediately freeze flows crossing a dead (zero-capacity) link.
+            unfrozen_list.retain(|&i| {
+                let dead = flows[i]
+                    .spec
+                    .path
+                    .iter()
+                    .any(|l| self.links[l.0 as usize].capacity_bps() <= RATE_EPS);
+                if dead {
+                    freeze(i, &mut frozen, unfrozen_on, &flows);
+                }
+                !dead
+            });
+
+            while !unfrozen_list.is_empty() {
+                // The common increment: bounded by the tightest link fair
+                // share and the smallest remaining demand headroom.
+                let mut delta = f64::INFINITY;
+                for &li in &active_links {
+                    if unfrozen_on[li] > 0 {
+                        delta = delta.min(free[li] / unfrozen_on[li] as f64);
+                    }
+                }
+                for &i in &unfrozen_list {
+                    delta = delta.min(flows[i].spec.demand_bps - rate[i]);
+                }
+                if !delta.is_finite() {
+                    // No unfrozen flow crosses any finite link and all
+                    // demands are infinite — cannot happen with validated
+                    // specs, but avoid an infinite loop just in case.
+                    break;
+                }
+                let delta = delta.max(0.0);
+                // Apply the increment.
+                for &i in &unfrozen_list {
+                    rate[i] += delta;
+                }
+                for &li in &active_links {
+                    free[li] -= delta * unfrozen_on[li] as f64;
+                }
+                // Freeze flows on saturated links and flows at demand.
+                let before = unfrozen_list.len();
+                unfrozen_list.retain(|&i| {
+                    let f = flows[i];
+                    let at_demand = rate[i] >= f.spec.demand_bps - RATE_EPS;
+                    let on_saturated = f
+                        .spec
+                        .path
+                        .iter()
+                        .any(|l| free[l.0 as usize] <= RATE_EPS * f.spec.demand_bps.min(1e12));
+                    let keep = !(at_demand || on_saturated);
+                    if !keep {
+                        freeze(i, &mut frozen, unfrozen_on, &flows);
+                    }
+                    keep
+                });
+                if unfrozen_list.len() == before {
+                    // Numerical stall guard: freeze the first flow.
+                    let i = unfrozen_list.remove(0);
+                    freeze(i, &mut frozen, unfrozen_on, &flows);
+                }
+            }
+
+            // Reset the scratch buffers sparsely for the next recompute.
+            for &li in &active_links {
+                free[li] = 0.0;
+                unfrozen_on[li] = 0;
+            }
+        }
+
+        // Write back rates and per-link aggregates. Zero the stats on every
+        // link that was or is active, then re-accumulate over live flows.
+        for ((_, f), r) in self.flows.iter_mut().zip(rate.iter()) {
+            f.rate_bps = *r;
+        }
+        for &li in &self.hot_links {
+            let l = &mut self.links[li as usize];
+            l.active_flows = 0;
+            l.allocated_bps = 0.0;
+            l.offered_bps = 0.0;
+        }
+        for &li in &active_links {
+            let l = &mut self.links[li];
+            l.active_flows = 0;
+            l.allocated_bps = 0.0;
+            l.offered_bps = 0.0;
+        }
+        for f in self.flows.values() {
+            for l in &f.spec.path {
+                let ls = &mut self.links[l.0 as usize];
+                ls.active_flows += 1;
+                ls.allocated_bps += f.rate_bps;
+            }
+        }
+        // Offered load seen by each link: the flow's demand clamped by the
+        // *upstream* part of its path (equal-split approximation), so a
+        // link only sees traffic its predecessors can actually deliver.
+        // Without this, two chunks sharing one source port would appear to
+        // offer 2× the port rate downstream and fabricate queues that
+        // cannot physically exist (the dual-plane no-queue result of
+        // Fig 14b depends on getting this right).
+        for f in self.flows.values() {
+            let mut upstream = if f.spec.demand_bps.is_finite() {
+                f.spec.demand_bps
+            } else {
+                f.rate_bps
+            };
+            for l in &f.spec.path {
+                let ls = &mut self.links[l.0 as usize];
+                ls.offered_bps += upstream;
+                let share = ls.capacity_bps() / ls.active_flows.max(1) as f64;
+                upstream = upstream.min(share.max(f.rate_bps));
+            }
+        }
+        // New hot set: active links plus old hot links that still hold queue.
+        let mut hot: Vec<u32> = active_links.iter().map(|&l| l as u32).collect();
+        for &li in &self.hot_links {
+            if self.links[li as usize].queue_bits > 0.0 {
+                hot.push(li);
+            }
+        }
+        hot.sort_unstable();
+        hot.dedup();
+        self.hot_links = hot;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GBPS: f64 = 1e9;
+
+    fn net_with_links(caps: &[f64]) -> (FlowNet, Vec<LinkId>) {
+        let mut net = FlowNet::new();
+        let ids = caps.iter().map(|&c| net.add_link(c, f64::INFINITY)).collect();
+        (net, ids)
+    }
+
+    fn spec(path: &[LinkId], size: f64, demand: f64, tag: u64) -> FlowSpec {
+        FlowSpec {
+            path: path.to_vec(),
+            size_bits: size,
+            demand_bps: demand,
+            tag,
+        }
+    }
+
+    #[test]
+    fn single_flow_gets_bottleneck_rate() {
+        let (mut net, l) = net_with_links(&[400.0 * GBPS, 100.0 * GBPS]);
+        let h = net.start_flow(SimTime::ZERO, spec(&l, 100.0 * GBPS, f64::INFINITY, 1));
+        assert_eq!(net.flow_rate(h), Some(100.0 * GBPS));
+        // 100 Gbit over 100 Gbps = 1 second.
+        let t = net.next_completion().expect("has completion");
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-6, "{t:?}");
+        let done = net.advance(t);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 1);
+        assert_eq!(net.flow_count(), 0);
+    }
+
+    #[test]
+    fn demand_caps_rate() {
+        let (mut net, l) = net_with_links(&[400.0 * GBPS]);
+        let h = net.start_flow(SimTime::ZERO, spec(&l, GBPS, 50.0 * GBPS, 0));
+        assert_eq!(net.flow_rate(h), Some(50.0 * GBPS));
+    }
+
+    #[test]
+    fn two_flows_share_fairly() {
+        let (mut net, l) = net_with_links(&[100.0 * GBPS]);
+        let a = net.start_flow(SimTime::ZERO, spec(&l, GBPS, f64::INFINITY, 0));
+        let b = net.start_flow(SimTime::ZERO, spec(&l, GBPS, f64::INFINITY, 1));
+        assert_eq!(net.flow_rate(a), Some(50.0 * GBPS));
+        assert_eq!(net.flow_rate(b), Some(50.0 * GBPS));
+    }
+
+    #[test]
+    fn max_min_redistributes_demand_slack() {
+        // One flow capped at 20G, the other should get the remaining 80G.
+        let (mut net, l) = net_with_links(&[100.0 * GBPS]);
+        let a = net.start_flow(SimTime::ZERO, spec(&l, GBPS, 20.0 * GBPS, 0));
+        let b = net.start_flow(SimTime::ZERO, spec(&l, GBPS, f64::INFINITY, 1));
+        assert!((net.flow_rate(a).unwrap() - 20.0 * GBPS).abs() < 1.0);
+        assert!((net.flow_rate(b).unwrap() - 80.0 * GBPS).abs() < 1.0);
+    }
+
+    #[test]
+    fn multi_bottleneck_classic_maxmin() {
+        // Classic parking-lot: flow X crosses both links, flows Y and Z one each.
+        // cap(L0)=100, cap(L1)=50. Max-min: X gets 25 (bottleneck on L1 with Z),
+        // Z gets 25, Y gets 75.
+        let (mut net, l) = net_with_links(&[100.0 * GBPS, 50.0 * GBPS]);
+        let x = net.start_flow(SimTime::ZERO, spec(&[l[0], l[1]], GBPS, f64::INFINITY, 0));
+        let y = net.start_flow(SimTime::ZERO, spec(&[l[0]], GBPS, f64::INFINITY, 1));
+        let z = net.start_flow(SimTime::ZERO, spec(&[l[1]], GBPS, f64::INFINITY, 2));
+        assert!((net.flow_rate(x).unwrap() - 25.0 * GBPS).abs() < 1e3);
+        assert!((net.flow_rate(y).unwrap() - 75.0 * GBPS).abs() < 1e3);
+        assert!((net.flow_rate(z).unwrap() - 25.0 * GBPS).abs() < 1e3);
+    }
+
+    #[test]
+    fn completion_order_and_rate_rebalance() {
+        // Two equal flows share a link; after one finishes the other speeds up.
+        let (mut net, l) = net_with_links(&[100.0 * GBPS]);
+        let _a = net.start_flow(SimTime::ZERO, spec(&l, 50.0 * GBPS, f64::INFINITY, 0));
+        let b = net.start_flow(SimTime::ZERO, spec(&l, 100.0 * GBPS, f64::INFINITY, 1));
+        // Both at 50G. Flow a (50Gbit) finishes at t=1s.
+        let t1 = net.next_completion().unwrap();
+        assert!((t1.as_secs_f64() - 1.0).abs() < 1e-6);
+        let done = net.advance(t1);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].tag, 0);
+        // b has 50Gbit left, now at full 100G: finishes 0.5s later.
+        assert!((net.flow_rate(b).unwrap() - 100.0 * GBPS).abs() < 1.0);
+        let t2 = net.next_completion().unwrap();
+        assert!((t2.as_secs_f64() - 1.5).abs() < 1e-6, "{t2:?}");
+    }
+
+    #[test]
+    fn link_down_stalls_flows_and_repair_resumes() {
+        let (mut net, l) = net_with_links(&[100.0 * GBPS]);
+        let h = net.start_flow(SimTime::ZERO, spec(&l, 100.0 * GBPS, f64::INFINITY, 0));
+        net.set_link_up(l[0], false);
+        assert_eq!(net.flow_rate(h), Some(0.0));
+        assert!(net.next_completion().is_none(), "stalled flow never completes");
+        // Advance while down: no progress.
+        let done = net.advance(SimTime::from_secs(5));
+        assert!(done.is_empty());
+        assert_eq!(net.flow_remaining(h), Some(100.0 * GBPS));
+        net.set_link_up(l[0], true);
+        let t = net.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 6.0).abs() < 1e-6, "{t:?}");
+    }
+
+    #[test]
+    fn queue_builds_when_offered_exceeds_capacity() {
+        // Three 200G-demand flows hash onto one 400G port: offered 600G,
+        // queue grows at 200Gbit/s.
+        let (mut net, l) = net_with_links(&[400.0 * GBPS]);
+        for tag in 0..3 {
+            net.start_flow(SimTime::ZERO, spec(&l, 1e15, 200.0 * GBPS, tag));
+        }
+        net.advance(SimTime::from_millis(1));
+        let q = net.link(l[0]).queue_bits;
+        // 200Gbit/s * 1ms = 0.2 Gbit.
+        assert!((q - 0.2 * GBPS).abs() < 1e3, "queue {q}");
+    }
+
+    #[test]
+    fn queue_drains_and_drops_respect_buffer() {
+        let mut net = FlowNet::new();
+        let l = net.add_link(400.0 * GBPS, 0.1 * GBPS); // 100Mbit buffer
+        for tag in 0..3 {
+            net.start_flow(
+                SimTime::ZERO,
+                spec(&[l], 200.0 * GBPS * 0.01, 200.0 * GBPS, tag),
+            );
+        }
+        net.advance(SimTime::from_millis(2));
+        let ls = net.link(l);
+        assert_eq!(ls.queue_bits, 0.1 * GBPS, "queue clamped at buffer");
+        assert!(ls.dropped_bits > 0.0, "overflow counted as drops");
+        // Let flows finish, then inject nothing: queue drains.
+        let mut guard = 0;
+        while net.flow_count() > 0 {
+            let t = net.next_completion().expect("progressing");
+            net.advance(t);
+            guard += 1;
+            assert!(guard < 10, "completion loop runaway");
+        }
+        net.advance(SimTime::from_secs(1));
+        assert_eq!(net.link(l).queue_bits, 0.0, "queue drains when idle");
+    }
+
+    #[test]
+    fn carried_bits_accumulate() {
+        let (mut net, l) = net_with_links(&[100.0 * GBPS]);
+        net.start_flow(SimTime::ZERO, spec(&l, 100.0 * GBPS, f64::INFINITY, 0));
+        let t = net.next_completion().unwrap();
+        net.advance(t);
+        let carried = net.link(l[0]).carried_bits;
+        assert!((carried - 100.0 * GBPS).abs() < 1e3, "carried {carried}");
+    }
+
+    #[test]
+    fn kill_flow_frees_bandwidth() {
+        let (mut net, l) = net_with_links(&[100.0 * GBPS]);
+        let a = net.start_flow(SimTime::ZERO, spec(&l, 1e15, f64::INFINITY, 0));
+        let b = net.start_flow(SimTime::ZERO, spec(&l, 1e15, f64::INFINITY, 1));
+        assert_eq!(net.flow_rate(b), Some(50.0 * GBPS));
+        assert!(net.kill_flow(SimTime::from_millis(1), a));
+        assert!(!net.kill_flow(SimTime::from_millis(1), a), "second kill is no-op");
+        assert_eq!(net.flow_rate(b), Some(100.0 * GBPS));
+    }
+
+    #[test]
+    fn staggered_start_times() {
+        let (mut net, l) = net_with_links(&[100.0 * GBPS]);
+        let a = net.start_flow(SimTime::ZERO, spec(&l, 100.0 * GBPS, f64::INFINITY, 0));
+        // At t=0.5s, a has 50Gbit left; b joins and they share.
+        let _b = net.start_flow(SimTime::from_millis(500), spec(&l, 100.0 * GBPS, f64::INFINITY, 1));
+        assert!((net.flow_remaining(a).unwrap() - 50.0 * GBPS).abs() < 1e3);
+        assert_eq!(net.flow_rate(a), Some(50.0 * GBPS));
+        // a finishes at 0.5 + 50/50 = 1.5s.
+        let t = net.next_completion().unwrap();
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty path")]
+    fn empty_path_rejected() {
+        let mut net = FlowNet::new();
+        net.start_flow(SimTime::ZERO, spec(&[], 1.0, 1.0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown link")]
+    fn bad_link_rejected() {
+        let mut net = FlowNet::new();
+        net.start_flow(SimTime::ZERO, spec(&[LinkId(3)], 1.0, 1.0, 0));
+    }
+
+    #[test]
+    fn many_flows_conserve_capacity() {
+        let (mut net, l) = net_with_links(&[400.0 * GBPS]);
+        let hs: Vec<_> = (0..64)
+            .map(|tag| net.start_flow(SimTime::ZERO, spec(&l, 1e12, 200.0 * GBPS, tag)))
+            .collect();
+        let total: f64 = hs.iter().map(|&h| net.flow_rate(h).unwrap()).sum();
+        assert!(total <= 400.0 * GBPS * (1.0 + 1e-9), "allocation {total} exceeds capacity");
+        assert!((total - 400.0 * GBPS).abs() < 1.0, "work-conserving");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const GBPS: f64 = 1e9;
+
+    proptest! {
+        /// Invariant: the max-min allocation never oversubscribes any link
+        /// and is work-conserving on each link that has an unfrozen flow.
+        #[test]
+        fn allocation_feasible(
+            caps in proptest::collection::vec(1u64..=400, 2..6),
+            flows in proptest::collection::vec(
+                (proptest::collection::vec(0usize..6, 1..4), 1u64..=400),
+                1..20
+            ),
+        ) {
+            let mut net = FlowNet::new();
+            let links: Vec<LinkId> = caps.iter()
+                .map(|&c| net.add_link(c as f64 * GBPS, f64::INFINITY))
+                .collect();
+            let mut handles = Vec::new();
+            for (pick, demand) in &flows {
+                let mut path: Vec<LinkId> = pick.iter()
+                    .map(|&i| links[i % links.len()])
+                    .collect();
+                path.dedup();
+                handles.push(net.start_flow(SimTime::ZERO, FlowSpec {
+                    path,
+                    size_bits: 1e12,
+                    demand_bps: *demand as f64 * GBPS,
+                    tag: 0,
+                }));
+            }
+            net.recompute_if_dirty();
+            // Feasibility: no link oversubscribed.
+            for (i, &l) in links.iter().enumerate() {
+                let alloc = net.link(l).allocated_bps;
+                prop_assert!(alloc <= caps[i] as f64 * GBPS * (1.0 + 1e-6),
+                    "link {i} oversubscribed: {alloc}");
+            }
+            // No flow exceeds its demand.
+            for (h, (_, demand)) in handles.iter().zip(&flows) {
+                let r = net.flow_rate(*h).unwrap();
+                prop_assert!(r <= *demand as f64 * GBPS * (1.0 + 1e-6));
+                prop_assert!(r >= 0.0);
+            }
+        }
+
+        /// Invariant: progress conservation — after advancing by dt, the
+        /// total remaining shrinks by exactly the sum of rate*dt.
+        #[test]
+        fn progress_conservation(
+            nflows in 1usize..10,
+            dt_ms in 1u64..1000,
+        ) {
+            let mut net = FlowNet::new();
+            let l = net.add_link(400.0 * GBPS, f64::INFINITY);
+            let mut handles = Vec::new();
+            for tag in 0..nflows {
+                handles.push(net.start_flow(SimTime::ZERO, FlowSpec {
+                    path: vec![l],
+                    size_bits: 1e15,
+                    demand_bps: 200.0 * GBPS,
+                    tag: tag as u64,
+                }));
+            }
+            let rates: Vec<f64> = handles.iter().map(|&h| net.flow_rate(h).unwrap()).collect();
+            let before: f64 = handles.iter().map(|&h| net.flow_remaining(h).unwrap()).sum();
+            net.advance(SimTime::from_millis(dt_ms));
+            let after: f64 = handles.iter().map(|&h| net.flow_remaining(h).unwrap()).sum();
+            let expect = rates.iter().sum::<f64>() * dt_ms as f64 / 1e3;
+            // Tolerance accounts for cancellation when differencing the
+            // ~1e15-bit totals (ulp of the sum dominates at small dt).
+            let tol = expect.abs() * 1e-6 + before * 1e-12 + 1.0;
+            prop_assert!(((before - after) - expect).abs() < tol,
+                "progress {} vs expected {}", before - after, expect);
+        }
+
+        /// Invariant: max-min fairness — you cannot raise one flow's rate
+        /// without lowering a flow of equal-or-lower rate. We check the
+        /// equivalent bottleneck condition: every flow is either at demand
+        /// or crosses a saturated link where it has a maximal rate.
+        #[test]
+        fn bottleneck_condition(
+            demands in proptest::collection::vec(1u64..=400, 2..12),
+        ) {
+            let mut net = FlowNet::new();
+            let shared = net.add_link(400.0 * GBPS, f64::INFINITY);
+            let handles: Vec<FlowHandle> = demands.iter().enumerate().map(|(i, &d)| {
+                net.start_flow(SimTime::ZERO, FlowSpec {
+                    path: vec![shared],
+                    size_bits: 1e15,
+                    demand_bps: d as f64 * GBPS,
+                    tag: i as u64,
+                })
+            }).collect();
+            net.recompute_if_dirty();
+            let rates: Vec<f64> = handles.iter().map(|&h| net.flow_rate(h).unwrap()).collect();
+            let saturated = net.link(shared).allocated_bps >= 400.0 * GBPS * (1.0 - 1e-6);
+            let max_rate = rates.iter().cloned().fold(0.0, f64::max);
+            for (i, &r) in rates.iter().enumerate() {
+                let at_demand = r >= demands[i] as f64 * GBPS - 1.0;
+                let is_max_on_saturated = saturated && r >= max_rate - 1.0;
+                prop_assert!(at_demand || is_max_on_saturated,
+                    "flow {i} rate {r} neither demand-limited nor maximal on bottleneck");
+            }
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # hpn-sim — discrete-event engine and fluid-flow network model
+//!
+//! This crate is the simulation substrate for the reproduction of
+//! *Alibaba HPN: A Data Center Network for Large Language Model Training*
+//! (SIGCOMM 2024). It provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — nanosecond-resolution simulated time,
+//! * [`Engine`] — a deterministic discrete-event scheduler generic over a
+//!   user-supplied world type,
+//! * [`FlowNet`] — a fluid (rate-based) network model with progressive-filling
+//!   max-min fair bandwidth allocation, per-link queue integration and
+//!   flow-completion tracking,
+//! * [`SplitMix64`] / [`Xoshiro256`] — small, dependency-free deterministic
+//!   PRNGs so simulation runs are exactly reproducible from a seed,
+//! * [`TimeSeries`] and [`stats`] — recording utilities used by the
+//!   experiment harness to regenerate the paper's figures,
+//! * [`packetval`] — a minimal exact packet-level link simulator whose only
+//!   job is to certify the fluid queue model's steady states.
+//!
+//! The fluid model deliberately operates at *flow* granularity rather than
+//! packet granularity: the phenomena the paper studies (ECMP hash
+//! polarization, queue build-up on oversubscribed downlinks, collective
+//! throughput under contention) play out over seconds to minutes of traffic,
+//! which a packet-level simulator could not cover at 15K-GPU scale.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod flownet;
+pub mod packetval;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use engine::{Engine, EventId};
+pub use flownet::{FlowHandle, FlowNet, FlowSpec, LinkId, LinkState};
+pub use rng::{SplitMix64, Xoshiro256};
+pub use series::TimeSeries;
+pub use time::{SimDuration, SimTime};

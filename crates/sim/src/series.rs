@@ -1,0 +1,222 @@
+//! Time-series recording for experiment output.
+//!
+//! Every figure in the paper is either a time series (Fig 2, 13, 14, 15, 18)
+//! or a distribution (Fig 3, 6, 17). [`TimeSeries`] records `(t, value)`
+//! samples and offers the reductions the experiment harness needs: averages
+//! over windows, resampling onto a fixed grid, and min/max/mean summaries.
+
+use serde::Serialize;
+
+use crate::time::SimTime;
+
+/// A named sequence of `(time, value)` samples in chronological order.
+#[derive(Clone, Debug, Serialize)]
+pub struct TimeSeries {
+    /// Label used in experiment output (e.g. "Port 1").
+    pub name: String,
+    samples: Vec<(f64, f64)>, // (seconds, value)
+}
+
+impl TimeSeries {
+    /// Create an empty series with the given label.
+    pub fn new(name: impl Into<String>) -> Self {
+        TimeSeries {
+            name: name.into(),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Append a sample at time `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` is earlier than the previous sample: time series are
+    /// recorded by a single monotonic simulation clock.
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        let secs = t.as_secs_f64();
+        if let Some(&(last, _)) = self.samples.last() {
+            assert!(secs >= last, "time series sample out of order");
+        }
+        self.samples.push((secs, value));
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the series has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Raw samples as `(seconds, value)`.
+    pub fn samples(&self) -> &[(f64, f64)] {
+        &self.samples
+    }
+
+    /// Arithmetic mean of values, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&(_, v)| v).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Maximum value, or 0.0 if empty.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+    }
+
+    /// Minimum value, or 0.0 if empty.
+    pub fn min(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples
+                .iter()
+                .map(|&(_, v)| v)
+                .fold(f64::INFINITY, f64::min)
+        }
+    }
+
+    /// Time-weighted mean: treats each sample as holding until the next one.
+    /// More faithful than `mean()` for unevenly sampled series.
+    pub fn time_weighted_mean(&self) -> f64 {
+        if self.samples.len() < 2 {
+            return self.mean();
+        }
+        let mut acc = 0.0;
+        let mut span = 0.0;
+        for w in self.samples.windows(2) {
+            let dt = w[1].0 - w[0].0;
+            acc += w[0].1 * dt;
+            span += dt;
+        }
+        if span > 0.0 {
+            acc / span
+        } else {
+            self.mean()
+        }
+    }
+
+    /// Average of values in the half-open window `[t0, t1)` seconds.
+    pub fn window_mean(&self, t0: f64, t1: f64) -> f64 {
+        let vals: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|&&(t, _)| t >= t0 && t < t1)
+            .map(|&(_, v)| v)
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+
+    /// Down-sample onto a fixed grid of `bucket` seconds, averaging samples
+    /// inside each bucket (this is how the paper reports "averaged every
+    /// 10s" series in Fig 15b/15c).
+    pub fn resample_avg(&self, bucket: f64) -> TimeSeries {
+        self.resample_with(bucket, |vals| {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        })
+    }
+
+    /// Down-sample onto a fixed grid taking the max in each bucket
+    /// (Fig 15c reports "max every 10s").
+    pub fn resample_max(&self, bucket: f64) -> TimeSeries {
+        self.resample_with(bucket, |vals| vals.iter().cloned().fold(f64::MIN, f64::max))
+    }
+
+    fn resample_with(&self, bucket: f64, reduce: impl Fn(&[f64]) -> f64) -> TimeSeries {
+        assert!(bucket > 0.0, "bucket must be positive");
+        let mut out = TimeSeries::new(self.name.clone());
+        if self.samples.is_empty() {
+            return out;
+        }
+        let mut idx = 0usize;
+        let t_end = self.samples.last().expect("non-empty").0;
+        let mut b0 = self.samples[0].0;
+        while b0 <= t_end {
+            let b1 = b0 + bucket;
+            let mut vals = Vec::new();
+            while idx < self.samples.len() && self.samples[idx].0 < b1 {
+                vals.push(self.samples[idx].1);
+                idx += 1;
+            }
+            if !vals.is_empty() {
+                out.samples.push((b0, reduce(&vals)));
+            }
+            b0 = b1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(pairs: &[(u64, f64)]) -> TimeSeries {
+        let mut s = TimeSeries::new("test");
+        for &(ms, v) in pairs {
+            s.push(SimTime::from_millis(ms), v);
+        }
+        s
+    }
+
+    #[test]
+    fn basic_reductions() {
+        let s = ts(&[(0, 1.0), (10, 3.0), (20, 5.0)]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.mean(), 3.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn window_mean_is_half_open() {
+        let s = ts(&[(0, 1.0), (1000, 2.0), (2000, 4.0)]);
+        assert_eq!(s.window_mean(0.0, 1.5), 1.5);
+        assert_eq!(s.window_mean(1.0, 2.0), 2.0, "upper bound excluded");
+        assert_eq!(s.window_mean(5.0, 6.0), 0.0, "empty window");
+    }
+
+    #[test]
+    fn time_weighted_mean_weights_by_interval() {
+        // Value 10 held for 9s, value 0 for 1s: mean = 9.0
+        let s = ts(&[(0, 10.0), (9000, 0.0), (10000, 0.0)]);
+        assert!((s.time_weighted_mean() - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resample_avg_buckets() {
+        let s = ts(&[(0, 2.0), (500, 4.0), (1000, 6.0), (1500, 8.0)]);
+        let r = s.resample_avg(1.0);
+        assert_eq!(r.samples(), &[(0.0, 3.0), (1.0, 7.0)]);
+    }
+
+    #[test]
+    fn resample_max_buckets() {
+        let s = ts(&[(0, 2.0), (500, 4.0), (1000, 6.0), (1500, 8.0)]);
+        let r = s.resample_max(1.0);
+        assert_eq!(r.samples(), &[(0.0, 4.0), (1.0, 8.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn out_of_order_push_panics() {
+        let mut s = TimeSeries::new("x");
+        s.push(SimTime::from_secs(2), 1.0);
+        s.push(SimTime::from_secs(1), 1.0);
+    }
+
+    #[test]
+    fn empty_series_reductions_are_zero() {
+        let s = TimeSeries::new("empty");
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        assert!(s.resample_avg(1.0).is_empty());
+    }
+}

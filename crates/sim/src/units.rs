@@ -1,0 +1,82 @@
+//! Bandwidth and data-size unit helpers.
+//!
+//! The paper mixes Gbps (link speeds), GBps (NVLINK), and GB/GiB message
+//! sizes. Internally everything is bits (f64) and bits-per-second (f64);
+//! these helpers keep call sites honest about which unit they meant.
+
+/// Bits per second from gigabits per second (decimal, as link speeds are quoted).
+pub const fn gbps(g: u64) -> f64 {
+    (g * 1_000_000_000) as f64
+}
+
+/// Bits per second from gigaBYTES per second (used for NVLINK speeds).
+pub const fn gbytes_per_sec(g: u64) -> f64 {
+    (g * 8 * 1_000_000_000) as f64
+}
+
+/// Bits from bytes.
+pub fn bits_from_bytes(bytes: f64) -> f64 {
+    bytes * 8.0
+}
+
+/// Bits from mebibytes (NCCL-style message sizes: 1M = 2^20 bytes).
+pub fn mib(m: f64) -> f64 {
+    m * 1024.0 * 1024.0 * 8.0
+}
+
+/// Bits from gibibytes.
+pub fn gib(g: f64) -> f64 {
+    g * 1024.0 * 1024.0 * 1024.0 * 8.0
+}
+
+/// Bytes from bits.
+pub fn bytes_from_bits(bits: f64) -> f64 {
+    bits / 8.0
+}
+
+/// Format a bit count as a human-readable byte size (for reports).
+pub fn fmt_bytes(bits: f64) -> String {
+    let b = bits / 8.0;
+    if b >= 1e9 {
+        format!("{:.2}GB", b / 1e9)
+    } else if b >= 1e6 {
+        format!("{:.2}MB", b / 1e6)
+    } else if b >= 1e3 {
+        format!("{:.2}KB", b / 1e3)
+    } else {
+        format!("{:.0}B", b)
+    }
+}
+
+/// Format a rate in bits/s as Gbps.
+pub fn fmt_gbps(bps: f64) -> String {
+    format!("{:.1}Gbps", bps / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_speed_units() {
+        assert_eq!(gbps(400), 400e9);
+        assert_eq!(gbps(200) * 2.0, gbps(400));
+        // NVLINK 400GBps = 3200 Gbps.
+        assert_eq!(gbytes_per_sec(400), gbps(3200));
+    }
+
+    #[test]
+    fn size_units() {
+        assert_eq!(mib(1.0), 8.0 * 1024.0 * 1024.0);
+        assert_eq!(gib(1.0), mib(1024.0));
+        assert_eq!(bits_from_bytes(10.0), 80.0);
+        assert_eq!(bytes_from_bits(80.0), 10.0);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_bytes(gib(4.0)), "4.29GB");
+        assert_eq!(fmt_gbps(gbps(400)), "400.0Gbps");
+        assert_eq!(fmt_bytes(8.0 * 500.0), "500B");
+    }
+}

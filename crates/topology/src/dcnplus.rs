@@ -1,0 +1,261 @@
+//! DCN+ — the previous-generation baseline fabric (Appendix C).
+//!
+//! DCN+ is a traditional 3-tier Clos with dual-ToR access and full bisection
+//! bandwidth, but **no rail-optimization and no dual-plane**:
+//!
+//! * A segment is 16 hosts (128 GPUs) served by a single dual-ToR pair: all
+//!   8 NICs of a host connect to the same two ToRs (port 0 → ToR1,
+//!   port 1 → ToR2).
+//! * Each ToR has 128×200G downstream ports and 64×400G uplinks — 8 parallel
+//!   400G cables to each of the pod's 8 Aggregation switches (full
+//!   bisection).
+//! * Each pod holds 4 segments (512 GPUs); each Aggregation switch has
+//!   64×400G uplinks spread over the Core layer (128 Core switches at paper
+//!   scale, 32 pods, 16K GPUs total).
+//!
+//! Because ToRs of *both* NIC ports sit under the same Aggregation pool,
+//! downstream traffic converges from many Aggs onto the two ToRs through
+//! 5-tuple hashing — the hash-polarization scenario of Fig 13a.
+
+use crate::fabric::{attach_nic_port, build_host, Fabric, FabricKind, Host, HostParams};
+use crate::graph::{Network, NodeId, NodeKind};
+
+/// Parameters of a DCN+ build.
+#[derive(Clone, Copy, Debug)]
+pub struct DcnPlusConfig {
+    /// Number of pods (paper: up to 32).
+    pub pods: u32,
+    /// Segments per pod (paper: 4).
+    pub segments_per_pod: u32,
+    /// Hosts per segment (paper: 16).
+    pub hosts_per_segment: u32,
+    /// Aggregation switches per pod (paper: 8).
+    pub aggs_per_pod: u16,
+    /// Parallel 400G cables between each ToR and each Agg (paper: 8).
+    pub tor_agg_parallel: u16,
+    /// Core uplinks per Aggregation switch (paper: 64 — full bisection).
+    pub agg_core_uplinks: u16,
+    /// Total Core switches (paper: 128).
+    pub cores: u16,
+    /// Trunk port speed, bits/s (400Gbps).
+    pub trunk_bps: f64,
+    /// Egress buffer on switch ports, bits.
+    pub switch_buffer_bits: f64,
+    /// Host hardware parameters.
+    pub host: HostParams,
+}
+
+impl DcnPlusConfig {
+    /// Paper-scale configuration (Appendix C).
+    pub fn paper() -> Self {
+        DcnPlusConfig {
+            pods: 32,
+            segments_per_pod: 4,
+            hosts_per_segment: 16,
+            aggs_per_pod: 8,
+            tor_agg_parallel: 8,
+            agg_core_uplinks: 64,
+            cores: 128,
+            trunk_bps: 400e9,
+            switch_buffer_bits: 400e3 * 8.0,
+            host: HostParams::paper(),
+        }
+    }
+
+    /// Miniature configuration for unit tests.
+    pub fn tiny() -> Self {
+        DcnPlusConfig {
+            pods: 2,
+            segments_per_pod: 2,
+            hosts_per_segment: 2,
+            aggs_per_pod: 2,
+            tor_agg_parallel: 2,
+            agg_core_uplinks: 4,
+            cores: 4,
+            trunk_bps: 400e9,
+            switch_buffer_bits: 400e3 * 8.0,
+            host: HostParams::tiny(),
+        }
+    }
+
+    /// GPUs per segment.
+    pub fn gpus_per_segment(&self) -> u32 {
+        self.hosts_per_segment * self.host.rails as u32
+    }
+
+    /// GPUs per pod.
+    pub fn gpus_per_pod(&self) -> u32 {
+        self.gpus_per_segment() * self.segments_per_pod
+    }
+
+    /// Build the fabric.
+    pub fn build(&self) -> Fabric {
+        let mut net = Network::new();
+        let mut hosts: Vec<Host> = Vec::new();
+        let mut tors: Vec<NodeId> = Vec::new();
+        let mut aggs: Vec<NodeId> = Vec::new();
+        let mut cores: Vec<NodeId> = Vec::new();
+
+        for index in 0..self.cores {
+            cores.push(net.add_node(NodeKind::Core { plane: 0, index }));
+        }
+
+        let mut host_id: u32 = 0;
+        for pod in 0..self.pods {
+            let mut pod_aggs: Vec<NodeId> = Vec::new();
+            for index in 0..self.aggs_per_pod {
+                let a = net.add_node(NodeKind::Agg {
+                    pod,
+                    plane: 0,
+                    index,
+                });
+                pod_aggs.push(a);
+                aggs.push(a);
+                for u in 0..self.agg_core_uplinks {
+                    let c = cores[((index * self.agg_core_uplinks + u) % self.cores) as usize];
+                    net.add_duplex(a, c, self.trunk_bps, self.switch_buffer_bits);
+                }
+            }
+
+            for seg_in_pod in 0..self.segments_per_pod {
+                let segment = pod * self.segments_per_pod + seg_in_pod;
+                // One dual-ToR pair per segment; both ToRs reach the shared
+                // Agg pool (this is the "typical Clos" of Fig 12a).
+                let mut pair_tors = Vec::with_capacity(2);
+                for plane in 0..2u8 {
+                    let t = net.add_node(NodeKind::Tor {
+                        segment,
+                        pair: 0,
+                        plane,
+                    });
+                    tors.push(t);
+                    pair_tors.push(t);
+                    for &a in &pod_aggs {
+                        for _ in 0..self.tor_agg_parallel {
+                            net.add_duplex(t, a, self.trunk_bps, self.switch_buffer_bits);
+                        }
+                    }
+                }
+
+                for _ in 0..self.hosts_per_segment {
+                    let mut host =
+                        build_host(&mut net, &self.host, host_id, segment, pod, false);
+                    for rail in 0..self.host.rails {
+                        for (port, &tor) in pair_tors.iter().enumerate() {
+                            attach_nic_port(
+                                &mut net,
+                                &mut host,
+                                rail,
+                                port,
+                                tor,
+                                self.host.nic_port_bps,
+                                self.switch_buffer_bits,
+                            );
+                        }
+                    }
+                    hosts.push(host);
+                    host_id += 1;
+                }
+            }
+        }
+
+        let fabric = Fabric {
+            net,
+            hosts,
+            tors,
+            aggs,
+            cores,
+            kind: FabricKind::DcnPlus,
+            dual_tor: true,
+            dual_plane: false,
+            rail_optimized: false,
+            segments: self.pods * self.segments_per_pod,
+            pods: self.pods,
+            host_params: self.host,
+        };
+        fabric.net.validate();
+        fabric
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_accounting() {
+        let cfg = DcnPlusConfig::paper();
+        assert_eq!(cfg.gpus_per_segment(), 128);
+        assert_eq!(cfg.gpus_per_pod(), 512);
+        assert_eq!(cfg.gpus_per_pod() * cfg.pods, 16384);
+    }
+
+    #[test]
+    fn tiny_build_inventory() {
+        let f = DcnPlusConfig::tiny().build();
+        assert_eq!(f.pods, 2);
+        assert_eq!(f.segments, 4);
+        // 2 ToRs per segment.
+        assert_eq!(f.tors.len(), 8);
+        assert_eq!(f.aggs.len(), 4);
+        assert_eq!(f.cores.len(), 4);
+        assert_eq!(f.active_gpu_count(), 2 * 2 * 2 * 2);
+    }
+
+    #[test]
+    fn all_rails_share_one_tor_pair() {
+        let f = DcnPlusConfig::tiny().build();
+        let h = &f.hosts[0];
+        for rail in 1..h.nics.len() {
+            assert_eq!(h.nic_tor[0][0], h.nic_tor[rail][0]);
+            assert_eq!(h.nic_tor[0][1], h.nic_tor[rail][1]);
+        }
+        assert_ne!(h.nic_tor[0][0], h.nic_tor[0][1], "still dual-ToR");
+    }
+
+    #[test]
+    fn tor_agg_parallel_cables() {
+        let cfg = DcnPlusConfig::tiny();
+        let f = cfg.build();
+        let t = f.tors[0];
+        let a = f.plane_aggs(0, 0)[0];
+        assert_eq!(
+            f.net.links_between(t, a).len(),
+            cfg.tor_agg_parallel as usize
+        );
+        // Total uplinks = aggs × parallel.
+        assert_eq!(
+            f.tor_uplinks(t).len(),
+            (cfg.aggs_per_pod * cfg.tor_agg_parallel) as usize
+        );
+    }
+
+    #[test]
+    fn both_planes_reach_same_agg_pool() {
+        // The defining difference from HPN's dual-plane (Fig 12).
+        let f = DcnPlusConfig::tiny().build();
+        let seg_tors = f.segment_tors(0);
+        assert_eq!(seg_tors.len(), 2);
+        let dsts = |t| {
+            let mut v: Vec<NodeId> = f
+                .tor_uplinks(t)
+                .iter()
+                .map(|&l| f.net.link(l).dst)
+                .collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        assert_eq!(dsts(seg_tors[0]), dsts(seg_tors[1]));
+    }
+
+    #[test]
+    fn full_bisection_at_tor() {
+        // Paper-scale DCN+ has no oversubscription at the ToR:
+        // 128×200G down == 64×400G up.
+        let cfg = DcnPlusConfig::paper();
+        let down = cfg.hosts_per_segment as f64 * cfg.host.rails as f64 * cfg.host.nic_port_bps;
+        let up = (cfg.aggs_per_pod * cfg.tor_agg_parallel) as f64 * cfg.trunk_bps;
+        assert_eq!(down, up);
+    }
+}

@@ -1,0 +1,146 @@
+//! Classic fat-tree(k) (Al-Fares et al., SIGCOMM 2008) — the third
+//! comparison row of Table 1.
+//!
+//! k pods; each pod has k/2 edge (ToR) and k/2 aggregation switches; each
+//! edge switch serves k/2 hosts; (k/2)² core switches. Hosts here are
+//! single-NIC (the fat-tree paper predates multi-rail GPU hosts), modelled
+//! as a 1-rail [`HostParams`]; Table 1 counts one GPU per NIC.
+
+use crate::fabric::{attach_nic_port, build_host, Fabric, FabricKind, Host, HostParams};
+use crate::graph::{Network, NodeId, NodeKind};
+
+/// Number of hosts a fat-tree(k) supports: k³/4.
+pub fn fat_tree_hosts(k: u32) -> u32 {
+    k * k * k / 4
+}
+
+/// Build a fat-tree with parameter `k` (must be even and ≥ 2).
+/// `link_bps` is used for every link (fat-trees are homogeneous).
+pub fn fat_tree(k: u32, link_bps: f64, buffer_bits: f64) -> Fabric {
+    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree k must be even, got {k}");
+    let half = k / 2;
+    let mut net = Network::new();
+    let mut hosts: Vec<Host> = Vec::new();
+    let mut tors: Vec<NodeId> = Vec::new();
+    let mut aggs: Vec<NodeId> = Vec::new();
+    let mut cores: Vec<NodeId> = Vec::new();
+
+    let host_params = HostParams {
+        rails: 1,
+        nvlink_bps: link_bps,
+        pcie_bps: link_bps,
+        nic_port_bps: link_bps,
+        host_buffer_bits: buffer_bits,
+    };
+
+    // Core layer: (k/2)^2 switches, grouped in k/2 groups of k/2.
+    for index in 0..(half * half) as u16 {
+        cores.push(net.add_node(NodeKind::Core { plane: 0, index }));
+    }
+
+    let mut host_id = 0u32;
+    for pod in 0..k {
+        let mut pod_aggs = Vec::new();
+        for a in 0..half {
+            let agg = net.add_node(NodeKind::Agg {
+                pod,
+                plane: 0,
+                index: a as u16,
+            });
+            pod_aggs.push(agg);
+            aggs.push(agg);
+            // Agg `a` connects to core group `a` (one link per core in group).
+            for c in 0..half {
+                let core = cores[(a * half + c) as usize];
+                net.add_duplex(agg, core, link_bps, buffer_bits);
+            }
+        }
+        for e in 0..half {
+            let segment = pod * half + e;
+            let tor = net.add_node(NodeKind::Tor {
+                segment,
+                pair: 0,
+                plane: 0,
+            });
+            tors.push(tor);
+            for &agg in &pod_aggs {
+                net.add_duplex(tor, agg, link_bps, buffer_bits);
+            }
+            for _ in 0..half {
+                let mut host = build_host(&mut net, &host_params, host_id, segment, pod, false);
+                attach_nic_port(&mut net, &mut host, 0, 0, tor, link_bps, buffer_bits);
+                hosts.push(host);
+                host_id += 1;
+            }
+        }
+    }
+
+    let fabric = Fabric {
+        net,
+        hosts,
+        tors,
+        aggs,
+        cores,
+        kind: FabricKind::FatTree,
+        dual_tor: false,
+        dual_plane: false,
+        rail_optimized: false,
+        segments: k * half,
+        pods: k,
+        host_params,
+    };
+    fabric.net.validate();
+    fabric
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_count_formula() {
+        assert_eq!(fat_tree_hosts(4), 16);
+        assert_eq!(fat_tree_hosts(48), 27648, "Table 1's fat-tree row");
+    }
+
+    #[test]
+    fn k4_structure() {
+        let f = fat_tree(4, 10e9, 1e6);
+        assert_eq!(f.hosts.len(), 16);
+        assert_eq!(f.tors.len(), 8);
+        assert_eq!(f.aggs.len(), 8);
+        assert_eq!(f.cores.len(), 4);
+        // Every edge switch: k/2 hosts down, k/2 aggs up.
+        for &t in &f.tors {
+            assert_eq!(
+                f.net
+                    .out_links_to(t, |k| matches!(k, NodeKind::Nic { .. }))
+                    .len(),
+                2
+            );
+            assert_eq!(f.tor_uplinks(t).len(), 2);
+        }
+        // Every core reaches every pod exactly once.
+        for &c in &f.cores {
+            let pods: Vec<u32> = f
+                .net
+                .neighbors(c)
+                .map(|(n, _)| match f.net.kind(n) {
+                    NodeKind::Agg { pod, .. } => pod,
+                    k => panic!("core wired to {k:?}"),
+                })
+                .collect();
+            assert_eq!(pods.len(), 4);
+            let mut uniq = pods.clone();
+            uniq.sort();
+            uniq.dedup();
+            assert_eq!(uniq.len(), 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn odd_k_rejected() {
+        fat_tree(3, 1e9, 1e6);
+    }
+}

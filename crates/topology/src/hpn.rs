@@ -1,0 +1,442 @@
+//! The HPN fabric builder — the paper's contribution (§3, §5, §6, §7).
+//!
+//! Structure at paper scale:
+//!
+//! * **Tier 1 (segment, §5):** 128 active + 8 backup hosts, 8 GPUs each.
+//!   Rail-optimized: NIC `r` of every host attaches to the rail-`r` dual-ToR
+//!   pair, port 0 to the plane-0 ToR and port 1 to the plane-1 ToR. Each ToR
+//!   is a 51.2Tbps single chip: (128+8)×200Gbps down, 60×400Gbps up
+//!   (1.067:1 oversubscription over the active hosts).
+//! * **Tier 2 (pod, §6):** dual-plane. The plane-p ToRs of all 15 segments
+//!   connect to all 60 plane-p Aggregation switches (one 400G cable each).
+//!   A pod therefore carries 15×1024 = 15,360 GPUs.
+//! * **Tier 3 (§7):** each Aggregation switch has 8×400G uplinks to Core
+//!   switches of its own plane (15:1 oversubscription), shared across pods.
+//!
+//! Feature flags (`dual_tor`, `dual_plane`, `rail_optimized`) switch the
+//! builder into the ablation variants used throughout the evaluation:
+//! single-ToR access (Fig 18 baseline), typical-Clos tier-2 (Fig 13a/14a),
+//! and non-rail-optimized tier-1.
+
+// Index loops mirror the paper's (host, rail, plane) notation; iterator
+// adaptors would obscure the wiring math.
+#![allow(clippy::needless_range_loop)]
+
+use crate::fabric::{attach_nic_port, build_host, Fabric, FabricKind, Host, HostParams};
+use crate::graph::{Network, NodeId, NodeKind};
+
+/// Parameters of an HPN build. All counts are per the paper unless scaled
+/// down for tests.
+#[derive(Clone, Copy, Debug)]
+pub struct HpnConfig {
+    /// Number of pods (tier-3 interconnects them).
+    pub pods: u32,
+    /// Segments per pod (paper: 15).
+    pub segments_per_pod: u32,
+    /// Active hosts per segment (paper: 128).
+    pub hosts_per_segment: u32,
+    /// Backup hosts per segment on the ToRs' reserved ports (paper: 8).
+    pub backup_hosts_per_segment: u32,
+    /// ToR→Agg links per ToR = Aggregation switches per plane (paper: 60).
+    pub aggs_per_plane: u16,
+    /// Core uplinks per Aggregation switch (paper: 8; yields 15:1 oversub).
+    pub agg_core_uplinks: u16,
+    /// Core switches per plane (shared by all pods).
+    pub cores_per_plane: u16,
+    /// ToR/Agg/Core port speed towards the upper layer, bits/s (400Gbps).
+    pub trunk_bps: f64,
+    /// Egress buffer on switch ports, bits. Sized so that a persistently
+    /// congested port in the typical-Clos ablation saturates in the few
+    /// hundred KB range the paper's Fig 14 reports.
+    pub switch_buffer_bits: f64,
+    /// Enable dual-ToR access (§4). Off = single-ToR baseline.
+    pub dual_tor: bool,
+    /// Enable dual-plane tier-2 (§6.1). Off = typical Clos tier-2.
+    pub dual_plane: bool,
+    /// Enable rail-optimized tier-1 (§5.2). Off = all NICs of a host share
+    /// one dual-ToR pair.
+    pub rail_optimized: bool,
+    /// Host hardware parameters.
+    pub host: HostParams,
+}
+
+impl HpnConfig {
+    /// Full paper-scale configuration: one pod of 15,360 GPUs.
+    pub fn paper() -> Self {
+        HpnConfig {
+            pods: 1,
+            segments_per_pod: 15,
+            hosts_per_segment: 128,
+            backup_hosts_per_segment: 8,
+            aggs_per_plane: 60,
+            agg_core_uplinks: 8,
+            cores_per_plane: 64,
+            trunk_bps: 400e9,
+            switch_buffer_bits: 400e3 * 8.0,
+            dual_tor: true,
+            dual_plane: true,
+            rail_optimized: true,
+            host: HostParams::paper(),
+        }
+    }
+
+    /// Miniature configuration with identical structure for unit tests:
+    /// 2 segments × 4 hosts × 2 rails.
+    pub fn tiny() -> Self {
+        HpnConfig {
+            pods: 1,
+            segments_per_pod: 2,
+            hosts_per_segment: 4,
+            backup_hosts_per_segment: 1,
+            aggs_per_plane: 4,
+            agg_core_uplinks: 2,
+            cores_per_plane: 4,
+            trunk_bps: 400e9,
+            switch_buffer_bits: 400e3 * 8.0,
+            dual_tor: true,
+            dual_plane: true,
+            rail_optimized: true,
+            host: HostParams::tiny(),
+        }
+    }
+
+    /// A mid-size configuration (hundreds of GPUs) for experiments that
+    /// don't need a full pod — structure identical to `paper()`.
+    pub fn medium() -> Self {
+        HpnConfig {
+            pods: 1,
+            segments_per_pod: 4,
+            hosts_per_segment: 16,
+            backup_hosts_per_segment: 1,
+            aggs_per_plane: 8,
+            agg_core_uplinks: 2,
+            cores_per_plane: 8,
+            trunk_bps: 400e9,
+            switch_buffer_bits: 400e3 * 8.0,
+            dual_tor: true,
+            dual_plane: true,
+            rail_optimized: true,
+            host: HostParams::paper(),
+        }
+    }
+
+    /// GPUs per segment this config yields.
+    pub fn gpus_per_segment(&self) -> u32 {
+        self.hosts_per_segment * self.host.rails as u32
+    }
+
+    /// Active GPUs per pod.
+    pub fn gpus_per_pod(&self) -> u32 {
+        self.gpus_per_segment() * self.segments_per_pod
+    }
+
+    /// Tier-1 oversubscription over active hosts, as the paper computes it
+    /// (downstream NIC bandwidth vs ToR uplink bandwidth).
+    pub fn tier1_oversubscription(&self) -> f64 {
+        let down = self.hosts_per_segment as f64 * self.host.nic_port_bps;
+        let up = self.aggs_per_plane as f64 * self.trunk_bps;
+        down / up
+    }
+
+    /// Aggregation→Core oversubscription (paper: 15:1).
+    pub fn agg_core_oversubscription(&self) -> f64 {
+        // Per Agg: downstream = one 400G link per ToR of its plane in its
+        // pod; upstream = agg_core_uplinks × 400G.
+        let tors_per_plane = self.segments_per_pod as f64 * self.rails_per_segment() as f64;
+        tors_per_plane / self.agg_core_uplinks as f64
+    }
+
+    fn rails_per_segment(&self) -> usize {
+        if self.rail_optimized {
+            self.host.rails
+        } else {
+            1
+        }
+    }
+
+    /// Build the fabric.
+    pub fn build(&self) -> Fabric {
+        let mut net = Network::new();
+        let mut hosts: Vec<Host> = Vec::new();
+        let mut tors: Vec<NodeId> = Vec::new();
+        let mut aggs: Vec<NodeId> = Vec::new();
+        let mut cores: Vec<NodeId> = Vec::new();
+
+        let planes: u8 = if self.dual_tor { 2 } else { 1 };
+        let pairs = self.rails_per_segment();
+        // Per-port NIC speed: with a single ToR the two 200G ports bond
+        // into one 400G cable (§4, single-ToR description).
+        let port_bps = if self.dual_tor {
+            self.host.nic_port_bps
+        } else {
+            2.0 * self.host.nic_port_bps
+        };
+
+        // Core layer, shared across pods, one set per plane.
+        for plane in 0..planes {
+            for index in 0..self.cores_per_plane {
+                cores.push(net.add_node(NodeKind::Core { plane, index }));
+            }
+        }
+        let core_at = |plane: u8, index: u16| -> NodeId {
+            cores[plane as usize * self.cores_per_plane as usize + index as usize]
+        };
+
+        let mut host_id: u32 = 0;
+        for pod in 0..self.pods {
+            // Aggregation layer of this pod.
+            let agg_planes: u8 = if self.dual_plane { planes } else { 1 };
+            let mut pod_aggs: Vec<Vec<NodeId>> = vec![Vec::new(); agg_planes as usize];
+            for plane in 0..agg_planes {
+                for index in 0..self.aggs_per_plane {
+                    let a = net.add_node(NodeKind::Agg { pod, plane, index });
+                    pod_aggs[plane as usize].push(a);
+                    aggs.push(a);
+                    // Agg → Core uplinks, staying inside the plane (§7
+                    // carries dual-plane into the Core layer). In the
+                    // non-dual-plane ablation all aggs use plane-0 cores.
+                    for u in 0..self.agg_core_uplinks {
+                        let cidx = (index * self.agg_core_uplinks + u) % self.cores_per_plane;
+                        let c = core_at(plane, cidx);
+                        net.add_duplex(a, c, self.trunk_bps, self.switch_buffer_bits);
+                    }
+                }
+            }
+
+            for seg_in_pod in 0..self.segments_per_pod {
+                let segment = pod * self.segments_per_pod + seg_in_pod;
+                // ToRs of this segment: one pair per rail (rail-optimized)
+                // or a single pair for the whole host (ablation).
+                let mut seg_tors: Vec<Vec<NodeId>> = Vec::with_capacity(pairs);
+                for pair in 0..pairs {
+                    let mut per_plane = Vec::with_capacity(planes as usize);
+                    for plane in 0..planes {
+                        let t = net.add_node(NodeKind::Tor {
+                            segment,
+                            pair: pair as u8,
+                            plane,
+                        });
+                        tors.push(t);
+                        per_plane.push(t);
+                        // ToR → Agg: one 400G cable to every Agg of the
+                        // ToR's plane (dual-plane) or of the shared pool.
+                        let agg_plane = if self.dual_plane { plane } else { 0 };
+                        for &a in &pod_aggs[agg_plane as usize] {
+                            net.add_duplex(t, a, self.trunk_bps, self.switch_buffer_bits);
+                        }
+                    }
+                    seg_tors.push(per_plane);
+                }
+
+                // Hosts: active first, then backups.
+                let total_hosts = self.hosts_per_segment + self.backup_hosts_per_segment;
+                for h in 0..total_hosts {
+                    let backup = h >= self.hosts_per_segment;
+                    let mut host = build_host(&mut net, &self.host, host_id, segment, pod, backup);
+                    for rail in 0..self.host.rails {
+                        let pair = if self.rail_optimized { rail } else { 0 };
+                        for (port, &tor) in seg_tors[pair].iter().enumerate() {
+                            attach_nic_port(
+                                &mut net,
+                                &mut host,
+                                rail,
+                                port,
+                                tor,
+                                port_bps,
+                                self.switch_buffer_bits,
+                            );
+                        }
+                    }
+                    hosts.push(host);
+                    host_id += 1;
+                }
+            }
+        }
+
+        let fabric = Fabric {
+            net,
+            hosts,
+            tors,
+            aggs,
+            cores,
+            kind: FabricKind::Hpn,
+            dual_tor: self.dual_tor,
+            dual_plane: self.dual_plane,
+            rail_optimized: self.rail_optimized,
+            segments: self.pods * self.segments_per_pod,
+            pods: self.pods,
+            host_params: self.host,
+        };
+        fabric.net.validate();
+        fabric
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_build_inventory() {
+        let cfg = HpnConfig::tiny();
+        let f = cfg.build();
+        // 2 segments × (4+1) hosts.
+        assert_eq!(f.hosts.len(), 10);
+        assert_eq!(f.active_hosts().count(), 8);
+        // 2 rails × 2 planes × 2 segments = 8 ToRs.
+        assert_eq!(f.tors.len(), 8);
+        // 2 planes × 4 aggs.
+        assert_eq!(f.aggs.len(), 8);
+        assert_eq!(f.cores.len(), 8);
+        assert_eq!(f.active_gpu_count(), 16);
+        assert_eq!(f.total_gpu_count(), 20);
+    }
+
+    #[test]
+    fn rail_optimized_wiring() {
+        let f = HpnConfig::tiny().build();
+        let h = &f.hosts[0];
+        // NIC r port p attaches to the rail-r pair, plane-p ToR.
+        for rail in 0..2 {
+            for port in 0..2 {
+                let tor = h.nic_tor[rail][port].expect("wired");
+                match f.net.kind(tor) {
+                    NodeKind::Tor {
+                        segment,
+                        pair,
+                        plane,
+                    } => {
+                        assert_eq!(segment, 0);
+                        assert_eq!(pair as usize, rail, "rail-optimized pairing");
+                        assert_eq!(plane as usize, port, "port p → plane p");
+                    }
+                    k => panic!("NIC wired to {k:?}"),
+                }
+            }
+        }
+        // Dual-ToR: the two ports reach two different switches.
+        assert_ne!(h.nic_tor[0][0], h.nic_tor[0][1]);
+    }
+
+    #[test]
+    fn dual_plane_isolation() {
+        // A plane-0 ToR must reach only plane-0 Aggs.
+        let f = HpnConfig::tiny().build();
+        for &t in &f.tors {
+            let NodeKind::Tor { plane, .. } = f.net.kind(t) else {
+                unreachable!()
+            };
+            for l in f.tor_uplinks(t) {
+                let agg = f.net.link(l).dst;
+                let NodeKind::Agg { plane: ap, .. } = f.net.kind(agg) else {
+                    panic!("uplink not to an Agg")
+                };
+                assert_eq!(ap, plane, "plane isolation violated");
+            }
+        }
+    }
+
+    #[test]
+    fn clos_ablation_shares_aggs() {
+        let mut cfg = HpnConfig::tiny();
+        cfg.dual_plane = false;
+        let f = cfg.build();
+        // Single shared pool of aggs.
+        assert_eq!(f.aggs.len(), 4);
+        // Every ToR (both planes) reaches every Agg.
+        for &t in &f.tors {
+            assert_eq!(f.tor_uplinks(t).len(), 4);
+        }
+    }
+
+    #[test]
+    fn single_tor_ablation() {
+        let mut cfg = HpnConfig::tiny();
+        cfg.dual_tor = false;
+        let f = cfg.build();
+        let h = &f.hosts[0];
+        // Only port 0 is wired, at double speed (bonded cable).
+        assert!(h.nic_up[0][0].is_some());
+        assert!(h.nic_up[0][1].is_none());
+        let up = f.net.link(h.nic_up[0][0].unwrap());
+        assert_eq!(up.cap_bps, 400e9);
+        // Half the ToRs of the dual design.
+        assert_eq!(f.tors.len(), 4);
+    }
+
+    #[test]
+    fn non_rail_optimized_ablation() {
+        let mut cfg = HpnConfig::tiny();
+        cfg.rail_optimized = false;
+        let f = cfg.build();
+        // One pair per segment: 1 pair × 2 planes × 2 segments.
+        assert_eq!(f.tors.len(), 4);
+        let h = &f.hosts[0];
+        // Both rails share the same ToR pair.
+        assert_eq!(h.nic_tor[0][0], h.nic_tor[1][0]);
+        assert_eq!(h.nic_tor[0][1], h.nic_tor[1][1]);
+    }
+
+    #[test]
+    fn paper_scale_accounting_without_building() {
+        let cfg = HpnConfig::paper();
+        assert_eq!(cfg.gpus_per_segment(), 1024);
+        assert_eq!(cfg.gpus_per_pod(), 15360);
+        let o = cfg.tier1_oversubscription();
+        assert!((o - 1.0667).abs() < 1e-3, "tier1 oversub {o}");
+        let oc = cfg.agg_core_oversubscription();
+        assert!((oc - 15.0).abs() < 1e-9, "agg-core oversub {oc}");
+    }
+
+    #[test]
+    fn medium_build_structure() {
+        let f = HpnConfig::medium().build();
+        assert_eq!(f.active_gpu_count(), 4 * 16 * 8);
+        // 8 rails × 2 planes × 4 segments.
+        assert_eq!(f.tors.len(), 64);
+        // Each ToR has aggs_per_plane uplinks.
+        assert_eq!(f.tor_uplinks(f.tors[0]).len(), 8);
+        f.net.validate();
+    }
+
+    #[test]
+    fn tor_downstream_port_counts_match_hosts() {
+        let f = HpnConfig::tiny().build();
+        // Each ToR serves (hosts_per_segment + backup) NIC ports.
+        for &t in &f.tors {
+            let down = f
+                .net
+                .out_links_to(t, |k| matches!(k, NodeKind::Nic { .. }))
+                .len();
+            assert_eq!(down, 5, "128+8 pattern scaled down to 4+1");
+        }
+    }
+
+    #[test]
+    fn multi_pod_build_has_core_interconnect() {
+        let mut cfg = HpnConfig::tiny();
+        cfg.pods = 2;
+        let f = cfg.build();
+        assert_eq!(f.pods, 2);
+        assert_eq!(f.segments, 4);
+        // Aggs double; cores shared.
+        assert_eq!(f.aggs.len(), 16);
+        assert_eq!(f.cores.len(), 8);
+        // Some agg in pod 0 and some agg in pod 1 share a core.
+        let a0 = f.plane_aggs(0, 0)[0];
+        let up0: Vec<_> = f
+            .net
+            .out_links_to(a0, |k| matches!(k, NodeKind::Core { .. }))
+            .iter()
+            .map(|&l| f.net.link(l).dst)
+            .collect();
+        let a1 = f.plane_aggs(1, 0)[0];
+        let up1: Vec<_> = f
+            .net
+            .out_links_to(a1, |k| matches!(k, NodeKind::Core { .. }))
+            .iter()
+            .map(|&l| f.net.link(l).dst)
+            .collect();
+        assert!(up0.iter().any(|c| up1.contains(c)), "pods share cores");
+    }
+}

@@ -1,0 +1,41 @@
+//! # hpn-topology — network graphs and fabric builders
+//!
+//! This crate models the physical wiring of the datacenter fabrics the paper
+//! discusses, as typed directed graphs ([`Network`]) ready to be loaded into
+//! the fluid simulator ([`hpn_sim::FlowNet`]).
+//!
+//! Builders provided:
+//!
+//! * [`hpn::HpnConfig`] — the paper's contribution (§3–§6): rail-optimized
+//!   dual-ToR segments of 1K GPUs on 51.2Tbps single-chip ToRs, a dual-plane
+//!   tier-2 interconnecting 15 segments (15K GPUs per pod), and a 15:1
+//!   oversubscribed Aggregation–Core tier-3.
+//! * [`dcnplus::DcnPlusConfig`] — the previous-generation baseline (Appendix
+//!   C): 3-tier Clos, dual-ToR, 128-GPU segments, 4 segments per pod.
+//! * [`fattree::fat_tree`] — classic fat-tree(k) (Table 1 comparison).
+//! * [`superpod::SuperPodConfig`] — a DGX-SuperPod-like 3-tier rail topology
+//!   (Table 1 comparison).
+//! * [`railonly`] — tier-2 rail-only accounting (Table 4 / §10 discussion).
+//! * [`frontend`] — the independent frontend network with the storage
+//!   cluster (§8).
+//!
+//! Every fabric is scale-parameterised: unit tests use miniature instances
+//! (e.g. 4 hosts per segment) whose structure is identical to the paper-
+//! scale ones, which the experiment harness builds in full.
+
+#![warn(missing_docs)]
+
+pub mod dcnplus;
+pub mod fabric;
+pub mod fattree;
+pub mod frontend;
+pub mod graph;
+pub mod hpn;
+pub mod railonly;
+pub mod superpod;
+pub mod wiring;
+
+pub use fabric::{Fabric, FabricKind, Host};
+pub use graph::{LinkIdx, Network, NodeId, NodeKind};
+pub use hpn::HpnConfig;
+pub use dcnplus::DcnPlusConfig;

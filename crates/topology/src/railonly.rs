@@ -1,0 +1,206 @@
+//! Rail-only tier-2 — the §10 / Table 4 design-space discussion.
+//!
+//! If tier-2 is wired *per rail* (plane p of rail r only interconnects the
+//! rail-r ToRs), each Aggregation plane serves an eighth of the ToRs, so a
+//! pod can host 8× the GPUs — 122,880 at paper scale — at the cost of
+//! forbidding cross-rail network traffic (MoE all-to-all, multi-tenant
+//! serverless). HPN rejects this trade; we implement it to reproduce
+//! Table 4 and to let the benches quantify what breaks.
+
+// Index loops mirror the paper's (host, rail, plane) notation; iterator
+// adaptors would obscure the wiring math.
+#![allow(clippy::needless_range_loop)]
+
+use crate::fabric::{attach_nic_port, build_host, Fabric, FabricKind, Host};
+use crate::graph::{Network, NodeId, NodeKind};
+use crate::hpn::HpnConfig;
+
+/// Table 4 accounting derived from an HPN configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RailOnlyAccounting {
+    /// Tier-2 planes in the any-to-any design (2).
+    pub any_to_any_planes: u32,
+    /// Tier-2 planes in the rail-only design (2 × rails = 16).
+    pub rail_only_planes: u32,
+    /// GPUs per pod, any-to-any (15,360).
+    pub any_to_any_gpus: u32,
+    /// GPUs per pod, rail-only (122,880).
+    pub rail_only_gpus: u32,
+}
+
+/// Compute Table 4 from an HPN configuration.
+pub fn rail_only_accounting(cfg: &HpnConfig) -> RailOnlyAccounting {
+    let rails = cfg.host.rails as u32;
+    RailOnlyAccounting {
+        any_to_any_planes: 2,
+        rail_only_planes: 2 * rails,
+        any_to_any_gpus: cfg.gpus_per_pod(),
+        // Each Aggregation plane now serves only the ToRs of one rail, so a
+        // pod absorbs `rails`× more segments.
+        rail_only_gpus: cfg.gpus_per_pod() * rails,
+    }
+}
+
+/// Build a rail-only variant of the HPN fabric: same tier-1, but the
+/// Aggregation layer is partitioned per (plane, rail) and a ToR connects
+/// only to the Agg group of its own rail. Cross-rail traffic *must* relay
+/// over NVLink (routing will fail if asked for a cross-rail network path
+/// without an intra-host hop).
+pub fn build_rail_only(cfg: &HpnConfig) -> Fabric {
+    assert!(
+        cfg.dual_tor && cfg.rail_optimized,
+        "rail-only tier-2 presumes the rail-optimized dual-ToR tier-1"
+    );
+    let mut net = Network::new();
+    let mut hosts: Vec<Host> = Vec::new();
+    let mut tors: Vec<NodeId> = Vec::new();
+    let mut aggs: Vec<NodeId> = Vec::new();
+    let cores: Vec<NodeId> = Vec::new(); // rail-only is studied as a single pod
+
+    let rails = cfg.host.rails;
+    // Agg groups indexed by (plane, rail); sized down so the total Agg port
+    // budget matches the any-to-any design: each group needs only
+    // tor-uplinks ports per segment.
+    let mut agg_groups: Vec<Vec<NodeId>> = Vec::new();
+    for plane in 0..2u8 {
+        for rail in 0..rails {
+            let mut group = Vec::new();
+            for index in 0..cfg.aggs_per_plane {
+                // Encode the rail in the index space to keep NodeKind simple.
+                let a = net.add_node(NodeKind::Agg {
+                    pod: 0,
+                    plane,
+                    index: rail as u16 * cfg.aggs_per_plane + index,
+                });
+                group.push(a);
+                aggs.push(a);
+            }
+            agg_groups.push(group);
+        }
+    }
+    let group_of = |plane: u8, rail: usize| &agg_groups[plane as usize * rails + rail];
+
+    let mut host_id = 0u32;
+    for segment in 0..cfg.segments_per_pod {
+        let mut seg_tors: Vec<Vec<NodeId>> = Vec::with_capacity(rails);
+        for rail in 0..rails {
+            let mut per_plane = Vec::with_capacity(2);
+            for plane in 0..2u8 {
+                let t = net.add_node(NodeKind::Tor {
+                    segment,
+                    pair: rail as u8,
+                    plane,
+                });
+                tors.push(t);
+                per_plane.push(t);
+                for &a in group_of(plane, rail) {
+                    net.add_duplex(t, a, cfg.trunk_bps, cfg.switch_buffer_bits);
+                }
+            }
+            seg_tors.push(per_plane);
+        }
+        let total_hosts = cfg.hosts_per_segment + cfg.backup_hosts_per_segment;
+        for h in 0..total_hosts {
+            let backup = h >= cfg.hosts_per_segment;
+            let mut host = build_host(&mut net, &cfg.host, host_id, segment, 0, backup);
+            for rail in 0..rails {
+                for (port, &tor) in seg_tors[rail].iter().enumerate() {
+                    attach_nic_port(
+                        &mut net,
+                        &mut host,
+                        rail,
+                        port,
+                        tor,
+                        cfg.host.nic_port_bps,
+                        cfg.switch_buffer_bits,
+                    );
+                }
+            }
+            hosts.push(host);
+            host_id += 1;
+        }
+    }
+
+    let fabric = Fabric {
+        net,
+        hosts,
+        tors,
+        aggs,
+        cores,
+        kind: FabricKind::Hpn,
+        dual_tor: true,
+        dual_plane: true,
+        rail_optimized: true,
+        segments: cfg.segments_per_pod,
+        pods: 1,
+        host_params: cfg.host,
+    };
+    fabric.net.validate();
+    fabric
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_accounting() {
+        let acc = rail_only_accounting(&HpnConfig::paper());
+        assert_eq!(acc.any_to_any_planes, 2);
+        assert_eq!(acc.rail_only_planes, 16);
+        assert_eq!(acc.any_to_any_gpus, 15360);
+        assert_eq!(acc.rail_only_gpus, 122880);
+    }
+
+    #[test]
+    fn rail_isolation_in_tier2() {
+        let f = build_rail_only(&HpnConfig::tiny());
+        // A rail-0 ToR and a rail-1 ToR of the same plane share no Agg.
+        let tor_r0 = f
+            .tors
+            .iter()
+            .copied()
+            .find(|&t| matches!(f.net.kind(t), NodeKind::Tor { pair: 0, plane: 0, .. }))
+            .unwrap();
+        let tor_r1 = f
+            .tors
+            .iter()
+            .copied()
+            .find(|&t| matches!(f.net.kind(t), NodeKind::Tor { pair: 1, plane: 0, .. }))
+            .unwrap();
+        let aggs_of = |t| {
+            let mut v: Vec<NodeId> = f
+                .tor_uplinks(t)
+                .iter()
+                .map(|&l| f.net.link(l).dst)
+                .collect();
+            v.sort();
+            v
+        };
+        let a0 = aggs_of(tor_r0);
+        let a1 = aggs_of(tor_r1);
+        assert!(!a0.is_empty() && !a1.is_empty());
+        assert!(a0.iter().all(|a| !a1.contains(a)), "rails share an Agg");
+    }
+
+    #[test]
+    fn same_rail_cross_segment_connectivity_exists() {
+        let f = build_rail_only(&HpnConfig::tiny());
+        // Rail-0 ToRs of segment 0 and 1 share their Agg group.
+        let find = |seg, plane| {
+            f.tors
+                .iter()
+                .copied()
+                .find(|&t| {
+                    matches!(f.net.kind(t),
+                        NodeKind::Tor { segment, pair: 0, plane: p } if segment == seg && p == plane)
+                })
+                .unwrap()
+        };
+        let t0 = find(0, 0);
+        let t1 = find(1, 0);
+        let a0: Vec<NodeId> = f.tor_uplinks(t0).iter().map(|&l| f.net.link(l).dst).collect();
+        let a1: Vec<NodeId> = f.tor_uplinks(t1).iter().map(|&l| f.net.link(l).dst).collect();
+        assert!(a0.iter().any(|a| a1.contains(a)));
+    }
+}

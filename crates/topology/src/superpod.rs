@@ -1,0 +1,198 @@
+//! DGX-SuperPod-like 3-tier rail topology — the second comparison row of
+//! Table 1 (also representative of NVIDIA DGX Cloud, Meta's AI
+//! supercomputer and CoreWeave, per the paper's footnote).
+//!
+//! Structure: hosts are grouped into *scalable units* (SUs). Tier 1 is
+//! rail-optimized and single-ToR: leaf switch `r` of an SU serves rail `r`
+//! of all hosts in that SU. Tier 2 (spine) and tier 3 (core) are plain Clos
+//! layers where every leaf reaches every spine and every spine reaches a
+//! group of cores. Path selection must therefore hash at three layers —
+//! O(32×32×4) = O(4096) per Table 1 — and traffic crossing SUs passes three
+//! hashing stages, the polarization-prone pattern of §2.2.
+
+// Index loops mirror the paper's (host, rail, plane) notation; iterator
+// adaptors would obscure the wiring math.
+#![allow(clippy::needless_range_loop)]
+
+use crate::fabric::{attach_nic_port, build_host, Fabric, FabricKind, Host, HostParams};
+use crate::graph::{Network, NodeId, NodeKind};
+
+/// Parameters of a SuperPod-like build.
+#[derive(Clone, Copy, Debug)]
+pub struct SuperPodConfig {
+    /// Number of scalable units.
+    pub sus: u32,
+    /// Hosts per SU (NVIDIA reference: 32 hosts = 256 GPUs per SU).
+    pub hosts_per_su: u32,
+    /// Spine switches per rail group (Table 1 counts 32 uplink choices).
+    pub spines: u16,
+    /// Core switches (Table 1 counts 4 choices at the top).
+    pub cores: u16,
+    /// Leaf→Spine and Spine→Core port speed, bits/s.
+    pub trunk_bps: f64,
+    /// Switch port buffer, bits.
+    pub switch_buffer_bits: f64,
+    /// Host hardware parameters.
+    pub host: HostParams,
+}
+
+impl SuperPodConfig {
+    /// Reference-architecture scale: 64 SUs × 32 hosts × 8 GPUs = 16,384
+    /// GPUs (Table 1's SuperPod row).
+    pub fn paper() -> Self {
+        SuperPodConfig {
+            sus: 64,
+            hosts_per_su: 32,
+            spines: 32,
+            cores: 4,
+            trunk_bps: 400e9,
+            switch_buffer_bits: 400e3 * 8.0,
+            host: HostParams::paper(),
+        }
+    }
+
+    /// Miniature configuration for unit tests.
+    pub fn tiny() -> Self {
+        SuperPodConfig {
+            sus: 2,
+            hosts_per_su: 2,
+            spines: 2,
+            cores: 2,
+            trunk_bps: 400e9,
+            switch_buffer_bits: 400e3 * 8.0,
+            host: HostParams::tiny(),
+        }
+    }
+
+    /// Total GPUs.
+    pub fn gpu_count(&self) -> u32 {
+        self.sus * self.hosts_per_su * self.host.rails as u32
+    }
+
+    /// Build the fabric.
+    pub fn build(&self) -> Fabric {
+        let mut net = Network::new();
+        let mut hosts: Vec<Host> = Vec::new();
+        let mut tors: Vec<NodeId> = Vec::new();
+        let mut aggs: Vec<NodeId> = Vec::new();
+        let mut cores: Vec<NodeId> = Vec::new();
+
+        for index in 0..self.cores {
+            cores.push(net.add_node(NodeKind::Core { plane: 0, index }));
+        }
+        // Spine layer (mapped onto Agg nodes; pod 0 = the whole SuperPod).
+        for index in 0..self.spines {
+            let s = net.add_node(NodeKind::Agg {
+                pod: 0,
+                plane: 0,
+                index,
+            });
+            aggs.push(s);
+            for &c in &cores {
+                net.add_duplex(s, c, self.trunk_bps, self.switch_buffer_bits);
+            }
+        }
+
+        let mut host_id = 0u32;
+        for su in 0..self.sus {
+            // One leaf per rail, single-ToR.
+            let mut leaves = Vec::with_capacity(self.host.rails);
+            for rail in 0..self.host.rails {
+                let leaf = net.add_node(NodeKind::Tor {
+                    segment: su,
+                    pair: rail as u8,
+                    plane: 0,
+                });
+                tors.push(leaf);
+                leaves.push(leaf);
+                for &s in &aggs {
+                    net.add_duplex(leaf, s, self.trunk_bps, self.switch_buffer_bits);
+                }
+            }
+            for _ in 0..self.hosts_per_su {
+                let mut host = build_host(&mut net, &self.host, host_id, su, 0, false);
+                for rail in 0..self.host.rails {
+                    // Single-ToR: both NIC ports bond into one cable.
+                    attach_nic_port(
+                        &mut net,
+                        &mut host,
+                        rail,
+                        0,
+                        leaves[rail],
+                        self.host.nic_bps(),
+                        self.switch_buffer_bits,
+                    );
+                }
+                hosts.push(host);
+                host_id += 1;
+            }
+        }
+
+        let fabric = Fabric {
+            net,
+            hosts,
+            tors,
+            aggs,
+            cores,
+            kind: FabricKind::SuperPod,
+            dual_tor: false,
+            dual_plane: false,
+            rail_optimized: true,
+            segments: self.sus,
+            pods: 1,
+            host_params: self.host,
+        };
+        fabric.net.validate();
+        fabric
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_table1() {
+        assert_eq!(SuperPodConfig::paper().gpu_count(), 16384);
+    }
+
+    #[test]
+    fn tiny_structure() {
+        let cfg = SuperPodConfig::tiny();
+        let f = cfg.build();
+        assert_eq!(f.hosts.len(), 4);
+        // 2 SUs × 2 rails of leaves.
+        assert_eq!(f.tors.len(), 4);
+        assert_eq!(f.aggs.len(), 2);
+        assert_eq!(f.cores.len(), 2);
+        // Single-ToR: only port 0 wired, at bonded speed.
+        let h = &f.hosts[0];
+        assert!(h.nic_up[0][0].is_some());
+        assert!(h.nic_up[0][1].is_none());
+        assert_eq!(f.net.link(h.nic_up[0][0].unwrap()).cap_bps, 400e9);
+    }
+
+    #[test]
+    fn rail_optimized_leaves() {
+        let f = SuperPodConfig::tiny().build();
+        let h0 = &f.hosts[0];
+        let h1 = &f.hosts[1];
+        // Same SU, same rail → same leaf; different rails → different leaves.
+        assert_eq!(h0.nic_tor[0][0], h1.nic_tor[0][0]);
+        assert_ne!(h0.nic_tor[0][0], h0.nic_tor[1][0]);
+    }
+
+    #[test]
+    fn three_tiers_present() {
+        // Cross-SU, any leaf can reach any other via spine (tier2), and
+        // spines reach cores (tier3).
+        let f = SuperPodConfig::tiny().build();
+        let leaf = f.tors[0];
+        assert_eq!(f.tor_uplinks(leaf).len(), 2);
+        let spine = f.aggs[0];
+        let ups = f
+            .net
+            .out_links_to(spine, |k| matches!(k, NodeKind::Core { .. }));
+        assert_eq!(ups.len(), 2);
+    }
+}

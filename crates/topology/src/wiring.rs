@@ -1,0 +1,207 @@
+//! Wiring validation — the §10 lesson "HPN complicates wiring".
+//!
+//! The rail-optimized + dual-plane design multiplies cabling rules, and
+//! the paper reports on-site staff miswiring fabrics during the nascent
+//! build-out; production eradicates these with INT-based probes that check
+//! every hop against the blueprint. This module is that checker: given a
+//! built [`Fabric`], [`validate_blueprint`] verifies every rule the HPN
+//! blueprint implies and reports each violation with the offending nodes —
+//! the same information an INT probe's (switchID, portID) trace yields.
+
+use crate::fabric::Fabric;
+use crate::graph::NodeKind;
+
+/// One detected wiring violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WiringViolation {
+    /// A NIC port is attached to a ToR of the wrong plane (port p must go
+    /// to plane p).
+    PortPlaneMismatch {
+        /// Host with the miswired NIC.
+        host: u32,
+        /// Rail of the NIC.
+        rail: u8,
+        /// NIC port index.
+        port: u8,
+        /// Plane of the ToR it actually reaches.
+        actual_plane: u8,
+    },
+    /// A NIC is attached to a ToR pair of the wrong rail (rail-optimized
+    /// fabrics bind rail r to pair r).
+    RailPairMismatch {
+        /// Host with the miswired NIC.
+        host: u32,
+        /// Rail of the NIC.
+        rail: u8,
+        /// Pair id of the ToR it actually reaches.
+        actual_pair: u8,
+    },
+    /// A NIC reaches a ToR outside its own segment.
+    SegmentMismatch {
+        /// Host with the miswired NIC.
+        host: u32,
+        /// Rail of the NIC.
+        rail: u8,
+        /// Segment of the ToR it actually reaches.
+        actual_segment: u32,
+    },
+    /// The two ports of one NIC land on the same ToR (no dual-ToR
+    /// redundancy left).
+    BothPortsOneTor {
+        /// Host with the miswired NIC.
+        host: u32,
+        /// Rail of the NIC.
+        rail: u8,
+    },
+    /// A dual-plane ToR has an uplink into the wrong plane's Aggregation
+    /// switch.
+    TorPlaneLeak {
+        /// Segment of the ToR.
+        segment: u32,
+        /// Plane the ToR belongs to.
+        tor_plane: u8,
+        /// Plane of the Agg it is cabled into.
+        agg_plane: u8,
+    },
+}
+
+/// Check a fabric against the HPN blueprint. An unmodified builder output
+/// returns an empty list; a hand-patched (miswired) fabric returns one
+/// violation per bad cable, in deterministic order.
+pub fn validate_blueprint(fabric: &Fabric) -> Vec<WiringViolation> {
+    let mut out = Vec::new();
+    for host in &fabric.hosts {
+        for rail in 0..host.nics.len() {
+            let mut tors_seen = Vec::new();
+            for port in 0..2 {
+                let Some(tor) = host.nic_tor[rail][port] else {
+                    continue;
+                };
+                tors_seen.push(tor);
+                let NodeKind::Tor {
+                    segment,
+                    pair,
+                    plane,
+                } = fabric.net.kind(tor)
+                else {
+                    continue;
+                };
+                if segment != host.segment {
+                    out.push(WiringViolation::SegmentMismatch {
+                        host: host.id,
+                        rail: rail as u8,
+                        actual_segment: segment,
+                    });
+                }
+                if fabric.dual_tor && plane as usize != port {
+                    out.push(WiringViolation::PortPlaneMismatch {
+                        host: host.id,
+                        rail: rail as u8,
+                        port: port as u8,
+                        actual_plane: plane,
+                    });
+                }
+                if fabric.rail_optimized && pair as usize != rail {
+                    out.push(WiringViolation::RailPairMismatch {
+                        host: host.id,
+                        rail: rail as u8,
+                        actual_pair: pair,
+                    });
+                }
+            }
+            if tors_seen.len() == 2 && tors_seen[0] == tors_seen[1] {
+                out.push(WiringViolation::BothPortsOneTor {
+                    host: host.id,
+                    rail: rail as u8,
+                });
+            }
+        }
+    }
+    if fabric.dual_plane {
+        for &t in &fabric.tors {
+            let NodeKind::Tor { segment, plane, .. } = fabric.net.kind(t) else {
+                continue;
+            };
+            for l in fabric.tor_uplinks(t) {
+                let agg = fabric.net.link(l).dst;
+                if let NodeKind::Agg { plane: ap, .. } = fabric.net.kind(agg) {
+                    if ap != plane {
+                        out.push(WiringViolation::TorPlaneLeak {
+                            segment,
+                            tor_plane: plane,
+                            agg_plane: ap,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::attach_nic_port;
+    use crate::hpn::HpnConfig;
+
+    #[test]
+    fn builder_output_is_blueprint_clean() {
+        for cfg in [HpnConfig::tiny(), HpnConfig::medium()] {
+            let f = cfg.build();
+            assert!(validate_blueprint(&f).is_empty(), "clean build flagged");
+        }
+        // The ablations are blueprint-clean against their own flags too.
+        let mut c = HpnConfig::tiny();
+        c.dual_plane = false;
+        assert!(validate_blueprint(&c.build()).is_empty());
+        let mut c = HpnConfig::tiny();
+        c.rail_optimized = false;
+        assert!(validate_blueprint(&c.build()).is_empty());
+    }
+
+    #[test]
+    fn swapped_ports_are_detected() {
+        // Simulate the on-site mistake: plugging a NIC's two cables into
+        // each other's ToRs.
+        let mut f = HpnConfig::tiny().build();
+        let h = 0usize;
+        f.hosts[h].nic_tor[0].swap(0, 1);
+        let v = validate_blueprint(&f);
+        let planes: Vec<_> = v
+            .iter()
+            .filter(|v| matches!(v, WiringViolation::PortPlaneMismatch { .. }))
+            .collect();
+        assert_eq!(planes.len(), 2, "both ports flagged: {v:?}");
+    }
+
+    #[test]
+    fn wrong_rail_cable_is_detected() {
+        // Plug host 0's rail-0 spare port into the rail-1 ToR.
+        let mut f = HpnConfig::tiny().build();
+        let wrong_tor = f.hosts[0].nic_tor[1][0].unwrap(); // rail 1, plane 0
+        let mut host = f.hosts[0].clone();
+        host.nic_up[0][0] = None;
+        host.nic_down[0][0] = None;
+        host.nic_tor[0][0] = None;
+        attach_nic_port(&mut f.net, &mut host, 0, 0, wrong_tor, 200e9, 1e6);
+        f.hosts[0] = host;
+        let v = validate_blueprint(&f);
+        assert!(
+            v.iter()
+                .any(|v| matches!(v, WiringViolation::RailPairMismatch { host: 0, rail: 0, .. })),
+            "rail mismatch missed: {v:?}"
+        );
+    }
+
+    #[test]
+    fn both_ports_on_one_tor_is_detected() {
+        let mut f = HpnConfig::tiny().build();
+        let tor0 = f.hosts[0].nic_tor[0][0];
+        f.hosts[0].nic_tor[0][1] = tor0;
+        let v = validate_blueprint(&f);
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, WiringViolation::BothPortsOneTor { host: 0, rail: 0 })));
+    }
+}

@@ -1,0 +1,149 @@
+//! Connections, connection groups and path-selection policies.
+
+use hpn_routing::router::Route;
+
+/// Index of a connection within a [`crate::ClusterSim`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ConnectionId(pub u32);
+
+/// Index of a connection group (a disjoint-path set between two endpoints).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GroupId(pub u32);
+
+/// An RDMA-style connection: one QP, one 5-tuple, one current path.
+///
+/// Because both NIC ports share QP contexts (§4), moving the connection to
+/// the other port on failure does not break it — we model that by letting
+/// the route (and its port) be replaced while the id, endpoints and WQE
+/// counter survive.
+#[derive(Clone, Debug)]
+pub struct Connection {
+    /// Stable id.
+    pub id: ConnectionId,
+    /// Source `(host, rail)`.
+    pub src: (u32, usize),
+    /// Destination `(host, rail)`.
+    pub dst: (u32, usize),
+    /// UDP source port pinned by RePaC.
+    pub sport: u16,
+    /// Current route (replaced on failover).
+    pub route: Route,
+    /// Outstanding bytes over all active WQEs — the congestion signal of
+    /// Appendix B ("a congested connection drains the Work Queue slower").
+    pub wqe_bytes: f64,
+    /// Messages currently in flight.
+    pub inflight: usize,
+}
+
+/// How a group picks the connection for the next message.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PathPolicy {
+    /// The paper's scheme (Appendix B Algorithm 2): the connection with the
+    /// smallest outstanding-WQE byte counter.
+    LeastWqe,
+    /// Round-robin over the group — the natural static baseline.
+    RoundRobin,
+    /// Always the first connection — the single-path baseline.
+    Single,
+}
+
+/// A disjoint-path connection set between one pair of endpoints.
+#[derive(Clone, Debug)]
+pub struct ConnGroup {
+    /// Stable id.
+    pub id: GroupId,
+    /// Members (each over a distinct path).
+    pub conns: Vec<ConnectionId>,
+    /// Selection policy.
+    pub policy: PathPolicy,
+    /// Round-robin cursor.
+    pub rr_next: usize,
+}
+
+impl ConnGroup {
+    /// Apply the policy: pick the member for the next message.
+    /// `wqe_of` reports each member's current counter.
+    pub fn pick(&mut self, wqe_of: impl Fn(ConnectionId) -> f64) -> ConnectionId {
+        assert!(!self.conns.is_empty(), "empty connection group");
+        match self.policy {
+            PathPolicy::Single => self.conns[0],
+            PathPolicy::RoundRobin => {
+                let c = self.conns[self.rr_next % self.conns.len()];
+                self.rr_next = (self.rr_next + 1) % self.conns.len();
+                c
+            }
+            PathPolicy::LeastWqe => {
+                // getLeastLoad of Algorithm 2: minimal WQE_i; ties break to
+                // the lowest id for determinism.
+                *self
+                    .conns
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        wqe_of(a)
+                            .partial_cmp(&wqe_of(b))
+                            .expect("WQE counters are never NaN")
+                            .then(a.cmp(&b))
+                    })
+                    .expect("non-empty")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group(policy: PathPolicy, n: u32) -> ConnGroup {
+        ConnGroup {
+            id: GroupId(0),
+            conns: (0..n).map(ConnectionId).collect(),
+            policy,
+            rr_next: 0,
+        }
+    }
+
+    #[test]
+    fn least_wqe_picks_emptiest_queue() {
+        let mut g = group(PathPolicy::LeastWqe, 3);
+        let wqe = |c: ConnectionId| match c.0 {
+            0 => 100.0,
+            1 => 5.0,
+            _ => 50.0,
+        };
+        assert_eq!(g.pick(wqe), ConnectionId(1));
+    }
+
+    #[test]
+    fn least_wqe_ties_break_deterministically() {
+        let mut g = group(PathPolicy::LeastWqe, 3);
+        assert_eq!(g.pick(|_| 0.0), ConnectionId(0));
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut g = group(PathPolicy::RoundRobin, 3);
+        let picks: Vec<u32> = (0..6).map(|_| g.pick(|_| 0.0).0).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn single_sticks() {
+        let mut g = group(PathPolicy::Single, 3);
+        for _ in 0..5 {
+            assert_eq!(g.pick(|_| 0.0), ConnectionId(0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty connection group")]
+    fn empty_group_panics() {
+        let mut g = ConnGroup {
+            id: GroupId(0),
+            conns: vec![],
+            policy: PathPolicy::Single,
+            rr_next: 0,
+        };
+        g.pick(|_| 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # hpn-transport — RDMA connections and the cluster simulation runtime
+//!
+//! This crate turns routes into running traffic:
+//!
+//! * [`conn`] — RDMA-style connections between `(host, rail)` endpoints.
+//!   Each connection pins one 5-tuple (and therefore one path) and carries
+//!   the Work-Queue-Element byte counter the paper's application-layer load
+//!   balancing reads (Appendix B). Connection **groups** hold the
+//!   disjoint-path sets produced by `EstablishConns` and implement the
+//!   `getLeastLoad` selection policy alongside baselines for ablation.
+//! * [`cluster`] — [`cluster::ClusterSim`], the runtime: it owns the fluid
+//!   [`hpn_sim::FlowNet`], the [`hpn_routing::Router`] and the converged
+//!   [`hpn_routing::LinkHealth`] view, maps messages onto flows, delivers
+//!   completions to a [`cluster::ClusterApp`], and implements dual-ToR
+//!   failover: on a link failure the physical network reacts instantly
+//!   while the routing view lags by the BGP convergence delay, after which
+//!   in-flight messages are transparently re-issued on surviving paths
+//!   (same QP context, §4: "transparent to upper-layer applications").
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod conn;
+
+pub use cluster::{ClusterApp, ClusterSim, MessageDone};
+pub use conn::{ConnectionId, GroupId, PathPolicy};

@@ -1,0 +1,115 @@
+//! Property-based tests for the cluster runtime: conservation and
+//! liveness invariants under random traffic and random failures.
+
+use hpn_routing::HashMode;
+use hpn_sim::{SimDuration, SimTime};
+use hpn_topology::HpnConfig;
+use hpn_transport::{ClusterApp, ClusterSim, MessageDone, PathPolicy};
+use proptest::prelude::*;
+
+#[derive(Default)]
+struct Counter {
+    done: usize,
+    bits: f64,
+}
+impl ClusterApp for Counter {
+    fn on_message_complete(&mut self, _: &mut ClusterSim, d: MessageDone) {
+        self.done += 1;
+        self.bits += d.size_bits;
+    }
+}
+
+fn sim() -> ClusterSim {
+    ClusterSim::new(HpnConfig::tiny().build(), HashMode::Polarized)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every message sent on a healthy fabric completes, and the delivered
+    /// bits equal the sent bits (conservation).
+    #[test]
+    fn all_messages_complete_and_conserve_bits(
+        sends in proptest::collection::vec(
+            (0u32..8, 0u32..8, 0usize..2, 1u64..50), 1..30
+        ),
+    ) {
+        let mut cs = sim();
+        let mut app = Counter::default();
+        let mut total = 0.0;
+        let mut groups = std::collections::BTreeMap::new();
+        for (i, &(src, dst, rail, gbits)) in sends.iter().enumerate() {
+            let (src, dst) = (src % 8, dst % 8);
+            if src == dst {
+                continue;
+            }
+            let g = *groups.entry((src, dst, rail)).or_insert_with(|| {
+                cs.establish_group(
+                    (src, rail),
+                    (dst, rail),
+                    2,
+                    PathPolicy::LeastWqe,
+                    40_000 + i as u16 * 97,
+                )
+            });
+            let bits = gbits as f64 * 1e8;
+            cs.send_group(g, bits, i as u64);
+            total += bits;
+        }
+        cs.run(&mut app, SimTime::from_secs(600));
+        prop_assert_eq!(cs.inflight(), 0, "no message left behind");
+        prop_assert!((app.bits - total).abs() < 1.0,
+            "delivered {} of {} bits", app.bits, total);
+        prop_assert_eq!(app.done as u64, cs.stats().completed);
+    }
+
+    /// A fail→repair cycle on any access cable never loses a message in a
+    /// dual-ToR fabric: everything completes after repair.
+    #[test]
+    fn fail_repair_cycle_loses_nothing(
+        host in 0u32..8,
+        rail in 0usize..2,
+        port in 0usize..2,
+        fail_ms in 1u64..500,
+        outage_ms in 1u64..5_000,
+        n_msgs in 1usize..8,
+    ) {
+        let mut cs = sim();
+        let mut app = Counter::default();
+        let dst = (host + 1) % 8;
+        let g = cs.establish_group((host, rail), (dst, rail), 2, PathPolicy::LeastWqe, 45_000);
+        for i in 0..n_msgs {
+            cs.send_group(g, 40e9, i as u64); // 5GB each
+        }
+        let cable = cs.fabric.hosts[host as usize].nic_up[rail][port].unwrap();
+        cs.schedule_cable_event(SimTime::from_millis(fail_ms), cable, false);
+        cs.schedule_cable_event(
+            SimTime::from_millis(fail_ms) + SimDuration::from_millis(outage_ms),
+            cable,
+            true,
+        );
+        cs.run(&mut app, SimTime::from_secs(3600));
+        prop_assert_eq!(app.done, n_msgs, "all messages delivered despite the outage");
+        prop_assert_eq!(cs.inflight(), 0);
+    }
+
+    /// WQE counters return to zero once the cluster drains — no counter
+    /// leaks through reroutes or group fan-out.
+    #[test]
+    fn wqe_counters_drain_to_zero(
+        n_msgs in 1usize..16,
+        conns in 1usize..4,
+    ) {
+        let mut cs = sim();
+        let mut app = Counter::default();
+        let g = cs.establish_group((0, 0), (3, 0), conns, PathPolicy::LeastWqe, 50_000);
+        for i in 0..n_msgs {
+            cs.send_group(g, 8e9, i as u64);
+        }
+        cs.run(&mut app, SimTime::from_secs(600));
+        for &c in &cs.group(g).conns.clone() {
+            prop_assert_eq!(cs.conn(c).wqe_bytes, 0.0, "counter leak on {:?}", c);
+            prop_assert_eq!(cs.conn(c).inflight, 0);
+        }
+    }
+}

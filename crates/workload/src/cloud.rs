@@ -1,0 +1,127 @@
+//! General cloud-computing traffic (Fig 1) — the contrast class.
+//!
+//! Traditional cloud instances hold hundreds of thousands of long-lived
+//! connections whose aggregate rate stays under a few Gbps (<20% of NIC
+//! capacity) and drifts on an hourly scale. The generator below produces a
+//! 24-hour trace with exactly those properties so the fig01 experiment can
+//! plot it next to the LLM burst trace of fig02, and so the hashing
+//! experiments have a realistic high-entropy flow population.
+
+use hpn_sim::{SimTime, TimeSeries, Xoshiro256};
+
+/// A synthetic 24-hour cloud trace.
+#[derive(Clone, Debug)]
+pub struct CloudTrace {
+    /// Connection count over time (thousands).
+    pub connections_k: TimeSeries,
+    /// Ingress traffic (Gbps).
+    pub traffic_in: TimeSeries,
+    /// Egress traffic (Gbps).
+    pub traffic_out: TimeSeries,
+}
+
+/// Generator parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct CloudParams {
+    /// Mean connection count (thousands).
+    pub mean_connections_k: f64,
+    /// Diurnal swing as a fraction of the mean.
+    pub diurnal_swing: f64,
+    /// Mean aggregate rate in Gbps (Fig 1 peaks near 2 Gbps).
+    pub mean_gbps: f64,
+    /// Sample period in seconds.
+    pub sample_secs: u64,
+}
+
+impl Default for CloudParams {
+    fn default() -> Self {
+        CloudParams {
+            mean_connections_k: 150.0,
+            diurnal_swing: 0.35,
+            mean_gbps: 1.3,
+            sample_secs: 300,
+        }
+    }
+}
+
+/// Generate a 24-hour trace.
+pub fn generate(params: &CloudParams, seed: u64) -> CloudTrace {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mut connections_k = TimeSeries::new("Connection");
+    let mut traffic_in = TimeSeries::new("Traffic-In");
+    let mut traffic_out = TimeSeries::new("Traffic-Out");
+    let total = 24 * 3600 / params.sample_secs;
+    for i in 0..=total {
+        let t = SimTime::from_secs(i * params.sample_secs);
+        let hour = t.as_secs_f64() / 3600.0;
+        // Diurnal curve peaking mid-day, hourly-scale drift only.
+        let diurnal = 1.0 + params.diurnal_swing * (std::f64::consts::TAU * (hour - 14.0) / 24.0).cos();
+        let conn = params.mean_connections_k * diurnal * rng.uniform(0.97, 1.03);
+        let tin = params.mean_gbps * diurnal * rng.uniform(0.85, 1.15);
+        let tout = params.mean_gbps * 0.8 * diurnal * rng.uniform(0.85, 1.15);
+        connections_k.push(t, conn);
+        traffic_in.push(t, tin);
+        traffic_out.push(t, tout);
+    }
+    CloudTrace {
+        connections_k,
+        traffic_in,
+        traffic_out,
+    }
+}
+
+/// Synthesize a high-entropy flow population (for the hashing ablation):
+/// `n` flows with rates that sum to roughly `total_gbps`, exponential-ish
+/// sizes — the opposite of LLM training's few elephant flows.
+pub fn flow_population(n: usize, total_gbps: f64, seed: u64) -> Vec<f64> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let mean = total_gbps / n as f64;
+    (0..n).map(|_| rng.exponential(mean)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_has_fig1_properties() {
+        let tr = generate(&CloudParams::default(), 1);
+        // 24h at 5-min samples.
+        assert_eq!(tr.connections_k.len(), 289);
+        // Hundreds of thousands of connections.
+        assert!(tr.connections_k.mean() > 90.0);
+        assert!(tr.connections_k.max() < 250.0);
+        // Aggregate traffic low and bounded (< 20% of a 25G front NIC,
+        // i.e. well under 5 Gbps; Fig 1 shows ≈2 Gbps peaks).
+        assert!(tr.traffic_in.max() < 3.0, "in {}", tr.traffic_in.max());
+        assert!(tr.traffic_out.max() < 3.0);
+        assert!(tr.traffic_in.min() > 0.0);
+    }
+
+    #[test]
+    fn trace_varies_slowly() {
+        // Hourly-scale variation: adjacent 5-min samples differ by < 15%.
+        let tr = generate(&CloudParams::default(), 2);
+        for w in tr.connections_k.samples().windows(2) {
+            let rel = (w[1].1 - w[0].1).abs() / w[0].1;
+            assert!(rel < 0.15, "jumped {rel} between samples");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&CloudParams::default(), 7);
+        let b = generate(&CloudParams::default(), 7);
+        assert_eq!(a.traffic_in.samples(), b.traffic_in.samples());
+    }
+
+    #[test]
+    fn flow_population_sums_to_target() {
+        let flows = flow_population(10_000, 100.0, 3);
+        let total: f64 = flows.iter().sum();
+        assert!((total - 100.0).abs() / 100.0 < 0.05, "total {total}");
+        // High entropy: no flow dominates.
+        let max = flows.iter().cloned().fold(0.0, f64::max);
+        assert!(max < 1.0, "an elephant appeared: {max} Gbps");
+    }
+}

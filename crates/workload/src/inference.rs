@@ -1,0 +1,113 @@
+//! Inference serving over the frontend network (§8).
+//!
+//! HPN's frontend gives every host a 2×200Gbps NIC, and the paper argues
+//! this makes training hosts "flexibly used for both training and
+//! inference". This module quantifies that claim: token streams are tiny
+//! compared to 400Gbps, so the frontend NIC is never the serving
+//! bottleneck — model loading is the only bandwidth-intensive phase, and
+//! even an 80GB checkpoint pulls in seconds.
+
+use hpn_sim::SimDuration;
+
+/// A serving profile for one model on one 8-GPU host.
+#[derive(Clone, Debug)]
+pub struct ServingProfile {
+    /// Display name.
+    pub name: String,
+    /// Requests the host can decode per second (compute-bound).
+    pub requests_per_sec: f64,
+    /// Mean request payload (prompt) in bytes.
+    pub request_bytes: f64,
+    /// Mean response payload (completion) in bytes.
+    pub response_bytes: f64,
+    /// Model weights to load at startup, bytes.
+    pub weights_bytes: f64,
+}
+
+impl ServingProfile {
+    /// Representative profiles (per 8-GPU host).
+    pub fn catalog() -> Vec<ServingProfile> {
+        vec![
+            ServingProfile {
+                name: "LLaMa-7B".into(),
+                requests_per_sec: 400.0,
+                request_bytes: 4e3,
+                response_bytes: 2e3,
+                weights_bytes: 14e9,
+            },
+            ServingProfile {
+                name: "LLaMa-13B".into(),
+                requests_per_sec: 220.0,
+                request_bytes: 4e3,
+                response_bytes: 2e3,
+                weights_bytes: 26e9,
+            },
+            ServingProfile {
+                name: "GPT-3 175B".into(),
+                requests_per_sec: 40.0,
+                request_bytes: 8e3,
+                response_bytes: 4e3,
+                weights_bytes: 350e9,
+            },
+        ]
+    }
+
+    /// Steady-state frontend bandwidth the serving traffic needs, bits/s.
+    pub fn serving_bps(&self) -> f64 {
+        self.requests_per_sec * (self.request_bytes + self.response_bytes) * 8.0
+    }
+
+    /// Fraction of the 2×200G frontend NIC the serving traffic occupies.
+    pub fn frontend_utilization(&self, frontend_bps: f64) -> f64 {
+        self.serving_bps() / frontend_bps
+    }
+
+    /// Time to pull the weights over the frontend NIC (network floor).
+    pub fn load_time(&self, frontend_bps: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.weights_bytes * 8.0 / frontend_bps)
+    }
+}
+
+/// The frontend NIC bandwidth of §8 (2×200Gbps).
+pub const FRONTEND_NIC_BPS: f64 = 400e9;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_traffic_is_negligible_on_the_frontend() {
+        // §8's claim: the 2×200G frontend comfortably carries inference.
+        for p in ServingProfile::catalog() {
+            let util = p.frontend_utilization(FRONTEND_NIC_BPS);
+            assert!(
+                util < 0.001,
+                "{}: serving occupies {:.4}% of the frontend NIC",
+                p.name,
+                util * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn model_load_is_seconds_not_minutes() {
+        for p in ServingProfile::catalog() {
+            let t = p.load_time(FRONTEND_NIC_BPS).as_secs_f64();
+            assert!(
+                t < 10.0,
+                "{}: loading {}GB takes {t:.1}s over the frontend",
+                p.name,
+                p.weights_bytes / 1e9
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_models_serve_fewer_requests_but_load_longer() {
+        let c = ServingProfile::catalog();
+        assert!(c[0].requests_per_sec > c[2].requests_per_sec);
+        assert!(
+            c[2].load_time(FRONTEND_NIC_BPS) > c[0].load_time(FRONTEND_NIC_BPS)
+        );
+    }
+}

@@ -1,0 +1,254 @@
+//! One training iteration compiled to an op graph.
+//!
+//! The iteration model follows §2.1/§2.2: all GPUs compute forward +
+//! backward (with TP synchronization riding NVLink inside the host), then
+//! pipeline stages exchange activation shards (PP Send/Recv), and the
+//! backward phase ends with the gradient burst — per-rail Multi-AllReduce
+//! across each stage's DP group, the traffic that "instantly fulfills the
+//! network capacity" in Fig 2.
+//!
+//! Rank convention: host-major over the job's host list
+//! (`rank = host_index × rails + rail`), which is also the order
+//! [`TrainingJob::ranks`] returns for communicator construction. The host
+//! list itself is **stage-major** (`hosts[d·pp + s]`, see
+//! [`crate::parallel::ParallelismPlan::host_of`]), so placing consecutive
+//! hosts in one segment keeps DP rings segment-local exactly when the
+//! scheduler wants it.
+
+use hpn_collectives::graph::{emit_ring, OpGraph, OpKind};
+use hpn_sim::SimDuration;
+
+use crate::model::ModelSpec;
+use crate::parallel::ParallelismPlan;
+use crate::traffic;
+
+/// A placed training job.
+#[derive(Clone, Debug)]
+pub struct TrainingJob {
+    /// The model being trained.
+    pub model: ModelSpec,
+    /// Parallelism plan; `tp` must equal `rails`.
+    pub plan: ParallelismPlan,
+    /// Host ids, stage-major (`hosts[d·pp + s]`).
+    pub hosts: Vec<u32>,
+    /// GPUs (rails) per host.
+    pub rails: usize,
+    /// Microbatches per iteration (PP/TP volume multiplier).
+    pub micro_batches: usize,
+    /// Samples per iteration.
+    pub global_batch: usize,
+    /// Use NVLS in-switch aggregation for intra-host phases.
+    pub nvls: bool,
+    /// Fluid ring granularity.
+    pub rounds: usize,
+}
+
+impl TrainingJob {
+    /// Place a job. `hosts.len()` must equal `pp × dp` and `rails` must
+    /// equal `tp` (the TP group is the NVLink domain).
+    pub fn new(
+        model: ModelSpec,
+        plan: ParallelismPlan,
+        hosts: Vec<u32>,
+        rails: usize,
+        global_batch: usize,
+    ) -> Self {
+        assert_eq!(
+            hosts.len(),
+            plan.pp * plan.dp,
+            "host list must cover pp×dp stages"
+        );
+        assert_eq!(plan.tp, rails, "TP group must fill the host's rails");
+        assert!(global_batch > 0, "empty batch");
+        TrainingJob {
+            model,
+            plan,
+            hosts,
+            rails,
+            micro_batches: 8,
+            global_batch,
+            nvls: true,
+            rounds: 2,
+        }
+    }
+
+    /// Total GPUs.
+    pub fn gpus(&self) -> usize {
+        self.hosts.len() * self.rails
+    }
+
+    /// Rank endpoints, host-major — feed this to the communicator.
+    pub fn ranks(&self) -> Vec<(u32, usize)> {
+        self.hosts
+            .iter()
+            .flat_map(|&h| (0..self.rails).map(move |r| (h, r)))
+            .collect()
+    }
+
+    fn rank_of(&self, host_idx: usize, rail: usize) -> u32 {
+        (host_idx * self.rails + rail) as u32
+    }
+
+    /// Compile one iteration.
+    pub fn iteration_graph(&self) -> OpGraph {
+        let mut g = OpGraph::new();
+        let nhosts = self.hosts.len();
+        let compute = self.model.compute_time(self.global_batch, self.gpus());
+        let t3 = traffic::table3(&self.model, &self.plan);
+
+        // Forward+backward compute, then TP sync time on NVLink.
+        let mut gate: Vec<Vec<u32>> = Vec::with_capacity(nhosts * self.rails);
+        for h in 0..nhosts {
+            for r in 0..self.rails {
+                let rank = self.rank_of(h, r);
+                let c = g.add(OpKind::Compute { rank, dur: compute }, vec![]);
+                let tp_bits = t3.tp_bytes * 8.0 * self.micro_batches as f64;
+                let t = if self.plan.tp > 1 {
+                    g.add(OpKind::Copy { rank, bits: tp_bits }, vec![c])
+                } else {
+                    c
+                };
+                gate.push(vec![t]);
+            }
+        }
+
+        // PP stage sends (aggregated over microbatches), per rail.
+        if self.plan.pp > 1 {
+            let pp_bits = t3.pp_bytes * 8.0 * self.micro_batches as f64;
+            for d in 0..self.plan.dp {
+                for s in 0..self.plan.pp - 1 {
+                    let src_h = self.plan.host_of(d, s);
+                    let dst_h = self.plan.host_of(d, s + 1);
+                    for r in 0..self.rails {
+                        let src = self.rank_of(src_h, r);
+                        let dst = self.rank_of(dst_h, r);
+                        g.add(
+                            OpKind::Send {
+                                src,
+                                dst,
+                                bits: pp_bits,
+                            },
+                            gate[src as usize].clone(),
+                        );
+                    }
+                }
+            }
+        }
+
+        // DP gradient sync: per (stage, rail) ring over the DP group —
+        // Multi-AllReduce, all bytes on the inter-host network.
+        if self.plan.dp > 1 {
+            let per_member =
+                2.0 * t3.dp_bytes * 8.0 * (self.plan.dp as f64 - 1.0) / self.plan.dp as f64;
+            for s in 0..self.plan.pp {
+                for r in 0..self.rails {
+                    let ring: Vec<u32> = (0..self.plan.dp)
+                        .map(|d| self.rank_of(self.plan.host_of(d, s), r))
+                        .collect();
+                    let entry: Vec<Vec<u32>> = ring
+                        .iter()
+                        .map(|&rank| gate[rank as usize].clone())
+                        .collect();
+                    emit_ring(&mut g, &ring, per_member, self.rounds, &entry);
+                }
+            }
+        }
+        g
+    }
+
+    /// Throughput for a measured iteration duration.
+    pub fn samples_per_second(&self, iteration: SimDuration) -> f64 {
+        self.global_batch as f64 / iteration.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelSpec;
+
+    fn job(pp: usize, dp: usize, rails: usize) -> TrainingJob {
+        let plan = ParallelismPlan::new(rails, pp, dp);
+        let hosts: Vec<u32> = (0..(pp * dp) as u32).collect();
+        TrainingJob::new(ModelSpec::llama_7b(), plan, hosts, rails, 512)
+    }
+
+    #[test]
+    fn ranks_are_host_major() {
+        let j = job(1, 2, 2);
+        assert_eq!(j.ranks(), vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+        assert_eq!(j.gpus(), 4);
+    }
+
+    #[test]
+    fn graph_has_expected_op_classes() {
+        let j = job(2, 2, 2);
+        let g = j.iteration_graph();
+        let mut computes = 0;
+        let mut copies = 0;
+        let mut sends = 0;
+        for op in g.ops() {
+            match op.kind {
+                OpKind::Compute { .. } => computes += 1,
+                OpKind::Copy { .. } => copies += 1,
+                OpKind::Send { .. } => sends += 1,
+            }
+        }
+        assert_eq!(computes, j.gpus());
+        assert_eq!(copies, j.gpus(), "one TP sync per GPU");
+        // PP: dp × (pp−1) × rails. DP rings: pp × rails × dp members × rounds.
+        let pp_sends = 2 * 2;
+        let dp_sends = 2 * 2 * 2 * j.rounds;
+        assert_eq!(sends, pp_sends + dp_sends);
+    }
+
+    #[test]
+    fn dp1_emits_no_rings_pp1_no_sends() {
+        let j = job(1, 1, 2);
+        let g = j.iteration_graph();
+        assert!(g
+            .ops()
+            .iter()
+            .all(|op| !matches!(op.kind, OpKind::Send { .. })));
+    }
+
+    #[test]
+    fn network_traffic_matches_table3_composition() {
+        let j = job(2, 4, 2);
+        let g = j.iteration_graph();
+        let t3 = traffic::table3(&j.model, &j.plan);
+        let ranks = j.ranks();
+        let (net, _) = g.traffic_split(|a, b| ranks[a as usize].0 == ranks[b as usize].0);
+        let pp_total = (j.plan.dp * (j.plan.pp - 1) * j.rails) as f64
+            * t3.pp_bytes
+            * 8.0
+            * j.micro_batches as f64;
+        let dp_total = (j.plan.pp * j.rails * j.plan.dp) as f64
+            * 2.0
+            * t3.dp_bytes
+            * 8.0
+            * (j.plan.dp as f64 - 1.0)
+            / j.plan.dp as f64;
+        assert!(
+            (net - (pp_total + dp_total)).abs() / net < 1e-9,
+            "network bits {net} vs {}",
+            pp_total + dp_total
+        );
+    }
+
+    #[test]
+    fn samples_per_second_definition() {
+        let j = job(1, 2, 2);
+        assert_eq!(
+            j.samples_per_second(SimDuration::from_secs(2)),
+            256.0
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cover pp×dp")]
+    fn wrong_host_count_rejected() {
+        let plan = ParallelismPlan::new(2, 2, 2);
+        TrainingJob::new(ModelSpec::llama_7b(), plan, vec![0, 1], 2, 64);
+    }
+}

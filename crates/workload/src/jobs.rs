@@ -1,0 +1,98 @@
+//! Production job sizes (Fig 6).
+//!
+//! The paper's CDF of GPUs per training job: about 96.3% of jobs need at
+//! most 1K GPUs (hence "one segment covers 96.3% of jobs", §3/§5), and no
+//! job exceeds 3K (hence a 15K pod covers 100%, §6.2). We encode a
+//! piecewise-linear CDF with those two anchors pinned exactly and a
+//! plausible small-job body, and derive a sampler by inverse transform.
+
+use hpn_sim::Xoshiro256;
+
+/// `(gpus, P(size ≤ gpus))` anchors, strictly increasing in both
+/// coordinates. The 1024 → 0.963 and 2944 → 1.0 anchors are the paper's;
+/// the body is synthetic.
+pub const CDF_ANCHORS: &[(f64, f64)] = &[
+    (8.0, 0.18),
+    (16.0, 0.32),
+    (64.0, 0.55),
+    (128.0, 0.70),
+    (256.0, 0.81),
+    (512.0, 0.89),
+    (1024.0, 0.963),
+    (2048.0, 0.99),
+    (2944.0, 1.0),
+];
+
+/// P(job size ≤ gpus).
+pub fn cdf(gpus: f64) -> f64 {
+    if gpus < CDF_ANCHORS[0].0 {
+        return gpus.max(0.0) / CDF_ANCHORS[0].0 * CDF_ANCHORS[0].1;
+    }
+    for w in CDF_ANCHORS.windows(2) {
+        let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+        if gpus <= x1 {
+            return y0 + (y1 - y0) * (gpus - x0) / (x1 - x0);
+        }
+    }
+    1.0
+}
+
+/// Sample a job size in GPUs (multiple of 8 — whole hosts).
+pub fn sample(rng: &mut Xoshiro256) -> u32 {
+    let u = rng.next_f64();
+    // Inverse transform over the piecewise-linear CDF.
+    let mut prev = (0.0f64, 0.0f64);
+    for &(x, y) in CDF_ANCHORS {
+        if u <= y {
+            let (x0, y0) = prev;
+            let frac = if y > y0 { (u - y0) / (y - y0) } else { 0.0 };
+            let g = x0 + (x - x0) * frac;
+            return ((g / 8.0).ceil() as u32).max(1) * 8;
+        }
+        prev = (x, y);
+    }
+    2944
+}
+
+/// The headline fraction: jobs that fit in one 1K-GPU segment.
+pub fn fraction_within_one_segment() -> f64 {
+    cdf(1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchors_pinned() {
+        assert!((fraction_within_one_segment() - 0.963).abs() < 1e-9);
+        assert_eq!(cdf(2944.0), 1.0);
+        assert_eq!(cdf(10_000.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut prev = -1.0;
+        for g in (0..3000).step_by(8) {
+            let c = cdf(g as f64);
+            assert!(c >= prev, "CDF decreased at {g}");
+            assert!((0.0..=1.0).contains(&c));
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn samples_respect_the_distribution() {
+        let mut rng = Xoshiro256::seed_from_u64(42);
+        let n = 50_000;
+        let samples: Vec<u32> = (0..n).map(|_| sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&s| s % 8 == 0 && s > 0));
+        let max = *samples.iter().max().unwrap();
+        assert!(max <= 2944, "no job exceeds 3K GPUs, got {max}");
+        let within_1k = samples.iter().filter(|&&s| s <= 1024).count() as f64 / n as f64;
+        assert!(
+            (within_1k - 0.963).abs() < 0.01,
+            "96.3% within a segment, got {within_1k}"
+        );
+    }
+}

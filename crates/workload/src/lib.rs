@@ -1,0 +1,35 @@
+//! # hpn-workload — what runs on the fabric
+//!
+//! * [`model`] — LLM descriptions (GPT-3 175B variant, LLaMa-7B/13B) with
+//!   the architectural constants the traffic formulas need, plus a
+//!   calibrated compute-time model.
+//! * [`parallel`] — Megatron-style TP/PP/DP plans and their GPU footprint.
+//! * [`traffic`] — per-parallelism communication volumes reproducing
+//!   Table 3 (DP ≈ 5.5 GB AllReduce, PP ≈ 6 MB Send/Recv, TP ≈ 560 MB).
+//! * [`iteration`] — one training iteration compiled to an op graph:
+//!   forward/backward compute, TP sync on NVLink, PP stage sends, and the
+//!   per-rail Multi-AllReduce gradient synchronization whose bursts are
+//!   Fig 2's signature.
+//! * [`checkpoint`] — the Fig 4 checkpoint-interval economics: save
+//!   overhead, rollback loss, and the 20× failure-cost argument of §2.3.
+//! * [`cloud`] — the Fig 1 general-cloud traffic generator (hundreds of
+//!   thousands of long-lived, low-rate connections, diurnal variation).
+//! * [`jobs`] — the Fig 6 production job-size distribution (96.3% of jobs
+//!   fit in 1K GPUs; none exceed 3K).
+//! * [`inference`] — §8's serving profiles: why the 2×200G frontend NIC
+//!   comfortably carries inference next to training.
+
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod cloud;
+pub mod inference;
+pub mod iteration;
+pub mod jobs;
+pub mod model;
+pub mod parallel;
+pub mod traffic;
+
+pub use iteration::TrainingJob;
+pub use model::ModelSpec;
+pub use parallel::ParallelismPlan;

@@ -1,0 +1,117 @@
+//! LLM architecture descriptions and the calibrated compute model.
+
+use hpn_sim::SimDuration;
+
+/// An LLM's architectural constants.
+#[derive(Clone, Debug)]
+pub struct ModelSpec {
+    /// Display name.
+    pub name: String,
+    /// Parameter count.
+    pub params: f64,
+    /// Transformer layer count.
+    pub layers: u32,
+    /// Hidden dimension.
+    pub hidden: u32,
+    /// Sequence length used in training.
+    pub seq_len: u32,
+    /// Bytes per gradient element (fp16/bf16 = 2).
+    pub grad_bytes: f64,
+    /// Bytes per activation element.
+    pub act_bytes: f64,
+    /// GPU-seconds of compute per training sample (fwd+bwd), the
+    /// calibration constant that sets the compute/communication ratio.
+    /// Chosen so simulated samples/s lands in the range the paper's
+    /// figures show (Fig 15a ≈ 250 samples/s on 2300+ GPUs for the
+    /// proprietary GPT-scale model; Fig 16 for LLaMa).
+    pub gpu_secs_per_sample: f64,
+}
+
+impl ModelSpec {
+    /// The GPT-3 175B variant of §7 / §9 (96 layers, hidden 12288,
+    /// seq 2048).
+    pub fn gpt3_175b() -> Self {
+        ModelSpec {
+            name: "GPT-3 175B".into(),
+            params: 175e9,
+            layers: 96,
+            hidden: 12288,
+            seq_len: 2048,
+            grad_bytes: 2.0,
+            act_bytes: 2.0,
+            gpu_secs_per_sample: 6.4,
+        }
+    }
+
+    /// LLaMa-7B (32 layers, hidden 4096).
+    pub fn llama_7b() -> Self {
+        ModelSpec {
+            name: "LLaMa-7B".into(),
+            params: 6.7e9,
+            layers: 32,
+            hidden: 4096,
+            seq_len: 2048,
+            grad_bytes: 2.0,
+            act_bytes: 2.0,
+            gpu_secs_per_sample: 0.35,
+        }
+    }
+
+    /// LLaMa-13B (40 layers, hidden 5120).
+    pub fn llama_13b() -> Self {
+        ModelSpec {
+            name: "LLaMa-13B".into(),
+            params: 13e9,
+            layers: 40,
+            hidden: 5120,
+            seq_len: 2048,
+            grad_bytes: 2.0,
+            act_bytes: 2.0,
+            gpu_secs_per_sample: 0.65,
+        }
+    }
+
+    /// Compute time for one iteration on `gpus` GPUs with the given global
+    /// batch (perfect compute scaling; network effects are simulated, not
+    /// assumed).
+    pub fn compute_time(&self, global_batch: usize, gpus: usize) -> SimDuration {
+        assert!(gpus > 0, "no GPUs");
+        SimDuration::from_secs_f64(self.gpu_secs_per_sample * global_batch as f64 / gpus as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_is_sane() {
+        for m in [
+            ModelSpec::gpt3_175b(),
+            ModelSpec::llama_7b(),
+            ModelSpec::llama_13b(),
+        ] {
+            assert!(m.params > 1e9);
+            assert!(m.layers >= 32);
+            assert!(m.hidden >= 4096);
+            assert!(m.gpu_secs_per_sample > 0.0);
+        }
+        assert!(ModelSpec::llama_13b().params > ModelSpec::llama_7b().params);
+    }
+
+    #[test]
+    fn compute_time_scales_inversely_with_gpus() {
+        let m = ModelSpec::llama_7b();
+        let t1 = m.compute_time(2048, 256);
+        let t2 = m.compute_time(2048, 512);
+        assert!((t1.as_secs_f64() / t2.as_secs_f64() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpt3_iteration_compute_in_plausible_range() {
+        // 2304 GPUs, batch 2048: several seconds of compute per iteration.
+        let m = ModelSpec::gpt3_175b();
+        let t = m.compute_time(2048, 2304).as_secs_f64();
+        assert!((1.0..30.0).contains(&t), "compute {t}s");
+    }
+}

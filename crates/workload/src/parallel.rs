@@ -1,0 +1,80 @@
+//! Megatron-style parallelism plans.
+
+/// A hybrid TP × PP × DP decomposition (§2.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ParallelismPlan {
+    /// Tensor-parallel group size (8 = one host's NVLink domain).
+    pub tp: usize,
+    /// Pipeline stages.
+    pub pp: usize,
+    /// Data-parallel replicas.
+    pub dp: usize,
+}
+
+impl ParallelismPlan {
+    /// Create a plan; all factors must be ≥ 1.
+    pub fn new(tp: usize, pp: usize, dp: usize) -> Self {
+        assert!(tp >= 1 && pp >= 1 && dp >= 1, "degenerate plan");
+        ParallelismPlan { tp, pp, dp }
+    }
+
+    /// The §7 example: TP=8, PP=8, DP=512 → 32K GPUs.
+    pub fn gpt3_32k() -> Self {
+        Self::new(8, 8, 512)
+    }
+
+    /// Total GPUs the plan occupies.
+    pub fn gpus(&self) -> usize {
+        self.tp * self.pp * self.dp
+    }
+
+    /// Hosts occupied when TP maps onto the 8-GPU NVLink domain.
+    pub fn hosts(&self, gpus_per_host: usize) -> usize {
+        assert_eq!(
+            self.tp, gpus_per_host,
+            "plans here pin the TP group to one host's NVLink domain"
+        );
+        self.pp * self.dp
+    }
+
+    /// Host index (within the job's host list, stage-major) of pipeline
+    /// stage `s` in DP replica `d`. Stage-major order means consecutive
+    /// stages of one replica are adjacent — the layout §7 exploits to push
+    /// only PP traffic across pods.
+    pub fn host_of(&self, d: usize, s: usize) -> usize {
+        assert!(d < self.dp && s < self.pp);
+        d * self.pp + s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_accounting() {
+        assert_eq!(ParallelismPlan::gpt3_32k().gpus(), 32768);
+        assert_eq!(ParallelismPlan::new(8, 2, 4).gpus(), 64);
+    }
+
+    #[test]
+    fn host_layout_is_stage_major() {
+        let p = ParallelismPlan::new(8, 4, 2);
+        assert_eq!(p.hosts(8), 8);
+        assert_eq!(p.host_of(0, 0), 0);
+        assert_eq!(p.host_of(0, 3), 3);
+        assert_eq!(p.host_of(1, 0), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "NVLink domain")]
+    fn tp_must_match_host_size() {
+        ParallelismPlan::new(4, 2, 2).hosts(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn zero_factor_rejected() {
+        ParallelismPlan::new(0, 1, 1);
+    }
+}

@@ -1,0 +1,81 @@
+//! Quickstart: build an HPN fabric, inspect it, and time an AllReduce.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hpn::collectives::{bw, graph, CommConfig, Communicator, Runner};
+use hpn::routing::HashMode;
+use hpn::sim::{SimDuration, SimTime};
+use hpn::topology::HpnConfig;
+use hpn::transport::ClusterSim;
+
+fn main() {
+    // 1. Describe the fabric. `medium()` is a structurally faithful
+    //    scale-down of the paper's pod: rail-optimized dual-ToR segments,
+    //    dual-plane tier-2. `paper()` builds the full 15K-GPU pod.
+    let cfg = HpnConfig::medium();
+    let fabric = cfg.build();
+    println!(
+        "built an HPN fabric: {} active GPUs in {} segments \
+         ({} ToRs, {} Aggs, {} Cores, {} directed links)",
+        fabric.active_gpu_count(),
+        fabric.segments,
+        fabric.tors.len(),
+        fabric.aggs.len(),
+        fabric.cores.len(),
+        fabric.net.link_count(),
+    );
+    println!(
+        "tier-1 oversubscription {:.3}:1, Agg–Core {:.0}:1",
+        cfg.tier1_oversubscription(),
+        cfg.agg_core_oversubscription()
+    );
+
+    // 2. Stand up the cluster runtime: fluid network + router + BGP view.
+    let mut cs = ClusterSim::new(fabric, HashMode::Polarized);
+
+    // 3. Run a 1GB hierarchical AllReduce over 16 hosts (128 GPUs) spread
+    //    across two segments, using the paper's disjoint-path + least-WQE
+    //    connection scheme.
+    let hosts = 16usize;
+    let rails = cs.fabric.host_params.rails;
+    let host_ids: Vec<u32> = (0..2)
+        .flat_map(|seg| {
+            cs.fabric
+                .segment_hosts(seg)
+                .iter()
+                .take(hosts / 2)
+                .map(|h| h.id)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let ranks: Vec<(u32, usize)> = host_ids
+        .iter()
+        .flat_map(|&h| (0..rails).map(move |r| (h, r)))
+        .collect();
+    let n_ranks = ranks.len();
+    let size_bits = 8e9; // 1 GB
+
+    let mut runner = Runner::new();
+    let comm = runner.add_comm(Communicator::new(ranks, CommConfig::hpn_default(), 49152));
+    let job = runner.add_job(
+        graph::hierarchical_allreduce(hosts, rails, size_bits, true, 2),
+        comm,
+    );
+    let finished = runner.run_job(&mut cs, job, SimTime::ZERO + SimDuration::from_secs(60));
+    assert!(finished, "collective should finish well within a minute");
+
+    let dur = runner.job_duration(job).expect("job finished");
+    println!(
+        "AllReduce(1GB) over {n_ranks} GPUs: {:.2} ms, busbw {:.0} GB/s",
+        dur.as_secs_f64() * 1e3,
+        bw::allreduce_busbw(size_bits, n_ranks, dur) / 1e9
+    );
+    println!(
+        "transport: {} messages completed, {} rerouted, {} stalled",
+        cs.stats().completed,
+        cs.stats().reroutes,
+        cs.stats().stalls
+    );
+}
