@@ -3,10 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
+use hpn_routing::hash::EcmpHasher;
 use hpn_routing::repac;
 use hpn_routing::{FiveTuple, HashMode, LinkHealth, RouteRequest, Router};
-use hpn_routing::hash::EcmpHasher;
-use hpn_sim::{Engine, FlowNet, FlowSpec, SimDuration, SimTime};
+use hpn_sim::{AllocatorKind, Engine, FlowNet, FlowSpec, SimDuration, SimTime};
 use hpn_topology::HpnConfig;
 
 fn bench_flownet_recompute(c: &mut Criterion) {
@@ -16,10 +16,11 @@ fn bench_flownet_recompute(c: &mut Criterion) {
             let mut net = FlowNet::new();
             let links: Vec<_> = (0..n / 4).map(|_| net.add_link(400e9, 1e7)).collect();
             for i in 0..n {
+                let path = net.intern_path(&[links[i % links.len()], links[(i * 7) % links.len()]]);
                 net.start_flow(
                     SimTime::ZERO,
                     FlowSpec {
-                        path: vec![links[i % links.len()], links[(i * 7) % links.len()]],
+                        path,
                         size_bits: 1e15,
                         demand_bps: 200e9,
                         tag: i as u64,
@@ -27,13 +28,91 @@ fn bench_flownet_recompute(c: &mut Criterion) {
                 );
             }
             b.iter(|| {
-                // Toggling a link forces a full recompute each iteration.
+                // Toggling a link forces a recompute each iteration.
                 net.set_link_capacity(links[0], 399e9);
                 net.recompute_if_dirty();
                 net.set_link_capacity(links[0], 400e9);
                 net.recompute_if_dirty();
             });
         });
+    }
+    group.finish();
+}
+
+/// Dense vs incremental under flow churn: kill one flow and start a
+/// replacement per event, at 1K/4K/16K concurrent flows. Flows form
+/// bottleneck components of a few dozen (each crosses two links inside an
+/// 8-link pod group), the shape a training job's collective traffic takes —
+/// so the incremental allocator recomputes a component while the dense one
+/// re-solves the world. The per-event touched-flow counts print after each
+/// measurement for the EXPERIMENTS.md scope table.
+fn bench_allocator_churn(c: &mut Criterion) {
+    const POD_LINKS: usize = 8;
+    let mut group = c.benchmark_group("allocator");
+    for &(kind, name) in &[
+        (AllocatorKind::Dense, "dense"),
+        (AllocatorKind::Incremental, "incremental"),
+    ] {
+        for &n in &[1024usize, 4096, 16384] {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                let mut net = FlowNet::with_allocator(kind);
+                let nlinks = (n / 8).max(POD_LINKS);
+                let links: Vec<_> = (0..nlinks).map(|_| net.add_link(400e9, 1e7)).collect();
+                let ngroups = nlinks / POD_LINKS;
+                let path_of = |net: &mut FlowNet, i: usize| {
+                    let pod = i % ngroups;
+                    let a = links[pod * POD_LINKS + (i / ngroups) % POD_LINKS];
+                    let b = links[pod * POD_LINKS + (i * 3 + 1) % POD_LINKS];
+                    if a == b {
+                        net.intern_path(&[a])
+                    } else {
+                        net.intern_path(&[a, b])
+                    }
+                };
+                let mut handles: Vec<_> = (0..n)
+                    .map(|i| {
+                        let path = path_of(&mut net, i);
+                        net.start_flow(
+                            SimTime::ZERO,
+                            FlowSpec {
+                                path,
+                                size_bits: 1e15,
+                                demand_bps: 200e9,
+                                tag: i as u64,
+                            },
+                        )
+                    })
+                    .collect();
+                net.recompute_if_dirty();
+                let warm = net.alloc_scope();
+                let mut i = 0usize;
+                b.iter(|| {
+                    let slot = i % handles.len();
+                    net.kill_flow(SimTime::ZERO, handles[slot]);
+                    net.recompute_if_dirty();
+                    let path = path_of(&mut net, slot);
+                    handles[slot] = net.start_flow(
+                        SimTime::ZERO,
+                        FlowSpec {
+                            path,
+                            size_bits: 1e15,
+                            demand_bps: 200e9,
+                            tag: slot as u64,
+                        },
+                    );
+                    net.recompute_if_dirty();
+                    i += 1;
+                });
+                let scope = net.alloc_scope().since(&warm);
+                eprintln!(
+                    "allocator/{name}/{n}: {:.1} flows + {:.1} links touched per event \
+                     ({:.4} of active flows)",
+                    scope.mean_flows_touched(),
+                    scope.mean_links_touched(),
+                    scope.touched_fraction(),
+                );
+            });
+        }
     }
     group.finish();
 }
@@ -104,12 +183,13 @@ fn bench_flow_lifecycle(c: &mut Criterion) {
     c.bench_function("flow_start_complete_cycle", |b| {
         let mut net = FlowNet::new();
         let l = net.add_link(400e9, 1e7);
+        let path = net.intern_path(&[l]);
         let mut now = SimTime::ZERO;
         b.iter(|| {
             let _h = net.start_flow(
                 now,
                 FlowSpec {
-                    path: vec![l],
+                    path,
                     size_bits: 4e9,
                     demand_bps: 200e9,
                     tag: 0,
@@ -126,6 +206,7 @@ fn bench_flow_lifecycle(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_flownet_recompute,
+    bench_allocator_churn,
     bench_engine_events,
     bench_hashing,
     bench_routing,

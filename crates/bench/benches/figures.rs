@@ -84,13 +84,8 @@ fn bench_simulated_figures(c: &mut Criterion) {
     group.bench_function("fig16_training_iteration", |b| {
         b.iter(|| {
             let mut cs = common::cluster(common::hpn_fabric(Scale::Quick, 1, 8));
-            let mut session = common::training_session(
-                &cs,
-                hpn_workload::ModelSpec::llama_7b(),
-                1,
-                8,
-                128,
-            );
+            let mut session =
+                common::training_session(&cs, hpn_workload::ModelSpec::llama_7b(), 1, 8, 128);
             session.run_iteration(&mut cs)
         })
     });

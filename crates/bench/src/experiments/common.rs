@@ -97,7 +97,9 @@ pub fn run_collective(
         .collect();
     let n = ranks.len();
     let g = match kind {
-        CollectiveKind::AllReduce => graph::hierarchical_allreduce(hosts, rails, size_bits, true, 2),
+        CollectiveKind::AllReduce => {
+            graph::hierarchical_allreduce(hosts, rails, size_bits, true, 2)
+        }
         CollectiveKind::AllGather => graph::hierarchical_allgather(hosts, rails, size_bits, 2),
         CollectiveKind::MultiAllReduce => graph::multi_allreduce(hosts, rails, size_bits, 2),
     };
@@ -107,7 +109,10 @@ pub fn run_collective(
     let job = runner.add_job(g, c);
     let horizon = cs.now() + SimDuration::from_secs(3600);
     let ok = runner.run_job(cs, job, horizon);
-    assert!(ok, "collective did not finish within an hour of simulated time");
+    assert!(
+        ok,
+        "collective did not finish within an hour of simulated time"
+    );
     let dur = runner.job_duration(job).expect("finished");
     let busbw = match kind {
         CollectiveKind::AllReduce | CollectiveKind::MultiAllReduce => {

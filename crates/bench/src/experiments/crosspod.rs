@@ -45,8 +45,20 @@ fn run_placement(scale: Scale, pp_across_pods: bool) -> f64 {
         placement::place_cross_pod_pp(&cs.fabric, &plan).expect("fits")
     } else {
         // Naive: replicas split by pod, so every DP ring crosses the core.
-        let pod0: Vec<u32> = cs.fabric.hosts.iter().filter(|h| h.pod == 0).map(|h| h.id).collect();
-        let pod1: Vec<u32> = cs.fabric.hosts.iter().filter(|h| h.pod == 1).map(|h| h.id).collect();
+        let pod0: Vec<u32> = cs
+            .fabric
+            .hosts
+            .iter()
+            .filter(|h| h.pod == 0)
+            .map(|h| h.id)
+            .collect();
+        let pod1: Vec<u32> = cs
+            .fabric
+            .hosts
+            .iter()
+            .filter(|h| h.pod == 1)
+            .map(|h| h.id)
+            .collect();
         let mut v = Vec::new();
         for d in 0..dp {
             // Alternate replicas between pods: ring neighbours d, d+1 land
@@ -76,7 +88,10 @@ pub fn run(scale: Scale) -> Report {
         "Cross-pod placement over the 15:1 core (§7)",
         "PP (6MB, bandwidth-insensitive) across pods barely costs; DP across pods would drown the oversubscribed core",
     );
-    r.row("PP across pods (recommended)", format!("{pp_cross:.1} samples/s"));
+    r.row(
+        "PP across pods (recommended)",
+        format!("{pp_cross:.1} samples/s"),
+    );
     r.row("DP across pods (naive)", format!("{dp_cross:.1} samples/s"));
     r.row(
         "penalty of naive placement",

@@ -31,7 +31,11 @@ pub fn run(_scale: Scale) -> Report {
         "non-stacked: same fault",
         format!(
             "rack {}",
-            if non.rack_available() { "AVAILABLE (degraded)" } else { "down" }
+            if non.rack_available() {
+                "AVAILABLE (degraded)"
+            } else {
+                "down"
+            }
         ),
     );
 
@@ -49,19 +53,42 @@ pub fn run(_scale: Scale) -> Report {
         upgrade.tor1.data_plane_ok = false;
         upgrade.evaluate()
     };
-    r.row("stacked: + primary fault during upgrade", format!("{s2b:?}"));
+    r.row(
+        "stacked: + primary fault during upgrade",
+        format!("{s2b:?}"),
+    );
 
     // LACP bundling of the non-stacked pair.
     let naive = bundle(
-        hpn_routing::lacp::LacpActor { sys_mac: [2, 0, 0, 0, 0, 1], port_id: 17 },
-        hpn_routing::lacp::LacpActor { sys_mac: [2, 0, 0, 0, 0, 2], port_id: 17 },
+        hpn_routing::lacp::LacpActor {
+            sys_mac: [2, 0, 0, 0, 0, 1],
+            port_id: 17,
+        },
+        hpn_routing::lacp::LacpActor {
+            sys_mac: [2, 0, 0, 0, 0, 2],
+            port_id: 17,
+        },
     );
-    r.row("LACP with default (chassis-MAC) sysIDs", format!("{naive:?}"));
+    r.row(
+        "LACP with default (chassis-MAC) sysIDs",
+        format!("{naive:?}"),
+    );
     let same_port = bundle(
-        NonStackedLacpConfig { sys_mac: RESERVED_VIRTUAL_MAC, port_offset: 300 }.actor_for_port(17),
-        NonStackedLacpConfig { sys_mac: RESERVED_VIRTUAL_MAC, port_offset: 300 }.actor_for_port(17),
+        NonStackedLacpConfig {
+            sys_mac: RESERVED_VIRTUAL_MAC,
+            port_offset: 300,
+        }
+        .actor_for_port(17),
+        NonStackedLacpConfig {
+            sys_mac: RESERVED_VIRTUAL_MAC,
+            port_offset: 300,
+        }
+        .actor_for_port(17),
     );
-    r.row("LACP with same MAC but same offsets", format!("{same_port:?}"));
+    r.row(
+        "LACP with same MAC but same offsets",
+        format!("{same_port:?}"),
+    );
     let deployed = bundle(
         NonStackedLacpConfig::deployed(0).actor_for_port(17),
         NonStackedLacpConfig::deployed(1).actor_for_port(17),

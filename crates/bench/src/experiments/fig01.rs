@@ -24,11 +24,19 @@ pub fn run(_scale: Scale) -> Report {
     );
     r.row(
         "traffic-in (Gbps) mean/max",
-        format!("{:.2} / {:.2}", trace.traffic_in.mean(), trace.traffic_in.max()),
+        format!(
+            "{:.2} / {:.2}",
+            trace.traffic_in.mean(),
+            trace.traffic_in.max()
+        ),
     );
     r.row(
         "traffic-out (Gbps) mean/max",
-        format!("{:.2} / {:.2}", trace.traffic_out.mean(), trace.traffic_out.max()),
+        format!(
+            "{:.2} / {:.2}",
+            trace.traffic_out.mean(),
+            trace.traffic_out.max()
+        ),
     );
     // Largest sample-to-sample change, demonstrating hourly-scale drift.
     let max_jump = trace
@@ -37,7 +45,10 @@ pub fn run(_scale: Scale) -> Report {
         .windows(2)
         .map(|w| ((w[1].1 - w[0].1) / w[0].1).abs())
         .fold(0.0, f64::max);
-    r.row("max 5-min relative change", format!("{:.1}%", max_jump * 100.0));
+    r.row(
+        "max 5-min relative change",
+        format!("{:.1}%", max_jump * 100.0),
+    );
     r.push_series(trace.connections_k.resample_avg(3600.0));
     r.push_series(trace.traffic_in.resample_avg(3600.0));
     r.verdict("hundreds of thousands of connections, low utilization, slow drift — matches Fig 1");

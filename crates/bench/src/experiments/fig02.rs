@@ -37,7 +37,10 @@ pub fn run(scale: Scale) -> Report {
         })
         .collect();
     let series: Rc<RefCell<Vec<TimeSeries>>> = Rc::new(RefCell::new(
-        watch.iter().map(|(n, _)| TimeSeries::new(n.clone())).collect(),
+        watch
+            .iter()
+            .map(|(n, _)| TimeSeries::new(n.clone()))
+            .collect(),
     ));
     let series2 = series.clone();
 

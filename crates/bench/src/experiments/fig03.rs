@@ -33,12 +33,19 @@ pub fn run(scale: Scale) -> Report {
     r.row("hosts in census", ecdf.len());
     r.row(
         "connections/host min/median/max",
-        format!("{:.0} / {:.0} / {:.0}", ecdf.min(), ecdf.median(), ecdf.max()),
+        format!(
+            "{:.0} / {:.0} / {:.0}",
+            ecdf.min(),
+            ecdf.median(),
+            ecdf.max()
+        ),
     );
     for x in [10.0, 50.0, 100.0, 500.0, 1000.0] {
         r.row(format!("P(conns ≤ {x:>4})"), format!("{:.2}", ecdf.cdf(x)));
     }
-    r.verdict("tens-to-hundreds of connections per host, 3–4 orders below cloud hosts — matches Fig 3");
+    r.verdict(
+        "tens-to-hundreds of connections per host, 3–4 orders below cloud hosts — matches Fig 3",
+    );
     r
 }
 

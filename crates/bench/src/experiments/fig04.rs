@@ -26,7 +26,10 @@ pub fn run(_scale: Scale) -> Report {
     }
     r.row(
         "checkpoint size per GPU",
-        format!("{:.0}GB", CheckpointPolicy::production(3.0).bytes_per_gpu / 1e9),
+        format!(
+            "{:.0}GB",
+            CheckpointPolicy::production(3.0).bytes_per_gpu / 1e9
+        ),
     );
     r.verdict("2–4h intervals at ~5% overhead; failure cost in the paper's $30K range");
     r

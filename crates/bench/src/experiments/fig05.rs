@@ -1,6 +1,6 @@
 //! Fig 5 — monthly link failure ratio.
 
-use hpn_faults::{monthly_link_failure_ratio, plan, access_links, FaultRates};
+use hpn_faults::{access_links, monthly_link_failure_ratio, plan, FaultRates};
 use hpn_sim::SimDuration;
 use hpn_topology::HpnConfig;
 
@@ -31,7 +31,10 @@ pub fn run(scale: Scale) -> Report {
     );
     r.row("monitored NIC-ToR links", links);
     for (m, ratio) in ratios.iter().enumerate() {
-        r.row(format!("month {:02}", m + 1), format!("{:.3}%", ratio * 100.0));
+        r.row(
+            format!("month {:02}", m + 1),
+            format!("{:.3}%", ratio * 100.0),
+        );
     }
     let mean = ratios.iter().sum::<f64>() / months as f64;
     r.row("mean", format!("{:.4}% (configured 0.057%)", mean * 100.0));
@@ -54,6 +57,12 @@ mod tests {
     #[test]
     fn twelve_months_reported() {
         let r = run(Scale::Quick);
-        assert!(r.rows.iter().filter(|(k, _)| k.starts_with("month")).count() == 12);
+        assert!(
+            r.rows
+                .iter()
+                .filter(|(k, _)| k.starts_with("month"))
+                .count()
+                == 12
+        );
     }
 }

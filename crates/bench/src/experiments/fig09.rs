@@ -1,8 +1,6 @@
 //! Fig 9 — 51.2Tbps chip power consumption and cooling efficiency.
 
-use hpn_power::{
-    generation, CoolingSolution, ThermalSim, AMBIENT_C, GENERATIONS, TJ_MAX_C,
-};
+use hpn_power::{generation, CoolingSolution, ThermalSim, AMBIENT_C, GENERATIONS, TJ_MAX_C};
 use hpn_sim::SimDuration;
 
 use crate::{Report, Scale};
@@ -30,7 +28,11 @@ pub fn run(_scale: Scale) -> Report {
     // Fig 9b: allowed operation power vs the 51.2T draw.
     for sol in &solutions {
         let allowed = sol.allowed_power(AMBIENT_C);
-        let verdictc = if sol.sustains(&chip, AMBIENT_C) { "OK" } else { "OVER-TEMP" };
+        let verdictc = if sol.sustains(&chip, AMBIENT_C) {
+            "OK"
+        } else {
+            "OVER-TEMP"
+        };
         r.row(
             format!("{} allowed power", sol.name),
             format!(

@@ -41,7 +41,7 @@ fn measure(fabric: Fabric, scale: Scale) -> PortStats {
     let pp = 2usize;
     let mut model = ModelSpec::gpt3_175b();
     model.gpu_secs_per_sample = 0.3; // keep iterations communication-heavy
-    // Interleave segments so consecutive DP replicas alternate sides.
+                                     // Interleave segments so consecutive DP replicas alternate sides.
     let seg0: Vec<u32> = cs.fabric.segment_hosts(0).iter().map(|h| h.id).collect();
     let seg1: Vec<u32> = cs.fabric.segment_hosts(1).iter().map(|h| h.id).collect();
     let mut hosts = Vec::with_capacity(pp * dp);
@@ -73,43 +73,43 @@ fn measure(fabric: Fabric, scale: Scale) -> PortStats {
     )));
     let acc2 = acc.clone();
     let watched2 = watched.clone();
-    let mut session = hpn_core::TrainingSession::new(job, hpn_collectives::CommConfig::hpn_default())
-        .with_sampler(SimDuration::from_millis(200), move |cs| {
-            cs.net.recompute_if_dirty();
-            let mut a = acc2.borrow_mut();
-            a.2.push(cs.now().as_secs_f64());
-            for (i, ports) in watched2.iter().enumerate() {
-                for p in 0..2 {
-                    let link = cs.net.link(ports[p]);
-                    a.0[i][p].push(link.allocated_bps / 1e9);
-                    a.1[i][p].push(link.queue_bits / 8e3); // KB
+    let mut session =
+        hpn_core::TrainingSession::new(job, hpn_collectives::CommConfig::hpn_default())
+            .with_sampler(SimDuration::from_millis(200), move |cs| {
+                cs.net.recompute_if_dirty();
+                let mut a = acc2.borrow_mut();
+                a.2.push(cs.now().as_secs_f64());
+                for (i, ports) in watched2.iter().enumerate() {
+                    for p in 0..2 {
+                        let link = cs.net.link(ports[p]);
+                        a.0[i][p].push(link.allocated_bps / 1e9);
+                        a.1[i][p].push(link.queue_bits / 8e3); // KB
+                    }
                 }
-            }
-        });
+            });
     session.run_iterations(&mut cs, scale.pick(4, 3));
 
     let a = acc.borrow();
     // Keep only samples where the NIC was receiving at all.
-    let mean_rates: Vec<(f64, f64)> = a
-        .0
-        .iter()
-        .map(|[p0, p1]| {
-            let busy: Vec<(f64, f64)> = p0
-                .iter()
-                .zip(p1)
-                .filter(|(&x, &y)| x + y > 1.0)
-                .map(|(&x, &y)| (x, y))
-                .collect();
-            if busy.is_empty() {
-                (0.0, 0.0)
-            } else {
-                (
-                    busy.iter().map(|&(x, _)| x).sum::<f64>() / busy.len() as f64,
-                    busy.iter().map(|&(_, y)| y).sum::<f64>() / busy.len() as f64,
-                )
-            }
-        })
-        .collect();
+    let mean_rates: Vec<(f64, f64)> =
+        a.0.iter()
+            .map(|[p0, p1]| {
+                let busy: Vec<(f64, f64)> = p0
+                    .iter()
+                    .zip(p1)
+                    .filter(|(&x, &y)| x + y > 1.0)
+                    .map(|(&x, &y)| (x, y))
+                    .collect();
+                if busy.is_empty() {
+                    (0.0, 0.0)
+                } else {
+                    (
+                        busy.iter().map(|&(x, _)| x).sum::<f64>() / busy.len() as f64,
+                        busy.iter().map(|&(_, y)| y).sum::<f64>() / busy.len() as f64,
+                    )
+                }
+            })
+            .collect();
     let mean = |v: &Vec<f64>| {
         if v.is_empty() {
             0.0
@@ -218,11 +218,19 @@ pub fn run_fig13(scale: Scale) -> Report {
     );
     r.row(
         "typical Clos port imbalance",
-        format!("{} (mean Jain {:.3})", imbalance_summary(&clos), mean_fairness(&clos)),
+        format!(
+            "{} (mean Jain {:.3})",
+            imbalance_summary(&clos),
+            mean_fairness(&clos)
+        ),
     );
     r.row(
         "dual-plane port imbalance",
-        format!("{} (mean Jain {:.3})", imbalance_summary(&dual), mean_fairness(&dual)),
+        format!(
+            "{} (mean Jain {:.3})",
+            imbalance_summary(&dual),
+            mean_fairness(&dual)
+        ),
     );
     for s in clos.rate_series.iter() {
         let mut named = s.resample_avg(2.0);

@@ -56,9 +56,7 @@ fn run_on(fabric: Fabric, scale: Scale, pp: usize, dp: usize, batch: usize) -> R
     let acc2 = acc.clone();
     let mut session = common::training_session(&cs, model, pp, dp, batch)
         .with_spray(spray)
-        .with_sampler(
-        SimDuration::from_millis(500),
-        move |cs| {
+        .with_sampler(SimDuration::from_millis(500), move |cs| {
             let t = cs.now();
             let rate = cs.net.aggregate_rate(&agg_links) / 1e9;
             let maxq = agg_links
@@ -68,14 +66,10 @@ fn run_on(fabric: Fabric, scale: Scale, pp: usize, dp: usize, batch: usize) -> R
             let mut a = acc2.borrow_mut();
             a.0.push(t, rate);
             a.1.push(t, maxq);
-        },
-    );
+        });
     let iters = scale.pick(3, 2);
     session.run_iterations(&mut cs, iters + 1);
-    let segments = hpn_core::placement::segments_spanned(
-        &cs.fabric,
-        &session.job.hosts,
-    );
+    let segments = hpn_core::placement::segments_spanned(&cs.fabric, &session.job.hosts);
     let a = acc.borrow();
     RunOut {
         samples_per_sec: session.mean_throughput(1),
@@ -113,13 +107,19 @@ pub fn run(scale: Scale) -> Report {
     r.row("GPUs", hosts * 8);
     r.row(
         "segments spanned",
-        format!("HPN {} vs DCN+ {}", hpn.segments_spanned, dcn.segments_spanned),
+        format!(
+            "HPN {} vs DCN+ {}",
+            hpn.segments_spanned, dcn.segments_spanned
+        ),
     );
     r.row("DCN+ samples/s", format!("{:.1}", dcn.samples_per_sec));
     r.row("HPN samples/s", format!("{:.1}", hpn.samples_per_sec));
     r.row(
         "end-to-end gain",
-        format!("{} (paper: +14.9%)", pct_gain(hpn.samples_per_sec, dcn.samples_per_sec)),
+        format!(
+            "{} (paper: +14.9%)",
+            pct_gain(hpn.samples_per_sec, dcn.samples_per_sec)
+        ),
     );
     let dcn_x = dcn.agg_ingress.time_weighted_mean();
     let hpn_x = hpn.agg_ingress.time_weighted_mean();

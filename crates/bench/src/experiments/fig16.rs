@@ -7,7 +7,14 @@ use crate::experiments::common;
 use crate::report::{pct_gain, Report};
 use crate::Scale;
 
-fn throughput(fabric: Fabric, scale: Scale, model: ModelSpec, pp: usize, dp: usize, batch: usize) -> f64 {
+fn throughput(
+    fabric: Fabric,
+    scale: Scale,
+    model: ModelSpec,
+    pp: usize,
+    dp: usize,
+    batch: usize,
+) -> f64 {
     let mut cs = common::cluster(fabric);
     let mut session = common::training_session(&cs, model, pp, dp, batch);
     common::mean_samples_per_sec(&mut cs, &mut session, scale.pick(3, 2))
@@ -40,7 +47,14 @@ pub fn run(scale: Scale) -> Report {
             dp,
             batch,
         );
-        let dcn = throughput(common::dcn_fabric(scale, hosts), scale, model, pp, dp, batch);
+        let dcn = throughput(
+            common::dcn_fabric(scale, hosts),
+            scale,
+            model,
+            pp,
+            dp,
+            batch,
+        );
         r.row(
             name,
             format!(

@@ -85,7 +85,10 @@ fn run_case(scale: Scale, dual_tor: bool, outage: Option<SimDuration>) -> CaseOu
                 .unwrap_or_else(|| cs.now().as_secs_f64()),
         )
     } else {
-        (t_fail.as_secs_f64(), (t_fail + SimDuration::from_secs(4)).as_secs_f64())
+        (
+            t_fail.as_secs_f64(),
+            (t_fail + SimDuration::from_secs(4)).as_secs_f64(),
+        )
     };
     let during = series.window_mean(win_start, win_end);
     CaseOut {
@@ -130,7 +133,8 @@ pub fn run(scale: Scale) -> Report {
         r.row(
             format!("failure unrepaired, {label}"),
             if out.timed_out {
-                "iteration exceeded the NCCL timeout → JOB CRASH (rollback to checkpoint)".to_string()
+                "iteration exceeded the NCCL timeout → JOB CRASH (rollback to checkpoint)"
+                    .to_string()
             } else {
                 format!(
                     "training continues at {:.0} samples/s on the surviving port",

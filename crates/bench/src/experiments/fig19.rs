@@ -58,7 +58,10 @@ pub fn run(scale: Scale) -> Report {
         let c = busbw(&clos, n, size);
         r.row(
             format!("n={n:>2} hosts"),
-            format!("single-plane {c:.0} GB/s vs dual-plane {d:.0} GB/s → {}", pct_gain(d, c)),
+            format!(
+                "single-plane {c:.0} GB/s vs dual-plane {d:.0} GB/s → {}",
+                pct_gain(d, c)
+            ),
         );
         n *= 2;
     }

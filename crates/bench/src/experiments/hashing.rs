@@ -74,7 +74,14 @@ mod tests {
         let pol = &r.rows[0].1;
         let ind = &r.rows[1].1;
         let cover = |s: &str| {
-            s.split("cascade ").nth(1).unwrap().split(' ').next().unwrap().parse::<f64>().unwrap()
+            s.split("cascade ")
+                .nth(1)
+                .unwrap()
+                .split(' ')
+                .next()
+                .unwrap()
+                .parse::<f64>()
+                .unwrap()
         };
         assert!(cover(pol) < 0.3);
         assert!(cover(ind) > 0.9);

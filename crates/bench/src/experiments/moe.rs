@@ -45,7 +45,10 @@ fn all_to_all_time(fabric: Fabric, scale: Scale, relay: bool) -> f64 {
     let comm = runner.add_comm(Communicator::new(ranks, CommConfig::hpn_default(), 49152));
     let job = runner.add_job(graph::all_to_all(n, size), comm);
     let deadline = cs.now() + SimDuration::from_secs(3600);
-    assert!(runner.run_job(&mut cs, job, deadline), "all-to-all finishes");
+    assert!(
+        runner.run_job(&mut cs, job, deadline),
+        "all-to-all finishes"
+    );
     runner.job_duration(job).expect("finished").as_secs_f64()
 }
 
@@ -83,12 +86,22 @@ pub fn run(scale: Scale) -> Report {
         "MoE All-to-All: any-to-any tier2 vs rail-only tier2",
         "rail-only relies on intra-rail traffic; MoE all-to-all breaks the assumption (§10)",
     );
-    r.row("any-to-any All-to-All (no relay needed)", format!("{any:.4}s"));
-    r.row("rail-only All-to-All (forced NVLink relay)", format!("{rail:.4}s"));
+    r.row(
+        "any-to-any All-to-All (no relay needed)",
+        format!("{any:.4}s"),
+    );
+    r.row(
+        "rail-only All-to-All (forced NVLink relay)",
+        format!("{rail:.4}s"),
+    );
     r.row("rail-only slowdown", pct_gain(rail, any));
     r.row(
         "serverless (no relay) cross-rail on rail-only",
-        if serverless_on_rail_only { "routable (unexpected!)" } else { "UNROUTABLE — the fabric cannot serve it" },
+        if serverless_on_rail_only {
+            "routable (unexpected!)"
+        } else {
+            "UNROUTABLE — the fabric cannot serve it"
+        },
     );
     r.verdict(
         "with a relay available the NICs bound both designs — but rail-only *requires* the relay, \

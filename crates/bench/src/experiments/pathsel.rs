@@ -6,8 +6,8 @@
 //! round-robin spraying.
 
 use hpn_collectives::{graph, CommConfig, Communicator, Runner};
-use hpn_transport::PathPolicy;
 use hpn_sim::SimDuration;
+use hpn_transport::PathPolicy;
 
 use crate::experiments::common;
 use crate::report::{pct_gain, Report};
@@ -81,9 +81,15 @@ pub fn run(scale: Scale) -> Report {
         "Optimized path selection (4 concurrent AllReduce, 256 GPUs)",
         "disjoint paths + least-WQE selection improves collective performance by up to 34.7%",
     );
-    r.row("degraded links", "25% of ToR→Agg cables at 50Gbps (asymmetry)");
+    r.row(
+        "degraded links",
+        "25% of ToR→Agg cables at 50Gbps (asymmetry)",
+    );
     r.row("single-path ECMP", format!("{single:.2}s"));
-    r.row("disjoint + round-robin", format!("{rr:.2}s ({} vs single)", pct_gain(single, rr)));
+    r.row(
+        "disjoint + round-robin",
+        format!("{rr:.2}s ({} vs single)", pct_gain(single, rr)),
+    );
     r.row(
         "disjoint + least-WQE (deployed)",
         format!("{least:.2}s ({} vs single)", pct_gain(single, least)),

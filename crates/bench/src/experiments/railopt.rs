@@ -106,7 +106,9 @@ pub fn run(scale: Scale) -> Report {
         "rail-optimized gain",
         pct_gain(rail.samples_per_sec, flat.samples_per_sec),
     );
-    r.verdict("fewer segments spanned, far less Aggregation traffic, faster training — §5.2's case");
+    r.verdict(
+        "fewer segments spanned, far less Aggregation traffic, faster training — §5.2's case",
+    );
     r
 }
 
@@ -118,7 +120,10 @@ mod tests {
     fn rail_optimized_reduces_agg_traffic() {
         let rail = train(Scale::Quick, true);
         let flat = train(Scale::Quick, false);
-        assert!(rail.segments < flat.segments, "rail packs jobs into fewer segments");
+        assert!(
+            rail.segments < flat.segments,
+            "rail packs jobs into fewer segments"
+        );
         assert!(
             rail.cross_agg_bits < flat.cross_agg_bits,
             "rail {} vs flat {} Agg bits",

@@ -75,8 +75,14 @@ pub fn run(scale: Scale) -> Report {
         "backend-placed storage injects checkpoint bursts into training ports, causing fluctuations; \
          frontend placement isolates them",
     );
-    r.row("storage on frontend (deployed)", format!("{frontend:.1} samples/s during checkpoint"));
-    r.row("storage in backend", format!("{backend:.1} samples/s during checkpoint"));
+    r.row(
+        "storage on frontend (deployed)",
+        format!("{frontend:.1} samples/s during checkpoint"),
+    );
+    r.row(
+        "storage in backend",
+        format!("{backend:.1} samples/s during checkpoint"),
+    );
     r.row("backend-placement penalty", pct_gain(backend, frontend));
     r.verdict(
         "checkpoint traffic through the backend slows the overlapping iteration; the frontend \

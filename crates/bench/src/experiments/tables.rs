@@ -44,11 +44,22 @@ pub fn run_table2(_scale: Scale) -> Report {
         "64→128→1K at tier-1; 2K→4K→8K→15K at tier-2",
     );
     for row in scale_tbl::table2(&HpnConfig::paper()) {
-        let t1 = row.tier1.map(|v| v.to_string()).unwrap_or_else(|| "—".into());
-        let t2 = row.tier2.map(|v| v.to_string()).unwrap_or_else(|| "—".into());
-        r.row(row.mechanism.clone(), format!("tier1 {t1:>5}   tier2 {t2:>6}"));
+        let t1 = row
+            .tier1
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "—".into());
+        let t2 = row
+            .tier2
+            .map(|v| v.to_string())
+            .unwrap_or_else(|| "—".into());
+        r.row(
+            row.mechanism.clone(),
+            format!("tier1 {t1:>5}   tier2 {t2:>6}"),
+        );
     }
-    r.verdict("mechanism ladder reproduces 1024-GPU segments and 15,360-GPU pods — matches Table 2");
+    r.verdict(
+        "mechanism ladder reproduces 1024-GPU segments and 15,360-GPU pods — matches Table 2",
+    );
     r
 }
 
@@ -62,9 +73,18 @@ pub fn run_table3(_scale: Scale) -> Report {
         "Traffic patterns of different parallelisms (GPT-3 175B, TP=8 PP=8 DP=512)",
         "DP 5.5GB AllReduce; PP 6MB Send/Recv; TP 560MB AllReduce/AllGather",
     );
-    r.row("DP volume", format!("{:.2}GB (AllReduce)", t.dp_bytes / 1e9));
-    r.row("PP volume", format!("{:.1}MB (Send/Recv)", t.pp_bytes / 1e6));
-    r.row("TP volume", format!("{:.0}MB (AllReduce/AllGather)", t.tp_bytes / 1e6));
+    r.row(
+        "DP volume",
+        format!("{:.2}GB (AllReduce)", t.dp_bytes / 1e9),
+    );
+    r.row(
+        "PP volume",
+        format!("{:.1}MB (Send/Recv)", t.pp_bytes / 1e6),
+    );
+    r.row(
+        "TP volume",
+        format!("{:.0}MB (AllReduce/AllGather)", t.tp_bytes / 1e6),
+    );
     r.row(
         "ordering",
         format!(
@@ -89,7 +109,9 @@ pub fn run_table4(_scale: Scale) -> Report {
     r.row("any-to-any GPUs/pod", acc.any_to_any_gpus);
     r.row("rail-only GPUs/pod", acc.rail_only_gpus);
     r.row("communication limitation", "rail-only: cross-rail must relay over NVLink (MoE all-to-all, multi-tenant serverless break)");
-    r.verdict("8× pod scale for rail-only at the cost of cross-rail reachability — matches Table 4");
+    r.verdict(
+        "8× pod scale for rail-only at the cost of cross-rail reachability — matches Table 4",
+    );
     r
 }
 

@@ -49,7 +49,14 @@ fn main() {
                 reports.push(r);
             }
             if let Some(path) = json_path {
-                let blob = serde_json::to_string_pretty(&reports).expect("serialize");
+                let blob = format!(
+                    "[\n{}\n]",
+                    reports
+                        .iter()
+                        .map(|r| r.to_json())
+                        .collect::<Vec<_>>()
+                        .join(",\n")
+                );
                 write_out(&path, &blob);
             }
         }
@@ -86,8 +93,17 @@ fn topo(which: &str) {
     println!("  hosts       : {}", fabric.hosts.len());
     println!("  segments    : {}", fabric.segments);
     println!("  pods        : {}", fabric.pods);
-    println!("  ToRs/Aggs/Cores : {}/{}/{}", fabric.tors.len(), fabric.aggs.len(), fabric.cores.len());
-    println!("  nodes/links : {}/{}", fabric.net.node_count(), fabric.net.link_count());
+    println!(
+        "  ToRs/Aggs/Cores : {}/{}/{}",
+        fabric.tors.len(),
+        fabric.aggs.len(),
+        fabric.cores.len()
+    );
+    println!(
+        "  nodes/links : {}/{}",
+        fabric.net.node_count(),
+        fabric.net.link_count()
+    );
     println!(
         "  features    : dual-ToR={} dual-plane={} rail-optimized={}",
         fabric.dual_tor, fabric.dual_plane, fabric.rail_optimized

@@ -1,11 +1,10 @@
 //! Experiment output: printable, diffable reports.
 
 use hpn_sim::TimeSeries;
-use serde::Serialize;
 
 /// A report: headline rows plus optional time series, all serializable so
 /// EXPERIMENTS.md can be regenerated mechanically.
-#[derive(Clone, Debug, Serialize, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Report {
     /// Experiment id (e.g. "fig15").
     pub id: String,
@@ -73,9 +72,80 @@ impl Report {
         println!();
     }
 
-    /// JSON for machine consumption.
+    /// JSON for machine consumption (hand-rolled: the build environment has
+    /// no crates.io access, so no serde).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serializes")
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_str(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json_str(&self.title)));
+        out.push_str(&format!(
+            "  \"paper_claim\": {},\n",
+            json_str(&self.paper_claim)
+        ));
+        out.push_str("  \"rows\": [");
+        for (i, (k, v)) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    [{}, {}]", json_str(k), json_str(v)));
+        }
+        if !self.rows.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n  \"series\": [");
+        for (i, s) in self.series.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"name\": {}, \"samples\": [",
+                json_str(&s.name)
+            ));
+            for (j, &(t, v)) in s.samples().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{},{}]", json_num(t), json_num(v)));
+            }
+            out.push_str("]}");
+        }
+        if !self.series.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str(&format!(
+            "],\n  \"verdict\": {}\n}}",
+            json_str(&self.verdict)
+        ));
+        out
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Format an f64 as a JSON number (finite values only; non-finite become null).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        // `{}` on f64 always round-trips and never emits inf/NaN here.
+        format!("{v}")
+    } else {
+        "null".to_string()
     }
 }
 
@@ -89,13 +159,19 @@ pub fn sparkline(s: &TimeSeries) -> String {
     let vals: Vec<f64> = if s.len() > 60 {
         let span = s.samples().last().unwrap().0 - s.samples()[0].0;
         let bucket = (span / 60.0).max(1e-9);
-        s.resample_avg(bucket).samples().iter().map(|&(_, v)| v).collect()
+        s.resample_avg(bucket)
+            .samples()
+            .iter()
+            .map(|&(_, v)| v)
+            .collect()
     } else {
         s.samples().iter().map(|&(_, v)| v).collect()
     };
     let (lo, hi) = vals
         .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| (l.min(v), h.max(v)));
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(l, h), &v| {
+            (l.min(v), h.max(v))
+        });
     let range = (hi - lo).max(1e-12);
     vals.iter()
         .map(|&v| BLOCKS[(((v - lo) / range) * 7.0).round() as usize])

@@ -101,10 +101,7 @@ impl Communicator {
     /// Number of distinct connections established so far (for the Fig 3
     /// connections-per-host census).
     pub fn established_connections(&self, cs: &ClusterSim) -> usize {
-        self.groups
-            .values()
-            .map(|&g| cs.group(g).conns.len())
-            .sum()
+        self.groups.values().map(|&g| cs.group(g).conns.len()).sum()
     }
 
     /// Connections originated per source host (the Fig 3 census at host
@@ -147,8 +144,7 @@ mod tests {
     #[test]
     fn hpn_default_gets_multiple_disjoint_conns() {
         let mut cs = sim();
-        let mut comm =
-            Communicator::new(vec![(0, 0), (1, 0)], CommConfig::hpn_default(), 49152);
+        let mut comm = Communicator::new(vec![(0, 0), (1, 0)], CommConfig::hpn_default(), 49152);
         let g = comm.group_for(&mut cs, 0, 1);
         // Same ToR pair: exactly the two planes are disjoint.
         assert_eq!(cs.group(g).conns.len(), 2);

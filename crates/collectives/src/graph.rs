@@ -337,7 +337,12 @@ fn intra_phase_bits(size_bits: f64, rails: usize, nvls: bool) -> f64 {
 /// only 4× the speed — this is why Fig 17b finds AllGather NVSwitch-bound
 /// and insensitive to the fabric, and why NVLS (a reduction offload)
 /// cannot help it.
-pub fn hierarchical_allgather(hosts: usize, rails: usize, size_bits: f64, rounds: usize) -> OpGraph {
+pub fn hierarchical_allgather(
+    hosts: usize,
+    rails: usize,
+    size_bits: f64,
+    rounds: usize,
+) -> OpGraph {
     let mut g = OpGraph::new();
     assert!(rails >= 1 && hosts >= 1);
     let rank_of = |h: usize, r: usize| (h * rails + r) as u32;
@@ -345,7 +350,13 @@ pub fn hierarchical_allgather(hosts: usize, rails: usize, size_bits: f64, rounds
     if hosts < 2 {
         for r in 0..rails as u32 {
             if intra > 0.0 {
-                g.add(OpKind::Copy { rank: r, bits: intra }, vec![]);
+                g.add(
+                    OpKind::Copy {
+                        rank: r,
+                        bits: intra,
+                    },
+                    vec![],
+                );
             }
         }
         return g;
@@ -611,7 +622,10 @@ mod tests {
             rails as f64 * hosts as f64 * (S / rails as f64) * (hosts as f64 - 1.0) / hosts as f64;
         let expect_local = (hosts * rails) as f64 * S * (rails as f64 - 1.0) / rails as f64;
         assert!((net - expect_net).abs() < 1.0, "net {net} vs {expect_net}");
-        assert!((local - expect_local).abs() < 1.0, "local {local} vs {expect_local}");
+        assert!(
+            (local - expect_local).abs() < 1.0,
+            "local {local} vs {expect_local}"
+        );
         // Intra-host bytes dominate network bytes per endpoint — the
         // NVSwitch-bound property of Fig 17b.
         assert!(expect_local / (hosts * rails) as f64 > expect_net / (hosts * rails) as f64);
@@ -648,7 +662,12 @@ mod tests {
         let mut depth = vec![0u32; g.len()];
         let mut max_depth = 0;
         for (i, op) in g.ops().iter().enumerate() {
-            let d = op.deps.iter().map(|&p| depth[p as usize] + 1).max().unwrap_or(1);
+            let d = op
+                .deps
+                .iter()
+                .map(|&p| depth[p as usize] + 1)
+                .max()
+                .unwrap_or(1);
             depth[i] = d.max(1);
             max_depth = max_depth.max(depth[i]);
         }

@@ -142,7 +142,10 @@ impl Runner {
 
     /// Launch a job's ready frontier now.
     pub fn launch_job(&mut self, cs: &mut ClusterSim, job: usize) {
-        assert!(self.jobs[job].started.is_none(), "job {job} already launched");
+        assert!(
+            self.jobs[job].started.is_none(),
+            "job {job} already launched"
+        );
         self.jobs[job].started = Some(cs.now());
         if self.jobs[job].outstanding == 0 {
             self.jobs[job].finished = Some(cs.now());
@@ -380,7 +383,7 @@ mod tests {
             let mut runner = Runner::new();
             let g = graph::ring_allreduce(4, GB, rounds);
             let c = runner.add_comm(rail0_comm(4, CommConfig::single_path()));
-        let job = runner.add_job(g, c);
+            let job = runner.add_job(g, c);
             runner.run(&mut cs, SimTime::from_secs(60));
             times.push(runner.job_duration(job).unwrap().as_secs_f64());
         }

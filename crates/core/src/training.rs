@@ -7,7 +7,7 @@
 //! records behind Fig 15a, Fig 16 and Fig 18.
 
 use hpn_collectives::{CommConfig, Communicator, Runner};
-use hpn_sim::{SimDuration, SimTime, TimeSeries};
+use hpn_sim::{RecomputeScope, SimDuration, SimTime, TimeSeries};
 use hpn_transport::ClusterSim;
 use hpn_workload::TrainingJob;
 
@@ -37,6 +37,10 @@ pub struct IterationRecord {
     pub outcome: IterationOutcome,
     /// Samples/s achieved (0 when timed out).
     pub samples_per_sec: f64,
+    /// Rate-allocator work attributable to this iteration: recompute
+    /// events and flows/links touched (diffed from the fluid net's
+    /// [`RecomputeScope`] counters across the iteration).
+    pub alloc_scope: RecomputeScope,
 }
 
 /// A running training session.
@@ -108,13 +112,19 @@ impl TrainingSession {
                 IterationOutcome::Completed { duration } => Some(duration),
                 IterationOutcome::TimedOut => None,
             })
-            .unwrap_or_else(|| self.job.model.compute_time(self.job.global_batch, self.job.gpus()));
+            .unwrap_or_else(|| {
+                self.job
+                    .model
+                    .compute_time(self.job.global_batch, self.job.gpus())
+            });
         let start = cs.now();
+        let scope_before = cs.net.alloc_scope();
         let graph = self.job.iteration_graph();
         let jid = self.runner.add_job(graph, self.comm);
         let deadline = self.deadline_for(start, expected);
         let finished = self.runner.run_job(cs, jid, deadline);
         let end = cs.now();
+        let alloc_scope = cs.net.alloc_scope().since(&scope_before);
         let outcome = if finished {
             IterationOutcome::Completed {
                 duration: end - start,
@@ -133,6 +143,7 @@ impl TrainingSession {
             end,
             outcome,
             samples_per_sec,
+            alloc_scope,
         };
         self.records.push(rec);
         rec
@@ -219,23 +230,13 @@ mod tests {
     fn small_job(fabric_hosts: &[u32]) -> TrainingJob {
         // 4 hosts × 2 rails: TP=2, PP=2, DP=2.
         let plan = ParallelismPlan::new(2, 2, 2);
-        TrainingJob::new(
-            ModelSpec::llama_7b(),
-            plan,
-            fabric_hosts.to_vec(),
-            2,
-            64,
-        )
+        TrainingJob::new(ModelSpec::llama_7b(), plan, fabric_hosts.to_vec(), 2, 64)
     }
 
     fn setup() -> (ClusterSim, TrainingSession) {
         let fabric = HpnConfig::tiny().build();
         let cs = ClusterSim::new(fabric, HashMode::Polarized);
-        let hosts = crate::placement::place_segment_first(
-            &cs.fabric,
-            4,
-        )
-        .unwrap();
+        let hosts = crate::placement::place_segment_first(&cs.fabric, 4).unwrap();
         let session = TrainingSession::new(small_job(&hosts), CommConfig::hpn_default());
         (cs, session)
     }
@@ -255,6 +256,18 @@ mod tests {
         let b = recs[2].samples_per_sec;
         assert!((a - b).abs() / a < 0.05, "unsteady: {a} vs {b}");
         assert!(session.mean_throughput(1) > 0.0);
+        // Allocator-scope accounting: every iteration drove rate
+        // recomputes and the default incremental allocator kept them
+        // local (strictly fewer flows touched than the dense
+        // every-flow-per-event baseline).
+        for r in &recs {
+            assert!(r.alloc_scope.events > 0, "iteration drove recomputes");
+            assert!(
+                r.alloc_scope.flows_touched < r.alloc_scope.flows_active,
+                "recomputes stayed scoped: {:?}",
+                r.alloc_scope
+            );
+        }
     }
 
     #[test]

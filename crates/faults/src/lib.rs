@@ -103,7 +103,12 @@ pub fn access_links(fabric: &Fabric) -> Vec<LinkIdx> {
 
 /// Generate a deterministic fault schedule over `horizon`, Poisson per
 /// link/ToR at the configured rates.
-pub fn plan(fabric: &Fabric, rates: &FaultRates, horizon: SimDuration, seed: u64) -> Vec<FaultEvent> {
+pub fn plan(
+    fabric: &Fabric,
+    rates: &FaultRates,
+    horizon: SimDuration,
+    seed: u64,
+) -> Vec<FaultEvent> {
     let mut rng = Xoshiro256::seed_from_u64(seed);
     let mut events: Vec<FaultEvent> = Vec::new();
     let horizon_s = horizon.as_secs_f64();

@@ -43,12 +43,36 @@ pub struct ChipGeneration {
 /// roughly-doubling capacity at ~40–50% power growth; 102.4T extrapolates
 /// the same trend (§10 mentions it for the next-generation HPN).
 pub const GENERATIONS: &[ChipGeneration] = &[
-    ChipGeneration { capacity_tbps: 3.2, full_power_w: 120.0, idle_power_w: 60.0 },
-    ChipGeneration { capacity_tbps: 6.4, full_power_w: 170.0, idle_power_w: 80.0 },
-    ChipGeneration { capacity_tbps: 12.8, full_power_w: 245.0, idle_power_w: 110.0 },
-    ChipGeneration { capacity_tbps: 25.6, full_power_w: 350.0, idle_power_w: 150.0 },
-    ChipGeneration { capacity_tbps: 51.2, full_power_w: 507.5, idle_power_w: 210.0 },
-    ChipGeneration { capacity_tbps: 102.4, full_power_w: 730.0, idle_power_w: 290.0 },
+    ChipGeneration {
+        capacity_tbps: 3.2,
+        full_power_w: 120.0,
+        idle_power_w: 60.0,
+    },
+    ChipGeneration {
+        capacity_tbps: 6.4,
+        full_power_w: 170.0,
+        idle_power_w: 80.0,
+    },
+    ChipGeneration {
+        capacity_tbps: 12.8,
+        full_power_w: 245.0,
+        idle_power_w: 110.0,
+    },
+    ChipGeneration {
+        capacity_tbps: 25.6,
+        full_power_w: 350.0,
+        idle_power_w: 150.0,
+    },
+    ChipGeneration {
+        capacity_tbps: 51.2,
+        full_power_w: 507.5,
+        idle_power_w: 210.0,
+    },
+    ChipGeneration {
+        capacity_tbps: 102.4,
+        full_power_w: 730.0,
+        idle_power_w: 290.0,
+    },
 ];
 
 /// Look up a generation by capacity.

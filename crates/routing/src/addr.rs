@@ -37,7 +37,13 @@ impl FiveTuple {
     }
 
     /// Build the RoCEv2 tuple between two endpoints with a chosen sport.
-    pub fn rdma(src_host: u32, src_rail: usize, dst_host: u32, dst_rail: usize, sport: u16) -> Self {
+    pub fn rdma(
+        src_host: u32,
+        src_rail: usize,
+        dst_host: u32,
+        dst_rail: usize,
+        sport: u16,
+    ) -> Self {
         FiveTuple {
             src_ip: endpoint_ip(src_host, src_rail),
             dst_ip: endpoint_ip(dst_host, dst_rail),

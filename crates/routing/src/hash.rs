@@ -195,7 +195,11 @@ mod tests {
         for sport in 49152..49152 + 256 {
             seen.insert(h.select(&tuple(sport), 3, 60));
         }
-        assert!(seen.len() > 40, "only {} of 60 uplinks reachable", seen.len());
+        assert!(
+            seen.len() > 40,
+            "only {} of 60 uplinks reachable",
+            seen.len()
+        );
     }
 
     #[test]

@@ -182,16 +182,10 @@ mod tests {
     #[test]
     fn l2_safety_detects_conflicts() {
         // Two sets in different subnets: fine (HPN's layer-3 separation).
-        let ok = [
-            (1u32, RESERVED_VIRTUAL_MAC),
-            (2u32, RESERVED_VIRTUAL_MAC),
-        ];
+        let ok = [(1u32, RESERVED_VIRTUAL_MAC), (2u32, RESERVED_VIRTUAL_MAC)];
         assert!(check_l2_safety(&ok).is_ok());
         // Same subnet, same MAC: conflict.
-        let bad = [
-            (1u32, RESERVED_VIRTUAL_MAC),
-            (1u32, RESERVED_VIRTUAL_MAC),
-        ];
+        let bad = [(1u32, RESERVED_VIRTUAL_MAC), (1u32, RESERVED_VIRTUAL_MAC)];
         assert!(check_l2_safety(&bad).is_err());
     }
 }

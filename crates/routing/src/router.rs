@@ -64,6 +64,16 @@ pub struct Route {
     pub tuple: FiveTuple,
 }
 
+impl Route {
+    /// The fluid-model links this route occupies, in traversal order —
+    /// the sequence callers intern once per route
+    /// ([`hpn_sim::FlowNet::intern_path`]) so flows carry a
+    /// [`hpn_sim::PathId`] instead of re-cloning the link vector per send.
+    pub fn flow_links(&self) -> Vec<hpn_sim::LinkId> {
+        self.links.iter().map(|l| l.flow_link()).collect()
+    }
+}
+
 /// Why routing failed.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum RouteError {
@@ -192,7 +202,13 @@ impl Router {
             return Ok(Route {
                 links,
                 port: None,
-                tuple: FiveTuple::rdma(req.src_host, req.src_rail, req.dst_host, req.dst_rail, req.sport),
+                tuple: FiveTuple::rdma(
+                    req.src_host,
+                    req.src_rail,
+                    req.dst_host,
+                    req.dst_rail,
+                    req.sport,
+                ),
             });
         }
 
@@ -212,7 +228,13 @@ impl Router {
         }
         links.push(self.host_link(fabric, src.gpus[net_rail], src.nics[net_rail])?);
 
-        let tuple = FiveTuple::rdma(req.src_host, net_rail, req.dst_host, req.dst_rail, req.sport);
+        let tuple = FiveTuple::rdma(
+            req.src_host,
+            net_rail,
+            req.dst_host,
+            req.dst_rail,
+            req.sport,
+        );
 
         // NIC port / plane choice.
         let ports = if fabric.dual_tor { 2 } else { 1 };
@@ -229,16 +251,19 @@ impl Router {
                 // Bond transmit hash (layer3+4), among ports whose access
                 // link is healthy.
                 let healthy: Vec<usize> = (0..ports)
-                    .filter(|&p| {
-                        src.nic_up[net_rail][p].is_some_and(|l| health.is_up(l))
-                    })
+                    .filter(|&p| src.nic_up[net_rail][p].is_some_and(|l| health.is_up(l)))
                     .collect();
                 if healthy.is_empty() {
                     return Err(RouteError::NoPath {
-                        at: format!("all access links of host {} rail {} down", req.src_host, net_rail),
+                        at: format!(
+                            "all access links of host {} rail {} down",
+                            req.src_host, net_rail
+                        ),
                     });
                 }
-                healthy[self.hasher.select(&tuple, src.nics[net_rail].0, healthy.len())]
+                healthy[self
+                    .hasher
+                    .select(&tuple, src.nics[net_rail].0, healthy.len())]
             }
         };
         let access = src.nic_up[net_rail][port].ok_or_else(|| RouteError::NoPath {
@@ -246,7 +271,10 @@ impl Router {
         })?;
         if !health.is_up(access) {
             return Err(RouteError::NoPath {
-                at: format!("access link of host {} rail {} port {port} down", req.src_host, net_rail),
+                at: format!(
+                    "access link of host {} rail {} port {port} down",
+                    req.src_host, net_rail
+                ),
             });
         }
         links.push(access);
@@ -275,7 +303,11 @@ impl Router {
             // Arrived at a ToR that owns the destination?
             if let Some(&(_, down)) = dst_attach.iter().find(|&&(t, _)| t == current) {
                 links.push(down);
-                links.push(self.host_link(fabric, dst.nics[req.dst_rail], dst.gpus[req.dst_rail])?);
+                links.push(self.host_link(
+                    fabric,
+                    dst.nics[req.dst_rail],
+                    dst.gpus[req.dst_rail],
+                )?);
                 return Ok(Route {
                     links,
                     port: Some(port),
@@ -284,9 +316,12 @@ impl Router {
             }
             match fabric.net.kind(current) {
                 NodeKind::Tor { .. } => {
-                    let ups = self.tor_up.get(&current).ok_or_else(|| RouteError::NoPath {
-                        at: format!("{} has no uplinks", fabric.net.kind(current).label()),
-                    })?;
+                    let ups = self
+                        .tor_up
+                        .get(&current)
+                        .ok_or_else(|| RouteError::NoPath {
+                            at: format!("{} has no uplinks", fabric.net.kind(current).label()),
+                        })?;
                     // Lookahead: keep only uplinks whose Agg can still make
                     // progress (converged host routes, §4.2).
                     let cands: Vec<LinkIdx> = ups
@@ -438,13 +473,16 @@ impl Router {
 
     /// A host-internal link (NVLink/PCIe) that must exist by construction.
     fn host_link(&self, fabric: &Fabric, a: NodeId, b: NodeId) -> Result<LinkIdx, RouteError> {
-        fabric.net.link_between(a, b).ok_or_else(|| RouteError::NoPath {
-            at: format!(
-                "missing host-internal link {} -> {}",
-                fabric.net.kind(a).label(),
-                fabric.net.kind(b).label()
-            ),
-        })
+        fabric
+            .net
+            .link_between(a, b)
+            .ok_or_else(|| RouteError::NoPath {
+                at: format!(
+                    "missing host-internal link {} -> {}",
+                    fabric.net.kind(a).label(),
+                    fabric.net.kind(b).label()
+                ),
+            })
     }
 }
 
@@ -610,7 +648,10 @@ mod tests {
         // withdrew the /32.
         let mut rq = req(0, 0, 1, 0, 9);
         rq.port = Some(0);
-        assert!(matches!(r.route(&f, &h, &rq), Err(RouteError::NoPath { .. })));
+        assert!(matches!(
+            r.route(&f, &h, &rq),
+            Err(RouteError::NoPath { .. })
+        ));
         // Port 1 still works.
         rq.port = Some(1);
         let route = r.route(&f, &h, &rq).unwrap();

@@ -95,7 +95,8 @@ impl StackedPair {
     fn can_sync(&self) -> bool {
         // Data-plane sync needs the direct link AND both data planes AND
         // RPC-compatible versions.
-        let version_ok = self.tor1.version.abs_diff(self.tor2.version) <= self.issu_max_version_diff;
+        let version_ok =
+            self.tor1.version.abs_diff(self.tor2.version) <= self.issu_max_version_diff;
         self.sync_link_up
             && self.tor1.data_plane_ok
             && self.tor2.data_plane_ok
@@ -191,7 +192,11 @@ mod tests {
         // 100 racks, 70% of upgrades exceed ISSU's small-diff assumption:
         // 70 racks lose redundancy during the campaign.
         assert_eq!(upgrade_campaign(100, 0.7), 70);
-        assert_eq!(upgrade_campaign(100, 0.0), 0, "ISSU-compatible fleet is safe");
+        assert_eq!(
+            upgrade_campaign(100, 0.0),
+            0,
+            "ISSU-compatible fleet is safe"
+        );
         assert_eq!(upgrade_campaign(0, 0.7), 0);
     }
 

@@ -1,0 +1,638 @@
+//! Rate allocation behind the [`RateAllocator`] seam.
+//!
+//! The fluid model assigns every active flow a max-min fair rate. Two
+//! implementations share one trait:
+//!
+//! * [`DenseMaxMin`] — the original progressive-filling solver, recomputing
+//!   every flow from scratch on every perturbation. O(active flows × hops ×
+//!   freeze-rounds) per event; kept as the reference oracle.
+//! * [`IncrementalMaxMin`] — maintains per-link flow membership and, on a
+//!   flow add/remove or link change, recomputes only the **connected
+//!   component** of flows and links reachable from the perturbed element
+//!   through shared links. Flows outside the component keep their rates
+//!   bitwise-unchanged.
+//!
+//! The incremental scoping is exact, not approximate: max-min allocation
+//! decomposes across connected components of the flow↔link sharing graph.
+//! A flow's rate depends only on the links it crosses and, transitively, on
+//! the flows sharing those links — progressive filling never lets one
+//! component's freeze order influence another's water level. The BFS
+//! closure computed here guarantees both directions of that independence:
+//! every flow crossing a component link is in the component, and every link
+//! of a component flow is too, so the restricted fill sees exactly the
+//! sub-problem the global fill would solve for those flows.
+//!
+//! Both allocators solve through one [`ComponentFill`]: partition the flows
+//! at hand into connected components (union-find over links), fill each
+//! component independently, flows in ascending-id order. Interleaving the
+//! filling rounds across components would change float summation order and
+//! leave the two implementations agreeing only to ~ulp; identical
+//! per-component arithmetic makes their rates **bitwise equal**, so figures
+//! regenerate byte-identically under either allocator.
+//!
+//! Every recompute records how much it touched in a
+//! [`crate::stats::RecomputeScope`], making the incremental win observable
+//! (`hpn-experiments`/benches report flows-touched-per-event ratios).
+
+use std::collections::{HashMap, HashSet};
+
+use crate::arena::FlowArena;
+use crate::flownet::{LinkId, LinkState, RATE_EPS};
+use crate::path::PathInterner;
+use crate::stats::RecomputeScope;
+
+/// Which allocator a [`crate::FlowNet`] runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum AllocatorKind {
+    /// Full progressive filling on every perturbation (reference oracle).
+    Dense,
+    /// Component-scoped recomputation (the default).
+    #[default]
+    Incremental,
+}
+
+impl AllocatorKind {
+    /// Resolve from the `HPN_ALLOCATOR` environment variable (`dense` or
+    /// `incremental`), defaulting to incremental. The experiment harness
+    /// uses this to regenerate figures under both allocators without
+    /// threading a parameter through every experiment.
+    pub fn from_env() -> Self {
+        match std::env::var("HPN_ALLOCATOR").as_deref() {
+            Ok("dense") => AllocatorKind::Dense,
+            _ => AllocatorKind::Incremental,
+        }
+    }
+
+    /// Construct the allocator this kind names.
+    pub fn build(self) -> Box<dyn RateAllocator> {
+        match self {
+            AllocatorKind::Dense => Box::new(DenseMaxMin::default()),
+            AllocatorKind::Incremental => Box::new(IncrementalMaxMin::default()),
+        }
+    }
+}
+
+/// Mutable view of the network state a recompute operates on. Borrows are
+/// split out of `FlowNet` so allocators (stored inside the net) can work on
+/// the rest of it.
+pub struct AllocCtx<'a> {
+    /// Active flows; allocators write rates back through this.
+    pub flows: &'a mut FlowArena,
+    /// Per-link state; capacities are read, aggregates written.
+    pub links: &'a mut [LinkState],
+    /// Resolves each flow spec's `PathId` to its link sequence.
+    pub paths: &'a PathInterner,
+    /// Links that carry flows or hold queue (sorted, deduplicated); the
+    /// integration step only walks these. Allocators must keep it a
+    /// superset of {links with active flows or non-empty queue}.
+    pub hot_links: &'a mut Vec<u32>,
+    /// Recompute-scope counters to record into.
+    pub scope: &'a mut RecomputeScope,
+}
+
+/// Strategy for assigning max-min fair rates.
+///
+/// `FlowNet` calls the `on_*` hooks eagerly as the network mutates (they
+/// must stay cheap — O(path length)) and `recompute` lazily, once, before
+/// rates are next observed; multiple mutations may batch into one
+/// `recompute`.
+pub trait RateAllocator: Send {
+    /// Which kind this is (for reporting).
+    fn kind(&self) -> AllocatorKind;
+
+    /// A link was appended to the network (links are never removed).
+    fn on_link_added(&mut self, link: LinkId) {
+        let _ = link;
+    }
+
+    /// A flow was injected with the given resolved path.
+    fn on_flow_added(&mut self, id: u64, path: &[LinkId]) {
+        let _ = (id, path);
+    }
+
+    /// A flow completed or was killed; `path` is its resolved path.
+    fn on_flow_removed(&mut self, id: u64, path: &[LinkId]) {
+        let _ = (id, path);
+    }
+
+    /// A link's capacity or up/down state changed.
+    fn on_link_changed(&mut self, link: LinkId) {
+        let _ = link;
+    }
+
+    /// Recompute rates for everything the accumulated events may have
+    /// affected, write them back, refresh the touched links' aggregates
+    /// (`active_flows`, `allocated_bps`, `offered_bps`), update the hot
+    /// set, and record the touched scope.
+    fn recompute(&mut self, ctx: &mut AllocCtx<'_>);
+}
+
+/// Shared core: progressive filling over one set of flows.
+///
+/// `flows` lists (dense-index, path, demand) for the flows to fill, in
+/// ascending flow-id order (determinism). `rate` is indexed by the same
+/// dense index. `free`/`unfrozen_on` are per-link scratch sized to the link
+/// table and zeroed outside the `touched` links; `touched` collects every
+/// link the fill used so the caller can sparsely reset the scratch and
+/// refresh aggregates.
+struct Fill<'a> {
+    links: &'a [LinkState],
+    paths: &'a PathInterner,
+    free: &'a mut Vec<f64>,
+    unfrozen_on: &'a mut Vec<u32>,
+}
+
+impl Fill<'_> {
+    /// Run progressive filling. `flows[i] = (path, demand)`; returns rates
+    /// per flow plus the set of links touched (in first-crossed order).
+    fn run(&mut self, flows: &[(crate::path::PathId, f64)]) -> (Vec<f64>, Vec<usize>) {
+        let n = flows.len();
+        let nlinks = self.links.len();
+        self.free.resize(nlinks, 0.0);
+        self.unfrozen_on.resize(nlinks, 0);
+        let free = &mut *self.free;
+        let unfrozen_on = &mut *self.unfrozen_on;
+        let mut rate = vec![0.0f64; n];
+        let mut active_links: Vec<usize> = Vec::new();
+        for &(path, _) in flows {
+            for l in self.paths.get(path) {
+                let li = l.0 as usize;
+                if unfrozen_on[li] == 0 {
+                    active_links.push(li);
+                    free[li] = self.links[li].capacity_bps();
+                }
+                unfrozen_on[li] += 1;
+            }
+        }
+
+        let mut unfrozen_list: Vec<usize> = (0..n).collect();
+        let paths = self.paths;
+        let freeze = |i: usize, unfrozen_on: &mut [u32]| {
+            for l in paths.get(flows[i].0) {
+                unfrozen_on[l.0 as usize] -= 1;
+            }
+        };
+
+        // Immediately freeze flows crossing a dead (zero-capacity) link.
+        unfrozen_list.retain(|&i| {
+            let dead = paths
+                .get(flows[i].0)
+                .iter()
+                .any(|l| self.links[l.0 as usize].capacity_bps() <= RATE_EPS);
+            if dead {
+                freeze(i, unfrozen_on);
+            }
+            !dead
+        });
+
+        while !unfrozen_list.is_empty() {
+            // The common increment: bounded by the tightest link fair
+            // share and the smallest remaining demand headroom.
+            let mut delta = f64::INFINITY;
+            for &li in &active_links {
+                if unfrozen_on[li] > 0 {
+                    delta = delta.min(free[li] / unfrozen_on[li] as f64);
+                }
+            }
+            for &i in &unfrozen_list {
+                delta = delta.min(flows[i].1 - rate[i]);
+            }
+            if !delta.is_finite() {
+                // No unfrozen flow crosses any finite link and all
+                // demands are infinite — cannot happen with validated
+                // specs, but avoid an infinite loop just in case.
+                break;
+            }
+            let delta = delta.max(0.0);
+            // Apply the increment.
+            for &i in &unfrozen_list {
+                rate[i] += delta;
+            }
+            for &li in &active_links {
+                free[li] -= delta * unfrozen_on[li] as f64;
+            }
+            // Freeze flows on saturated links and flows at demand.
+            let before = unfrozen_list.len();
+            unfrozen_list.retain(|&i| {
+                let (path, demand) = flows[i];
+                let at_demand = rate[i] >= demand - RATE_EPS;
+                let on_saturated = paths
+                    .get(path)
+                    .iter()
+                    .any(|l| free[l.0 as usize] <= RATE_EPS * demand.min(1e12));
+                let keep = !(at_demand || on_saturated);
+                if !keep {
+                    freeze(i, unfrozen_on);
+                }
+                keep
+            });
+            if unfrozen_list.len() == before {
+                // Numerical stall guard: freeze the first flow.
+                let i = unfrozen_list.remove(0);
+                freeze(i, unfrozen_on);
+            }
+        }
+
+        // Reset the scratch sparsely for the next recompute.
+        for &li in &active_links {
+            free[li] = 0.0;
+            unfrozen_on[li] = 0;
+        }
+        (rate, active_links)
+    }
+}
+
+/// Find with path compression over the epoch-stamped link union-find; a
+/// link seen for the first time this epoch lazily initialises to itself
+/// (no O(link-table) reset per solve).
+fn uf_find(parent: &mut [u32], stamp: &mut [u64], epoch: u64, x: u32) -> u32 {
+    let xi = x as usize;
+    if stamp[xi] != epoch {
+        stamp[xi] = epoch;
+        parent[xi] = x;
+        return x;
+    }
+    let mut root = x;
+    while parent[root as usize] != root {
+        root = parent[root as usize];
+    }
+    let mut cur = x;
+    while parent[cur as usize] != root {
+        let next = parent[cur as usize];
+        parent[cur as usize] = root;
+        cur = next;
+    }
+    root
+}
+
+/// The shared solver: partition `flows` into connected components of the
+/// flow↔link sharing graph and run [`Fill`] on each component separately.
+///
+/// `flows[i] = (path, demand)` in ascending flow-id order (preserved within
+/// each component). Returns rates per flow plus every link used. Both
+/// allocators route through this, which is what makes their results
+/// bitwise identical: a component's filling arithmetic sees exactly the
+/// same operands in the same order no matter which flows outside it exist.
+#[derive(Default)]
+struct ComponentFill {
+    free: Vec<f64>,
+    unfrozen_on: Vec<u32>,
+    uf_parent: Vec<u32>,
+    uf_stamp: Vec<u64>,
+    epoch: u64,
+}
+
+impl ComponentFill {
+    fn run(
+        &mut self,
+        links: &[LinkState],
+        paths: &PathInterner,
+        flows: &[(crate::path::PathId, f64)],
+    ) -> (Vec<f64>, Vec<usize>) {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        self.uf_parent.resize(links.len(), 0);
+        self.uf_stamp.resize(links.len(), 0);
+        let (parent, stamp) = (&mut self.uf_parent[..], &mut self.uf_stamp[..]);
+        for &(path, _) in flows {
+            let ls = paths.get(path);
+            let root = uf_find(parent, stamp, epoch, ls[0].0);
+            for l in &ls[1..] {
+                let r = uf_find(parent, stamp, epoch, l.0);
+                if r != root {
+                    parent[r as usize] = root;
+                }
+            }
+        }
+        // Group flow indices by component root, components in first-seen
+        // (ascending smallest-flow-id) order.
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut group_of: HashMap<u32, usize> = HashMap::new();
+        for (i, &(path, _)) in flows.iter().enumerate() {
+            let root = uf_find(parent, stamp, epoch, paths.get(path)[0].0);
+            let gi = *group_of.entry(root).or_insert_with(|| {
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[gi].push(i);
+        }
+        let mut rate = vec![0.0f64; flows.len()];
+        let mut all_links: Vec<usize> = Vec::new();
+        let mut comp: Vec<(crate::path::PathId, f64)> = Vec::new();
+        for idxs in &groups {
+            comp.clear();
+            comp.extend(idxs.iter().map(|&i| flows[i]));
+            let (r, active) = Fill {
+                links,
+                paths,
+                free: &mut self.free,
+                unfrozen_on: &mut self.unfrozen_on,
+            }
+            .run(&comp);
+            for (&i, &ri) in idxs.iter().zip(r.iter()) {
+                rate[i] = ri;
+            }
+            all_links.extend(active);
+        }
+        (rate, all_links)
+    }
+}
+
+/// Refresh `active_flows`/`allocated_bps`/`offered_bps` on the given links
+/// from the given flows. Callers guarantee closure: every flow crossing a
+/// listed link is listed, and every link of a listed flow is listed.
+fn refresh_link_aggregates(
+    ctx: &mut AllocCtx<'_>,
+    link_indices: &[usize],
+    flow_ids: impl Iterator<Item = u64> + Clone,
+) {
+    for &li in link_indices {
+        let l = &mut ctx.links[li];
+        l.active_flows = 0;
+        l.allocated_bps = 0.0;
+        l.offered_bps = 0.0;
+    }
+    for id in flow_ids.clone() {
+        let f = ctx.flows.get(id).expect("aggregating a live flow");
+        let (path, rate) = (f.spec.path, f.rate_bps);
+        for l in ctx.paths.get(path) {
+            let ls = &mut ctx.links[l.0 as usize];
+            ls.active_flows += 1;
+            ls.allocated_bps += rate;
+        }
+    }
+    // Offered load seen by each link: the flow's demand clamped by the
+    // *upstream* part of its path (equal-split approximation), so a
+    // link only sees traffic its predecessors can actually deliver.
+    // Without this, two chunks sharing one source port would appear to
+    // offer 2× the port rate downstream and fabricate queues that
+    // cannot physically exist (the dual-plane no-queue result of
+    // Fig 14b depends on getting this right).
+    for id in flow_ids {
+        let f = ctx.flows.get(id).expect("aggregating a live flow");
+        let (path, rate, demand) = (f.spec.path, f.rate_bps, f.spec.demand_bps);
+        let mut upstream = if demand.is_finite() { demand } else { rate };
+        for l in ctx.paths.get(path) {
+            let ls = &mut ctx.links[l.0 as usize];
+            ls.offered_bps += upstream;
+            let share = ls.capacity_bps() / ls.active_flows.max(1) as f64;
+            upstream = upstream.min(share.max(rate));
+        }
+    }
+}
+
+/// Merge `touched` links into the hot set and drop entries that neither
+/// carry flows nor hold queue.
+fn refresh_hot(ctx: &mut AllocCtx<'_>, touched: &[usize]) {
+    ctx.hot_links.extend(touched.iter().map(|&l| l as u32));
+    ctx.hot_links.sort_unstable();
+    ctx.hot_links.dedup();
+    let links = &*ctx.links;
+    ctx.hot_links
+        .retain(|&l| links[l as usize].active_flows > 0 || links[l as usize].queue_bits > 0.0);
+}
+
+/// The from-scratch progressive-filling solver.
+///
+/// Every recompute rebuilds every flow's rate (component by component, via
+/// [`ComponentFill`], so its float arithmetic matches the incremental
+/// solver's bit for bit). All per-iteration work is
+/// restricted to *active* links (links crossed by at least one flow): a
+/// full HPN pod has ~10^5 directed links but a training job touches only a
+/// few thousand, so the allocation never scans the whole link table — but
+/// it does scan every flow, which is what [`IncrementalMaxMin`] fixes.
+#[derive(Default)]
+pub struct DenseMaxMin {
+    solver: ComponentFill,
+    scratch_flows: Vec<(crate::path::PathId, f64)>,
+    scratch_ids: Vec<u64>,
+}
+
+impl RateAllocator for DenseMaxMin {
+    fn kind(&self) -> AllocatorKind {
+        AllocatorKind::Dense
+    }
+
+    fn recompute(&mut self, ctx: &mut AllocCtx<'_>) {
+        // Dense working arrays over the active flows, in ascending-id
+        // (arena) order. No per-recompute `Vec<&Flow>` snapshot: the arena
+        // iterates in place and the fill works on (path-id, demand) pairs.
+        self.scratch_flows.clear();
+        self.scratch_ids.clear();
+        for (id, f) in ctx.flows.iter() {
+            self.scratch_flows
+                .push((f.spec().path, f.spec().demand_bps));
+            self.scratch_ids.push(id);
+        }
+        let (rate, active_links) = self.solver.run(ctx.links, ctx.paths, &self.scratch_flows);
+
+        for ((_, f), r) in ctx.flows.iter_mut().zip(rate.iter()) {
+            f.set_rate_bps(*r);
+        }
+        // Zero stats on every link that was active before this recompute
+        // too (it may have just lost its last flow): the old hot set covers
+        // exactly those.
+        let mut touched: Vec<usize> = active_links;
+        touched.extend(ctx.hot_links.iter().map(|&l| l as usize));
+        touched.sort_unstable();
+        touched.dedup();
+        refresh_link_aggregates(ctx, &touched, self.scratch_ids.iter().copied());
+        refresh_hot(ctx, &touched);
+        let n = ctx.flows.len();
+        ctx.scope.record(n, touched.len(), n);
+    }
+}
+
+/// Component-scoped max-min: recomputes only flows/links reachable from
+/// the perturbed element through shared links.
+///
+/// Maintains per-link flow membership (updated O(path) per flow event) and
+/// a seed list of perturbed links. `recompute` BFSes the flow↔link sharing
+/// graph from the seeds, runs progressive filling on the resulting closed
+/// component, and leaves everything else untouched — rates outside the
+/// component are not even rewritten, so they are bitwise stable across
+/// unrelated perturbations.
+#[derive(Default)]
+pub struct IncrementalMaxMin {
+    /// Per link: ids of flows crossing it, with multiplicity for repeated
+    /// path entries (mirrors the fill's per-occurrence share accounting).
+    members: Vec<Vec<u64>>,
+    /// Links perturbed since the last recompute (seeds; may repeat).
+    dirty: Vec<u32>,
+    /// BFS visit stamps per link, keyed by epoch (no per-event clearing).
+    link_mark: Vec<u64>,
+    epoch: u64,
+    seen_flows: HashSet<u64>,
+    solver: ComponentFill,
+}
+
+impl RateAllocator for IncrementalMaxMin {
+    fn kind(&self) -> AllocatorKind {
+        AllocatorKind::Incremental
+    }
+
+    fn on_link_added(&mut self, _link: LinkId) {
+        self.members.push(Vec::new());
+        self.link_mark.push(0);
+    }
+
+    fn on_flow_added(&mut self, id: u64, path: &[LinkId]) {
+        for l in path {
+            self.members[l.0 as usize].push(id);
+            self.dirty.push(l.0);
+        }
+    }
+
+    fn on_flow_removed(&mut self, id: u64, path: &[LinkId]) {
+        for l in path {
+            let m = &mut self.members[l.0 as usize];
+            let pos = m
+                .iter()
+                .position(|&fid| fid == id)
+                .expect("removed flow was a member of its links");
+            m.swap_remove(pos);
+            self.dirty.push(l.0);
+        }
+    }
+
+    fn on_link_changed(&mut self, link: LinkId) {
+        self.dirty.push(link.0);
+    }
+
+    fn recompute(&mut self, ctx: &mut AllocCtx<'_>) {
+        let total_flows = ctx.flows.len();
+        if self.dirty.is_empty() {
+            ctx.scope.record(0, 0, total_flows);
+            return;
+        }
+        self.epoch += 1;
+        let epoch = self.epoch;
+
+        // BFS closure over the flow↔link sharing graph from the seeds.
+        let mut queue: Vec<usize> = Vec::new();
+        for l in self.dirty.drain(..) {
+            let li = l as usize;
+            if self.link_mark[li] != epoch {
+                self.link_mark[li] = epoch;
+                queue.push(li);
+            }
+        }
+        self.seen_flows.clear();
+        let mut comp_links: Vec<usize> = Vec::new();
+        let mut comp_flows: Vec<u64> = Vec::new();
+        while let Some(li) = queue.pop() {
+            comp_links.push(li);
+            for &fid in &self.members[li] {
+                if self.seen_flows.insert(fid) {
+                    comp_flows.push(fid);
+                    let f = ctx.flows.get(fid).expect("member flow is live");
+                    for l in ctx.paths.get(f.spec().path) {
+                        let lj = l.0 as usize;
+                        if self.link_mark[lj] != epoch {
+                            self.link_mark[lj] = epoch;
+                            queue.push(lj);
+                        }
+                    }
+                }
+            }
+        }
+        // Ascending-id order, matching the dense solver's freeze order
+        // within the component.
+        comp_flows.sort_unstable();
+
+        let flows: Vec<(crate::path::PathId, f64)> = comp_flows
+            .iter()
+            .map(|&id| {
+                let f = ctx.flows.get(id).expect("component flow is live");
+                (f.spec().path, f.spec().demand_bps)
+            })
+            .collect();
+        // The BFS set may span several true components (e.g. seeds in two
+        // unrelated components batched into one recompute, or a removed
+        // flow that had bridged two); ComponentFill re-partitions so each
+        // is filled with the exact arithmetic the dense solver uses.
+        let (rate, _active) = self.solver.run(ctx.links, ctx.paths, &flows);
+        for (&id, &r) in comp_flows.iter().zip(rate.iter()) {
+            ctx.flows
+                .get_mut(id)
+                .expect("component flow is live")
+                .set_rate_bps(r);
+        }
+        // Aggregates refresh over ALL component links — including seeds
+        // whose last flow just left, which must read as idle again.
+        comp_links.sort_unstable();
+        refresh_link_aggregates(ctx, &comp_links, comp_flows.iter().copied());
+        refresh_hot(ctx, &comp_links);
+        ctx.scope
+            .record(comp_flows.len(), comp_links.len(), total_flows);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flownet::{FlowNet, FlowSpec};
+    use crate::time::SimTime;
+
+    const GBPS: f64 = 1e9;
+
+    fn two_component_net(kind: AllocatorKind) -> (FlowNet, Vec<crate::flownet::FlowHandle>) {
+        let mut net = FlowNet::with_allocator(kind);
+        let a = net.add_link(100.0 * GBPS, f64::INFINITY);
+        let b = net.add_link(100.0 * GBPS, f64::INFINITY);
+        let pa = net.intern_path(&[a]);
+        let pb = net.intern_path(&[b]);
+        let mut hs = Vec::new();
+        for path in [pa, pa, pb] {
+            hs.push(net.start_flow(
+                SimTime::ZERO,
+                FlowSpec {
+                    path,
+                    size_bits: 1e15,
+                    demand_bps: f64::INFINITY,
+                    tag: 0,
+                },
+            ));
+        }
+        net.recompute_if_dirty();
+        (net, hs)
+    }
+
+    #[test]
+    fn incremental_scopes_to_component() {
+        let (mut net, hs) = two_component_net(AllocatorKind::Incremental);
+        assert_eq!(net.flow_rate(hs[0]), Some(50.0 * GBPS));
+        assert_eq!(net.flow_rate(hs[2]), Some(100.0 * GBPS));
+        let before = net.alloc_scope();
+        // Kill one flow on link a: only link a's component is recomputed.
+        net.kill_flow(SimTime::ZERO, hs[0]);
+        net.recompute_if_dirty();
+        let d = net.alloc_scope().since(&before);
+        assert_eq!(d.events, 1);
+        assert_eq!(d.flows_touched, 1, "only the surviving flow on link a");
+        assert_eq!(d.links_touched, 1);
+        assert_eq!(net.flow_rate(hs[1]), Some(100.0 * GBPS));
+        assert_eq!(net.flow_rate(hs[2]), Some(100.0 * GBPS));
+    }
+
+    #[test]
+    fn dense_touches_everything() {
+        let (mut net, hs) = two_component_net(AllocatorKind::Dense);
+        let before = net.alloc_scope();
+        net.kill_flow(SimTime::ZERO, hs[0]);
+        net.recompute_if_dirty();
+        let d = net.alloc_scope().since(&before);
+        assert_eq!(d.events, 1);
+        assert_eq!(d.flows_touched, 2, "dense recomputes every live flow");
+    }
+
+    #[test]
+    fn kinds_report_themselves() {
+        assert_eq!(DenseMaxMin::default().kind(), AllocatorKind::Dense);
+        assert_eq!(
+            IncrementalMaxMin::default().kind(),
+            AllocatorKind::Incremental
+        );
+        assert_eq!(AllocatorKind::default(), AllocatorKind::Incremental);
+    }
+}

@@ -1,0 +1,243 @@
+//! Dense flow storage with deterministic ascending-id iteration.
+//!
+//! [`FlowArena`] replaces the `BTreeMap<u64, Flow>` the fluid model used to
+//! keep active flows in. Flow ids are allocated monotonically and never
+//! reused, so a plain vector of `(id, slot)` pairs stays sorted by
+//! construction: insertion is an O(1) push, lookup is a binary search, and
+//! iteration is a linear scan in ascending-id order — the order every rate
+//! recompute and completion sweep must follow for determinism. Removal
+//! tombstones the slot in place (so concurrently-held dense indices stay
+//! valid within a recompute) and the vector is compacted once tombstones
+//! outnumber live flows.
+//!
+//! The payoff over the map: rate allocators index flows by dense slot
+//! position directly instead of collecting a `Vec<&Flow>` snapshot on every
+//! recompute, and iteration is cache-friendly.
+
+use crate::flownet::FlowSpec;
+use crate::time::SimTime;
+
+/// An active flow: its spec plus mutable progress state.
+#[derive(Clone, Debug)]
+pub struct Flow {
+    pub(crate) spec: FlowSpec,
+    pub(crate) remaining_bits: f64,
+    pub(crate) rate_bps: f64,
+    pub(crate) started: SimTime,
+}
+
+impl Flow {
+    /// The immutable spec the flow was injected with.
+    pub fn spec(&self) -> &FlowSpec {
+        &self.spec
+    }
+
+    /// Currently allocated rate in bits/s.
+    pub fn rate_bps(&self) -> f64 {
+        self.rate_bps
+    }
+
+    /// Set the allocated rate; called by rate allocators on recompute.
+    pub fn set_rate_bps(&mut self, rate: f64) {
+        self.rate_bps = rate;
+    }
+
+    /// Bits not yet delivered.
+    pub fn remaining_bits(&self) -> f64 {
+        self.remaining_bits
+    }
+
+    /// Injection instant.
+    pub fn started(&self) -> SimTime {
+        self.started
+    }
+}
+
+/// Slab-style arena over flows keyed by monotonically increasing ids.
+#[derive(Clone, Debug, Default)]
+pub struct FlowArena {
+    /// Ascending by id; `None` marks a removed flow awaiting compaction.
+    slots: Vec<(u64, Option<Flow>)>,
+    live: usize,
+}
+
+/// Compact only past this size — tiny arenas aren't worth the churn.
+const COMPACT_MIN_SLOTS: usize = 64;
+
+impl FlowArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live flows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True when no flows are live.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Insert a flow under `id`, which must exceed every id ever inserted
+    /// (ids are a monotone counter; this is what keeps the vector sorted).
+    pub fn insert(&mut self, id: u64, flow: Flow) {
+        if let Some(&(last, _)) = self.slots.last() {
+            assert!(id > last, "flow ids must be inserted in increasing order");
+        }
+        self.slots.push((id, Some(flow)));
+        self.live += 1;
+    }
+
+    /// Remove and return the flow under `id`, if live.
+    pub fn remove(&mut self, id: u64) -> Option<Flow> {
+        let idx = self.find(id)?;
+        let taken = self.slots[idx].1.take();
+        if taken.is_some() {
+            self.live -= 1;
+            let dead = self.slots.len() - self.live;
+            if self.slots.len() >= COMPACT_MIN_SLOTS && dead * 2 > self.slots.len() {
+                self.slots.retain(|(_, f)| f.is_some());
+            }
+        }
+        taken
+    }
+
+    /// Borrow the flow under `id`, if live.
+    pub fn get(&self, id: u64) -> Option<&Flow> {
+        let idx = self.find(id)?;
+        self.slots[idx].1.as_ref()
+    }
+
+    /// Mutably borrow the flow under `id`, if live.
+    pub fn get_mut(&mut self, id: u64) -> Option<&mut Flow> {
+        let idx = self.find(id)?;
+        self.slots[idx].1.as_mut()
+    }
+
+    /// Live flows in ascending-id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &Flow)> {
+        self.slots
+            .iter()
+            .filter_map(|(id, f)| f.as_ref().map(|f| (*id, f)))
+    }
+
+    /// Live flows in ascending-id order, mutably.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (u64, &mut Flow)> {
+        self.slots
+            .iter_mut()
+            .filter_map(|(id, f)| f.as_mut().map(|f| (*id, f)))
+    }
+
+    /// Raw slot storage (tombstones included) for allocators that index
+    /// flows by dense position. Sorted ascending by id; at most half the
+    /// slots are tombstones.
+    pub fn slots(&self) -> &[(u64, Option<Flow>)] {
+        &self.slots
+    }
+
+    /// Raw slot storage, mutably (see [`FlowArena::slots`]).
+    pub fn slots_mut(&mut self) -> &mut [(u64, Option<Flow>)] {
+        &mut self.slots
+    }
+
+    fn find(&self, id: u64) -> Option<usize> {
+        self.slots.binary_search_by(|&(sid, _)| sid.cmp(&id)).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::PathId;
+
+    fn flow(tag: u64) -> Flow {
+        Flow {
+            spec: FlowSpec {
+                path: PathId(0),
+                size_bits: 1.0,
+                demand_bps: 1.0,
+                tag,
+            },
+            remaining_bits: 1.0,
+            rate_bps: 0.0,
+            started: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut a = FlowArena::new();
+        a.insert(0, flow(10));
+        a.insert(5, flow(11));
+        a.insert(9, flow(12));
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.get(5).unwrap().spec().tag, 11);
+        assert!(a.get(4).is_none());
+        let f = a.remove(5).unwrap();
+        assert_eq!(f.spec().tag, 11);
+        assert!(a.remove(5).is_none(), "double remove is None");
+        assert_eq!(a.len(), 2);
+        assert!(a.get(5).is_none());
+        assert_eq!(a.get(9).unwrap().spec().tag, 12);
+    }
+
+    #[test]
+    fn iteration_is_ascending_and_skips_tombstones() {
+        let mut a = FlowArena::new();
+        for id in [1u64, 3, 4, 7, 8] {
+            a.insert(id, flow(id * 100));
+        }
+        a.remove(4);
+        a.remove(1);
+        let ids: Vec<u64> = a.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![3, 7, 8]);
+        let tags: Vec<u64> = a.iter().map(|(_, f)| f.spec().tag).collect();
+        assert_eq!(tags, vec![300, 700, 800]);
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing order")]
+    fn out_of_order_insert_panics() {
+        let mut a = FlowArena::new();
+        a.insert(5, flow(0));
+        a.insert(5, flow(1));
+    }
+
+    #[test]
+    fn compaction_bounds_tombstones() {
+        let mut a = FlowArena::new();
+        for id in 0..200u64 {
+            a.insert(id, flow(id));
+        }
+        // Remove most flows: tombstones may never exceed half the slots.
+        for id in 0..180u64 {
+            a.remove(id);
+            assert!(
+                a.slots().len() < COMPACT_MIN_SLOTS
+                    || (a.slots().len() - a.len()) * 2 <= a.slots().len(),
+                "tombstones exceed half at len {}",
+                a.slots().len()
+            );
+        }
+        assert_eq!(a.len(), 20);
+        let ids: Vec<u64> = a.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, (180..200).collect::<Vec<u64>>());
+        // Still usable after compaction.
+        a.insert(500, flow(500));
+        assert_eq!(a.get(500).unwrap().spec().tag, 500);
+        assert_eq!(a.get(199).unwrap().spec().tag, 199);
+    }
+
+    #[test]
+    fn iter_mut_mutates_in_place() {
+        let mut a = FlowArena::new();
+        a.insert(0, flow(0));
+        a.insert(1, flow(1));
+        for (_, f) in a.iter_mut() {
+            f.set_rate_bps(42.0);
+        }
+        assert!(a.iter().all(|(_, f)| f.rate_bps() == 42.0));
+    }
+}

@@ -1,12 +1,19 @@
 //! Fluid (rate-based) network model with max-min fair bandwidth sharing.
 //!
 //! A [`FlowNet`] holds directed links with finite capacity and a set of
-//! active flows, each following a fixed path of links. Rates are assigned by
-//! **progressive filling**: all flows ramp up together until a link
-//! saturates or a flow reaches its source demand; saturated flows freeze and
-//! the rest keep filling. This yields the classic max-min fair allocation,
-//! which is the standard fluid approximation for congestion-controlled
-//! traffic (RDMA with DCQCN in the paper's clusters).
+//! active flows, each following a fixed path of links. Paths are interned
+//! ([`crate::path`]): a flow spec carries a 4-byte [`PathId`] rather than a
+//! link vector, and the deduplicated link sequences live in the net's
+//! [`crate::path::PathInterner`].
+//!
+//! Rates are assigned by **progressive filling**: all flows ramp up together
+//! until a link saturates or a flow reaches its source demand; saturated
+//! flows freeze and the rest keep filling. This yields the classic max-min
+//! fair allocation, which is the standard fluid approximation for
+//! congestion-controlled traffic (RDMA with DCQCN in the paper's clusters).
+//! The solver lives behind the [`crate::alloc::RateAllocator`] trait; by
+//! default an incremental implementation recomputes only the connected
+//! component of flows around each perturbation (see [`crate::alloc`]).
 //!
 //! Two measurement facilities drive the paper's figures:
 //!
@@ -19,8 +26,10 @@
 //!   queue build-up on hash-imbalanced ToR downlinks that Fig 13/14 report,
 //!   without simulating individual packets.
 
-use std::collections::BTreeMap;
-
+use crate::alloc::{AllocCtx, AllocatorKind, RateAllocator};
+use crate::arena::{Flow, FlowArena};
+use crate::path::{PathId, PathInterner};
+use crate::stats::RecomputeScope;
 use crate::time::SimTime;
 
 /// Index of a link within a [`FlowNet`].
@@ -32,10 +41,10 @@ pub struct LinkId(pub u32);
 pub struct FlowHandle(pub u64);
 
 /// Description of a flow to inject into the network.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct FlowSpec {
-    /// Links traversed, in order. Must be non-empty.
-    pub path: Vec<LinkId>,
+    /// Interned path, from [`FlowNet::intern_path`] on the same net.
+    pub path: PathId,
     /// Flow size in bits. Must be positive and finite.
     pub size_bits: f64,
     /// Maximum sending rate in bits/s (e.g. the 400Gbps NIC limit).
@@ -91,14 +100,6 @@ impl LinkState {
     }
 }
 
-#[derive(Clone, Debug)]
-struct Flow {
-    spec: FlowSpec,
-    remaining_bits: f64,
-    rate_bps: f64,
-    started: SimTime,
-}
-
 /// Completion record returned by [`FlowNet::advance`].
 #[derive(Clone, Copy, Debug)]
 pub struct Completion {
@@ -118,7 +119,7 @@ pub struct Completion {
 /// floating-point residue of advancing exactly to a computed finish time.
 const DONE_EPS_BITS: f64 = 1e-3;
 /// Tolerance (bits/s) for link saturation in progressive filling.
-const RATE_EPS: f64 = 1e-6;
+pub(crate) const RATE_EPS: f64 = 1e-6;
 /// Standing-queue relaxation time constant when a link is not over-offered
 /// (models congestion-control backoff draining the queue).
 const QUEUE_RELAX_TAU_S: f64 = 0.05;
@@ -130,8 +131,9 @@ const QUEUE_RELAX_TAU_S: f64 = 0.05;
 ///
 /// let mut net = FlowNet::new();
 /// let link = net.add_link(100e9, f64::INFINITY); // 100Gbps
+/// let path = net.intern_path(&[link]);
 /// net.start_flow(SimTime::ZERO, FlowSpec {
-///     path: vec![link],
+///     path,
 ///     size_bits: 100e9, // 100 Gbit
 ///     demand_bps: f64::INFINITY,
 ///     tag: 7,
@@ -142,7 +144,8 @@ const QUEUE_RELAX_TAU_S: f64 = 0.05;
 /// ```
 pub struct FlowNet {
     links: Vec<LinkState>,
-    flows: BTreeMap<u64, Flow>,
+    flows: FlowArena,
+    paths: PathInterner,
     next_flow: u64,
     /// Time up to which all flow progress and queue integrals are applied.
     clock: SimTime,
@@ -150,10 +153,8 @@ pub struct FlowNet {
     /// Links that currently carry flows or hold a non-empty queue; the only
     /// links `integrate_to` must touch. Kept sorted and deduplicated.
     hot_links: Vec<u32>,
-    /// Scratch: per-link free capacity during progressive filling.
-    scratch_free: Vec<f64>,
-    /// Scratch: per-link unfrozen-flow count during progressive filling.
-    scratch_unfrozen: Vec<u32>,
+    allocator: Box<dyn RateAllocator>,
+    scope: RecomputeScope,
 }
 
 impl Default for FlowNet {
@@ -163,18 +164,38 @@ impl Default for FlowNet {
 }
 
 impl FlowNet {
-    /// An empty network at time zero.
+    /// An empty network at time zero, using the default allocator
+    /// ([`AllocatorKind::Incremental`], overridable via the `HPN_ALLOCATOR`
+    /// environment variable — see [`AllocatorKind::from_env`]).
     pub fn new() -> Self {
+        Self::with_allocator(AllocatorKind::from_env())
+    }
+
+    /// An empty network using the given rate allocator.
+    pub fn with_allocator(kind: AllocatorKind) -> Self {
         FlowNet {
             links: Vec::new(),
-            flows: BTreeMap::new(),
+            flows: FlowArena::new(),
+            paths: PathInterner::new(),
             next_flow: 0,
             clock: SimTime::ZERO,
             rates_dirty: false,
             hot_links: Vec::new(),
-            scratch_free: Vec::new(),
-            scratch_unfrozen: Vec::new(),
+            allocator: kind.build(),
+            scope: RecomputeScope::default(),
         }
+    }
+
+    /// Which rate allocator this net runs.
+    pub fn allocator_kind(&self) -> AllocatorKind {
+        self.allocator.kind()
+    }
+
+    /// Recompute-scope counters accumulated by the allocator: how many
+    /// flows/links each rate recompute touched. Snapshot and diff with
+    /// [`RecomputeScope::since`] to attribute work to a window.
+    pub fn alloc_scope(&self) -> RecomputeScope {
+        self.scope
     }
 
     /// Internal clock: everything is integrated up to this instant.
@@ -198,7 +219,33 @@ impl FlowNet {
             allocated_bps: 0.0,
             offered_bps: 0.0,
         });
+        self.allocator.on_link_added(id);
         id
+    }
+
+    /// Intern a path (non-empty sequence of known links) for use in flow
+    /// specs. Interning the same sequence twice returns the same id.
+    ///
+    /// # Panics
+    /// Panics on an empty path or a link this net does not have.
+    pub fn intern_path(&mut self, links: &[LinkId]) -> PathId {
+        for l in links {
+            assert!(
+                (l.0 as usize) < self.links.len(),
+                "flow path references unknown link {l:?}"
+            );
+        }
+        self.paths.intern(links)
+    }
+
+    /// Resolve an interned path back to its link sequence.
+    pub fn path(&self, id: PathId) -> &[LinkId] {
+        self.paths.get(id)
+    }
+
+    /// Number of distinct interned paths.
+    pub fn path_count(&self) -> usize {
+        self.paths.len()
     }
 
     /// Number of links.
@@ -221,6 +268,7 @@ impl FlowNet {
         let l = &mut self.links[id.0 as usize];
         if l.up != up {
             l.up = up;
+            self.allocator.on_link_changed(id);
             self.rates_dirty = true;
         }
     }
@@ -231,25 +279,24 @@ impl FlowNet {
         let l = &mut self.links[id.0 as usize];
         if l.nominal_bps != capacity_bps {
             l.nominal_bps = capacity_bps;
+            self.allocator.on_link_changed(id);
             self.rates_dirty = true;
         }
     }
 
     /// Inject a flow at time `now` (which must be ≥ the net's clock).
     pub fn start_flow(&mut self, now: SimTime, spec: FlowSpec) -> FlowHandle {
-        assert!(!spec.path.is_empty(), "flow with empty path");
+        assert!(
+            self.paths.contains(spec.path),
+            "flow path {:?} was not interned by this net",
+            spec.path
+        );
         assert!(
             spec.size_bits > 0.0 && spec.size_bits.is_finite(),
             "flow size must be positive and finite, got {}",
             spec.size_bits
         );
         assert!(spec.demand_bps > 0.0, "flow demand must be positive");
-        for l in &spec.path {
-            assert!(
-                (l.0 as usize) < self.links.len(),
-                "flow path references unknown link {l:?}"
-            );
-        }
         self.integrate_to(now);
         let id = self.next_flow;
         self.next_flow += 1;
@@ -262,6 +309,7 @@ impl FlowNet {
                 spec,
             },
         );
+        self.allocator.on_flow_added(id, self.paths.get(spec.path));
         self.rates_dirty = true;
         FlowHandle(id)
     }
@@ -270,22 +318,26 @@ impl FlowNet {
     /// Returns `true` if the flow was still active.
     pub fn kill_flow(&mut self, now: SimTime, h: FlowHandle) -> bool {
         self.integrate_to(now);
-        let existed = self.flows.remove(&h.0).is_some();
-        if existed {
-            self.rates_dirty = true;
+        match self.flows.remove(h.0) {
+            Some(f) => {
+                self.allocator
+                    .on_flow_removed(h.0, self.paths.get(f.spec.path));
+                self.rates_dirty = true;
+                true
+            }
+            None => false,
         }
-        existed
     }
 
     /// Current allocated rate of a flow (bits/s), or `None` if finished/killed.
     pub fn flow_rate(&mut self, h: FlowHandle) -> Option<f64> {
         self.recompute_if_dirty();
-        self.flows.get(&h.0).map(|f| f.rate_bps)
+        self.flows.get(h.0).map(|f| f.rate_bps)
     }
 
     /// Remaining bits of a flow, or `None` if finished/killed.
     pub fn flow_remaining(&self, h: FlowHandle) -> Option<f64> {
-        self.flows.get(&h.0).map(|f| f.remaining_bits)
+        self.flows.get(h.0).map(|f| f.remaining_bits)
     }
 
     /// Advance the model to `now`, applying flow progress and queue
@@ -299,10 +351,12 @@ impl FlowNet {
             .flows
             .iter()
             .filter(|(_, f)| f.remaining_bits <= DONE_EPS_BITS)
-            .map(|(&id, _)| id)
+            .map(|(id, _)| id)
             .collect();
         for id in finished {
-            let f = self.flows.remove(&id).expect("flow disappeared");
+            let f = self.flows.remove(id).expect("flow disappeared");
+            self.allocator
+                .on_flow_removed(id, self.paths.get(f.spec.path));
             done.push(Completion {
                 handle: FlowHandle(id),
                 tag: f.spec.tag,
@@ -320,7 +374,7 @@ impl FlowNet {
     pub fn next_completion(&mut self) -> Option<SimTime> {
         self.recompute_if_dirty();
         let mut best: Option<f64> = None;
-        for f in self.flows.values() {
+        for (_, f) in self.flows.iter() {
             if f.rate_bps > RATE_EPS {
                 let secs = f.remaining_bits / f.rate_bps;
                 best = Some(match best {
@@ -348,7 +402,22 @@ impl FlowNet {
     /// Recompute fair-share rates if topology/flow membership changed.
     pub fn recompute_if_dirty(&mut self) {
         if self.rates_dirty {
-            self.recompute_rates();
+            let FlowNet {
+                ref mut links,
+                ref mut flows,
+                ref paths,
+                ref mut hot_links,
+                ref mut allocator,
+                ref mut scope,
+                ..
+            } = *self;
+            allocator.recompute(&mut AllocCtx {
+                flows,
+                links,
+                paths,
+                hot_links,
+                scope,
+            });
             self.rates_dirty = false;
         }
     }
@@ -364,7 +433,7 @@ impl FlowNet {
         self.recompute_if_dirty();
         let dt = (now - self.clock).as_secs_f64();
         if dt > 0.0 {
-            for f in self.flows.values_mut() {
+            for (_, f) in self.flows.iter_mut() {
                 if f.rate_bps > 0.0 {
                     f.remaining_bits = (f.remaining_bits - f.rate_bps * dt).max(0.0);
                 }
@@ -406,173 +475,6 @@ impl FlowNet {
         }
         self.clock = now;
     }
-
-    /// Progressive-filling max-min fair allocation.
-    ///
-    /// All per-iteration work is restricted to *active* links (links crossed
-    /// by at least one flow): a full HPN pod has ~10^5 directed links but a
-    /// training job touches only a few thousand, so the allocation must not
-    /// scan the whole link table per filling round.
-    fn recompute_rates(&mut self) {
-        // Dense working arrays over the active flows (BTreeMap iteration is
-        // ascending-id, so the dense order is deterministic). Per-link
-        // scratch buffers are members, reset sparsely, so a recompute costs
-        // O(active flows × hops × freeze-rounds), never O(total links).
-        let n = self.flows.len();
-        let nlinks = self.links.len();
-        self.scratch_free.resize(nlinks, 0.0);
-        self.scratch_unfrozen.resize(nlinks, 0);
-        let mut rate: Vec<f64> = vec![0.0; n];
-        let mut active_links: Vec<usize> = Vec::new();
-        {
-            let flows: Vec<&Flow> = self.flows.values().collect();
-            let free = &mut self.scratch_free;
-            let unfrozen_on = &mut self.scratch_unfrozen;
-            for f in &flows {
-                for l in &f.spec.path {
-                    let li = l.0 as usize;
-                    if unfrozen_on[li] == 0 {
-                        active_links.push(li);
-                        free[li] = self.links[li].capacity_bps();
-                    }
-                    unfrozen_on[li] += 1;
-                }
-            }
-
-            let mut frozen = vec![false; n];
-            let mut unfrozen_list: Vec<usize> = (0..n).collect();
-            let freeze =
-                |i: usize, frozen: &mut [bool], unfrozen_on: &mut [u32], flows: &[&Flow]| {
-                    frozen[i] = true;
-                    for l in &flows[i].spec.path {
-                        unfrozen_on[l.0 as usize] -= 1;
-                    }
-                };
-
-            // Immediately freeze flows crossing a dead (zero-capacity) link.
-            unfrozen_list.retain(|&i| {
-                let dead = flows[i]
-                    .spec
-                    .path
-                    .iter()
-                    .any(|l| self.links[l.0 as usize].capacity_bps() <= RATE_EPS);
-                if dead {
-                    freeze(i, &mut frozen, unfrozen_on, &flows);
-                }
-                !dead
-            });
-
-            while !unfrozen_list.is_empty() {
-                // The common increment: bounded by the tightest link fair
-                // share and the smallest remaining demand headroom.
-                let mut delta = f64::INFINITY;
-                for &li in &active_links {
-                    if unfrozen_on[li] > 0 {
-                        delta = delta.min(free[li] / unfrozen_on[li] as f64);
-                    }
-                }
-                for &i in &unfrozen_list {
-                    delta = delta.min(flows[i].spec.demand_bps - rate[i]);
-                }
-                if !delta.is_finite() {
-                    // No unfrozen flow crosses any finite link and all
-                    // demands are infinite — cannot happen with validated
-                    // specs, but avoid an infinite loop just in case.
-                    break;
-                }
-                let delta = delta.max(0.0);
-                // Apply the increment.
-                for &i in &unfrozen_list {
-                    rate[i] += delta;
-                }
-                for &li in &active_links {
-                    free[li] -= delta * unfrozen_on[li] as f64;
-                }
-                // Freeze flows on saturated links and flows at demand.
-                let before = unfrozen_list.len();
-                unfrozen_list.retain(|&i| {
-                    let f = flows[i];
-                    let at_demand = rate[i] >= f.spec.demand_bps - RATE_EPS;
-                    let on_saturated = f
-                        .spec
-                        .path
-                        .iter()
-                        .any(|l| free[l.0 as usize] <= RATE_EPS * f.spec.demand_bps.min(1e12));
-                    let keep = !(at_demand || on_saturated);
-                    if !keep {
-                        freeze(i, &mut frozen, unfrozen_on, &flows);
-                    }
-                    keep
-                });
-                if unfrozen_list.len() == before {
-                    // Numerical stall guard: freeze the first flow.
-                    let i = unfrozen_list.remove(0);
-                    freeze(i, &mut frozen, unfrozen_on, &flows);
-                }
-            }
-
-            // Reset the scratch buffers sparsely for the next recompute.
-            for &li in &active_links {
-                free[li] = 0.0;
-                unfrozen_on[li] = 0;
-            }
-        }
-
-        // Write back rates and per-link aggregates. Zero the stats on every
-        // link that was or is active, then re-accumulate over live flows.
-        for ((_, f), r) in self.flows.iter_mut().zip(rate.iter()) {
-            f.rate_bps = *r;
-        }
-        for &li in &self.hot_links {
-            let l = &mut self.links[li as usize];
-            l.active_flows = 0;
-            l.allocated_bps = 0.0;
-            l.offered_bps = 0.0;
-        }
-        for &li in &active_links {
-            let l = &mut self.links[li];
-            l.active_flows = 0;
-            l.allocated_bps = 0.0;
-            l.offered_bps = 0.0;
-        }
-        for f in self.flows.values() {
-            for l in &f.spec.path {
-                let ls = &mut self.links[l.0 as usize];
-                ls.active_flows += 1;
-                ls.allocated_bps += f.rate_bps;
-            }
-        }
-        // Offered load seen by each link: the flow's demand clamped by the
-        // *upstream* part of its path (equal-split approximation), so a
-        // link only sees traffic its predecessors can actually deliver.
-        // Without this, two chunks sharing one source port would appear to
-        // offer 2× the port rate downstream and fabricate queues that
-        // cannot physically exist (the dual-plane no-queue result of
-        // Fig 14b depends on getting this right).
-        for f in self.flows.values() {
-            let mut upstream = if f.spec.demand_bps.is_finite() {
-                f.spec.demand_bps
-            } else {
-                f.rate_bps
-            };
-            for l in &f.spec.path {
-                let ls = &mut self.links[l.0 as usize];
-                ls.offered_bps += upstream;
-                let share = ls.capacity_bps() / ls.active_flows.max(1) as f64;
-                upstream = upstream.min(share.max(f.rate_bps));
-            }
-        }
-        // New hot set: active links plus old hot links that still hold queue.
-        let mut hot: Vec<u32> = active_links.iter().map(|&l| l as u32).collect();
-        for &li in &self.hot_links {
-            if self.links[li as usize].queue_bits > 0.0 {
-                hot.push(li);
-            }
-        }
-        hot.sort_unstable();
-        hot.dedup();
-        self.hot_links = hot;
-    }
 }
 
 #[cfg(test)]
@@ -583,13 +485,16 @@ mod tests {
 
     fn net_with_links(caps: &[f64]) -> (FlowNet, Vec<LinkId>) {
         let mut net = FlowNet::new();
-        let ids = caps.iter().map(|&c| net.add_link(c, f64::INFINITY)).collect();
+        let ids = caps
+            .iter()
+            .map(|&c| net.add_link(c, f64::INFINITY))
+            .collect();
         (net, ids)
     }
 
-    fn spec(path: &[LinkId], size: f64, demand: f64, tag: u64) -> FlowSpec {
+    fn spec(net: &mut FlowNet, path: &[LinkId], size: f64, demand: f64, tag: u64) -> FlowSpec {
         FlowSpec {
-            path: path.to_vec(),
+            path: net.intern_path(path),
             size_bits: size,
             demand_bps: demand,
             tag,
@@ -599,7 +504,8 @@ mod tests {
     #[test]
     fn single_flow_gets_bottleneck_rate() {
         let (mut net, l) = net_with_links(&[400.0 * GBPS, 100.0 * GBPS]);
-        let h = net.start_flow(SimTime::ZERO, spec(&l, 100.0 * GBPS, f64::INFINITY, 1));
+        let s = spec(&mut net, &l, 100.0 * GBPS, f64::INFINITY, 1);
+        let h = net.start_flow(SimTime::ZERO, s);
         assert_eq!(net.flow_rate(h), Some(100.0 * GBPS));
         // 100 Gbit over 100 Gbps = 1 second.
         let t = net.next_completion().expect("has completion");
@@ -613,15 +519,17 @@ mod tests {
     #[test]
     fn demand_caps_rate() {
         let (mut net, l) = net_with_links(&[400.0 * GBPS]);
-        let h = net.start_flow(SimTime::ZERO, spec(&l, GBPS, 50.0 * GBPS, 0));
+        let s = spec(&mut net, &l, GBPS, 50.0 * GBPS, 0);
+        let h = net.start_flow(SimTime::ZERO, s);
         assert_eq!(net.flow_rate(h), Some(50.0 * GBPS));
     }
 
     #[test]
     fn two_flows_share_fairly() {
         let (mut net, l) = net_with_links(&[100.0 * GBPS]);
-        let a = net.start_flow(SimTime::ZERO, spec(&l, GBPS, f64::INFINITY, 0));
-        let b = net.start_flow(SimTime::ZERO, spec(&l, GBPS, f64::INFINITY, 1));
+        let s = spec(&mut net, &l, GBPS, f64::INFINITY, 0);
+        let a = net.start_flow(SimTime::ZERO, s);
+        let b = net.start_flow(SimTime::ZERO, FlowSpec { tag: 1, ..s });
         assert_eq!(net.flow_rate(a), Some(50.0 * GBPS));
         assert_eq!(net.flow_rate(b), Some(50.0 * GBPS));
     }
@@ -630,8 +538,16 @@ mod tests {
     fn max_min_redistributes_demand_slack() {
         // One flow capped at 20G, the other should get the remaining 80G.
         let (mut net, l) = net_with_links(&[100.0 * GBPS]);
-        let a = net.start_flow(SimTime::ZERO, spec(&l, GBPS, 20.0 * GBPS, 0));
-        let b = net.start_flow(SimTime::ZERO, spec(&l, GBPS, f64::INFINITY, 1));
+        let sa = spec(&mut net, &l, GBPS, 20.0 * GBPS, 0);
+        let a = net.start_flow(SimTime::ZERO, sa);
+        let b = net.start_flow(
+            SimTime::ZERO,
+            FlowSpec {
+                demand_bps: f64::INFINITY,
+                tag: 1,
+                ..sa
+            },
+        );
         assert!((net.flow_rate(a).unwrap() - 20.0 * GBPS).abs() < 1.0);
         assert!((net.flow_rate(b).unwrap() - 80.0 * GBPS).abs() < 1.0);
     }
@@ -642,9 +558,12 @@ mod tests {
         // cap(L0)=100, cap(L1)=50. Max-min: X gets 25 (bottleneck on L1 with Z),
         // Z gets 25, Y gets 75.
         let (mut net, l) = net_with_links(&[100.0 * GBPS, 50.0 * GBPS]);
-        let x = net.start_flow(SimTime::ZERO, spec(&[l[0], l[1]], GBPS, f64::INFINITY, 0));
-        let y = net.start_flow(SimTime::ZERO, spec(&[l[0]], GBPS, f64::INFINITY, 1));
-        let z = net.start_flow(SimTime::ZERO, spec(&[l[1]], GBPS, f64::INFINITY, 2));
+        let sx = spec(&mut net, &[l[0], l[1]], GBPS, f64::INFINITY, 0);
+        let sy = spec(&mut net, &[l[0]], GBPS, f64::INFINITY, 1);
+        let sz = spec(&mut net, &[l[1]], GBPS, f64::INFINITY, 2);
+        let x = net.start_flow(SimTime::ZERO, sx);
+        let y = net.start_flow(SimTime::ZERO, sy);
+        let z = net.start_flow(SimTime::ZERO, sz);
         assert!((net.flow_rate(x).unwrap() - 25.0 * GBPS).abs() < 1e3);
         assert!((net.flow_rate(y).unwrap() - 75.0 * GBPS).abs() < 1e3);
         assert!((net.flow_rate(z).unwrap() - 25.0 * GBPS).abs() < 1e3);
@@ -654,8 +573,16 @@ mod tests {
     fn completion_order_and_rate_rebalance() {
         // Two equal flows share a link; after one finishes the other speeds up.
         let (mut net, l) = net_with_links(&[100.0 * GBPS]);
-        let _a = net.start_flow(SimTime::ZERO, spec(&l, 50.0 * GBPS, f64::INFINITY, 0));
-        let b = net.start_flow(SimTime::ZERO, spec(&l, 100.0 * GBPS, f64::INFINITY, 1));
+        let sa = spec(&mut net, &l, 50.0 * GBPS, f64::INFINITY, 0);
+        let _a = net.start_flow(SimTime::ZERO, sa);
+        let b = net.start_flow(
+            SimTime::ZERO,
+            FlowSpec {
+                size_bits: 100.0 * GBPS,
+                tag: 1,
+                ..sa
+            },
+        );
         // Both at 50G. Flow a (50Gbit) finishes at t=1s.
         let t1 = net.next_completion().unwrap();
         assert!((t1.as_secs_f64() - 1.0).abs() < 1e-6);
@@ -671,10 +598,14 @@ mod tests {
     #[test]
     fn link_down_stalls_flows_and_repair_resumes() {
         let (mut net, l) = net_with_links(&[100.0 * GBPS]);
-        let h = net.start_flow(SimTime::ZERO, spec(&l, 100.0 * GBPS, f64::INFINITY, 0));
+        let s = spec(&mut net, &l, 100.0 * GBPS, f64::INFINITY, 0);
+        let h = net.start_flow(SimTime::ZERO, s);
         net.set_link_up(l[0], false);
         assert_eq!(net.flow_rate(h), Some(0.0));
-        assert!(net.next_completion().is_none(), "stalled flow never completes");
+        assert!(
+            net.next_completion().is_none(),
+            "stalled flow never completes"
+        );
         // Advance while down: no progress.
         let done = net.advance(SimTime::from_secs(5));
         assert!(done.is_empty());
@@ -689,8 +620,9 @@ mod tests {
         // Three 200G-demand flows hash onto one 400G port: offered 600G,
         // queue grows at 200Gbit/s.
         let (mut net, l) = net_with_links(&[400.0 * GBPS]);
+        let s = spec(&mut net, &l, 1e15, 200.0 * GBPS, 0);
         for tag in 0..3 {
-            net.start_flow(SimTime::ZERO, spec(&l, 1e15, 200.0 * GBPS, tag));
+            net.start_flow(SimTime::ZERO, FlowSpec { tag, ..s });
         }
         net.advance(SimTime::from_millis(1));
         let q = net.link(l[0]).queue_bits;
@@ -702,11 +634,9 @@ mod tests {
     fn queue_drains_and_drops_respect_buffer() {
         let mut net = FlowNet::new();
         let l = net.add_link(400.0 * GBPS, 0.1 * GBPS); // 100Mbit buffer
+        let s = spec(&mut net, &[l], 200.0 * GBPS * 0.01, 200.0 * GBPS, 0);
         for tag in 0..3 {
-            net.start_flow(
-                SimTime::ZERO,
-                spec(&[l], 200.0 * GBPS * 0.01, 200.0 * GBPS, tag),
-            );
+            net.start_flow(SimTime::ZERO, FlowSpec { tag, ..s });
         }
         net.advance(SimTime::from_millis(2));
         let ls = net.link(l);
@@ -727,7 +657,8 @@ mod tests {
     #[test]
     fn carried_bits_accumulate() {
         let (mut net, l) = net_with_links(&[100.0 * GBPS]);
-        net.start_flow(SimTime::ZERO, spec(&l, 100.0 * GBPS, f64::INFINITY, 0));
+        let s = spec(&mut net, &l, 100.0 * GBPS, f64::INFINITY, 0);
+        net.start_flow(SimTime::ZERO, s);
         let t = net.next_completion().unwrap();
         net.advance(t);
         let carried = net.link(l[0]).carried_bits;
@@ -737,20 +668,25 @@ mod tests {
     #[test]
     fn kill_flow_frees_bandwidth() {
         let (mut net, l) = net_with_links(&[100.0 * GBPS]);
-        let a = net.start_flow(SimTime::ZERO, spec(&l, 1e15, f64::INFINITY, 0));
-        let b = net.start_flow(SimTime::ZERO, spec(&l, 1e15, f64::INFINITY, 1));
+        let s = spec(&mut net, &l, 1e15, f64::INFINITY, 0);
+        let a = net.start_flow(SimTime::ZERO, s);
+        let b = net.start_flow(SimTime::ZERO, FlowSpec { tag: 1, ..s });
         assert_eq!(net.flow_rate(b), Some(50.0 * GBPS));
         assert!(net.kill_flow(SimTime::from_millis(1), a));
-        assert!(!net.kill_flow(SimTime::from_millis(1), a), "second kill is no-op");
+        assert!(
+            !net.kill_flow(SimTime::from_millis(1), a),
+            "second kill is no-op"
+        );
         assert_eq!(net.flow_rate(b), Some(100.0 * GBPS));
     }
 
     #[test]
     fn staggered_start_times() {
         let (mut net, l) = net_with_links(&[100.0 * GBPS]);
-        let a = net.start_flow(SimTime::ZERO, spec(&l, 100.0 * GBPS, f64::INFINITY, 0));
+        let s = spec(&mut net, &l, 100.0 * GBPS, f64::INFINITY, 0);
+        let a = net.start_flow(SimTime::ZERO, s);
         // At t=0.5s, a has 50Gbit left; b joins and they share.
-        let _b = net.start_flow(SimTime::from_millis(500), spec(&l, 100.0 * GBPS, f64::INFINITY, 1));
+        let _b = net.start_flow(SimTime::from_millis(500), FlowSpec { tag: 1, ..s });
         assert!((net.flow_remaining(a).unwrap() - 50.0 * GBPS).abs() < 1e3);
         assert_eq!(net.flow_rate(a), Some(50.0 * GBPS));
         // a finishes at 0.5 + 50/50 = 1.5s.
@@ -762,25 +698,65 @@ mod tests {
     #[should_panic(expected = "empty path")]
     fn empty_path_rejected() {
         let mut net = FlowNet::new();
-        net.start_flow(SimTime::ZERO, spec(&[], 1.0, 1.0, 0));
+        net.intern_path(&[]);
     }
 
     #[test]
     #[should_panic(expected = "unknown link")]
     fn bad_link_rejected() {
         let mut net = FlowNet::new();
-        net.start_flow(SimTime::ZERO, spec(&[LinkId(3)], 1.0, 1.0, 0));
+        net.intern_path(&[LinkId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not interned")]
+    fn foreign_path_rejected() {
+        let mut net = FlowNet::new();
+        net.add_link(GBPS, f64::INFINITY);
+        net.start_flow(
+            SimTime::ZERO,
+            FlowSpec {
+                path: PathId(5),
+                size_bits: 1.0,
+                demand_bps: 1.0,
+                tag: 0,
+            },
+        );
     }
 
     #[test]
     fn many_flows_conserve_capacity() {
         let (mut net, l) = net_with_links(&[400.0 * GBPS]);
+        let s = spec(&mut net, &l, 1e12, 200.0 * GBPS, 0);
         let hs: Vec<_> = (0..64)
-            .map(|tag| net.start_flow(SimTime::ZERO, spec(&l, 1e12, 200.0 * GBPS, tag)))
+            .map(|tag| net.start_flow(SimTime::ZERO, FlowSpec { tag, ..s }))
             .collect();
         let total: f64 = hs.iter().map(|&h| net.flow_rate(h).unwrap()).sum();
-        assert!(total <= 400.0 * GBPS * (1.0 + 1e-9), "allocation {total} exceeds capacity");
+        assert!(
+            total <= 400.0 * GBPS * (1.0 + 1e-9),
+            "allocation {total} exceeds capacity"
+        );
         assert!((total - 400.0 * GBPS).abs() < 1.0, "work-conserving");
+    }
+
+    #[test]
+    fn both_allocators_agree_on_parking_lot() {
+        for kind in [AllocatorKind::Dense, AllocatorKind::Incremental] {
+            let mut net = FlowNet::with_allocator(kind);
+            let l0 = net.add_link(100.0 * GBPS, f64::INFINITY);
+            let l1 = net.add_link(50.0 * GBPS, f64::INFINITY);
+            let sx = spec(&mut net, &[l0, l1], GBPS, f64::INFINITY, 0);
+            let sy = spec(&mut net, &[l0], GBPS, f64::INFINITY, 1);
+            let sz = spec(&mut net, &[l1], GBPS, f64::INFINITY, 2);
+            let x = net.start_flow(SimTime::ZERO, sx);
+            let y = net.start_flow(SimTime::ZERO, sy);
+            let z = net.start_flow(SimTime::ZERO, sz);
+            assert_eq!(net.allocator_kind(), kind);
+            assert!((net.flow_rate(x).unwrap() - 25.0 * GBPS).abs() < 1e3);
+            assert!((net.flow_rate(y).unwrap() - 75.0 * GBPS).abs() < 1e3);
+            assert!((net.flow_rate(z).unwrap() - 25.0 * GBPS).abs() < 1e3);
+            assert!(net.alloc_scope().events > 0);
+        }
     }
 }
 
@@ -812,6 +788,7 @@ mod proptests {
                     .map(|&i| links[i % links.len()])
                     .collect();
                 path.dedup();
+                let path = net.intern_path(&path);
                 handles.push(net.start_flow(SimTime::ZERO, FlowSpec {
                     path,
                     size_bits: 1e12,
@@ -843,10 +820,11 @@ mod proptests {
         ) {
             let mut net = FlowNet::new();
             let l = net.add_link(400.0 * GBPS, f64::INFINITY);
+            let path = net.intern_path(&[l]);
             let mut handles = Vec::new();
             for tag in 0..nflows {
                 handles.push(net.start_flow(SimTime::ZERO, FlowSpec {
-                    path: vec![l],
+                    path,
                     size_bits: 1e15,
                     demand_bps: 200.0 * GBPS,
                     tag: tag as u64,
@@ -874,9 +852,10 @@ mod proptests {
         ) {
             let mut net = FlowNet::new();
             let shared = net.add_link(400.0 * GBPS, f64::INFINITY);
+            let path = net.intern_path(&[shared]);
             let handles: Vec<FlowHandle> = demands.iter().enumerate().map(|(i, &d)| {
                 net.start_flow(SimTime::ZERO, FlowSpec {
-                    path: vec![shared],
+                    path,
                     size_bits: 1e15,
                     demand_bps: d as f64 * GBPS,
                     tag: i as u64,

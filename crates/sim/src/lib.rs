@@ -9,7 +9,12 @@
 //!   user-supplied world type,
 //! * [`FlowNet`] — a fluid (rate-based) network model with progressive-filling
 //!   max-min fair bandwidth allocation, per-link queue integration and
-//!   flow-completion tracking,
+//!   flow-completion tracking. Rate allocation sits behind the
+//!   [`RateAllocator`] trait: the default [`alloc::IncrementalMaxMin`]
+//!   recomputes only the perturbed bottleneck component per event, while
+//!   [`alloc::DenseMaxMin`] re-solves every flow and serves as the oracle.
+//!   Flow paths are interned ([`PathId`]/[`PathInterner`]) so specs carry a
+//!   4-byte handle instead of a link vector,
 //! * [`SplitMix64`] / [`Xoshiro256`] — small, dependency-free deterministic
 //!   PRNGs so simulation runs are exactly reproducible from a seed,
 //! * [`TimeSeries`] and [`stats`] — recording utilities used by the
@@ -25,17 +30,24 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
+pub mod arena;
 pub mod engine;
 pub mod flownet;
 pub mod packetval;
+pub mod path;
 pub mod rng;
 pub mod series;
 pub mod stats;
 pub mod time;
 pub mod units;
 
+pub use alloc::{AllocatorKind, RateAllocator};
+pub use arena::{Flow, FlowArena};
 pub use engine::{Engine, EventId};
 pub use flownet::{FlowHandle, FlowNet, FlowSpec, LinkId, LinkState};
+pub use path::{PathId, PathInterner};
 pub use rng::{SplitMix64, Xoshiro256};
 pub use series::TimeSeries;
+pub use stats::RecomputeScope;
 pub use time::{SimDuration, SimTime};

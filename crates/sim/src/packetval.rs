@@ -125,11 +125,12 @@ mod tests {
     fn fluid_link(offered: &[f64], capacity: f64, buffer: f64, secs: f64) -> (f64, f64, f64) {
         let mut net = FlowNet::new();
         let l = net.add_link(capacity, buffer);
+        let path = net.intern_path(&[l]);
         for (i, &r) in offered.iter().enumerate() {
             net.start_flow(
                 SimTime::ZERO,
                 FlowSpec {
-                    path: vec![l],
+                    path,
                     size_bits: 1e18, // effectively endless for the window
                     demand_bps: r,
                     tag: i as u64,
@@ -156,7 +157,11 @@ mod tests {
             offered
         );
         assert_eq!(pkt.dropped_bits, 0.0);
-        assert!(pkt.mean_queue_bits < 5.0 * MTU, "queue {}", pkt.mean_queue_bits);
+        assert!(
+            pkt.mean_queue_bits < 5.0 * MTU,
+            "queue {}",
+            pkt.mean_queue_bits
+        );
 
         let (carried, dropped, queue) = fluid_link(&[20e9, 20e9, 20e9], capacity, 1e6, secs);
         assert!((carried - offered).abs() / offered < 1e-9);
@@ -191,13 +196,19 @@ mod tests {
         // Queue sits at the buffer.
         assert!(pkt.peak_queue_bits >= buffer - 2.0 * MTU);
 
-        let (carried, dropped, queue) =
-            fluid_link(&[50e9, 50e9, 50e9], capacity, buffer, secs);
-        assert!((carried - expect_deliver).abs() / expect_deliver < 1e-9,
-            "fluid carried {carried}");
-        assert!((dropped - expect_drop).abs() / expect_drop < 0.05,
-            "fluid dropped {dropped} vs {expect_drop}");
-        assert!((queue - buffer).abs() < 1.0, "fluid queue {queue} pinned at buffer");
+        let (carried, dropped, queue) = fluid_link(&[50e9, 50e9, 50e9], capacity, buffer, secs);
+        assert!(
+            (carried - expect_deliver).abs() / expect_deliver < 1e-9,
+            "fluid carried {carried}"
+        );
+        assert!(
+            (dropped - expect_drop).abs() / expect_drop < 0.05,
+            "fluid dropped {dropped} vs {expect_drop}"
+        );
+        assert!(
+            (queue - buffer).abs() < 1.0,
+            "fluid queue {queue} pinned at buffer"
+        );
     }
 
     #[test]

@@ -1,0 +1,111 @@
+//! Path interning: deduplicated storage for flow paths.
+//!
+//! A training job launches millions of flows over a few thousand distinct
+//! routes — every chunk of every collective step retraces the connection's
+//! path. Storing a `Vec<LinkId>` per flow made flow launch O(hops) in
+//! allocation and made specs expensive to copy around. A [`PathId`] is a
+//! 4-byte handle into a [`PathInterner`]: the link sequence is stored once,
+//! flows carry the handle, and every layer that used to build or clone the
+//! link vector (router → connection → flow spec) now passes the handle.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::flownet::LinkId;
+
+/// Interned handle to a path (a non-empty link sequence) within one
+/// [`crate::FlowNet`]. Ids are only meaningful for the interner (and thus
+/// the `FlowNet`) that produced them.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PathId(pub u32);
+
+/// Dedup table mapping link sequences to [`PathId`]s.
+///
+/// Interning the same sequence twice returns the same id; lookups are O(1)
+/// amortized. Paths are never removed: the set of distinct routes in a
+/// simulation is bounded by the route table, not by flow churn.
+#[derive(Clone, Debug, Default)]
+pub struct PathInterner {
+    by_links: HashMap<Arc<[LinkId]>, PathId>,
+    paths: Vec<Arc<[LinkId]>>,
+}
+
+impl PathInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a link sequence, returning the canonical id.
+    ///
+    /// # Panics
+    /// Panics on an empty sequence: a flow must cross at least one link.
+    pub fn intern(&mut self, links: &[LinkId]) -> PathId {
+        assert!(!links.is_empty(), "flow with empty path");
+        if let Some(&id) = self.by_links.get(links) {
+            return id;
+        }
+        let id =
+            PathId(u32::try_from(self.paths.len()).expect("more than u32::MAX distinct paths"));
+        let stored: Arc<[LinkId]> = links.into();
+        self.paths.push(stored.clone());
+        self.by_links.insert(stored, id);
+        id
+    }
+
+    /// Resolve an id to its link sequence.
+    ///
+    /// # Panics
+    /// Panics if the id did not come from this interner.
+    pub fn get(&self, id: PathId) -> &[LinkId] {
+        &self.paths[id.0 as usize]
+    }
+
+    /// Whether `id` is valid for this interner.
+    pub fn contains(&self, id: PathId) -> bool {
+        (id.0 as usize) < self.paths.len()
+    }
+
+    /// Number of distinct paths interned.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedups() {
+        let mut it = PathInterner::new();
+        let a = it.intern(&[LinkId(0), LinkId(1)]);
+        let b = it.intern(&[LinkId(0), LinkId(1)]);
+        let c = it.intern(&[LinkId(1), LinkId(0)]);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "order matters");
+        assert_eq!(it.len(), 2);
+        assert_eq!(it.get(a), &[LinkId(0), LinkId(1)]);
+        assert_eq!(it.get(c), &[LinkId(1), LinkId(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty path")]
+    fn empty_path_rejected() {
+        PathInterner::new().intern(&[]);
+    }
+
+    #[test]
+    fn contains_tracks_validity() {
+        let mut it = PathInterner::new();
+        assert!(!it.contains(PathId(0)));
+        let id = it.intern(&[LinkId(3)]);
+        assert!(it.contains(id));
+        assert!(!it.contains(PathId(1)));
+    }
+}

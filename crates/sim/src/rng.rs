@@ -49,10 +49,7 @@ impl Xoshiro256 {
 
     /// Next 64 random bits.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -165,7 +162,10 @@ mod tests {
         let mut rng = Xoshiro256::seed_from_u64(11);
         let n = 100_000;
         let mean: f64 = (0..n).map(|_| rng.exponential(3.0)).sum::<f64>() / n as f64;
-        assert!((mean - 3.0).abs() < 0.05, "sample mean {mean} too far from 3.0");
+        assert!(
+            (mean - 3.0).abs() < 0.05,
+            "sample mean {mean} too far from 3.0"
+        );
     }
 
     #[test]

@@ -5,12 +5,10 @@
 //! samples and offers the reductions the experiment harness needs: averages
 //! over windows, resampling onto a fixed grid, and min/max/mean summaries.
 
-use serde::Serialize;
-
 use crate::time::SimTime;
 
 /// A named sequence of `(time, value)` samples in chronological order.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct TimeSeries {
     /// Label used in experiment output (e.g. "Port 1").
     pub name: String,
@@ -118,9 +116,7 @@ impl TimeSeries {
     /// inside each bucket (this is how the paper reports "averaged every
     /// 10s" series in Fig 15b/15c).
     pub fn resample_avg(&self, bucket: f64) -> TimeSeries {
-        self.resample_with(bucket, |vals| {
-            vals.iter().sum::<f64>() / vals.len() as f64
-        })
+        self.resample_with(bucket, |vals| vals.iter().sum::<f64>() / vals.len() as f64)
     }
 
     /// Down-sample onto a fixed grid taking the max in each bucket

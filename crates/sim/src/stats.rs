@@ -39,10 +39,7 @@ impl Ecdf {
 
     /// Percentile `p` in `[0, 100]` via nearest-rank.
     pub fn percentile(&self, p: f64) -> f64 {
-        assert!(
-            (0.0..=100.0).contains(&p),
-            "percentile out of range: {p}"
-        );
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
         assert!(!self.sorted.is_empty(), "percentile of empty ECDF");
         let rank = ((p / 100.0) * self.sorted.len() as f64).ceil() as usize;
         self.sorted[rank.saturating_sub(1).min(self.sorted.len() - 1)]
@@ -148,6 +145,86 @@ impl Histogram {
     }
 }
 
+/// Recompute-scope counters maintained by the rate allocators (see
+/// [`crate::alloc`]): how much of the network each rate recompute actually
+/// touched. The dense allocator touches every active flow per event; the
+/// incremental allocator touches only the perturbed bottleneck component —
+/// these counters make that difference observable from experiments and
+/// benches without instrumenting the allocators externally.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RecomputeScope {
+    /// Rate recomputes performed.
+    pub events: u64,
+    /// Cumulative flows whose rate was recomputed, over all events.
+    pub flows_touched: u64,
+    /// Cumulative links whose allocation state was recomputed.
+    pub links_touched: u64,
+    /// Cumulative active flows at each event (the dense baseline cost).
+    pub flows_active: u64,
+    /// Flows touched by the most recent event (its component size).
+    pub last_flows_touched: usize,
+    /// Links touched by the most recent event.
+    pub last_links_touched: usize,
+    /// Largest per-event flow component seen.
+    pub max_component_flows: usize,
+}
+
+impl RecomputeScope {
+    /// Record one recompute event.
+    pub fn record(&mut self, flows_touched: usize, links_touched: usize, flows_active: usize) {
+        self.events += 1;
+        self.flows_touched += flows_touched as u64;
+        self.links_touched += links_touched as u64;
+        self.flows_active += flows_active as u64;
+        self.last_flows_touched = flows_touched;
+        self.last_links_touched = links_touched;
+        self.max_component_flows = self.max_component_flows.max(flows_touched);
+    }
+
+    /// Mean flows touched per event (0.0 before any event).
+    pub fn mean_flows_touched(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.flows_touched as f64 / self.events as f64
+        }
+    }
+
+    /// Mean links touched per event (0.0 before any event).
+    pub fn mean_links_touched(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.links_touched as f64 / self.events as f64
+        }
+    }
+
+    /// Fraction of active flows touched, cumulatively: 1.0 means every
+    /// event recomputed every flow (the dense baseline), small values mean
+    /// recomputes stayed local to the perturbed component.
+    pub fn touched_fraction(&self) -> f64 {
+        if self.flows_active == 0 {
+            0.0
+        } else {
+            self.flows_touched as f64 / self.flows_active as f64
+        }
+    }
+
+    /// Counters accumulated since `earlier` (a snapshot of the same scope).
+    /// Last-event and max fields are taken from `self`.
+    pub fn since(&self, earlier: &RecomputeScope) -> RecomputeScope {
+        RecomputeScope {
+            events: self.events - earlier.events,
+            flows_touched: self.flows_touched - earlier.flows_touched,
+            links_touched: self.links_touched - earlier.links_touched,
+            flows_active: self.flows_active - earlier.flows_active,
+            last_flows_touched: self.last_flows_touched,
+            last_links_touched: self.last_links_touched,
+            max_component_flows: self.max_component_flows,
+        }
+    }
+}
+
 /// Mean of a slice (0.0 when empty) — convenience for experiment code.
 pub fn mean(xs: &[f64]) -> f64 {
     if xs.is_empty() {
@@ -208,7 +285,10 @@ mod tests {
     #[test]
     fn ecdf_curve() {
         let e = Ecdf::from_samples(vec![1.0, 2.0]);
-        assert_eq!(e.curve(&[0.0, 1.5, 3.0]), vec![(0.0, 0.0), (1.5, 0.5), (3.0, 1.0)]);
+        assert_eq!(
+            e.curve(&[0.0, 1.5, 3.0]),
+            vec![(0.0, 0.0), (1.5, 0.5), (3.0, 1.0)]
+        );
     }
 
     #[test]
@@ -240,6 +320,25 @@ mod tests {
         assert!((skew - 0.25).abs() < 1e-12);
         assert_eq!(jain_fairness(&[]), 1.0);
         assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn recompute_scope_accumulates_and_diffs() {
+        let mut s = RecomputeScope::default();
+        s.record(10, 4, 100);
+        s.record(2, 1, 100);
+        assert_eq!(s.events, 2);
+        assert_eq!(s.mean_flows_touched(), 6.0);
+        assert_eq!(s.mean_links_touched(), 2.5);
+        assert_eq!(s.last_flows_touched, 2);
+        assert_eq!(s.max_component_flows, 10);
+        assert!((s.touched_fraction() - 12.0 / 200.0).abs() < 1e-12);
+        let snap = s;
+        s.record(8, 3, 100);
+        let d = s.since(&snap);
+        assert_eq!(d.events, 1);
+        assert_eq!(d.flows_touched, 8);
+        assert_eq!(d.mean_flows_touched(), 8.0);
     }
 
     #[test]

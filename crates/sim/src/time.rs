@@ -44,7 +44,10 @@ impl SimTime {
 
     /// Construct from fractional seconds, rounding to the nearest nanosecond.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s >= 0.0 && s.is_finite(), "SimTime from negative/NaN seconds");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "SimTime from negative/NaN seconds"
+        );
         SimTime((s * 1e9).round() as u64)
     }
 
@@ -102,7 +105,10 @@ impl SimDuration {
     /// a flow currently has zero allocated rate and its completion horizon
     /// is therefore unbounded.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s >= 0.0 && !s.is_nan(), "SimDuration from negative/NaN seconds");
+        assert!(
+            s >= 0.0 && !s.is_nan(),
+            "SimDuration from negative/NaN seconds"
+        );
         let ns = s * 1e9;
         if ns >= u64::MAX as f64 {
             SimDuration::MAX

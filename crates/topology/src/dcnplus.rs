@@ -138,8 +138,7 @@ impl DcnPlusConfig {
                 }
 
                 for _ in 0..self.hosts_per_segment {
-                    let mut host =
-                        build_host(&mut net, &self.host, host_id, segment, pod, false);
+                    let mut host = build_host(&mut net, &self.host, host_id, segment, pod, false);
                     for rail in 0..self.host.rails {
                         for (port, &tor) in pair_tors.iter().enumerate() {
                             attach_nic_port(

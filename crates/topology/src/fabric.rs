@@ -155,7 +155,9 @@ impl Fabric {
         self.tors
             .iter()
             .copied()
-            .filter(|&t| matches!(self.net.kind(t), NodeKind::Tor { segment: s, .. } if s == segment))
+            .filter(
+                |&t| matches!(self.net.kind(t), NodeKind::Tor { segment: s, .. } if s == segment),
+            )
             .collect()
     }
 

@@ -149,7 +149,13 @@ impl Network {
 
     /// Add a directed link. `buffer_bits` is the egress buffer of the
     /// transmitting port.
-    pub fn add_link(&mut self, src: NodeId, dst: NodeId, cap_bps: f64, buffer_bits: f64) -> LinkIdx {
+    pub fn add_link(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        cap_bps: f64,
+        buffer_bits: f64,
+    ) -> LinkIdx {
         assert!(src != dst, "self-loop link at {:?}", self.kind(src).label());
         let idx = LinkIdx(self.links.len() as u32);
         self.links.push(Link {
@@ -209,12 +215,14 @@ impl Network {
 
     /// Outgoing neighbors with the link used to reach them.
     pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = (NodeId, LinkIdx)> + '_ {
-        self.out_links(n).map(move |l| (self.links[l.0 as usize].dst, l))
+        self.out_links(n)
+            .map(move |l| (self.links[l.0 as usize].dst, l))
     }
 
     /// The first directed link from `a` to `b`, if any.
     pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkIdx> {
-        self.out_links(a).find(|&l| self.links[l.0 as usize].dst == b)
+        self.out_links(a)
+            .find(|&l| self.links[l.0 as usize].dst == b)
     }
 
     /// All directed links from `a` to `b` (parallel links are real in these
@@ -269,7 +277,9 @@ impl Network {
             let host_side = |k: NodeKind| {
                 matches!(
                     k,
-                    NodeKind::Gpu { .. } | NodeKind::NvSwitch { .. } | NodeKind::Nic { .. }
+                    NodeKind::Gpu { .. }
+                        | NodeKind::NvSwitch { .. }
+                        | NodeKind::Nic { .. }
                         | NodeKind::FrontendNic { .. }
                 )
             };
@@ -332,8 +342,14 @@ mod tests {
     #[test]
     fn nodes_where_filters_by_kind() {
         let (net, _, _, _) = tiny();
-        assert_eq!(net.nodes_where(|k| matches!(k, NodeKind::Tor { .. })).len(), 2);
-        assert_eq!(net.nodes_where(|k| matches!(k, NodeKind::Agg { .. })).len(), 0);
+        assert_eq!(
+            net.nodes_where(|k| matches!(k, NodeKind::Tor { .. })).len(),
+            2
+        );
+        assert_eq!(
+            net.nodes_where(|k| matches!(k, NodeKind::Agg { .. })).len(),
+            0
+        );
     }
 
     #[test]

@@ -35,7 +35,7 @@ pub mod railonly;
 pub mod superpod;
 pub mod wiring;
 
+pub use dcnplus::DcnPlusConfig;
 pub use fabric::{Fabric, FabricKind, Host};
 pub use graph::{LinkIdx, Network, NodeId, NodeKind};
 pub use hpn::HpnConfig;
-pub use dcnplus::DcnPlusConfig;

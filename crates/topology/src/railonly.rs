@@ -160,13 +160,31 @@ mod tests {
             .tors
             .iter()
             .copied()
-            .find(|&t| matches!(f.net.kind(t), NodeKind::Tor { pair: 0, plane: 0, .. }))
+            .find(|&t| {
+                matches!(
+                    f.net.kind(t),
+                    NodeKind::Tor {
+                        pair: 0,
+                        plane: 0,
+                        ..
+                    }
+                )
+            })
             .unwrap();
         let tor_r1 = f
             .tors
             .iter()
             .copied()
-            .find(|&t| matches!(f.net.kind(t), NodeKind::Tor { pair: 1, plane: 0, .. }))
+            .find(|&t| {
+                matches!(
+                    f.net.kind(t),
+                    NodeKind::Tor {
+                        pair: 1,
+                        plane: 0,
+                        ..
+                    }
+                )
+            })
             .unwrap();
         let aggs_of = |t| {
             let mut v: Vec<NodeId> = f
@@ -199,8 +217,16 @@ mod tests {
         };
         let t0 = find(0, 0);
         let t1 = find(1, 0);
-        let a0: Vec<NodeId> = f.tor_uplinks(t0).iter().map(|&l| f.net.link(l).dst).collect();
-        let a1: Vec<NodeId> = f.tor_uplinks(t1).iter().map(|&l| f.net.link(l).dst).collect();
+        let a0: Vec<NodeId> = f
+            .tor_uplinks(t0)
+            .iter()
+            .map(|&l| f.net.link(l).dst)
+            .collect();
+        let a1: Vec<NodeId> = f
+            .tor_uplinks(t1)
+            .iter()
+            .map(|&l| f.net.link(l).dst)
+            .collect();
         assert!(a0.iter().any(|a| a1.contains(a)));
     }
 }

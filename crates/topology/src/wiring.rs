@@ -188,8 +188,14 @@ mod tests {
         f.hosts[0] = host;
         let v = validate_blueprint(&f);
         assert!(
-            v.iter()
-                .any(|v| matches!(v, WiringViolation::RailPairMismatch { host: 0, rail: 0, .. })),
+            v.iter().any(|v| matches!(
+                v,
+                WiringViolation::RailPairMismatch {
+                    host: 0,
+                    rail: 0,
+                    ..
+                }
+            )),
             "rail mismatch missed: {v:?}"
         );
     }

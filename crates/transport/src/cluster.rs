@@ -20,7 +20,7 @@
 //! one port's bandwidth; a single-ToR job halts.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use hpn_routing::bgp::DEFAULT_CONVERGENCE;
 use hpn_routing::repac;
@@ -170,6 +170,13 @@ impl ClusterSim {
         self.stats
     }
 
+    /// Rate-allocator recompute-scope counters of the underlying fluid net
+    /// (see [`hpn_sim::RecomputeScope`]): experiments snapshot and diff
+    /// these to report how local rate recomputes stayed under churn.
+    pub fn alloc_scope(&self) -> hpn_sim::RecomputeScope {
+        self.net.alloc_scope()
+    }
+
     /// Messages currently in flight (including stalled ones).
     pub fn inflight(&self) -> usize {
         self.msgs.len()
@@ -221,12 +228,15 @@ impl ClusterSim {
         let mut conns = Vec::with_capacity(found.paths.len());
         for p in found.paths {
             let id = ConnectionId(self.conns.len() as u32);
+            let (path, path_demand_bps) = self.intern_route(&p.route);
             self.conns.push(Connection {
                 id,
                 src,
                 dst,
                 sport: p.sport,
                 route: p.route,
+                path,
+                path_demand_bps,
                 wqe_bytes: 0.0,
                 inflight: 0,
             });
@@ -331,21 +341,32 @@ impl ClusterSim {
         msg_id
     }
 
-    fn start_flow(&mut self, conn_id: ConnectionId, size_bits: f64, msg_id: u64) -> hpn_sim::FlowHandle {
-        let conn = &self.conns[conn_id.0 as usize];
-        let demand = conn
-            .route
+    /// Intern a route's flow path and compute its demand cap (the min
+    /// nominal capacity along the route — static fabric data, so caching it
+    /// per connection is exact). Called on establish and route refresh, not
+    /// per send: messages reuse the connection's [`hpn_sim::PathId`].
+    fn intern_route(&mut self, route: &hpn_routing::router::Route) -> (hpn_sim::PathId, f64) {
+        let demand = route
             .links
             .iter()
             .map(|&l| self.fabric.net.link(l).cap_bps)
             .fold(f64::INFINITY, f64::min);
-        let path = conn.route.links.iter().map(|l| l.flow_link()).collect();
+        (self.net.intern_path(&route.flow_links()), demand)
+    }
+
+    fn start_flow(
+        &mut self,
+        conn_id: ConnectionId,
+        size_bits: f64,
+        msg_id: u64,
+    ) -> hpn_sim::FlowHandle {
+        let conn = &self.conns[conn_id.0 as usize];
         self.net.start_flow(
             self.now,
             FlowSpec {
-                path,
+                path: conn.path,
                 size_bits,
-                demand_bps: demand,
+                demand_bps: conn.path_demand_bps,
                 tag: msg_id,
             },
         )
@@ -374,7 +395,11 @@ impl ClusterSim {
         for port in [None, Some(0), Some(1)] {
             req.port = port;
             if let Ok(route) = self.router.route(&self.fabric, &self.health, &req) {
-                self.conns[conn_id.0 as usize].route = route;
+                let (path, path_demand_bps) = self.intern_route(&route);
+                let conn = &mut self.conns[conn_id.0 as usize];
+                conn.route = route;
+                conn.path = path;
+                conn.path_demand_bps = path_demand_bps;
                 return true;
             }
         }
@@ -462,9 +487,9 @@ impl ClusterSim {
                 .msgs
                 .iter()
                 .filter(|(_, m)| {
-                    m.conn.is_some_and(|c| {
-                        self.conns[c.0 as usize].route.links.contains(&link)
-                    }) && !m.stalled
+                    m.conn
+                        .is_some_and(|c| self.conns[c.0 as usize].route.links.contains(&link))
+                        && !m.stalled
                 })
                 .map(|(&id, _)| id)
                 .collect();
@@ -610,7 +635,6 @@ impl ClusterSim {
         }
     }
 
-
     fn complete_msg<A: ClusterApp>(&mut self, app: &mut A, msg_id: u64) {
         let Some(m) = self.msgs.remove(&msg_id) else {
             return; // already completed via another path (e.g. rerouted twice)
@@ -682,7 +706,10 @@ mod tests {
         let g = cs.establish_group((0, 0), (1, 0), 1, PathPolicy::Single, 49152);
         let cid = cs.group(g).conns[0];
         cs.send_group(g, GB, 0);
-        assert!((cs.conn(cid).wqe_bytes - 1e9).abs() < 1.0, "1GB outstanding");
+        assert!(
+            (cs.conn(cid).wqe_bytes - 1e9).abs() < 1.0,
+            "1GB outstanding"
+        );
         assert_eq!(cs.conn(cid).inflight, 1);
         cs.run(&mut app, SimTime::from_secs(5));
         assert_eq!(cs.conn(cid).wqe_bytes, 0.0);
@@ -696,10 +723,7 @@ mod tests {
         assert_eq!(cs.group(g).conns.len(), 2, "two planes");
         let a = cs.send_group(g, GB, 0);
         let b = cs.send_group(g, GB, 1);
-        let (ca, cb) = (
-            cs.msgs[&a].conn.unwrap(),
-            cs.msgs[&b].conn.unwrap(),
-        );
+        let (ca, cb) = (cs.msgs[&a].conn.unwrap(), cs.msgs[&b].conn.unwrap());
         assert_ne!(ca, cb, "second message avoids the loaded connection");
     }
 

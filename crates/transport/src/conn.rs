@@ -1,6 +1,7 @@
 //! Connections, connection groups and path-selection policies.
 
 use hpn_routing::router::Route;
+use hpn_sim::PathId;
 
 /// Index of a connection within a [`crate::ClusterSim`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -28,6 +29,13 @@ pub struct Connection {
     pub sport: u16,
     /// Current route (replaced on failover).
     pub route: Route,
+    /// The route's links interned in the fluid net — every message on this
+    /// connection starts its flow with this handle; re-interned only when
+    /// the route is replaced.
+    pub path: PathId,
+    /// Cached min nominal capacity along the route (the flow demand cap);
+    /// refreshed together with `path`.
+    pub path_demand_bps: f64,
     /// Outstanding bytes over all active WQEs — the congestion signal of
     /// Appendix B ("a congested connection drains the Work Queue slower").
     pub wqe_bytes: f64,

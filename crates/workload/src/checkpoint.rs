@@ -112,6 +112,7 @@ pub fn frontend_save_time(
                     sdown.flow_link(),
                 ]
             };
+            let path = net.intern_path(&path);
             net.start_flow(
                 SimTime::ZERO,
                 FlowSpec {

@@ -55,7 +55,8 @@ pub fn generate(params: &CloudParams, seed: u64) -> CloudTrace {
         let t = SimTime::from_secs(i * params.sample_secs);
         let hour = t.as_secs_f64() / 3600.0;
         // Diurnal curve peaking mid-day, hourly-scale drift only.
-        let diurnal = 1.0 + params.diurnal_swing * (std::f64::consts::TAU * (hour - 14.0) / 24.0).cos();
+        let diurnal =
+            1.0 + params.diurnal_swing * (std::f64::consts::TAU * (hour - 14.0) / 24.0).cos();
         let conn = params.mean_connections_k * diurnal * rng.uniform(0.97, 1.03);
         let tin = params.mean_gbps * diurnal * rng.uniform(0.85, 1.15);
         let tout = params.mean_gbps * 0.8 * diurnal * rng.uniform(0.85, 1.15);

@@ -106,8 +106,6 @@ mod tests {
     fn bigger_models_serve_fewer_requests_but_load_longer() {
         let c = ServingProfile::catalog();
         assert!(c[0].requests_per_sec > c[2].requests_per_sec);
-        assert!(
-            c[2].load_time(FRONTEND_NIC_BPS) > c[0].load_time(FRONTEND_NIC_BPS)
-        );
+        assert!(c[2].load_time(FRONTEND_NIC_BPS) > c[0].load_time(FRONTEND_NIC_BPS));
     }
 }

@@ -104,7 +104,13 @@ impl TrainingJob {
                 let c = g.add(OpKind::Compute { rank, dur: compute }, vec![]);
                 let tp_bits = t3.tp_bytes * 8.0 * self.micro_batches as f64;
                 let t = if self.plan.tp > 1 {
-                    g.add(OpKind::Copy { rank, bits: tp_bits }, vec![c])
+                    g.add(
+                        OpKind::Copy {
+                            rank,
+                            bits: tp_bits,
+                        },
+                        vec![c],
+                    )
                 } else {
                     c
                 };
@@ -239,10 +245,7 @@ mod tests {
     #[test]
     fn samples_per_second_definition() {
         let j = job(1, 2, 2);
-        assert_eq!(
-            j.samples_per_second(SimDuration::from_secs(2)),
-            256.0
-        );
+        assert_eq!(j.samples_per_second(SimDuration::from_secs(2)), 256.0);
     }
 
     #[test]

@@ -61,7 +61,10 @@ fn scenario(dual_tor: bool) {
         }
     }
     let after = session.run_iteration(&mut cs);
-    let after = session.run_iteration(&mut cs).samples_per_sec.max(after.samples_per_sec);
+    let after = session
+        .run_iteration(&mut cs)
+        .samples_per_sec
+        .max(after.samples_per_sec);
     println!("  after repair: {after:.0} samples/s");
     println!(
         "  transport: {} reroutes, {} stalls\n",

@@ -34,7 +34,10 @@ fn train(name: &str, fabric: Fabric, hosts: usize) -> f64 {
 
 fn main() {
     let hosts = 48usize;
-    println!("training a GPT-3-175B variant (TP=8, PP=4, DP={}):\n", hosts / 4);
+    println!(
+        "training a GPT-3-175B variant (TP=8, PP=4, DP={}):\n",
+        hosts / 4
+    );
 
     // HPN: 24-host segments here, so the job spans 2 (the paper's 288-host
     // job spans 3 segments of 128).

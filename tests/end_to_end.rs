@@ -26,7 +26,10 @@ fn allreduce_on_hpn_reaches_sane_busbw() {
     let size = 8e9; // 1 GB
     let mut runner = Runner::new();
     let comm = runner.add_comm(Communicator::new(ranks, CommConfig::hpn_default(), 49152));
-    let job = runner.add_job(graph::hierarchical_allreduce(hosts, rails, size, true, 2), comm);
+    let job = runner.add_job(
+        graph::hierarchical_allreduce(hosts, rails, size, true, 2),
+        comm,
+    );
     assert!(runner.run_job(&mut cs, job, SimTime::from_secs(60)));
     let busbw = bw::allreduce_busbw(size, n, runner.job_duration(job).unwrap()) / 1e9;
     // Bounded by NVLink/NIC physics: tens to a few hundred GB/s.

@@ -68,7 +68,10 @@ fn training_survives_an_accelerated_month_of_faults() {
         );
         completed += 1;
     }
-    assert!(completed >= 10, "made real progress: {completed} iterations");
+    assert!(
+        completed >= 10,
+        "made real progress: {completed} iterations"
+    );
     // The fault storm actually exercised failover paths.
     assert!(
         cs.stats().reroutes > 0 || cs.stats().stalls == 0,
