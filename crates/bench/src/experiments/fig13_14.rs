@@ -77,6 +77,13 @@ fn measure(fabric: Fabric, scale: Scale) -> PortStats {
         hpn_core::TrainingSession::new(job, hpn_collectives::CommConfig::hpn_default())
             .with_sampler(SimDuration::from_millis(200), move |cs| {
                 cs.net.recompute_if_dirty();
+                if cs.telemetry().enabled() {
+                    for ports in watched2.iter() {
+                        for p in 0..2 {
+                            cs.sample_link_telemetry(ports[p]);
+                        }
+                    }
+                }
                 let mut a = acc2.borrow_mut();
                 a.2.push(cs.now().as_secs_f64());
                 for (i, ports) in watched2.iter().enumerate() {

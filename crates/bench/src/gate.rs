@@ -1,0 +1,225 @@
+//! CI regression gate over figure output.
+//!
+//! Every gated figure is re-run and fingerprinted (SHA-256 of its
+//! canonical report bytes); the fingerprints are compared against the
+//! checked-in golden set in `tests/golden/figure_hashes.json`. Any drift —
+//! a changed series, a changed headline row, a changed verdict — fails the
+//! gate, which is exactly what CI wants: figure output only changes when a
+//! PR *intends* it to, in which case the golden file is regenerated with
+//! `hpn-experiments gate --quick --update` and reviewed in the diff.
+//!
+//! PR 1 established that the dense and incremental allocators produce
+//! byte-identical figures, so the golden file stores *one* hash per figure
+//! and CI runs the gate under both `HPN_ALLOCATOR` settings against the
+//! same goldens — the gate doubles as an allocator-equivalence check.
+//!
+//! Each gate run also writes a deterministic [`RunManifest`] (and, per
+//! figure, a JSONL telemetry stream) into the output directory, so a CI
+//! artifact fully identifies what ran and what it produced.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
+use std::rc::Rc;
+
+use hpn_sim::AllocatorKind;
+use hpn_telemetry::{
+    flat_map_json, hex_digest, parse_flat_map, Event, JsonlRecorder, Recorder, Registry,
+    RunManifest, SharedRecorder,
+};
+
+use crate::report::Report;
+use crate::{find, Scale};
+
+/// The figures CI gates on: the paper's evaluation section (§6).
+pub const GATE_FIGURES: [&str; 7] = [
+    "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19",
+];
+
+/// Location of the golden fingerprint file, relative to the workspace root.
+pub fn golden_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/figure_hashes.json")
+}
+
+/// SHA-256 fingerprint of a report's canonical bytes.
+///
+/// The canonical form is [`Report::to_json`] — id, rows, every series
+/// sample and the verdict. Hashing the full machine-readable report (not
+/// just the series) means the gate also catches drift in headline numbers
+/// that never make it into a series.
+pub fn figure_fingerprint(r: &Report) -> String {
+    hex_digest(r.to_json().as_bytes())
+}
+
+/// One figure's gate verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FigureStatus {
+    /// Fingerprint matches the golden file.
+    Match,
+    /// Fingerprint differs from the golden entry (expected, actual).
+    Drift(String, String),
+    /// The golden file has no entry for this figure.
+    Missing(String),
+}
+
+/// Result of a full gate run.
+pub struct GateOutcome {
+    /// Per-figure `(id, fingerprint, status)`, in run order.
+    pub figures: Vec<(String, String, FigureStatus)>,
+    /// The manifest describing this run (written to the out dir, if any).
+    pub manifest: RunManifest,
+    /// Whether the golden file was (re)written.
+    pub updated: bool,
+}
+
+impl GateOutcome {
+    /// True when every figure matched (or the golden file was updated).
+    pub fn passed(&self) -> bool {
+        self.updated
+            || self
+                .figures
+                .iter()
+                .all(|(_, _, s)| *s == FigureStatus::Match)
+    }
+}
+
+/// Tee sink: aggregate into a shared [`Registry`] (for the manifest
+/// summary) while optionally persisting the JSONL stream to a file.
+struct GateSink {
+    registry: Rc<RefCell<Registry>>,
+    jsonl: Option<JsonlRecorder<BufWriter<fs::File>>>,
+}
+
+impl Recorder for GateSink {
+    fn record(&mut self, ev: &Event) {
+        if let Some(j) = &mut self.jsonl {
+            j.record(ev);
+        }
+        self.registry.borrow_mut().record(ev);
+    }
+
+    fn flush(&mut self) {
+        if let Some(j) = &mut self.jsonl {
+            j.flush();
+        }
+    }
+}
+
+/// The allocator label recorded in manifests and printed by the gate.
+pub fn allocator_label() -> &'static str {
+    match AllocatorKind::from_env() {
+        AllocatorKind::Dense => "dense",
+        AllocatorKind::Incremental => "incremental",
+    }
+}
+
+/// Run `ids` with telemetry enabled, fingerprint each report, and compare
+/// against (or, with `update`, rewrite) the golden file. When `out_dir` is
+/// given, a `manifest.json` plus one `<id>.telemetry.jsonl` per figure are
+/// written there.
+pub fn run_gate(
+    ids: &[&str],
+    scale: Scale,
+    update: bool,
+    out_dir: Option<&Path>,
+) -> std::io::Result<GateOutcome> {
+    if let Some(dir) = out_dir {
+        fs::create_dir_all(dir)?;
+    }
+    let scale_label = match scale {
+        Scale::Full => "full",
+        Scale::Quick => "quick",
+    };
+    // Experiments carry their own fixed seeds; the manifest records the
+    // harness-level identity (allocator, scale, figure set).
+    let mut manifest = RunManifest::new(0, allocator_label(), scale_label);
+    manifest.set_param("gate_figures", ids.join(","));
+    manifest.set_param("seed_policy", "fixed per experiment");
+
+    let mut fingerprints: BTreeMap<String, String> = BTreeMap::new();
+    for id in ids {
+        let f = find(id).unwrap_or_else(|| panic!("unknown gated figure '{id}'"));
+        let registry = Rc::new(RefCell::new(Registry::new()));
+        let jsonl = match out_dir {
+            Some(dir) => Some(JsonlRecorder::create(
+                &dir.join(format!("{id}.telemetry.jsonl")),
+            )?),
+            None => None,
+        };
+        let rec = SharedRecorder::new(Box::new(GateSink {
+            registry: registry.clone(),
+            jsonl,
+        }));
+        rec.record(&manifest.start_event(id));
+        let prev = hpn_telemetry::install(rec);
+        let report = f(scale);
+        let mine = hpn_telemetry::install(prev);
+        mine.flush();
+        let hash = figure_fingerprint(&report);
+        manifest.record_figure(id, &hash);
+        manifest.record_telemetry(id, &registry.borrow());
+        fingerprints.insert(id.to_string(), hash);
+    }
+
+    let golden = golden_path();
+    let (figures, updated) = if update {
+        if let Some(parent) = golden.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut body = flat_map_json(&fingerprints, 2);
+        body.push('\n');
+        fs::write(&golden, body)?;
+        (
+            ids.iter()
+                .map(|id| {
+                    let h = fingerprints[*id].clone();
+                    (id.to_string(), h, FigureStatus::Match)
+                })
+                .collect(),
+            true,
+        )
+    } else {
+        let expected = match fs::read_to_string(&golden) {
+            Ok(src) => parse_flat_map(&src).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("malformed golden file {}: {e}", golden.display()),
+                )
+            })?,
+            Err(e) => {
+                return Err(std::io::Error::new(
+                    e.kind(),
+                    format!(
+                        "cannot read golden file {} ({e}); run `hpn-experiments gate --update`",
+                        golden.display()
+                    ),
+                ))
+            }
+        };
+        (
+            ids.iter()
+                .map(|id| {
+                    let actual = fingerprints[*id].clone();
+                    let status = match expected.get(*id) {
+                        Some(want) if *want == actual => FigureStatus::Match,
+                        Some(want) => FigureStatus::Drift(want.clone(), actual.clone()),
+                        None => FigureStatus::Missing(actual.clone()),
+                    };
+                    (id.to_string(), actual, status)
+                })
+                .collect(),
+            false,
+        )
+    };
+
+    if let Some(dir) = out_dir {
+        manifest.write(&dir.join("manifest.json"))?;
+    }
+    Ok(GateOutcome {
+        figures,
+        manifest,
+        updated,
+    })
+}

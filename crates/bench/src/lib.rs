@@ -11,6 +11,7 @@
 //! claim (who wins, and roughly by how much).
 
 pub mod experiments;
+pub mod gate;
 pub mod report;
 
 pub use report::Report;

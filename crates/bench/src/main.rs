@@ -6,6 +6,8 @@
 //! hpn-experiments fig15 [--quick]      # run one experiment
 //! hpn-experiments fig15 --json out.json
 //! hpn-experiments topo hpn|dcn|paper   # fabric inventory + blueprint check
+//! hpn-experiments gate [--quick] [--update] [--out DIR]
+//!                                      # regression-gate figures vs goldens
 //! ```
 
 use std::io::Write as _;
@@ -21,9 +23,18 @@ fn main() {
         .position(|a| a == "--json")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
     let targets: Vec<String> = args
         .iter()
-        .filter(|a| !a.starts_with("--") && Some(a.as_str()) != json_path.as_deref())
+        .filter(|a| {
+            !a.starts_with("--")
+                && Some(a.as_str()) != json_path.as_deref()
+                && Some(a.as_str()) != out_dir.as_deref()
+        })
         .cloned()
         .collect();
 
@@ -39,6 +50,10 @@ fn main() {
         "topo" => {
             let which = targets.get(1).map(String::as_str).unwrap_or("hpn");
             topo(which);
+        }
+        "gate" => {
+            let update = args.iter().any(|a| a == "--update");
+            gate(scale, update, out_dir.as_deref());
         }
         "all" => {
             let mut reports = Vec::new();
@@ -73,6 +88,46 @@ fn main() {
                 std::process::exit(2);
             }
         },
+    }
+}
+
+fn gate(scale: Scale, update: bool, out_dir: Option<&str>) {
+    use hpn_bench::gate::{allocator_label, run_gate, FigureStatus, GATE_FIGURES};
+    eprintln!(
+        "gate: {} figures, allocator={}, {:?}{}",
+        GATE_FIGURES.len(),
+        allocator_label(),
+        scale,
+        if update { ", updating goldens" } else { "" }
+    );
+    let out = out_dir.map(std::path::Path::new);
+    let outcome = match run_gate(&GATE_FIGURES, scale, update, out) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("gate failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    for (id, hash, status) in &outcome.figures {
+        match status {
+            FigureStatus::Match => println!("  {id:<8} {hash}  ok"),
+            FigureStatus::Drift(want, _) => {
+                println!("  {id:<8} {hash}  DRIFT (golden {want})")
+            }
+            FigureStatus::Missing(_) => println!("  {id:<8} {hash}  MISSING from golden file"),
+        }
+    }
+    if let Some(dir) = out_dir {
+        eprintln!("wrote manifest + telemetry under {dir}/");
+    }
+    if outcome.updated {
+        eprintln!("updated {}", hpn_bench::gate::golden_path().display());
+    } else if !outcome.passed() {
+        eprintln!("gate FAILED: figure output drifted from tests/golden/figure_hashes.json");
+        eprintln!("(if the change is intended: hpn-experiments gate --quick --update)");
+        std::process::exit(1);
+    } else {
+        eprintln!("gate passed");
     }
 }
 

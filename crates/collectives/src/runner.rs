@@ -85,7 +85,7 @@ impl Runner {
         }
     }
 
-    /// Override the chunk spray factor (see [`DEFAULT_SPRAY_FACTOR`]'s
+    /// Override the chunk spray factor (see `DEFAULT_SPRAY_FACTOR`'s
     /// docs). Must be ≥ 1.
     pub fn with_spray(mut self, spray: u32) -> Self {
         assert!(spray >= 1, "spray factor must be positive");
@@ -275,6 +275,16 @@ impl Runner {
         j.outstanding -= 1;
         if j.outstanding == 0 {
             j.finished = Some(cs.now());
+            let dur_ns = j
+                .started
+                .map(|s| (cs.now() - s).as_nanos())
+                .unwrap_or_default();
+            cs.telemetry()
+                .emit(|| hpn_telemetry::Event::CollectiveStep {
+                    t_ns: cs.now().as_nanos(),
+                    job,
+                    dur_ns,
+                });
         }
         let deps = j.dependents[op as usize].clone();
         let mut unlocked: Vec<u32> = Vec::new();

@@ -55,19 +55,26 @@ pub struct Bencher {
     samples: Vec<f64>,
     warmup: Duration,
     measure: Duration,
+    /// Smoke mode (`cargo bench -- --test`): run the body once, skip timing.
+    test_mode: bool,
 }
 
 impl Bencher {
-    fn new(warmup: Duration, measure: Duration) -> Self {
+    fn new(warmup: Duration, measure: Duration, test_mode: bool) -> Self {
         Bencher {
             samples: Vec::new(),
             warmup,
             measure,
+            test_mode,
         }
     }
 
     /// Time `f`, batching calls so per-batch wall time is ~10ms.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
         // Warmup while estimating per-iteration cost.
         let warm_start = Instant::now();
         let mut iters: u64 = 0;
@@ -123,16 +130,20 @@ pub struct Criterion {
     warmup: Duration,
     measure: Duration,
     filter: Option<String>,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        // `cargo bench -- <filter>` narrows which benches run.
+        // `cargo bench -- <filter>` narrows which benches run;
+        // `cargo bench -- --test` smoke-runs each body once (CI).
         let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        let test_mode = std::env::args().any(|a| a == "--test");
         Criterion {
             warmup: Duration::from_millis(300),
             measure: Duration::from_millis(700),
             filter,
+            test_mode,
         }
     }
 }
@@ -146,9 +157,13 @@ impl Criterion {
         if !self.wants(name) {
             return;
         }
-        let mut b = Bencher::new(self.warmup, self.measure);
+        let mut b = Bencher::new(self.warmup, self.measure, self.test_mode);
         f(&mut b);
-        report(name, &b.samples);
+        if self.test_mode {
+            println!("{name:<48} ok (smoke: 1 iteration)");
+        } else {
+            report(name, &b.samples);
+        }
     }
 
     /// Run a single named bench.
@@ -232,7 +247,7 @@ mod tests {
 
     #[test]
     fn bencher_collects_samples() {
-        let mut b = Bencher::new(Duration::from_millis(5), Duration::from_millis(10));
+        let mut b = Bencher::new(Duration::from_millis(5), Duration::from_millis(10), false);
         let mut x = 0u64;
         b.iter(|| {
             x = x.wrapping_add(black_box(1));
@@ -240,6 +255,18 @@ mod tests {
         });
         assert!(!b.samples.is_empty());
         assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn test_mode_runs_body_once_without_samples() {
+        let mut b = Bencher::new(Duration::from_millis(5), Duration::from_millis(10), true);
+        let mut calls = 0u64;
+        b.iter(|| {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 1, "smoke mode runs the body exactly once");
+        assert!(b.samples.is_empty(), "smoke mode collects no timings");
     }
 
     #[test]

@@ -88,6 +88,20 @@ pub struct FaultEvent {
     pub kind: FaultKind,
 }
 
+impl FaultEvent {
+    /// Total order for schedules: time, then fault class, then target.
+    /// Same-instant events on different elements thus sort the same way
+    /// regardless of generation order — schedule bytes depend only on the
+    /// seed, never on container iteration order.
+    fn sort_key(&self) -> (SimTime, u8, u32) {
+        match self.kind {
+            FaultKind::LinkFailure { link, .. } => (self.at, 0, link.0),
+            FaultKind::LinkFlap { link, .. } => (self.at, 1, link.0),
+            FaultKind::TorCrash { tor, .. } => (self.at, 2, tor.0),
+        }
+    }
+}
+
 /// All NIC→ToR uplinks of a fabric (the single-point-of-failure class).
 pub fn access_links(fabric: &Fabric) -> Vec<LinkIdx> {
     let mut v = Vec::new();
@@ -161,13 +175,23 @@ pub fn plan(
             t += rates.tor_repair.as_secs_f64() + rng.exponential(tor_mtbf);
         }
     }
-    events.sort_by_key(|e| e.at);
+    events.sort_unstable_by_key(FaultEvent::sort_key);
     events
 }
 
 /// Apply one fault to a running cluster, returning the repair action to
 /// schedule (time + closure-free description).
 pub fn apply(cs: &mut ClusterSim, event: &FaultEvent) -> Option<(SimTime, Repair)> {
+    let (kind, target) = match event.kind {
+        FaultKind::LinkFailure { link, .. } => ("link_fail", link.0),
+        FaultKind::LinkFlap { link, .. } => ("link_flap", link.0),
+        FaultKind::TorCrash { tor, .. } => ("tor_crash", tor.0),
+    };
+    cs.telemetry().emit(|| hpn_telemetry::Event::FaultInject {
+        t_ns: cs.now().as_nanos(),
+        kind,
+        target,
+    });
     match event.kind {
         FaultKind::LinkFailure { link, repair_after } => {
             cs.fail_cable(link);
@@ -201,6 +225,15 @@ pub enum Repair {
 
 /// Apply a repair.
 pub fn repair(cs: &mut ClusterSim, r: Repair) {
+    let (kind, target) = match r {
+        Repair::Cable(l) => ("cable", l.0),
+        Repair::Tor(tor) => ("tor", tor.0),
+    };
+    cs.telemetry().emit(|| hpn_telemetry::Event::FaultRepair {
+        t_ns: cs.now().as_nanos(),
+        kind,
+        target,
+    });
     match r {
         Repair::Cable(l) => cs.repair_cable(l),
         Repair::Tor(tor) => {
@@ -309,10 +342,58 @@ mod tests {
         assert_eq!(a.len(), b.len());
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.at, y.at);
+            assert_eq!(x.kind, y.kind);
         }
         for w in a.windows(2) {
-            assert!(w[0].at <= w[1].at);
+            assert!(w[0].sort_key() <= w[1].sort_key(), "total order");
         }
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let f = HpnConfig::tiny().build();
+        // High rates so both schedules are non-empty with near-certainty.
+        let mut rates = FaultRates::paper();
+        rates.link_fail_per_month = 0.5;
+        let horizon = SimDuration::from_secs(90 * 24 * 3600);
+        let a = plan(&f, &rates, horizon, 1);
+        let b = plan(&f, &rates, horizon, 2);
+        assert!(!a.is_empty() && !b.is_empty());
+        let times = |s: &[FaultEvent]| s.iter().map(|e| e.at).collect::<Vec<_>>();
+        assert_ne!(times(&a), times(&b), "seed must steer the schedule");
+    }
+
+    /// Run a seeded fault scenario with a JSONL recorder installed and
+    /// return the telemetry bytes.
+    fn telemetry_of_run(seed: u64) -> String {
+        let buf = hpn_telemetry::SharedBuf::new();
+        let prev = hpn_telemetry::install(hpn_telemetry::SharedRecorder::new(Box::new(
+            hpn_telemetry::JsonlRecorder::new(buf.clone()),
+        )));
+        let f = HpnConfig::tiny().build();
+        let mut cs = ClusterSim::new(f, HashMode::Polarized);
+        let mut rates = FaultRates::paper();
+        rates.link_fail_per_month = 0.5;
+        rates.link_repair = SimDuration::from_secs(3600);
+        let horizon = SimDuration::from_secs(30 * 24 * 3600);
+        let sched = plan(&cs.fabric, &rates, horizon, seed);
+        let mut app = Nop;
+        inject(&mut cs, &mut app, &sched, SimTime::ZERO + horizon);
+        cs.telemetry().flush();
+        hpn_telemetry::install(prev);
+        buf.text()
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_telemetry() {
+        let a = telemetry_of_run(11);
+        let b = telemetry_of_run(11);
+        assert!(!a.is_empty());
+        assert!(a.contains("fault_inject"), "faults recorded");
+        assert!(a.contains("fault_repair"), "repairs recorded");
+        assert_eq!(a, b, "same seed must replay byte-identically");
+        let c = telemetry_of_run(12);
+        assert_ne!(a, c, "different seed must perturb the event stream");
     }
 
     #[test]

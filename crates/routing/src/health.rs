@@ -8,6 +8,8 @@
 //! physical state immediately and schedules the belief update after the
 //! convergence delay.
 
+use hpn_sim::SimTime;
+use hpn_telemetry::{Event, SharedRecorder};
 use hpn_topology::LinkIdx;
 
 /// Per-link routing liveness (the post-convergence view).
@@ -44,6 +46,23 @@ impl LinkHealth {
         }
     }
 
+    /// Like [`LinkHealth::set`], but emits a [`Event::RouteConverge`]
+    /// telemetry event when the routed state actually changed (convergence
+    /// completing is the observable instant — repeated sets are not).
+    /// Returns whether the state changed.
+    pub fn set_recorded(&mut self, l: LinkIdx, up: bool, t: SimTime, rec: &SharedRecorder) -> bool {
+        let changed = self.is_up(l) != up;
+        self.set(l, up);
+        if changed {
+            rec.emit(|| Event::RouteConverge {
+                t_ns: t.as_nanos(),
+                rlink: l.0,
+                up,
+            });
+        }
+        changed
+    }
+
     /// Number of links currently down.
     pub fn down_count(&self) -> usize {
         self.down_count
@@ -72,5 +91,20 @@ mod tests {
         assert_eq!(h.down_count(), 1);
         h.set(LinkIdx(2), true);
         assert!(h.all_up());
+    }
+
+    #[test]
+    fn recorded_set_emits_only_on_change() {
+        let buf = hpn_telemetry::SharedBuf::new();
+        let rec = SharedRecorder::new(Box::new(hpn_telemetry::JsonlRecorder::new(buf.clone())));
+        let mut h = LinkHealth::new(2);
+        assert!(h.set_recorded(LinkIdx(1), false, SimTime::from_nanos(5), &rec));
+        assert!(!h.set_recorded(LinkIdx(1), false, SimTime::from_nanos(6), &rec));
+        assert!(h.set_recorded(LinkIdx(1), true, SimTime::from_nanos(7), &rec));
+        rec.flush();
+        let text = buf.text();
+        assert_eq!(text.lines().count(), 2, "idempotent set stays silent");
+        assert!(text.contains("\"rlink\":1,\"up\":false"));
+        assert!(text.contains("\"rlink\":1,\"up\":true"));
     }
 }

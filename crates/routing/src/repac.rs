@@ -39,6 +39,17 @@ pub struct SearchResult {
     pub candidates_tried: usize,
 }
 
+impl SearchResult {
+    /// Emit a [`hpn_telemetry::Event::PathSearch`] for this search.
+    pub fn record(&self, t: hpn_sim::SimTime, rec: &hpn_telemetry::SharedRecorder) {
+        rec.emit(|| hpn_telemetry::Event::PathSearch {
+            t_ns: t.as_nanos(),
+            candidates: self.candidates_tried as u64,
+            found: self.paths.len() as u32,
+        });
+    }
+}
+
 /// The ECMP-variable portion of a route: inter-switch links only. Access
 /// links (NIC↔ToR) and host-internal links are shared by construction and
 /// do not count against disjointness.

@@ -22,7 +22,7 @@
 //! of a component flow is too, so the restricted fill sees exactly the
 //! sub-problem the global fill would solve for those flows.
 //!
-//! Both allocators solve through one [`ComponentFill`]: partition the flows
+//! Both allocators solve through one `ComponentFill`: partition the flows
 //! at hand into connected components (union-find over links), fill each
 //! component independently, flows in ascending-id order. Interleaving the
 //! filling rounds across components would change float summation order and
@@ -395,7 +395,7 @@ fn refresh_hot(ctx: &mut AllocCtx<'_>, touched: &[usize]) {
 /// The from-scratch progressive-filling solver.
 ///
 /// Every recompute rebuilds every flow's rate (component by component, via
-/// [`ComponentFill`], so its float arithmetic matches the incremental
+/// `ComponentFill`, so its float arithmetic matches the incremental
 /// solver's bit for bit). All per-iteration work is
 /// restricted to *active* links (links crossed by at least one flow): a
 /// full HPN pod has ~10^5 directed links but a training job touches only a

@@ -29,6 +29,7 @@
 use crate::alloc::{AllocCtx, AllocatorKind, RateAllocator};
 use crate::arena::{Flow, FlowArena};
 use crate::path::{PathId, PathInterner};
+use crate::probe::NetProbe;
 use crate::stats::RecomputeScope;
 use crate::time::SimTime;
 
@@ -155,6 +156,7 @@ pub struct FlowNet {
     hot_links: Vec<u32>,
     allocator: Box<dyn RateAllocator>,
     scope: RecomputeScope,
+    probe: Option<Box<dyn NetProbe>>,
 }
 
 impl Default for FlowNet {
@@ -183,7 +185,25 @@ impl FlowNet {
             hot_links: Vec::new(),
             allocator: kind.build(),
             scope: RecomputeScope::default(),
+            probe: None,
         }
+    }
+
+    /// Attach an observation probe (see [`crate::probe`]). Pass `None` to
+    /// detach. A net without a probe pays no observation cost.
+    pub fn set_probe(&mut self, probe: Option<Box<dyn NetProbe>>) {
+        self.probe = probe;
+    }
+
+    /// Whether a probe is attached.
+    pub fn has_probe(&self) -> bool {
+        self.probe.is_some()
+    }
+
+    /// Detach and return the probe, if any — lets callers recover state a
+    /// probe accumulated (e.g. a counting probe's totals).
+    pub fn take_probe(&mut self) -> Option<Box<dyn NetProbe>> {
+        self.probe.take()
     }
 
     /// Which rate allocator this net runs.
@@ -270,6 +290,9 @@ impl FlowNet {
             l.up = up;
             self.allocator.on_link_changed(id);
             self.rates_dirty = true;
+            if let Some(p) = self.probe.as_mut() {
+                p.link_state(self.clock, id.0, up);
+            }
         }
     }
 
@@ -311,6 +334,10 @@ impl FlowNet {
         );
         self.allocator.on_flow_added(id, self.paths.get(spec.path));
         self.rates_dirty = true;
+        if let Some(p) = self.probe.as_mut() {
+            let path_links = self.paths.get(spec.path).len() as u32;
+            p.flow_added(now, id, path_links, spec.size_bits);
+        }
         FlowHandle(id)
     }
 
@@ -323,6 +350,9 @@ impl FlowNet {
                 self.allocator
                     .on_flow_removed(h.0, self.paths.get(f.spec.path));
                 self.rates_dirty = true;
+                if let Some(p) = self.probe.as_mut() {
+                    p.flow_removed(now, h.0, false);
+                }
                 true
             }
             None => false,
@@ -357,6 +387,9 @@ impl FlowNet {
             let f = self.flows.remove(id).expect("flow disappeared");
             self.allocator
                 .on_flow_removed(id, self.paths.get(f.spec.path));
+            if let Some(p) = self.probe.as_mut() {
+                p.flow_removed(now, id, true);
+            }
             done.push(Completion {
                 handle: FlowHandle(id),
                 tag: f.spec.tag,
@@ -402,6 +435,7 @@ impl FlowNet {
     /// Recompute fair-share rates if topology/flow membership changed.
     pub fn recompute_if_dirty(&mut self) {
         if self.rates_dirty {
+            let before = self.scope;
             let FlowNet {
                 ref mut links,
                 ref mut flows,
@@ -419,6 +453,10 @@ impl FlowNet {
                 scope,
             });
             self.rates_dirty = false;
+            if let Some(p) = self.probe.as_mut() {
+                let d = self.scope.since(&before);
+                p.rate_recompute(self.clock, d.flows_touched, d.links_touched, d.flows_active);
+            }
         }
     }
 
@@ -480,8 +518,55 @@ impl FlowNet {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::probe::CountingProbe;
+    use std::cell::RefCell;
+    use std::rc::Rc;
 
     const GBPS: f64 = 1e9;
+
+    /// Test probe sharing its counters with the asserting test body.
+    struct SharedCounting(Rc<RefCell<CountingProbe>>);
+
+    impl NetProbe for SharedCounting {
+        fn flow_added(&mut self, t: SimTime, flow: u64, path_links: u32, size_bits: f64) {
+            self.0
+                .borrow_mut()
+                .flow_added(t, flow, path_links, size_bits);
+        }
+        fn flow_removed(&mut self, t: SimTime, flow: u64, completed: bool) {
+            self.0.borrow_mut().flow_removed(t, flow, completed);
+        }
+        fn rate_recompute(&mut self, t: SimTime, f: u64, l: u64, a: u64) {
+            self.0.borrow_mut().rate_recompute(t, f, l, a);
+        }
+        fn link_state(&mut self, t: SimTime, link: u32, up: bool) {
+            self.0.borrow_mut().link_state(t, link, up);
+        }
+    }
+
+    #[test]
+    fn probe_sees_flow_lifecycle_and_recomputes() {
+        let counts = Rc::new(RefCell::new(CountingProbe::default()));
+        let (mut net, l) = net_with_links(&[100.0 * GBPS]);
+        net.set_probe(Some(Box::new(SharedCounting(counts.clone()))));
+        assert!(net.has_probe());
+        let s = spec(&mut net, &l, 100.0 * GBPS, f64::INFINITY, 1);
+        let h1 = net.start_flow(SimTime::ZERO, s);
+        let s2 = spec(&mut net, &l, 100.0 * GBPS, f64::INFINITY, 2);
+        let _h2 = net.start_flow(SimTime::ZERO, s2);
+        net.kill_flow(SimTime::ZERO, h1);
+        let t = net.next_completion().expect("one flow left");
+        let done = net.advance(t);
+        assert_eq!(done.len(), 1);
+        net.set_link_up(l[0], false);
+        net.set_link_up(l[0], false); // no-op: no state change, no callback
+        let c = *counts.borrow();
+        assert_eq!(c.flows_added, 2);
+        assert_eq!(c.flows_killed, 1);
+        assert_eq!(c.flows_completed, 1);
+        assert_eq!(c.link_changes, 1);
+        assert!(c.recomputes >= 2, "at least kill + completion recomputes");
+    }
 
     fn net_with_links(caps: &[f64]) -> (FlowNet, Vec<LinkId>) {
         let mut net = FlowNet::new();

@@ -36,6 +36,7 @@ pub mod engine;
 pub mod flownet;
 pub mod packetval;
 pub mod path;
+pub mod probe;
 pub mod rng;
 pub mod series;
 pub mod stats;
@@ -47,6 +48,7 @@ pub use arena::{Flow, FlowArena};
 pub use engine::{Engine, EventId};
 pub use flownet::{FlowHandle, FlowNet, FlowSpec, LinkId, LinkState};
 pub use path::{PathId, PathInterner};
+pub use probe::NetProbe;
 pub use rng::{SplitMix64, Xoshiro256};
 pub use series::TimeSeries;
 pub use stats::RecomputeScope;

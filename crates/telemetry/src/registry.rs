@@ -1,0 +1,322 @@
+//! Per-link / per-flow metric registries.
+//!
+//! The [`Registry`] aggregates the event stream into counters and
+//! fixed-bin [`Histogram`]s (from `hpn-sim`'s stats module), with
+//! [`Ecdf`] snapshots for the distribution views experiments report.
+//! It implements [`Recorder`], so it can sit directly behind the shared
+//! handle and aggregate while (or instead of) a JSONL sink persists.
+
+use std::collections::BTreeMap;
+
+use hpn_sim::stats::{Ecdf, Histogram};
+
+use crate::event::{json_num, json_str, Event};
+use crate::recorder::Recorder;
+
+/// Cap on retained raw samples per distribution; beyond it new samples are
+/// still counted but not retained (the histograms keep full fidelity).
+const MAX_RAW_SAMPLES: usize = 1 << 20;
+
+/// Aggregated per-link counters and distributions.
+#[derive(Clone, Debug)]
+pub struct LinkMetrics {
+    /// Utilization samples observed via [`Event::LinkSample`].
+    pub samples: u64,
+    /// Histogram of utilization in `[0, 1)` (20 bins of 5%).
+    pub utilization: Histogram,
+    /// Peak queue occupancy seen, in bits.
+    pub peak_queue_bits: f64,
+    /// Mean utilization accumulator.
+    util_sum: f64,
+    /// Physical up/down transitions.
+    pub state_changes: u64,
+}
+
+impl Default for LinkMetrics {
+    fn default() -> Self {
+        LinkMetrics {
+            samples: 0,
+            utilization: Histogram::new(0.0, 1.0, 20),
+            peak_queue_bits: 0.0,
+            util_sum: 0.0,
+            state_changes: 0,
+        }
+    }
+}
+
+impl LinkMetrics {
+    /// Mean of observed utilization samples (0.0 before any sample).
+    pub fn mean_utilization(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.util_sum / self.samples as f64
+        }
+    }
+}
+
+/// Aggregated flow-population counters and distributions.
+#[derive(Clone, Debug, Default)]
+pub struct FlowMetrics {
+    /// Flows injected.
+    pub added: u64,
+    /// Flows that ran to completion.
+    pub completed: u64,
+    /// Flows killed before completion (reroutes, teardown).
+    pub killed: u64,
+    /// Retained flow sizes in bits (capped at [`MAX_RAW_SAMPLES`]).
+    sizes: Vec<f64>,
+}
+
+impl FlowMetrics {
+    /// ECDF of flow sizes in bits.
+    pub fn size_ecdf(&self) -> Ecdf {
+        Ecdf::from_samples(self.sizes.clone())
+    }
+}
+
+/// Aggregated recompute-scope counters (the telemetry view of
+/// [`hpn_sim::RecomputeScope`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecomputeMetrics {
+    /// Recompute events.
+    pub events: u64,
+    /// Cumulative flows touched.
+    pub flows_touched: u64,
+    /// Cumulative links touched.
+    pub links_touched: u64,
+    /// Cumulative active flows at each event.
+    pub flows_active: u64,
+}
+
+/// The registry: event counts plus per-link and per-flow aggregates.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    counts: BTreeMap<&'static str, u64>,
+    links: BTreeMap<u32, LinkMetrics>,
+    flows: FlowMetrics,
+    recompute: RecomputeMetrics,
+    /// Collective step durations in seconds (capped).
+    step_durs: Vec<f64>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one event into the aggregates.
+    pub fn observe(&mut self, ev: &Event) {
+        *self.counts.entry(ev.kind()).or_insert(0) += 1;
+        match *ev {
+            Event::FlowAdd { size_bits, .. } => {
+                self.flows.added += 1;
+                if self.flows.sizes.len() < MAX_RAW_SAMPLES {
+                    self.flows.sizes.push(size_bits);
+                }
+            }
+            Event::FlowRemove { completed, .. } => {
+                if completed {
+                    self.flows.completed += 1;
+                } else {
+                    self.flows.killed += 1;
+                }
+            }
+            Event::RateRecompute {
+                flows_touched,
+                links_touched,
+                flows_active,
+                ..
+            } => {
+                self.recompute.events += 1;
+                self.recompute.flows_touched += flows_touched;
+                self.recompute.links_touched += links_touched;
+                self.recompute.flows_active += flows_active;
+            }
+            Event::LinkState { link, .. } => {
+                self.links.entry(link).or_default().state_changes += 1;
+            }
+            Event::LinkSample {
+                link,
+                utilization,
+                queue_bits,
+                ..
+            } => {
+                let m = self.links.entry(link).or_default();
+                m.samples += 1;
+                m.util_sum += utilization;
+                m.utilization.record(utilization.clamp(0.0, 1.0));
+                m.peak_queue_bits = m.peak_queue_bits.max(queue_bits);
+            }
+            Event::CollectiveStep { dur_ns, .. } if self.step_durs.len() < MAX_RAW_SAMPLES => {
+                self.step_durs.push(dur_ns as f64 / 1e9);
+            }
+            _ => {}
+        }
+    }
+
+    /// Count of events seen for a kind tag (see [`Event::kind`]).
+    pub fn count(&self, kind: &str) -> u64 {
+        self.counts.get(kind).copied().unwrap_or(0)
+    }
+
+    /// All `(kind, count)` pairs in lexicographic order.
+    pub fn counts(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Per-link aggregates for a fluid-net link, if it ever appeared.
+    pub fn link(&self, link: u32) -> Option<&LinkMetrics> {
+        self.links.get(&link)
+    }
+
+    /// Number of distinct links observed.
+    pub fn links_observed(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Flow-population aggregates.
+    pub fn flows(&self) -> &FlowMetrics {
+        &self.flows
+    }
+
+    /// Recompute-scope aggregates.
+    pub fn recompute(&self) -> RecomputeMetrics {
+        self.recompute
+    }
+
+    /// ECDF of collective step durations (seconds).
+    pub fn step_duration_ecdf(&self) -> Ecdf {
+        Ecdf::from_samples(self.step_durs.clone())
+    }
+
+    /// Compact JSON summary, embedded in the run manifest.
+    pub fn summary_json(&self) -> String {
+        let mut s = String::from("{\"event_counts\":{");
+        for (i, (k, v)) in self.counts.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("{}:{v}", json_str(k)));
+        }
+        s.push_str("},");
+        s.push_str(&format!(
+            "\"flows\":{{\"added\":{},\"completed\":{},\"killed\":{}}},",
+            self.flows.added, self.flows.completed, self.flows.killed
+        ));
+        s.push_str(&format!(
+            "\"recompute\":{{\"events\":{},\"flows_touched\":{},\"links_touched\":{},\"flows_active\":{}}},",
+            self.recompute.events,
+            self.recompute.flows_touched,
+            self.recompute.links_touched,
+            self.recompute.flows_active
+        ));
+        let hottest = self
+            .links
+            .iter()
+            .max_by(|a, b| {
+                a.1.peak_queue_bits
+                    .partial_cmp(&b.1.peak_queue_bits)
+                    .expect("peaks are not NaN")
+            })
+            .map(|(&l, m)| (l, m.peak_queue_bits));
+        match hottest {
+            Some((l, peak)) => s.push_str(&format!(
+                "\"links_observed\":{},\"hottest_link\":{l},\"hottest_peak_queue_bits\":{}}}",
+                self.links.len(),
+                json_num(peak)
+            )),
+            None => s.push_str(&format!("\"links_observed\":{}}}", self.links.len())),
+        }
+        s
+    }
+}
+
+impl Recorder for Registry {
+    fn record(&mut self, ev: &Event) {
+        self.observe(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_aggregates_flows_and_links() {
+        let mut r = Registry::new();
+        r.observe(&Event::FlowAdd {
+            t_ns: 0,
+            flow: 0,
+            path_links: 2,
+            size_bits: 1e9,
+        });
+        r.observe(&Event::FlowAdd {
+            t_ns: 1,
+            flow: 1,
+            path_links: 2,
+            size_bits: 3e9,
+        });
+        r.observe(&Event::FlowRemove {
+            t_ns: 2,
+            flow: 0,
+            completed: true,
+        });
+        r.observe(&Event::FlowRemove {
+            t_ns: 2,
+            flow: 1,
+            completed: false,
+        });
+        for i in 0..4u64 {
+            r.observe(&Event::LinkSample {
+                t_ns: 3 + i,
+                link: 7,
+                utilization: 0.25 * i as f64,
+                queue_bits: 100.0 * i as f64,
+            });
+        }
+        assert_eq!(r.count("flow_add"), 2);
+        assert_eq!(r.flows().added, 2);
+        assert_eq!(r.flows().completed, 1);
+        assert_eq!(r.flows().killed, 1);
+        assert_eq!(r.flows().size_ecdf().median(), 1e9);
+        let m = r.link(7).expect("link observed");
+        assert_eq!(m.samples, 4);
+        assert!((m.mean_utilization() - 0.375).abs() < 1e-12);
+        assert_eq!(m.peak_queue_bits, 300.0);
+        assert_eq!(r.links_observed(), 1);
+        assert_eq!(r.link(8).map(|m| m.samples), None);
+    }
+
+    #[test]
+    fn recompute_counters_accumulate() {
+        let mut r = Registry::new();
+        r.observe(&Event::RateRecompute {
+            t_ns: 0,
+            flows_touched: 10,
+            links_touched: 3,
+            flows_active: 100,
+        });
+        r.observe(&Event::RateRecompute {
+            t_ns: 1,
+            flows_touched: 2,
+            links_touched: 1,
+            flows_active: 100,
+        });
+        let rc = r.recompute();
+        assert_eq!(rc.events, 2);
+        assert_eq!(rc.flows_touched, 12);
+        assert_eq!(rc.flows_active, 200);
+    }
+
+    #[test]
+    fn summary_json_is_well_formed_ish() {
+        let mut r = Registry::new();
+        r.observe(&Event::SimStart { label: "x".into() });
+        let s = r.summary_json();
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains("\"sim_start\":1"));
+        assert!(s.contains("\"links_observed\":0"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Shared recorder handles and the ambient (thread-local) recorder.
+//!
+//! Simulations are built from several layers (fluid net, routing, transport,
+//! collectives, faults) that all want to emit into *one* sink. A
+//! [`SharedRecorder`] is a cheaply clonable handle to a single boxed
+//! [`Recorder`]; the `enabled` flag is cached in the handle so hot paths
+//! decide "skip instrumentation" with one bool load and no `RefCell` borrow.
+//!
+//! The *ambient* recorder (cf. `tracing`'s default subscriber) lets the
+//! experiment harness turn telemetry on for every simulation a process
+//! builds without threading a handle through every constructor:
+//! [`install`] sets it for the current thread, and `ClusterSim::new`
+//! attaches [`current`] automatically.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hpn_sim::{NetProbe, SimTime};
+
+use crate::event::Event;
+use crate::recorder::{NullRecorder, Recorder};
+
+/// A clonable handle to one shared [`Recorder`].
+#[derive(Clone)]
+pub struct SharedRecorder {
+    inner: Rc<RefCell<Box<dyn Recorder>>>,
+    enabled: bool,
+}
+
+impl Default for SharedRecorder {
+    fn default() -> Self {
+        Self::null()
+    }
+}
+
+impl SharedRecorder {
+    /// A handle to a fresh [`NullRecorder`] — disabled, zero-cost.
+    pub fn null() -> Self {
+        Self::new(Box::new(NullRecorder))
+    }
+
+    /// Wrap a recorder in a shared handle. The sink's `enabled()` is
+    /// sampled once here and cached.
+    pub fn new(rec: Box<dyn Recorder>) -> Self {
+        let enabled = rec.enabled();
+        SharedRecorder {
+            inner: Rc::new(RefCell::new(rec)),
+            enabled,
+        }
+    }
+
+    /// Whether instrumentation sites should construct events at all.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event, constructing it only when the sink is enabled.
+    /// This is the call sites' workhorse: with the [`NullRecorder`]
+    /// installed the closure never runs.
+    #[inline]
+    pub fn emit(&self, build: impl FnOnce() -> Event) {
+        if self.enabled {
+            self.inner.borrow_mut().record(&build());
+        }
+    }
+
+    /// Record an already-built event (when construction is free anyway).
+    pub fn record(&self, ev: &Event) {
+        if self.enabled {
+            self.inner.borrow_mut().record(ev);
+        }
+    }
+
+    /// Flush the underlying sink.
+    pub fn flush(&self) {
+        self.inner.borrow_mut().flush();
+    }
+
+    /// A boxed [`NetProbe`] forwarding fluid-net callbacks into this
+    /// recorder, for [`hpn_sim::FlowNet::set_probe`]. Callers should only
+    /// attach it when [`SharedRecorder::enabled`] — a probe on a disabled
+    /// recorder would pay event construction for nothing.
+    pub fn net_probe(&self) -> Box<dyn NetProbe> {
+        Box::new(ProbeAdapter(self.clone()))
+    }
+}
+
+/// Adapter: `hpn-sim` probe callbacks → telemetry events.
+struct ProbeAdapter(SharedRecorder);
+
+impl NetProbe for ProbeAdapter {
+    fn flow_added(&mut self, t: SimTime, flow: u64, path_links: u32, size_bits: f64) {
+        self.0.emit(|| Event::FlowAdd {
+            t_ns: t.as_nanos(),
+            flow,
+            path_links,
+            size_bits,
+        });
+    }
+
+    fn flow_removed(&mut self, t: SimTime, flow: u64, completed: bool) {
+        self.0.emit(|| Event::FlowRemove {
+            t_ns: t.as_nanos(),
+            flow,
+            completed,
+        });
+    }
+
+    fn rate_recompute(
+        &mut self,
+        t: SimTime,
+        flows_touched: u64,
+        links_touched: u64,
+        flows_active: u64,
+    ) {
+        self.0.emit(|| Event::RateRecompute {
+            t_ns: t.as_nanos(),
+            flows_touched,
+            links_touched,
+            flows_active,
+        });
+    }
+
+    fn link_state(&mut self, t: SimTime, link: u32, up: bool) {
+        self.0.emit(|| Event::LinkState {
+            t_ns: t.as_nanos(),
+            link,
+            up,
+        });
+    }
+}
+
+thread_local! {
+    static AMBIENT: RefCell<SharedRecorder> = RefCell::new(SharedRecorder::null());
+}
+
+/// Install `rec` as this thread's ambient recorder and return the previous
+/// one. Simulations constructed afterwards attach to it automatically.
+pub fn install(rec: SharedRecorder) -> SharedRecorder {
+    AMBIENT.with(|a| std::mem::replace(&mut *a.borrow_mut(), rec))
+}
+
+/// Reset the ambient recorder to the disabled default, returning the
+/// previously installed one (so callers can flush or inspect it).
+pub fn uninstall() -> SharedRecorder {
+    install(SharedRecorder::null())
+}
+
+/// A handle to this thread's ambient recorder (disabled [`NullRecorder`]
+/// unless something was [`install`]ed).
+pub fn current() -> SharedRecorder {
+    AMBIENT.with(|a| a.borrow().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{JsonlRecorder, SharedBuf};
+
+    #[test]
+    fn null_handle_never_runs_the_closure() {
+        let rec = SharedRecorder::null();
+        assert!(!rec.enabled());
+        rec.emit(|| panic!("closure must not run when disabled"));
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let buf = SharedBuf::new();
+        let rec = SharedRecorder::new(Box::new(JsonlRecorder::new(buf.clone())));
+        let a = rec.clone();
+        let b = rec;
+        a.emit(|| Event::SimStart { label: "a".into() });
+        b.emit(|| Event::SimStart { label: "b".into() });
+        a.flush();
+        assert_eq!(buf.text().lines().count(), 2);
+    }
+
+    #[test]
+    fn ambient_install_and_restore() {
+        assert!(!current().enabled(), "default ambient is disabled");
+        let buf = SharedBuf::new();
+        let prev = install(SharedRecorder::new(Box::new(JsonlRecorder::new(
+            buf.clone(),
+        ))));
+        assert!(!prev.enabled());
+        assert!(current().enabled());
+        current().emit(|| Event::SimStart { label: "x".into() });
+        let mine = uninstall();
+        mine.flush();
+        assert!(!current().enabled());
+        assert!(buf.text().contains("sim_start"));
+    }
+
+    #[test]
+    fn probe_adapter_translates_callbacks() {
+        let buf = SharedBuf::new();
+        let rec = SharedRecorder::new(Box::new(JsonlRecorder::new(buf.clone())));
+        let mut probe = rec.net_probe();
+        probe.flow_added(SimTime::from_nanos(5), 3, 4, 1e9);
+        probe.rate_recompute(SimTime::from_nanos(6), 2, 1, 10);
+        probe.flow_removed(SimTime::from_nanos(7), 3, true);
+        probe.link_state(SimTime::from_nanos(8), 9, false);
+        rec.flush();
+        let text = buf.text();
+        let kinds: Vec<&str> = text
+            .lines()
+            .map(|l| {
+                let start = l.find(":\"").expect("ev field") + 2;
+                &l[start..l[start..].find('"').expect("close quote") + start]
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            ["flow_add", "rate_recompute", "flow_remove", "link_state"]
+        );
+        assert!(text.contains("\"link\":9,\"up\":false"));
+    }
+}

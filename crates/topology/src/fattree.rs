@@ -17,10 +17,7 @@ pub fn fat_tree_hosts(k: u32) -> u32 {
 /// Build a fat-tree with parameter `k` (must be even and ≥ 2).
 /// `link_bps` is used for every link (fat-trees are homogeneous).
 pub fn fat_tree(k: u32, link_bps: f64, buffer_bits: f64) -> Fabric {
-    assert!(
-        k >= 2 && k.is_multiple_of(2),
-        "fat-tree k must be even, got {k}"
-    );
+    assert!(k >= 2 && k % 2 == 0, "fat-tree k must be even, got {k}");
     let half = k / 2;
     let mut net = Network::new();
     let mut hosts: Vec<Host> = Vec::new();

@@ -27,6 +27,7 @@ use hpn_routing::repac;
 use hpn_routing::router::{RouteRequest, Router};
 use hpn_routing::{HashMode, LinkHealth};
 use hpn_sim::{FlowNet, FlowSpec, SimDuration, SimTime};
+use hpn_telemetry::{Event, SharedRecorder};
 use hpn_topology::{Fabric, LinkIdx};
 
 use crate::conn::{ConnGroup, Connection, ConnectionId, GroupId, PathPolicy};
@@ -133,14 +134,34 @@ pub struct ClusterSim {
     timer_payload: BTreeMap<u64, Timer>,
     timer_seq: u64,
     stats: TransportStats,
+    telemetry: SharedRecorder,
 }
 
 impl ClusterSim {
     /// Build a runtime over a fabric.
+    ///
+    /// Attaches the thread's ambient telemetry recorder
+    /// ([`hpn_telemetry::current`]): when one is installed, a
+    /// [`Event::SimStart`] segment marker is emitted and the fluid net gets
+    /// a probe so flow/rate/link events flow into the same sink. With the
+    /// default disabled recorder nothing is attached and the runtime pays
+    /// no observation cost.
     pub fn new(fabric: Fabric, mode: HashMode) -> Self {
         let router = Router::new(&fabric, mode);
         let health = LinkHealth::new(fabric.net.link_count());
-        let net = fabric.to_flownet();
+        let mut net = fabric.to_flownet();
+        let telemetry = hpn_telemetry::current();
+        if telemetry.enabled() {
+            telemetry.record(&Event::SimStart {
+                label: format!(
+                    "cluster kind={:?} hosts={} links={}",
+                    fabric.kind,
+                    fabric.hosts.len(),
+                    fabric.net.link_count()
+                ),
+            });
+            net.set_probe(Some(telemetry.net_probe()));
+        }
         ClusterSim {
             fabric,
             router,
@@ -157,6 +178,32 @@ impl ClusterSim {
             timer_payload: BTreeMap::new(),
             timer_seq: 0,
             stats: TransportStats::default(),
+            telemetry,
+        }
+    }
+
+    /// The telemetry recorder this runtime records into (the ambient
+    /// recorder captured at construction). Applications layered on the
+    /// runtime (collectives, fault injectors) emit through this handle so
+    /// the whole run lands in one ordered stream.
+    pub fn telemetry(&self) -> &SharedRecorder {
+        &self.telemetry
+    }
+
+    /// Emit a [`Event::LinkSample`] for a fluid-net link (utilization and
+    /// queue occupancy at the current instant). No-op when telemetry is
+    /// disabled; experiment samplers call this on their watched links.
+    pub fn sample_link_telemetry(&mut self, link: hpn_sim::LinkId) {
+        if self.telemetry.enabled() {
+            self.net.recompute_if_dirty();
+            let l = self.net.link(link);
+            let ev = Event::LinkSample {
+                t_ns: self.now.as_nanos(),
+                link: link.0,
+                utilization: l.utilization(),
+                queue_bits: l.queue_bits,
+            };
+            self.telemetry.record(&ev);
         }
     }
 
@@ -221,6 +268,7 @@ impl ClusterSim {
             n,
             sport_base,
         );
+        found.record(self.now, &self.telemetry);
         assert!(
             !found.paths.is_empty(),
             "no path between {src:?} and {dst:?}"
@@ -392,7 +440,7 @@ impl ClusterSim {
         // plane died), retry each port explicitly — this mirrors the
         // connection re-establishment the collective library performs when
         // it observes a stalled queue pair.
-        for port in [None, Some(0), Some(1)] {
+        for (attempt, port) in [None, Some(0), Some(1)].into_iter().enumerate() {
             req.port = port;
             if let Ok(route) = self.router.route(&self.fabric, &self.health, &req) {
                 let (path, path_demand_bps) = self.intern_route(&route);
@@ -400,9 +448,19 @@ impl ClusterSim {
                 conn.route = route;
                 conn.path = path;
                 conn.path_demand_bps = path_demand_bps;
+                self.telemetry.emit(|| Event::PathSearch {
+                    t_ns: self.now.as_nanos(),
+                    candidates: attempt as u64 + 1,
+                    found: 1,
+                });
                 return true;
             }
         }
+        self.telemetry.emit(|| Event::PathSearch {
+            t_ns: self.now.as_nanos(),
+            candidates: 3,
+            found: 0,
+        });
         false
     }
 
@@ -480,7 +538,8 @@ impl ClusterSim {
     }
 
     fn on_converge(&mut self, link: LinkIdx, up: bool) {
-        self.health.set(link, up);
+        self.health
+            .set_recorded(link, up, self.now, &self.telemetry);
         if !up {
             // Re-issue every in-flight message whose path crosses the link.
             let affected: Vec<u64> = self
@@ -530,7 +589,8 @@ impl ClusterSim {
         self.msgs.get_mut(&msg_id).expect("present").remaining_bits = remaining;
         let routed = self.refresh_conn_route(conn_id);
         let m = self.msgs.get_mut(&msg_id).expect("checked above");
-        if routed && remaining > 0.0 {
+        let rerouted = routed && remaining > 0.0;
+        if rerouted {
             m.stalled = false;
             m.flow = None;
             self.stats.reroutes += 1;
@@ -541,6 +601,11 @@ impl ClusterSim {
             m.flow = None;
             self.stats.stalls += 1;
         }
+        self.telemetry.emit(|| Event::PathSwitch {
+            t_ns: self.now.as_nanos(),
+            conn: conn_id.0,
+            rerouted,
+        });
     }
 
     // ------------------------------------------------------------------
