@@ -1,5 +1,7 @@
 //! Shared experiment setup: fabrics, jobs and collective sweeps.
 
+use std::cell::Cell;
+
 use hpn_collectives::{bw, graph, CommConfig, Communicator, Runner};
 use hpn_core::{placement, TrainingSession};
 use hpn_routing::HashMode;
@@ -9,6 +11,50 @@ use hpn_transport::ClusterSim;
 use hpn_workload::{ModelSpec, ParallelismPlan, TrainingJob};
 
 use crate::Scale;
+
+thread_local! {
+    /// The multi-seed sweep's root seed for the cell running on this
+    /// thread, or `None` outside a sweep (the golden-figure configuration).
+    static SWEEP_ROOT: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// RAII scope setting this thread's sweep root seed for one cell.
+///
+/// The parallel runner wraps each cell's execution in a `SweepScope`, so
+/// experiments ask [`experiment_seed`] for their streams without threading
+/// a seed through every signature, and a panicking cell cannot leak its
+/// root into the next cell scheduled on the same worker.
+pub struct SweepScope {
+    prev: Option<u64>,
+}
+
+impl SweepScope {
+    /// Set the sweep root for the current thread (None = fixed seeds).
+    pub fn set(root: Option<u64>) -> Self {
+        let prev = SWEEP_ROOT.with(|s| s.replace(root));
+        SweepScope { prev }
+    }
+}
+
+impl Drop for SweepScope {
+    fn drop(&mut self) {
+        SWEEP_ROOT.with(|s| s.set(self.prev));
+    }
+}
+
+/// The seed an experiment's RNG site should use.
+///
+/// Outside a sweep this is `fixed` itself — the experiment's built-in
+/// constant, preserving the golden figure bytes. Inside a sweep it is
+/// `split_seed(root, fixed)`: the site's constant doubles as its cell id,
+/// so every (experiment, site) pair gets its own decorrelated stream per
+/// root, independent of scheduling or draw order (see [`hpn_sim::rng`]).
+pub fn experiment_seed(fixed: u64) -> u64 {
+    match SWEEP_ROOT.with(|s| s.get()) {
+        None => fixed,
+        Some(root) => hpn_sim::split_seed(root, fixed),
+    }
+}
 
 /// HPN fabric sized for the §9.1 experiments: `segments` segments of
 /// `hosts_per_segment` hosts (8 rails). Quick mode shrinks the radix.

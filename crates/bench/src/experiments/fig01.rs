@@ -2,11 +2,15 @@
 
 use hpn_workload::cloud;
 
+use crate::experiments::common;
 use crate::{Report, Scale};
 
 /// Run the experiment.
 pub fn run(_scale: Scale) -> Report {
-    let trace = cloud::generate(&cloud::CloudParams::default(), 0xF1601);
+    let trace = cloud::generate(
+        &cloud::CloudParams::default(),
+        common::experiment_seed(0xF1601),
+    );
     let mut r = Report::new(
         "fig01",
         "Traditional cloud computing traffic pattern",

@@ -4,6 +4,7 @@ use hpn_faults::{access_links, monthly_link_failure_ratio, plan, FaultRates};
 use hpn_sim::SimDuration;
 use hpn_topology::HpnConfig;
 
+use crate::experiments::common;
 use crate::{Report, Scale};
 
 /// Run the experiment.
@@ -21,7 +22,7 @@ pub fn run(scale: Scale) -> Report {
     let mut rates = FaultRates::paper();
     rates.flaps_per_link_day = 0.0; // Fig 5 counts hard failures only
     let horizon = SimDuration::from_secs(months as u64 * 30 * 24 * 3600);
-    let schedule = plan(&fabric, &rates, horizon, 0xF1605);
+    let schedule = plan(&fabric, &rates, horizon, common::experiment_seed(0xF1605));
     let ratios = monthly_link_failure_ratio(&schedule, links, months);
 
     let mut r = Report::new(

@@ -3,12 +3,13 @@
 use hpn_sim::{stats::Ecdf, Xoshiro256};
 use hpn_workload::jobs;
 
+use crate::experiments::common;
 use crate::{Report, Scale};
 
 /// Run the experiment.
 pub fn run(scale: Scale) -> Report {
     let n = scale.pick(100_000, 10_000);
-    let mut rng = Xoshiro256::seed_from_u64(0xF1606);
+    let mut rng = Xoshiro256::seed_from_u64(common::experiment_seed(0xF1606));
     let samples: Vec<f64> = (0..n).map(|_| jobs::sample(&mut rng) as f64).collect();
     let ecdf = Ecdf::from_samples(samples);
 

@@ -17,21 +17,19 @@
 //! figure, a JSONL telemetry stream) into the output directory, so a CI
 //! artifact fully identifies what ran and what it produced.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fs;
-use std::io::BufWriter;
 use std::path::{Path, PathBuf};
-use std::rc::Rc;
+use std::time::Duration;
 
 use hpn_sim::AllocatorKind;
 use hpn_telemetry::{
-    flat_map_json, hex_digest, parse_flat_map, Event, JsonlRecorder, Recorder, Registry,
-    RunManifest, SharedRecorder,
+    flat_map_json, hex_digest, parse_flat_map, replay, JsonlRecorder, RunManifest,
 };
 
 use crate::report::Report;
-use crate::{find, Scale};
+use crate::runner::{run_plan, scale_label, RunPlan};
+use crate::Scale;
 
 /// The figures CI gates on: the paper's evaluation section (§6).
 pub const GATE_FIGURES: [&str; 7] = [
@@ -72,6 +70,10 @@ pub struct GateOutcome {
     pub manifest: RunManifest,
     /// Whether the golden file was (re)written.
     pub updated: bool,
+    /// Per-figure wall-clock, in run order (reporting only — never hashed
+    /// or written into the manifest, so parallel and sequential runs stay
+    /// byte-identical).
+    pub timings: Vec<(String, Duration)>,
 }
 
 impl GateOutcome {
@@ -85,28 +87,6 @@ impl GateOutcome {
     }
 }
 
-/// Tee sink: aggregate into a shared [`Registry`] (for the manifest
-/// summary) while optionally persisting the JSONL stream to a file.
-struct GateSink {
-    registry: Rc<RefCell<Registry>>,
-    jsonl: Option<JsonlRecorder<BufWriter<fs::File>>>,
-}
-
-impl Recorder for GateSink {
-    fn record(&mut self, ev: &Event) {
-        if let Some(j) = &mut self.jsonl {
-            j.record(ev);
-        }
-        self.registry.borrow_mut().record(ev);
-    }
-
-    fn flush(&mut self) {
-        if let Some(j) = &mut self.jsonl {
-            j.flush();
-        }
-    }
-}
-
 /// The allocator label recorded in manifests and printed by the gate.
 pub fn allocator_label() -> &'static str {
     match AllocatorKind::from_env() {
@@ -115,52 +95,47 @@ pub fn allocator_label() -> &'static str {
     }
 }
 
-/// Run `ids` with telemetry enabled, fingerprint each report, and compare
-/// against (or, with `update`, rewrite) the golden file. When `out_dir` is
-/// given, a `manifest.json` plus one `<id>.telemetry.jsonl` per figure are
-/// written there.
+/// Run `ids` with telemetry enabled (on up to `jobs` worker threads),
+/// fingerprint each report, and compare against (or, with `update`,
+/// rewrite) the golden file. When `out_dir` is given, a `manifest.json`
+/// plus one `<id>.telemetry.jsonl` per figure are written there.
+///
+/// Every output is merged **in plan order** — `jobs` changes wall-clock
+/// only, never a byte of the figures, the JSONL streams or the manifest
+/// (which deliberately does not record `jobs`). `tests/determinism.rs`
+/// checks this equivalence end to end.
 pub fn run_gate(
     ids: &[&str],
     scale: Scale,
     update: bool,
     out_dir: Option<&Path>,
+    jobs: usize,
 ) -> std::io::Result<GateOutcome> {
     if let Some(dir) = out_dir {
         fs::create_dir_all(dir)?;
     }
-    let scale_label = match scale {
-        Scale::Full => "full",
-        Scale::Quick => "quick",
-    };
     // Experiments carry their own fixed seeds; the manifest records the
     // harness-level identity (allocator, scale, figure set).
-    let mut manifest = RunManifest::new(0, allocator_label(), scale_label);
+    let mut manifest = RunManifest::new(0, allocator_label(), scale_label(scale));
     manifest.set_param("gate_figures", ids.join(","));
     manifest.set_param("seed_policy", "fixed per experiment");
 
+    // `figures_only` keeps every experiment on its built-in fixed seeds —
+    // the exact configuration the golden hashes fingerprint.
+    let results = run_plan(&RunPlan::figures_only(ids, scale), jobs);
+
     let mut fingerprints: BTreeMap<String, String> = BTreeMap::new();
-    for id in ids {
-        let f = find(id).unwrap_or_else(|| panic!("unknown gated figure '{id}'"));
-        let registry = Rc::new(RefCell::new(Registry::new()));
-        let jsonl = match out_dir {
-            Some(dir) => Some(JsonlRecorder::create(
-                &dir.join(format!("{id}.telemetry.jsonl")),
-            )?),
-            None => None,
-        };
-        let rec = SharedRecorder::new(Box::new(GateSink {
-            registry: registry.clone(),
-            jsonl,
-        }));
-        rec.record(&manifest.start_event(id));
-        let prev = hpn_telemetry::install(rec);
-        let report = f(scale);
-        let mine = hpn_telemetry::install(prev);
-        mine.flush();
-        let hash = figure_fingerprint(&report);
-        manifest.record_figure(id, &hash);
-        manifest.record_telemetry(id, &registry.borrow());
-        fingerprints.insert(id.to_string(), hash);
+    let mut timings = Vec::with_capacity(results.len());
+    for r in &results {
+        let id = r.cell.figure.as_str();
+        if let Some(dir) = out_dir {
+            let mut jsonl = JsonlRecorder::create(&dir.join(format!("{id}.telemetry.jsonl")))?;
+            replay(&r.events, &mut jsonl);
+        }
+        manifest.record_figure(id, &r.fingerprint);
+        manifest.record_telemetry(id, &r.registry);
+        fingerprints.insert(id.to_string(), r.fingerprint.clone());
+        timings.push((id.to_string(), r.wall));
     }
 
     let golden = golden_path();
@@ -221,5 +196,6 @@ pub fn run_gate(
         figures,
         manifest,
         updated,
+        timings,
     })
 }

@@ -12,7 +12,9 @@
 
 pub mod experiments;
 pub mod gate;
+pub mod pool;
 pub mod report;
+pub mod runner;
 
 pub use report::Report;
 

@@ -6,35 +6,81 @@
 //! hpn-experiments fig15 [--quick]      # run one experiment
 //! hpn-experiments fig15 --json out.json
 //! hpn-experiments topo hpn|dcn|paper   # fabric inventory + blueprint check
-//! hpn-experiments gate [--quick] [--update] [--out DIR]
+//! hpn-experiments gate [--quick] [--update] [--out DIR] [--jobs N]
 //!                                      # regression-gate figures vs goldens
+//! hpn-experiments run [ids…|all] [--quick] [--jobs N] [--seeds A..B] [--out DIR]
+//!                                      # parallel runner / multi-seed sweep
 //! ```
+//!
+//! `--jobs N` runs experiment cells on up to N worker threads; outputs are
+//! merged in plan order, so every figure, JSONL stream and manifest is
+//! byte-identical to `--jobs 1`. `--seeds A..B` (half-open, or `A..=B`
+//! inclusive) sweeps root seeds: one manifest per seed plus an aggregated
+//! `variance.json`.
 
 use std::io::Write as _;
 
 use hpn_bench::{find, registry, Scale};
 
+/// Value of `--flag` (the following argument), if present.
+fn opt_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Parse `A..B` (half-open), `A..=B` (inclusive) or a single seed.
+fn parse_seeds(spec: &str) -> Result<Vec<u64>, String> {
+    let parse = |s: &str| {
+        s.trim()
+            .parse::<u64>()
+            .map_err(|_| format!("bad seed '{s}' in '{spec}'"))
+    };
+    let (lo, hi) = if let Some((a, b)) = spec.split_once("..=") {
+        (parse(a)?, parse(b)?.checked_add(1).ok_or("seed overflow")?)
+    } else if let Some((a, b)) = spec.split_once("..") {
+        (parse(a)?, parse(b)?)
+    } else {
+        let s = parse(spec)?;
+        (s, s + 1)
+    };
+    if lo >= hi {
+        return Err(format!("empty seed range '{spec}'"));
+    }
+    if hi - lo > 4096 {
+        return Err(format!("seed range '{spec}' too large (max 4096 seeds)"));
+    }
+    Ok((lo..hi).collect())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::Quick } else { Scale::Full };
-    let json_path = args
+    let json_path = opt_value(&args, "--json");
+    let out_dir = opt_value(&args, "--out");
+    let jobs_arg = opt_value(&args, "--jobs");
+    let seeds_arg = opt_value(&args, "--seeds");
+    let jobs = match &jobs_arg {
+        None => 1,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("--jobs wants a positive integer, got '{v}'");
+                std::process::exit(2);
+            }
+        },
+    };
+    // Positional targets: everything that is neither a flag nor the value
+    // consumed by one.
+    let option_values: Vec<&str> = [&json_path, &out_dir, &jobs_arg, &seeds_arg]
         .iter()
-        .position(|a| a == "--json")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
-    let out_dir = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+        .filter_map(|o| o.as_deref())
+        .collect();
     let targets: Vec<String> = args
         .iter()
-        .filter(|a| {
-            !a.starts_with("--")
-                && Some(a.as_str()) != json_path.as_deref()
-                && Some(a.as_str()) != out_dir.as_deref()
-        })
+        .filter(|a| !a.starts_with("--") && !option_values.contains(&a.as_str()))
         .cloned()
         .collect();
 
@@ -53,7 +99,18 @@ fn main() {
         }
         "gate" => {
             let update = args.iter().any(|a| a == "--update");
-            gate(scale, update, out_dir.as_deref());
+            gate(scale, update, out_dir.as_deref(), jobs);
+        }
+        "run" => {
+            let seeds = match seeds_arg.as_deref().map(parse_seeds) {
+                None => None,
+                Some(Ok(s)) => Some(s),
+                Some(Err(e)) => {
+                    eprintln!("--seeds: {e}");
+                    std::process::exit(2);
+                }
+            };
+            run(&targets[1..], scale, jobs, seeds, out_dir.as_deref());
         }
         "all" => {
             let mut reports = Vec::new();
@@ -91,23 +148,25 @@ fn main() {
     }
 }
 
-fn gate(scale: Scale, update: bool, out_dir: Option<&str>) {
+fn gate(scale: Scale, update: bool, out_dir: Option<&str>, jobs: usize) {
     use hpn_bench::gate::{allocator_label, run_gate, FigureStatus, GATE_FIGURES};
     eprintln!(
-        "gate: {} figures, allocator={}, {:?}{}",
+        "gate: {} figures, allocator={}, {:?}, jobs={jobs}{}",
         GATE_FIGURES.len(),
         allocator_label(),
         scale,
         if update { ", updating goldens" } else { "" }
     );
     let out = out_dir.map(std::path::Path::new);
-    let outcome = match run_gate(&GATE_FIGURES, scale, update, out) {
+    let start = std::time::Instant::now();
+    let outcome = match run_gate(&GATE_FIGURES, scale, update, out, jobs) {
         Ok(o) => o,
         Err(e) => {
             eprintln!("gate failed: {e}");
             std::process::exit(2);
         }
     };
+    let wall = start.elapsed();
     for (id, hash, status) in &outcome.figures {
         match status {
             FigureStatus::Match => println!("  {id:<8} {hash}  ok"),
@@ -117,6 +176,15 @@ fn gate(scale: Scale, update: bool, out_dir: Option<&str>) {
             FigureStatus::Missing(_) => println!("  {id:<8} {hash}  MISSING from golden file"),
         }
     }
+    let cell_total: std::time::Duration = outcome.timings.iter().map(|(_, d)| *d).sum();
+    for (id, d) in &outcome.timings {
+        eprintln!("  {id:<8} {:>8.2}s", d.as_secs_f64());
+    }
+    eprintln!(
+        "gate wall-clock {:.2}s (cells sum {:.2}s, jobs={jobs})",
+        wall.as_secs_f64(),
+        cell_total.as_secs_f64()
+    );
     if let Some(dir) = out_dir {
         eprintln!("wrote manifest + telemetry under {dir}/");
     }
@@ -128,6 +196,84 @@ fn gate(scale: Scale, update: bool, out_dir: Option<&str>) {
         std::process::exit(1);
     } else {
         eprintln!("gate passed");
+    }
+}
+
+/// The `run` subcommand: execute a plan of (figure, seed) cells on `jobs`
+/// workers, print the reports in plan order, and — for sweeps or when an
+/// output directory is given — write per-seed manifests, telemetry streams
+/// and an aggregated cross-seed `variance.json`.
+fn run(ids: &[String], scale: Scale, jobs: usize, seeds: Option<Vec<u64>>, out_dir: Option<&str>) {
+    use hpn_bench::gate::{allocator_label, GATE_FIGURES};
+    use hpn_bench::runner::{run_plan, variance_json, write_sweep_outputs, RunPlan};
+
+    let figures: Vec<&str> = if ids.is_empty() {
+        GATE_FIGURES.to_vec()
+    } else if ids.len() == 1 && ids[0] == "all" {
+        registry().iter().map(|(id, _, _)| *id).collect()
+    } else {
+        ids.iter().map(String::as_str).collect()
+    };
+    let plan = match &seeds {
+        None => RunPlan::figures_only(&figures, scale),
+        Some(s) => RunPlan::sweep(&figures, scale, s),
+    };
+    if let Err(e) = plan.validate() {
+        eprintln!("{e} — try `hpn-experiments list`");
+        std::process::exit(2);
+    }
+    eprintln!(
+        "run: {} figures × {} seed(s) = {} cells, allocator={}, {:?}, jobs={jobs}",
+        plan.figures.len(),
+        plan.seeds.len(),
+        plan.figures.len() * plan.seeds.len(),
+        allocator_label(),
+        scale,
+    );
+
+    let start = std::time::Instant::now();
+    let results = run_plan(&plan, jobs);
+    let wall = start.elapsed();
+
+    for r in &results {
+        if let Some(root) = r.cell.seed {
+            println!("-- seed {root}");
+        }
+        r.report.print();
+    }
+    let cell_total: std::time::Duration = results.iter().map(|r| r.wall).sum();
+    for r in &results {
+        eprintln!(
+            "  {:<8} seed={:<6} {:>8.2}s",
+            r.cell.figure,
+            r.cell.seed.map_or("fixed".to_string(), |s| s.to_string()),
+            r.wall.as_secs_f64()
+        );
+    }
+    eprintln!(
+        "run wall-clock {:.2}s (cells sum {:.2}s, jobs={jobs})",
+        wall.as_secs_f64(),
+        cell_total.as_secs_f64()
+    );
+
+    let out = out_dir.map(std::path::Path::new);
+    if out.is_some() || seeds.is_some() {
+        if let Some(dir) = out {
+            if let Err(e) = write_sweep_outputs(&plan, &results, Some(dir)) {
+                eprintln!("writing sweep outputs failed: {e}");
+                std::process::exit(2);
+            }
+            let report = variance_json(&plan, &results);
+            let path = dir.join("variance.json");
+            if let Err(e) = std::fs::write(&path, report) {
+                eprintln!("writing {} failed: {e}", path.display());
+                std::process::exit(2);
+            }
+            eprintln!("wrote manifests + telemetry + variance.json under {dir:?}");
+        } else {
+            // Sweep without --out: print the aggregate so it isn't lost.
+            println!("{}", variance_json(&plan, &results));
+        }
     }
 }
 

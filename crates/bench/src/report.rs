@@ -121,7 +121,7 @@ impl Report {
 }
 
 /// Escape a string as a JSON string literal.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -140,7 +140,7 @@ fn json_str(s: &str) -> String {
 }
 
 /// Format an f64 as a JSON number (finite values only; non-finite become null).
-fn json_num(v: f64) -> String {
+pub(crate) fn json_num(v: f64) -> String {
     if v.is_finite() {
         // `{}` on f64 always round-trips and never emits inf/NaN here.
         format!("{v}")

@@ -49,7 +49,7 @@ pub use engine::{Engine, EventId};
 pub use flownet::{FlowHandle, FlowNet, FlowSpec, LinkId, LinkState};
 pub use path::{PathId, PathInterner};
 pub use probe::NetProbe;
-pub use rng::{SplitMix64, Xoshiro256};
+pub use rng::{label_hash, split_seed, SplitMix64, StreamSeed, Xoshiro256};
 pub use series::TimeSeries;
 pub use stats::RecomputeScope;
 pub use time::{SimDuration, SimTime};

@@ -134,6 +134,31 @@ impl Histogram {
         self.overflow
     }
 
+    /// Fold another histogram's counts into this one. Both must have been
+    /// created with the same range and bin count — merging histograms of
+    /// different shapes is a bookkeeping bug, not a resampling request.
+    ///
+    /// Used when per-worker telemetry segments are merged back into one
+    /// aggregate after a parallel run: counts are order-independent, so the
+    /// merged histogram equals the sequential run's bin-for-bin.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins.len() == other.bins.len(),
+            "histogram shape mismatch: [{}, {})x{} vs [{}, {})x{}",
+            self.lo,
+            self.hi,
+            self.bins.len(),
+            other.lo,
+            other.hi,
+            other.bins.len()
+        );
+        for (b, o) in self.bins.iter_mut().zip(&other.bins) {
+            *b += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+    }
+
     /// `(bin_center, count)` pairs for plotting.
     pub fn centers(&self) -> Vec<(f64, u64)> {
         let w = (self.hi - self.lo) / self.bins.len() as f64;
@@ -311,6 +336,32 @@ mod tests {
         assert_eq!(h.count(), 7);
         let centers = h.centers();
         assert_eq!(centers[0], (0.5, 1));
+    }
+
+    #[test]
+    fn histogram_merge_sums_bins_and_flows() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        let mut b = Histogram::new(0.0, 10.0, 10);
+        for x in [0.5, 1.5, -1.0] {
+            a.record(x);
+        }
+        for x in [1.7, 9.9, 10.0, 25.0] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.bins()[0], 1);
+        assert_eq!(a.bins()[1], 2);
+        assert_eq!(a.bins()[9], 1);
+        assert_eq!(a.underflow(), 1);
+        assert_eq!(a.overflow(), 2);
+        assert_eq!(a.count(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn histogram_merge_rejects_shape_mismatch() {
+        let mut a = Histogram::new(0.0, 10.0, 10);
+        a.merge(&Histogram::new(0.0, 10.0, 5));
     }
 
     #[test]

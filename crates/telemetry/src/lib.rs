@@ -33,6 +33,7 @@ pub mod event;
 pub mod manifest;
 pub mod recorder;
 pub mod registry;
+pub mod segment;
 pub mod sha256;
 pub mod share;
 
@@ -40,5 +41,6 @@ pub use event::Event;
 pub use manifest::{flat_map_json, git_describe, parse_flat_map, RunManifest};
 pub use recorder::{JsonlRecorder, NullRecorder, Recorder, SharedBuf};
 pub use registry::{FlowMetrics, LinkMetrics, RecomputeMetrics, Registry};
+pub use segment::{merge_segments, replay, EventLog};
 pub use sha256::{hex_digest, Sha256};
-pub use share::{current, install, uninstall, SharedRecorder};
+pub use share::{current, install, uninstall, with_recorder, RecorderScope, SharedRecorder};

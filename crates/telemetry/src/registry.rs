@@ -156,6 +156,43 @@ impl Registry {
         }
     }
 
+    /// Fold another registry's aggregates into this one.
+    ///
+    /// Merging is the reduction step of a parallel run: each worker
+    /// aggregates its own cells into a private registry, and the
+    /// coordinator merges them **in plan order**. Counters, histograms and
+    /// peaks are order-independent; the retained raw-sample vectors
+    /// (flow sizes, step durations) are concatenated in merge order under
+    /// the same `MAX_RAW_SAMPLES` cap, so a plan-order merge retains
+    /// exactly the samples a sequential run would have.
+    pub fn merge(&mut self, other: &Registry) {
+        for (k, v) in &other.counts {
+            *self.counts.entry(k).or_insert(0) += v;
+        }
+        for (&link, m) in &other.links {
+            let mine = self.links.entry(link).or_default();
+            mine.samples += m.samples;
+            mine.util_sum += m.util_sum;
+            mine.utilization.merge(&m.utilization);
+            mine.peak_queue_bits = mine.peak_queue_bits.max(m.peak_queue_bits);
+            mine.state_changes += m.state_changes;
+        }
+        self.flows.added += other.flows.added;
+        self.flows.completed += other.flows.completed;
+        self.flows.killed += other.flows.killed;
+        let room = MAX_RAW_SAMPLES.saturating_sub(self.flows.sizes.len());
+        self.flows
+            .sizes
+            .extend(other.flows.sizes.iter().take(room).copied());
+        self.recompute.events += other.recompute.events;
+        self.recompute.flows_touched += other.recompute.flows_touched;
+        self.recompute.links_touched += other.recompute.links_touched;
+        self.recompute.flows_active += other.recompute.flows_active;
+        let room = MAX_RAW_SAMPLES.saturating_sub(self.step_durs.len());
+        self.step_durs
+            .extend(other.step_durs.iter().take(room).copied());
+    }
+
     /// Count of events seen for a kind tag (see [`Event::kind`]).
     pub fn count(&self, kind: &str) -> u64 {
         self.counts.get(kind).copied().unwrap_or(0)
@@ -308,6 +345,73 @@ mod tests {
         assert_eq!(rc.events, 2);
         assert_eq!(rc.flows_touched, 12);
         assert_eq!(rc.flows_active, 200);
+    }
+
+    fn burst(base_t: u64, link: u32) -> Vec<Event> {
+        vec![
+            Event::SimStart {
+                label: format!("seg{link}"),
+            },
+            Event::FlowAdd {
+                t_ns: base_t,
+                flow: link as u64,
+                path_links: 2,
+                size_bits: 1e9 * (link + 1) as f64,
+            },
+            Event::LinkSample {
+                t_ns: base_t + 1,
+                link,
+                utilization: 0.5,
+                queue_bits: 10.0 * link as f64,
+            },
+            Event::FlowRemove {
+                t_ns: base_t + 2,
+                flow: link as u64,
+                completed: link % 2 == 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn plan_order_merge_equals_sequential_aggregation() {
+        let segments: Vec<Vec<Event>> = (0..4u32).map(|i| burst(100 * i as u64, i)).collect();
+
+        // Sequential: one registry sees every event in plan order.
+        let mut seq = Registry::new();
+        for ev in segments.iter().flatten() {
+            seq.observe(ev);
+        }
+
+        // Parallel: one registry per segment, merged in plan order.
+        let mut merged = Registry::new();
+        for seg in &segments {
+            let mut worker = Registry::new();
+            for ev in seg {
+                worker.observe(ev);
+            }
+            merged.merge(&worker);
+        }
+
+        assert_eq!(
+            seq.counts().collect::<Vec<_>>(),
+            merged.counts().collect::<Vec<_>>()
+        );
+        assert_eq!(seq.flows().added, merged.flows().added);
+        assert_eq!(seq.flows().completed, merged.flows().completed);
+        assert_eq!(seq.flows().killed, merged.flows().killed);
+        assert_eq!(
+            seq.flows().size_ecdf().curve(&[0.0, 1e9, 2e9, 5e9]),
+            merged.flows().size_ecdf().curve(&[0.0, 1e9, 2e9, 5e9])
+        );
+        assert_eq!(seq.links_observed(), merged.links_observed());
+        for l in 0..4 {
+            let (a, b) = (seq.link(l).unwrap(), merged.link(l).unwrap());
+            assert_eq!(a.samples, b.samples);
+            assert_eq!(a.peak_queue_bits, b.peak_queue_bits);
+            assert_eq!(a.mean_utilization(), b.mean_utilization());
+            assert_eq!(a.utilization.bins(), b.utilization.bins());
+        }
+        assert_eq!(seq.summary_json(), merged.summary_json());
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Per-cell event segments and their ordered merge.
+//!
+//! A parallel experiment runner executes cells (figure × seed × allocator)
+//! on worker threads, each with its own scoped ambient recorder. Every
+//! cell captures its events into an [`EventLog`] — an owned, `Send`able
+//! segment — and the coordinator merges the segments back **in plan
+//! order**, not completion order. Because every segment begins with its own
+//! [`Event::SimStart`], the merged stream still satisfies the sim-time
+//! monotonicity contract *per segment*: replaying it through a
+//! [`JsonlRecorder`](crate::JsonlRecorder) re-validates exactly what a
+//! sequential run would have produced, byte for byte.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::event::Event;
+use crate::recorder::Recorder;
+
+/// A clonable in-memory event capture: the segment buffer of one run cell.
+///
+/// Clones share one buffer (like [`SharedBuf`](crate::SharedBuf)), so a
+/// handle can be kept outside the boxed [`Recorder`] that was installed as
+/// the ambient sink, and the captured events collected after the run with
+/// [`take`](EventLog::take). The buffer itself is thread-local state; move
+/// the *taken* `Vec<Event>` across threads, not the log.
+#[derive(Clone, Default)]
+pub struct EventLog(Rc<RefCell<Vec<Event>>>);
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of events captured so far.
+    pub fn len(&self) -> usize {
+        self.0.borrow().len()
+    }
+
+    /// True when nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.0.borrow().is_empty()
+    }
+
+    /// Copy of the captured events.
+    pub fn events(&self) -> Vec<Event> {
+        self.0.borrow().clone()
+    }
+
+    /// Drain the captured events, leaving the log empty. The returned
+    /// segment is owned and `Send` — this is how a worker thread hands its
+    /// cell's telemetry back to the coordinator.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.0.borrow_mut())
+    }
+}
+
+impl Recorder for EventLog {
+    fn record(&mut self, ev: &Event) {
+        self.0.borrow_mut().push(ev.clone());
+    }
+}
+
+/// Merge per-cell segments **in the given (plan) order** into one stream.
+///
+/// # Panics
+/// Panics if a non-empty segment does not begin with [`Event::SimStart`]:
+/// without the segment marker, a downstream monotonic sink could not tell
+/// where one cell's clock ends and the next begins, and the merge would be
+/// silently unsound.
+pub fn merge_segments<I>(segments: I) -> Vec<Event>
+where
+    I: IntoIterator<Item = Vec<Event>>,
+{
+    let mut out = Vec::new();
+    for (i, seg) in segments.into_iter().enumerate() {
+        if let Some(first) = seg.first() {
+            assert!(
+                matches!(first, Event::SimStart { .. }),
+                "segment {i} does not begin with sim_start (got {first:?}); \
+                 each cell must open its own run segment"
+            );
+        }
+        out.extend(seg);
+    }
+    out
+}
+
+/// Replay a merged stream into any sink (e.g. a
+/// [`JsonlRecorder`](crate::JsonlRecorder), which re-checks per-segment
+/// sim-time monotonicity, or a [`Registry`](crate::Registry), which
+/// aggregates exactly as it would have live).
+pub fn replay(events: &[Event], sink: &mut dyn Recorder) {
+    for ev in events {
+        sink.record(ev);
+    }
+    sink.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{JsonlRecorder, SharedBuf};
+
+    fn seg(label: &str, stamps: &[u64]) -> Vec<Event> {
+        let mut v = vec![Event::SimStart {
+            label: label.into(),
+        }];
+        v.extend(stamps.iter().map(|&t| Event::LinkState {
+            t_ns: t,
+            link: 1,
+            up: true,
+        }));
+        v
+    }
+
+    #[test]
+    fn event_log_captures_and_drains() {
+        let log = EventLog::new();
+        let mut rec: Box<dyn Recorder> = Box::new(log.clone());
+        rec.record(&Event::SimStart { label: "a".into() });
+        rec.record(&Event::LinkState {
+            t_ns: 3,
+            link: 0,
+            up: false,
+        });
+        assert_eq!(log.len(), 2);
+        let events = log.take();
+        assert_eq!(events.len(), 2);
+        assert!(log.is_empty(), "take drains the shared buffer");
+        assert_eq!(events[1].t_ns(), 3);
+    }
+
+    #[test]
+    fn merged_segments_replay_through_a_monotonic_sink() {
+        // Segment B's clock restarts below segment A's last stamp — legal,
+        // because each segment opens with SimStart.
+        let merged = merge_segments(vec![seg("a", &[5, 9]), seg("b", &[1, 2]), Vec::new()]);
+        assert_eq!(merged.len(), 6);
+        let buf = SharedBuf::new();
+        let mut sink = JsonlRecorder::new(buf.clone());
+        replay(&merged, &mut sink);
+        assert_eq!(sink.events(), 6);
+        let text = buf.text();
+        assert_eq!(text.lines().count(), 6);
+        // Plan order, not completion order: a's events precede b's.
+        assert!(text.find("\"label\":\"a\"").unwrap() < text.find("\"label\":\"b\"").unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not begin with sim_start")]
+    fn merge_rejects_unmarked_segments() {
+        merge_segments(vec![vec![Event::LinkState {
+            t_ns: 0,
+            link: 0,
+            up: true,
+        }]]);
+    }
+}

@@ -153,6 +153,65 @@ pub fn current() -> SharedRecorder {
     AMBIENT.with(|a| a.borrow().clone())
 }
 
+/// RAII scope for the ambient recorder: attaches a recorder to the current
+/// thread on construction and restores the previous ambient when dropped
+/// (or explicitly [`detach`](RecorderScope::detach)ed).
+///
+/// This is the per-thread attach/detach primitive the parallel experiment
+/// runner and the integration tests use: every worker (or test) scopes its
+/// own recorder, so concurrent simulations on different threads each record
+/// into their own segment, and nothing leaks into the next run on the same
+/// thread — even when a panic unwinds through the scope.
+pub struct RecorderScope {
+    prev: Option<SharedRecorder>,
+    attached: SharedRecorder,
+}
+
+impl RecorderScope {
+    /// Attach `rec` as the current thread's ambient recorder.
+    pub fn attach(rec: SharedRecorder) -> Self {
+        let attached = rec.clone();
+        let prev = install(rec);
+        RecorderScope {
+            prev: Some(prev),
+            attached,
+        }
+    }
+
+    /// The recorder this scope attached.
+    pub fn recorder(&self) -> &SharedRecorder {
+        &self.attached
+    }
+
+    /// Restore the previous ambient recorder and hand back the attached
+    /// one, flushed, so the caller can collect what it captured.
+    pub fn detach(mut self) -> SharedRecorder {
+        if let Some(prev) = self.prev.take() {
+            install(prev);
+        }
+        self.attached.flush();
+        self.attached.clone()
+    }
+}
+
+impl Drop for RecorderScope {
+    fn drop(&mut self) {
+        if let Some(prev) = self.prev.take() {
+            install(prev);
+            self.attached.flush();
+        }
+    }
+}
+
+/// Run `f` with `rec` attached as this thread's ambient recorder, restoring
+/// the previous ambient (and flushing `rec`) afterwards.
+pub fn with_recorder<T>(rec: SharedRecorder, f: impl FnOnce() -> T) -> T {
+    let scope = RecorderScope::attach(rec);
+    let out = f();
+    scope.detach();
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +250,75 @@ mod tests {
         mine.flush();
         assert!(!current().enabled());
         assert!(buf.text().contains("sim_start"));
+    }
+
+    #[test]
+    fn recorder_scope_attaches_and_restores() {
+        assert!(!current().enabled());
+        let buf = SharedBuf::new();
+        {
+            let scope = RecorderScope::attach(SharedRecorder::new(Box::new(JsonlRecorder::new(
+                buf.clone(),
+            ))));
+            assert!(current().enabled(), "scope attached the recorder");
+            current().emit(|| Event::SimStart { label: "s".into() });
+            let rec = scope.detach();
+            assert!(rec.enabled());
+        }
+        assert!(!current().enabled(), "detach restored the null ambient");
+        assert!(buf.text().contains("sim_start"));
+    }
+
+    #[test]
+    fn recorder_scope_restores_on_drop_and_unwind() {
+        let buf = SharedBuf::new();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _scope = RecorderScope::attach(SharedRecorder::new(Box::new(JsonlRecorder::new(
+                buf.clone(),
+            ))));
+            assert!(current().enabled());
+            panic!("unwind through the scope");
+        }));
+        assert!(caught.is_err());
+        assert!(
+            !current().enabled(),
+            "ambient restored even when the scope unwinds"
+        );
+    }
+
+    #[test]
+    fn with_recorder_scopes_the_closure() {
+        let buf = SharedBuf::new();
+        let n = with_recorder(
+            SharedRecorder::new(Box::new(JsonlRecorder::new(buf.clone()))),
+            || {
+                current().emit(|| Event::SimStart { label: "w".into() });
+                7
+            },
+        );
+        assert_eq!(n, 7);
+        assert!(!current().enabled());
+        assert_eq!(buf.text().lines().count(), 1);
+    }
+
+    #[test]
+    fn nested_scopes_restore_in_order() {
+        let outer_buf = SharedBuf::new();
+        let inner_buf = SharedBuf::new();
+        let outer = RecorderScope::attach(SharedRecorder::new(Box::new(JsonlRecorder::new(
+            outer_buf.clone(),
+        ))));
+        current().emit(|| Event::SimStart { label: "o1".into() });
+        {
+            let _inner = RecorderScope::attach(SharedRecorder::new(Box::new(JsonlRecorder::new(
+                inner_buf.clone(),
+            ))));
+            current().emit(|| Event::SimStart { label: "i".into() });
+        }
+        current().emit(|| Event::SimStart { label: "o2".into() });
+        outer.detach();
+        assert_eq!(outer_buf.text().matches("sim_start").count(), 2);
+        assert_eq!(inner_buf.text().matches("sim_start").count(), 1);
     }
 
     #[test]

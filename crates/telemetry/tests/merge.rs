@@ -1,0 +1,128 @@
+//! Interleaved per-thread segments must merge into a stream that still
+//! passes the per-segment sim-time monotonicity check, and the merged
+//! `Registry` aggregates must equal a sequential run's.
+
+use hpn_telemetry::{
+    current, merge_segments, replay, Event, EventLog, JsonlRecorder, RecorderScope, Registry,
+    SharedBuf, SharedRecorder,
+};
+
+/// Emit one cell's synthetic telemetry through the *ambient* recorder —
+/// the same path simulations use — with a clock that restarts at zero.
+fn emit_cell(cell: u32, events_per_cell: u64) {
+    let rec = current();
+    rec.record(&Event::SimStart {
+        label: format!("cell{cell}"),
+    });
+    for i in 0..events_per_cell {
+        rec.record(&Event::FlowAdd {
+            t_ns: i * 10,
+            flow: u64::from(cell) << 32 | i,
+            path_links: 4,
+            size_bits: 1e9 + f64::from(cell),
+        });
+        rec.record(&Event::LinkSample {
+            t_ns: i * 10 + 5,
+            link: cell % 3,
+            utilization: (i % 10) as f64 / 10.0,
+            queue_bits: i as f64,
+        });
+    }
+}
+
+/// Run `cells` cells, each in its own thread with its own scoped ambient
+/// recorder, and return the captured segments indexed by cell (plan order).
+fn parallel_segments(cells: u32, events_per_cell: u64) -> Vec<Vec<Event>> {
+    let mut handles = Vec::new();
+    for cell in 0..cells {
+        handles.push(std::thread::spawn(move || {
+            let log = EventLog::new();
+            let scope = RecorderScope::attach(SharedRecorder::new(Box::new(log.clone())));
+            emit_cell(cell, events_per_cell);
+            scope.detach();
+            log.take()
+        }));
+    }
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("worker thread"))
+        .collect()
+}
+
+fn sequential_segments(cells: u32, events_per_cell: u64) -> Vec<Vec<Event>> {
+    (0..cells)
+        .map(|cell| {
+            let log = EventLog::new();
+            let scope = RecorderScope::attach(SharedRecorder::new(Box::new(log.clone())));
+            emit_cell(cell, events_per_cell);
+            scope.detach();
+            log.take()
+        })
+        .collect()
+}
+
+#[test]
+fn interleaved_thread_segments_merge_monotonically() {
+    let segments = parallel_segments(6, 50);
+    let merged = merge_segments(segments);
+    // Each cell restarts its clock at zero, so a merged stream only passes
+    // the JSONL monotonicity check if every segment kept its SimStart
+    // marker — replay() would panic otherwise.
+    let buf = SharedBuf::new();
+    let mut jsonl = JsonlRecorder::new(buf.clone());
+    replay(&merged, &mut jsonl);
+    assert_eq!(jsonl.events() as usize, merged.len());
+    assert_eq!(buf.text().lines().count(), 6 * (1 + 2 * 50));
+}
+
+#[test]
+fn merged_registry_equals_sequential_registry() {
+    let par = parallel_segments(5, 40);
+    let seq = sequential_segments(5, 40);
+
+    // The per-thread capture itself is deterministic: same segments either way.
+    assert_eq!(par, seq, "per-cell segments are schedule-independent");
+
+    // Parallel reduction: one registry per worker segment, merged in plan order.
+    let mut merged = Registry::new();
+    for seg in &par {
+        let mut worker = Registry::new();
+        replay(seg, &mut worker);
+        merged.merge(&worker);
+    }
+
+    // Sequential baseline: one registry sees everything in plan order.
+    let mut sequential = Registry::new();
+    for seg in &seq {
+        replay(seg, &mut sequential);
+    }
+
+    assert_eq!(
+        sequential.counts().collect::<Vec<_>>(),
+        merged.counts().collect::<Vec<_>>()
+    );
+    assert_eq!(sequential.flows().added, merged.flows().added);
+    assert_eq!(sequential.links_observed(), merged.links_observed());
+    for l in 0..3 {
+        let (a, b) = (sequential.link(l).unwrap(), merged.link(l).unwrap());
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.utilization.bins(), b.utilization.bins());
+        assert_eq!(a.mean_utilization(), b.mean_utilization());
+    }
+    assert_eq!(sequential.summary_json(), merged.summary_json());
+}
+
+#[test]
+fn scoped_recorders_do_not_leak_across_threads() {
+    // A recorder attached on one thread must not be visible from another.
+    let log = EventLog::new();
+    let _scope = RecorderScope::attach(SharedRecorder::new(Box::new(log.clone())));
+    assert!(current().enabled());
+    let other_thread_sees = std::thread::spawn(|| current().enabled())
+        .join()
+        .expect("probe thread");
+    assert!(
+        !other_thread_sees,
+        "ambient recorder is per-thread, not process-global"
+    );
+}

@@ -13,7 +13,9 @@
 //! * [`faults`] — link/ToR failure and flapping injection,
 //! * [`power`] — 51.2T switch-chip power and cooling models,
 //! * [`core`] — the assembled HPN system: fabric + routing + collectives +
-//!   training runner.
+//!   training runner,
+//! * [`telemetry`] — event recorders, per-thread recorder scopes, segment
+//!   merge and deterministic run manifests.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour, or in brief:
 //!
@@ -50,6 +52,7 @@ pub use hpn_faults as faults;
 pub use hpn_power as power;
 pub use hpn_routing as routing;
 pub use hpn_sim as sim;
+pub use hpn_telemetry as telemetry;
 pub use hpn_topology as topology;
 pub use hpn_transport as transport;
 pub use hpn_workload as workload;

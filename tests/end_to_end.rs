@@ -1,6 +1,11 @@
 //! Cross-crate integration tests: fabric → routing → transport →
 //! collectives → workload, exercised together the way the experiment
 //! harness uses them.
+//!
+//! Each simulator-building test scopes its own telemetry recorder to the
+//! test thread (see [`scoped_telemetry`]) rather than touching the shared
+//! ambient default, so the suite is safe under `cargo test`'s default
+//! parallelism — no `--test-threads=1` required.
 
 use hpn::collectives::{bw, graph, CommConfig, Communicator, Runner};
 use hpn::core::{placement, IterationOutcome, TrainingSession};
@@ -14,8 +19,21 @@ fn hpn_cluster() -> ClusterSim {
     ClusterSim::new(HpnConfig::medium().build(), HashMode::Polarized)
 }
 
+/// Attach a per-test recorder scope: simulators built while the scope is
+/// alive record into this test's own [`hpn::telemetry::EventLog`], and the
+/// previous ambient recorder is restored when the scope drops (even on
+/// unwind), so concurrent tests never share recorder state.
+fn scoped_telemetry() -> (hpn::telemetry::EventLog, hpn::telemetry::RecorderScope) {
+    let log = hpn::telemetry::EventLog::new();
+    let scope = hpn::telemetry::RecorderScope::attach(hpn::telemetry::SharedRecorder::new(
+        Box::new(log.clone()),
+    ));
+    (log, scope)
+}
+
 #[test]
 fn allreduce_on_hpn_reaches_sane_busbw() {
+    let (log, _scope) = scoped_telemetry();
     let mut cs = hpn_cluster();
     let hosts = 8usize;
     let rails = cs.fabric.host_params.rails;
@@ -37,11 +55,21 @@ fn allreduce_on_hpn_reaches_sane_busbw() {
         (20.0..=500.0).contains(&busbw),
         "busbw {busbw} GB/s out of physical range"
     );
+    // The collective ran under *this* test's recorder, nobody else's.
+    assert!(
+        log.events()
+            .iter()
+            .any(|e| matches!(e, hpn::telemetry::Event::FlowAdd { .. })),
+        "scoped recorder observed the collective's flows"
+    );
 }
 
 #[test]
 fn training_iterations_are_deterministic_across_runs() {
     let run = || {
+        // Fresh recorder scope per run: telemetry is an observer, so the
+        // two runs stay nanosecond-identical with recording enabled.
+        let (_log, _scope) = scoped_telemetry();
         let mut cs = hpn_cluster();
         let rails = cs.fabric.host_params.rails;
         let hosts = placement::place_segment_first(&cs.fabric, 8).unwrap();
@@ -65,6 +93,7 @@ fn training_iterations_are_deterministic_across_runs() {
 
 #[test]
 fn hpn_beats_dcn_on_cross_segment_multiallreduce() {
+    let (_log, _scope) = scoped_telemetry();
     let time_on = |cs: &mut ClusterSim| {
         let hosts = 24usize;
         let rails = cs.fabric.host_params.rails;
@@ -109,6 +138,7 @@ fn hpn_beats_dcn_on_cross_segment_multiallreduce() {
 
 #[test]
 fn repac_paths_survive_failures_and_training_continues() {
+    let (_log, _scope) = scoped_telemetry();
     let mut cs = hpn_cluster();
     let rails = cs.fabric.host_params.rails;
     let hosts = placement::place_segment_first(&cs.fabric, 8).unwrap();
@@ -137,6 +167,7 @@ fn repac_paths_survive_failures_and_training_continues() {
 
 #[test]
 fn find_paths_is_consistent_with_cluster_routing() {
+    let (_log, _scope) = scoped_telemetry();
     let cs = hpn_cluster();
     let dst = cs.fabric.segment_hosts(1)[0].id;
     let res = repac::find_paths(&cs.router, &cs.fabric, &cs.health, 0, 0, dst, 0, 8, 49152);
@@ -167,6 +198,7 @@ fn find_paths_is_consistent_with_cluster_routing() {
 fn workload_traffic_volumes_survive_composition() {
     // The iteration graph's network bytes must equal Table-3 composition
     // even after placement on a real fabric.
+    let (_log, _scope) = scoped_telemetry();
     let cs = hpn_cluster();
     let rails = cs.fabric.host_params.rails;
     let hosts = placement::place_segment_first(&cs.fabric, 16).unwrap();

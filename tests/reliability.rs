@@ -1,5 +1,10 @@
 //! Reliability integration: stochastic fault injection driving the full
 //! stack (faults → transport failover → collectives → training).
+//!
+//! Every simulator-building test scopes its own telemetry recorder to the
+//! test thread (see [`scoped_telemetry`]) instead of sharing the ambient
+//! default, so the suite runs under `cargo test`'s default parallelism
+//! without cross-test interference.
 
 use hpn::collectives::CommConfig;
 use hpn::core::{placement, IterationOutcome, TrainingSession};
@@ -9,6 +14,19 @@ use hpn::sim::{SimDuration, SimTime};
 use hpn::topology::{wiring, HpnConfig};
 use hpn::transport::ClusterSim;
 use hpn::workload::{ModelSpec, ParallelismPlan, TrainingJob};
+
+/// Attach a per-test recorder to this test's thread. `ClusterSim::new`
+/// attaches the *ambient* recorder, which is thread-local state: without a
+/// scope, two tests on the same harness thread (or a test that panics
+/// mid-way) could observe each other's recorder. The returned scope
+/// restores the previous ambient on drop — even on unwind.
+fn scoped_telemetry() -> (hpn::telemetry::EventLog, hpn::telemetry::RecorderScope) {
+    let log = hpn::telemetry::EventLog::new();
+    let scope = hpn::telemetry::RecorderScope::attach(hpn::telemetry::SharedRecorder::new(
+        Box::new(log.clone()),
+    ));
+    (log, scope)
+}
 
 fn small_cluster() -> ClusterSim {
     let mut cfg = HpnConfig::paper();
@@ -22,6 +40,7 @@ fn small_cluster() -> ClusterSim {
 
 #[test]
 fn training_survives_an_accelerated_month_of_faults() {
+    let (log, _scope) = scoped_telemetry();
     let mut cs = small_cluster();
     // Accelerate the production rates so a few simulated minutes see many
     // failures; repairs are quick so redundancy windows overlap.
@@ -78,10 +97,18 @@ fn training_survives_an_accelerated_month_of_faults() {
         "stats: {:?}",
         cs.stats()
     );
+    // The scoped recorder (not some shared fixture) observed this test's
+    // simulation, link flaps included.
+    assert!(!log.is_empty(), "scoped recorder saw the simulation");
+    assert!(log
+        .events()
+        .iter()
+        .any(|e| matches!(e, hpn::telemetry::Event::LinkState { up: false, .. })));
 }
 
 #[test]
 fn fault_schedule_covers_all_access_links_eventually() {
+    let (_log, _scope) = scoped_telemetry();
     let cs = small_cluster();
     let mut rates = FaultRates::paper();
     rates.link_fail_per_month = 0.9; // near-certain monthly failure
@@ -106,6 +133,7 @@ fn fault_schedule_covers_all_access_links_eventually() {
 
 #[test]
 fn backup_swap_after_tor_level_loss_keeps_the_job_alive() {
+    let (_log, _scope) = scoped_telemetry();
     let mut cs = small_cluster();
     let rails = cs.fabric.host_params.rails;
     let mut hosts = placement::place_segment_first(&cs.fabric, 8).unwrap();
@@ -139,6 +167,7 @@ fn asymmetric_link_failure_degrades_but_does_not_crash() {
     // §10's "asymmetric link states" lesson: the NIC→ToR direction dies
     // (bad optics + LFS notification lost) while ToR→NIC stays up. The
     // dual-ToR design turns this into degradation, not a crash.
+    let (_log, _scope) = scoped_telemetry();
     let mut cs = small_cluster();
     let rails = cs.fabric.host_params.rails;
     let hosts = placement::place_segment_first(&cs.fabric, 8).unwrap();
