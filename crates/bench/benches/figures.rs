@@ -9,6 +9,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use hpn_bench::experiments::{self, common};
 use hpn_bench::Scale;
 use hpn_collectives::CommConfig;
+use hpn_scenario::{ModelId, Scenario, WorkloadSpec};
 
 fn cfg(c: &mut Criterion) -> &mut Criterion {
     c
@@ -57,7 +58,7 @@ fn bench_simulated_figures(c: &mut Criterion) {
     });
     group.bench_function("fig17_allreduce_sweep_point", |b| {
         b.iter(|| {
-            let mut cs = common::cluster(common::hpn_fabric(Scale::Quick, 1, 8));
+            let mut cs = common::build_cluster(common::hpn_topology(Scale::Quick, 1, 8));
             common::run_collective(
                 &mut cs,
                 common::CollectiveKind::AllReduce,
@@ -70,7 +71,7 @@ fn bench_simulated_figures(c: &mut Criterion) {
     });
     group.bench_function("fig17_multiallreduce_point", |b| {
         b.iter(|| {
-            let mut cs = common::cluster(common::hpn_fabric(Scale::Quick, 1, 8));
+            let mut cs = common::build_cluster(common::hpn_topology(Scale::Quick, 1, 8));
             common::run_collective(
                 &mut cs,
                 common::CollectiveKind::MultiAllReduce,
@@ -83,9 +84,9 @@ fn bench_simulated_figures(c: &mut Criterion) {
     });
     group.bench_function("fig16_training_iteration", |b| {
         b.iter(|| {
-            let mut cs = common::cluster(common::hpn_fabric(Scale::Quick, 1, 8));
-            let mut session =
-                common::training_session(&cs, hpn_workload::ModelSpec::llama_7b(), 1, 8, 128);
+            let scenario = Scenario::new("bench-fig16", common::hpn_topology(Scale::Quick, 1, 8))
+                .with_workload(WorkloadSpec::new(ModelId::Llama7b, 1, 8, 128));
+            let (mut cs, mut session) = common::scenario_session(&scenario);
             session.run_iteration(&mut cs)
         })
     });

@@ -1,14 +1,23 @@
-//! Shared experiment setup: fabrics, jobs and collective sweeps.
+//! Shared experiment setup: scenario declarations, collective sweeps and
+//! the sweep-seed scope.
+//!
+//! Since the scenario refactor, figure experiments no longer hand-build
+//! fabrics, clusters and jobs: they declare a typed [`Scenario`] (topology,
+//! routing, workload, faults) and reduce the built session into their
+//! figure. The helpers here produce the [`TopologySpec`]s every §9
+//! experiment shares and turn scenarios into runnable `(cluster, session)`
+//! pairs, panicking with the full [`hpn_scenario::ScenarioError`]
+//! diagnostic when a statically-declared scenario is wrong — that is a
+//! bug, not an input error.
 
 use std::cell::Cell;
 
 use hpn_collectives::{bw, graph, CommConfig, Communicator, Runner};
 use hpn_core::{placement, TrainingSession};
-use hpn_routing::HashMode;
+use hpn_scenario::{Scenario, TopologySpec};
 use hpn_sim::SimDuration;
 use hpn_topology::{DcnPlusConfig, Fabric, HpnConfig};
 use hpn_transport::ClusterSim;
-use hpn_workload::{ModelSpec, ParallelismPlan, TrainingJob};
 
 use crate::Scale;
 
@@ -56,62 +65,70 @@ pub fn experiment_seed(fixed: u64) -> u64 {
     }
 }
 
-/// HPN fabric sized for the §9.1 experiments: `segments` segments of
+/// HPN topology sized for the §9.1 experiments: `segments` segments of
 /// `hosts_per_segment` hosts (8 rails). Quick mode shrinks the radix.
-pub fn hpn_fabric(scale: Scale, segments: u32, hosts_per_segment: u32) -> Fabric {
+pub fn hpn_topology(scale: Scale, segments: u32, hosts_per_segment: u32) -> TopologySpec {
     let mut cfg = HpnConfig::paper();
     cfg.segments_per_pod = segments;
     cfg.hosts_per_segment = hosts_per_segment;
     cfg.backup_hosts_per_segment = scale.pick(8, 0);
     cfg.aggs_per_plane = scale.pick(60, 8);
     cfg.cores_per_plane = scale.pick(64, 8);
-    cfg.build()
+    TopologySpec::Hpn(cfg)
 }
 
 /// The typical-Clos tier-2 ablation of the same fabric (Fig 12a/13a/14a).
-pub fn hpn_clos_fabric(scale: Scale, segments: u32, hosts_per_segment: u32) -> Fabric {
-    let mut cfg = HpnConfig::paper();
-    cfg.segments_per_pod = segments;
-    cfg.hosts_per_segment = hosts_per_segment;
-    cfg.backup_hosts_per_segment = scale.pick(8, 0);
-    cfg.aggs_per_plane = scale.pick(60, 8);
-    cfg.cores_per_plane = scale.pick(64, 8);
+pub fn hpn_clos_topology(scale: Scale, segments: u32, hosts_per_segment: u32) -> TopologySpec {
+    let TopologySpec::Hpn(mut cfg) = hpn_topology(scale, segments, hosts_per_segment) else {
+        unreachable!()
+    };
     cfg.dual_plane = false;
-    cfg.build()
+    TopologySpec::Hpn(cfg)
 }
 
-/// DCN+ fabric covering at least `hosts` hosts (16 per segment, 4 segments
-/// per pod — Appendix C).
-pub fn dcn_fabric(scale: Scale, hosts: u32) -> Fabric {
+/// DCN+ topology covering at least `hosts` hosts (16 per segment, 4
+/// segments per pod — Appendix C).
+pub fn dcn_topology(scale: Scale, hosts: u32) -> TopologySpec {
     let mut cfg = DcnPlusConfig::paper();
     cfg.pods = hosts.div_ceil(64).max(1);
     cfg.tor_agg_parallel = scale.pick(8, 4);
     cfg.agg_core_uplinks = scale.pick(64, 8);
     cfg.cores = scale.pick(128, 16);
-    cfg.build()
+    TopologySpec::DcnPlus(cfg)
 }
 
-/// Build a cluster runtime with the production (polarization-prone) hash
-/// family — HPN's advantage must come from architecture, not magic hashes.
-pub fn cluster(fabric: Fabric) -> ClusterSim {
-    ClusterSim::new(fabric, HashMode::Polarized)
+/// Build just the fabric of a topology spec (fault planning, inventory).
+pub fn build_fabric(topo: &TopologySpec) -> Fabric {
+    topo.try_build()
+        .unwrap_or_else(|e| panic!("experiment topology failed to build: {e}"))
 }
 
-/// Place and create a training session: `pp × dp` hosts segment-first,
-/// TP = 8 rails per host.
-pub fn training_session(
-    cs: &ClusterSim,
-    model: ModelSpec,
-    pp: usize,
-    dp: usize,
-    global_batch: usize,
-) -> TrainingSession {
-    let rails = cs.fabric.host_params.rails;
-    let plan = ParallelismPlan::new(rails, pp, dp);
-    let hosts = placement::place_segment_first(&cs.fabric, pp * dp)
-        .expect("fabric too small for the requested job");
-    let job = TrainingJob::new(model, plan, hosts, rails, global_batch);
-    TrainingSession::new(job, CommConfig::hpn_default())
+/// Build a cluster runtime for a topology-only scenario. The default
+/// routing is the production (polarization-prone) hash family — HPN's
+/// advantage must come from architecture, not magic hashes.
+pub fn build_cluster(topo: TopologySpec) -> ClusterSim {
+    scenario_cluster(&Scenario::new("adhoc", topo))
+}
+
+/// Build a scenario's cluster runtime, panicking with the scenario name
+/// and field-level diagnostic on error.
+pub fn scenario_cluster(sc: &Scenario) -> ClusterSim {
+    sc.build()
+        .unwrap_or_else(|e| panic!("scenario '{}' failed to build: {e}", sc.name))
+        .cluster
+}
+
+/// Build a workload-bearing scenario into its cluster runtime and a fresh
+/// training session.
+pub fn scenario_session(sc: &Scenario) -> (ClusterSim, TrainingSession) {
+    let mut built = sc
+        .build()
+        .unwrap_or_else(|e| panic!("scenario '{}' failed to build: {e}", sc.name));
+    let w = built
+        .workload
+        .take()
+        .unwrap_or_else(|| panic!("scenario '{}' declares no workload", sc.name));
+    (built.cluster, w.session())
 }
 
 /// Which collective a sweep runs.

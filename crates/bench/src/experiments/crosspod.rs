@@ -6,17 +6,14 @@
 //! the recommended placement (PP crosses pods) and the naive one (DP rings
 //! cross pods), quantifying why the 15:1 compromise is safe.
 
-use hpn_collectives::CommConfig;
-use hpn_core::{placement, TrainingSession};
-use hpn_sim::SimDuration;
+use hpn_scenario::{ModelId, PlacementSpec, Scenario, TopologySpec, WorkloadSpec};
 use hpn_topology::HpnConfig;
-use hpn_workload::{ModelSpec, ParallelismPlan, TrainingJob};
 
 use crate::experiments::common;
 use crate::report::{pct_gain, Report};
 use crate::Scale;
 
-fn two_pod_fabric(scale: Scale) -> hpn_topology::Fabric {
+fn two_pod_topology(scale: Scale) -> TopologySpec {
     let mut cfg = HpnConfig::paper();
     cfg.pods = 2;
     cfg.segments_per_pod = 1;
@@ -28,53 +25,29 @@ fn two_pod_fabric(scale: Scale) -> hpn_topology::Fabric {
     // couple of core uplinks.
     cfg.agg_core_uplinks = 2;
     cfg.cores_per_plane = scale.pick(8, 4);
-    cfg.build()
+    TopologySpec::Hpn(cfg)
 }
 
 fn run_placement(scale: Scale, pp_across_pods: bool) -> f64 {
-    let fabric = two_pod_fabric(scale);
-    let mut cs = common::cluster(fabric);
-    let rails = cs.fabric.host_params.rails;
     let per_pod = scale.pick(16usize, 8);
     let pp = 2usize;
     let dp = per_pod; // pp × dp = 2 × per_pod hosts = both pods filled
-    let plan = ParallelismPlan::new(rails, pp, dp);
-    let hosts = if pp_across_pods {
+    let placement = if pp_across_pods {
         // Recommended: stage 0 in pod 0, stage 1 in pod 1 — only PP
         // crosses the core.
-        placement::place_cross_pod_pp(&cs.fabric, &plan).expect("fits")
+        PlacementSpec::CrossPodPp
     } else {
-        // Naive: replicas split by pod, so every DP ring crosses the core.
-        let pod0: Vec<u32> = cs
-            .fabric
-            .hosts
-            .iter()
-            .filter(|h| h.pod == 0)
-            .map(|h| h.id)
-            .collect();
-        let pod1: Vec<u32> = cs
-            .fabric
-            .hosts
-            .iter()
-            .filter(|h| h.pod == 1)
-            .map(|h| h.id)
-            .collect();
-        let mut v = Vec::new();
-        for d in 0..dp {
-            // Alternate replicas between pods: ring neighbours d, d+1 land
-            // in different pods.
-            let pool = if d % 2 == 0 { &pod0 } else { &pod1 };
-            for s in 0..pp {
-                v.push(pool[(d / 2) * pp + s]);
-            }
-        }
-        v
+        // Naive: replicas alternate between pods, so every DP ring hop
+        // crosses the core.
+        PlacementSpec::AlternatePods
     };
-    let mut model = ModelSpec::gpt3_175b();
-    model.gpu_secs_per_sample = 0.5;
-    let job = TrainingJob::new(model, plan, hosts, rails, 256);
-    let mut session = TrainingSession::new(job, CommConfig::hpn_default());
-    session.min_timeout = SimDuration::from_secs(600);
+    let scenario = Scenario::new("crosspod", two_pod_topology(scale)).with_workload(
+        WorkloadSpec::new(ModelId::Gpt3_175b, pp, dp, 256)
+            .gpu_secs(0.5)
+            .placed(placement)
+            .min_timeout(600.0),
+    );
+    let (mut cs, mut session) = common::scenario_session(&scenario);
     session.run_iterations(&mut cs, scale.pick(3, 2) + 1);
     session.mean_throughput(1)
 }

@@ -7,8 +7,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use hpn_scenario::{links, ModelId, Scenario, WorkloadSpec};
 use hpn_sim::{LinkId, SimDuration, TimeSeries};
-use hpn_workload::ModelSpec;
 
 use crate::experiments::common;
 use crate::{Report, Scale};
@@ -16,24 +16,26 @@ use crate::{Report, Scale};
 /// Run the experiment.
 pub fn run(scale: Scale) -> Report {
     let hosts_per_seg = scale.pick(16, 8);
-    let fabric = common::hpn_fabric(scale, 2, hosts_per_seg);
-    let mut cs = common::cluster(fabric);
     let dp = scale.pick(16usize, 8);
-    let mut model = ModelSpec::gpt3_175b();
-    // Shrink compute so several iterations fit a short window while the
-    // burst structure stays intact.
-    model.gpu_secs_per_sample = 0.8;
+    let iters = scale.pick(4, 3);
+    // Compute shrunk (0.8 gpu-s/sample) so several iterations fit a short
+    // window while the burst structure stays intact.
+    let scenario = Scenario::new("fig02", common::hpn_topology(scale, 2, hosts_per_seg))
+        .with_workload(
+            WorkloadSpec::new(ModelId::Gpt3_175b, 2, dp, 256)
+                .gpu_secs(0.8)
+                .iters(iters),
+        );
+    let (mut cs, session) = common::scenario_session(&scenario);
     let rails = cs.fabric.host_params.rails;
 
     // Record rail-0..3 egress of host 0.
     let watch: Vec<(String, Vec<LinkId>)> = (0..rails.min(4))
         .map(|r| {
-            let links: Vec<LinkId> = cs.fabric.hosts[0].nic_up[r]
-                .iter()
-                .flatten()
-                .map(|l| l.flow_link())
-                .collect();
-            (format!("NIC-{}", r + 1), links)
+            (
+                format!("NIC-{}", r + 1),
+                links::nic_uplinks(&cs.fabric, 0, r),
+            )
         })
         .collect();
     let series: Rc<RefCell<Vec<TimeSeries>>> = Rc::new(RefCell::new(
@@ -44,17 +46,13 @@ pub fn run(scale: Scale) -> Report {
     ));
     let series2 = series.clone();
 
-    let mut session = common::training_session(&cs, model, 2, dp, 256).with_sampler(
-        SimDuration::from_millis(250),
-        move |cs| {
-            let mut ss = series2.borrow_mut();
-            for (i, (_, links)) in watch.iter().enumerate() {
-                let gbps = cs.net.aggregate_rate(links) / 1e9;
-                ss[i].push(cs.now(), gbps);
-            }
-        },
-    );
-    let iters = scale.pick(4, 3);
+    let mut session = session.with_sampler(SimDuration::from_millis(250), move |cs| {
+        let mut ss = series2.borrow_mut();
+        for (i, (_, links)) in watch.iter().enumerate() {
+            let gbps = cs.net.aggregate_rate(links) / 1e9;
+            ss[i].push(cs.now(), gbps);
+        }
+    });
     session.run_iterations(&mut cs, iters);
 
     let mut r = Report::new(

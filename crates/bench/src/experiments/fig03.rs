@@ -4,8 +4,8 @@
 //! originated: a few dozen to a few hundred — versus the ~200K of general
 //! cloud hosts (Fig 1).
 
+use hpn_scenario::{ModelId, Scenario, WorkloadSpec};
 use hpn_sim::stats::Ecdf;
-use hpn_workload::ModelSpec;
 
 use crate::experiments::common;
 use crate::{Report, Scale};
@@ -13,12 +13,10 @@ use crate::{Report, Scale};
 /// Run the experiment.
 pub fn run(scale: Scale) -> Report {
     let hosts_per_seg = scale.pick(16, 8);
-    let fabric = common::hpn_fabric(scale, 2, hosts_per_seg);
-    let mut cs = common::cluster(fabric);
     let dp = scale.pick(8usize, 4);
-    let mut model = ModelSpec::llama_7b();
-    model.gpu_secs_per_sample = 0.05;
-    let mut session = common::training_session(&cs, model, 2, dp, 256);
+    let scenario = Scenario::new("fig03", common::hpn_topology(scale, 2, hosts_per_seg))
+        .with_workload(WorkloadSpec::new(ModelId::Llama7b, 2, dp, 256).gpu_secs(0.05));
+    let (mut cs, mut session) = common::scenario_session(&scenario);
     session.run_iterations(&mut cs, 2);
 
     let census = session.communicator().connections_by_host(&cs);

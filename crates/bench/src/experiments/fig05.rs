@@ -1,6 +1,7 @@
 //! Fig 5 — monthly link failure ratio.
 
 use hpn_faults::{access_links, monthly_link_failure_ratio, plan, FaultRates};
+use hpn_scenario::TopologySpec;
 use hpn_sim::SimDuration;
 use hpn_topology::HpnConfig;
 
@@ -15,7 +16,7 @@ pub fn run(scale: Scale) -> Report {
     cfg.backup_hosts_per_segment = 0;
     cfg.aggs_per_plane = scale.pick(60, 4);
     cfg.cores_per_plane = 4;
-    let fabric = cfg.build();
+    let fabric = common::build_fabric(&TopologySpec::Hpn(cfg));
     let links = access_links(&fabric).len();
 
     let months = 12usize;

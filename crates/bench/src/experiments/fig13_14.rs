@@ -15,9 +15,8 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use hpn_scenario::{links, ModelId, PlacementSpec, Scenario, TopologySpec, WorkloadSpec};
 use hpn_sim::{stats, SimDuration, TimeSeries};
-use hpn_topology::Fabric;
-use hpn_workload::ModelSpec;
 
 use crate::experiments::common;
 use crate::report::Report;
@@ -35,30 +34,25 @@ struct PortStats {
 /// every active host's rail-0 NIC. Hosts are interleaved across the two
 /// segments so every DP-ring hop converges through the Aggregation layer
 /// onto a dual-ToR set — the §6.1 scenario.
-fn measure(fabric: Fabric, scale: Scale) -> PortStats {
-    let mut cs = common::cluster(fabric);
+fn measure(topo: TopologySpec, scale: Scale) -> PortStats {
     let dp = scale.pick(16usize, 8);
     let pp = 2usize;
-    let mut model = ModelSpec::gpt3_175b();
-    model.gpu_secs_per_sample = 0.3; // keep iterations communication-heavy
-                                     // Interleave segments so consecutive DP replicas alternate sides.
-    let seg0: Vec<u32> = cs.fabric.segment_hosts(0).iter().map(|h| h.id).collect();
-    let seg1: Vec<u32> = cs.fabric.segment_hosts(1).iter().map(|h| h.id).collect();
-    let mut hosts = Vec::with_capacity(pp * dp);
-    for d in 0..dp {
-        let pool = if d % 2 == 0 { &seg0 } else { &seg1 };
-        for st in 0..pp {
-            hosts.push(pool[(d / 2) * pp + st]);
-        }
-    }
-    let rails = cs.fabric.host_params.rails;
-    let plan = hpn_workload::ParallelismPlan::new(rails, pp, dp);
-    let job = hpn_workload::TrainingJob::new(model, plan, hosts.clone(), rails, 256);
-    let watched: Vec<[hpn_sim::LinkId; 2]> = hosts
+    // Compute shrunk to 0.3 gpu-s/sample so iterations stay
+    // communication-heavy; segments interleaved so consecutive DP replicas
+    // alternate sides and every ring hop crosses the Aggregation layer.
+    let scenario = Scenario::new("fig13-14", topo).with_workload(
+        WorkloadSpec::new(ModelId::Gpt3_175b, pp, dp, 256)
+            .gpu_secs(0.3)
+            .placed(PlacementSpec::InterleaveSegments),
+    );
+    let (mut cs, session) = common::scenario_session(&scenario);
+    let watched: Vec<[hpn_sim::LinkId; 2]> = session
+        .job
+        .hosts
         .iter()
         .map(|&h| {
-            let d = &cs.fabric.hosts[h as usize].nic_down[0];
-            [d[0].unwrap().flow_link(), d[1].unwrap().flow_link()]
+            let d = links::nic_downlinks(&cs.fabric, h as usize, 0);
+            [d[0], d[1]]
         })
         .collect();
     type Acc = (
@@ -73,27 +67,25 @@ fn measure(fabric: Fabric, scale: Scale) -> PortStats {
     )));
     let acc2 = acc.clone();
     let watched2 = watched.clone();
-    let mut session =
-        hpn_core::TrainingSession::new(job, hpn_collectives::CommConfig::hpn_default())
-            .with_sampler(SimDuration::from_millis(200), move |cs| {
-                cs.net.recompute_if_dirty();
-                if cs.telemetry().enabled() {
-                    for ports in watched2.iter() {
-                        for p in 0..2 {
-                            cs.sample_link_telemetry(ports[p]);
-                        }
-                    }
+    let mut session = session.with_sampler(SimDuration::from_millis(200), move |cs| {
+        cs.net.recompute_if_dirty();
+        if cs.telemetry().enabled() {
+            for ports in watched2.iter() {
+                for p in 0..2 {
+                    cs.sample_link_telemetry(ports[p]);
                 }
-                let mut a = acc2.borrow_mut();
-                a.2.push(cs.now().as_secs_f64());
-                for (i, ports) in watched2.iter().enumerate() {
-                    for p in 0..2 {
-                        let link = cs.net.link(ports[p]);
-                        a.0[i][p].push(link.allocated_bps / 1e9);
-                        a.1[i][p].push(link.queue_bits / 8e3); // KB
-                    }
-                }
-            });
+            }
+        }
+        let mut a = acc2.borrow_mut();
+        a.2.push(cs.now().as_secs_f64());
+        for (i, ports) in watched2.iter().enumerate() {
+            for p in 0..2 {
+                let link = cs.net.link(ports[p]);
+                a.0[i][p].push(link.allocated_bps / 1e9);
+                a.1[i][p].push(link.queue_bits / 8e3); // KB
+            }
+        }
+    });
     session.run_iterations(&mut cs, scale.pick(4, 3));
 
     let a = acc.borrow();
@@ -215,8 +207,8 @@ fn mean_fairness(stats: &PortStats) -> f64 {
 /// Fig 13 — traffic on ToR ports towards the same NIC.
 pub fn run_fig13(scale: Scale) -> Report {
     let hosts_per_seg = scale.pick(16, 8);
-    let clos = measure(common::hpn_clos_fabric(scale, 2, hosts_per_seg), scale);
-    let dual = measure(common::hpn_fabric(scale, 2, hosts_per_seg), scale);
+    let clos = measure(common::hpn_clos_topology(scale, 2, hosts_per_seg), scale);
+    let dual = measure(common::hpn_topology(scale, 2, hosts_per_seg), scale);
 
     let mut r = Report::new(
         "fig13",
@@ -256,8 +248,8 @@ pub fn run_fig13(scale: Scale) -> Report {
 /// Fig 14 — queue length at ToR downstream ports.
 pub fn run_fig14(scale: Scale) -> Report {
     let hosts_per_seg = scale.pick(16, 8);
-    let clos = measure(common::hpn_clos_fabric(scale, 2, hosts_per_seg), scale);
-    let dual = measure(common::hpn_fabric(scale, 2, hosts_per_seg), scale);
+    let clos = measure(common::hpn_clos_topology(scale, 2, hosts_per_seg), scale);
+    let dual = measure(common::hpn_topology(scale, 2, hosts_per_seg), scale);
 
     let mut r = Report::new(
         "fig14",
@@ -301,8 +293,8 @@ mod tests {
     fn clos_is_less_fair_than_dual_plane() {
         let scale = Scale::Quick;
         let hosts_per_seg = 8;
-        let clos = measure(common::hpn_clos_fabric(scale, 2, hosts_per_seg), scale);
-        let dual = measure(common::hpn_fabric(scale, 2, hosts_per_seg), scale);
+        let clos = measure(common::hpn_clos_topology(scale, 2, hosts_per_seg), scale);
+        let dual = measure(common::hpn_topology(scale, 2, hosts_per_seg), scale);
         assert!(
             mean_fairness(&dual) > mean_fairness(&clos),
             "dual-plane {} should beat Clos {}",

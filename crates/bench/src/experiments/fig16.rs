@@ -1,22 +1,22 @@
 //! Fig 16 — representative LLMs on 448 GPUs: DCN+ vs HPN.
 
-use hpn_topology::Fabric;
-use hpn_workload::ModelSpec;
+use hpn_scenario::{ModelId, Scenario, TopologySpec, WorkloadSpec};
 
 use crate::experiments::common;
 use crate::report::{pct_gain, Report};
 use crate::Scale;
 
 fn throughput(
-    fabric: Fabric,
+    topo: TopologySpec,
     scale: Scale,
-    model: ModelSpec,
+    model: ModelId,
     pp: usize,
     dp: usize,
     batch: usize,
 ) -> f64 {
-    let mut cs = common::cluster(fabric);
-    let mut session = common::training_session(&cs, model, pp, dp, batch);
+    let scenario =
+        Scenario::new("fig16", topo).with_workload(WorkloadSpec::new(model, pp, dp, batch));
+    let (mut cs, mut session) = common::scenario_session(&scenario);
     common::mean_samples_per_sec(&mut cs, &mut session, scale.pick(3, 2))
 }
 
@@ -30,25 +30,25 @@ pub fn run(scale: Scale) -> Report {
         "Training representative LLMs under different architectures (448 GPUs)",
         "HPN beats DCN+: LLaMa-7B +7.9%, LLaMa-13B +14.4%, GPT-175B +6.3%",
     );
-    let cases: Vec<(ModelSpec, usize, &str)> = vec![
-        (ModelSpec::llama_7b(), 1, "+7.9%"),
-        (ModelSpec::llama_13b(), 2, "+14.4%"),
-        (ModelSpec::gpt3_175b(), 4, "+6.3%"),
+    let cases: Vec<(ModelId, usize, &str)> = vec![
+        (ModelId::Llama7b, 1, "+7.9%"),
+        (ModelId::Llama13b, 2, "+14.4%"),
+        (ModelId::Gpt3_175b, 4, "+6.3%"),
     ];
     let batch = scale.pick(1024, 256);
     for (model, pp, paper) in cases {
         let dp = hosts as usize / pp;
-        let name = model.name.clone();
+        let name = model.to_spec().name;
         let hpn = throughput(
-            common::hpn_fabric(scale, 1, hosts),
+            common::hpn_topology(scale, 1, hosts),
             scale,
-            model.clone(),
+            model,
             pp,
             dp,
             batch,
         );
         let dcn = throughput(
-            common::dcn_fabric(scale, hosts),
+            common::dcn_topology(scale, hosts),
             scale,
             model,
             pp,

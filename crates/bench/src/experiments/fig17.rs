@@ -30,7 +30,7 @@ pub fn run(scale: Scale) -> Report {
         let mut dcn_curve = TimeSeries::new(format!("{label} DCN+ busbw GB/s"));
         let mut max_gain = f64::MIN;
         for (i, &size) in sizes.iter().enumerate() {
-            let mut cs = common::cluster(common::hpn_fabric(scale, 1, hosts as u32));
+            let mut cs = common::build_cluster(common::hpn_topology(scale, 1, hosts as u32));
             let (_, hpn_bw) = common::run_collective(
                 &mut cs,
                 kind,
@@ -39,7 +39,7 @@ pub fn run(scale: Scale) -> Report {
                 CommConfig::hpn_default(),
                 49152,
             );
-            let mut cs = common::cluster(common::dcn_fabric(scale, hosts as u32));
+            let mut cs = common::build_cluster(common::dcn_topology(scale, hosts as u32));
             let (_, dcn_bw) = common::run_collective(
                 &mut cs,
                 kind,

@@ -9,9 +9,8 @@
 //! (convergence + retransmission); dual-ToR barely notices.
 
 use hpn_core::IterationOutcome;
+use hpn_scenario::{ModelId, Scenario, TopologySpec, WorkloadSpec};
 use hpn_sim::SimDuration;
-use hpn_topology::Fabric;
-use hpn_workload::ModelSpec;
 
 use crate::experiments::common;
 use crate::report::Report;
@@ -24,7 +23,7 @@ struct CaseOut {
     timed_out: bool,
 }
 
-fn fabric_for(scale: Scale, dual_tor: bool, hosts: u32) -> Fabric {
+fn topology_for(scale: Scale, dual_tor: bool, hosts: u32) -> TopologySpec {
     let mut cfg = hpn_topology::HpnConfig::paper();
     cfg.segments_per_pod = 1;
     cfg.hosts_per_segment = hosts;
@@ -32,18 +31,20 @@ fn fabric_for(scale: Scale, dual_tor: bool, hosts: u32) -> Fabric {
     cfg.aggs_per_plane = scale.pick(60, 8);
     cfg.cores_per_plane = 8;
     cfg.dual_tor = dual_tor;
-    cfg.build()
+    TopologySpec::Hpn(cfg)
 }
 
 fn run_case(scale: Scale, dual_tor: bool, outage: Option<SimDuration>) -> CaseOut {
     let hosts = scale.pick(32u32, 8);
-    let mut cs = common::cluster(fabric_for(scale, dual_tor, hosts));
-    let mut model = ModelSpec::llama_7b();
-    model.gpu_secs_per_sample = 0.1; // communication-visible iterations
-    let dp = hosts as usize;
-    let mut session = common::training_session(&cs, model, 1, dp, 512);
-    session.min_timeout = SimDuration::from_secs(120); // the 2-minute rule
-    session.timeout_factor = 4.0;
+    // gpu_secs 0.1 keeps iterations communication-visible; the 2-minute
+    // min_timeout is the paper's NCCL rule.
+    let scenario = Scenario::new("fig18", topology_for(scale, dual_tor, hosts)).with_workload(
+        WorkloadSpec::new(ModelId::Llama7b, 1, hosts as usize, 512)
+            .gpu_secs(0.1)
+            .min_timeout(120.0)
+            .timeout_scaled(4.0),
+    );
+    let (mut cs, mut session) = common::scenario_session(&scenario);
 
     // Baseline iterations.
     session.run_iterations(&mut cs, 3);

@@ -5,8 +5,8 @@
 //! the typical-Clos tier-2 ablation of the same fabric.
 
 use hpn_collectives::{bw, graph, CommConfig, Communicator, Runner};
+use hpn_scenario::TopologySpec;
 use hpn_sim::SimDuration;
-use hpn_topology::Fabric;
 
 use crate::experiments::common;
 use crate::report::{pct_gain, Report};
@@ -14,8 +14,8 @@ use crate::Scale;
 
 /// Cross-segment AllReduce busbw (GB/s) over `hosts` hosts interleaved
 /// across the fabric's two segments.
-fn busbw(fabric: &Fabric, hosts: usize, size_bits: f64) -> f64 {
-    let mut cs = common::cluster(fabric.clone());
+fn busbw(topo: &TopologySpec, hosts: usize, size_bits: f64) -> f64 {
+    let mut cs = common::build_cluster(topo.clone());
     let rails = cs.fabric.host_params.rails;
     // Interleave segment-0 and segment-1 hosts so each inter-host ring hop
     // crosses segments.
@@ -44,8 +44,8 @@ fn busbw(fabric: &Fabric, hosts: usize, size_bits: f64) -> f64 {
 pub fn run(scale: Scale) -> Report {
     let size = scale.pick(4.0 * 8e9, 8e9); // 4GB full, 1GB quick
     let max_hosts = scale.pick(32usize, 8);
-    let dual = common::hpn_fabric(scale, 2, max_hosts as u32 / 2 + 2);
-    let clos = common::hpn_clos_fabric(scale, 2, max_hosts as u32 / 2 + 2);
+    let dual = common::hpn_topology(scale, 2, max_hosts as u32 / 2 + 2);
+    let clos = common::hpn_clos_topology(scale, 2, max_hosts as u32 / 2 + 2);
 
     let mut r = Report::new(
         "fig19",

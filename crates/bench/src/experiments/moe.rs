@@ -8,9 +8,9 @@
 //! fabric. This experiment times the same All-to-All on both designs.
 
 use hpn_collectives::{graph, CommConfig, Communicator, Runner};
+use hpn_scenario::TopologySpec;
 use hpn_sim::SimDuration;
-use hpn_topology::railonly::build_rail_only;
-use hpn_topology::{Fabric, HpnConfig};
+use hpn_topology::HpnConfig;
 
 use crate::experiments::common;
 use crate::report::{pct_gain, Report};
@@ -26,8 +26,8 @@ fn fabric_cfg(scale: Scale) -> HpnConfig {
     cfg
 }
 
-fn all_to_all_time(fabric: Fabric, scale: Scale, relay: bool) -> f64 {
-    let mut cs = common::cluster(fabric);
+fn all_to_all_time(topo: TopologySpec, scale: Scale, relay: bool) -> f64 {
+    let mut cs = common::build_cluster(topo);
     cs.router.relay_cross_rail = relay;
     let rails = cs.fabric.host_params.rails;
     let hosts = scale.pick(6usize, 4);
@@ -59,11 +59,10 @@ pub fn run(scale: Scale) -> Report {
     // still routes cross-rail traffic (through the Aggregation layer);
     // rail-only tier-2 has no such path and must fall back to the relay
     // (impossible for actual multi-tenant hosts).
-    let any = all_to_all_time(cfg.build(), scale, false);
-    let rail = all_to_all_time(build_rail_only(&cfg), scale, true);
+    let any = all_to_all_time(TopologySpec::Hpn(cfg), scale, false);
+    let rail = all_to_all_time(TopologySpec::RailOnly(cfg), scale, true);
     let serverless_on_rail_only = {
-        let f = build_rail_only(&cfg);
-        let mut cs = common::cluster(f);
+        let mut cs = common::build_cluster(TopologySpec::RailOnly(cfg));
         cs.router.relay_cross_rail = false;
         let dst = cs.fabric.segment_hosts(0)[1].id;
         cs.router
@@ -119,8 +118,8 @@ mod tests {
     #[test]
     fn rail_only_is_not_faster_for_all_to_all() {
         let cfg = fabric_cfg(Scale::Quick);
-        let any = all_to_all_time(cfg.build(), Scale::Quick, false);
-        let rail = all_to_all_time(build_rail_only(&cfg), Scale::Quick, true);
+        let any = all_to_all_time(TopologySpec::Hpn(cfg), Scale::Quick, false);
+        let rail = all_to_all_time(TopologySpec::RailOnly(cfg), Scale::Quick, true);
         // With the relay available the NICs bound both designs, so the
         // times are close — the §10 argument is the qualitative row below.
         assert!(

@@ -19,8 +19,7 @@ use crate::Scale;
 /// congestion-aware selection exists to route around.
 fn concurrent_time(scale: Scale, config: CommConfig) -> f64 {
     let hosts = scale.pick(32usize, 8);
-    let fabric = common::hpn_fabric(scale, 2, (hosts / 2) as u32);
-    let mut cs = common::cluster(fabric);
+    let mut cs = common::build_cluster(common::hpn_topology(scale, 2, (hosts / 2) as u32));
     // Degrade a quarter of the ToR→Agg trunks hard (50G): elephant flows
     // hashed onto them crawl unless the path selection steers around.
     for &t in &cs.fabric.tors.clone() {

@@ -8,11 +8,8 @@
 //! budget constant (a non-rail segment can only host an eighth of the
 //! hosts).
 
-use hpn_collectives::CommConfig;
-use hpn_core::TrainingSession;
-use hpn_sim::SimDuration;
-use hpn_topology::{HpnConfig, NodeKind};
-use hpn_workload::{ModelSpec, ParallelismPlan, TrainingJob};
+use hpn_scenario::{links, ModelId, Scenario, TopologySpec, WorkloadSpec};
+use hpn_topology::HpnConfig;
 
 use crate::experiments::common;
 use crate::report::{pct_gain, Report};
@@ -36,36 +33,20 @@ fn train(scale: Scale, rail_optimized: bool) -> Out {
     cfg.backup_hosts_per_segment = 0;
     cfg.aggs_per_plane = scale.pick(16, 8);
     cfg.cores_per_plane = 8;
-    let mut cs = common::cluster(cfg.build());
-    let rails = cs.fabric.host_params.rails;
-    let host_ids =
-        hpn_core::placement::place_segment_first(&cs.fabric, hosts as usize).expect("fits");
-    let segments = hpn_core::placement::segments_spanned(&cs.fabric, &host_ids);
-
-    let mut model = ModelSpec::llama_13b();
-    model.gpu_secs_per_sample = 0.2;
-    let job = TrainingJob::new(
-        model,
-        ParallelismPlan::new(rails, 1, hosts as usize),
-        host_ids,
-        rails,
-        512,
+    // gpu_secs 0.2 keeps the DP AllReduce on the critical path.
+    let scenario = Scenario::new("railopt", TopologySpec::Hpn(cfg)).with_workload(
+        WorkloadSpec::new(ModelId::Llama13b, 1, hosts as usize, 512)
+            .gpu_secs(0.2)
+            .min_timeout(600.0),
     );
-    let mut session = TrainingSession::new(job, CommConfig::hpn_default());
-    session.min_timeout = SimDuration::from_secs(600);
+    let (mut cs, mut session) = common::scenario_session(&scenario);
+    let segments = hpn_core::placement::segments_spanned(&cs.fabric, &session.job.hosts);
     session.run_iterations(&mut cs, scale.pick(3, 2) + 1);
 
     // Cross-Aggregation traffic: bits carried on ToR→Agg links.
-    let cross_agg_bits: f64 = cs
-        .fabric
-        .tors
+    let cross_agg_bits: f64 = links::tor_to_agg_links(&cs.fabric)
         .iter()
-        .flat_map(|&t| {
-            cs.fabric
-                .net
-                .out_links_to(t, |k| matches!(k, NodeKind::Agg { .. }))
-        })
-        .map(|l| cs.net.link(l.flow_link()).carried_bits)
+        .map(|&l| cs.net.link(l).carried_bits)
         .sum();
     Out {
         samples_per_sec: session.mean_throughput(1),

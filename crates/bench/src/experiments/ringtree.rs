@@ -16,7 +16,7 @@ use crate::Scale;
 
 fn time_one(scale: Scale, tree: bool, size_bits: f64) -> f64 {
     let hosts = scale.pick(16usize, 8);
-    let mut cs = common::cluster(common::hpn_fabric(scale, 1, hosts as u32));
+    let mut cs = common::build_cluster(common::hpn_topology(scale, 1, hosts as u32));
     let ranks: Vec<(u32, usize)> = (0..hosts as u32).map(|h| (h, 0usize)).collect();
     let n = ranks.len();
     let g = if tree {

@@ -7,37 +7,31 @@
 //! frontend placement is physically isolated (zero backend flows); backend
 //! placement emits the 30GB-per-GPU checkpoint through the training NICs.
 
-use hpn_collectives::CommConfig;
-use hpn_core::TrainingSession;
-use hpn_sim::SimDuration;
-use hpn_workload::{ModelSpec, ParallelismPlan, TrainingJob};
+use hpn_scenario::{ModelId, Scenario, WorkloadSpec};
 
 use crate::experiments::common;
 use crate::report::{pct_gain, Report};
 use crate::Scale;
 
 fn train_with_storage(scale: Scale, storage_in_backend: bool) -> f64 {
-    // Two segments: the job in segment 0, stand-in storage hosts in
-    // segment 1 (they model the backend-attached CPFS frontends).
+    // Two segments: the job in segment 0 (segment-first placement fills
+    // exactly its active hosts), stand-in storage hosts in segment 1 (they
+    // model the backend-attached CPFS frontends).
     let hosts = scale.pick(16u32, 8);
-    let fabric = common::hpn_fabric(scale, 2, hosts);
-    let mut cs = common::cluster(fabric);
-    let rails = cs.fabric.host_params.rails;
-    let job_hosts: Vec<u32> = cs.fabric.segment_hosts(0).iter().map(|h| h.id).collect();
-    let storage_hosts: Vec<u32> = cs.fabric.segment_hosts(1).iter().map(|h| h.id).collect();
-
-    let mut model = ModelSpec::llama_7b();
-    model.gpu_secs_per_sample = 0.1;
+    let topo = common::hpn_topology(scale, 2, hosts);
+    let fabric = common::build_fabric(&topo);
+    let job_hosts: Vec<u32> = fabric.segment_hosts(0).iter().map(|h| h.id).collect();
+    let storage_hosts: Vec<u32> = fabric.segment_hosts(1).iter().map(|h| h.id).collect();
     let dp = job_hosts.len();
-    let job = TrainingJob::new(
-        model,
-        ParallelismPlan::new(rails, 1, dp),
-        job_hosts.clone(),
-        rails,
-        512,
+
+    let scenario = Scenario::new("storage", topo).with_workload(
+        WorkloadSpec::new(ModelId::Llama7b, 1, dp, 512)
+            .gpu_secs(0.1)
+            .min_timeout(600.0),
     );
-    let mut session = TrainingSession::new(job, CommConfig::hpn_default());
-    session.min_timeout = SimDuration::from_secs(600);
+    let (mut cs, mut session) = common::scenario_session(&scenario);
+    let rails = cs.fabric.host_params.rails;
+    debug_assert_eq!(session.job.hosts, job_hosts);
     session.run_iterations(&mut cs, 2);
 
     if storage_in_backend {

@@ -15,6 +15,7 @@ pub mod gate;
 pub mod pool;
 pub mod report;
 pub mod runner;
+pub mod scenario_cli;
 
 pub use report::Report;
 

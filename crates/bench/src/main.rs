@@ -10,6 +10,10 @@
 //!                                      # regression-gate figures vs goldens
 //! hpn-experiments run [ids…|all] [--quick] [--jobs N] [--seeds A..B] [--out DIR]
 //!                                      # parallel runner / multi-seed sweep
+//! hpn-experiments scenario check a.toml b.toml…
+//!                                      # validate scenario files (no run)
+//! hpn-experiments scenario run a.toml… [--quick] [--jobs N] [--out DIR]
+//!                                      # execute user-authored scenarios
 //! ```
 //!
 //! `--jobs N` runs experiment cells on up to N worker threads; outputs are
@@ -100,6 +104,35 @@ fn main() {
         "gate" => {
             let update = args.iter().any(|a| a == "--update");
             gate(scale, update, out_dir.as_deref(), jobs);
+        }
+        "scenario" => {
+            let sub = targets.get(1).map(String::as_str).unwrap_or("");
+            let files = &targets[2.min(targets.len())..];
+            match sub {
+                "check" => {
+                    if files.is_empty() {
+                        eprintln!("usage: hpn-experiments scenario check <file.toml>…");
+                        std::process::exit(2);
+                    }
+                    if !hpn_bench::scenario_cli::check(files) {
+                        std::process::exit(2);
+                    }
+                }
+                "run" => {
+                    if files.is_empty() {
+                        eprintln!(
+                            "usage: hpn-experiments scenario run <file.toml>… \
+                             [--quick] [--jobs N] [--out DIR]"
+                        );
+                        std::process::exit(2);
+                    }
+                    scenario_run(files, scale, jobs, out_dir.as_deref());
+                }
+                other => {
+                    eprintln!("unknown scenario subcommand '{other}' — use check|run");
+                    std::process::exit(2);
+                }
+            }
         }
         "run" => {
             let seeds = match seeds_arg.as_deref().map(parse_seeds) {
@@ -274,6 +307,90 @@ fn run(ids: &[String], scale: Scale, jobs: usize, seeds: Option<Vec<u64>>, out_d
             // Sweep without --out: print the aggregate so it isn't lost.
             println!("{}", variance_json(&plan, &results));
         }
+    }
+}
+
+/// The `scenario run` subcommand: validate every file first (so a typo in
+/// the last file cannot waste a long run), then execute each scenario as a
+/// cell on the parallel runner, and write the same manifest + telemetry
+/// outputs a figure run produces.
+fn scenario_run(files: &[String], scale: Scale, jobs: usize, out_dir: Option<&str>) {
+    use hpn_bench::gate::allocator_label;
+    use hpn_bench::runner::{run_cells, write_sweep_outputs, Cell, RunPlan};
+    use hpn_bench::scenario_cli;
+
+    let mut scenarios = Vec::new();
+    let mut bad = false;
+    for p in files {
+        match scenario_cli::load(std::path::Path::new(p)).and_then(|sc| sc.check().map(|()| sc)) {
+            Ok(sc) => scenarios.push(sc),
+            Err(e) => {
+                eprintln!("{e}");
+                bad = true;
+            }
+        }
+    }
+    if bad {
+        std::process::exit(2);
+    }
+
+    // Cell labels are the scenario names, disambiguated on collision so
+    // per-cell outputs cannot overwrite each other.
+    let mut labels: Vec<String> = Vec::new();
+    for sc in &scenarios {
+        let mut label = sc.name.clone();
+        if labels.contains(&label) {
+            label = format!("{}#{}", sc.name, labels.len());
+        }
+        labels.push(label);
+    }
+    eprintln!(
+        "scenario run: {} cell(s), allocator={}, {:?}, jobs={jobs}",
+        scenarios.len(),
+        allocator_label(),
+        scale,
+    );
+
+    let tasks: Vec<(Cell, _)> = scenarios
+        .into_iter()
+        .zip(&labels)
+        .enumerate()
+        .map(|(index, (sc, label))| {
+            let cell = Cell {
+                index,
+                figure: label.clone(),
+                seed: None,
+            };
+            (cell, move |scale| scenario_cli::report_for(&sc, scale))
+        })
+        .collect();
+    let start = std::time::Instant::now();
+    let results = run_cells(tasks, scale, jobs);
+    let wall = start.elapsed();
+
+    for r in &results {
+        r.report.print();
+    }
+    for r in &results {
+        eprintln!("  {:<24} {:>8.2}s", r.cell.figure, r.wall.as_secs_f64());
+    }
+    eprintln!(
+        "scenario wall-clock {:.2}s (jobs={jobs})",
+        wall.as_secs_f64()
+    );
+
+    if let Some(dir) = out_dir {
+        // Reuse the sweep writer: one `None` seed, figures = cell labels.
+        let plan = RunPlan {
+            figures: labels,
+            seeds: vec![None],
+            scale,
+        };
+        if let Err(e) = write_sweep_outputs(&plan, &results, Some(std::path::Path::new(dir))) {
+            eprintln!("writing scenario outputs failed: {e}");
+            std::process::exit(2);
+        }
+        eprintln!("wrote manifest + telemetry under {dir}/");
     }
 }
 

@@ -164,7 +164,11 @@ fn cell_label(cell: &Cell, scale: Scale) -> String {
 }
 
 /// Execute one cell in isolation on the current thread.
-fn run_cell(cell: &Cell, scale: Scale, f: ExperimentFn) -> CellResult {
+///
+/// Generic over the cell body so user-authored scenarios (closures built
+/// by `scenario_cli`) run through the exact same seed-scope / telemetry /
+/// fingerprint machinery as the registered experiments.
+fn run_cell<F: Fn(Scale) -> Report>(cell: &Cell, scale: Scale, f: F) -> CellResult {
     let start = std::time::Instant::now();
     let log = EventLog::new();
     let registry = Rc::new(RefCell::new(Registry::new()));
@@ -198,6 +202,16 @@ fn run_cell(cell: &Cell, scale: Scale, f: ExperimentFn) -> CellResult {
     }
 }
 
+/// Run an arbitrary batch of `(cell, body)` tasks across `jobs` workers
+/// and return results in plan (index) order. `jobs <= 1` is the exact
+/// sequential path (no pool).
+pub fn run_cells<F>(tasks: Vec<(Cell, F)>, scale: Scale, jobs: usize) -> Vec<CellResult>
+where
+    F: Fn(Scale) -> Report + Send + Sync,
+{
+    pool::run_indexed(jobs, tasks, move |_, (cell, f)| run_cell(&cell, scale, f))
+}
+
 /// Run every cell of the plan across `jobs` workers and return results in
 /// plan order. `jobs <= 1` is the exact sequential path (no pool).
 pub fn run_plan(plan: &RunPlan, jobs: usize) -> Vec<CellResult> {
@@ -209,8 +223,7 @@ pub fn run_plan(plan: &RunPlan, jobs: usize) -> Vec<CellResult> {
             (c, f)
         })
         .collect();
-    let scale = plan.scale;
-    pool::run_indexed(jobs, tasks, move |_, (cell, f)| run_cell(&cell, scale, f))
+    run_cells(tasks, plan.scale, jobs)
 }
 
 /// Write one manifest per sweep seed (`manifest-seed<root>.json`) plus the

@@ -1,0 +1,284 @@
+//! The `scenario` subcommand — user-authored scenario files.
+//!
+//! `hpn-experiments scenario check a.toml …` parses and cross-layer
+//! validates each file, printing one diagnostic line per problem
+//! (`file.toml:12: [workload.dp] …`) and never panicking on user input.
+//!
+//! `hpn-experiments scenario run a.toml …` executes each scenario through
+//! the same cell machinery as the registered experiments
+//! ([`crate::runner::run_cells`]): per-cell telemetry scope, fingerprint,
+//! manifest and JSONL outputs, `--jobs N` parallelism with plan-order
+//! merge. The reduction is generic — fabric inventory rows, then (when the
+//! scenario declares a workload) a warm-up plus `iterations` training
+//! iterations with the fault schedule replayed at its simulated times.
+
+use std::path::Path;
+
+use hpn_core::{IterationOutcome, TrainingSession};
+use hpn_faults::{FaultEvent, FaultKind};
+use hpn_routing::HashMode;
+use hpn_scenario::{Scenario, ScenarioError};
+use hpn_sim::TimeSeries;
+use hpn_transport::ClusterSim;
+
+use crate::report::Report;
+use crate::Scale;
+
+/// Load and parse a scenario file; every diagnostic names the file.
+pub fn load(path: &Path) -> Result<Scenario, ScenarioError> {
+    let file = path.display().to_string();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| ScenarioError::general(format!("cannot read scenario: {e}")).in_file(&file))?;
+    Scenario::parse_toml(&text).map_err(|e| e.in_file(&file))
+}
+
+/// Pre-schedule the fault plan on the simulator's own timeline, so faults
+/// strike mid-iteration exactly when the schedule says — the session keeps
+/// driving the cluster while cable timers fire underneath it.
+fn schedule_faults(cs: &mut ClusterSim, schedule: &[FaultEvent]) {
+    for ev in schedule {
+        match ev.kind {
+            FaultKind::LinkFailure { link, repair_after } => {
+                cs.schedule_cable_event(ev.at, link, false);
+                cs.schedule_cable_event(ev.at + repair_after, link, true);
+            }
+            FaultKind::LinkFlap { link, duration } => {
+                cs.schedule_cable_event(ev.at, link, false);
+                cs.schedule_cable_event(ev.at + duration, link, true);
+            }
+            FaultKind::TorCrash { tor, repair_after } => {
+                // Cable events fail both directions, so the ToR's out-links
+                // cover every cable `hpn_faults::apply` would touch.
+                for link in cs.fabric.net.out_links(tor).collect::<Vec<_>>() {
+                    cs.schedule_cable_event(ev.at, link, false);
+                    cs.schedule_cable_event(ev.at + repair_after, link, true);
+                }
+            }
+        }
+    }
+}
+
+fn run_training(
+    r: &mut Report,
+    cs: &mut ClusterSim,
+    mut session: TrainingSession,
+    iterations: usize,
+) {
+    // Warm-up iteration absorbs connection establishment, like every
+    // registered training experiment.
+    session.run_iteration(cs);
+    let mut series = TimeSeries::new("samples_per_sec");
+    let mut timeouts = 0usize;
+    for _ in 0..iterations {
+        let rec = session.run_iteration(cs);
+        series.push(rec.end, rec.samples_per_sec);
+        let label = format!("iteration {}", rec.index);
+        match rec.outcome {
+            IterationOutcome::Completed { duration } => {
+                r.row(
+                    label,
+                    format!(
+                        "{:.1} samples/s ({:.3}s)",
+                        rec.samples_per_sec,
+                        duration.as_secs_f64()
+                    ),
+                );
+            }
+            IterationOutcome::TimedOut => {
+                timeouts += 1;
+                r.row(label, "TIMED OUT (collective stalled past the deadline)");
+            }
+        }
+    }
+    r.row(
+        "mean throughput",
+        format!(
+            "{:.1} samples/s over {iterations} iteration(s)",
+            session.mean_throughput(1)
+        ),
+    );
+    r.push_series(series);
+    if timeouts > 0 {
+        r.verdict(format!(
+            "{timeouts}/{iterations} iteration(s) timed out under the fault schedule"
+        ));
+    } else {
+        r.verdict("all iterations completed");
+    }
+}
+
+/// Execute one scenario at `scale` and reduce it to a [`Report`].
+///
+/// Panics only if the scenario fails to build — `scenario run` validates
+/// every file before scheduling any cell, so a failure here is a bug.
+pub fn report_for(sc: &Scenario, scale: Scale) -> Report {
+    let mut built = sc
+        .build()
+        .unwrap_or_else(|e| panic!("scenario '{}' failed to build: {e}", sc.name));
+    let mut r = Report::new(
+        &sc.name,
+        &format!("user scenario ({} topology)", sc.topology.kind()),
+        "declared in a scenario file — no paper claim attached",
+    );
+    let fabric = &built.cluster.fabric;
+    r.row(
+        "fabric",
+        format!(
+            "{} hosts / {} GPUs / {} segment(s) / {} pod(s)",
+            fabric.hosts.len(),
+            fabric.active_gpu_count(),
+            fabric.segments,
+            fabric.pods
+        ),
+    );
+    r.row(
+        "switching",
+        format!(
+            "{} ToR / {} Agg / {} Core, {} links",
+            fabric.tors.len(),
+            fabric.aggs.len(),
+            fabric.cores.len(),
+            fabric.net.link_count()
+        ),
+    );
+    r.row(
+        "routing",
+        match sc.routing.hash {
+            HashMode::Polarized => "polarized ECMP hash",
+            HashMode::Independent => "independent per-switch hashes",
+        },
+    );
+    if !built.faults.is_empty() {
+        let first = built
+            .faults
+            .first()
+            .map(|e| e.at.as_secs_f64())
+            .unwrap_or(0.0);
+        let last = built
+            .faults
+            .last()
+            .map(|e| e.at.as_secs_f64())
+            .unwrap_or(0.0);
+        r.row(
+            "faults",
+            format!(
+                "{} event(s) between t={first:.1}s and t={last:.1}s",
+                built.faults.len()
+            ),
+        );
+    }
+    match built.workload.take() {
+        None => {
+            r.verdict("topology-only scenario: inventory built and validated");
+        }
+        Some(w) => {
+            r.row(
+                "workload",
+                format!(
+                    "{} — tp{}×pp{}×dp{}, batch {}, {} host(s), {} iteration(s)",
+                    w.model.name,
+                    w.plan.tp,
+                    w.plan.pp,
+                    w.plan.dp,
+                    w.global_batch,
+                    w.hosts.len(),
+                    w.iterations
+                ),
+            );
+            let iterations = scale.pick(w.iterations, w.iterations.min(2));
+            schedule_faults(&mut built.cluster, &built.faults);
+            run_training(&mut r, &mut built.cluster, w.session(), iterations);
+        }
+    }
+    r
+}
+
+/// `scenario check`: validate every file, print one line per file, and
+/// return `false` if any failed.
+pub fn check(paths: &[String]) -> bool {
+    let mut ok = true;
+    for p in paths {
+        match load(Path::new(p)).and_then(|sc| sc.check().map(|()| sc)) {
+            Ok(sc) => println!("ok: {p} (scenario '{}')", sc.name),
+            Err(e) => {
+                eprintln!("{e}");
+                ok = false;
+            }
+        }
+    }
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpn_scenario::{FaultsSpec, Injection, ModelId, TopologySpec, WorkloadSpec};
+    use hpn_topology::HpnConfig;
+
+    fn training_scenario() -> Scenario {
+        Scenario::new("cli-test", TopologySpec::Hpn(HpnConfig::tiny()))
+            .with_workload(WorkloadSpec::new(ModelId::Llama7b, 2, 2, 64).gpu_secs(0.05))
+    }
+
+    #[test]
+    fn training_scenario_reports_throughput() {
+        let r = report_for(&training_scenario(), Scale::Quick);
+        assert_eq!(r.id, "cli-test");
+        assert!(r.rows.iter().any(|(k, _)| k == "mean throughput"));
+        assert_eq!(r.series.len(), 1);
+        assert_eq!(r.verdict, "all iterations completed");
+    }
+
+    #[test]
+    fn topology_only_scenario_reports_inventory() {
+        let sc = Scenario::new("inv", TopologySpec::Hpn(HpnConfig::tiny()));
+        let r = report_for(&sc, Scale::Quick);
+        assert!(r.rows.iter().any(|(k, _)| k == "fabric"));
+        assert!(r.verdict.contains("topology-only"));
+    }
+
+    #[test]
+    fn unrepaired_fault_times_a_scenario_out() {
+        // Cut host 0's rail-0 cables on both ToRs mid-iteration and never
+        // repair them: with dual-ToR both ports dead, traffic cannot detour
+        // and the iteration must hit the NCCL-timeout condition of §9.3.
+        let sc = Scenario::new("cli-fault", TopologySpec::Hpn(HpnConfig::tiny()))
+            .with_workload(
+                WorkloadSpec::new(ModelId::Llama7b, 2, 2, 64)
+                    .gpu_secs(0.05)
+                    .timeout_scaled(1.5),
+            )
+            .with_faults(FaultsSpec {
+                poisson: None,
+                injections: (0..2)
+                    .map(|port| Injection {
+                        host: 0,
+                        rail: 0,
+                        port,
+                        at_secs: 0.0,
+                        repair_secs: None,
+                    })
+                    .collect(),
+            });
+        let r = report_for(&sc, Scale::Quick);
+        assert!(
+            r.verdict.contains("timed out"),
+            "severed host must stall the job: {:?}",
+            r.rows
+        );
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let a = report_for(&training_scenario(), Scale::Quick);
+        let b = report_for(&training_scenario(), Scale::Quick);
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn load_tags_diagnostics_with_the_path() {
+        let e = load(Path::new("/nonexistent/x.toml")).unwrap_err();
+        assert_eq!(e.file.as_deref(), Some("/nonexistent/x.toml"));
+        assert!(e.to_string().starts_with("/nonexistent/x.toml:"));
+    }
+}

@@ -23,6 +23,16 @@ pub enum PlacementError {
         /// Hosts available.
         have: usize,
     },
+    /// The placement needs more of some topological unit (segments, pods)
+    /// than the fabric provides.
+    NotEnoughGroups {
+        /// The unit ("segments" or "pods").
+        unit: &'static str,
+        /// Units required by the placement.
+        want: u32,
+        /// Units the fabric has.
+        have: u32,
+    },
 }
 
 impl std::fmt::Display for PlacementError {
@@ -30,6 +40,9 @@ impl std::fmt::Display for PlacementError {
         match self {
             PlacementError::NotEnoughHosts { want, have } => {
                 write!(f, "placement needs {want} hosts, fabric has {have}")
+            }
+            PlacementError::NotEnoughGroups { unit, want, have } => {
+                write!(f, "placement needs {want} {unit}, fabric has {have}")
             }
         }
     }
@@ -108,6 +121,87 @@ pub fn place_cross_pod_pp(
     Ok(out)
 }
 
+/// Interleave DP replicas across the first two segments: replica `d` lives
+/// in segment `d % 2`, stages packed consecutively within the segment. The
+/// §6.1 adversarial placement — every DP-ring hop converges through the
+/// Aggregation layer onto a dual-ToR set (Fig 13/14, Fig 19's cross-segment
+/// collectives).
+pub fn place_interleaved_segments(
+    fabric: &Fabric,
+    plan: &ParallelismPlan,
+) -> Result<Vec<u32>, PlacementError> {
+    if fabric.segments < 2 {
+        return Err(PlacementError::NotEnoughGroups {
+            unit: "segments",
+            want: 2,
+            have: fabric.segments,
+        });
+    }
+    let seg0: Vec<u32> = fabric.segment_hosts(0).iter().map(|h| h.id).collect();
+    let seg1: Vec<u32> = fabric.segment_hosts(1).iter().map(|h| h.id).collect();
+    let (pp, dp) = (plan.pp, plan.dp);
+    let mut hosts = Vec::with_capacity(pp * dp);
+    for d in 0..dp {
+        let pool = if d % 2 == 0 { &seg0 } else { &seg1 };
+        for st in 0..pp {
+            let idx = (d / 2) * pp + st;
+            if idx >= pool.len() {
+                return Err(PlacementError::NotEnoughHosts {
+                    want: pp * dp,
+                    have: hosts.len(),
+                });
+            }
+            hosts.push(pool[idx]);
+        }
+    }
+    Ok(hosts)
+}
+
+/// The naive cross-pod placement §7 warns against: DP replicas alternate
+/// between pod 0 and pod 1, so every DP ring crosses the oversubscribed
+/// core. The foil to [`place_cross_pod_pp`].
+pub fn place_alternating_pods(
+    fabric: &Fabric,
+    plan: &ParallelismPlan,
+) -> Result<Vec<u32>, PlacementError> {
+    if fabric.pods < 2 {
+        return Err(PlacementError::NotEnoughGroups {
+            unit: "pods",
+            want: 2,
+            have: fabric.pods,
+        });
+    }
+    let pod0: Vec<u32> = fabric
+        .hosts
+        .iter()
+        .filter(|h| h.pod == 0 && !h.backup)
+        .map(|h| h.id)
+        .collect();
+    let pod1: Vec<u32> = fabric
+        .hosts
+        .iter()
+        .filter(|h| h.pod == 1 && !h.backup)
+        .map(|h| h.id)
+        .collect();
+    let (pp, dp) = (plan.pp, plan.dp);
+    let mut hosts = Vec::with_capacity(pp * dp);
+    for d in 0..dp {
+        // Ring neighbours d, d+1 land in different pods.
+        let pool = if d % 2 == 0 { &pod0 } else { &pod1 };
+        for s in 0..pp {
+            let idx = (d / 2) * pp + s;
+            if idx >= pool.len() {
+                return Err(PlacementError::NotEnoughHosts {
+                    want: pp * dp,
+                    have: hosts.len(),
+                });
+            }
+            hosts.push(pool[idx]);
+        }
+    }
+    Ok(hosts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -180,6 +274,58 @@ mod tests {
             assert_eq!(s0, 0);
             assert_eq!(s1, 1, "stage 1 must sit in the other pod");
         }
+    }
+
+    #[test]
+    fn interleaved_segments_alternate_replicas() {
+        let f = HpnConfig::tiny().build(); // 2 segments × 4 active hosts
+        let plan = ParallelismPlan::new(2, 2, 4);
+        let hosts = place_interleaved_segments(&f, &plan).unwrap();
+        assert_eq!(hosts.len(), 8);
+        for d in 0..4 {
+            for s in 0..2 {
+                let seg = f.hosts[hosts[plan.host_of(d, s)] as usize].segment;
+                assert_eq!(
+                    seg as usize,
+                    d % 2,
+                    "replica {d} must sit in segment {}",
+                    d % 2
+                );
+            }
+        }
+        // Overflow within a segment is a typed error, not an index panic.
+        let too_big = ParallelismPlan::new(2, 2, 10);
+        assert!(matches!(
+            place_interleaved_segments(&f, &too_big),
+            Err(PlacementError::NotEnoughHosts { .. })
+        ));
+        let mut one_seg = HpnConfig::tiny();
+        one_seg.segments_per_pod = 1;
+        assert!(matches!(
+            place_interleaved_segments(&one_seg.build(), &plan),
+            Err(PlacementError::NotEnoughGroups {
+                unit: "segments",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn alternating_pods_cross_every_ring_hop() {
+        let mut cfg = HpnConfig::tiny();
+        cfg.pods = 2;
+        let f = cfg.build();
+        let plan = ParallelismPlan::new(2, 2, 4);
+        let hosts = place_alternating_pods(&f, &plan).unwrap();
+        for d in 0..4 {
+            let pod = f.hosts[hosts[plan.host_of(d, 0)] as usize].pod;
+            assert_eq!(pod as usize, d % 2);
+        }
+        let single = HpnConfig::tiny().build();
+        assert!(matches!(
+            place_alternating_pods(&single, &plan),
+            Err(PlacementError::NotEnoughGroups { unit: "pods", .. })
+        ));
     }
 
     #[test]

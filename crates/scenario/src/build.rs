@@ -1,0 +1,366 @@
+//! Scenario → simulator wiring with cross-layer validation.
+//!
+//! [`Scenario::build`] is the single choke point between the declarative
+//! spec and the runtime: it builds the fabric, checks the workload against
+//! the fabric's actual inventory (not just against itself), resolves fault
+//! targets to concrete cables, and hands back a [`Session`] ready to run.
+//! Everything that used to be a scattered `unwrap`/`assert` in experiment
+//! code surfaces here as a [`ScenarioError`] naming the offending field.
+
+use hpn_collectives::CommConfig;
+use hpn_core::{placement, TrainingSession};
+use hpn_faults::{FaultEvent, FaultKind, FaultRates};
+use hpn_sim::{SimDuration, SimTime};
+use hpn_topology::{try_build_rail_only, try_fat_tree, Fabric};
+use hpn_transport::ClusterSim;
+use hpn_workload::{ModelSpec, ParallelismPlan, TrainingJob};
+
+use crate::error::ScenarioError;
+use crate::spec::{FaultsSpec, PlacementSpec, Scenario, TopologySpec, WorkloadSpec};
+
+/// Repair delay standing in for "never repaired" (~31 simulated years —
+/// far past any experiment horizon).
+const NEVER: f64 = 1e9;
+
+/// A validated, placed training workload, ready to instantiate sessions.
+#[derive(Clone, Debug)]
+pub struct BuiltWorkload {
+    /// Model with any `gpu_secs_per_sample` override applied.
+    pub model: ModelSpec,
+    /// TP×PP×DP plan (TP = the fabric's rails).
+    pub plan: ParallelismPlan,
+    /// Stage-major host placement, validated against the fabric.
+    pub hosts: Vec<u32>,
+    /// Global batch size.
+    pub global_batch: usize,
+    /// Iterations a `scenario run` executes (plus one warm-up).
+    pub iterations: usize,
+    spray: Option<u32>,
+    min_timeout_secs: Option<f64>,
+    timeout_factor: Option<f64>,
+}
+
+impl BuiltWorkload {
+    /// Instantiate a fresh [`TrainingSession`] for this workload with the
+    /// scenario's overrides applied. Sessions hold per-run communicator
+    /// state, so each run gets its own.
+    pub fn session(&self) -> TrainingSession {
+        let job = TrainingJob::new(
+            self.model.clone(),
+            self.plan,
+            self.hosts.clone(),
+            self.plan.tp,
+            self.global_batch,
+        );
+        let mut session = TrainingSession::new(job, CommConfig::hpn_default());
+        if let Some(s) = self.spray {
+            session = session.with_spray(s);
+        }
+        if let Some(m) = self.min_timeout_secs {
+            session.min_timeout = SimDuration::from_secs_f64(m);
+        }
+        if let Some(f) = self.timeout_factor {
+            session.timeout_factor = f;
+        }
+        session
+    }
+}
+
+/// A built scenario: cluster runtime plus validated workload and faults.
+pub struct Session {
+    /// The cluster simulator (fabric + routing already wired).
+    pub cluster: ClusterSim,
+    /// The training workload, when the scenario declares one.
+    pub workload: Option<BuiltWorkload>,
+    /// The fault schedule (explicit injections merged with any sampled
+    /// Poisson schedule), sorted by time; replay with
+    /// [`hpn_faults::inject`].
+    pub faults: Vec<FaultEvent>,
+}
+
+impl TopologySpec {
+    /// Build just the fabric this spec describes (no routing, workload or
+    /// fault wiring) — what fault-planning and inventory experiments need.
+    pub fn try_build(&self) -> Result<Fabric, ScenarioError> {
+        match self {
+            TopologySpec::Hpn(cfg) => Ok(cfg.try_build()?),
+            TopologySpec::DcnPlus(cfg) => Ok(cfg.try_build()?),
+            TopologySpec::RailOnly(cfg) => Ok(try_build_rail_only(cfg)?),
+            TopologySpec::FatTree {
+                k,
+                link_bps,
+                buffer_bits,
+            } => Ok(try_fat_tree(*k, *link_bps, *buffer_bits)?),
+        }
+    }
+}
+
+fn build_workload(fabric: &Fabric, w: &WorkloadSpec) -> Result<BuiltWorkload, ScenarioError> {
+    let rails = fabric.host_params.rails;
+    let plan = ParallelismPlan::new(rails, w.pp, w.dp);
+    let want = w.pp * w.dp;
+    let have = fabric.hosts.iter().filter(|h| !h.backup).count();
+    if want > have {
+        return Err(ScenarioError::field(
+            "workload",
+            format!(
+                "pp×dp = {}×{} needs {want} hosts, fabric has {have} active",
+                w.pp, w.dp
+            ),
+        ));
+    }
+    let hosts = match w.placement {
+        PlacementSpec::SegmentFirst => placement::place_segment_first(fabric, want)?,
+        PlacementSpec::InterleaveSegments => placement::place_interleaved_segments(fabric, &plan)?,
+        PlacementSpec::CrossPodPp => placement::place_cross_pod_pp(fabric, &plan)?,
+        PlacementSpec::AlternatePods => placement::place_alternating_pods(fabric, &plan)?,
+    };
+    let mut model = w.model.to_spec();
+    if let Some(g) = w.gpu_secs_per_sample {
+        if !(g > 0.0 && g.is_finite()) {
+            return Err(ScenarioError::field(
+                "workload.gpu_secs_per_sample",
+                format!("must be a positive number, got {g}"),
+            ));
+        }
+        model.gpu_secs_per_sample = g;
+    }
+    if let Some(f) = w.timeout_factor {
+        if !(f > 0.0 && f.is_finite()) {
+            return Err(ScenarioError::field(
+                "workload.timeout_factor",
+                format!("must be a positive number, got {f}"),
+            ));
+        }
+    }
+    if let Some(m) = w.min_timeout_secs {
+        if !(m >= 0.0 && m.is_finite()) {
+            return Err(ScenarioError::field(
+                "workload.min_timeout_secs",
+                format!("must be a non-negative number, got {m}"),
+            ));
+        }
+    }
+    if let Some(s) = w.spray {
+        if s == 0 {
+            return Err(ScenarioError::field("workload.spray", "must be at least 1"));
+        }
+    }
+    if w.iterations == 0 {
+        return Err(ScenarioError::field(
+            "workload.iterations",
+            "must be at least 1",
+        ));
+    }
+    Ok(BuiltWorkload {
+        model,
+        plan,
+        hosts,
+        global_batch: w.global_batch,
+        iterations: w.iterations,
+        spray: w.spray,
+        min_timeout_secs: w.min_timeout_secs,
+        timeout_factor: w.timeout_factor,
+    })
+}
+
+fn build_faults(fabric: &Fabric, f: &FaultsSpec) -> Result<Vec<FaultEvent>, ScenarioError> {
+    let mut events: Vec<FaultEvent> = Vec::new();
+    if let Some((horizon, seed)) = f.poisson {
+        if !(horizon > 0.0 && horizon.is_finite()) {
+            return Err(ScenarioError::field(
+                "faults.horizon_secs",
+                format!("must be a positive number, got {horizon}"),
+            ));
+        }
+        events = hpn_faults::plan(
+            fabric,
+            &FaultRates::paper(),
+            SimDuration::from_secs_f64(horizon),
+            seed,
+        );
+    }
+    for (i, inj) in f.injections.iter().enumerate() {
+        let field = |k: &str| format!("faults.inject[{i}].{k}");
+        let host = fabric.hosts.get(inj.host as usize).ok_or_else(|| {
+            ScenarioError::field(
+                field("host"),
+                format!(
+                    "host {} does not exist (fabric has {} hosts)",
+                    inj.host,
+                    fabric.hosts.len()
+                ),
+            )
+        })?;
+        if inj.rail >= host.nic_up.len() {
+            return Err(ScenarioError::field(
+                field("rail"),
+                format!(
+                    "rail {} does not exist (host has {} NICs)",
+                    inj.rail,
+                    host.nic_up.len()
+                ),
+            ));
+        }
+        if inj.port >= 2 {
+            return Err(ScenarioError::field(
+                field("port"),
+                format!("port {} does not exist (NICs have ports 0 and 1)", inj.port),
+            ));
+        }
+        let link = host.nic_up[inj.rail][inj.port].ok_or_else(|| {
+            ScenarioError::field(
+                field("port"),
+                format!(
+                    "host {} rail {} has no cable on port {} in this fabric",
+                    inj.host, inj.rail, inj.port
+                ),
+            )
+        })?;
+        if !(inj.at_secs >= 0.0 && inj.at_secs.is_finite()) {
+            return Err(ScenarioError::field(
+                field("at_secs"),
+                format!("must be a non-negative number, got {}", inj.at_secs),
+            ));
+        }
+        let repair_after = match inj.repair_secs {
+            None => NEVER,
+            Some(r) if r > 0.0 && r.is_finite() => r,
+            Some(r) => {
+                return Err(ScenarioError::field(
+                    field("repair_secs"),
+                    format!("must be a positive number, got {r}"),
+                ));
+            }
+        };
+        events.push(FaultEvent {
+            at: SimTime::from_secs_f64(inj.at_secs),
+            kind: FaultKind::LinkFailure {
+                link,
+                repair_after: SimDuration::from_secs_f64(repair_after),
+            },
+        });
+    }
+    // Poisson output is already sorted; a stable sort keeps injections in
+    // declaration order at equal times.
+    events.sort_by_key(|e| e.at);
+    Ok(events)
+}
+
+impl Scenario {
+    /// Build the scenario into a runnable [`Session`], or explain exactly
+    /// which field makes it unbuildable.
+    pub fn build(&self) -> Result<Session, ScenarioError> {
+        let fabric = self.topology.try_build()?;
+        let workload = match &self.workload {
+            None => None,
+            Some(w) => Some(build_workload(&fabric, w)?),
+        };
+        let faults = match &self.faults {
+            None => Vec::new(),
+            Some(f) => build_faults(&fabric, f)?,
+        };
+        let cluster = ClusterSim::new(fabric, self.routing.hash);
+        Ok(Session {
+            cluster,
+            workload,
+            faults,
+        })
+    }
+
+    /// Validate without running: parse-level checks have passed if `self`
+    /// exists; this performs the build-level (cross-layer) ones.
+    pub fn check(&self) -> Result<(), ScenarioError> {
+        self.build().map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{Injection, ModelId, WorkloadSpec};
+    use hpn_topology::HpnConfig;
+
+    fn tiny() -> Scenario {
+        Scenario::new("t", TopologySpec::Hpn(HpnConfig::tiny()))
+    }
+
+    #[test]
+    fn builds_a_runnable_training_session() {
+        let s = tiny().with_workload(WorkloadSpec::new(ModelId::Llama7b, 2, 2, 64).gpu_secs(0.1));
+        let mut built = s.build().expect("valid scenario");
+        let w = built.workload.take().expect("has workload");
+        assert_eq!(w.hosts.len(), 4);
+        let mut session = w.session();
+        session.run_iterations(&mut built.cluster, 1);
+        assert!(session.mean_throughput(0) > 0.0);
+    }
+
+    #[test]
+    fn oversized_workload_names_the_inventory() {
+        let s = tiny().with_workload(WorkloadSpec::new(ModelId::Llama7b, 4, 100, 64));
+        let err = s.build().map(|_| ()).unwrap_err();
+        assert_eq!(err.field, "workload");
+        assert!(err.msg.contains("fabric has 8 active"), "{err}");
+    }
+
+    #[test]
+    fn bad_topology_field_surfaces_through_build() {
+        let mut cfg = HpnConfig::tiny();
+        cfg.cores_per_plane = 0;
+        let err = Scenario::new("t", TopologySpec::Hpn(cfg))
+            .check()
+            .unwrap_err();
+        assert_eq!(err.field, "topology.cores_per_plane");
+    }
+
+    #[test]
+    fn fault_targets_are_checked_against_the_fabric() {
+        let inj = |host, rail, port| Injection {
+            host,
+            rail,
+            port,
+            at_secs: 1.0,
+            repair_secs: None,
+        };
+        let with = |injection| {
+            tiny().with_faults(FaultsSpec {
+                poisson: None,
+                injections: vec![injection],
+            })
+        };
+        assert_eq!(
+            with(inj(99, 0, 0)).check().unwrap_err().field,
+            "faults.inject[0].host"
+        );
+        assert_eq!(
+            with(inj(0, 64, 0)).check().unwrap_err().field,
+            "faults.inject[0].rail"
+        );
+        assert_eq!(
+            with(inj(0, 0, 5)).check().unwrap_err().field,
+            "faults.inject[0].port"
+        );
+        let ok = with(inj(0, 0, 1)).build().expect("dual-ToR port 1 exists");
+        assert_eq!(ok.faults.len(), 1);
+    }
+
+    #[test]
+    fn poisson_schedule_is_deterministic_per_seed() {
+        let s = |seed| {
+            tiny()
+                .with_faults(FaultsSpec {
+                    poisson: Some((30.0 * 24.0 * 3600.0, seed)),
+                    injections: vec![],
+                })
+                .build()
+                .expect("valid")
+                .faults
+        };
+        let a = s(7);
+        let b = s(7);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x.at == y.at));
+        assert!(!a.is_empty(), "a month of paper rates faults something");
+    }
+}

@@ -1,0 +1,120 @@
+//! Scenario failures with file/field context.
+//!
+//! Everything a user-authored scenario can get wrong — unparseable TOML,
+//! an unknown key, a field the fabric builder rejects, a workload the
+//! fabric cannot place, a fault aimed at a port that does not exist —
+//! funnels into [`ScenarioError`], which renders as a single diagnostic
+//! line: `file.toml:12: [topology.cores_per_plane] must be at least 1`.
+
+use crate::toml::ParseError;
+
+/// A scenario that cannot be parsed or built, with enough context to point
+/// the author at the offending field.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioError {
+    /// Source file, when the scenario came from one (set via
+    /// [`ScenarioError::in_file`]).
+    pub file: Option<String>,
+    /// Dotted field path (e.g. `"topology.cores_per_plane"`), empty when
+    /// the error is not about one field.
+    pub field: String,
+    /// 1-based source line, when known.
+    pub line: Option<u32>,
+    /// What is wrong.
+    pub msg: String,
+}
+
+impl ScenarioError {
+    /// An error about a specific field.
+    pub fn field(field: impl Into<String>, msg: impl Into<String>) -> Self {
+        ScenarioError {
+            file: None,
+            field: field.into(),
+            line: None,
+            msg: msg.into(),
+        }
+    }
+
+    /// An error not tied to one field (e.g. a cross-layer check).
+    pub fn general(msg: impl Into<String>) -> Self {
+        Self::field("", msg)
+    }
+
+    /// Attach the source line the field came from.
+    pub fn at_line(mut self, line: u32) -> Self {
+        if line > 0 {
+            self.line = Some(line);
+        }
+        self
+    }
+
+    /// Attach the source file (the CLI does this when loading).
+    pub fn in_file(mut self, file: impl Into<String>) -> Self {
+        self.file = Some(file.into());
+        self
+    }
+}
+
+impl From<ParseError> for ScenarioError {
+    fn from(e: ParseError) -> Self {
+        ScenarioError {
+            file: None,
+            field: String::new(),
+            line: Some(e.line),
+            msg: e.msg,
+        }
+    }
+}
+
+impl From<hpn_topology::BuildError> for ScenarioError {
+    fn from(e: hpn_topology::BuildError) -> Self {
+        ScenarioError::field(format!("topology.{}", e.field), e.reason)
+    }
+}
+
+impl From<hpn_core::placement::PlacementError> for ScenarioError {
+    fn from(e: hpn_core::placement::PlacementError) -> Self {
+        ScenarioError::field("workload.placement", e.to_string())
+    }
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(file) = &self.file {
+            write!(f, "{file}:")?;
+            if let Some(line) = self.line {
+                write!(f, "{line}:")?;
+            }
+            write!(f, " ")?;
+        } else if let Some(line) = self.line {
+            write!(f, "line {line}: ")?;
+        }
+        if !self.field.is_empty() {
+            write!(f, "[{}] ", self.field)?;
+        }
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_file_line_and_field() {
+        let e = ScenarioError::field("topology.pods", "must be at least 1, got 0")
+            .at_line(12)
+            .in_file("bad.toml");
+        assert_eq!(
+            e.to_string(),
+            "bad.toml:12: [topology.pods] must be at least 1, got 0"
+        );
+        let e = ScenarioError::general("workload and collective are mutually exclusive");
+        assert_eq!(
+            e.to_string(),
+            "workload and collective are mutually exclusive"
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! hpn-scenario — one typed spec that drives topology, routing, workload
+//! and faults.
+//!
+//! The evaluation in the paper is a grid of scenarios: a fabric variant
+//! (HPN, its Clos/rail ablations, DCN+, fat-tree), a hash family, a
+//! training job, sometimes a fault schedule. This crate makes that grid
+//! first-class: a [`Scenario`] is plain data, writable as Rust literals by
+//! the figure experiments or as TOML files by users, and
+//! [`Scenario::build`] turns it into a runnable [`Session`] after
+//! cross-layer validation — a workload checked against the fabric's actual
+//! host inventory, fault targets resolved to cables that exist.
+//!
+//! The TOML binding uses a hand-rolled subset parser ([`toml`]) so the
+//! crate stays dependency-free, mirroring the repo's `telemetry::sha256`.
+//!
+//! ```
+//! use hpn_scenario::Scenario;
+//!
+//! let s = Scenario::parse_toml(
+//!     r#"
+//!     name = "tiny demo"
+//!     [topology]
+//!     kind = "hpn"
+//!     preset = "tiny"
+//!     [workload]
+//!     model = "llama-7b"
+//!     pp = 2
+//!     dp = 2
+//!     global_batch = 64
+//!     "#,
+//! )
+//! .unwrap();
+//! let session = s.build().unwrap();
+//! assert_eq!(session.workload.unwrap().hosts.len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+
+mod build;
+mod error;
+pub mod links;
+mod spec;
+pub mod toml;
+
+pub use build::{BuiltWorkload, Session};
+pub use error::ScenarioError;
+pub use spec::{
+    FaultsSpec, Injection, ModelId, PlacementSpec, RoutingSpec, Scenario, TopologySpec,
+    WorkloadSpec,
+};

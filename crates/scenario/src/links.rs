@@ -1,0 +1,65 @@
+//! Link-selection helpers shared by experiments and scenario reductions.
+//!
+//! Several figures watch the same classes of links — every ToR→Agg trunk
+//! (cross-segment traffic, Fig 15b/15c), one host's NIC uplinks (Fig 2),
+//! one NIC's downlinks (Fig 13/14's fault target). These used to be
+//! copy-pasted per experiment; they live here so a scenario reduction and
+//! a figure observe exactly the same link set.
+
+use hpn_sim::LinkId;
+use hpn_topology::{Fabric, NodeKind};
+
+/// Every ToR→Aggregation trunk of the fabric, as fluid-net link ids — the
+/// "traffic crossing the Aggregation layer" observable of Fig 15b.
+pub fn tor_to_agg_links(fabric: &Fabric) -> Vec<LinkId> {
+    let mut v = Vec::new();
+    for &t in &fabric.tors {
+        for l in fabric
+            .net
+            .out_links_to(t, |k| matches!(k, NodeKind::Agg { .. }))
+        {
+            v.push(l.flow_link());
+        }
+    }
+    v
+}
+
+/// One rail's NIC uplinks (host→ToR) of one host, as fluid-net link ids —
+/// the per-NIC egress observable of Fig 2. Single-ToR fabrics yield one
+/// link, dual-ToR fabrics two.
+pub fn nic_uplinks(fabric: &Fabric, host: usize, rail: usize) -> Vec<LinkId> {
+    fabric.hosts[host].nic_up[rail]
+        .iter()
+        .flatten()
+        .map(|l| l.flow_link())
+        .collect()
+}
+
+/// One rail's NIC downlinks (ToR→host) of one host, as fluid-net link ids
+/// — what Fig 13/14 watches while failing one port of the pair.
+pub fn nic_downlinks(fabric: &Fabric, host: usize, rail: usize) -> Vec<LinkId> {
+    fabric.hosts[host].nic_down[rail]
+        .iter()
+        .flatten()
+        .map(|l| l.flow_link())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpn_topology::HpnConfig;
+
+    #[test]
+    fn link_sets_match_the_fabric_inventory() {
+        let cfg = HpnConfig::tiny();
+        let f = cfg.build();
+        let trunks = tor_to_agg_links(&f);
+        // Dual-plane: every ToR uplinks to its plane's aggs.
+        assert!(!trunks.is_empty());
+        assert_eq!(trunks.len(), f.tors.len() * f.tor_uplinks(f.tors[0]).len());
+        // Dual-ToR hosts have two uplinks and two downlinks per rail.
+        assert_eq!(nic_uplinks(&f, 0, 0).len(), 2);
+        assert_eq!(nic_downlinks(&f, 0, 0).len(), 2);
+    }
+}

@@ -1,0 +1,994 @@
+//! The typed scenario spec and its TOML binding.
+//!
+//! A [`Scenario`] is one point in the paper's evaluation space — fabric
+//! variant × hash mode × parallelism plan × fault schedule — expressed as
+//! data. Experiments declare scenarios as Rust literals; users author them
+//! as TOML files (see `examples/scenarios/`). Both go through the same
+//! [`Scenario::build`](crate::build) path, so a scenario file exercises
+//! exactly the wiring the figures exercise.
+
+use hpn_routing::HashMode;
+use hpn_topology::{DcnPlusConfig, HpnConfig};
+use hpn_workload::ModelSpec;
+
+use crate::error::ScenarioError;
+use crate::toml::{self, Item, Table, Value};
+
+/// Which fabric the scenario builds, with full builder parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TopologySpec {
+    /// The paper's HPN fabric (§3–§7), including its ablation flags.
+    Hpn(HpnConfig),
+    /// The previous-generation DCN+ baseline (Appendix C).
+    DcnPlus(DcnPlusConfig),
+    /// A classic fat-tree(k) (Table 1).
+    FatTree {
+        /// Fat-tree parameter (even, ≥ 2); k³/4 hosts.
+        k: u32,
+        /// Homogeneous link speed, bits/s.
+        link_bps: f64,
+        /// Egress buffer per port, bits.
+        buffer_bits: f64,
+    },
+    /// The rail-only tier-2 variant of an HPN config (§10 / Table 4).
+    RailOnly(HpnConfig),
+}
+
+impl TopologySpec {
+    /// The `kind` string this variant serializes as.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TopologySpec::Hpn(_) => "hpn",
+            TopologySpec::DcnPlus(_) => "dcnplus",
+            TopologySpec::FatTree { .. } => "fattree",
+            TopologySpec::RailOnly(_) => "railonly",
+        }
+    }
+}
+
+/// Routing configuration: the ECMP hash family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoutingSpec {
+    /// Hash mode every switch uses. The production default is
+    /// [`HashMode::Polarized`] — HPN's advantage must come from
+    /// architecture, not magic hashes.
+    pub hash: HashMode,
+}
+
+impl Default for RoutingSpec {
+    fn default() -> Self {
+        RoutingSpec {
+            hash: HashMode::Polarized,
+        }
+    }
+}
+
+/// The model catalog a scenario can name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelId {
+    /// GPT-3 175B (the §9.1 GPT-scale job's stand-in).
+    Gpt3_175b,
+    /// LLaMa-7B.
+    Llama7b,
+    /// LLaMa-13B.
+    Llama13b,
+}
+
+impl ModelId {
+    /// The id used in scenario files.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelId::Gpt3_175b => "gpt3-175b",
+            ModelId::Llama7b => "llama-7b",
+            ModelId::Llama13b => "llama-13b",
+        }
+    }
+
+    /// Parse a scenario-file id.
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "gpt3-175b" => Some(ModelId::Gpt3_175b),
+            "llama-7b" => Some(ModelId::Llama7b),
+            "llama-13b" => Some(ModelId::Llama13b),
+            _ => None,
+        }
+    }
+
+    /// Instantiate the catalog spec.
+    pub fn to_spec(self) -> ModelSpec {
+        match self {
+            ModelId::Gpt3_175b => ModelSpec::gpt3_175b(),
+            ModelId::Llama7b => ModelSpec::llama_7b(),
+            ModelId::Llama13b => ModelSpec::llama_13b(),
+        }
+    }
+}
+
+/// How pp×dp hosts are laid onto the fabric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PlacementSpec {
+    /// Fill whole segments before spilling into the next (§5).
+    #[default]
+    SegmentFirst,
+    /// DP replica `d` in segment `d % 2` — the §6.1 adversarial placement.
+    InterleaveSegments,
+    /// Pipeline stages across pods so only PP crosses the core (§7).
+    CrossPodPp,
+    /// DP replicas alternate pods — the naive foil to `CrossPodPp`.
+    AlternatePods,
+}
+
+impl PlacementSpec {
+    /// The id used in scenario files.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlacementSpec::SegmentFirst => "segment-first",
+            PlacementSpec::InterleaveSegments => "interleave-segments",
+            PlacementSpec::CrossPodPp => "cross-pod-pp",
+            PlacementSpec::AlternatePods => "alternate-pods",
+        }
+    }
+
+    /// Parse a scenario-file id.
+    pub fn from_name(s: &str) -> Option<Self> {
+        match s {
+            "segment-first" => Some(PlacementSpec::SegmentFirst),
+            "interleave-segments" => Some(PlacementSpec::InterleaveSegments),
+            "cross-pod-pp" => Some(PlacementSpec::CrossPodPp),
+            "alternate-pods" => Some(PlacementSpec::AlternatePods),
+            _ => None,
+        }
+    }
+}
+
+/// The training workload a scenario drives.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkloadSpec {
+    /// Which catalog model to train.
+    pub model: ModelId,
+    /// Calibration override for compute seconds per sample.
+    pub gpu_secs_per_sample: Option<f64>,
+    /// Pipeline-parallel stages.
+    pub pp: usize,
+    /// Data-parallel replicas.
+    pub dp: usize,
+    /// Global batch size.
+    pub global_batch: usize,
+    /// Iterations a `scenario run` executes (plus one warm-up).
+    pub iterations: usize,
+    /// Host placement policy.
+    pub placement: PlacementSpec,
+    /// Packet-spray chunk multiplier override.
+    pub spray: Option<u32>,
+    /// Iteration timeout floor override, seconds.
+    pub min_timeout_secs: Option<f64>,
+    /// Iteration timeout factor override.
+    pub timeout_factor: Option<f64>,
+}
+
+impl WorkloadSpec {
+    /// A workload with the defaults every figure starts from.
+    pub fn new(model: ModelId, pp: usize, dp: usize, global_batch: usize) -> Self {
+        WorkloadSpec {
+            model,
+            gpu_secs_per_sample: None,
+            pp,
+            dp,
+            global_batch,
+            iterations: 2,
+            placement: PlacementSpec::SegmentFirst,
+            spray: None,
+            min_timeout_secs: None,
+            timeout_factor: None,
+        }
+    }
+
+    /// Override the compute-per-sample calibration constant.
+    pub fn gpu_secs(mut self, secs: f64) -> Self {
+        self.gpu_secs_per_sample = Some(secs);
+        self
+    }
+
+    /// Choose the placement policy.
+    pub fn placed(mut self, placement: PlacementSpec) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Set the iteration count.
+    pub fn iters(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Set the spray chunk multiplier.
+    pub fn sprayed(mut self, spray: u32) -> Self {
+        self.spray = Some(spray);
+        self
+    }
+
+    /// Floor the straggler-detection timeout (seconds).
+    pub fn min_timeout(mut self, secs: f64) -> Self {
+        self.min_timeout_secs = Some(secs);
+        self
+    }
+
+    /// Override the straggler-detection timeout factor.
+    pub fn timeout_scaled(mut self, factor: f64) -> Self {
+        self.timeout_factor = Some(factor);
+        self
+    }
+}
+
+/// One explicit fault injection: a NIC-facing cable goes down.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Injection {
+    /// Target host id.
+    pub host: u32,
+    /// Target rail (NIC index) on that host.
+    pub rail: usize,
+    /// Target port of the NIC (0 or 1).
+    pub port: usize,
+    /// Injection time, seconds from simulation start.
+    pub at_secs: f64,
+    /// Repair delay after injection, seconds (`None` = never repaired).
+    pub repair_secs: Option<f64>,
+}
+
+/// The fault schedule of a scenario.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct FaultsSpec {
+    /// Sample a Poisson schedule from the paper's §2.2 failure rates over
+    /// this horizon (seconds), with this seed.
+    pub poisson: Option<(f64, u64)>,
+    /// Explicit cable-event injections, validated against the fabric.
+    pub injections: Vec<Injection>,
+}
+
+impl FaultsSpec {
+    /// True when the spec schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.poisson.is_none() && self.injections.is_empty()
+    }
+}
+
+/// One typed scenario: everything needed to wire a simulator session.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scenario {
+    /// Human-readable scenario name (also labels telemetry/manifests).
+    pub name: String,
+    /// The fabric to build.
+    pub topology: TopologySpec,
+    /// Routing (hash family).
+    pub routing: RoutingSpec,
+    /// Optional training workload.
+    pub workload: Option<WorkloadSpec>,
+    /// Optional fault schedule.
+    pub faults: Option<FaultsSpec>,
+}
+
+impl Scenario {
+    /// A scenario of just a fabric (routing defaults, no workload).
+    pub fn new(name: impl Into<String>, topology: TopologySpec) -> Self {
+        Scenario {
+            name: name.into(),
+            topology,
+            routing: RoutingSpec::default(),
+            workload: None,
+            faults: None,
+        }
+    }
+
+    /// Attach a training workload.
+    pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Attach a fault schedule.
+    pub fn with_faults(mut self, faults: FaultsSpec) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Choose the hash family.
+    pub fn with_hash(mut self, hash: HashMode) -> Self {
+        self.routing = RoutingSpec { hash };
+        self
+    }
+
+    /// Parse a scenario from TOML-subset text.
+    pub fn parse_toml(src: &str) -> Result<Scenario, ScenarioError> {
+        let doc = toml::parse(src)?;
+        Scenario::from_doc(&doc)
+    }
+
+    /// Serialize to canonical TOML-subset text (`parse_toml` inverts this).
+    pub fn to_toml(&self) -> String {
+        toml::serialize(&self.to_doc())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Doc → Scenario
+
+/// A section being read: the table plus its dotted path for diagnostics.
+struct Sect<'a> {
+    table: &'a Table,
+    path: String,
+}
+
+impl<'a> Sect<'a> {
+    fn root(table: &'a Table) -> Self {
+        Sect {
+            table,
+            path: String::new(),
+        }
+    }
+
+    fn field(&self, key: &str) -> String {
+        if self.path.is_empty() {
+            key.to_string()
+        } else {
+            format!("{}.{}", self.path, key)
+        }
+    }
+
+    fn err(&self, key: &str, line: u32, msg: impl Into<String>) -> ScenarioError {
+        ScenarioError::field(self.field(key), msg).at_line(line)
+    }
+
+    /// Error on keys this section does not define — a typo'd key must not
+    /// silently fall back to a default.
+    fn check_keys(&self, allowed: &[&str]) -> Result<(), ScenarioError> {
+        for (k, item) in self.table.iter() {
+            if !allowed.contains(&k) {
+                return Err(self.err(
+                    k,
+                    item.line,
+                    format!("unknown key (expected one of: {})", allowed.join(", ")),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn sub(&self, key: &str) -> Result<Option<Sect<'a>>, ScenarioError> {
+        match self.table.get_item(key) {
+            None => Ok(None),
+            Some(Item {
+                value: Value::Table(t),
+                ..
+            }) => Ok(Some(Sect {
+                table: t,
+                path: self.field(key),
+            })),
+            Some(item) => Err(self.err(key, item.line, "expected a [section] table")),
+        }
+    }
+
+    fn sub_array(&self, key: &str) -> Result<Vec<Sect<'a>>, ScenarioError> {
+        match self.table.get_item(key) {
+            None => Ok(Vec::new()),
+            Some(Item {
+                value: Value::TableArray(ts),
+                ..
+            }) => Ok(ts
+                .iter()
+                .map(|t| Sect {
+                    table: t,
+                    path: self.field(key),
+                })
+                .collect()),
+            Some(item) => Err(self.err(key, item.line, "expected [[section]] tables")),
+        }
+    }
+
+    fn opt_str(&self, key: &str) -> Result<Option<(String, u32)>, ScenarioError> {
+        match self.table.get_item(key) {
+            None => Ok(None),
+            Some(Item {
+                value: Value::Str(s),
+                line,
+            }) => Ok(Some((s.clone(), *line))),
+            Some(item) => Err(self.err(key, item.line, "expected a string")),
+        }
+    }
+
+    fn req_str(&self, key: &str) -> Result<(String, u32), ScenarioError> {
+        self.opt_str(key)?
+            .ok_or_else(|| self.err(key, 0, "missing required key"))
+    }
+
+    fn opt_f64(&self, key: &str) -> Result<Option<f64>, ScenarioError> {
+        match self.table.get_item(key) {
+            None => Ok(None),
+            Some(Item {
+                value: Value::Float(f),
+                ..
+            }) => Ok(Some(*f)),
+            Some(Item {
+                value: Value::Int(i),
+                ..
+            }) => Ok(Some(*i as f64)),
+            Some(item) => Err(self.err(key, item.line, "expected a number")),
+        }
+    }
+
+    fn opt_i64(&self, key: &str) -> Result<Option<(i64, u32)>, ScenarioError> {
+        match self.table.get_item(key) {
+            None => Ok(None),
+            Some(Item {
+                value: Value::Int(i),
+                line,
+            }) => Ok(Some((*i, *line))),
+            Some(item) => Err(self.err(key, item.line, "expected an integer")),
+        }
+    }
+
+    fn opt_bool(&self, key: &str) -> Result<Option<bool>, ScenarioError> {
+        match self.table.get_item(key) {
+            None => Ok(None),
+            Some(Item {
+                value: Value::Bool(b),
+                ..
+            }) => Ok(Some(*b)),
+            Some(item) => Err(self.err(key, item.line, "expected true or false")),
+        }
+    }
+
+    fn int_in<T>(&self, key: &str, lo: i64, hi: i64) -> Result<Option<T>, ScenarioError>
+    where
+        T: TryFrom<i64>,
+    {
+        match self.opt_i64(key)? {
+            None => Ok(None),
+            Some((v, line)) => {
+                if v < lo || v > hi {
+                    return Err(self.err(
+                        key,
+                        line,
+                        format!("must be between {lo} and {hi}, got {v}"),
+                    ));
+                }
+                T::try_from(v)
+                    .map(Some)
+                    .map_err(|_| self.err(key, line, format!("out of range: {v}")))
+            }
+        }
+    }
+
+    fn opt_u32(&self, key: &str) -> Result<Option<u32>, ScenarioError> {
+        self.int_in::<u32>(key, 0, u32::MAX as i64)
+    }
+
+    fn opt_u16(&self, key: &str) -> Result<Option<u16>, ScenarioError> {
+        self.int_in::<u16>(key, 0, u16::MAX as i64)
+    }
+
+    fn opt_usize(&self, key: &str) -> Result<Option<usize>, ScenarioError> {
+        self.int_in::<usize>(key, 0, i64::MAX)
+    }
+
+    fn opt_u64(&self, key: &str) -> Result<Option<u64>, ScenarioError> {
+        self.int_in::<u64>(key, 0, i64::MAX)
+    }
+}
+
+fn read_hpn(sect: &Sect) -> Result<HpnConfig, ScenarioError> {
+    sect.check_keys(&[
+        "kind",
+        "preset",
+        "pods",
+        "segments_per_pod",
+        "hosts_per_segment",
+        "backup_hosts_per_segment",
+        "aggs_per_plane",
+        "agg_core_uplinks",
+        "cores_per_plane",
+        "trunk_bps",
+        "switch_buffer_bits",
+        "dual_tor",
+        "dual_plane",
+        "rail_optimized",
+    ])?;
+    let mut cfg = match sect.opt_str("preset")? {
+        None => HpnConfig::paper(),
+        Some((p, line)) => match p.as_str() {
+            "paper" => HpnConfig::paper(),
+            "medium" => HpnConfig::medium(),
+            "tiny" => HpnConfig::tiny(),
+            other => {
+                return Err(sect.err(
+                    "preset",
+                    line,
+                    format!("unknown preset `{other}` (expected paper, medium or tiny)"),
+                ))
+            }
+        },
+    };
+    if let Some(v) = sect.opt_u32("pods")? {
+        cfg.pods = v;
+    }
+    if let Some(v) = sect.opt_u32("segments_per_pod")? {
+        cfg.segments_per_pod = v;
+    }
+    if let Some(v) = sect.opt_u32("hosts_per_segment")? {
+        cfg.hosts_per_segment = v;
+    }
+    if let Some(v) = sect.opt_u32("backup_hosts_per_segment")? {
+        cfg.backup_hosts_per_segment = v;
+    }
+    if let Some(v) = sect.opt_u16("aggs_per_plane")? {
+        cfg.aggs_per_plane = v;
+    }
+    if let Some(v) = sect.opt_u16("agg_core_uplinks")? {
+        cfg.agg_core_uplinks = v;
+    }
+    if let Some(v) = sect.opt_u16("cores_per_plane")? {
+        cfg.cores_per_plane = v;
+    }
+    if let Some(v) = sect.opt_f64("trunk_bps")? {
+        cfg.trunk_bps = v;
+    }
+    if let Some(v) = sect.opt_f64("switch_buffer_bits")? {
+        cfg.switch_buffer_bits = v;
+    }
+    if let Some(v) = sect.opt_bool("dual_tor")? {
+        cfg.dual_tor = v;
+    }
+    if let Some(v) = sect.opt_bool("dual_plane")? {
+        cfg.dual_plane = v;
+    }
+    if let Some(v) = sect.opt_bool("rail_optimized")? {
+        cfg.rail_optimized = v;
+    }
+    Ok(cfg)
+}
+
+fn read_dcnplus(sect: &Sect) -> Result<DcnPlusConfig, ScenarioError> {
+    sect.check_keys(&[
+        "kind",
+        "preset",
+        "pods",
+        "segments_per_pod",
+        "hosts_per_segment",
+        "aggs_per_pod",
+        "tor_agg_parallel",
+        "agg_core_uplinks",
+        "cores",
+        "trunk_bps",
+        "switch_buffer_bits",
+    ])?;
+    let mut cfg = match sect.opt_str("preset")? {
+        None => DcnPlusConfig::paper(),
+        Some((p, line)) => match p.as_str() {
+            "paper" => DcnPlusConfig::paper(),
+            "tiny" => DcnPlusConfig::tiny(),
+            other => {
+                return Err(sect.err(
+                    "preset",
+                    line,
+                    format!("unknown preset `{other}` (expected paper or tiny)"),
+                ))
+            }
+        },
+    };
+    if let Some(v) = sect.opt_u32("pods")? {
+        cfg.pods = v;
+    }
+    if let Some(v) = sect.opt_u32("segments_per_pod")? {
+        cfg.segments_per_pod = v;
+    }
+    if let Some(v) = sect.opt_u32("hosts_per_segment")? {
+        cfg.hosts_per_segment = v;
+    }
+    if let Some(v) = sect.opt_u16("aggs_per_pod")? {
+        cfg.aggs_per_pod = v;
+    }
+    if let Some(v) = sect.opt_u16("tor_agg_parallel")? {
+        cfg.tor_agg_parallel = v;
+    }
+    if let Some(v) = sect.opt_u16("agg_core_uplinks")? {
+        cfg.agg_core_uplinks = v;
+    }
+    if let Some(v) = sect.opt_u16("cores")? {
+        cfg.cores = v;
+    }
+    if let Some(v) = sect.opt_f64("trunk_bps")? {
+        cfg.trunk_bps = v;
+    }
+    if let Some(v) = sect.opt_f64("switch_buffer_bits")? {
+        cfg.switch_buffer_bits = v;
+    }
+    Ok(cfg)
+}
+
+fn read_topology(sect: &Sect) -> Result<TopologySpec, ScenarioError> {
+    let kind = match sect.opt_str("kind")? {
+        None => "hpn".to_string(),
+        Some((k, _)) => k,
+    };
+    match kind.as_str() {
+        "hpn" => Ok(TopologySpec::Hpn(read_hpn(sect)?)),
+        "railonly" => Ok(TopologySpec::RailOnly(read_hpn(sect)?)),
+        "dcnplus" => Ok(TopologySpec::DcnPlus(read_dcnplus(sect)?)),
+        "fattree" => {
+            sect.check_keys(&["kind", "k", "link_bps", "buffer_bits"])?;
+            let k = sect
+                .opt_u32("k")?
+                .ok_or_else(|| sect.err("k", 0, "missing required key"))?;
+            Ok(TopologySpec::FatTree {
+                k,
+                link_bps: sect.opt_f64("link_bps")?.unwrap_or(400e9),
+                buffer_bits: sect.opt_f64("buffer_bits")?.unwrap_or(400e3 * 8.0),
+            })
+        }
+        other => {
+            let line = sect.table.get_item("kind").map_or(0, |i| i.line);
+            Err(sect.err(
+                "kind",
+                line,
+                format!("unknown topology `{other}` (expected hpn, dcnplus, fattree or railonly)"),
+            ))
+        }
+    }
+}
+
+fn read_routing(sect: &Sect) -> Result<RoutingSpec, ScenarioError> {
+    sect.check_keys(&["hash"])?;
+    let hash = match sect.opt_str("hash")? {
+        None => HashMode::Polarized,
+        Some((h, line)) => match h.as_str() {
+            "polarized" => HashMode::Polarized,
+            "independent" => HashMode::Independent,
+            other => {
+                return Err(sect.err(
+                    "hash",
+                    line,
+                    format!("unknown hash mode `{other}` (expected polarized or independent)"),
+                ))
+            }
+        },
+    };
+    Ok(RoutingSpec { hash })
+}
+
+fn read_workload(sect: &Sect) -> Result<WorkloadSpec, ScenarioError> {
+    sect.check_keys(&[
+        "model",
+        "gpu_secs_per_sample",
+        "pp",
+        "dp",
+        "global_batch",
+        "iterations",
+        "placement",
+        "spray",
+        "min_timeout_secs",
+        "timeout_factor",
+    ])?;
+    let (model_name, model_line) = sect.req_str("model")?;
+    let model = ModelId::from_name(&model_name).ok_or_else(|| {
+        sect.err(
+            "model",
+            model_line,
+            format!("unknown model `{model_name}` (expected gpt3-175b, llama-7b or llama-13b)"),
+        )
+    })?;
+    let require_pos = |key: &str, v: Option<usize>| -> Result<usize, ScenarioError> {
+        match v {
+            None => Err(sect.err(key, 0, "missing required key")),
+            Some(0) => {
+                let line = sect.table.get_item(key).map_or(0, |i| i.line);
+                Err(sect.err(key, line, "must be at least 1, got 0"))
+            }
+            Some(n) => Ok(n),
+        }
+    };
+    let pp = require_pos("pp", sect.opt_usize("pp")?)?;
+    let dp = require_pos("dp", sect.opt_usize("dp")?)?;
+    let global_batch = require_pos("global_batch", sect.opt_usize("global_batch")?)?;
+    let placement = match sect.opt_str("placement")? {
+        None => PlacementSpec::SegmentFirst,
+        Some((p, line)) => PlacementSpec::from_name(&p).ok_or_else(|| {
+            sect.err(
+                "placement",
+                line,
+                format!(
+                    "unknown placement `{p}` (expected segment-first, interleave-segments, \
+                     cross-pod-pp or alternate-pods)"
+                ),
+            )
+        })?,
+    };
+    Ok(WorkloadSpec {
+        model,
+        gpu_secs_per_sample: sect.opt_f64("gpu_secs_per_sample")?,
+        pp,
+        dp,
+        global_batch,
+        iterations: sect.opt_usize("iterations")?.unwrap_or(2),
+        placement,
+        spray: sect.opt_u32("spray")?,
+        min_timeout_secs: sect.opt_f64("min_timeout_secs")?,
+        timeout_factor: sect.opt_f64("timeout_factor")?,
+    })
+}
+
+fn read_faults(sect: &Sect) -> Result<FaultsSpec, ScenarioError> {
+    sect.check_keys(&["horizon_secs", "seed", "inject"])?;
+    let horizon = sect.opt_f64("horizon_secs")?;
+    let seed = sect.opt_u64("seed")?;
+    let poisson = match (horizon, seed) {
+        (None, None) => None,
+        (Some(h), s) => Some((h, s.unwrap_or(0))),
+        (None, Some(_)) => {
+            let line = sect.table.get_item("seed").map_or(0, |i| i.line);
+            return Err(sect.err(
+                "seed",
+                line,
+                "`seed` without `horizon_secs` schedules nothing — add horizon_secs",
+            ));
+        }
+    };
+    let mut injections = Vec::new();
+    for inj in sect.sub_array("inject")? {
+        inj.check_keys(&["host", "rail", "port", "at_secs", "repair_secs"])?;
+        let host = inj
+            .opt_u32("host")?
+            .ok_or_else(|| inj.err("host", 0, "missing required key"))?;
+        let at_secs = inj
+            .opt_f64("at_secs")?
+            .ok_or_else(|| inj.err("at_secs", 0, "missing required key"))?;
+        injections.push(Injection {
+            host,
+            rail: inj.opt_usize("rail")?.unwrap_or(0),
+            port: inj.opt_usize("port")?.unwrap_or(0),
+            at_secs,
+            repair_secs: inj.opt_f64("repair_secs")?,
+        });
+    }
+    Ok(FaultsSpec {
+        poisson,
+        injections,
+    })
+}
+
+impl Scenario {
+    /// Read a scenario out of a parsed document, rejecting unknown keys
+    /// and bad types with field-level diagnostics.
+    pub fn from_doc(doc: &Table) -> Result<Scenario, ScenarioError> {
+        let root = Sect::root(doc);
+        root.check_keys(&["name", "topology", "routing", "workload", "faults"])?;
+        let (name, _) = root.req_str("name")?;
+        let topo_sect = root
+            .sub("topology")?
+            .ok_or_else(|| ScenarioError::field("topology", "missing required section"))?;
+        let topology = read_topology(&topo_sect)?;
+        let routing = match root.sub("routing")? {
+            None => RoutingSpec::default(),
+            Some(s) => read_routing(&s)?,
+        };
+        let workload = match root.sub("workload")? {
+            None => None,
+            Some(s) => Some(read_workload(&s)?),
+        };
+        let faults = match root.sub("faults")? {
+            None => None,
+            Some(s) => Some(read_faults(&s)?),
+        };
+        Ok(Scenario {
+            name,
+            topology,
+            routing,
+            workload,
+            faults,
+        })
+    }
+
+    /// Serialize to a document (`from_doc` inverts this).
+    pub fn to_doc(&self) -> Table {
+        let mut doc = Table::new();
+        doc.set("name", Value::Str(self.name.clone()));
+
+        let mut topo = Table::new();
+        topo.set("kind", Value::Str(self.topology.kind().into()));
+        match &self.topology {
+            TopologySpec::Hpn(cfg) | TopologySpec::RailOnly(cfg) => {
+                topo.set("pods", Value::Int(cfg.pods as i64));
+                topo.set("segments_per_pod", Value::Int(cfg.segments_per_pod as i64));
+                topo.set(
+                    "hosts_per_segment",
+                    Value::Int(cfg.hosts_per_segment as i64),
+                );
+                topo.set(
+                    "backup_hosts_per_segment",
+                    Value::Int(cfg.backup_hosts_per_segment as i64),
+                );
+                topo.set("aggs_per_plane", Value::Int(cfg.aggs_per_plane as i64));
+                topo.set("agg_core_uplinks", Value::Int(cfg.agg_core_uplinks as i64));
+                topo.set("cores_per_plane", Value::Int(cfg.cores_per_plane as i64));
+                topo.set("trunk_bps", Value::Float(cfg.trunk_bps));
+                topo.set("switch_buffer_bits", Value::Float(cfg.switch_buffer_bits));
+                topo.set("dual_tor", Value::Bool(cfg.dual_tor));
+                topo.set("dual_plane", Value::Bool(cfg.dual_plane));
+                topo.set("rail_optimized", Value::Bool(cfg.rail_optimized));
+            }
+            TopologySpec::DcnPlus(cfg) => {
+                topo.set("pods", Value::Int(cfg.pods as i64));
+                topo.set("segments_per_pod", Value::Int(cfg.segments_per_pod as i64));
+                topo.set(
+                    "hosts_per_segment",
+                    Value::Int(cfg.hosts_per_segment as i64),
+                );
+                topo.set("aggs_per_pod", Value::Int(cfg.aggs_per_pod as i64));
+                topo.set("tor_agg_parallel", Value::Int(cfg.tor_agg_parallel as i64));
+                topo.set("agg_core_uplinks", Value::Int(cfg.agg_core_uplinks as i64));
+                topo.set("cores", Value::Int(cfg.cores as i64));
+                topo.set("trunk_bps", Value::Float(cfg.trunk_bps));
+                topo.set("switch_buffer_bits", Value::Float(cfg.switch_buffer_bits));
+            }
+            TopologySpec::FatTree {
+                k,
+                link_bps,
+                buffer_bits,
+            } => {
+                topo.set("k", Value::Int(*k as i64));
+                topo.set("link_bps", Value::Float(*link_bps));
+                topo.set("buffer_bits", Value::Float(*buffer_bits));
+            }
+        }
+        doc.set("topology", Value::Table(topo));
+
+        let mut routing = Table::new();
+        routing.set(
+            "hash",
+            Value::Str(
+                match self.routing.hash {
+                    HashMode::Polarized => "polarized",
+                    HashMode::Independent => "independent",
+                }
+                .into(),
+            ),
+        );
+        doc.set("routing", Value::Table(routing));
+
+        if let Some(w) = &self.workload {
+            let mut t = Table::new();
+            t.set("model", Value::Str(w.model.name().into()));
+            if let Some(g) = w.gpu_secs_per_sample {
+                t.set("gpu_secs_per_sample", Value::Float(g));
+            }
+            t.set("pp", Value::Int(w.pp as i64));
+            t.set("dp", Value::Int(w.dp as i64));
+            t.set("global_batch", Value::Int(w.global_batch as i64));
+            t.set("iterations", Value::Int(w.iterations as i64));
+            t.set("placement", Value::Str(w.placement.name().into()));
+            if let Some(s) = w.spray {
+                t.set("spray", Value::Int(s as i64));
+            }
+            if let Some(s) = w.min_timeout_secs {
+                t.set("min_timeout_secs", Value::Float(s));
+            }
+            if let Some(f) = w.timeout_factor {
+                t.set("timeout_factor", Value::Float(f));
+            }
+            doc.set("workload", Value::Table(t));
+        }
+
+        if let Some(f) = &self.faults {
+            let mut t = Table::new();
+            if let Some((h, s)) = f.poisson {
+                t.set("horizon_secs", Value::Float(h));
+                t.set("seed", Value::Int(s as i64));
+            }
+            if !f.injections.is_empty() {
+                let tables = f
+                    .injections
+                    .iter()
+                    .map(|inj| {
+                        let mut it = Table::new();
+                        it.set("host", Value::Int(inj.host as i64));
+                        it.set("rail", Value::Int(inj.rail as i64));
+                        it.set("port", Value::Int(inj.port as i64));
+                        it.set("at_secs", Value::Float(inj.at_secs));
+                        if let Some(r) = inj.repair_secs {
+                            it.set("repair_secs", Value::Float(r));
+                        }
+                        it
+                    })
+                    .collect();
+                t.set("inject", Value::TableArray(tables));
+            }
+            doc.set("faults", Value::Table(t));
+        }
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Scenario {
+        let mut cfg = HpnConfig::paper();
+        cfg.segments_per_pod = 2;
+        cfg.hosts_per_segment = 24;
+        Scenario::new("demo", TopologySpec::Hpn(cfg))
+            .with_workload(
+                WorkloadSpec::new(ModelId::Gpt3_175b, 4, 12, 512)
+                    .gpu_secs(2.4)
+                    .sprayed(4)
+                    .iters(3),
+            )
+            .with_faults(FaultsSpec {
+                poisson: Some((3600.0, 7)),
+                injections: vec![Injection {
+                    host: 0,
+                    rail: 0,
+                    port: 1,
+                    at_secs: 5.0,
+                    repair_secs: Some(60.0),
+                }],
+            })
+    }
+
+    #[test]
+    fn toml_round_trip_is_identity() {
+        let s = demo();
+        let text = s.to_toml();
+        let back = Scenario::parse_toml(&text).expect("round-trips");
+        assert_eq!(s, back, "serialized:\n{text}");
+    }
+
+    #[test]
+    fn unknown_keys_are_field_errors() {
+        let err = Scenario::parse_toml("name = \"x\"\n[topology]\nhost_count = 3\n").unwrap_err();
+        assert_eq!(err.field, "topology.host_count");
+        assert_eq!(err.line, Some(3));
+        assert!(err.msg.contains("unknown key"), "{err}");
+    }
+
+    #[test]
+    fn bad_enum_values_name_the_choices() {
+        let err = Scenario::parse_toml("name = \"x\"\n[topology]\nkind = \"torus\"\n").unwrap_err();
+        assert!(err.msg.contains("unknown topology"), "{err}");
+        let err = Scenario::parse_toml(
+            "name = \"x\"\n[topology]\n[workload]\nmodel = \"gpt5\"\npp = 1\ndp = 1\nglobal_batch = 8\n",
+        )
+        .unwrap_err();
+        assert_eq!(err.field, "workload.model");
+        assert!(err.msg.contains("llama-7b"), "{err}");
+    }
+
+    #[test]
+    fn missing_sections_and_keys_are_reported() {
+        let err = Scenario::parse_toml("name = \"x\"\n").unwrap_err();
+        assert_eq!(err.field, "topology");
+        let err = Scenario::parse_toml("[topology]\n").unwrap_err();
+        assert_eq!(err.field, "name");
+        let err =
+            Scenario::parse_toml("name = \"x\"\n[topology]\n[workload]\nmodel = \"llama-7b\"\n")
+                .unwrap_err();
+        assert_eq!(err.field, "workload.pp");
+    }
+
+    #[test]
+    fn zero_counts_are_rejected_at_spec_level() {
+        let err = Scenario::parse_toml(
+            "name = \"x\"\n[topology]\n[workload]\nmodel = \"llama-7b\"\npp = 0\ndp = 1\nglobal_batch = 8\n",
+        )
+        .unwrap_err();
+        assert_eq!(err.field, "workload.pp");
+        assert_eq!(err.line, Some(5));
+    }
+
+    #[test]
+    fn defaults_fill_in() {
+        let s = Scenario::parse_toml("name = \"bare\"\n[topology]\n").expect("parses");
+        assert_eq!(s.topology, TopologySpec::Hpn(HpnConfig::paper()));
+        assert_eq!(s.routing.hash, HashMode::Polarized);
+        assert!(s.workload.is_none());
+        assert!(s.faults.is_none());
+    }
+}

@@ -1,0 +1,595 @@
+//! A hand-rolled TOML-subset parser and serializer.
+//!
+//! The workspace builds offline (no crates.io), so scenario files are read
+//! by this module instead of a `toml` dependency — the same trade the
+//! telemetry layer makes with its hand-rolled `sha256` and JSON writers.
+//! The subset is the part of TOML a scenario needs, nothing more:
+//!
+//! * `key = value` pairs with bare keys (`[A-Za-z0-9_-]+`);
+//! * values: basic `"strings"` (escapes `\\ \" \n \t \r`), integers,
+//!   floats, booleans, and single-line arrays `[v, v, ...]`;
+//! * `[section]` / `[section.sub]` table headers;
+//! * `[[section.list]]` array-of-tables headers (fault injections);
+//! * `#` comments and blank lines.
+//!
+//! Not supported (a scenario never needs them): dotted keys, inline
+//! tables, multi-line strings/arrays, dates.
+//!
+//! Every parsed item carries its 1-based source line, so higher layers can
+//! say *where* a bad field came from. [`ParseError`] carries a line too —
+//! malformed input is a diagnostic, never a panic.
+
+/// A parse failure, pointing at the offending source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number in the source text.
+    pub line: u32,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl ParseError {
+    fn new(line: u32, msg: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+impl std::error::Error for ParseError {}
+
+/// A TOML-subset value.
+#[derive(Clone, Debug)]
+pub enum Value {
+    /// A basic string.
+    Str(String),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A float (serialized so it re-parses to the same bits).
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A single-line array of values.
+    Array(Vec<Value>),
+    /// A nested table (`[section]`).
+    Table(Table),
+    /// An array of tables (`[[section]]`).
+    TableArray(Vec<Table>),
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a == b || (a.is_nan() && b.is_nan()),
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Array(a), Value::Array(b)) => a == b,
+            (Value::Table(a), Value::Table(b)) => a == b,
+            (Value::TableArray(a), Value::TableArray(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// A value plus the source line it was parsed from (0 for synthesized
+/// docs). Equality ignores the line — round-tripping may renumber.
+#[derive(Clone, Debug)]
+pub struct Item {
+    /// The parsed value.
+    pub value: Value,
+    /// 1-based source line, 0 when built programmatically.
+    pub line: u32,
+}
+
+impl PartialEq for Item {
+    fn eq(&self, other: &Self) -> bool {
+        self.value == other.value
+    }
+}
+
+/// An ordered table of key → item. The document root is a `Table`.
+///
+/// Equality is key-order-insensitive (TOML lets `[a.b]` precede `[a]`'s
+/// scalars, and the serializer always emits scalars first).
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    entries: Vec<(String, Item)>,
+}
+
+impl PartialEq for Table {
+    fn eq(&self, other: &Self) -> bool {
+        if self.entries.len() != other.entries.len() {
+            return false;
+        }
+        self.entries
+            .iter()
+            .all(|(k, v)| other.get_item(k).is_some_and(|o| o == v))
+    }
+}
+
+impl Table {
+    /// An empty table.
+    pub fn new() -> Self {
+        Table::default()
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the table has no keys.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look a key up.
+    pub fn get_item(&self, key: &str) -> Option<&Item> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Look a key's value up.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.get_item(key).map(|i| &i.value)
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Item> {
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Insert or replace a key (programmatic construction; line = 0).
+    pub fn set(&mut self, key: &str, value: Value) {
+        match self.get_mut(key) {
+            Some(item) => item.value = value,
+            None => self
+                .entries
+                .push((key.to_string(), Item { value, line: 0 })),
+        }
+    }
+
+    /// Insert a parsed key, rejecting duplicates.
+    fn insert_parsed(&mut self, key: &str, value: Value, line: u32) -> Result<(), ParseError> {
+        if let Some(prev) = self.get_item(key) {
+            return Err(ParseError::new(
+                line,
+                format!(
+                    "duplicate key `{key}` (first defined on line {})",
+                    prev.line
+                ),
+            ));
+        }
+        self.entries.push((key.to_string(), Item { value, line }));
+        Ok(())
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Item)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// The keys, in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(k, _)| k.as_str())
+    }
+}
+
+fn is_bare_key(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+/// Strip a trailing comment, respecting `#` inside strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => {
+                escaped = true;
+                continue;
+            }
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        escaped = false;
+    }
+    line
+}
+
+/// Walk (creating as needed) to the table a header path names. A
+/// `TableArray` segment descends into its *last* element, per TOML's
+/// `[[fruit]]` / `[fruit.physical]` semantics.
+fn table_at<'a>(
+    root: &'a mut Table,
+    path: &[&str],
+    line: u32,
+) -> Result<&'a mut Table, ParseError> {
+    let mut cur = root;
+    for seg in path {
+        if cur.get(seg).is_none() {
+            cur.set(seg, Value::Table(Table::new()));
+            if let Some(item) = cur.get_mut(seg) {
+                item.line = line;
+            }
+        }
+        let item = cur.get_mut(seg).expect("just ensured");
+        cur = match &mut item.value {
+            Value::Table(t) => t,
+            Value::TableArray(ts) => ts.last_mut().expect("table arrays are never empty"),
+            _ => return Err(ParseError::new(line, format!("key `{seg}` is not a table"))),
+        };
+    }
+    Ok(cur)
+}
+
+/// Split a header path `a.b.c` into validated segments.
+fn split_path(path: &str, line: u32) -> Result<Vec<&str>, ParseError> {
+    let segs: Vec<&str> = path.split('.').map(str::trim).collect();
+    for s in &segs {
+        if !is_bare_key(s) {
+            return Err(ParseError::new(
+                line,
+                format!("bad table path `{path}` (segment `{s}`)"),
+            ));
+        }
+    }
+    Ok(segs)
+}
+
+/// Parse one value starting at `s`; returns the value and the unconsumed
+/// remainder of the line.
+fn parse_value(s: &str, line: u32) -> Result<(Value, &str), ParseError> {
+    let s = s.trim_start();
+    let Some(first) = s.chars().next() else {
+        return Err(ParseError::new(line, "expected a value"));
+    };
+    match first {
+        '"' => {
+            let mut out = String::new();
+            let mut chars = s[1..].char_indices();
+            while let Some((i, c)) = chars.next() {
+                match c {
+                    '"' => return Ok((Value::Str(out), &s[1 + i + 1..])),
+                    '\\' => match chars.next() {
+                        Some((_, '"')) => out.push('"'),
+                        Some((_, '\\')) => out.push('\\'),
+                        Some((_, 'n')) => out.push('\n'),
+                        Some((_, 't')) => out.push('\t'),
+                        Some((_, 'r')) => out.push('\r'),
+                        Some((_, other)) => {
+                            return Err(ParseError::new(
+                                line,
+                                format!("unsupported escape `\\{other}` in string"),
+                            ))
+                        }
+                        None => return Err(ParseError::new(line, "unterminated string")),
+                    },
+                    c => out.push(c),
+                }
+            }
+            Err(ParseError::new(line, "unterminated string"))
+        }
+        '[' => {
+            let mut rest = &s[1..];
+            let mut items = Vec::new();
+            loop {
+                let t = rest.trim_start();
+                if let Some(after) = t.strip_prefix(']') {
+                    return Ok((Value::Array(items), after));
+                }
+                if t.is_empty() {
+                    return Err(ParseError::new(
+                        line,
+                        "unterminated array (arrays are single-line)",
+                    ));
+                }
+                let (v, after) = parse_value(t, line)?;
+                items.push(v);
+                let t = after.trim_start();
+                if let Some(after) = t.strip_prefix(',') {
+                    rest = after;
+                } else if t.starts_with(']') {
+                    rest = t;
+                } else if t.is_empty() {
+                    return Err(ParseError::new(
+                        line,
+                        "unterminated array (arrays are single-line)",
+                    ));
+                } else {
+                    return Err(ParseError::new(
+                        line,
+                        format!("expected `,` or `]` in array, found `{t}`"),
+                    ));
+                }
+            }
+        }
+        _ => {
+            // Bare token: boolean or number. Ends at `,`, `]` or whitespace.
+            let end = s
+                .find(|c: char| c == ',' || c == ']' || c.is_whitespace())
+                .unwrap_or(s.len());
+            let (tok, rest) = s.split_at(end);
+            match tok {
+                "true" => return Ok((Value::Bool(true), rest)),
+                "false" => return Ok((Value::Bool(false), rest)),
+                "" => return Err(ParseError::new(line, "expected a value")),
+                _ => {}
+            }
+            let is_float = tok.contains(['.', 'e', 'E'])
+                || tok.ends_with("inf")
+                || tok.ends_with("NaN")
+                || tok.ends_with("nan");
+            if is_float {
+                match tok.parse::<f64>() {
+                    Ok(f) => Ok((Value::Float(f), rest)),
+                    Err(_) => Err(ParseError::new(line, format!("bad float `{tok}`"))),
+                }
+            } else {
+                match tok.parse::<i64>() {
+                    Ok(i) => Ok((Value::Int(i), rest)),
+                    Err(_) => Err(ParseError::new(line, format!("bad value `{tok}`"))),
+                }
+            }
+        }
+    }
+}
+
+/// Parse a document.
+pub fn parse(src: &str) -> Result<Table, ParseError> {
+    let mut root = Table::new();
+    // Path of the section subsequent keys land in.
+    let mut section: Vec<String> = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let line = idx as u32 + 1;
+        let text = strip_comment(raw).trim();
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(inner) = text.strip_prefix("[[") {
+            let Some(path) = inner.strip_suffix("]]") else {
+                return Err(ParseError::new(line, format!("malformed header `{text}`")));
+            };
+            let segs = split_path(path, line)?;
+            let (last, parents) = segs.split_last().expect("split_path rejects empty");
+            let parent = table_at(&mut root, parents, line)?;
+            match parent.get_mut(last) {
+                None => {
+                    parent.set(last, Value::TableArray(vec![Table::new()]));
+                    if let Some(item) = parent.get_mut(last) {
+                        item.line = line;
+                    }
+                }
+                Some(item) => match &mut item.value {
+                    Value::TableArray(ts) => ts.push(Table::new()),
+                    _ => {
+                        return Err(ParseError::new(
+                            line,
+                            format!("key `{last}` is not an array of tables"),
+                        ))
+                    }
+                },
+            }
+            section = segs.iter().map(|s| s.to_string()).collect();
+        } else if let Some(inner) = text.strip_prefix('[') {
+            let Some(path) = inner.strip_suffix(']') else {
+                return Err(ParseError::new(line, format!("malformed header `{text}`")));
+            };
+            let segs = split_path(path, line)?;
+            // Create the table now so empty sections still exist.
+            table_at(&mut root, &segs, line)?;
+            section = segs.iter().map(|s| s.to_string()).collect();
+        } else if let Some((key, rest)) = text.split_once('=') {
+            let key = key.trim();
+            if !is_bare_key(key) {
+                return Err(ParseError::new(line, format!("bad key `{key}`")));
+            }
+            let (value, trailing) = parse_value(rest, line)?;
+            if !trailing.trim().is_empty() {
+                return Err(ParseError::new(
+                    line,
+                    format!("unexpected trailing text `{}`", trailing.trim()),
+                ));
+            }
+            let segs: Vec<&str> = section.iter().map(String::as_str).collect();
+            let table = table_at(&mut root, &segs, line)?;
+            table.insert_parsed(key, value, line)?;
+        } else {
+            return Err(ParseError::new(
+                line,
+                format!("expected `key = value` or `[section]`, found `{text}`"),
+            ));
+        }
+    }
+    Ok(root)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn write_scalar(out: &mut String, v: &Value) {
+    match v {
+        Value::Str(s) => {
+            out.push('"');
+            out.push_str(&escape(s));
+            out.push('"');
+        }
+        // `{:?}` on f64 is the shortest representation that re-parses to
+        // the same bits — exactly the round-trip property we need.
+        Value::Float(f) => out.push_str(&format!("{f:?}")),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_scalar(out, item);
+            }
+            out.push(']');
+        }
+        Value::Table(_) | Value::TableArray(_) => unreachable!("tables are emitted as sections"),
+    }
+}
+
+fn write_table(out: &mut String, path: &str, table: &Table) {
+    // Scalars first (they belong to this section), then subsections.
+    for (k, item) in table.iter() {
+        if !matches!(item.value, Value::Table(_) | Value::TableArray(_)) {
+            out.push_str(k);
+            out.push_str(" = ");
+            write_scalar(out, &item.value);
+            out.push('\n');
+        }
+    }
+    for (k, item) in table.iter() {
+        let sub = if path.is_empty() {
+            k.to_string()
+        } else {
+            format!("{path}.{k}")
+        };
+        match &item.value {
+            Value::Table(t) => {
+                out.push('\n');
+                out.push_str(&format!("[{sub}]\n"));
+                write_table(out, &sub, t);
+            }
+            Value::TableArray(ts) => {
+                for t in ts {
+                    out.push('\n');
+                    out.push_str(&format!("[[{sub}]]\n"));
+                    write_table(out, &sub, t);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Serialize a document in the canonical form `parse` accepts: scalars of
+/// each table first, then its sections, in insertion order.
+pub fn serialize(doc: &Table) -> String {
+    let mut out = String::new();
+    write_table(&mut out, "", doc);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_kitchen_sink() {
+        let doc = parse(
+            r#"
+# a scenario
+name = "demo" # trailing comment
+count = 3
+ratio = 1.5
+neg = -2
+flag = true
+list = [1, 2, 3]
+mixed = ["a", 2.0, false]
+
+[topology]
+kind = "hpn"
+hosts_per_segment = 24
+
+[topology.host]
+rails = 8
+
+[[faults.inject]]
+host = 0
+[[faults.inject]]
+host = 1
+"#,
+        )
+        .expect("parses");
+        assert_eq!(doc.get("name"), Some(&Value::Str("demo".into())));
+        assert_eq!(doc.get("count"), Some(&Value::Int(3)));
+        assert_eq!(doc.get("ratio"), Some(&Value::Float(1.5)));
+        assert_eq!(doc.get("neg"), Some(&Value::Int(-2)));
+        assert_eq!(doc.get("flag"), Some(&Value::Bool(true)));
+        let Some(Value::Table(topo)) = doc.get("topology") else {
+            panic!("topology is a table");
+        };
+        assert_eq!(topo.get("kind"), Some(&Value::Str("hpn".into())));
+        let Some(Value::Table(host)) = topo.get("host") else {
+            panic!("topology.host is a table");
+        };
+        assert_eq!(host.get("rails"), Some(&Value::Int(8)));
+        let Some(Value::Table(faults)) = doc.get("faults") else {
+            panic!("faults is a table");
+        };
+        let Some(Value::TableArray(inj)) = faults.get("inject") else {
+            panic!("faults.inject is an array of tables");
+        };
+        assert_eq!(inj.len(), 2);
+        assert_eq!(inj[1].get("host"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases: &[(&str, u32, &str)] = &[
+            ("a = 1\nb = ", 2, "expected a value"),
+            ("x = \"unterminated", 1, "unterminated string"),
+            ("\n\n[bad", 3, "malformed header"),
+            ("k = 1\nk = 2", 2, "duplicate key"),
+            ("a = 1\n[a.b]", 2, "not a table"),
+            ("q = 12x", 1, "bad value"),
+            ("f = 1.2.3", 1, "bad float"),
+            ("just words", 1, "expected `key = value`"),
+            ("arr = [1, 2", 1, "unterminated array"),
+            ("k = 1 2", 1, "trailing text"),
+            ("a..b = 1", 1, "bad key"),
+        ];
+        for (src, line, needle) in cases {
+            let err = parse(src).expect_err(src);
+            assert_eq!(err.line, *line, "{src}: {err}");
+            assert!(err.msg.contains(needle), "{src}: {err}");
+        }
+    }
+
+    #[test]
+    fn serialize_then_parse_is_identity() {
+        let doc = parse(
+            "title = \"x\\\"y\\\\z\"\nn = -7\nf = 0.25\n[a]\nv = [true, false]\n[a.b]\nw = 1e300\n[[c]]\nq = 1\n[[c]]\nq = 2\n",
+        )
+        .expect("parses");
+        let s = serialize(&doc);
+        let doc2 = parse(&s).expect("round-trips");
+        assert_eq!(doc, doc2, "serialized form:\n{s}");
+    }
+
+    #[test]
+    fn section_order_does_not_affect_equality() {
+        let a = parse("[a.b]\nx = 1\n[a]\nk = 2\n").expect("parses");
+        let b = parse("[a]\nk = 2\n[a.b]\nx = 1\n").expect("parses");
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,164 @@
+//! Round-trip property for the scenario format: `parse ∘ serialize` is the
+//! identity on arbitrary scenarios, and `serialize` is a fixed point (the
+//! canonical form re-serializes to itself).
+//!
+//! The generators only produce what the format can *represent* — they do
+//! not require the scenario to be buildable (that is `Scenario::check`'s
+//! job, tested in the crate) — so the property covers spec corners no
+//! experiment exercises: rail-only fabrics, fat-trees, never-repaired
+//! injections, names needing string escapes.
+
+use hpn_scenario::{
+    FaultsSpec, Injection, ModelId, PlacementSpec, Scenario, TopologySpec, WorkloadSpec,
+};
+use hpn_topology::{DcnPlusConfig, HpnConfig};
+use proptest::prelude::*;
+
+/// Serialization starts from the parse-side default (`preset` omitted ⇒
+/// `paper()`), so generated configs must share that baseline for the
+/// unserialized fields (host params) to round-trip.
+fn arb_hpn() -> impl Strategy<Value = HpnConfig> {
+    (
+        (1u32..3, 1u32..4, 1u32..64, 0u32..4),
+        (1u16..8, 1u16..4, 1u16..8, 1u64..10_000),
+        (prop::bool::ANY, prop::bool::ANY, prop::bool::ANY),
+    )
+        .prop_map(
+            |((pods, segs, hosts, backup), (aggs, up, cores, mbps), (dt, dpl, ro))| {
+                let mut cfg = HpnConfig::paper();
+                cfg.pods = pods;
+                cfg.segments_per_pod = segs;
+                cfg.hosts_per_segment = hosts;
+                cfg.backup_hosts_per_segment = backup;
+                cfg.aggs_per_plane = aggs;
+                cfg.agg_core_uplinks = up;
+                cfg.cores_per_plane = cores;
+                cfg.trunk_bps = mbps as f64 * 1e6;
+                cfg.dual_tor = dt;
+                cfg.dual_plane = dpl;
+                cfg.rail_optimized = ro;
+                cfg
+            },
+        )
+}
+
+fn arb_dcnplus() -> impl Strategy<Value = DcnPlusConfig> {
+    ((1u32..4, 1u32..4, 1u32..32), (1u16..8, 1u16..8, 1u16..64)).prop_map(
+        |((pods, segs, hosts), (aggs, par, cores))| {
+            let mut cfg = DcnPlusConfig::paper();
+            cfg.pods = pods;
+            cfg.segments_per_pod = segs;
+            cfg.hosts_per_segment = hosts;
+            cfg.aggs_per_pod = aggs;
+            cfg.tor_agg_parallel = par;
+            cfg.cores = cores;
+            cfg
+        },
+    )
+}
+
+fn arb_topology() -> impl Strategy<Value = TopologySpec> {
+    (0usize..4, arb_hpn(), arb_dcnplus(), 1u32..12).prop_map(
+        |(which, hpn, dcn, half_k)| match which {
+            0 => TopologySpec::Hpn(hpn),
+            1 => TopologySpec::RailOnly(hpn),
+            2 => TopologySpec::DcnPlus(dcn),
+            _ => TopologySpec::FatTree {
+                k: half_k * 2,
+                link_bps: half_k as f64 * 100e9,
+                buffer_bits: 400e3 * 8.0,
+            },
+        },
+    )
+}
+
+fn arb_workload() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        (0usize..3, 1usize..5, 1usize..64, 1usize..1024, 1usize..9),
+        (0usize..4, 0u32..5, 0u32..2000, 0u32..2000, 0u32..40),
+    )
+        .prop_map(
+            |((m, pp, dp, batch, iters), (place, spray, gsecs, mts, tf))| WorkloadSpec {
+                model: [ModelId::Gpt3_175b, ModelId::Llama7b, ModelId::Llama13b][m],
+                gpu_secs_per_sample: (gsecs > 0).then(|| gsecs as f64 / 128.0),
+                pp,
+                dp,
+                global_batch: batch,
+                iterations: iters,
+                placement: [
+                    PlacementSpec::SegmentFirst,
+                    PlacementSpec::InterleaveSegments,
+                    PlacementSpec::CrossPodPp,
+                    PlacementSpec::AlternatePods,
+                ][place],
+                spray: (spray > 0).then_some(spray),
+                min_timeout_secs: (mts > 0).then(|| mts as f64 / 4.0),
+                timeout_factor: (tf > 0).then(|| tf as f64 / 8.0),
+            },
+        )
+}
+
+fn arb_injection() -> impl Strategy<Value = Injection> {
+    (0u32..256, 0usize..9, 0usize..2, 0u32..100_000, 0u32..3600).prop_map(
+        |(host, rail, port, at_ms, repair)| Injection {
+            host,
+            rail,
+            port,
+            at_secs: at_ms as f64 / 1000.0,
+            repair_secs: (repair > 0).then_some(repair as f64),
+        },
+    )
+}
+
+fn arb_faults() -> impl Strategy<Value = FaultsSpec> {
+    (
+        0u32..100,
+        0u64..1000,
+        prop::collection::vec(arb_injection(), 0..4),
+    )
+        .prop_map(|(horizon_hours, seed, injections)| FaultsSpec {
+            poisson: (horizon_hours > 0).then_some((horizon_hours as f64 * 3600.0, seed)),
+            injections,
+        })
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        0usize..4,
+        arb_topology(),
+        prop::bool::ANY,
+        (prop::bool::ANY, arb_workload()),
+        (prop::bool::ANY, arb_faults()),
+    )
+        .prop_map(|(name, topology, independent, (has_w, w), (has_f, f))| {
+            let names = ["demo", "two words", "es\"cape\\d", "tab\there"];
+            let mut sc = Scenario::new(names[name], topology);
+            if independent {
+                sc = sc.with_hash(hpn_routing::HashMode::Independent);
+            }
+            if has_w {
+                sc = sc.with_workload(w);
+            }
+            if has_f {
+                sc = sc.with_faults(f);
+            }
+            sc
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// parse(serialize(s)) == s, and serialize(parse(serialize(s))) is
+    /// byte-identical to serialize(s).
+    #[test]
+    fn toml_round_trip_is_identity(sc in arb_scenario()) {
+        let text = sc.to_toml();
+        let back = match Scenario::parse_toml(&text) {
+            Ok(b) => b,
+            Err(e) => panic!("canonical form failed to parse: {e}\n{text}"),
+        };
+        prop_assert_eq!(&back, &sc, "round-trip drift; serialized:\n{}", &text);
+        prop_assert_eq!(back.to_toml(), text);
+    }
+}

@@ -17,11 +17,12 @@
 //! downstream traffic converges from many Aggs onto the two ToRs through
 //! 5-tuple hashing — the hash-polarization scenario of Fig 13a.
 
+use crate::error::{nonzero, positive, BuildError};
 use crate::fabric::{attach_nic_port, build_host, Fabric, FabricKind, Host, HostParams};
 use crate::graph::{Network, NodeId, NodeKind};
 
 /// Parameters of a DCN+ build.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct DcnPlusConfig {
     /// Number of pods (paper: up to 32).
     pub pods: u32,
@@ -88,8 +89,42 @@ impl DcnPlusConfig {
         self.gpus_per_segment() * self.segments_per_pod
     }
 
-    /// Build the fabric.
+    /// Check every field a scenario file could have set (the core-uplink
+    /// modulus below divides by `cores`).
+    pub fn validate(&self) -> Result<(), BuildError> {
+        nonzero("pods", self.pods as u64)?;
+        nonzero("segments_per_pod", self.segments_per_pod as u64)?;
+        nonzero("hosts_per_segment", self.hosts_per_segment as u64)?;
+        nonzero("aggs_per_pod", self.aggs_per_pod as u64)?;
+        nonzero("tor_agg_parallel", self.tor_agg_parallel as u64)?;
+        nonzero("agg_core_uplinks", self.agg_core_uplinks as u64)?;
+        nonzero("cores", self.cores as u64)?;
+        nonzero("host.rails", self.host.rails as u64)?;
+        positive("trunk_bps", self.trunk_bps)?;
+        positive("switch_buffer_bits", self.switch_buffer_bits)?;
+        positive("host.nvlink_bps", self.host.nvlink_bps)?;
+        positive("host.pcie_bps", self.host.pcie_bps)?;
+        positive("host.nic_port_bps", self.host.nic_port_bps)?;
+        positive("host.host_buffer_bits", self.host.host_buffer_bits)?;
+        Ok(())
+    }
+
+    /// Build the fabric, or explain which field is invalid.
+    pub fn try_build(&self) -> Result<Fabric, BuildError> {
+        self.validate()?;
+        Ok(self.build_unchecked())
+    }
+
+    /// Build the fabric. Panics on an invalid configuration — use
+    /// [`DcnPlusConfig::try_build`] when the config came from user input.
     pub fn build(&self) -> Fabric {
+        match self.try_build() {
+            Ok(f) => f,
+            Err(e) => panic!("DcnPlusConfig::build: {e}"),
+        }
+    }
+
+    fn build_unchecked(&self) -> Fabric {
         let mut net = Network::new();
         let mut hosts: Vec<Host> = Vec::new();
         let mut tors: Vec<NodeId> = Vec::new();
@@ -180,6 +215,15 @@ impl DcnPlusConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_build_names_the_bad_field() {
+        let mut cfg = DcnPlusConfig::tiny();
+        cfg.cores = 0;
+        assert_eq!(cfg.try_build().unwrap_err().field, "cores");
+        cfg.cores = 4;
+        assert!(cfg.try_build().is_ok());
+    }
 
     #[test]
     fn paper_scale_accounting() {

@@ -1,0 +1,55 @@
+//! Typed fabric-build failures.
+//!
+//! The builders historically panicked (or divided by zero) on nonsense
+//! parameters, which was fine while every config literal lived in this
+//! workspace — but scenario files are user input, and a bad
+//! `cores_per_plane = 0` must surface as a diagnostic naming the field,
+//! not a panic from the middle of the wiring loops. `try_build` returns
+//! these; the panicking `build` wrappers remain for the blessed presets.
+
+/// Why a fabric configuration cannot be built.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BuildError {
+    /// The config field at fault (e.g. `"cores_per_plane"`).
+    pub field: &'static str,
+    /// What is wrong with its value.
+    pub reason: String,
+}
+
+impl BuildError {
+    pub(crate) fn new(field: &'static str, reason: impl Into<String>) -> Self {
+        BuildError {
+            field,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid `{}`: {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Require a count field to be at least one.
+pub(crate) fn nonzero(field: &'static str, value: u64) -> Result<(), BuildError> {
+    if value == 0 {
+        Err(BuildError::new(field, "must be at least 1, got 0"))
+    } else {
+        Ok(())
+    }
+}
+
+/// Require a physical quantity to be finite and strictly positive.
+pub(crate) fn positive(field: &'static str, value: f64) -> Result<(), BuildError> {
+    if value.is_finite() && value > 0.0 {
+        Ok(())
+    } else {
+        Err(BuildError::new(
+            field,
+            format!("must be finite and > 0, got {value}"),
+        ))
+    }
+}

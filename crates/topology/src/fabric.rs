@@ -23,7 +23,7 @@ pub enum FabricKind {
 }
 
 /// Per-host construction parameters shared by builders.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct HostParams {
     /// GPUs (= backend rails) per host. The paper uses 8.
     pub rails: usize,

@@ -6,12 +6,26 @@
 //! single-NIC (the fat-tree paper predates multi-rail GPU hosts), modelled
 //! as a 1-rail [`HostParams`]; Table 1 counts one GPU per NIC.
 
+use crate::error::{positive, BuildError};
 use crate::fabric::{attach_nic_port, build_host, Fabric, FabricKind, Host, HostParams};
 use crate::graph::{Network, NodeId, NodeKind};
 
 /// Number of hosts a fat-tree(k) supports: k³/4.
 pub fn fat_tree_hosts(k: u32) -> u32 {
     k * k * k / 4
+}
+
+/// Build a fat-tree, or explain which parameter is invalid.
+pub fn try_fat_tree(k: u32, link_bps: f64, buffer_bits: f64) -> Result<Fabric, BuildError> {
+    if k < 2 || k % 2 != 0 {
+        return Err(BuildError {
+            field: "k",
+            reason: format!("fat-tree k must be even and >= 2, got {k}"),
+        });
+    }
+    positive("link_bps", link_bps)?;
+    positive("buffer_bits", buffer_bits)?;
+    Ok(fat_tree(k, link_bps, buffer_bits))
 }
 
 /// Build a fat-tree with parameter `k` (must be even and ≥ 2).

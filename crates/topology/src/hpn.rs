@@ -22,12 +22,13 @@
 // adaptors would obscure the wiring math.
 #![allow(clippy::needless_range_loop)]
 
+use crate::error::{nonzero, positive, BuildError};
 use crate::fabric::{attach_nic_port, build_host, Fabric, FabricKind, Host, HostParams};
 use crate::graph::{Network, NodeId, NodeKind};
 
 /// Parameters of an HPN build. All counts are per the paper unless scaled
 /// down for tests.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct HpnConfig {
     /// Number of pods (tier-3 interconnects them).
     pub pods: u32,
@@ -154,8 +155,42 @@ impl HpnConfig {
         }
     }
 
-    /// Build the fabric.
+    /// Check every field a scenario file could have set. The wiring loops
+    /// below index with these counts, so a zero would otherwise surface as
+    /// a division-by-zero or an empty fabric deep inside the build.
+    pub fn validate(&self) -> Result<(), BuildError> {
+        nonzero("pods", self.pods as u64)?;
+        nonzero("segments_per_pod", self.segments_per_pod as u64)?;
+        nonzero("hosts_per_segment", self.hosts_per_segment as u64)?;
+        nonzero("aggs_per_plane", self.aggs_per_plane as u64)?;
+        nonzero("agg_core_uplinks", self.agg_core_uplinks as u64)?;
+        nonzero("cores_per_plane", self.cores_per_plane as u64)?;
+        nonzero("host.rails", self.host.rails as u64)?;
+        positive("trunk_bps", self.trunk_bps)?;
+        positive("switch_buffer_bits", self.switch_buffer_bits)?;
+        positive("host.nvlink_bps", self.host.nvlink_bps)?;
+        positive("host.pcie_bps", self.host.pcie_bps)?;
+        positive("host.nic_port_bps", self.host.nic_port_bps)?;
+        positive("host.host_buffer_bits", self.host.host_buffer_bits)?;
+        Ok(())
+    }
+
+    /// Build the fabric, or explain which field is invalid.
+    pub fn try_build(&self) -> Result<Fabric, BuildError> {
+        self.validate()?;
+        Ok(self.build_unchecked())
+    }
+
+    /// Build the fabric. Panics on an invalid configuration — use
+    /// [`HpnConfig::try_build`] when the config came from user input.
     pub fn build(&self) -> Fabric {
+        match self.try_build() {
+            Ok(f) => f,
+            Err(e) => panic!("HpnConfig::build: {e}"),
+        }
+    }
+
+    fn build_unchecked(&self) -> Fabric {
         let mut net = Network::new();
         let mut hosts: Vec<Host> = Vec::new();
         let mut tors: Vec<NodeId> = Vec::new();
@@ -275,6 +310,27 @@ impl HpnConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_build_names_the_bad_field() {
+        let mut cfg = HpnConfig::tiny();
+        cfg.cores_per_plane = 0;
+        let err = cfg.try_build().unwrap_err();
+        assert_eq!(err.field, "cores_per_plane");
+        cfg.cores_per_plane = 4;
+        cfg.trunk_bps = f64::NAN;
+        assert_eq!(cfg.try_build().unwrap_err().field, "trunk_bps");
+        cfg.trunk_bps = 400e9;
+        assert!(cfg.try_build().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid `hosts_per_segment`")]
+    fn build_panics_with_the_field_name() {
+        let mut cfg = HpnConfig::tiny();
+        cfg.hosts_per_segment = 0;
+        cfg.build();
+    }
 
     #[test]
     fn tiny_build_inventory() {

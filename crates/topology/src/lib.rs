@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod dcnplus;
+pub mod error;
 pub mod fabric;
 pub mod fattree;
 pub mod frontend;
@@ -36,6 +37,9 @@ pub mod superpod;
 pub mod wiring;
 
 pub use dcnplus::DcnPlusConfig;
+pub use error::BuildError;
 pub use fabric::{Fabric, FabricKind, Host};
+pub use fattree::try_fat_tree;
 pub use graph::{LinkIdx, Network, NodeId, NodeKind};
 pub use hpn::HpnConfig;
+pub use railonly::try_build_rail_only;

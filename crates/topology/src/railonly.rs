@@ -11,9 +11,22 @@
 // adaptors would obscure the wiring math.
 #![allow(clippy::needless_range_loop)]
 
+use crate::error::BuildError;
 use crate::fabric::{attach_nic_port, build_host, Fabric, FabricKind, Host};
 use crate::graph::{Network, NodeId, NodeKind};
 use crate::hpn::HpnConfig;
+
+/// Build a rail-only fabric, or explain why the config cannot support one.
+pub fn try_build_rail_only(cfg: &HpnConfig) -> Result<Fabric, BuildError> {
+    cfg.validate()?;
+    if !(cfg.dual_tor && cfg.rail_optimized) {
+        return Err(BuildError {
+            field: "dual_tor/rail_optimized",
+            reason: "rail-only tier-2 presumes the rail-optimized dual-ToR tier-1".into(),
+        });
+    }
+    Ok(build_rail_only(cfg))
+}
 
 /// Table 4 accounting derived from an HPN configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
