@@ -14,6 +14,12 @@
 //!                                      # validate scenario files (no run)
 //! hpn-experiments scenario run a.toml… [--quick] [--jobs N] [--out DIR]
 //!                                      # execute user-authored scenarios
+//! hpn-experiments scenario fuzz [--seeds A..B] [--jobs N]
+//!                               [--budget-secs S] [--mutate M] [--out DIR]
+//!                               [repro.toml…]
+//!                                      # property-fuzz the simulator; shrunk
+//!                                      # reproducers land in --out (default
+//!                                      # target/fuzz)
 //! ```
 //!
 //! `--jobs N` runs experiment cells on up to N worker threads; outputs are
@@ -66,6 +72,8 @@ fn main() {
     let out_dir = opt_value(&args, "--out");
     let jobs_arg = opt_value(&args, "--jobs");
     let seeds_arg = opt_value(&args, "--seeds");
+    let budget_arg = opt_value(&args, "--budget-secs");
+    let mutate_arg = opt_value(&args, "--mutate");
     let jobs = match &jobs_arg {
         None => 1,
         Some(v) => match v.parse::<usize>() {
@@ -78,10 +86,17 @@ fn main() {
     };
     // Positional targets: everything that is neither a flag nor the value
     // consumed by one.
-    let option_values: Vec<&str> = [&json_path, &out_dir, &jobs_arg, &seeds_arg]
-        .iter()
-        .filter_map(|o| o.as_deref())
-        .collect();
+    let option_values: Vec<&str> = [
+        &json_path,
+        &out_dir,
+        &jobs_arg,
+        &seeds_arg,
+        &budget_arg,
+        &mutate_arg,
+    ]
+    .iter()
+    .filter_map(|o| o.as_deref())
+    .collect();
     let targets: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--") && !option_values.contains(&a.as_str()))
@@ -128,8 +143,48 @@ fn main() {
                     }
                     scenario_run(files, scale, jobs, out_dir.as_deref());
                 }
+                "fuzz" => {
+                    let seeds = match seeds_arg.as_deref().map(parse_seeds) {
+                        None => None,
+                        Some(Ok(s)) => Some(s),
+                        Some(Err(e)) => {
+                            eprintln!("--seeds: {e}");
+                            std::process::exit(2);
+                        }
+                    };
+                    let budget_secs = match &budget_arg {
+                        None => None,
+                        Some(v) => match v.parse::<f64>() {
+                            Ok(s) if s > 0.0 => Some(s),
+                            _ => {
+                                eprintln!("--budget-secs wants a positive number, got '{v}'");
+                                std::process::exit(2);
+                            }
+                        },
+                    };
+                    let mutation = match &mutate_arg {
+                        None => hpn_check::Mutation::None,
+                        Some(v) => {
+                            match hpn_check::Mutation::from_name(v) {
+                                Some(m) => m,
+                                None => {
+                                    eprintln!("--mutate: unknown mutation '{v}' — use none|rate-overshoot");
+                                    std::process::exit(2);
+                                }
+                            }
+                        }
+                    };
+                    scenario_fuzz(
+                        files,
+                        jobs,
+                        seeds,
+                        budget_secs,
+                        mutation,
+                        out_dir.as_deref(),
+                    );
+                }
                 other => {
-                    eprintln!("unknown scenario subcommand '{other}' — use check|run");
+                    eprintln!("unknown scenario subcommand '{other}' — use check|run|fuzz");
                     std::process::exit(2);
                 }
             }
@@ -391,6 +446,126 @@ fn scenario_run(files: &[String], scale: Scale, jobs: usize, out_dir: Option<&st
             std::process::exit(2);
         }
         eprintln!("wrote manifest + telemetry under {dir}/");
+    }
+}
+
+/// The `scenario fuzz` subcommand: property-fuzz the simulator over a seed
+/// range (or re-check reproducer files), fanning seeds out over the
+/// work-stealing pool. Each seed is a pure function of `(seed, mutation)`,
+/// and results are printed in seed order — output is byte-identical at any
+/// `--jobs`. Shrunk reproducers are written as `failing_<seed>.toml` under
+/// the output directory.
+fn scenario_fuzz(
+    files: &[String],
+    jobs: usize,
+    seeds: Option<Vec<u64>>,
+    budget_secs: Option<f64>,
+    mutation: hpn_check::Mutation,
+    out_dir: Option<&str>,
+) {
+    use hpn_bench::{pool, scenario_cli};
+    use hpn_check::{fuzz_seed, recheck, seed_of, SeedOutcome};
+
+    // Work items: reproducer files re-checked under their embedded seed, or
+    // a fresh seed range (default 1..=100).
+    enum Item {
+        Seed(u64),
+        File(String, Box<hpn_scenario::Scenario>, u64),
+    }
+    let items: Vec<Item> = if files.is_empty() {
+        seeds
+            .unwrap_or_else(|| (1..=100).collect())
+            .into_iter()
+            .map(Item::Seed)
+            .collect()
+    } else {
+        let mut loaded = Vec::new();
+        let mut bad = false;
+        for p in files {
+            match scenario_cli::load(std::path::Path::new(p)).and_then(|sc| sc.check().map(|()| sc))
+            {
+                Ok(sc) => {
+                    let seed = seed_of(&sc).unwrap_or(0);
+                    loaded.push(Item::File(p.clone(), Box::new(sc), seed));
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    bad = true;
+                }
+            }
+        }
+        if bad {
+            std::process::exit(2);
+        }
+        loaded
+    };
+    eprintln!(
+        "scenario fuzz: {} case(s), mutation={}, jobs={jobs}{}",
+        items.len(),
+        mutation.name(),
+        budget_secs.map_or(String::new(), |s| format!(", budget {s}s")),
+    );
+
+    let deadline =
+        budget_secs.map(|s| std::time::Instant::now() + std::time::Duration::from_secs_f64(s));
+    let start = std::time::Instant::now();
+    let results: Vec<Option<(String, u64, SeedOutcome)>> =
+        pool::run_indexed(jobs, items, move |_, item| {
+            // Budget exhaustion skips remaining cases instead of aborting:
+            // every completed case still prints, so a partial nightly run
+            // reports everything it managed to check.
+            if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                return None;
+            }
+            Some(match item {
+                Item::Seed(seed) => (format!("seed {seed}"), seed, fuzz_seed(seed, mutation)),
+                Item::File(path, sc, seed) => (path, seed, recheck(*sc, seed, mutation)),
+            })
+        });
+    let wall = start.elapsed();
+
+    let out = std::path::PathBuf::from(out_dir.unwrap_or("target/fuzz"));
+    let (mut checked, mut failing, mut skipped) = (0usize, 0usize, 0usize);
+    for res in results {
+        let Some((label, seed, outcome)) = res else {
+            skipped += 1;
+            continue;
+        };
+        checked += 1;
+        match outcome {
+            SeedOutcome::Pass { summary } => println!("  {label:<12} ok    {summary}"),
+            SeedOutcome::Fail {
+                invariant,
+                detail,
+                shrunk_toml,
+                shrunk_hosts,
+            } => {
+                failing += 1;
+                println!("  {label:<12} FAIL  invariant={invariant} shrunk_hosts={shrunk_hosts}");
+                println!("    {detail}");
+                if let Err(e) = std::fs::create_dir_all(&out) {
+                    eprintln!("creating {} failed: {e}", out.display());
+                    std::process::exit(2);
+                }
+                let path = out.join(format!("failing_{seed}.toml"));
+                if let Err(e) = std::fs::write(&path, &shrunk_toml) {
+                    eprintln!("writing {} failed: {e}", path.display());
+                    std::process::exit(2);
+                }
+                println!("    reproducer: {}", path.display());
+            }
+        }
+    }
+    eprintln!(
+        "fuzz: {checked} checked, {failing} failing, {skipped} skipped (budget), {:.2}s wall (jobs={jobs})",
+        wall.as_secs_f64()
+    );
+    if failing > 0 {
+        eprintln!(
+            "re-run one case: hpn-experiments scenario fuzz --seeds <seed> [--mutate {}]",
+            mutation.name()
+        );
+        std::process::exit(1);
     }
 }
 

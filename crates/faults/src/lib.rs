@@ -89,11 +89,13 @@ pub struct FaultEvent {
 }
 
 impl FaultEvent {
-    /// Total order for schedules: time, then fault class, then target.
-    /// Same-instant events on different elements thus sort the same way
-    /// regardless of generation order — schedule bytes depend only on the
-    /// seed, never on container iteration order.
-    fn sort_key(&self) -> (SimTime, u8, u32) {
+    /// Total order for schedules: time, then fault class (link failure <
+    /// flap < ToR crash), then target id. Same-instant events on different
+    /// elements thus sort the same way regardless of generation order —
+    /// schedule bytes depend only on the seed, never on container
+    /// iteration order. Public so external schedule builders (e.g. the
+    /// fuzz harness) can guarantee the same replay determinism.
+    pub fn sort_key(&self) -> (SimTime, u8, u32) {
         match self.kind {
             FaultKind::LinkFailure { link, .. } => (self.at, 0, link.0),
             FaultKind::LinkFlap { link, .. } => (self.at, 1, link.0),
@@ -484,6 +486,168 @@ mod tests {
         inject(&mut cs2, &mut app, &schedule2, SimTime::from_secs(100));
         let out2: Vec<_> = cs2.fabric.net.out_links(tor2).collect();
         assert!(out2.iter().all(|&l| cs2.net.link(l.flow_link()).up));
+    }
+
+    #[test]
+    fn zero_duration_repair_leaves_link_up() {
+        // A repair_after of zero is a legal degenerate flap: the link must
+        // end (and, observably, stay) up, and both inject + repair
+        // telemetry must still be emitted in order.
+        let buf = hpn_telemetry::SharedBuf::new();
+        let prev = hpn_telemetry::install(hpn_telemetry::SharedRecorder::new(Box::new(
+            hpn_telemetry::JsonlRecorder::new(buf.clone()),
+        )));
+        let f = HpnConfig::tiny().build();
+        let mut cs = ClusterSim::new(f, HashMode::Polarized);
+        let link = cs.fabric.hosts[0].nic_up[0][0].unwrap();
+        let schedule = vec![FaultEvent {
+            at: SimTime::from_secs(1),
+            kind: FaultKind::LinkFailure {
+                link,
+                repair_after: SimDuration::from_secs(0),
+            },
+        }];
+        let mut app = Nop;
+        inject(&mut cs, &mut app, &schedule, SimTime::from_secs(5));
+        cs.telemetry().flush();
+        hpn_telemetry::install(prev);
+        assert!(cs.net.link(link.flow_link()).up, "link must end up");
+        assert!(cs.health.is_up(link));
+        let text = buf.text();
+        let inject_pos = text.find("fault_inject").expect("inject recorded");
+        let repair_pos = text.find("fault_repair").expect("repair recorded");
+        assert!(inject_pos < repair_pos, "inject precedes its repair");
+    }
+
+    #[test]
+    fn same_tick_inject_and_repair_order_deterministically() {
+        // A repair falling on the same sim-time tick as the next fault:
+        // `inject` applies the fault first (tf <= tr), so a failure landing
+        // exactly when another link's repair is due must leave the repaired
+        // link up and the newly-failed link down at the deadline.
+        let f = HpnConfig::tiny().build();
+        let mut cs = ClusterSim::new(f, HashMode::Polarized);
+        let l0 = cs.fabric.hosts[0].nic_up[0][0].unwrap();
+        let l1 = cs.fabric.hosts[1].nic_up[0][0].unwrap();
+        let schedule = vec![
+            // Fails at 1s, repaired at exactly 2s…
+            FaultEvent {
+                at: SimTime::from_secs(1),
+                kind: FaultKind::LinkFailure {
+                    link: l0,
+                    repair_after: SimDuration::from_secs(1),
+                },
+            },
+            // …which is also the instant this one fails (never repaired
+            // within the deadline).
+            FaultEvent {
+                at: SimTime::from_secs(2),
+                kind: FaultKind::LinkFailure {
+                    link: l1,
+                    repair_after: SimDuration::from_secs(3600),
+                },
+            },
+        ];
+        let mut app = Nop;
+        inject(&mut cs, &mut app, &schedule, SimTime::from_secs(10));
+        assert!(cs.net.link(l0.flow_link()).up, "repaired link ends up");
+        assert!(!cs.net.link(l1.flow_link()).up, "same-tick fault sticks");
+        assert_eq!(cs.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn refailing_an_already_down_link_is_idempotent() {
+        // Two overlapping failures of one cable: the second inject hits an
+        // already-down link (a flap landing inside a hard-failure window —
+        // common at production flap rates). Neither apply may panic, and
+        // link state is boolean (set_link_up, not reference-counted), so
+        // the *first* repair to fire resurrects the cable: after the flap
+        // repair at 2.5s the link is up, and the hard repair at 3601s is a
+        // no-op. This pins the last-writer-wins semantics replay depends
+        // on.
+        let f = HpnConfig::tiny().build();
+        let mut cs = ClusterSim::new(f, HashMode::Polarized);
+        let link = cs.fabric.hosts[0].nic_up[0][0].unwrap();
+        let schedule = vec![
+            FaultEvent {
+                at: SimTime::from_secs(1),
+                kind: FaultKind::LinkFailure {
+                    link,
+                    repair_after: SimDuration::from_secs(3600),
+                },
+            },
+            FaultEvent {
+                at: SimTime::from_secs(2),
+                kind: FaultKind::LinkFlap {
+                    link,
+                    duration: SimDuration::from_millis(500),
+                },
+            },
+        ];
+        let mut app = Nop;
+        // Check the down window first: between the second inject (2s) and
+        // the flap repair (2.5s) the cable is down exactly once-observable.
+        let f_mid = HpnConfig::tiny().build();
+        let mut cs_mid = ClusterSim::new(f_mid, HashMode::Polarized);
+        let link_mid = cs_mid.fabric.hosts[0].nic_up[0][0].unwrap();
+        assert_eq!(link_mid, link, "tiny fabric is deterministic");
+        inject(&mut cs_mid, &mut app, &schedule[..1], SimTime::from_secs(2));
+        assert!(!cs_mid.health.is_up(link_mid), "down inside the window");
+
+        // Full overlapping schedule: the flap repair at 2.5s brings the
+        // boolean link state up even though the hard repair is pending.
+        inject(&mut cs, &mut app, &schedule, SimTime::from_secs(100));
+        assert!(
+            cs.health.is_up(link),
+            "first repair resurrects a boolean link"
+        );
+        assert!(cs.net.link(link.flow_link()).up);
+        // Running past the (now no-op) hard repair must not panic and must
+        // leave the link up.
+        inject(&mut cs, &mut app, &[], SimTime::from_secs(2 * 3600));
+        assert!(cs.health.is_up(link));
+    }
+
+    #[test]
+    fn sort_key_makes_shuffled_schedules_replay_identically() {
+        // The public sort key is the determinism contract: any generation
+        // order, once sorted, must replay to byte-identical telemetry.
+        let f = HpnConfig::tiny().build();
+        let mut rates = FaultRates::paper();
+        rates.link_fail_per_month = 0.5;
+        rates.link_repair = SimDuration::from_secs(3600);
+        let horizon = SimDuration::from_secs(30 * 24 * 3600);
+        let sched = plan(&f, &rates, horizon, 21);
+        assert!(sched.len() >= 2, "need a multi-event schedule");
+
+        let replay = |schedule: &[FaultEvent]| {
+            let buf = hpn_telemetry::SharedBuf::new();
+            let prev = hpn_telemetry::install(hpn_telemetry::SharedRecorder::new(Box::new(
+                hpn_telemetry::JsonlRecorder::new(buf.clone()),
+            )));
+            let fab = HpnConfig::tiny().build();
+            let mut cs = ClusterSim::new(fab, HashMode::Polarized);
+            let mut app = Nop;
+            inject(&mut cs, &mut app, schedule, SimTime::ZERO + horizon);
+            cs.telemetry().flush();
+            hpn_telemetry::install(prev);
+            buf.text()
+        };
+
+        let baseline = replay(&sched);
+        // Reverse (a worst-case "generation order"), then restore the
+        // total order via the public key.
+        let mut shuffled: Vec<FaultEvent> = sched.iter().rev().copied().collect();
+        shuffled.sort_unstable_by_key(FaultEvent::sort_key);
+        for (a, b) in sched.iter().zip(&shuffled) {
+            assert_eq!(a.at, b.at);
+            assert_eq!(a.kind, b.kind);
+        }
+        assert_eq!(
+            baseline,
+            replay(&shuffled),
+            "sorted replay must be byte-identical"
+        );
     }
 
     #[test]

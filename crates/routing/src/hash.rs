@@ -47,6 +47,35 @@ pub fn crc32c(data: &[u8], init: u32) -> u32 {
     !crc
 }
 
+/// XOR-fold of the tuple bytes into 32 bits — the cheapest hash commodity
+/// ASICs offer. Folds each 4-byte window into the accumulator with a
+/// rotate so byte order still matters.
+pub fn xor_fold32(data: &[u8], init: u32) -> u32 {
+    let mut acc = init;
+    for chunk in data.chunks(4) {
+        let mut word = 0u32;
+        for (i, &b) in chunk.iter().enumerate() {
+            word |= (b as u32) << (8 * i);
+        }
+        acc = acc.rotate_left(5) ^ word;
+    }
+    acc
+}
+
+/// Which hash primitive a switch family uses. Commodity chips ship a small
+/// menu (§2.2's polarization follows from every tier picking from the same
+/// menu); the ablation benches compare all three.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum HashFamily {
+    /// CRC-16/CCITT-FALSE.
+    Crc16,
+    /// CRC-32C (Castagnoli) — the default used throughout the experiments.
+    #[default]
+    Crc32c,
+    /// 32-bit XOR-fold.
+    XorFold,
+}
+
 /// How switches derive their hash seed.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum HashMode {
@@ -63,12 +92,23 @@ pub enum HashMode {
 pub struct EcmpHasher {
     /// Seed derivation mode.
     pub mode: HashMode,
+    /// Hash primitive the fabric's switches run.
+    pub family: HashFamily,
 }
 
 impl EcmpHasher {
-    /// Construct a hasher in the given mode.
+    /// Construct a hasher in the given mode with the default CRC-32C
+    /// family (what every figure and golden fingerprint uses).
     pub fn new(mode: HashMode) -> Self {
-        EcmpHasher { mode }
+        EcmpHasher {
+            mode,
+            family: HashFamily::default(),
+        }
+    }
+
+    /// Construct a hasher using a specific hash primitive.
+    pub fn with_family(mode: HashMode, family: HashFamily) -> Self {
+        EcmpHasher { mode, family }
     }
 
     /// Hash a 5-tuple at switch `node_id`, returning a 32-bit value.
@@ -82,7 +122,11 @@ impl EcmpHasher {
     /// by the switch id.
     pub fn hash(&self, tuple: &FiveTuple, node_id: u32) -> u32 {
         let bytes = tuple.to_bytes();
-        let base = crc32c(&bytes, 0);
+        let base = match self.family {
+            HashFamily::Crc16 => crc16_ccitt(&bytes, 0xFFFF) as u32,
+            HashFamily::Crc32c => crc32c(&bytes, 0),
+            HashFamily::XorFold => xor_fold32(&bytes, 0),
+        };
         match self.mode {
             HashMode::Polarized => base,
             HashMode::Independent => {

@@ -31,6 +31,6 @@ pub mod router;
 pub mod stacked;
 
 pub use addr::{endpoint_ip, FiveTuple, RDMA_DPORT};
-pub use hash::{EcmpHasher, HashMode};
+pub use hash::{EcmpHasher, HashFamily, HashMode};
 pub use health::LinkHealth;
 pub use router::{RouteError, RouteRequest, Router};

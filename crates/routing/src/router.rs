@@ -79,6 +79,22 @@ impl Route {
 pub enum RouteError {
     /// Source and destination are the same GPU.
     SameEndpoint,
+    /// A host index in the request does not exist on this fabric. Requests
+    /// come from user-controlled layers (scenario files, the fuzz harness),
+    /// so this is a typed error rather than an index panic.
+    HostOutOfRange {
+        /// The offending host index.
+        host: u32,
+        /// Number of hosts the fabric actually has.
+        hosts: usize,
+    },
+    /// A rail index in the request exceeds the host's GPU/NIC fan-out.
+    RailOutOfRange {
+        /// The offending rail index.
+        rail: usize,
+        /// Rails per host on this fabric.
+        rails: usize,
+    },
     /// No healthy path exists for the requested port; the caller may retry
     /// with the other port (that is exactly the dual-ToR failover).
     NoPath {
@@ -91,6 +107,12 @@ impl std::fmt::Display for RouteError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RouteError::SameEndpoint => write!(f, "source and destination GPU are identical"),
+            RouteError::HostOutOfRange { host, hosts } => {
+                write!(f, "host {host} out of range (fabric has {hosts} hosts)")
+            }
+            RouteError::RailOutOfRange { rail, rails } => {
+                write!(f, "rail {rail} out of range (hosts have {rails} rails)")
+            }
             RouteError::NoPath { at } => write!(f, "no healthy path: {at}"),
         }
     }
@@ -191,8 +213,22 @@ impl Router {
         if req.src_host == req.dst_host && req.src_rail == req.dst_rail {
             return Err(RouteError::SameEndpoint);
         }
+        let hosts = fabric.hosts.len();
+        for host in [req.src_host, req.dst_host] {
+            if host as usize >= hosts {
+                return Err(RouteError::HostOutOfRange { host, hosts });
+            }
+        }
         let src = &fabric.hosts[req.src_host as usize];
         let dst = &fabric.hosts[req.dst_host as usize];
+        for (rail, rails) in [
+            (req.src_rail, src.gpus.len()),
+            (req.dst_rail, dst.gpus.len()),
+        ] {
+            if rail >= rails {
+                return Err(RouteError::RailOutOfRange { rail, rails });
+            }
+        }
         let mut links: Vec<LinkIdx> = Vec::with_capacity(10);
 
         // Pure intra-host traffic rides NVLink.
@@ -278,7 +314,12 @@ impl Router {
             });
         }
         links.push(access);
-        let entry_tor = src.nic_tor[net_rail][port].expect("wired port has a ToR");
+        let entry_tor = src.nic_tor[net_rail][port].ok_or_else(|| RouteError::NoPath {
+            at: format!(
+                "host {} rail {net_rail} port {port} is wired but has no ToR",
+                req.src_host
+            ),
+        })?;
 
         // Destination attachments that BGP still advertises (healthy
         // ToR→NIC downlink).
@@ -611,6 +652,43 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn out_of_range_host_is_a_typed_error_not_a_panic() {
+        let (f, r, h) = hpn_setup();
+        let n = f.hosts.len();
+        assert_eq!(
+            r.route(&f, &h, &req(n as u32, 0, 0, 0, 1)).unwrap_err(),
+            RouteError::HostOutOfRange {
+                host: n as u32,
+                hosts: n
+            }
+        );
+        assert_eq!(
+            r.route(&f, &h, &req(0, 0, u32::MAX, 0, 1)).unwrap_err(),
+            RouteError::HostOutOfRange {
+                host: u32::MAX,
+                hosts: n
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_range_rail_is_a_typed_error_not_a_panic() {
+        let (f, r, h) = hpn_setup();
+        let rails = f.hosts[0].gpus.len();
+        assert_eq!(
+            r.route(&f, &h, &req(0, rails, 1, 0, 1)).unwrap_err(),
+            RouteError::RailOutOfRange { rail: rails, rails }
+        );
+        assert_eq!(
+            r.route(&f, &h, &req(0, 0, 1, rails + 7, 1)).unwrap_err(),
+            RouteError::RailOutOfRange {
+                rail: rails + 7,
+                rails
+            }
+        );
     }
 
     #[test]

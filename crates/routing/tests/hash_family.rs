@@ -1,0 +1,121 @@
+//! Property tests over the ECMP hash family (§2.2).
+//!
+//! Two directions, asserted for every primitive (CRC-16, CRC-32C,
+//! XOR-fold):
+//!
+//! * **Independent mode** — per-switch finalized hashing must spread
+//!   cross-tier choices: near-uniform bucket occupancy at one switch, and
+//!   near-full downstream coverage across two tiers.
+//! * **Polarized mode** — same function + same seed at every tier must
+//!   reproduce the cascading-collision collapse: among tuples that share
+//!   an upstream bucket, downstream choice degenerates to a tiny subset.
+
+use hpn_routing::addr::{FiveTuple, RDMA_DPORT};
+use hpn_routing::hash::{downstream_coverage, EcmpHasher, HashFamily, HashMode};
+
+const FAMILIES: [HashFamily; 3] = [HashFamily::Crc16, HashFamily::Crc32c, HashFamily::XorFold];
+
+fn tuples(n: usize) -> Vec<FiveTuple> {
+    // Realistic RDMA traffic shape: fixed dst port, varying hosts + source
+    // ports (the RePaC entropy knob).
+    (0..n)
+        .map(|i| FiveTuple {
+            src_ip: 0x0a00_0001 + (i as u32 % 64),
+            dst_ip: 0x0a00_8001 + (i as u32 / 64 % 64),
+            src_port: 49152 + (i as u16 % 4096),
+            dst_port: RDMA_DPORT,
+            proto: 17,
+        })
+        .collect()
+}
+
+/// Max relative deviation of per-bucket occupancy from the uniform
+/// expectation.
+fn bucket_imbalance(hasher: &EcmpHasher, node: u32, n: usize, tuples: &[FiveTuple]) -> f64 {
+    let mut counts = vec![0usize; n];
+    for t in tuples {
+        counts[hasher.select(t, node, n)] += 1;
+    }
+    let expect = tuples.len() as f64 / n as f64;
+    counts
+        .iter()
+        .map(|&c| (c as f64 - expect).abs() / expect)
+        .fold(0.0, f64::max)
+}
+
+#[test]
+fn independent_mode_fills_buckets_near_uniformly_for_every_family() {
+    // Single-switch load balance under the per-switch finalizer: every
+    // primitive must occupy all 8 buckets within ±35% of the uniform share
+    // over 4096 tuples. Only independent mode gets this guarantee — the
+    // finalizer supplies the mixing the raw (linear) primitives lack. Raw
+    // polarized XOR-fold, for instance, legitimately strands buckets on
+    // structured traffic (that weakness is part of what §2.2 measures).
+    let ts = tuples(4096);
+    for family in FAMILIES {
+        let h = EcmpHasher::with_family(HashMode::Independent, family);
+        let imbalance = bucket_imbalance(&h, 11, 8, &ts);
+        assert!(
+            imbalance < 0.35,
+            "{family:?}: independent bucket imbalance {imbalance:.3} exceeds 0.35"
+        );
+    }
+}
+
+#[test]
+fn independent_mode_decorrelates_tiers_for_every_family() {
+    let ts = tuples(2048);
+    for family in FAMILIES {
+        let h = EcmpHasher::with_family(HashMode::Independent, family);
+        let cov = downstream_coverage(&h, 10, 20, 8, 8, &ts);
+        assert!(
+            cov >= 0.9,
+            "{family:?}: independent coverage {cov:.3} below 0.9"
+        );
+    }
+}
+
+#[test]
+fn polarized_mode_cascades_collisions_for_every_family() {
+    // §2.2: with the same function and seed at both tiers, the downstream
+    // index is a deterministic function of the upstream one — tuples that
+    // collided upstream keep colliding downstream, so coverage collapses
+    // toward 1/n2.
+    let ts = tuples(2048);
+    for family in FAMILIES {
+        let h = EcmpHasher::with_family(HashMode::Polarized, family);
+        let cov = downstream_coverage(&h, 10, 20, 8, 8, &ts);
+        assert!(
+            cov <= 0.3,
+            "{family:?}: polarized coverage {cov:.3} should collapse below 0.3"
+        );
+    }
+}
+
+#[test]
+fn polarization_gap_is_wide_for_every_family() {
+    // The imbalance the paper blames on polarization is the *gap* between
+    // the two modes, not either absolute number — assert it directly.
+    let ts = tuples(2048);
+    for family in FAMILIES {
+        let pol = EcmpHasher::with_family(HashMode::Polarized, family);
+        let ind = EcmpHasher::with_family(HashMode::Independent, family);
+        let gap = downstream_coverage(&ind, 10, 20, 8, 8, &ts)
+            - downstream_coverage(&pol, 10, 20, 8, 8, &ts);
+        assert!(
+            gap >= 0.6,
+            "{family:?}: independent-vs-polarized coverage gap {gap:.3} below 0.6"
+        );
+    }
+}
+
+#[test]
+fn default_family_is_crc32c_and_unchanged_by_with_family() {
+    // `EcmpHasher::new` must keep hashing exactly as before the family knob
+    // existed (golden figure fingerprints depend on it).
+    let t = tuples(1)[0];
+    let legacy = EcmpHasher::new(HashMode::Polarized);
+    let explicit = EcmpHasher::with_family(HashMode::Polarized, HashFamily::Crc32c);
+    assert_eq!(legacy.hash(&t, 3), explicit.hash(&t, 3));
+    assert_eq!(legacy.family, HashFamily::Crc32c);
+}

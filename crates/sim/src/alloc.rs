@@ -227,8 +227,25 @@ impl Fill<'_> {
                 keep
             });
             if unfrozen_list.len() == before {
-                // Numerical stall guard: freeze the first flow.
-                let i = unfrozen_list.remove(0);
+                // Numerical stall: a flow is within rounding distance of
+                // its demand (one ulp of a ~1e10 rate exceeds the absolute
+                // RATE_EPS window) and the increment rounds to zero.
+                // Freeze the flow with the least demand headroom — it is
+                // the one that stalled. Freezing an arbitrary flow here
+                // would strand a genuinely unconstrained flow below both
+                // its demand and any saturated link, breaking max-min
+                // optimality (found by `scenario fuzz`, seed 53).
+                let pos = unfrozen_list
+                    .iter()
+                    .enumerate()
+                    .min_by(|&(_, &a), &(_, &b)| {
+                        let ha = flows[a].1 - rate[a];
+                        let hb = flows[b].1 - rate[b];
+                        ha.partial_cmp(&hb).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|(p, _)| p)
+                    .expect("stalled fill has unfrozen flows");
+                let i = unfrozen_list.remove(pos);
                 freeze(i, unfrozen_on);
             }
         }

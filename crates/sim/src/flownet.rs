@@ -175,6 +175,16 @@ impl FlowNet {
 
     /// An empty network using the given rate allocator.
     pub fn with_allocator(kind: AllocatorKind) -> Self {
+        Self::with_allocator_box(kind.build())
+    }
+
+    /// An empty network using a caller-supplied allocator instance.
+    ///
+    /// This is the injection point the correctness harness (`hpn-check`)
+    /// uses to wrap a stock allocator in a deliberately buggy mutant and
+    /// prove the invariant oracles catch it; production code should go
+    /// through [`FlowNet::with_allocator`].
+    pub fn with_allocator_box(allocator: Box<dyn RateAllocator>) -> Self {
         FlowNet {
             links: Vec::new(),
             flows: FlowArena::new(),
@@ -183,7 +193,7 @@ impl FlowNet {
             clock: SimTime::ZERO,
             rates_dirty: false,
             hot_links: Vec::new(),
-            allocator: kind.build(),
+            allocator,
             scope: RecomputeScope::default(),
             probe: None,
         }
