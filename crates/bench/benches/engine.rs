@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpn_routing::hash::EcmpHasher;
 use hpn_routing::repac;
 use hpn_routing::{FiveTuple, HashMode, LinkHealth, RouteRequest, Router};
-use hpn_sim::{AllocatorKind, Engine, FlowNet, FlowSpec, SimDuration, SimTime};
+use hpn_sim::{
+    AllocatorKind, Engine, FlowNet, FlowSpec, ParallelIncrementalMaxMin, SimDuration, SimTime,
+};
 use hpn_topology::HpnConfig;
 
 fn bench_flownet_recompute(c: &mut Criterion) {
@@ -39,24 +41,54 @@ fn bench_flownet_recompute(c: &mut Criterion) {
     group.finish();
 }
 
-/// Dense vs incremental under flow churn: kill one flow and start a
-/// replacement per event, at 1K/4K/16K concurrent flows. Flows form
-/// bottleneck components of a few dozen (each crosses two links inside an
-/// 8-link pod group), the shape a training job's collective traffic takes —
-/// so the incremental allocator recomputes a component while the dense one
-/// re-solves the world. The per-event touched-flow counts print after each
-/// measurement for the EXPERIMENTS.md scope table.
+/// How many distinct pods churn between recomputes in the allocator
+/// bench. A training job's collective traffic churns many components at
+/// once (every rail of a restarted host changes together), so each bench
+/// "event" is a kill/start pair in `CHURN_BATCH` different pod groups
+/// followed by one recompute — giving component-partitioned allocators
+/// several independent dirty components per solve.
+const CHURN_BATCH: usize = 8;
+
+/// Allocator churn bench: kill one flow and start a replacement in each
+/// of [`CHURN_BATCH`] distinct pods, then recompute, at 1K/4K/16K
+/// concurrent flows. Flows form bottleneck components of a few dozen
+/// (each crosses two links inside an 8-link pod group), the shape a
+/// training job's collective traffic takes — so component-partitioned
+/// allocators recompute only the dirty pods while the dense one re-solves
+/// the world, and the parallel allocator solves the dirty pods on worker
+/// threads. The per-event touched-flow counts print after each
+/// measurement for the EXPERIMENTS.md scope table, and the µs/event
+/// results land in `BENCH_alloc.json` (see [`write_alloc_tracking`]).
 fn bench_allocator_churn(c: &mut Criterion) {
     const POD_LINKS: usize = 8;
+    type MakeNet = fn() -> FlowNet;
+    let variants: &[(&str, MakeNet)] = &[
+        ("dense", || FlowNet::with_allocator(AllocatorKind::Dense)),
+        ("incremental", || {
+            FlowNet::with_allocator(AllocatorKind::Incremental)
+        }),
+        ("parallel1", || {
+            FlowNet::with_allocator_box(Box::new(
+                ParallelIncrementalMaxMin::with_jobs(1).min_component_flows(0),
+            ))
+        }),
+        ("parallel2", || {
+            FlowNet::with_allocator_box(Box::new(
+                ParallelIncrementalMaxMin::with_jobs(2).min_component_flows(0),
+            ))
+        }),
+        ("parallel4", || {
+            FlowNet::with_allocator_box(Box::new(
+                ParallelIncrementalMaxMin::with_jobs(4).min_component_flows(0),
+            ))
+        }),
+    ];
     let mut group = c.benchmark_group("allocator");
-    for &(kind, name) in &[
-        (AllocatorKind::Dense, "dense"),
-        (AllocatorKind::Incremental, "incremental"),
-    ] {
+    for &(name, make_net) in variants {
         for &n in &[1024usize, 4096, 16384] {
             group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
-                let mut net = FlowNet::with_allocator(kind);
-                let nlinks = (n / 8).max(POD_LINKS);
+                let mut net = make_net();
+                let nlinks = (n / 8).max(POD_LINKS * CHURN_BATCH);
                 let links: Vec<_> = (0..nlinks).map(|_| net.add_link(400e9, 1e7)).collect();
                 let ngroups = nlinks / POD_LINKS;
                 let path_of = |net: &mut FlowNet, i: usize| {
@@ -87,21 +119,25 @@ fn bench_allocator_churn(c: &mut Criterion) {
                 let warm = net.alloc_scope();
                 let mut i = 0usize;
                 b.iter(|| {
-                    let slot = i % handles.len();
-                    net.kill_flow(SimTime::ZERO, handles[slot]);
+                    // One batch: churn CHURN_BATCH consecutive slots —
+                    // consecutive i lands in consecutive pods (i % ngroups)
+                    // — then a single recompute covering all dirty pods.
+                    for _ in 0..CHURN_BATCH {
+                        let slot = i % handles.len();
+                        net.kill_flow(SimTime::ZERO, handles[slot]);
+                        let path = path_of(&mut net, slot);
+                        handles[slot] = net.start_flow(
+                            SimTime::ZERO,
+                            FlowSpec {
+                                path,
+                                size_bits: 1e15,
+                                demand_bps: 200e9,
+                                tag: slot as u64,
+                            },
+                        );
+                        i += 1;
+                    }
                     net.recompute_if_dirty();
-                    let path = path_of(&mut net, slot);
-                    handles[slot] = net.start_flow(
-                        SimTime::ZERO,
-                        FlowSpec {
-                            path,
-                            size_bits: 1e15,
-                            demand_bps: 200e9,
-                            tag: slot as u64,
-                        },
-                    );
-                    net.recompute_if_dirty();
-                    i += 1;
                 });
                 let scope = net.alloc_scope().since(&warm);
                 eprintln!(
@@ -115,6 +151,39 @@ fn bench_allocator_churn(c: &mut Criterion) {
         }
     }
     group.finish();
+    write_alloc_tracking(c);
+}
+
+/// Write `BENCH_alloc.json` at the workspace root from the allocator
+/// group's timings: µs per churn event (one kill/start pair; each bench
+/// iteration performs [`CHURN_BATCH`] of them plus the recompute) for
+/// every allocator variant and flow count. Skipped in smoke mode and when
+/// a `cargo bench -- <filter>` excluded the whole group.
+fn write_alloc_tracking(c: &Criterion) {
+    let results: Vec<_> = c
+        .results()
+        .iter()
+        .filter(|r| r.name.starts_with("allocator/"))
+        .collect();
+    if results.is_empty() {
+        return;
+    }
+    let mut body = String::from("{\n");
+    body.push_str("  \"bench\": \"allocator churn (cargo bench -- allocator)\",\n");
+    body.push_str("  \"unit\": \"us_per_event\",\n");
+    body.push_str(&format!(
+        "  \"events_per_iteration\": {CHURN_BATCH},\n  \"results\": {{\n"
+    ));
+    for (idx, r) in results.iter().enumerate() {
+        let label = r.name.trim_start_matches("allocator/");
+        let us_per_event = r.mean_ns / CHURN_BATCH as f64 / 1_000.0;
+        let comma = if idx + 1 == results.len() { "" } else { "," };
+        body.push_str(&format!("    \"{label}\": {us_per_event:.2}{comma}\n"));
+    }
+    body.push_str("  }\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_alloc.json");
+    std::fs::write(path, body).expect("write BENCH_alloc.json");
+    eprintln!("wrote {path}");
 }
 
 fn bench_engine_events(c: &mut Criterion) {

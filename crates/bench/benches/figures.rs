@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use hpn_bench::experiments::{self, common};
-use hpn_bench::Scale;
+use hpn_bench::{Scale, SimCtx};
 use hpn_collectives::CommConfig;
 use hpn_scenario::{ModelId, Scenario, WorkloadSpec};
 
@@ -17,48 +17,50 @@ fn cfg(c: &mut Criterion) -> &mut Criterion {
 
 fn bench_static_tables(c: &mut Criterion) {
     let c = cfg(c);
+    let ctx = &SimCtx::new();
     // Tables 1–4 + the analytic figures: cheap, so bench the whole runs.
     c.bench_function("table1_complexity", |b| {
-        b.iter(|| experiments::tables::run_table1(Scale::Quick))
+        b.iter(|| experiments::tables::run_table1(ctx, Scale::Quick))
     });
     c.bench_function("table2_scale", |b| {
-        b.iter(|| experiments::tables::run_table2(Scale::Quick))
+        b.iter(|| experiments::tables::run_table2(ctx, Scale::Quick))
     });
     c.bench_function("table3_traffic", |b| {
-        b.iter(|| experiments::tables::run_table3(Scale::Quick))
+        b.iter(|| experiments::tables::run_table3(ctx, Scale::Quick))
     });
     c.bench_function("table4_railonly", |b| {
-        b.iter(|| experiments::tables::run_table4(Scale::Quick))
+        b.iter(|| experiments::tables::run_table4(ctx, Scale::Quick))
     });
     c.bench_function("fig01_cloud_trace", |b| {
-        b.iter(|| experiments::fig01::run(Scale::Quick))
+        b.iter(|| experiments::fig01::run(ctx, Scale::Quick))
     });
     c.bench_function("fig04_checkpoints", |b| {
-        b.iter(|| experiments::fig04::run(Scale::Quick))
+        b.iter(|| experiments::fig04::run(ctx, Scale::Quick))
     });
     c.bench_function("fig06_job_sizes", |b| {
-        b.iter(|| experiments::fig06::run(Scale::Quick))
+        b.iter(|| experiments::fig06::run(ctx, Scale::Quick))
     });
     c.bench_function("fig09_power_cooling", |b| {
-        b.iter(|| experiments::fig09::run(Scale::Quick))
+        b.iter(|| experiments::fig09::run(ctx, Scale::Quick))
     });
     c.bench_function("dualtor_state_machines", |b| {
-        b.iter(|| experiments::dualtor::run(Scale::Quick))
+        b.iter(|| experiments::dualtor::run(ctx, Scale::Quick))
     });
     c.bench_function("hashing_polarization", |b| {
-        b.iter(|| experiments::hashing::run(Scale::Quick))
+        b.iter(|| experiments::hashing::run(ctx, Scale::Quick))
     });
 }
 
 fn bench_simulated_figures(c: &mut Criterion) {
+    let ctx = &SimCtx::new();
     let mut group = c.benchmark_group("simulated_figures");
     group.sample_size(10);
     group.bench_function("fig05_fault_schedule", |b| {
-        b.iter(|| experiments::fig05::run(Scale::Quick))
+        b.iter(|| experiments::fig05::run(ctx, Scale::Quick))
     });
     group.bench_function("fig17_allreduce_sweep_point", |b| {
         b.iter(|| {
-            let mut cs = common::build_cluster(common::hpn_topology(Scale::Quick, 1, 8));
+            let mut cs = common::build_cluster(ctx, common::hpn_topology(Scale::Quick, 1, 8));
             common::run_collective(
                 &mut cs,
                 common::CollectiveKind::AllReduce,
@@ -71,7 +73,7 @@ fn bench_simulated_figures(c: &mut Criterion) {
     });
     group.bench_function("fig17_multiallreduce_point", |b| {
         b.iter(|| {
-            let mut cs = common::build_cluster(common::hpn_topology(Scale::Quick, 1, 8));
+            let mut cs = common::build_cluster(ctx, common::hpn_topology(Scale::Quick, 1, 8));
             common::run_collective(
                 &mut cs,
                 common::CollectiveKind::MultiAllReduce,
@@ -86,7 +88,7 @@ fn bench_simulated_figures(c: &mut Criterion) {
         b.iter(|| {
             let scenario = Scenario::new("bench-fig16", common::hpn_topology(Scale::Quick, 1, 8))
                 .with_workload(WorkloadSpec::new(ModelId::Llama7b, 1, 8, 128));
-            let (mut cs, mut session) = common::scenario_session(&scenario);
+            let (mut cs, mut session) = common::scenario_session(ctx, &scenario);
             session.run_iteration(&mut cs)
         })
     });

@@ -1,5 +1,4 @@
-//! Shared experiment setup: scenario declarations, collective sweeps and
-//! the sweep-seed scope.
+//! Shared experiment setup: scenario declarations and collective sweeps.
 //!
 //! Since the scenario refactor, figure experiments no longer hand-build
 //! fabrics, clusters and jobs: they declare a typed [`Scenario`] (topology,
@@ -9,61 +8,23 @@
 //! pairs, panicking with the full [`hpn_scenario::ScenarioError`]
 //! diagnostic when a statically-declared scenario is wrong — that is a
 //! bug, not an input error.
-
-use std::cell::Cell;
+//!
+//! Every cluster-building helper takes the cell's [`SimCtx`]: the context
+//! carries the sweep root seed (experiments call `ctx.seed_for(site)` with
+//! their fixed site constant — outside a sweep that returns the constant
+//! itself, preserving the golden figure bytes), the telemetry recorder and
+//! the rate-allocator selection. The former thread-local `SweepScope` is
+//! gone; nothing in this crate is ambient anymore.
 
 use hpn_collectives::{bw, graph, CommConfig, Communicator, Runner};
 use hpn_core::{placement, TrainingSession};
 use hpn_scenario::{Scenario, TopologySpec};
 use hpn_sim::SimDuration;
+use hpn_telemetry::SimCtx;
 use hpn_topology::{DcnPlusConfig, Fabric, HpnConfig};
 use hpn_transport::ClusterSim;
 
 use crate::Scale;
-
-thread_local! {
-    /// The multi-seed sweep's root seed for the cell running on this
-    /// thread, or `None` outside a sweep (the golden-figure configuration).
-    static SWEEP_ROOT: Cell<Option<u64>> = const { Cell::new(None) };
-}
-
-/// RAII scope setting this thread's sweep root seed for one cell.
-///
-/// The parallel runner wraps each cell's execution in a `SweepScope`, so
-/// experiments ask [`experiment_seed`] for their streams without threading
-/// a seed through every signature, and a panicking cell cannot leak its
-/// root into the next cell scheduled on the same worker.
-pub struct SweepScope {
-    prev: Option<u64>,
-}
-
-impl SweepScope {
-    /// Set the sweep root for the current thread (None = fixed seeds).
-    pub fn set(root: Option<u64>) -> Self {
-        let prev = SWEEP_ROOT.with(|s| s.replace(root));
-        SweepScope { prev }
-    }
-}
-
-impl Drop for SweepScope {
-    fn drop(&mut self) {
-        SWEEP_ROOT.with(|s| s.set(self.prev));
-    }
-}
-
-/// The seed an experiment's RNG site should use.
-///
-/// Outside a sweep this is `fixed` itself — the experiment's built-in
-/// constant, preserving the golden figure bytes. Inside a sweep it is
-/// `split_seed(root, fixed)`: the site's constant doubles as its cell id,
-/// so every (experiment, site) pair gets its own decorrelated stream per
-/// root, independent of scheduling or draw order (see [`hpn_sim::rng`]).
-pub fn experiment_seed(fixed: u64) -> u64 {
-    match SWEEP_ROOT.with(|s| s.get()) {
-        None => fixed,
-        Some(root) => hpn_sim::split_seed(root, fixed),
-    }
-}
 
 /// HPN topology sized for the §9.1 experiments: `segments` segments of
 /// `hosts_per_segment` hosts (8 rails). Quick mode shrinks the radix.
@@ -106,23 +67,23 @@ pub fn build_fabric(topo: &TopologySpec) -> Fabric {
 /// Build a cluster runtime for a topology-only scenario. The default
 /// routing is the production (polarization-prone) hash family — HPN's
 /// advantage must come from architecture, not magic hashes.
-pub fn build_cluster(topo: TopologySpec) -> ClusterSim {
-    scenario_cluster(&Scenario::new("adhoc", topo))
+pub fn build_cluster(ctx: &SimCtx, topo: TopologySpec) -> ClusterSim {
+    scenario_cluster(ctx, &Scenario::new("adhoc", topo))
 }
 
-/// Build a scenario's cluster runtime, panicking with the scenario name
-/// and field-level diagnostic on error.
-pub fn scenario_cluster(sc: &Scenario) -> ClusterSim {
-    sc.build()
+/// Build a scenario's cluster runtime under the cell's context, panicking
+/// with the scenario name and field-level diagnostic on error.
+pub fn scenario_cluster(ctx: &SimCtx, sc: &Scenario) -> ClusterSim {
+    sc.build_with(ctx)
         .unwrap_or_else(|e| panic!("scenario '{}' failed to build: {e}", sc.name))
         .cluster
 }
 
 /// Build a workload-bearing scenario into its cluster runtime and a fresh
 /// training session.
-pub fn scenario_session(sc: &Scenario) -> (ClusterSim, TrainingSession) {
+pub fn scenario_session(ctx: &SimCtx, sc: &Scenario) -> (ClusterSim, TrainingSession) {
     let mut built = sc
-        .build()
+        .build_with(ctx)
         .unwrap_or_else(|e| panic!("scenario '{}' failed to build: {e}", sc.name));
     let w = built
         .workload

@@ -9,6 +9,8 @@
 use hpn_scenario::{ModelId, PlacementSpec, Scenario, TopologySpec, WorkloadSpec};
 use hpn_topology::HpnConfig;
 
+use hpn_telemetry::SimCtx;
+
 use crate::experiments::common;
 use crate::report::{pct_gain, Report};
 use crate::Scale;
@@ -28,7 +30,7 @@ fn two_pod_topology(scale: Scale) -> TopologySpec {
     TopologySpec::Hpn(cfg)
 }
 
-fn run_placement(scale: Scale, pp_across_pods: bool) -> f64 {
+fn run_placement(ctx: &SimCtx, scale: Scale, pp_across_pods: bool) -> f64 {
     let per_pod = scale.pick(16usize, 8);
     let pp = 2usize;
     let dp = per_pod; // pp × dp = 2 × per_pod hosts = both pods filled
@@ -47,15 +49,15 @@ fn run_placement(scale: Scale, pp_across_pods: bool) -> f64 {
             .placed(placement)
             .min_timeout(600.0),
     );
-    let (mut cs, mut session) = common::scenario_session(&scenario);
+    let (mut cs, mut session) = common::scenario_session(ctx, &scenario);
     session.run_iterations(&mut cs, scale.pick(3, 2) + 1);
     session.mean_throughput(1)
 }
 
 /// Run the experiment.
-pub fn run(scale: Scale) -> Report {
-    let pp_cross = run_placement(scale, true);
-    let dp_cross = run_placement(scale, false);
+pub fn run(ctx: &SimCtx, scale: Scale) -> Report {
+    let pp_cross = run_placement(ctx, scale, true);
+    let dp_cross = run_placement(ctx, scale, false);
     let mut r = Report::new(
         "crosspod",
         "Cross-pod placement over the 15:1 core (§7)",
@@ -83,8 +85,9 @@ mod tests {
 
     #[test]
     fn pp_across_pods_beats_dp_across_pods() {
-        let pp = run_placement(Scale::Quick, true);
-        let dp = run_placement(Scale::Quick, false);
+        let ctx = &SimCtx::new();
+        let pp = run_placement(ctx, Scale::Quick, true);
+        let dp = run_placement(ctx, Scale::Quick, false);
         assert!(
             pp > dp * 1.05,
             "PP-across-pods ({pp}) should clearly beat DP-across-pods ({dp})"

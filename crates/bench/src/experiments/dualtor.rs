@@ -7,10 +7,12 @@
 use hpn_routing::lacp::{bundle, BundleOutcome, NonStackedLacpConfig, RESERVED_VIRTUAL_MAC};
 use hpn_routing::stacked::{NonStackedPair, StackedPair};
 
+use hpn_telemetry::SimCtx;
+
 use crate::{Report, Scale};
 
 /// Run the experiment.
-pub fn run(_scale: Scale) -> Report {
+pub fn run(_ctx: &SimCtx, _scale: Scale) -> Report {
     let mut r = Report::new(
         "dualtor",
         "Stacked vs non-stacked dual-ToR failure modes",
@@ -109,7 +111,7 @@ mod tests {
 
     #[test]
     fn stacked_fails_where_non_stacked_survives() {
-        let r = run(Scale::Quick);
+        let r = run(&SimCtx::new(), Scale::Quick);
         assert!(r.rows[0].1.contains("RackDown"));
         assert!(r.rows[1].1.contains("AVAILABLE"));
         assert!(r.rows.last().unwrap().1.contains("Aggregated"));

@@ -2,15 +2,13 @@
 
 use hpn_workload::cloud;
 
-use crate::experiments::common;
+use hpn_telemetry::SimCtx;
+
 use crate::{Report, Scale};
 
 /// Run the experiment.
-pub fn run(_scale: Scale) -> Report {
-    let trace = cloud::generate(
-        &cloud::CloudParams::default(),
-        common::experiment_seed(0xF1601),
-    );
+pub fn run(ctx: &SimCtx, _scale: Scale) -> Report {
+    let trace = cloud::generate(&cloud::CloudParams::default(), ctx.seed_for(0xF1601));
     let mut r = Report::new(
         "fig01",
         "Traditional cloud computing traffic pattern",
@@ -65,7 +63,7 @@ mod tests {
 
     #[test]
     fn shape_matches_paper() {
-        let r = run(Scale::Quick);
+        let r = run(&SimCtx::new(), Scale::Quick);
         assert_eq!(r.id, "fig01");
         assert_eq!(r.series.len(), 2);
         // 24 hourly buckets.

@@ -4,17 +4,18 @@
 //! of one host: the signature is long idle (compute) phases punctuated by
 //! bursts that instantly fill the 2×200Gbps NIC during gradient sync.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use hpn_scenario::{links, ModelId, Scenario, WorkloadSpec};
 use hpn_sim::{LinkId, SimDuration, TimeSeries};
+
+use hpn_telemetry::SimCtx;
 
 use crate::experiments::common;
 use crate::{Report, Scale};
 
 /// Run the experiment.
-pub fn run(scale: Scale) -> Report {
+pub fn run(ctx: &SimCtx, scale: Scale) -> Report {
     let hosts_per_seg = scale.pick(16, 8);
     let dp = scale.pick(16usize, 8);
     let iters = scale.pick(4, 3);
@@ -26,7 +27,7 @@ pub fn run(scale: Scale) -> Report {
                 .gpu_secs(0.8)
                 .iters(iters),
         );
-    let (mut cs, session) = common::scenario_session(&scenario);
+    let (mut cs, session) = common::scenario_session(ctx, &scenario);
     let rails = cs.fabric.host_params.rails;
 
     // Record rail-0..3 egress of host 0.
@@ -38,7 +39,7 @@ pub fn run(scale: Scale) -> Report {
             )
         })
         .collect();
-    let series: Rc<RefCell<Vec<TimeSeries>>> = Rc::new(RefCell::new(
+    let series: Arc<Mutex<Vec<TimeSeries>>> = Arc::new(Mutex::new(
         watch
             .iter()
             .map(|(n, _)| TimeSeries::new(n.clone()))
@@ -47,7 +48,7 @@ pub fn run(scale: Scale) -> Report {
     let series2 = series.clone();
 
     let mut session = session.with_sampler(SimDuration::from_millis(250), move |cs| {
-        let mut ss = series2.borrow_mut();
+        let mut ss = series2.lock().expect("sampler accumulator");
         for (i, (_, links)) in watch.iter().enumerate() {
             let gbps = cs.net.aggregate_rate(links) / 1e9;
             ss[i].push(cs.now(), gbps);
@@ -60,7 +61,7 @@ pub fn run(scale: Scale) -> Report {
         "NIC egress traffic during model training",
         "periodic bursts that instantly reach the 400Gbps NIC capacity, seconds-long, idle between",
     );
-    let all = series.borrow();
+    let all = series.lock().expect("sampler accumulator");
     let peak = all.iter().map(|s| s.max()).fold(0.0, f64::max);
     r.row("iterations simulated", iters);
     r.row("peak NIC egress", format!("{peak:.0} Gbps (capacity 400)"));
@@ -82,7 +83,7 @@ mod tests {
 
     #[test]
     fn bursts_reach_nic_capacity() {
-        let r = run(Scale::Quick);
+        let r = run(&SimCtx::new(), Scale::Quick);
         let peak: f64 = r.rows[1].1.split(' ').next().unwrap().parse().unwrap();
         assert!(peak >= 350.0, "peak {peak} Gbps should approach 400");
         // And the NIC is idle part of the time (bursty, not continuous).

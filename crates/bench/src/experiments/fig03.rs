@@ -7,16 +7,18 @@
 use hpn_scenario::{ModelId, Scenario, WorkloadSpec};
 use hpn_sim::stats::Ecdf;
 
+use hpn_telemetry::SimCtx;
+
 use crate::experiments::common;
 use crate::{Report, Scale};
 
 /// Run the experiment.
-pub fn run(scale: Scale) -> Report {
+pub fn run(ctx: &SimCtx, scale: Scale) -> Report {
     let hosts_per_seg = scale.pick(16, 8);
     let dp = scale.pick(8usize, 4);
     let scenario = Scenario::new("fig03", common::hpn_topology(scale, 2, hosts_per_seg))
         .with_workload(WorkloadSpec::new(ModelId::Llama7b, 2, dp, 256).gpu_secs(0.05));
-    let (mut cs, mut session) = common::scenario_session(&scenario);
+    let (mut cs, mut session) = common::scenario_session(ctx, &scenario);
     session.run_iterations(&mut cs, 2);
 
     let census = session.communicator().connections_by_host(&cs);
@@ -53,7 +55,7 @@ mod tests {
 
     #[test]
     fn census_in_paper_range() {
-        let r = run(Scale::Quick);
+        let r = run(&SimCtx::new(), Scale::Quick);
         let parts: Vec<f64> = r.rows[1]
             .1
             .split('/')

@@ -3,10 +3,12 @@
 use hpn_sim::SimDuration;
 use hpn_workload::checkpoint::{CheckpointPolicy, USD_PER_GPU_HOUR};
 
+use hpn_telemetry::SimCtx;
+
 use crate::{Report, Scale};
 
 /// Run the experiment.
-pub fn run(_scale: Scale) -> Report {
+pub fn run(_ctx: &SimCtx, _scale: Scale) -> Report {
     let mut r = Report::new(
         "fig04",
         "Checkpoint intervals of representative LLM jobs",
@@ -41,7 +43,7 @@ mod tests {
 
     #[test]
     fn four_jobs_reported() {
-        let r = run(Scale::Quick);
+        let r = run(&SimCtx::new(), Scale::Quick);
         assert!(r.rows.len() >= 5);
         assert!(r.rows[0].1.contains("2.0h"));
     }

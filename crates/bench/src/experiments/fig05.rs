@@ -5,11 +5,13 @@ use hpn_scenario::TopologySpec;
 use hpn_sim::SimDuration;
 use hpn_topology::HpnConfig;
 
+use hpn_telemetry::SimCtx;
+
 use crate::experiments::common;
 use crate::{Report, Scale};
 
 /// Run the experiment.
-pub fn run(scale: Scale) -> Report {
+pub fn run(ctx: &SimCtx, scale: Scale) -> Report {
     let mut cfg = HpnConfig::paper();
     cfg.segments_per_pod = scale.pick(15, 2);
     cfg.hosts_per_segment = scale.pick(128, 16);
@@ -23,7 +25,7 @@ pub fn run(scale: Scale) -> Report {
     let mut rates = FaultRates::paper();
     rates.flaps_per_link_day = 0.0; // Fig 5 counts hard failures only
     let horizon = SimDuration::from_secs(months as u64 * 30 * 24 * 3600);
-    let schedule = plan(&fabric, &rates, horizon, common::experiment_seed(0xF1605));
+    let schedule = plan(&fabric, &rates, horizon, ctx.seed_for(0xF1605));
     let ratios = monthly_link_failure_ratio(&schedule, links, months);
 
     let mut r = Report::new(
@@ -58,7 +60,7 @@ mod tests {
 
     #[test]
     fn twelve_months_reported() {
-        let r = run(Scale::Quick);
+        let r = run(&SimCtx::new(), Scale::Quick);
         assert!(
             r.rows
                 .iter()

@@ -3,13 +3,14 @@
 use hpn_sim::{stats::Ecdf, Xoshiro256};
 use hpn_workload::jobs;
 
-use crate::experiments::common;
+use hpn_telemetry::SimCtx;
+
 use crate::{Report, Scale};
 
 /// Run the experiment.
-pub fn run(scale: Scale) -> Report {
+pub fn run(ctx: &SimCtx, scale: Scale) -> Report {
     let n = scale.pick(100_000, 10_000);
-    let mut rng = Xoshiro256::seed_from_u64(common::experiment_seed(0xF1606));
+    let mut rng = Xoshiro256::seed_from_u64(ctx.seed_for(0xF1606));
     let samples: Vec<f64> = (0..n).map(|_| jobs::sample(&mut rng) as f64).collect();
     let ecdf = Ecdf::from_samples(samples);
 
@@ -36,7 +37,7 @@ mod tests {
 
     #[test]
     fn anchors_hold() {
-        let r = run(Scale::Quick);
+        let r = run(&SimCtx::new(), Scale::Quick);
         let p1024 = r
             .rows
             .iter()

@@ -3,10 +3,12 @@
 use hpn_power::{generation, CoolingSolution, ThermalSim, AMBIENT_C, GENERATIONS, TJ_MAX_C};
 use hpn_sim::SimDuration;
 
+use hpn_telemetry::SimCtx;
+
 use crate::{Report, Scale};
 
 /// Run the experiment.
-pub fn run(_scale: Scale) -> Report {
+pub fn run(_ctx: &SimCtx, _scale: Scale) -> Report {
     let mut r = Report::new(
         "fig09",
         "51.2T single-chip power and cooling efficiency",
@@ -65,7 +67,7 @@ mod tests {
 
     #[test]
     fn only_optimized_vc_survives() {
-        let r = run(Scale::Quick);
+        let r = run(&SimCtx::new(), Scale::Quick);
         let text = r
             .rows
             .iter()

@@ -12,11 +12,12 @@
 // adaptors would obscure the wiring math.
 #![allow(clippy::needless_range_loop)]
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use hpn_scenario::{links, ModelId, PlacementSpec, Scenario, TopologySpec, WorkloadSpec};
 use hpn_sim::{stats, SimDuration, TimeSeries};
+
+use hpn_telemetry::SimCtx;
 
 use crate::experiments::common;
 use crate::report::Report;
@@ -34,7 +35,7 @@ struct PortStats {
 /// every active host's rail-0 NIC. Hosts are interleaved across the two
 /// segments so every DP-ring hop converges through the Aggregation layer
 /// onto a dual-ToR set — the §6.1 scenario.
-fn measure(topo: TopologySpec, scale: Scale) -> PortStats {
+fn measure(ctx: &SimCtx, topo: TopologySpec, scale: Scale) -> PortStats {
     let dp = scale.pick(16usize, 8);
     let pp = 2usize;
     // Compute shrunk to 0.3 gpu-s/sample so iterations stay
@@ -45,7 +46,7 @@ fn measure(topo: TopologySpec, scale: Scale) -> PortStats {
             .gpu_secs(0.3)
             .placed(PlacementSpec::InterleaveSegments),
     );
-    let (mut cs, session) = common::scenario_session(&scenario);
+    let (mut cs, session) = common::scenario_session(ctx, &scenario);
     let watched: Vec<[hpn_sim::LinkId; 2]> = session
         .job
         .hosts
@@ -60,7 +61,7 @@ fn measure(topo: TopologySpec, scale: Scale) -> PortStats {
         Vec<[Vec<f64>; 2]>, // queues per NIC per port
         Vec<f64>,           // sample timestamps (seconds)
     );
-    let acc: Rc<RefCell<Acc>> = Rc::new(RefCell::new((
+    let acc: Arc<Mutex<Acc>> = Arc::new(Mutex::new((
         vec![[Vec::new(), Vec::new()]; watched.len()],
         vec![[Vec::new(), Vec::new()]; watched.len()],
         Vec::new(),
@@ -76,7 +77,7 @@ fn measure(topo: TopologySpec, scale: Scale) -> PortStats {
                 }
             }
         }
-        let mut a = acc2.borrow_mut();
+        let mut a = acc2.lock().expect("sampler accumulator");
         a.2.push(cs.now().as_secs_f64());
         for (i, ports) in watched2.iter().enumerate() {
             for p in 0..2 {
@@ -88,7 +89,7 @@ fn measure(topo: TopologySpec, scale: Scale) -> PortStats {
     });
     session.run_iterations(&mut cs, scale.pick(4, 3));
 
-    let a = acc.borrow();
+    let a = acc.lock().expect("sampler accumulator");
     // Keep only samples where the NIC was receiving at all.
     let mean_rates: Vec<(f64, f64)> =
         a.0.iter()
@@ -205,10 +206,14 @@ fn mean_fairness(stats: &PortStats) -> f64 {
 }
 
 /// Fig 13 — traffic on ToR ports towards the same NIC.
-pub fn run_fig13(scale: Scale) -> Report {
+pub fn run_fig13(ctx: &SimCtx, scale: Scale) -> Report {
     let hosts_per_seg = scale.pick(16, 8);
-    let clos = measure(common::hpn_clos_topology(scale, 2, hosts_per_seg), scale);
-    let dual = measure(common::hpn_topology(scale, 2, hosts_per_seg), scale);
+    let clos = measure(
+        ctx,
+        common::hpn_clos_topology(scale, 2, hosts_per_seg),
+        scale,
+    );
+    let dual = measure(ctx, common::hpn_topology(scale, 2, hosts_per_seg), scale);
 
     let mut r = Report::new(
         "fig13",
@@ -246,10 +251,14 @@ pub fn run_fig13(scale: Scale) -> Report {
 }
 
 /// Fig 14 — queue length at ToR downstream ports.
-pub fn run_fig14(scale: Scale) -> Report {
+pub fn run_fig14(ctx: &SimCtx, scale: Scale) -> Report {
     let hosts_per_seg = scale.pick(16, 8);
-    let clos = measure(common::hpn_clos_topology(scale, 2, hosts_per_seg), scale);
-    let dual = measure(common::hpn_topology(scale, 2, hosts_per_seg), scale);
+    let clos = measure(
+        ctx,
+        common::hpn_clos_topology(scale, 2, hosts_per_seg),
+        scale,
+    );
+    let dual = measure(ctx, common::hpn_topology(scale, 2, hosts_per_seg), scale);
 
     let mut r = Report::new(
         "fig14",
@@ -293,8 +302,13 @@ mod tests {
     fn clos_is_less_fair_than_dual_plane() {
         let scale = Scale::Quick;
         let hosts_per_seg = 8;
-        let clos = measure(common::hpn_clos_topology(scale, 2, hosts_per_seg), scale);
-        let dual = measure(common::hpn_topology(scale, 2, hosts_per_seg), scale);
+        let ctx = &SimCtx::new();
+        let clos = measure(
+            ctx,
+            common::hpn_clos_topology(scale, 2, hosts_per_seg),
+            scale,
+        );
+        let dual = measure(ctx, common::hpn_topology(scale, 2, hosts_per_seg), scale);
         assert!(
             mean_fairness(&dual) > mean_fairness(&clos),
             "dual-plane {} should beat Clos {}",

@@ -8,11 +8,12 @@
 //! (Fig 15a), cross-segment (Aggregation ingress) traffic (Fig 15b) and
 //! Aggregation queue build-up (Fig 15c).
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use hpn_scenario::{links, ModelId, Scenario, TopologySpec, WorkloadSpec};
 use hpn_sim::{SimDuration, TimeSeries};
+
+use hpn_telemetry::SimCtx;
 
 use crate::experiments::common;
 use crate::report::{pct_gain, Report};
@@ -25,7 +26,14 @@ struct RunOut {
     segments_spanned: usize,
 }
 
-fn run_on(topo: TopologySpec, scale: Scale, pp: usize, dp: usize, batch: usize) -> RunOut {
+fn run_on(
+    ctx: &SimCtx,
+    topo: TopologySpec,
+    scale: Scale,
+    pp: usize,
+    dp: usize,
+    batch: usize,
+) -> RunOut {
     // The paper's job is a proprietary GPT-scale model whose compute/
     // communication split we cannot know directly; the one calibration
     // constant (compute seconds per sample) is set so the *communication
@@ -38,9 +46,9 @@ fn run_on(topo: TopologySpec, scale: Scale, pp: usize, dp: usize, batch: usize) 
             .sprayed(spray)
             .iters(iters),
     );
-    let (mut cs, session) = common::scenario_session(&scenario);
+    let (mut cs, session) = common::scenario_session(ctx, &scenario);
     let agg_links = links::tor_to_agg_links(&cs.fabric);
-    let acc: Rc<RefCell<(TimeSeries, TimeSeries)>> = Rc::new(RefCell::new((
+    let acc: Arc<Mutex<(TimeSeries, TimeSeries)>> = Arc::new(Mutex::new((
         TimeSeries::new("Agg ingress Gbps"),
         TimeSeries::new("Agg queue max KB"),
     )));
@@ -52,13 +60,13 @@ fn run_on(topo: TopologySpec, scale: Scale, pp: usize, dp: usize, batch: usize) 
             .iter()
             .map(|&l| cs.net.link(l).queue_bits / 8e3)
             .fold(0.0, f64::max);
-        let mut a = acc2.borrow_mut();
+        let mut a = acc2.lock().expect("sampler accumulator");
         a.0.push(t, rate);
         a.1.push(t, maxq);
     });
     session.run_iterations(&mut cs, iters + 1);
     let segments = hpn_core::placement::segments_spanned(&cs.fabric, &session.job.hosts);
-    let a = acc.borrow();
+    let a = acc.lock().expect("sampler accumulator");
     RunOut {
         samples_per_sec: session.mean_throughput(1),
         agg_ingress: a.0.clone(),
@@ -68,7 +76,7 @@ fn run_on(topo: TopologySpec, scale: Scale, pp: usize, dp: usize, batch: usize) 
 }
 
 /// Run the experiment.
-pub fn run(scale: Scale) -> Report {
+pub fn run(ctx: &SimCtx, scale: Scale) -> Report {
     // 192 hosts (1536 GPUs) at full scale — the largest job the fluid
     // model runs in minutes; the segment contrast matches the paper's
     // (job spans 3 HPN segments vs 12 DCN+ segments of 16 hosts). Quick
@@ -79,13 +87,21 @@ pub fn run(scale: Scale) -> Report {
     let seg = scale.pick(64u32, 24);
 
     let hpn = run_on(
+        ctx,
         common::hpn_topology(scale, hosts.div_ceil(seg).max(1) + 1, seg),
         scale,
         pp,
         dp,
         batch,
     );
-    let dcn = run_on(common::dcn_topology(scale, hosts), scale, pp, dp, batch);
+    let dcn = run_on(
+        ctx,
+        common::dcn_topology(scale, hosts),
+        scale,
+        pp,
+        dp,
+        batch,
+    );
 
     let mut r = Report::new(
         "fig15",
@@ -151,7 +167,7 @@ mod tests {
 
     #[test]
     fn hpn_beats_dcn_end_to_end() {
-        let r = run(Scale::Quick);
+        let r = run(&SimCtx::new(), Scale::Quick);
         let get = |key: &str| -> f64 {
             r.rows
                 .iter()

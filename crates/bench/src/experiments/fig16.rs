@@ -2,11 +2,14 @@
 
 use hpn_scenario::{ModelId, Scenario, TopologySpec, WorkloadSpec};
 
+use hpn_telemetry::SimCtx;
+
 use crate::experiments::common;
 use crate::report::{pct_gain, Report};
 use crate::Scale;
 
 fn throughput(
+    ctx: &SimCtx,
     topo: TopologySpec,
     scale: Scale,
     model: ModelId,
@@ -16,12 +19,12 @@ fn throughput(
 ) -> f64 {
     let scenario =
         Scenario::new("fig16", topo).with_workload(WorkloadSpec::new(model, pp, dp, batch));
-    let (mut cs, mut session) = common::scenario_session(&scenario);
+    let (mut cs, mut session) = common::scenario_session(ctx, &scenario);
     common::mean_samples_per_sec(&mut cs, &mut session, scale.pick(3, 2))
 }
 
 /// Run the experiment.
-pub fn run(scale: Scale) -> Report {
+pub fn run(ctx: &SimCtx, scale: Scale) -> Report {
     // 56 hosts = 448 GPUs at full scale; 24 hosts quick (so the job still
     // spans multiple DCN+ segments — the source of the contrast).
     let hosts = scale.pick(56u32, 24);
@@ -40,6 +43,7 @@ pub fn run(scale: Scale) -> Report {
         let dp = hosts as usize / pp;
         let name = model.to_spec().name;
         let hpn = throughput(
+            ctx,
             common::hpn_topology(scale, 1, hosts),
             scale,
             model,
@@ -48,6 +52,7 @@ pub fn run(scale: Scale) -> Report {
             batch,
         );
         let dcn = throughput(
+            ctx,
             common::dcn_topology(scale, hosts),
             scale,
             model,
@@ -73,7 +78,7 @@ mod tests {
 
     #[test]
     fn hpn_wins_on_every_model() {
-        let r = run(Scale::Quick);
+        let r = run(&SimCtx::new(), Scale::Quick);
         for (model, row) in &r.rows {
             let gain: f64 = row
                 .split('→')

@@ -7,12 +7,14 @@
 use hpn_collectives::CommConfig;
 use hpn_sim::TimeSeries;
 
+use hpn_telemetry::SimCtx;
+
 use crate::experiments::common::{self, CollectiveKind};
 use crate::report::Report;
 use crate::Scale;
 
 /// Run the experiment.
-pub fn run(scale: Scale) -> Report {
+pub fn run(ctx: &SimCtx, scale: Scale) -> Report {
     let hosts = scale.pick(56usize, 24);
     let sizes = common::size_sweep(scale);
     let mut r = Report::new(
@@ -30,7 +32,7 @@ pub fn run(scale: Scale) -> Report {
         let mut dcn_curve = TimeSeries::new(format!("{label} DCN+ busbw GB/s"));
         let mut max_gain = f64::MIN;
         for (i, &size) in sizes.iter().enumerate() {
-            let mut cs = common::build_cluster(common::hpn_topology(scale, 1, hosts as u32));
+            let mut cs = common::build_cluster(ctx, common::hpn_topology(scale, 1, hosts as u32));
             let (_, hpn_bw) = common::run_collective(
                 &mut cs,
                 kind,
@@ -39,7 +41,7 @@ pub fn run(scale: Scale) -> Report {
                 CommConfig::hpn_default(),
                 49152,
             );
-            let mut cs = common::build_cluster(common::dcn_topology(scale, hosts as u32));
+            let mut cs = common::build_cluster(ctx, common::dcn_topology(scale, hosts as u32));
             let (_, dcn_bw) = common::run_collective(
                 &mut cs,
                 kind,
@@ -82,7 +84,7 @@ mod tests {
 
     #[test]
     fn gains_follow_fig17_ordering() {
-        let r = run(Scale::Quick);
+        let r = run(&SimCtx::new(), Scale::Quick);
         let gain = |label: &str| -> f64 {
             r.rows
                 .iter()

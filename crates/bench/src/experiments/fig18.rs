@@ -12,6 +12,8 @@ use hpn_core::IterationOutcome;
 use hpn_scenario::{ModelId, Scenario, TopologySpec, WorkloadSpec};
 use hpn_sim::SimDuration;
 
+use hpn_telemetry::SimCtx;
+
 use crate::experiments::common;
 use crate::report::Report;
 use crate::Scale;
@@ -34,7 +36,7 @@ fn topology_for(scale: Scale, dual_tor: bool, hosts: u32) -> TopologySpec {
     TopologySpec::Hpn(cfg)
 }
 
-fn run_case(scale: Scale, dual_tor: bool, outage: Option<SimDuration>) -> CaseOut {
+fn run_case(ctx: &SimCtx, scale: Scale, dual_tor: bool, outage: Option<SimDuration>) -> CaseOut {
     let hosts = scale.pick(32u32, 8);
     // gpu_secs 0.1 keeps iterations communication-visible; the 2-minute
     // min_timeout is the paper's NCCL rule.
@@ -44,7 +46,7 @@ fn run_case(scale: Scale, dual_tor: bool, outage: Option<SimDuration>) -> CaseOu
             .min_timeout(120.0)
             .timeout_scaled(4.0),
     );
-    let (mut cs, mut session) = common::scenario_session(&scenario);
+    let (mut cs, mut session) = common::scenario_session(ctx, &scenario);
 
     // Baseline iterations.
     session.run_iterations(&mut cs, 3);
@@ -101,7 +103,7 @@ fn run_case(scale: Scale, dual_tor: bool, outage: Option<SimDuration>) -> CaseOu
 }
 
 /// Run the experiment.
-pub fn run(scale: Scale) -> Report {
+pub fn run(ctx: &SimCtx, scale: Scale) -> Report {
     let mut r = Report::new(
         "fig18",
         "Performance under NIC-ToR link malfunctions (LLaMa-7B, 256 GPUs)",
@@ -112,7 +114,7 @@ pub fn run(scale: Scale) -> Report {
     // Case 1a: hard failure repaired after 60 seconds.
     let outage = Some(SimDuration::from_secs(60));
     for (dual, label) in [(true, "dual-ToR"), (false, "single-ToR")] {
-        let out = run_case(scale, dual, outage);
+        let out = run_case(ctx, scale, dual, outage);
         let drop = (1.0 - out.during_sps / out.baseline_sps) * 100.0;
         let halted = drop > 90.0;
         r.row(
@@ -130,7 +132,7 @@ pub fn run(scale: Scale) -> Report {
     // Case 1b: failure never repaired — past the ~2min NCCL window the
     // job cannot recover.
     for (dual, label) in [(true, "dual-ToR"), (false, "single-ToR")] {
-        let out = run_case(scale, dual, None);
+        let out = run_case(ctx, scale, dual, None);
         r.row(
             format!("failure unrepaired, {label}"),
             if out.timed_out {
@@ -148,7 +150,7 @@ pub fn run(scale: Scale) -> Report {
     // Case 2: 800ms flap.
     let flap = Some(SimDuration::from_millis(800));
     for (dual, label) in [(true, "dual-ToR"), (false, "single-ToR")] {
-        let out = run_case(scale, dual, flap);
+        let out = run_case(ctx, scale, dual, flap);
         let slowdown = out.baseline_sps / out.during_sps.max(1e-9);
         r.row(
             format!("flap 0.8s, {label}"),
@@ -171,7 +173,7 @@ mod tests {
 
     #[test]
     fn dual_tor_survives_single_tor_halts() {
-        let r = run(Scale::Quick);
+        let r = run(&SimCtx::new(), Scale::Quick);
         let row = |key: &str| &r.rows.iter().find(|(k, _)| k.starts_with(key)).unwrap().1;
         assert!(
             !row("failure repaired at 60s, dual-ToR").contains("HALTED"),

@@ -8,14 +8,16 @@ use hpn_collectives::{bw, graph, CommConfig, Communicator, Runner};
 use hpn_scenario::TopologySpec;
 use hpn_sim::SimDuration;
 
+use hpn_telemetry::SimCtx;
+
 use crate::experiments::common;
 use crate::report::{pct_gain, Report};
 use crate::Scale;
 
 /// Cross-segment AllReduce busbw (GB/s) over `hosts` hosts interleaved
 /// across the fabric's two segments.
-fn busbw(topo: &TopologySpec, hosts: usize, size_bits: f64) -> f64 {
-    let mut cs = common::build_cluster(topo.clone());
+fn busbw(ctx: &SimCtx, topo: &TopologySpec, hosts: usize, size_bits: f64) -> f64 {
+    let mut cs = common::build_cluster(ctx, topo.clone());
     let rails = cs.fabric.host_params.rails;
     // Interleave segment-0 and segment-1 hosts so each inter-host ring hop
     // crosses segments.
@@ -41,7 +43,7 @@ fn busbw(topo: &TopologySpec, hosts: usize, size_bits: f64) -> f64 {
 }
 
 /// Run the experiment.
-pub fn run(scale: Scale) -> Report {
+pub fn run(ctx: &SimCtx, scale: Scale) -> Report {
     let size = scale.pick(4.0 * 8e9, 8e9); // 4GB full, 1GB quick
     let max_hosts = scale.pick(32usize, 8);
     let dual = common::hpn_topology(scale, 2, max_hosts as u32 / 2 + 2);
@@ -54,8 +56,8 @@ pub fn run(scale: Scale) -> Report {
     );
     let mut n = 4usize;
     while n <= max_hosts {
-        let d = busbw(&dual, n, size);
-        let c = busbw(&clos, n, size);
+        let d = busbw(ctx, &dual, n, size);
+        let c = busbw(ctx, &clos, n, size);
         r.row(
             format!("n={n:>2} hosts"),
             format!(
@@ -75,7 +77,7 @@ mod tests {
 
     #[test]
     fn dual_plane_wins_at_every_scale() {
-        let r = run(Scale::Quick);
+        let r = run(&SimCtx::new(), Scale::Quick);
         assert!(!r.rows.is_empty());
         for (k, v) in &r.rows {
             let gain: f64 = v

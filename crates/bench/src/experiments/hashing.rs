@@ -10,10 +10,12 @@ use hpn_routing::addr::FiveTuple;
 use hpn_routing::hash::{downstream_coverage, EcmpHasher, HashMode};
 use hpn_sim::stats::jain_fairness;
 
+use hpn_telemetry::SimCtx;
+
 use crate::{Report, Scale};
 
 /// Run the experiment.
-pub fn run(scale: Scale) -> Report {
+pub fn run(_ctx: &SimCtx, scale: Scale) -> Report {
     let n_flows = scale.pick(65_536, 4_096);
     let tuples: Vec<FiveTuple> = (0..n_flows)
         .map(|i| FiveTuple::rdma(1, 0, 2, 0, (49152 + i % 16384) as u16))
@@ -70,7 +72,7 @@ mod tests {
 
     #[test]
     fn polarized_cascade_collapses() {
-        let r = run(Scale::Quick);
+        let r = run(&SimCtx::new(), Scale::Quick);
         let pol = &r.rows[0].1;
         let ind = &r.rows[1].1;
         let cover = |s: &str| {

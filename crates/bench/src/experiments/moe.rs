@@ -12,6 +12,8 @@ use hpn_scenario::TopologySpec;
 use hpn_sim::SimDuration;
 use hpn_topology::HpnConfig;
 
+use hpn_telemetry::SimCtx;
+
 use crate::experiments::common;
 use crate::report::{pct_gain, Report};
 use crate::Scale;
@@ -26,8 +28,8 @@ fn fabric_cfg(scale: Scale) -> HpnConfig {
     cfg
 }
 
-fn all_to_all_time(topo: TopologySpec, scale: Scale, relay: bool) -> f64 {
-    let mut cs = common::build_cluster(topo);
+fn all_to_all_time(ctx: &SimCtx, topo: TopologySpec, scale: Scale, relay: bool) -> f64 {
+    let mut cs = common::build_cluster(ctx, topo);
     cs.router.relay_cross_rail = relay;
     let rails = cs.fabric.host_params.rails;
     let hosts = scale.pick(6usize, 4);
@@ -53,16 +55,16 @@ fn all_to_all_time(topo: TopologySpec, scale: Scale, relay: bool) -> f64 {
 }
 
 /// Run the experiment.
-pub fn run(scale: Scale) -> Report {
+pub fn run(ctx: &SimCtx, scale: Scale) -> Report {
     let cfg = fabric_cfg(scale);
     // §10's serverless constraint: no NVLink relay. Any-to-any tier-2
     // still routes cross-rail traffic (through the Aggregation layer);
     // rail-only tier-2 has no such path and must fall back to the relay
     // (impossible for actual multi-tenant hosts).
-    let any = all_to_all_time(TopologySpec::Hpn(cfg), scale, false);
-    let rail = all_to_all_time(TopologySpec::RailOnly(cfg), scale, true);
+    let any = all_to_all_time(ctx, TopologySpec::Hpn(cfg), scale, false);
+    let rail = all_to_all_time(ctx, TopologySpec::RailOnly(cfg), scale, true);
     let serverless_on_rail_only = {
-        let mut cs = common::build_cluster(TopologySpec::RailOnly(cfg));
+        let mut cs = common::build_cluster(ctx, TopologySpec::RailOnly(cfg));
         cs.router.relay_cross_rail = false;
         let dst = cs.fabric.segment_hosts(0)[1].id;
         cs.router
@@ -118,8 +120,9 @@ mod tests {
     #[test]
     fn rail_only_is_not_faster_for_all_to_all() {
         let cfg = fabric_cfg(Scale::Quick);
-        let any = all_to_all_time(TopologySpec::Hpn(cfg), Scale::Quick, false);
-        let rail = all_to_all_time(TopologySpec::RailOnly(cfg), Scale::Quick, true);
+        let ctx = &SimCtx::new();
+        let any = all_to_all_time(ctx, TopologySpec::Hpn(cfg), Scale::Quick, false);
+        let rail = all_to_all_time(ctx, TopologySpec::RailOnly(cfg), Scale::Quick, true);
         // With the relay available the NICs bound both designs, so the
         // times are close — the §10 argument is the qualitative row below.
         assert!(
@@ -130,7 +133,7 @@ mod tests {
 
     #[test]
     fn serverless_cross_rail_is_unroutable_on_rail_only() {
-        let r = run(Scale::Quick);
+        let r = run(&SimCtx::new(), Scale::Quick);
         assert!(
             r.rows.last().unwrap().1.contains("UNROUTABLE"),
             "{:?}",

@@ -9,6 +9,8 @@ use hpn_collectives::{graph, CommConfig, Communicator, Runner};
 use hpn_sim::SimDuration;
 use hpn_transport::PathPolicy;
 
+use hpn_telemetry::SimCtx;
+
 use crate::experiments::common;
 use crate::report::{pct_gain, Report};
 use crate::Scale;
@@ -17,9 +19,9 @@ use crate::Scale;
 /// A quarter of the ToR→Agg cables run degraded at 100Gbps (production
 /// fabrics always carry a few low-quality optics) — the asymmetry that
 /// congestion-aware selection exists to route around.
-fn concurrent_time(scale: Scale, config: CommConfig) -> f64 {
+fn concurrent_time(ctx: &SimCtx, scale: Scale, config: CommConfig) -> f64 {
     let hosts = scale.pick(32usize, 8);
-    let mut cs = common::build_cluster(common::hpn_topology(scale, 2, (hosts / 2) as u32));
+    let mut cs = common::build_cluster(ctx, common::hpn_topology(scale, 2, (hosts / 2) as u32));
     // Degrade a quarter of the ToR→Agg trunks hard (50G): elephant flows
     // hashed onto them crawl unless the path selection steers around.
     for &t in &cs.fabric.tors.clone() {
@@ -64,16 +66,17 @@ fn concurrent_time(scale: Scale, config: CommConfig) -> f64 {
 }
 
 /// Run the experiment.
-pub fn run(scale: Scale) -> Report {
-    let single = concurrent_time(scale, CommConfig::single_path());
+pub fn run(ctx: &SimCtx, scale: Scale) -> Report {
+    let single = concurrent_time(ctx, scale, CommConfig::single_path());
     let rr = concurrent_time(
+        ctx,
         scale,
         CommConfig {
             conns_per_pair: 4,
             policy: PathPolicy::RoundRobin,
         },
     );
-    let least = concurrent_time(scale, CommConfig::hpn_default());
+    let least = concurrent_time(ctx, scale, CommConfig::hpn_default());
 
     let mut r = Report::new(
         "pathsel",
@@ -103,8 +106,9 @@ mod tests {
 
     #[test]
     fn deployed_scheme_is_not_slower() {
-        let single = concurrent_time(Scale::Quick, CommConfig::single_path());
-        let least = concurrent_time(Scale::Quick, CommConfig::hpn_default());
+        let ctx = &SimCtx::new();
+        let single = concurrent_time(ctx, Scale::Quick, CommConfig::single_path());
+        let least = concurrent_time(ctx, Scale::Quick, CommConfig::hpn_default());
         assert!(
             least <= single * 1.02,
             "least-WQE {least}s should not lose to single-path {single}s"

@@ -11,6 +11,8 @@
 use hpn_scenario::{links, ModelId, Scenario, TopologySpec, WorkloadSpec};
 use hpn_topology::HpnConfig;
 
+use hpn_telemetry::SimCtx;
+
 use crate::experiments::common;
 use crate::report::{pct_gain, Report};
 use crate::Scale;
@@ -21,7 +23,7 @@ struct Out {
     cross_agg_bits: f64,
 }
 
-fn train(scale: Scale, rail_optimized: bool) -> Out {
+fn train(ctx: &SimCtx, scale: Scale, rail_optimized: bool) -> Out {
     let hosts = scale.pick(32u32, 16);
     let mut cfg = HpnConfig::paper();
     cfg.rail_optimized = rail_optimized;
@@ -39,7 +41,7 @@ fn train(scale: Scale, rail_optimized: bool) -> Out {
             .gpu_secs(0.2)
             .min_timeout(600.0),
     );
-    let (mut cs, mut session) = common::scenario_session(&scenario);
+    let (mut cs, mut session) = common::scenario_session(ctx, &scenario);
     let segments = hpn_core::placement::segments_spanned(&cs.fabric, &session.job.hosts);
     session.run_iterations(&mut cs, scale.pick(3, 2) + 1);
 
@@ -56,9 +58,9 @@ fn train(scale: Scale, rail_optimized: bool) -> Out {
 }
 
 /// Run the experiment.
-pub fn run(scale: Scale) -> Report {
-    let rail = train(scale, true);
-    let flat = train(scale, false);
+pub fn run(ctx: &SimCtx, scale: Scale) -> Report {
+    let rail = train(ctx, scale, true);
+    let flat = train(ctx, scale, false);
     let mut r = Report::new(
         "railopt",
         "Rail-optimized tier-1 ablation (§5.2)",
@@ -99,8 +101,9 @@ mod tests {
 
     #[test]
     fn rail_optimized_reduces_agg_traffic() {
-        let rail = train(Scale::Quick, true);
-        let flat = train(Scale::Quick, false);
+        let ctx = &SimCtx::new();
+        let rail = train(ctx, Scale::Quick, true);
+        let flat = train(ctx, Scale::Quick, false);
         assert!(
             rail.segments < flat.segments,
             "rail packs jobs into fewer segments"

@@ -10,13 +10,15 @@
 use hpn_collectives::{graph, CommConfig, Communicator, Runner};
 use hpn_sim::SimDuration;
 
+use hpn_telemetry::SimCtx;
+
 use crate::experiments::common;
 use crate::report::Report;
 use crate::Scale;
 
-fn time_one(scale: Scale, tree: bool, size_bits: f64) -> f64 {
+fn time_one(ctx: &SimCtx, scale: Scale, tree: bool, size_bits: f64) -> f64 {
     let hosts = scale.pick(16usize, 8);
-    let mut cs = common::build_cluster(common::hpn_topology(scale, 1, hosts as u32));
+    let mut cs = common::build_cluster(ctx, common::hpn_topology(scale, 1, hosts as u32));
     let ranks: Vec<(u32, usize)> = (0..hosts as u32).map(|h| (h, 0usize)).collect();
     let n = ranks.len();
     let g = if tree {
@@ -34,7 +36,7 @@ fn time_one(scale: Scale, tree: bool, size_bits: f64) -> f64 {
 }
 
 /// Run the experiment.
-pub fn run(scale: Scale) -> Report {
+pub fn run(ctx: &SimCtx, scale: Scale) -> Report {
     let mut r = Report::new(
         "ringtree",
         "Ring vs tree AllReduce crossover (latency-model validation)",
@@ -44,8 +46,8 @@ pub fn run(scale: Scale) -> Report {
     let mut prev_winner_tree = None;
     for exp in [16u32, 20, 24, 28, 30] {
         let size = 2f64.powi(exp as i32) * 8.0;
-        let ring = time_one(scale, false, size);
-        let tree = time_one(scale, true, size);
+        let ring = time_one(ctx, scale, false, size);
+        let tree = time_one(ctx, scale, true, size);
         let winner_tree = tree < ring;
         if let Some(p) = prev_winner_tree {
             if p && !winner_tree && crossover.is_none() {
@@ -81,12 +83,13 @@ mod tests {
     fn tree_wins_small_ring_wins_large() {
         let small = 64.0 * 1024.0 * 8.0; // 64 KiB
         let large = 256.0 * 1024.0 * 1024.0 * 8.0; // 256 MiB
+        let ctx = &SimCtx::new();
         assert!(
-            time_one(Scale::Quick, true, small) < time_one(Scale::Quick, false, small),
+            time_one(ctx, Scale::Quick, true, small) < time_one(ctx, Scale::Quick, false, small),
             "tree must win at 64KiB"
         );
         assert!(
-            time_one(Scale::Quick, false, large) < time_one(Scale::Quick, true, large),
+            time_one(ctx, Scale::Quick, false, large) < time_one(ctx, Scale::Quick, true, large),
             "ring must win at 256MiB"
         );
     }

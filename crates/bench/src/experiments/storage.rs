@@ -9,11 +9,13 @@
 
 use hpn_scenario::{ModelId, Scenario, WorkloadSpec};
 
+use hpn_telemetry::SimCtx;
+
 use crate::experiments::common;
 use crate::report::{pct_gain, Report};
 use crate::Scale;
 
-fn train_with_storage(scale: Scale, storage_in_backend: bool) -> f64 {
+fn train_with_storage(ctx: &SimCtx, scale: Scale, storage_in_backend: bool) -> f64 {
     // Two segments: the job in segment 0 (segment-first placement fills
     // exactly its active hosts), stand-in storage hosts in segment 1 (they
     // model the backend-attached CPFS frontends).
@@ -29,7 +31,7 @@ fn train_with_storage(scale: Scale, storage_in_backend: bool) -> f64 {
             .gpu_secs(0.1)
             .min_timeout(600.0),
     );
-    let (mut cs, mut session) = common::scenario_session(&scenario);
+    let (mut cs, mut session) = common::scenario_session(ctx, &scenario);
     let rails = cs.fabric.host_params.rails;
     debug_assert_eq!(session.job.hosts, job_hosts);
     session.run_iterations(&mut cs, 2);
@@ -60,9 +62,9 @@ fn train_with_storage(scale: Scale, storage_in_backend: bool) -> f64 {
 }
 
 /// Run the experiment.
-pub fn run(scale: Scale) -> Report {
-    let frontend = train_with_storage(scale, false);
-    let backend = train_with_storage(scale, true);
+pub fn run(ctx: &SimCtx, scale: Scale) -> Report {
+    let frontend = train_with_storage(ctx, scale, false);
+    let backend = train_with_storage(ctx, scale, true);
     let mut r = Report::new(
         "storage",
         "Location of the storage cluster (§8/§10)",
@@ -91,8 +93,9 @@ mod tests {
 
     #[test]
     fn backend_storage_slows_training() {
-        let frontend = train_with_storage(Scale::Quick, false);
-        let backend = train_with_storage(Scale::Quick, true);
+        let ctx = &SimCtx::new();
+        let frontend = train_with_storage(ctx, Scale::Quick, false);
+        let backend = train_with_storage(ctx, Scale::Quick, true);
         assert!(
             backend < frontend * 0.97,
             "backend checkpoint traffic should visibly slow the iteration: {backend} vs {frontend}"

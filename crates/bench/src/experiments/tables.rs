@@ -5,10 +5,12 @@ use hpn_topology::railonly::rail_only_accounting;
 use hpn_topology::HpnConfig;
 use hpn_workload::{traffic, ModelSpec, ParallelismPlan};
 
+use hpn_telemetry::SimCtx;
+
 use crate::{Report, Scale};
 
 /// Table 1 — complexity of path selection.
-pub fn run_table1(_scale: Scale) -> Report {
+pub fn run_table1(_ctx: &SimCtx, _scale: Scale) -> Report {
     let mut r = Report::new(
         "table1",
         "Complexity of path selection",
@@ -37,7 +39,7 @@ pub fn run_table1(_scale: Scale) -> Report {
 }
 
 /// Table 2 — key mechanisms affecting maximal scale.
-pub fn run_table2(_scale: Scale) -> Report {
+pub fn run_table2(_ctx: &SimCtx, _scale: Scale) -> Report {
     let mut r = Report::new(
         "table2",
         "Key mechanisms affecting maximal scale",
@@ -64,7 +66,7 @@ pub fn run_table2(_scale: Scale) -> Report {
 }
 
 /// Table 3 — traffic patterns of different parallelisms.
-pub fn run_table3(_scale: Scale) -> Report {
+pub fn run_table3(_ctx: &SimCtx, _scale: Scale) -> Report {
     let model = ModelSpec::gpt3_175b();
     let plan = ParallelismPlan::gpt3_32k();
     let t = traffic::table3(&model, &plan);
@@ -97,7 +99,7 @@ pub fn run_table3(_scale: Scale) -> Report {
 }
 
 /// Table 4 — any-to-any tier-2 vs rail-only tier-2.
-pub fn run_table4(_scale: Scale) -> Report {
+pub fn run_table4(_ctx: &SimCtx, _scale: Scale) -> Report {
     let acc = rail_only_accounting(&HpnConfig::paper());
     let mut r = Report::new(
         "table4",
@@ -121,9 +123,13 @@ mod tests {
 
     #[test]
     fn all_tables_run() {
-        assert_eq!(run_table1(Scale::Quick).rows.len(), 5);
-        assert_eq!(run_table2(Scale::Quick).rows.len(), 5);
-        assert!(run_table3(Scale::Quick).rows[0].1.contains("5.47GB"));
-        assert!(run_table4(Scale::Quick).rows[3].1.contains("122880"));
+        assert_eq!(run_table1(&SimCtx::new(), Scale::Quick).rows.len(), 5);
+        assert_eq!(run_table2(&SimCtx::new(), Scale::Quick).rows.len(), 5);
+        assert!(run_table3(&SimCtx::new(), Scale::Quick).rows[0]
+            .1
+            .contains("5.47GB"));
+        assert!(run_table4(&SimCtx::new(), Scale::Quick).rows[3]
+            .1
+            .contains("122880"));
     }
 }

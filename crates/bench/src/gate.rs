@@ -92,6 +92,7 @@ pub fn allocator_label() -> &'static str {
     match AllocatorKind::from_env() {
         AllocatorKind::Dense => "dense",
         AllocatorKind::Incremental => "incremental",
+        AllocatorKind::Parallel => "parallel",
     }
 }
 

@@ -12,11 +12,15 @@
 
 pub mod experiments;
 pub mod gate;
-pub mod pool;
 pub mod report;
 pub mod runner;
 pub mod scenario_cli;
 
+// The work-stealing pool moved down into `hpn-sim` so the parallel rate
+// allocator could share it; re-exported here for the bench binaries.
+pub use hpn_sim::pool;
+
+pub use hpn_telemetry::SimCtx;
 pub use report::Report;
 
 /// Experiment fidelity.
@@ -38,8 +42,10 @@ impl Scale {
     }
 }
 
-/// The experiment registry: `(id, description, runner)`.
-pub type ExperimentFn = fn(Scale) -> Report;
+/// The experiment registry: `(id, description, runner)`. Every experiment
+/// receives the cell's explicit [`SimCtx`] (sweep root seed, telemetry
+/// recorder, allocator selection) — there is no ambient state to inherit.
+pub type ExperimentFn = fn(&SimCtx, Scale) -> Report;
 
 /// All experiments in presentation order.
 pub fn registry() -> Vec<(&'static str, &'static str, ExperimentFn)> {

@@ -30,7 +30,7 @@
 
 use std::io::Write as _;
 
-use hpn_bench::{find, registry, Scale};
+use hpn_bench::{find, registry, Scale, SimCtx};
 
 /// Value of `--flag` (the following argument), if present.
 fn opt_value(args: &[String], flag: &str) -> Option<String> {
@@ -204,7 +204,7 @@ fn main() {
             let mut reports = Vec::new();
             for (id, _, f) in registry() {
                 eprintln!("... running {id} ({:?})", scale);
-                let r = f(scale);
+                let r = f(&SimCtx::new(), scale);
                 r.print();
                 reports.push(r);
             }
@@ -222,7 +222,7 @@ fn main() {
         }
         id => match find(id) {
             Some(f) => {
-                let r = f(scale);
+                let r = f(&SimCtx::new(), scale);
                 r.print();
                 if let Some(path) = json_path {
                     write_out(&path, &r.to_json());
@@ -416,7 +416,9 @@ fn scenario_run(files: &[String], scale: Scale, jobs: usize, out_dir: Option<&st
                 figure: label.clone(),
                 seed: None,
             };
-            (cell, move |scale| scenario_cli::report_for(&sc, scale))
+            (cell, move |ctx: &SimCtx, scale| {
+                scenario_cli::report_for(ctx, &sc, scale)
+            })
         })
         .collect();
     let start = std::time::Instant::now();

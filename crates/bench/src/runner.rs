@@ -7,15 +7,17 @@
 //! Every figure file and manifest a parallel run produces is bitwise-equal
 //! to the sequential run's, by construction rather than by luck:
 //!
-//! 1. **Cell isolation.** Each cell runs on a worker thread whose ambient
-//!    recorder is scoped to the cell ([`hpn_telemetry::RecorderScope`]), so
-//!    telemetry cannot interleave across cells; the sweep root seed is
-//!    likewise thread-scoped ([`crate::experiments::common::SweepScope`]). Experiments share no
-//!    other mutable state — every cell builds its own fabric and simulator.
+//! 1. **Cell isolation.** Each cell gets its own [`hpn_telemetry::SimCtx`]
+//!    — recorder handle, sweep root seed, allocator selection — built by
+//!    the runner and passed explicitly into the experiment, so telemetry
+//!    cannot interleave across cells and nothing is thread-scoped.
+//!    Experiments share no other mutable state — every cell builds its own
+//!    fabric and simulator, and the context (like everything it carries)
+//!    is `Send`, so cells migrate freely across pool workers.
 //! 2. **Order-independent inputs.** A cell's RNG streams are derived from
-//!    `(root_seed, site_id)` via [`hpn_sim::split_seed`], a stateless hash,
-//!    never from a shared sequential generator — so the schedule cannot
-//!    change what a cell computes.
+//!    `(root_seed, site_id)` via [`hpn_sim::split_seed`], a stateless hash
+//!    (`ctx.seed_for`), never from a shared sequential generator — so the
+//!    schedule cannot change what a cell computes.
 //! 3. **Plan-order merge.** Results come back from the pool indexed by plan
 //!    position, and every output (report printing, JSONL telemetry,
 //!    manifest entries, golden comparison) is emitted by iterating that
@@ -25,19 +27,16 @@
 //! root) checks the conclusion directly: `--jobs 1` and `--jobs 8` produce
 //! identical figure bytes and manifest SHA-256s for every gated figure.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use hpn_telemetry::{
-    replay, Event, EventLog, JsonlRecorder, Recorder, RecorderScope, Registry, RunManifest,
-    SharedRecorder,
+    replay, Event, EventLog, JsonlRecorder, Recorder, Registry, RunManifest, SharedRecorder, SimCtx,
 };
 
-use crate::experiments::common::SweepScope;
 use crate::gate::{allocator_label, figure_fingerprint};
 use crate::pool;
 use crate::report::{json_num, json_str, Report};
@@ -138,16 +137,19 @@ pub struct CellResult {
     pub wall: Duration,
 }
 
-/// Tee sink: capture the event stream and aggregate it, per cell.
+/// Tee sink: capture the event stream and aggregate it, per cell. The
+/// registry is shared so the runner can read the aggregates back after the
+/// cell's recorder handle is dropped; both halves are `Send`, keeping the
+/// whole context shippable to a pool worker.
 struct CellSink {
     log: EventLog,
-    registry: Rc<RefCell<Registry>>,
+    registry: Arc<Mutex<Registry>>,
 }
 
 impl Recorder for CellSink {
     fn record(&mut self, ev: &Event) {
         self.log.record(ev);
-        self.registry.borrow_mut().record(ev);
+        self.registry.lock().expect("cell registry").record(ev);
     }
 }
 
@@ -165,13 +167,15 @@ fn cell_label(cell: &Cell, scale: Scale) -> String {
 
 /// Execute one cell in isolation on the current thread.
 ///
-/// Generic over the cell body so user-authored scenarios (closures built
-/// by `scenario_cli`) run through the exact same seed-scope / telemetry /
-/// fingerprint machinery as the registered experiments.
-fn run_cell<F: Fn(Scale) -> Report>(cell: &Cell, scale: Scale, f: F) -> CellResult {
+/// Builds the cell's [`SimCtx`] — recorder teeing into the captured
+/// segment and the registry, sweep root seed from the plan — and passes it
+/// to the cell body. Generic over the body so user-authored scenarios
+/// (closures built by `scenario_cli`) run through the exact same context /
+/// telemetry / fingerprint machinery as the registered experiments.
+fn run_cell<F: Fn(&SimCtx, Scale) -> Report>(cell: &Cell, scale: Scale, f: F) -> CellResult {
     let start = std::time::Instant::now();
     let log = EventLog::new();
-    let registry = Rc::new(RefCell::new(Registry::new()));
+    let registry = Arc::new(Mutex::new(Registry::new()));
     let rec = SharedRecorder::new(Box::new(CellSink {
         log: log.clone(),
         registry: registry.clone(),
@@ -179,19 +183,18 @@ fn run_cell<F: Fn(Scale) -> Report>(cell: &Cell, scale: Scale, f: F) -> CellResu
     rec.record(&Event::SimStart {
         label: cell_label(cell, scale),
     });
-    let report = {
-        let _sweep = SweepScope::set(cell.seed);
-        let scope = RecorderScope::attach(rec);
-        let report = f(scale);
-        scope.detach();
-        report
-    };
+    let mut ctx = SimCtx::new().with_recorder(rec);
+    if let Some(root) = cell.seed {
+        ctx = ctx.with_root_seed(root);
+    }
+    let report = f(&ctx, scale);
+    drop(ctx);
     let events = log.take();
     // All recorder handles are gone (the experiment's simulators were
-    // dropped with it), so the registry Rc is ours alone.
-    let registry = Rc::try_unwrap(registry)
-        .map(RefCell::into_inner)
-        .unwrap_or_else(|rc| rc.borrow().clone());
+    // dropped with it), so the registry Arc is ours alone.
+    let registry = Arc::try_unwrap(registry)
+        .map(|m| m.into_inner().expect("cell registry"))
+        .unwrap_or_else(|arc| arc.lock().expect("cell registry").clone());
     CellResult {
         cell: cell.clone(),
         fingerprint: figure_fingerprint(&report),
@@ -207,7 +210,7 @@ fn run_cell<F: Fn(Scale) -> Report>(cell: &Cell, scale: Scale, f: F) -> CellResu
 /// sequential path (no pool).
 pub fn run_cells<F>(tasks: Vec<(Cell, F)>, scale: Scale, jobs: usize) -> Vec<CellResult>
 where
-    F: Fn(Scale) -> Report + Send + Sync,
+    F: Fn(&SimCtx, Scale) -> Report + Send + Sync,
 {
     pool::run_indexed(jobs, tasks, move |_, (cell, f)| run_cell(&cell, scale, f))
 }

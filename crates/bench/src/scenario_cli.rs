@@ -19,6 +19,7 @@ use hpn_faults::{FaultEvent, FaultKind};
 use hpn_routing::HashMode;
 use hpn_scenario::{Scenario, ScenarioError};
 use hpn_sim::TimeSeries;
+use hpn_telemetry::SimCtx;
 use hpn_transport::ClusterSim;
 
 use crate::report::Report;
@@ -111,9 +112,9 @@ fn run_training(
 ///
 /// Panics only if the scenario fails to build — `scenario run` validates
 /// every file before scheduling any cell, so a failure here is a bug.
-pub fn report_for(sc: &Scenario, scale: Scale) -> Report {
+pub fn report_for(ctx: &SimCtx, sc: &Scenario, scale: Scale) -> Report {
     let mut built = sc
-        .build()
+        .build_with(ctx)
         .unwrap_or_else(|e| panic!("scenario '{}' failed to build: {e}", sc.name));
     let mut r = Report::new(
         &sc.name,
@@ -222,7 +223,7 @@ mod tests {
 
     #[test]
     fn training_scenario_reports_throughput() {
-        let r = report_for(&training_scenario(), Scale::Quick);
+        let r = report_for(&SimCtx::new(), &training_scenario(), Scale::Quick);
         assert_eq!(r.id, "cli-test");
         assert!(r.rows.iter().any(|(k, _)| k == "mean throughput"));
         assert_eq!(r.series.len(), 1);
@@ -232,7 +233,7 @@ mod tests {
     #[test]
     fn topology_only_scenario_reports_inventory() {
         let sc = Scenario::new("inv", TopologySpec::Hpn(HpnConfig::tiny()));
-        let r = report_for(&sc, Scale::Quick);
+        let r = report_for(&SimCtx::new(), &sc, Scale::Quick);
         assert!(r.rows.iter().any(|(k, _)| k == "fabric"));
         assert!(r.verdict.contains("topology-only"));
     }
@@ -260,7 +261,7 @@ mod tests {
                     })
                     .collect(),
             });
-        let r = report_for(&sc, Scale::Quick);
+        let r = report_for(&SimCtx::new(), &sc, Scale::Quick);
         assert!(
             r.verdict.contains("timed out"),
             "severed host must stall the job: {:?}",
@@ -270,8 +271,8 @@ mod tests {
 
     #[test]
     fn report_is_deterministic() {
-        let a = report_for(&training_scenario(), Scale::Quick);
-        let b = report_for(&training_scenario(), Scale::Quick);
+        let a = report_for(&SimCtx::new(), &training_scenario(), Scale::Quick);
+        let b = report_for(&SimCtx::new(), &training_scenario(), Scale::Quick);
         assert_eq!(a.to_json(), b.to_json());
     }
 

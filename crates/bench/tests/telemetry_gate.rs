@@ -4,8 +4,8 @@
 use std::path::PathBuf;
 
 use hpn_bench::gate::{figure_fingerprint, run_gate, FigureStatus};
-use hpn_bench::{find, Scale};
-use hpn_telemetry::{install, uninstall, JsonlRecorder, SharedBuf, SharedRecorder};
+use hpn_bench::{find, Scale, SimCtx};
+use hpn_telemetry::{JsonlRecorder, SharedBuf, SharedRecorder};
 
 /// Per-test scratch dir under the target tree.
 fn tmp_dir(name: &str) -> PathBuf {
@@ -20,17 +20,15 @@ fn tmp_dir(name: &str) -> PathBuf {
 fn recorder_does_not_change_figure_bytes() {
     let fig = find("fig19").expect("fig19 registered");
 
-    // Baseline: ambient recorder is the disabled NullRecorder.
-    let baseline = fig(Scale::Quick).to_json();
+    // Baseline: the default context carries the disabled NullRecorder.
+    let baseline = fig(&SimCtx::new(), Scale::Quick).to_json();
 
     // Instrumented: a JSONL recorder captures the full event stream.
     let buf = SharedBuf::new();
-    let prev = install(SharedRecorder::new(Box::new(JsonlRecorder::new(
-        buf.clone(),
-    ))));
-    assert!(!prev.enabled(), "test must start with the null ambient");
-    let recorded = fig(Scale::Quick).to_json();
-    uninstall().flush();
+    let rec = SharedRecorder::new(Box::new(JsonlRecorder::new(buf.clone())));
+    let ctx = SimCtx::new().with_recorder(rec.clone());
+    let recorded = fig(&ctx, Scale::Quick).to_json();
+    rec.flush();
 
     assert_eq!(
         baseline, recorded,

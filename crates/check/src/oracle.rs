@@ -2,19 +2,21 @@
 //!
 //! A scenario is checked at two levels:
 //!
-//! * **Churn level** — the fabric's links are mirrored into twin fluid
+//! * **Churn level** — the fabric's links are mirrored into triplet fluid
 //!   networks (the `DenseMaxMin` reference vs the production
-//!   `IncrementalMaxMin`) and driven in lockstep through a deterministic
+//!   `IncrementalMaxMin` vs the work-stealing `ParallelIncrementalMaxMin`
+//!   at two workers) and driven in lockstep through a deterministic
 //!   churn script of flow starts, kills, time advances and link
 //!   fail/repair toggles derived from the fuzz seed. After every operation
 //!   each network is audited for per-link capacity conservation and the
-//!   max-min bottleneck condition, and the two traces must agree
+//!   max-min bottleneck condition, and all three traces must agree
 //!   *bitwise*. Two metamorphic replays follow: scaling every capacity,
 //!   demand and size by 2 must scale every rate by exactly 2, and
 //!   appending idle links no flow touches must change nothing.
 //! * **Session level** — the scenario is built into a full
-//!   [`hpn_scenario::Session`] under a capturing telemetry recorder, its
-//!   fault schedule replayed through cable events, its workload iterated.
+//!   [`hpn_scenario::Session`] under an explicit [`SimCtx`] carrying a
+//!   capturing telemetry recorder, its fault schedule replayed through
+//!   cable events, its workload iterated.
 //!   Iteration records must be time-monotonic with finite throughput, the
 //!   telemetry stream must be sim-time monotonic per segment, flow
 //!   add/remove events must balance against the surviving flow count, and
@@ -30,10 +32,10 @@ use std::fmt;
 use hpn_routing::{LinkHealth, RouteRequest, Router};
 use hpn_scenario::{Scenario, Session};
 use hpn_sim::{
-    label_hash, split_seed, AllocatorKind, FlowHandle, FlowNet, FlowSpec, LinkId, PathId,
-    SimDuration, SimTime, StreamSeed, Xoshiro256,
+    label_hash, split_seed, AllocatorKind, FlowHandle, FlowNet, FlowSpec, LinkId,
+    ParallelIncrementalMaxMin, PathId, SimDuration, SimTime, StreamSeed, Xoshiro256,
 };
-use hpn_telemetry::{Event, EventLog, RecorderScope, SharedRecorder};
+use hpn_telemetry::{Event, EventLog, SharedRecorder, SimCtx};
 use hpn_topology::{Fabric, LinkIdx};
 use hpn_transport::{ClusterApp, ClusterSim, MessageDone};
 
@@ -152,6 +154,23 @@ pub fn check_scenario(sc: &Scenario, seed: u64, mutation: Mutation) -> Result<Ch
             "incremental",
         )?;
 
+        let par = run_script(
+            &caps,
+            &routes,
+            &used_links,
+            &script,
+            Alloc::Parallel,
+            1.0,
+            0,
+        )?;
+        compare_bitwise(
+            &incr,
+            &par,
+            "allocator_equivalence",
+            "incremental",
+            "parallel",
+        )?;
+
         let scaled = run_script(
             &caps,
             &routes,
@@ -215,6 +234,10 @@ enum Op {
 enum Alloc {
     Dense,
     Incremental(Mutation),
+    /// The work-stealing allocator, pinned to two workers with the
+    /// small-component fallback disabled so the parallel path actually
+    /// executes even on fuzz-sized problems.
+    Parallel,
 }
 
 impl Alloc {
@@ -222,6 +245,7 @@ impl Alloc {
         match self {
             Alloc::Dense => "dense",
             Alloc::Incremental(_) => "incremental",
+            Alloc::Parallel => "parallel",
         }
     }
 
@@ -235,6 +259,9 @@ impl Alloc {
                 AllocatorKind::Incremental.build(),
                 m,
             ))),
+            Alloc::Parallel => FlowNet::with_allocator_box(Box::new(
+                ParallelIncrementalMaxMin::with_jobs(2).min_component_flows(0),
+            )),
         }
     }
 }
@@ -627,23 +654,22 @@ fn fault_horizon(schedule: &[hpn_faults::FaultEvent]) -> SimTime {
     last + SimDuration::from_secs_f64(1.0)
 }
 
-/// Build and run the scenario's full session under a capturing recorder,
-/// then audit iteration records, telemetry monotonicity, flow add/remove
-/// balance and final capacity conservation.
+/// Build and run the scenario's full session under an explicit context
+/// with a capturing recorder, then audit iteration records, telemetry
+/// monotonicity, flow add/remove balance and final capacity conservation.
 fn check_session(sc: &Scenario) -> Result<(usize, usize), Failure> {
     let log = EventLog::new();
-    let scope = RecorderScope::attach(SharedRecorder::new(Box::new(log.clone())));
-    let outcome = build_and_run(sc);
-    drop(scope);
+    let ctx = SimCtx::new().with_recorder(SharedRecorder::new(Box::new(log.clone())));
+    let outcome = build_and_run(sc, &ctx);
     let events = log.take();
     let (iters, final_flows) = outcome?;
     check_telemetry(&events, final_flows)?;
     Ok((iters, events.len()))
 }
 
-fn build_and_run(sc: &Scenario) -> Result<(usize, usize), Failure> {
+fn build_and_run(sc: &Scenario, ctx: &SimCtx) -> Result<(usize, usize), Failure> {
     let session = sc
-        .build()
+        .build_with(ctx)
         .map_err(|e| fail("scenario_build", e.to_string()))?;
     let Session {
         cluster: mut cs,

@@ -39,7 +39,7 @@ pub struct Runner {
     jobs: Vec<Job>,
     /// Message/timer tag -> (job, op). Local copies and computes get their
     /// identity from here too.
-    sampler: Option<(SimDuration, Box<dyn FnMut(&mut ClusterSim)>)>,
+    sampler: Option<(SimDuration, Box<dyn FnMut(&mut ClusterSim) + Send>)>,
     sampler_armed: bool,
     tags: BTreeMap<u64, (u32, u32)>,
     spray: u32,
@@ -98,7 +98,7 @@ impl Runner {
     pub fn with_sampler(
         mut self,
         period: SimDuration,
-        f: impl FnMut(&mut ClusterSim) + 'static,
+        f: impl FnMut(&mut ClusterSim) + Send + 'static,
     ) -> Self {
         assert!(period > SimDuration::ZERO, "zero sample period");
         self.sampler = Some((period, Box::new(f)));
@@ -577,19 +577,18 @@ mod tests {
 
     #[test]
     fn sampler_fires_periodically() {
-        use std::cell::RefCell;
-        use std::rc::Rc;
-        let count = Rc::new(RefCell::new(0u32));
+        use std::sync::{Arc, Mutex};
+        let count = Arc::new(Mutex::new(0u32));
         let c2 = count.clone();
         let mut cs = sim();
         let mut runner = Runner::new().with_sampler(SimDuration::from_millis(100), move |_| {
-            *c2.borrow_mut() += 1;
+            *c2.lock().unwrap() += 1;
         });
         let c = runner.add_comm(rail0_comm(4, CommConfig::single_path()));
         let _ = runner.add_job(graph::ring_allreduce(4, 10.0 * GB, 1), c);
         runner.run(&mut cs, SimTime::from_secs(1));
         // ~10 samples in one second.
-        let n = *count.borrow();
+        let n = *count.lock().unwrap();
         assert!((9..=11).contains(&n), "sampled {n} times");
     }
 }

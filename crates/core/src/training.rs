@@ -86,7 +86,7 @@ impl TrainingSession {
     pub fn with_sampler(
         mut self,
         period: SimDuration,
-        f: impl FnMut(&mut ClusterSim) + 'static,
+        f: impl FnMut(&mut ClusterSim) + Send + 'static,
     ) -> Self {
         self.runner = self.runner.with_sampler(period, f);
         self
@@ -231,6 +231,14 @@ mod tests {
         // 4 hosts × 2 rails: TP=2, PP=2, DP=2.
         let plan = ParallelismPlan::new(2, 2, 2);
         TrainingJob::new(ModelSpec::llama_7b(), plan, fabric_hosts.to_vec(), 2, 64)
+    }
+
+    #[test]
+    fn training_session_is_send() {
+        // Sessions move across threads (work-stealing experiment runner),
+        // so everything inside — including an installed sampler — is Send.
+        fn assert_send<T: Send>() {}
+        assert_send::<TrainingSession>();
     }
 
     fn setup() -> (ClusterSim, TrainingSession) {

@@ -125,12 +125,28 @@ fn report(name: &str, samples: &[f64]) {
     );
 }
 
+/// One finished bench's timing summary, retrievable via
+/// [`Criterion::results`] so bench targets can post-process timings
+/// (e.g. write a machine-readable tracking file).
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full bench name (`group/function/parameter`).
+    pub name: String,
+    /// Mean ns per iteration over all measured batches.
+    pub mean_ns: f64,
+    /// Fastest batch mean, ns/iter.
+    pub min_ns: f64,
+    /// Slowest batch mean, ns/iter.
+    pub max_ns: f64,
+}
+
 /// Top-level bench driver; one per `criterion_group!` target.
 pub struct Criterion {
     warmup: Duration,
     measure: Duration,
     filter: Option<String>,
     test_mode: bool,
+    results: Vec<BenchResult>,
 }
 
 impl Default for Criterion {
@@ -144,6 +160,7 @@ impl Default for Criterion {
             measure: Duration::from_millis(700),
             filter,
             test_mode,
+            results: Vec::new(),
         }
     }
 }
@@ -153,7 +170,7 @@ impl Criterion {
         self.filter.as_deref().is_none_or(|f| name.contains(f))
     }
 
-    fn run_one(&self, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    fn run_one(&mut self, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
         if !self.wants(name) {
             return;
         }
@@ -163,7 +180,30 @@ impl Criterion {
             println!("{name:<48} ok (smoke: 1 iteration)");
         } else {
             report(name, &b.samples);
+            if !b.samples.is_empty() {
+                let mean = b.samples.iter().sum::<f64>() / b.samples.len() as f64;
+                let min = b.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = b.samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                self.results.push(BenchResult {
+                    name: name.to_string(),
+                    mean_ns: mean,
+                    min_ns: min,
+                    max_ns: max,
+                });
+            }
         }
+    }
+
+    /// True when `cargo bench -- --test` smoke mode is active (bodies run
+    /// once, nothing is timed).
+    pub fn test_mode(&self) -> bool {
+        self.test_mode
+    }
+
+    /// Timing summaries of every bench measured so far, in run order.
+    /// Empty in smoke mode.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
     }
 
     /// Run a single named bench.

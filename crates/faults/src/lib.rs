@@ -365,15 +365,21 @@ mod tests {
         assert_ne!(times(&a), times(&b), "seed must steer the schedule");
     }
 
-    /// Run a seeded fault scenario with a JSONL recorder installed and
-    /// return the telemetry bytes.
-    fn telemetry_of_run(seed: u64) -> String {
+    /// Build a context recording JSONL into the returned shared buffer.
+    fn jsonl_ctx() -> (hpn_telemetry::SimCtx, hpn_telemetry::SharedBuf) {
         let buf = hpn_telemetry::SharedBuf::new();
-        let prev = hpn_telemetry::install(hpn_telemetry::SharedRecorder::new(Box::new(
-            hpn_telemetry::JsonlRecorder::new(buf.clone()),
-        )));
+        let ctx = hpn_telemetry::SimCtx::new().with_recorder(hpn_telemetry::SharedRecorder::new(
+            Box::new(hpn_telemetry::JsonlRecorder::new(buf.clone())),
+        ));
+        (ctx, buf)
+    }
+
+    /// Run a seeded fault scenario recording into an explicit per-run
+    /// context and return the telemetry bytes.
+    fn telemetry_of_run(seed: u64) -> String {
+        let (ctx, buf) = jsonl_ctx();
         let f = HpnConfig::tiny().build();
-        let mut cs = ClusterSim::new(f, HashMode::Polarized);
+        let mut cs = ClusterSim::with_ctx(f, HashMode::Polarized, &ctx);
         let mut rates = FaultRates::paper();
         rates.link_fail_per_month = 0.5;
         rates.link_repair = SimDuration::from_secs(3600);
@@ -382,7 +388,6 @@ mod tests {
         let mut app = Nop;
         inject(&mut cs, &mut app, &sched, SimTime::ZERO + horizon);
         cs.telemetry().flush();
-        hpn_telemetry::install(prev);
         buf.text()
     }
 
@@ -493,12 +498,9 @@ mod tests {
         // A repair_after of zero is a legal degenerate flap: the link must
         // end (and, observably, stay) up, and both inject + repair
         // telemetry must still be emitted in order.
-        let buf = hpn_telemetry::SharedBuf::new();
-        let prev = hpn_telemetry::install(hpn_telemetry::SharedRecorder::new(Box::new(
-            hpn_telemetry::JsonlRecorder::new(buf.clone()),
-        )));
+        let (ctx, buf) = jsonl_ctx();
         let f = HpnConfig::tiny().build();
-        let mut cs = ClusterSim::new(f, HashMode::Polarized);
+        let mut cs = ClusterSim::with_ctx(f, HashMode::Polarized, &ctx);
         let link = cs.fabric.hosts[0].nic_up[0][0].unwrap();
         let schedule = vec![FaultEvent {
             at: SimTime::from_secs(1),
@@ -510,7 +512,6 @@ mod tests {
         let mut app = Nop;
         inject(&mut cs, &mut app, &schedule, SimTime::from_secs(5));
         cs.telemetry().flush();
-        hpn_telemetry::install(prev);
         assert!(cs.net.link(link.flow_link()).up, "link must end up");
         assert!(cs.health.is_up(link));
         let text = buf.text();
@@ -621,16 +622,12 @@ mod tests {
         assert!(sched.len() >= 2, "need a multi-event schedule");
 
         let replay = |schedule: &[FaultEvent]| {
-            let buf = hpn_telemetry::SharedBuf::new();
-            let prev = hpn_telemetry::install(hpn_telemetry::SharedRecorder::new(Box::new(
-                hpn_telemetry::JsonlRecorder::new(buf.clone()),
-            )));
+            let (ctx, buf) = jsonl_ctx();
             let fab = HpnConfig::tiny().build();
-            let mut cs = ClusterSim::new(fab, HashMode::Polarized);
+            let mut cs = ClusterSim::with_ctx(fab, HashMode::Polarized, &ctx);
             let mut app = Nop;
             inject(&mut cs, &mut app, schedule, SimTime::ZERO + horizon);
             cs.telemetry().flush();
-            hpn_telemetry::install(prev);
             buf.text()
         };
 

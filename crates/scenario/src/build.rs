@@ -11,6 +11,7 @@ use hpn_collectives::CommConfig;
 use hpn_core::{placement, TrainingSession};
 use hpn_faults::{FaultEvent, FaultKind, FaultRates};
 use hpn_sim::{SimDuration, SimTime};
+use hpn_telemetry::SimCtx;
 use hpn_topology::{try_build_rail_only, try_fat_tree, Fabric};
 use hpn_transport::ClusterSim;
 use hpn_workload::{ModelSpec, ParallelismPlan, TrainingJob};
@@ -249,8 +250,19 @@ fn build_faults(fabric: &Fabric, f: &FaultsSpec) -> Result<Vec<FaultEvent>, Scen
 
 impl Scenario {
     /// Build the scenario into a runnable [`Session`], or explain exactly
-    /// which field makes it unbuildable.
+    /// which field makes it unbuildable. Uses the inert default context
+    /// (no telemetry, `HPN_ALLOCATOR` allocator); runs that record events
+    /// or pin an allocator use [`Scenario::build_with`].
     pub fn build(&self) -> Result<Session, ScenarioError> {
+        self.build_with(&SimCtx::default())
+    }
+
+    /// Build the scenario into a runnable [`Session`] under an explicit
+    /// session context: the cluster runtime records into the context's
+    /// recorder and runs its rate allocator. The resulting session is
+    /// `Send`, so the experiment runner builds one per sweep cell and
+    /// ships it to a worker thread.
+    pub fn build_with(&self, ctx: &SimCtx) -> Result<Session, ScenarioError> {
         let fabric = self.topology.try_build()?;
         let workload = match &self.workload {
             None => None,
@@ -260,7 +272,7 @@ impl Scenario {
             None => Vec::new(),
             Some(f) => build_faults(&fabric, f)?,
         };
-        let cluster = ClusterSim::new(fabric, self.routing.hash);
+        let cluster = ClusterSim::with_ctx(fabric, self.routing.hash, ctx);
         Ok(Session {
             cluster,
             workload,
@@ -343,6 +355,32 @@ mod tests {
         );
         let ok = with(inj(0, 0, 1)).build().expect("dual-ToR port 1 exists");
         assert_eq!(ok.faults.len(), 1);
+    }
+
+    #[test]
+    fn session_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<Session>();
+    }
+
+    #[test]
+    fn build_with_threads_the_context_into_the_cluster() {
+        use hpn_telemetry::{EventLog, SharedRecorder};
+        let log = EventLog::new();
+        let ctx = SimCtx::new()
+            .with_recorder(SharedRecorder::new(Box::new(log.clone())))
+            .with_allocator(hpn_sim::AllocatorKind::Parallel);
+        let session = tiny().build_with(&ctx).expect("valid scenario");
+        assert_eq!(
+            session.cluster.net.allocator_kind(),
+            hpn_sim::AllocatorKind::Parallel
+        );
+        assert_eq!(log.len(), 1, "SimStart marker through the ctx recorder");
+        // The whole built session migrates to a worker thread.
+        let links = std::thread::spawn(move || session.cluster.net.link_count())
+            .join()
+            .expect("worker");
+        assert!(links > 0);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Rate allocation behind the [`RateAllocator`] seam.
 //!
-//! The fluid model assigns every active flow a max-min fair rate. Two
+//! The fluid model assigns every active flow a max-min fair rate. Three
 //! implementations share one trait:
 //!
 //! * [`DenseMaxMin`] — the original progressive-filling solver, recomputing
@@ -11,6 +11,13 @@
 //!   component** of flows and links reachable from the perturbed element
 //!   through shared links. Flows outside the component keep their rates
 //!   bitwise-unchanged.
+//! * [`ParallelIncrementalMaxMin`] — the incremental scoping, with the
+//!   perturbed closure re-partitioned into true connected components and
+//!   the components solved concurrently on the work-stealing pool
+//!   ([`crate::pool`]). Components are independent sub-problems, so the
+//!   parallel fill performs *exactly* the per-component arithmetic the
+//!   sequential solvers perform and its rates are bitwise-equal at any
+//!   worker count; results merge in deterministic component order.
 //!
 //! The incremental scoping is exact, not approximate: max-min allocation
 //! decomposes across connected components of the flow↔link sharing graph.
@@ -49,16 +56,21 @@ pub enum AllocatorKind {
     /// Component-scoped recomputation (the default).
     #[default]
     Incremental,
+    /// Component-scoped recomputation with the perturbed components solved
+    /// concurrently on the work-stealing pool. Bitwise-equal to
+    /// [`AllocatorKind::Incremental`] at any worker count.
+    Parallel,
 }
 
 impl AllocatorKind {
-    /// Resolve from the `HPN_ALLOCATOR` environment variable (`dense` or
-    /// `incremental`), defaulting to incremental. The experiment harness
-    /// uses this to regenerate figures under both allocators without
-    /// threading a parameter through every experiment.
+    /// Resolve from the `HPN_ALLOCATOR` environment variable (`dense`,
+    /// `incremental` or `parallel`), defaulting to incremental. The
+    /// experiment harness uses this to regenerate figures under every
+    /// allocator without threading a parameter through every experiment.
     pub fn from_env() -> Self {
         match std::env::var("HPN_ALLOCATOR").as_deref() {
             Ok("dense") => AllocatorKind::Dense,
+            Ok("parallel") => AllocatorKind::Parallel,
             _ => AllocatorKind::Incremental,
         }
     }
@@ -68,6 +80,7 @@ impl AllocatorKind {
         match self {
             AllocatorKind::Dense => Box::new(DenseMaxMin::default()),
             AllocatorKind::Incremental => Box::new(IncrementalMaxMin::default()),
+            AllocatorKind::Parallel => Box::new(ParallelIncrementalMaxMin::from_env()),
         }
     }
 }
@@ -300,16 +313,21 @@ struct ComponentFill {
 }
 
 impl ComponentFill {
-    fn run(
+    /// Partition `flows` into connected components of the flow↔link
+    /// sharing graph. Returns groups of indices into `flows`, components in
+    /// first-seen (ascending smallest-flow-id) order, flow order preserved
+    /// within each group. Deterministic: depends only on `flows` order and
+    /// the paths, never on thread scheduling.
+    fn partition(
         &mut self,
-        links: &[LinkState],
+        nlinks: usize,
         paths: &PathInterner,
         flows: &[(crate::path::PathId, f64)],
-    ) -> (Vec<f64>, Vec<usize>) {
+    ) -> Vec<Vec<usize>> {
         self.epoch += 1;
         let epoch = self.epoch;
-        self.uf_parent.resize(links.len(), 0);
-        self.uf_stamp.resize(links.len(), 0);
+        self.uf_parent.resize(nlinks, 0);
+        self.uf_stamp.resize(nlinks, 0);
         let (parent, stamp) = (&mut self.uf_parent[..], &mut self.uf_stamp[..]);
         for &(path, _) in flows {
             let ls = paths.get(path);
@@ -321,8 +339,6 @@ impl ComponentFill {
                 }
             }
         }
-        // Group flow indices by component root, components in first-seen
-        // (ascending smallest-flow-id) order.
         let mut groups: Vec<Vec<usize>> = Vec::new();
         let mut group_of: HashMap<u32, usize> = HashMap::new();
         for (i, &(path, _)) in flows.iter().enumerate() {
@@ -333,10 +349,24 @@ impl ComponentFill {
             });
             groups[gi].push(i);
         }
+        groups
+    }
+
+    /// Fill each pre-partitioned group sequentially with shared scratch.
+    /// The per-group arithmetic is independent of the other groups (they
+    /// share no links), which is what lets [`ParallelIncrementalMaxMin`]
+    /// run the same groups concurrently and still match bitwise.
+    fn run_groups(
+        &mut self,
+        links: &[LinkState],
+        paths: &PathInterner,
+        flows: &[(crate::path::PathId, f64)],
+        groups: &[Vec<usize>],
+    ) -> (Vec<f64>, Vec<usize>) {
         let mut rate = vec![0.0f64; flows.len()];
         let mut all_links: Vec<usize> = Vec::new();
         let mut comp: Vec<(crate::path::PathId, f64)> = Vec::new();
-        for idxs in &groups {
+        for idxs in groups {
             comp.clear();
             comp.extend(idxs.iter().map(|&i| flows[i]));
             let (r, active) = Fill {
@@ -352,6 +382,16 @@ impl ComponentFill {
             all_links.extend(active);
         }
         (rate, all_links)
+    }
+
+    fn run(
+        &mut self,
+        links: &[LinkState],
+        paths: &PathInterner,
+        flows: &[(crate::path::PathId, f64)],
+    ) -> (Vec<f64>, Vec<usize>) {
+        let groups = self.partition(links.len(), paths, flows);
+        self.run_groups(links, paths, flows, &groups)
     }
 }
 
@@ -460,17 +500,13 @@ impl RateAllocator for DenseMaxMin {
     }
 }
 
-/// Component-scoped max-min: recomputes only flows/links reachable from
-/// the perturbed element through shared links.
-///
-/// Maintains per-link flow membership (updated O(path) per flow event) and
-/// a seed list of perturbed links. `recompute` BFSes the flow↔link sharing
-/// graph from the seeds, runs progressive filling on the resulting closed
-/// component, and leaves everything else untouched — rates outside the
-/// component are not even rewritten, so they are bitwise stable across
-/// unrelated perturbations.
+/// Shared bookkeeping for the incremental allocators: per-link flow
+/// membership, the dirty-seed list, and the BFS closure over the
+/// flow↔link sharing graph. [`IncrementalMaxMin`] and
+/// [`ParallelIncrementalMaxMin`] differ only in how they *solve* the
+/// closure this core computes.
 #[derive(Default)]
-pub struct IncrementalMaxMin {
+struct IncrementalCore {
     /// Per link: ids of flows crossing it, with multiplicity for repeated
     /// path entries (mirrors the fill's per-occurrence share accounting).
     members: Vec<Vec<u64>>,
@@ -480,15 +516,10 @@ pub struct IncrementalMaxMin {
     link_mark: Vec<u64>,
     epoch: u64,
     seen_flows: HashSet<u64>,
-    solver: ComponentFill,
 }
 
-impl RateAllocator for IncrementalMaxMin {
-    fn kind(&self) -> AllocatorKind {
-        AllocatorKind::Incremental
-    }
-
-    fn on_link_added(&mut self, _link: LinkId) {
+impl IncrementalCore {
+    fn on_link_added(&mut self) {
         self.members.push(Vec::new());
         self.link_mark.push(0);
     }
@@ -516,16 +547,16 @@ impl RateAllocator for IncrementalMaxMin {
         self.dirty.push(link.0);
     }
 
-    fn recompute(&mut self, ctx: &mut AllocCtx<'_>) {
-        let total_flows = ctx.flows.len();
-        if self.dirty.is_empty() {
-            ctx.scope.record(0, 0, total_flows);
-            return;
-        }
+    fn is_clean(&self) -> bool {
+        self.dirty.is_empty()
+    }
+
+    /// BFS closure over the flow↔link sharing graph from the dirty seeds.
+    /// Returns the perturbed flows (ascending-id order, matching the dense
+    /// solver's freeze order) and the perturbed links (unsorted).
+    fn closure(&mut self, ctx: &AllocCtx<'_>) -> (Vec<u64>, Vec<usize>) {
         self.epoch += 1;
         let epoch = self.epoch;
-
-        // BFS closure over the flow↔link sharing graph from the seeds.
         let mut queue: Vec<usize> = Vec::new();
         for l in self.dirty.drain(..) {
             let li = l as usize;
@@ -553,35 +584,249 @@ impl RateAllocator for IncrementalMaxMin {
                 }
             }
         }
-        // Ascending-id order, matching the dense solver's freeze order
-        // within the component.
         comp_flows.sort_unstable();
+        (comp_flows, comp_links)
+    }
+}
 
-        let flows: Vec<(crate::path::PathId, f64)> = comp_flows
-            .iter()
-            .map(|&id| {
-                let f = ctx.flows.get(id).expect("component flow is live");
-                (f.spec().path, f.spec().demand_bps)
-            })
-            .collect();
+/// Look up each component flow's (path, demand) problem row, in the given
+/// (ascending-id) order.
+fn component_problem(ctx: &AllocCtx<'_>, comp_flows: &[u64]) -> Vec<(crate::path::PathId, f64)> {
+    comp_flows
+        .iter()
+        .map(|&id| {
+            let f = ctx.flows.get(id).expect("component flow is live");
+            (f.spec().path, f.spec().demand_bps)
+        })
+        .collect()
+}
+
+/// Write solved rates back and refresh aggregates/hot set/scope for one
+/// incremental recompute. Shared tail of both incremental allocators, so
+/// their observable effects (including `RecomputeScope` counters) match.
+fn finish_incremental_recompute(
+    ctx: &mut AllocCtx<'_>,
+    comp_flows: &[u64],
+    mut comp_links: Vec<usize>,
+    rate: &[f64],
+    total_flows: usize,
+) {
+    for (&id, &r) in comp_flows.iter().zip(rate.iter()) {
+        ctx.flows
+            .get_mut(id)
+            .expect("component flow is live")
+            .set_rate_bps(r);
+    }
+    // Aggregates refresh over ALL component links — including seeds
+    // whose last flow just left, which must read as idle again.
+    comp_links.sort_unstable();
+    refresh_link_aggregates(ctx, &comp_links, comp_flows.iter().copied());
+    refresh_hot(ctx, &comp_links);
+    ctx.scope
+        .record(comp_flows.len(), comp_links.len(), total_flows);
+}
+
+/// Component-scoped max-min: recomputes only flows/links reachable from
+/// the perturbed element through shared links.
+///
+/// Maintains per-link flow membership (updated O(path) per flow event) and
+/// a seed list of perturbed links. `recompute` BFSes the flow↔link sharing
+/// graph from the seeds, runs progressive filling on the resulting closed
+/// component, and leaves everything else untouched — rates outside the
+/// component are not even rewritten, so they are bitwise stable across
+/// unrelated perturbations.
+#[derive(Default)]
+pub struct IncrementalMaxMin {
+    core: IncrementalCore,
+    solver: ComponentFill,
+}
+
+impl RateAllocator for IncrementalMaxMin {
+    fn kind(&self) -> AllocatorKind {
+        AllocatorKind::Incremental
+    }
+
+    fn on_link_added(&mut self, _link: LinkId) {
+        self.core.on_link_added();
+    }
+
+    fn on_flow_added(&mut self, id: u64, path: &[LinkId]) {
+        self.core.on_flow_added(id, path);
+    }
+
+    fn on_flow_removed(&mut self, id: u64, path: &[LinkId]) {
+        self.core.on_flow_removed(id, path);
+    }
+
+    fn on_link_changed(&mut self, link: LinkId) {
+        self.core.on_link_changed(link);
+    }
+
+    fn recompute(&mut self, ctx: &mut AllocCtx<'_>) {
+        let total_flows = ctx.flows.len();
+        if self.core.is_clean() {
+            ctx.scope.record(0, 0, total_flows);
+            return;
+        }
+        let (comp_flows, comp_links) = self.core.closure(ctx);
+        let flows = component_problem(ctx, &comp_flows);
         // The BFS set may span several true components (e.g. seeds in two
         // unrelated components batched into one recompute, or a removed
         // flow that had bridged two); ComponentFill re-partitions so each
         // is filled with the exact arithmetic the dense solver uses.
         let (rate, _active) = self.solver.run(ctx.links, ctx.paths, &flows);
-        for (&id, &r) in comp_flows.iter().zip(rate.iter()) {
-            ctx.flows
-                .get_mut(id)
-                .expect("component flow is live")
-                .set_rate_bps(r);
+        finish_incremental_recompute(ctx, &comp_flows, comp_links, &rate, total_flows);
+    }
+}
+
+/// Minimum perturbed-closure size (in flows) before
+/// [`ParallelIncrementalMaxMin`] spawns pool workers. Below this the
+/// sequential fill is faster than thread handoff.
+const PAR_MIN_FLOWS: usize = 256;
+
+/// [`IncrementalMaxMin`]'s scoping with the perturbed closure's connected
+/// components solved concurrently on [`crate::pool`].
+///
+/// The recompute pipeline is: BFS closure (shared [`IncrementalCore`]) →
+/// partition into true components (shared [`ComponentFill::partition`]) →
+/// one [`Fill`] per component on the pool, each worker reusing its own
+/// scratch → merge rates **in component order**, not completion order.
+/// Components share no links, so each fill sees exactly the operands the
+/// sequential solver would feed it and the merged rates are bitwise-equal
+/// to [`IncrementalMaxMin`] at any worker count.
+///
+/// Small recomputes (a single component, or fewer than the configured
+/// minimum flows) take the sequential path outright: one churn event
+/// usually perturbs one component, and spawning a scoped pool for a
+/// sub-100µs solve would cost more than it saves. The parallel path pays
+/// off when many components are perturbed in one batch — link flaps under
+/// ECMP, job-wide teardown, or batched collective chunk launches.
+pub struct ParallelIncrementalMaxMin {
+    core: IncrementalCore,
+    solver: ComponentFill,
+    jobs: usize,
+    min_flows: usize,
+}
+
+impl Default for ParallelIncrementalMaxMin {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl ParallelIncrementalMaxMin {
+    /// Worker count from `HPN_ALLOC_JOBS` if set, else the machine's
+    /// available parallelism. Any count yields identical rates; the env
+    /// knob exists for benchmarking and CI pinning.
+    pub fn from_env() -> Self {
+        let jobs = std::env::var("HPN_ALLOC_JOBS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            });
+        Self::with_jobs(jobs)
+    }
+
+    /// An allocator with an explicit worker count.
+    pub fn with_jobs(jobs: usize) -> Self {
+        ParallelIncrementalMaxMin {
+            core: IncrementalCore::default(),
+            solver: ComponentFill::default(),
+            jobs: jobs.max(1),
+            min_flows: PAR_MIN_FLOWS,
         }
-        // Aggregates refresh over ALL component links — including seeds
-        // whose last flow just left, which must read as idle again.
-        comp_links.sort_unstable();
-        refresh_link_aggregates(ctx, &comp_links, comp_flows.iter().copied());
-        refresh_hot(ctx, &comp_links);
-        ctx.scope
-            .record(comp_flows.len(), comp_links.len(), total_flows);
+    }
+
+    /// Override the minimum closure size that triggers the parallel path.
+    /// Tests and the fuzz oracles drop this to 0 so tiny nets still
+    /// exercise pool solving; production code should keep the default.
+    pub fn min_component_flows(mut self, min_flows: usize) -> Self {
+        self.min_flows = min_flows;
+        self
+    }
+
+    /// The configured worker count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+}
+
+impl RateAllocator for ParallelIncrementalMaxMin {
+    fn kind(&self) -> AllocatorKind {
+        AllocatorKind::Parallel
+    }
+
+    fn on_link_added(&mut self, _link: LinkId) {
+        self.core.on_link_added();
+    }
+
+    fn on_flow_added(&mut self, id: u64, path: &[LinkId]) {
+        self.core.on_flow_added(id, path);
+    }
+
+    fn on_flow_removed(&mut self, id: u64, path: &[LinkId]) {
+        self.core.on_flow_removed(id, path);
+    }
+
+    fn on_link_changed(&mut self, link: LinkId) {
+        self.core.on_link_changed(link);
+    }
+
+    fn recompute(&mut self, ctx: &mut AllocCtx<'_>) {
+        let total_flows = ctx.flows.len();
+        if self.core.is_clean() {
+            ctx.scope.record(0, 0, total_flows);
+            return;
+        }
+        let (comp_flows, comp_links) = self.core.closure(ctx);
+        let flows = component_problem(ctx, &comp_flows);
+        let groups = self.solver.partition(ctx.links.len(), ctx.paths, &flows);
+
+        let rate: Vec<f64> =
+            if self.jobs < 2 || groups.len() < 2 || comp_flows.len() < self.min_flows {
+                // Sequential fallback: literally the incremental solver's path.
+                self.solver
+                    .run_groups(ctx.links, ctx.paths, &flows, &groups)
+                    .0
+            } else {
+                // One fill task per component. Workers borrow the link table
+                // and path interner (read-only) and keep private fill scratch;
+                // results come back indexed by component, so the merge below
+                // is in partition order — identical to the sequential loop.
+                let links: &[LinkState] = ctx.links;
+                let paths: &PathInterner = ctx.paths;
+                let problems: Vec<Vec<(crate::path::PathId, f64)>> = groups
+                    .iter()
+                    .map(|idxs| idxs.iter().map(|&i| flows[i]).collect())
+                    .collect();
+                let solved = crate::pool::run_indexed_with(
+                    self.jobs,
+                    problems,
+                    || (Vec::<f64>::new(), Vec::<u32>::new()),
+                    |scratch, _gi, comp| {
+                        let (free, unfrozen_on) = scratch;
+                        Fill {
+                            links,
+                            paths,
+                            free,
+                            unfrozen_on,
+                        }
+                        .run(&comp)
+                        .0
+                    },
+                );
+                let mut rate = vec![0.0f64; flows.len()];
+                for (idxs, group_rates) in groups.iter().zip(solved) {
+                    for (&i, ri) in idxs.iter().zip(group_rates) {
+                        rate[i] = ri;
+                    }
+                }
+                rate
+            };
+        finish_incremental_recompute(ctx, &comp_flows, comp_links, &rate, total_flows);
     }
 }
 
@@ -650,6 +895,97 @@ mod tests {
             IncrementalMaxMin::default().kind(),
             AllocatorKind::Incremental
         );
+        assert_eq!(
+            ParallelIncrementalMaxMin::with_jobs(3).kind(),
+            AllocatorKind::Parallel
+        );
         assert_eq!(AllocatorKind::default(), AllocatorKind::Incremental);
+    }
+
+    /// Deterministic multi-component churn: `pods` disjoint 2-link pods,
+    /// each carrying a handful of flows with varied demands; every step
+    /// kills one flow and starts another in rotating pods, then observes
+    /// rates (forcing a recompute of every perturbed component at once).
+    /// Returns the exact bit pattern of every live rate after every step.
+    fn churn_rate_bits(allocator: Box<dyn RateAllocator>, pods: usize, steps: usize) -> Vec<u64> {
+        let mut net = FlowNet::with_allocator_box(allocator);
+        let mut paths = Vec::new();
+        for p in 0..pods {
+            let a = net.add_link((50.0 + p as f64) * GBPS, f64::INFINITY);
+            let b = net.add_link((80.0 + p as f64) * GBPS, f64::INFINITY);
+            paths.push([net.intern_path(&[a]), net.intern_path(&[a, b])]);
+        }
+        let mut handles: Vec<crate::flownet::FlowHandle> = Vec::new();
+        let mut tag = 0u64;
+        let mut start = |net: &mut FlowNet, pod: usize, variant: usize| {
+            tag += 1;
+            net.start_flow(
+                SimTime::ZERO,
+                FlowSpec {
+                    path: paths[pod][variant % 2],
+                    size_bits: 1e15,
+                    demand_bps: (10.0 + (tag % 7) as f64 * 13.0) * GBPS,
+                    tag,
+                },
+            )
+        };
+        for pod in 0..pods {
+            for v in 0..4 {
+                handles.push(start(&mut net, pod, v));
+            }
+        }
+        let mut bits = Vec::new();
+        let mut observe = |net: &mut FlowNet, handles: &[crate::flownet::FlowHandle]| {
+            for &h in handles {
+                bits.push(net.flow_rate(h).expect("live flow").to_bits());
+            }
+        };
+        observe(&mut net, &handles);
+        for step in 0..steps {
+            // Perturb several pods before the next observation so one
+            // recompute covers multiple disjoint components.
+            for k in 0..3 {
+                let pod = (step * 3 + k) % pods;
+                let victim = handles.remove((step + k) % handles.len());
+                net.kill_flow(SimTime::ZERO, victim);
+                handles.push(start(&mut net, pod, step + k));
+            }
+            observe(&mut net, &handles);
+        }
+        bits
+    }
+
+    #[test]
+    fn parallel_is_bitwise_equal_to_incremental_at_any_worker_count() {
+        let reference = churn_rate_bits(Box::new(IncrementalMaxMin::default()), 9, 12);
+        let dense = churn_rate_bits(Box::new(DenseMaxMin::default()), 9, 12);
+        assert_eq!(reference, dense, "incremental vs dense");
+        for jobs in [1, 2, 4, 8] {
+            // min_component_flows(0) forces the pool path even on this
+            // small net (the closure is well under PAR_MIN_FLOWS).
+            let par = churn_rate_bits(
+                Box::new(ParallelIncrementalMaxMin::with_jobs(jobs).min_component_flows(0)),
+                9,
+                12,
+            );
+            assert_eq!(reference, par, "parallel(jobs={jobs}) vs incremental");
+        }
+    }
+
+    #[test]
+    fn parallel_scopes_like_incremental() {
+        // The parallel allocator inherits the incremental closure, so its
+        // RecomputeScope counters match IncrementalMaxMin's exactly.
+        let (mut net, hs) = two_component_net(AllocatorKind::Parallel);
+        assert_eq!(net.allocator_kind(), AllocatorKind::Parallel);
+        let before = net.alloc_scope();
+        net.kill_flow(SimTime::ZERO, hs[0]);
+        net.recompute_if_dirty();
+        let d = net.alloc_scope().since(&before);
+        assert_eq!(d.events, 1);
+        assert_eq!(d.flows_touched, 1, "only the surviving flow on link a");
+        assert_eq!(d.links_touched, 1);
+        assert_eq!(net.flow_rate(hs[1]), Some(100.0 * GBPS));
+        assert_eq!(net.flow_rate(hs[2]), Some(100.0 * GBPS));
     }
 }

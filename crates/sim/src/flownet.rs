@@ -156,7 +156,7 @@ pub struct FlowNet {
     hot_links: Vec<u32>,
     allocator: Box<dyn RateAllocator>,
     scope: RecomputeScope,
-    probe: Option<Box<dyn NetProbe>>,
+    probe: Option<Box<dyn NetProbe + Send>>,
 }
 
 impl Default for FlowNet {
@@ -200,8 +200,10 @@ impl FlowNet {
     }
 
     /// Attach an observation probe (see [`crate::probe`]). Pass `None` to
-    /// detach. A net without a probe pays no observation cost.
-    pub fn set_probe(&mut self, probe: Option<Box<dyn NetProbe>>) {
+    /// detach. A net without a probe pays no observation cost. The probe
+    /// must be `Send` so a `FlowNet` (and every session built on one) can
+    /// move between threads — e.g. experiment cells on the worker pool.
+    pub fn set_probe(&mut self, probe: Option<Box<dyn NetProbe + Send>>) {
         self.probe = probe;
     }
 
@@ -212,7 +214,7 @@ impl FlowNet {
 
     /// Detach and return the probe, if any — lets callers recover state a
     /// probe accumulated (e.g. a counting probe's totals).
-    pub fn take_probe(&mut self) -> Option<Box<dyn NetProbe>> {
+    pub fn take_probe(&mut self) -> Option<Box<dyn NetProbe + Send>> {
         self.probe.take()
     }
 
@@ -529,34 +531,42 @@ impl FlowNet {
 mod tests {
     use super::*;
     use crate::probe::CountingProbe;
-    use std::cell::RefCell;
-    use std::rc::Rc;
+    use std::sync::{Arc, Mutex};
 
     const GBPS: f64 = 1e9;
 
     /// Test probe sharing its counters with the asserting test body.
-    struct SharedCounting(Rc<RefCell<CountingProbe>>);
+    /// `Arc<Mutex<...>>` (not `Rc<RefCell<...>>`) so the probe is `Send`
+    /// like every production probe must be.
+    struct SharedCounting(Arc<Mutex<CountingProbe>>);
 
     impl NetProbe for SharedCounting {
         fn flow_added(&mut self, t: SimTime, flow: u64, path_links: u32, size_bits: f64) {
             self.0
-                .borrow_mut()
+                .lock()
+                .unwrap()
                 .flow_added(t, flow, path_links, size_bits);
         }
         fn flow_removed(&mut self, t: SimTime, flow: u64, completed: bool) {
-            self.0.borrow_mut().flow_removed(t, flow, completed);
+            self.0.lock().unwrap().flow_removed(t, flow, completed);
         }
         fn rate_recompute(&mut self, t: SimTime, f: u64, l: u64, a: u64) {
-            self.0.borrow_mut().rate_recompute(t, f, l, a);
+            self.0.lock().unwrap().rate_recompute(t, f, l, a);
         }
         fn link_state(&mut self, t: SimTime, link: u32, up: bool) {
-            self.0.borrow_mut().link_state(t, link, up);
+            self.0.lock().unwrap().link_state(t, link, up);
         }
     }
 
     #[test]
+    fn flownet_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<FlowNet>();
+    }
+
+    #[test]
     fn probe_sees_flow_lifecycle_and_recomputes() {
-        let counts = Rc::new(RefCell::new(CountingProbe::default()));
+        let counts = Arc::new(Mutex::new(CountingProbe::default()));
         let (mut net, l) = net_with_links(&[100.0 * GBPS]);
         net.set_probe(Some(Box::new(SharedCounting(counts.clone()))));
         assert!(net.has_probe());
@@ -570,7 +580,7 @@ mod tests {
         assert_eq!(done.len(), 1);
         net.set_link_up(l[0], false);
         net.set_link_up(l[0], false); // no-op: no state change, no callback
-        let c = *counts.borrow();
+        let c = *counts.lock().unwrap();
         assert_eq!(c.flows_added, 2);
         assert_eq!(c.flows_killed, 1);
         assert_eq!(c.flows_completed, 1);
@@ -836,7 +846,11 @@ mod tests {
 
     #[test]
     fn both_allocators_agree_on_parking_lot() {
-        for kind in [AllocatorKind::Dense, AllocatorKind::Incremental] {
+        for kind in [
+            AllocatorKind::Dense,
+            AllocatorKind::Incremental,
+            AllocatorKind::Parallel,
+        ] {
             let mut net = FlowNet::with_allocator(kind);
             let l0 = net.add_link(100.0 * GBPS, f64::INFINITY);
             let l1 = net.add_link(50.0 * GBPS, f64::INFINITY);

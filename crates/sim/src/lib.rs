@@ -12,9 +12,14 @@
 //!   flow-completion tracking. Rate allocation sits behind the
 //!   [`RateAllocator`] trait: the default [`alloc::IncrementalMaxMin`]
 //!   recomputes only the perturbed bottleneck component per event, while
-//!   [`alloc::DenseMaxMin`] re-solves every flow and serves as the oracle.
+//!   [`alloc::DenseMaxMin`] re-solves every flow and serves as the oracle,
+//!   and [`alloc::ParallelIncrementalMaxMin`] re-solves perturbed
+//!   components concurrently on the [`pool`] with bitwise-identical rates.
 //!   Flow paths are interned ([`PathId`]/[`PathInterner`]) so specs carry a
 //!   4-byte handle instead of a link vector,
+//! * [`pool`] — a minimal work-stealing thread pool (deterministic,
+//!   task-order-indexed results) shared by the parallel allocator and the
+//!   experiment runner,
 //! * [`SplitMix64`] / [`Xoshiro256`] — small, dependency-free deterministic
 //!   PRNGs so simulation runs are exactly reproducible from a seed,
 //! * [`TimeSeries`] and [`stats`] — recording utilities used by the
@@ -36,6 +41,7 @@ pub mod engine;
 pub mod flownet;
 pub mod packetval;
 pub mod path;
+pub mod pool;
 pub mod probe;
 pub mod rng;
 pub mod series;
@@ -43,7 +49,7 @@ pub mod stats;
 pub mod time;
 pub mod units;
 
-pub use alloc::{AllocatorKind, RateAllocator};
+pub use alloc::{AllocatorKind, ParallelIncrementalMaxMin, RateAllocator};
 pub use arena::{Flow, FlowArena};
 pub use engine::{Engine, EventId};
 pub use flownet::{FlowHandle, FlowNet, FlowSpec, LinkId, LinkState};

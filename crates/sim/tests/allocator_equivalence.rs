@@ -1,6 +1,6 @@
-//! Equivalence suite: the incremental allocator must produce the same
-//! max-min rates as the dense reference oracle under arbitrary flow churn
-//! and link perturbations.
+//! Equivalence suite: the incremental and parallel allocators must
+//! produce the same max-min rates as the dense reference oracle under
+//! arbitrary flow churn and link perturbations.
 //!
 //! Within one bottleneck component the two solvers perform identical
 //! arithmetic, but when several components are live the dense solver
@@ -11,7 +11,9 @@
 //! difference the figures could see. Bitwise identity is asserted where it
 //! is guaranteed: flows whose component was untouched by a perturbation.
 
-use hpn_sim::{AllocatorKind, FlowHandle, FlowNet, FlowSpec, LinkId, SimTime};
+use hpn_sim::{
+    AllocatorKind, FlowHandle, FlowNet, FlowSpec, LinkId, ParallelIncrementalMaxMin, SimTime,
+};
 use proptest::prelude::*;
 
 const GBPS: f64 = 1e9;
@@ -68,7 +70,22 @@ struct Driver {
 
 impl Driver {
     fn new(kind: AllocatorKind, caps_gbps: &[u64]) -> Self {
-        let mut net = FlowNet::with_allocator(kind);
+        Self::with_net(FlowNet::with_allocator(kind), caps_gbps)
+    }
+
+    /// A driver over the parallel allocator with `jobs` workers; the
+    /// minimum closure size is dropped to 0 so even these tiny nets take
+    /// the pool path.
+    fn parallel(jobs: usize, caps_gbps: &[u64]) -> Self {
+        Self::with_net(
+            FlowNet::with_allocator_box(Box::new(
+                ParallelIncrementalMaxMin::with_jobs(jobs).min_component_flows(0),
+            )),
+            caps_gbps,
+        )
+    }
+
+    fn with_net(mut net: FlowNet, caps_gbps: &[u64]) -> Self {
         let links = caps_gbps
             .iter()
             .map(|&c| net.add_link(c as f64 * GBPS, f64::INFINITY))
@@ -153,8 +170,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
     /// The tentpole acceptance property: random add/remove/capacity
-    /// sequences through both allocators produce rates that agree within
-    /// RATE_EPS (relative) after every single event.
+    /// sequences through every allocator (dense, incremental, parallel at
+    /// 1 and 3 workers) produce rates that agree bitwise after every
+    /// single event.
     #[test]
     fn incremental_matches_dense_oracle(
         caps in proptest::collection::vec(1u64..=400, 2..7),
@@ -172,12 +190,20 @@ proptest! {
         let ops = ops.generate(&mut rng);
         let mut dense = Driver::new(AllocatorKind::Dense, &caps);
         let mut incr = Driver::new(AllocatorKind::Incremental, &caps);
+        let mut par1 = Driver::parallel(1, &caps);
+        let mut par3 = Driver::parallel(3, &caps);
         for (step, op) in ops.iter().enumerate() {
             dense.apply(op);
             incr.apply(op);
+            par1.apply(op);
+            par3.apply(op);
             let rd = dense.rates();
             let ri = incr.rates();
             assert_rates_agree(&rd, &ri, &format!("after step {step} ({op:?})"))?;
+            let rp1 = par1.rates();
+            let rp3 = par3.rates();
+            assert_rates_agree(&ri, &rp1, &format!("parallel(1) after step {step} ({op:?})"))?;
+            assert_rates_agree(&ri, &rp3, &format!("parallel(3) after step {step} ({op:?})"))?;
         }
         // Feasibility cross-check: the incremental allocator never
         // oversubscribes. (Link aggregates refresh on recompute; flush the

@@ -20,15 +20,24 @@
 //!   experiment's output. CI diffs the fingerprints against a checked-in
 //!   golden set to gate on figure drift.
 //!
+//! The recorder reaches a simulation through an explicit per-session
+//! context: a [`SimCtx`] bundles the recorder handle, the RNG root seed
+//! and the rate-allocator selection, and is passed to every session
+//! constructor (`ClusterSim::with_ctx`, `Scenario::build_with`). All of
+//! its parts are `Send`, so sessions migrate freely across worker
+//! threads. The former thread-local ambient recorder
+//! ([`share::install`] / [`share::current`] / [`share::RecorderScope`])
+//! is deprecated and retained only as a shim for one release.
+//!
 //! Layering: `hpn-sim` cannot depend on this crate, so it exposes the
 //! [`hpn_sim::NetProbe`] callback trait instead; [`SharedRecorder::net_probe`]
 //! adapts a recorder into a probe. Higher layers (routing, transport,
 //! collectives, faults, the bench harness) depend on this crate directly
-//! and emit through the ambient recorder ([`install`] / [`current`]),
-//! which `ClusterSim::new` attaches automatically.
+//! and emit through the recorder their `SimCtx` carries.
 
 #![warn(missing_docs)]
 
+pub mod ctx;
 pub mod event;
 pub mod manifest;
 pub mod recorder;
@@ -37,10 +46,13 @@ pub mod segment;
 pub mod sha256;
 pub mod share;
 
+pub use ctx::SimCtx;
 pub use event::Event;
 pub use manifest::{flat_map_json, git_describe, parse_flat_map, RunManifest};
 pub use recorder::{JsonlRecorder, NullRecorder, Recorder, SharedBuf};
 pub use registry::{FlowMetrics, LinkMetrics, RecomputeMetrics, Registry};
 pub use segment::{merge_segments, replay, EventLog};
 pub use sha256::{hex_digest, Sha256};
-pub use share::{current, install, uninstall, with_recorder, RecorderScope, SharedRecorder};
+pub use share::SharedRecorder;
+#[allow(deprecated)]
+pub use share::{current, install, uninstall, with_recorder, RecorderScope};

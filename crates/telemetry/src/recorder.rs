@@ -7,14 +7,18 @@
 //! [`std::io::Write`] sink and enforces sim-time monotonicity within each
 //! run segment (see [`Event::SimStart`]).
 
-use std::cell::RefCell;
 use std::io::Write;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::event::Event;
 
 /// A telemetry sink.
-pub trait Recorder {
+///
+/// `Send` is a supertrait: recorders live inside a
+/// [`SharedRecorder`](crate::SharedRecorder) handle, which sessions carry
+/// across threads (experiment cells run on a worker pool), so every sink
+/// must be movable with them.
+pub trait Recorder: Send {
     /// Whether instrumentation sites should bother constructing events.
     /// Sites must treat `false` as "do nothing at all".
     fn enabled(&self) -> bool {
@@ -47,13 +51,13 @@ impl Recorder for NullRecorder {
 /// segment — the simulator clock is monotonic, so a backwards stamp means
 /// an instrumentation bug, and silently reordered telemetry is worse than a
 /// loud failure.
-pub struct JsonlRecorder<W: Write> {
+pub struct JsonlRecorder<W: Write + Send> {
     out: W,
     last_t_ns: u64,
     events: u64,
 }
 
-impl<W: Write> JsonlRecorder<W> {
+impl<W: Write + Send> JsonlRecorder<W> {
     /// Record into `out`.
     pub fn new(out: W) -> Self {
         JsonlRecorder {
@@ -84,7 +88,7 @@ impl JsonlRecorder<std::io::BufWriter<std::fs::File>> {
     }
 }
 
-impl<W: Write> Recorder for JsonlRecorder<W> {
+impl<W: Write + Send> Recorder for JsonlRecorder<W> {
     fn record(&mut self, ev: &Event) {
         if matches!(ev, Event::SimStart { .. }) {
             self.last_t_ns = 0;
@@ -114,8 +118,10 @@ impl<W: Write> Recorder for JsonlRecorder<W> {
 
 /// A clonable in-memory byte sink, for tests and for callers that want to
 /// inspect the JSONL stream after the recorder has been boxed away.
+/// Clones share one buffer; the handle is `Send` (`Arc<Mutex<...>>`) so a
+/// recorder built on it can travel with its session across threads.
 #[derive(Clone, Default)]
-pub struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+pub struct SharedBuf(Arc<Mutex<Vec<u8>>>);
 
 impl SharedBuf {
     /// An empty buffer.
@@ -125,7 +131,7 @@ impl SharedBuf {
 
     /// Copy of the bytes written so far.
     pub fn bytes(&self) -> Vec<u8> {
-        self.0.borrow().clone()
+        self.0.lock().expect("shared buffer").clone()
     }
 
     /// The buffer as UTF-8 (telemetry JSONL is always valid UTF-8).
@@ -136,7 +142,7 @@ impl SharedBuf {
 
 impl Write for SharedBuf {
     fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
-        self.0.borrow_mut().extend_from_slice(buf);
+        self.0.lock().expect("shared buffer").extend_from_slice(buf);
         Ok(buf.len())
     }
 

@@ -1,17 +1,16 @@
 //! Per-cell event segments and their ordered merge.
 //!
 //! A parallel experiment runner executes cells (figure × seed × allocator)
-//! on worker threads, each with its own scoped ambient recorder. Every
-//! cell captures its events into an [`EventLog`] — an owned, `Send`able
-//! segment — and the coordinator merges the segments back **in plan
-//! order**, not completion order. Because every segment begins with its own
+//! on worker threads, each with its own per-cell recorder handed in
+//! through its `SimCtx`. Every cell captures its events into an
+//! [`EventLog`] — an owned, `Send`able segment — and the coordinator
+//! merges the segments back **in plan order**, not completion order. Because every segment begins with its own
 //! [`Event::SimStart`], the merged stream still satisfies the sim-time
 //! monotonicity contract *per segment*: replaying it through a
 //! [`JsonlRecorder`](crate::JsonlRecorder) re-validates exactly what a
 //! sequential run would have produced, byte for byte.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::event::Event;
 use crate::recorder::Recorder;
@@ -19,12 +18,12 @@ use crate::recorder::Recorder;
 /// A clonable in-memory event capture: the segment buffer of one run cell.
 ///
 /// Clones share one buffer (like [`SharedBuf`](crate::SharedBuf)), so a
-/// handle can be kept outside the boxed [`Recorder`] that was installed as
-/// the ambient sink, and the captured events collected after the run with
-/// [`take`](EventLog::take). The buffer itself is thread-local state; move
-/// the *taken* `Vec<Event>` across threads, not the log.
+/// handle can be kept outside the boxed [`Recorder`] a session carries,
+/// and the captured events collected after the run with
+/// [`take`](EventLog::take). The handle is `Send` (`Arc<Mutex<...>>`): a
+/// log can travel with its session to a worker thread and back.
 #[derive(Clone, Default)]
-pub struct EventLog(Rc<RefCell<Vec<Event>>>);
+pub struct EventLog(Arc<Mutex<Vec<Event>>>);
 
 impl EventLog {
     /// An empty log.
@@ -34,30 +33,29 @@ impl EventLog {
 
     /// Number of events captured so far.
     pub fn len(&self) -> usize {
-        self.0.borrow().len()
+        self.0.lock().expect("event log").len()
     }
 
     /// True when nothing has been captured.
     pub fn is_empty(&self) -> bool {
-        self.0.borrow().is_empty()
+        self.0.lock().expect("event log").is_empty()
     }
 
     /// Copy of the captured events.
     pub fn events(&self) -> Vec<Event> {
-        self.0.borrow().clone()
+        self.0.lock().expect("event log").clone()
     }
 
-    /// Drain the captured events, leaving the log empty. The returned
-    /// segment is owned and `Send` — this is how a worker thread hands its
-    /// cell's telemetry back to the coordinator.
+    /// Drain the captured events, leaving the log empty. This is how a
+    /// worker thread hands its cell's telemetry back to the coordinator.
     pub fn take(&self) -> Vec<Event> {
-        std::mem::take(&mut *self.0.borrow_mut())
+        std::mem::take(&mut *self.0.lock().expect("event log"))
     }
 }
 
 impl Recorder for EventLog {
     fn record(&mut self, ev: &Event) {
-        self.0.borrow_mut().push(ev.clone());
+        self.0.lock().expect("event log").push(ev.clone());
     }
 }
 

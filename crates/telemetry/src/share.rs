@@ -1,29 +1,32 @@
-//! Shared recorder handles and the ambient (thread-local) recorder.
+//! Shared recorder handles, plus the deprecated ambient (thread-local)
+//! recorder shims.
 //!
 //! Simulations are built from several layers (fluid net, routing, transport,
 //! collectives, faults) that all want to emit into *one* sink. A
-//! [`SharedRecorder`] is a cheaply clonable handle to a single boxed
-//! [`Recorder`]; the `enabled` flag is cached in the handle so hot paths
-//! decide "skip instrumentation" with one bool load and no `RefCell` borrow.
+//! [`SharedRecorder`] is a cheaply clonable, `Send`able handle to a single
+//! boxed [`Recorder`]; the `enabled` flag is cached in the handle so hot
+//! paths decide "skip instrumentation" with one bool load and no lock.
 //!
-//! The *ambient* recorder (cf. `tracing`'s default subscriber) lets the
-//! experiment harness turn telemetry on for every simulation a process
-//! builds without threading a handle through every constructor:
-//! [`install`] sets it for the current thread, and `ClusterSim::new`
-//! attaches [`current`] automatically.
+//! The recorder reaches a simulation **explicitly**, through a
+//! [`SimCtx`](crate::SimCtx) passed to the session constructor
+//! (`ClusterSim::with_ctx`, `Scenario::build_with`). The previous
+//! `tracing`-style *ambient* recorder ([`install`] / [`current`] /
+//! [`RecorderScope`]) is deprecated: thread-local state pinned every
+//! session to its construction thread, which blocked `Send`-clean sessions
+//! and the parallel allocator. The shims remain for one release so
+//! downstream code keeps compiling.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use hpn_sim::{NetProbe, SimTime};
 
 use crate::event::Event;
 use crate::recorder::{NullRecorder, Recorder};
 
-/// A clonable handle to one shared [`Recorder`].
+/// A clonable, `Send`able handle to one shared [`Recorder`].
 #[derive(Clone)]
 pub struct SharedRecorder {
-    inner: Rc<RefCell<Box<dyn Recorder>>>,
+    inner: Arc<Mutex<Box<dyn Recorder>>>,
     enabled: bool,
 }
 
@@ -44,7 +47,7 @@ impl SharedRecorder {
     pub fn new(rec: Box<dyn Recorder>) -> Self {
         let enabled = rec.enabled();
         SharedRecorder {
-            inner: Rc::new(RefCell::new(rec)),
+            inner: Arc::new(Mutex::new(rec)),
             enabled,
         }
     }
@@ -57,31 +60,31 @@ impl SharedRecorder {
 
     /// Record an event, constructing it only when the sink is enabled.
     /// This is the call sites' workhorse: with the [`NullRecorder`]
-    /// installed the closure never runs.
+    /// attached the closure never runs and the lock is never taken.
     #[inline]
     pub fn emit(&self, build: impl FnOnce() -> Event) {
         if self.enabled {
-            self.inner.borrow_mut().record(&build());
+            self.inner.lock().expect("recorder sink").record(&build());
         }
     }
 
     /// Record an already-built event (when construction is free anyway).
     pub fn record(&self, ev: &Event) {
         if self.enabled {
-            self.inner.borrow_mut().record(ev);
+            self.inner.lock().expect("recorder sink").record(ev);
         }
     }
 
     /// Flush the underlying sink.
     pub fn flush(&self) {
-        self.inner.borrow_mut().flush();
+        self.inner.lock().expect("recorder sink").flush();
     }
 
     /// A boxed [`NetProbe`] forwarding fluid-net callbacks into this
     /// recorder, for [`hpn_sim::FlowNet::set_probe`]. Callers should only
     /// attach it when [`SharedRecorder::enabled`] — a probe on a disabled
     /// recorder would pay event construction for nothing.
-    pub fn net_probe(&self) -> Box<dyn NetProbe> {
+    pub fn net_probe(&self) -> Box<dyn NetProbe + Send> {
         Box::new(ProbeAdapter(self.clone()))
     }
 }
@@ -131,42 +134,65 @@ impl NetProbe for ProbeAdapter {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Deprecated ambient-recorder shims.
+//
+// This thread_local is the one sanctioned exception to the workspace's
+// "no thread_local! outside crates/telemetry" lint: it only backs the
+// deprecated shims below and goes away with them.
 thread_local! {
-    static AMBIENT: RefCell<SharedRecorder> = RefCell::new(SharedRecorder::null());
+    static AMBIENT: std::cell::RefCell<SharedRecorder> =
+        std::cell::RefCell::new(SharedRecorder::null());
 }
 
 /// Install `rec` as this thread's ambient recorder and return the previous
-/// one. Simulations constructed afterwards attach to it automatically.
+/// one.
+#[deprecated(
+    since = "0.1.0",
+    note = "thread-local ambient state pins sessions to one thread; pass a \
+            recorder explicitly via `SimCtx` (e.g. `ClusterSim::with_ctx`)"
+)]
 pub fn install(rec: SharedRecorder) -> SharedRecorder {
     AMBIENT.with(|a| std::mem::replace(&mut *a.borrow_mut(), rec))
 }
 
 /// Reset the ambient recorder to the disabled default, returning the
 /// previously installed one (so callers can flush or inspect it).
+#[deprecated(
+    since = "0.1.0",
+    note = "thread-local ambient state pins sessions to one thread; pass a \
+            recorder explicitly via `SimCtx` (e.g. `ClusterSim::with_ctx`)"
+)]
+#[allow(deprecated)]
 pub fn uninstall() -> SharedRecorder {
     install(SharedRecorder::null())
 }
 
 /// A handle to this thread's ambient recorder (disabled [`NullRecorder`]
 /// unless something was [`install`]ed).
+#[deprecated(
+    since = "0.1.0",
+    note = "thread-local ambient state pins sessions to one thread; read the \
+            recorder from the session's `SimCtx` instead"
+)]
 pub fn current() -> SharedRecorder {
     AMBIENT.with(|a| a.borrow().clone())
 }
 
-/// RAII scope for the ambient recorder: attaches a recorder to the current
-/// thread on construction and restores the previous ambient when dropped
-/// (or explicitly [`detach`](RecorderScope::detach)ed).
-///
-/// This is the per-thread attach/detach primitive the parallel experiment
-/// runner and the integration tests use: every worker (or test) scopes its
-/// own recorder, so concurrent simulations on different threads each record
-/// into their own segment, and nothing leaks into the next run on the same
-/// thread — even when a panic unwinds through the scope.
+/// RAII scope for the deprecated ambient recorder: attaches a recorder to
+/// the current thread on construction and restores the previous ambient
+/// when dropped (or explicitly [`detach`](RecorderScope::detach)ed).
+#[deprecated(
+    since = "0.1.0",
+    note = "thread-local ambient state pins sessions to one thread; build a \
+            `SimCtx` with the recorder and pass it to the session instead"
+)]
 pub struct RecorderScope {
     prev: Option<SharedRecorder>,
     attached: SharedRecorder,
 }
 
+#[allow(deprecated)]
 impl RecorderScope {
     /// Attach `rec` as the current thread's ambient recorder.
     pub fn attach(rec: SharedRecorder) -> Self {
@@ -194,6 +220,7 @@ impl RecorderScope {
     }
 }
 
+#[allow(deprecated)]
 impl Drop for RecorderScope {
     fn drop(&mut self) {
         if let Some(prev) = self.prev.take() {
@@ -205,6 +232,12 @@ impl Drop for RecorderScope {
 
 /// Run `f` with `rec` attached as this thread's ambient recorder, restoring
 /// the previous ambient (and flushing `rec`) afterwards.
+#[deprecated(
+    since = "0.1.0",
+    note = "thread-local ambient state pins sessions to one thread; build a \
+            `SimCtx` with the recorder and pass it to the session instead"
+)]
+#[allow(deprecated)]
 pub fn with_recorder<T>(rec: SharedRecorder, f: impl FnOnce() -> T) -> T {
     let scope = RecorderScope::attach(rec);
     let out = f();
@@ -213,9 +246,16 @@ pub fn with_recorder<T>(rec: SharedRecorder, f: impl FnOnce() -> T) -> T {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the deprecated ambient shims keep their coverage
 mod tests {
     use super::*;
     use crate::recorder::{JsonlRecorder, SharedBuf};
+
+    #[test]
+    fn shared_recorder_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<SharedRecorder>();
+    }
 
     #[test]
     fn null_handle_never_runs_the_closure() {

@@ -1,16 +1,20 @@
 //! Interleaved per-thread segments must merge into a stream that still
 //! passes the per-segment sim-time monotonicity check, and the merged
 //! `Registry` aggregates must equal a sequential run's.
+//!
+//! Each cell carries its recorder in an explicit [`SimCtx`] — the handle
+//! is `Send`, so the context itself crosses into the worker thread, which
+//! is exactly how the parallel experiment runner ships recorders to cells.
 
 use hpn_telemetry::{
-    current, merge_segments, replay, Event, EventLog, JsonlRecorder, RecorderScope, Registry,
-    SharedBuf, SharedRecorder,
+    merge_segments, replay, Event, EventLog, JsonlRecorder, Registry, SharedBuf, SharedRecorder,
+    SimCtx,
 };
 
-/// Emit one cell's synthetic telemetry through the *ambient* recorder —
+/// Emit one cell's synthetic telemetry through the context's recorder —
 /// the same path simulations use — with a clock that restarts at zero.
-fn emit_cell(cell: u32, events_per_cell: u64) {
-    let rec = current();
+fn emit_cell(ctx: &SimCtx, cell: u32, events_per_cell: u64) {
+    let rec = ctx.recorder();
     rec.record(&Event::SimStart {
         label: format!("cell{cell}"),
     });
@@ -30,16 +34,23 @@ fn emit_cell(cell: u32, events_per_cell: u64) {
     }
 }
 
-/// Run `cells` cells, each in its own thread with its own scoped ambient
-/// recorder, and return the captured segments indexed by cell (plan order).
+/// A per-cell context recording into a fresh [`EventLog`].
+fn cell_ctx() -> (SimCtx, EventLog) {
+    let log = EventLog::new();
+    let ctx = SimCtx::new().with_recorder(SharedRecorder::new(Box::new(log.clone())));
+    (ctx, log)
+}
+
+/// Run `cells` cells, each on its own thread with its own context
+/// (constructed on the coordinator and *moved* to the worker), and return
+/// the captured segments indexed by cell (plan order).
 fn parallel_segments(cells: u32, events_per_cell: u64) -> Vec<Vec<Event>> {
     let mut handles = Vec::new();
     for cell in 0..cells {
+        let (ctx, log) = cell_ctx();
         handles.push(std::thread::spawn(move || {
-            let log = EventLog::new();
-            let scope = RecorderScope::attach(SharedRecorder::new(Box::new(log.clone())));
-            emit_cell(cell, events_per_cell);
-            scope.detach();
+            emit_cell(&ctx, cell, events_per_cell);
+            ctx.recorder().flush();
             log.take()
         }));
     }
@@ -52,10 +63,9 @@ fn parallel_segments(cells: u32, events_per_cell: u64) -> Vec<Vec<Event>> {
 fn sequential_segments(cells: u32, events_per_cell: u64) -> Vec<Vec<Event>> {
     (0..cells)
         .map(|cell| {
-            let log = EventLog::new();
-            let scope = RecorderScope::attach(SharedRecorder::new(Box::new(log.clone())));
-            emit_cell(cell, events_per_cell);
-            scope.detach();
+            let (ctx, log) = cell_ctx();
+            emit_cell(&ctx, cell, events_per_cell);
+            ctx.recorder().flush();
             log.take()
         })
         .collect()
@@ -113,16 +123,24 @@ fn merged_registry_equals_sequential_registry() {
 }
 
 #[test]
-fn scoped_recorders_do_not_leak_across_threads() {
-    // A recorder attached on one thread must not be visible from another.
-    let log = EventLog::new();
-    let _scope = RecorderScope::attach(SharedRecorder::new(Box::new(log.clone())));
-    assert!(current().enabled());
-    let other_thread_sees = std::thread::spawn(|| current().enabled())
-        .join()
-        .expect("probe thread");
-    assert!(
-        !other_thread_sees,
-        "ambient recorder is per-thread, not process-global"
-    );
+fn contexts_are_isolated_not_thread_scoped() {
+    // Two contexts on the same thread record into different sinks — and a
+    // context moved to another thread keeps recording into its own sink.
+    // No thread-local coupling in either direction.
+    let (ctx_a, log_a) = cell_ctx();
+    let (ctx_b, log_b) = cell_ctx();
+    emit_cell(&ctx_a, 0, 2);
+    emit_cell(&ctx_b, 1, 3);
+    assert_eq!(log_a.len(), 1 + 2 * 2);
+    assert_eq!(log_b.len(), 1 + 2 * 3);
+
+    let moved = std::thread::spawn(move || {
+        emit_cell(&ctx_b, 2, 1);
+        ctx_b.recorder().enabled()
+    })
+    .join()
+    .expect("probe thread");
+    assert!(moved, "a moved context still records");
+    assert_eq!(log_b.len(), 1 + 2 * 3 + 1 + 2, "events landed in b's sink");
+    assert_eq!(log_a.len(), 1 + 2 * 2, "a's sink untouched by b's thread");
 }

@@ -252,9 +252,19 @@ impl Network {
     }
 
     /// Materialise this graph as a fluid network. Link indices are
-    /// preserved: `LinkIdx(i)` becomes `LinkId(i)`.
+    /// preserved: `LinkIdx(i)` becomes `LinkId(i)`. Uses the environment's
+    /// default allocator; sessions with an explicit context use
+    /// [`Network::to_flownet_with`].
     pub fn to_flownet(&self) -> FlowNet {
-        let mut net = FlowNet::new();
+        self.to_flownet_with(hpn_sim::AllocatorKind::from_env())
+    }
+
+    /// Materialise this graph as a fluid network running the given rate
+    /// allocator (the `SimCtx::allocator()` of the session under
+    /// construction). Link indices are preserved: `LinkIdx(i)` becomes
+    /// `LinkId(i)`.
+    pub fn to_flownet_with(&self, kind: hpn_sim::AllocatorKind) -> FlowNet {
+        let mut net = FlowNet::with_allocator(kind);
         for l in &self.links {
             let id = net.add_link(l.cap_bps, l.buffer_bits);
             debug_assert_eq!(id.0 as usize, net.link_count() - 1);

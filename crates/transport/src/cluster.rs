@@ -27,7 +27,7 @@ use hpn_routing::repac;
 use hpn_routing::router::{RouteRequest, Router};
 use hpn_routing::{HashMode, LinkHealth};
 use hpn_sim::{FlowNet, FlowSpec, SimDuration, SimTime};
-use hpn_telemetry::{Event, SharedRecorder};
+use hpn_telemetry::{Event, SharedRecorder, SimCtx};
 use hpn_topology::{Fabric, LinkIdx};
 
 use crate::conn::{ConnGroup, Connection, ConnectionId, GroupId, PathPolicy};
@@ -138,19 +138,28 @@ pub struct ClusterSim {
 }
 
 impl ClusterSim {
-    /// Build a runtime over a fabric.
-    ///
-    /// Attaches the thread's ambient telemetry recorder
-    /// ([`hpn_telemetry::current`]): when one is installed, a
-    /// [`Event::SimStart`] segment marker is emitted and the fluid net gets
-    /// a probe so flow/rate/link events flow into the same sink. With the
-    /// default disabled recorder nothing is attached and the runtime pays
-    /// no observation cost.
+    /// Build a runtime over a fabric with the inert default context: no
+    /// telemetry, allocator from `HPN_ALLOCATOR`. Shorthand for
+    /// [`ClusterSim::with_ctx`] with `&SimCtx::default()` — sessions that
+    /// record telemetry or pin an allocator build one explicitly.
     pub fn new(fabric: Fabric, mode: HashMode) -> Self {
+        Self::with_ctx(fabric, mode, &SimCtx::default())
+    }
+
+    /// Build a runtime over a fabric from an explicit session context.
+    ///
+    /// The context picks the fluid net's rate allocator and supplies the
+    /// telemetry recorder: when it is enabled, a [`Event::SimStart`]
+    /// segment marker is emitted and the fluid net gets a probe so
+    /// flow/rate/link events land in the same sink. With a disabled
+    /// recorder nothing is attached and the runtime pays no observation
+    /// cost. The runtime holds only `Send` parts, so a session built here
+    /// can migrate to a worker thread.
+    pub fn with_ctx(fabric: Fabric, mode: HashMode, ctx: &SimCtx) -> Self {
         let router = Router::new(&fabric, mode);
         let health = LinkHealth::new(fabric.net.link_count());
-        let mut net = fabric.to_flownet();
-        let telemetry = hpn_telemetry::current();
+        let mut net = fabric.to_flownet_with(ctx.allocator());
+        let telemetry = ctx.recorder().clone();
         if telemetry.enabled() {
             telemetry.record(&Event::SimStart {
                 label: format!(
@@ -182,7 +191,7 @@ impl ClusterSim {
         }
     }
 
-    /// The telemetry recorder this runtime records into (the ambient
+    /// The telemetry recorder this runtime records into (the context's
     /// recorder captured at construction). Applications layered on the
     /// runtime (collectives, fault injectors) emit through this handle so
     /// the whole run lands in one ordered stream.
@@ -745,6 +754,27 @@ mod tests {
 
     fn sim() -> ClusterSim {
         ClusterSim::new(HpnConfig::tiny().build(), HashMode::Polarized)
+    }
+
+    #[test]
+    fn cluster_sim_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ClusterSim>();
+    }
+
+    #[test]
+    fn with_ctx_picks_allocator_and_recorder() {
+        use hpn_telemetry::{EventLog, SharedRecorder};
+        let log = EventLog::new();
+        let ctx = SimCtx::new()
+            .with_recorder(SharedRecorder::new(Box::new(log.clone())))
+            .with_allocator(hpn_sim::AllocatorKind::Parallel);
+        let cs = ClusterSim::with_ctx(HpnConfig::tiny().build(), HashMode::Polarized, &ctx);
+        assert_eq!(cs.net.allocator_kind(), hpn_sim::AllocatorKind::Parallel);
+        assert_eq!(log.len(), 1, "SimStart segment marker emitted");
+        // The runtime itself can migrate to a worker thread.
+        let moved = std::thread::spawn(move || cs.now()).join().expect("worker");
+        assert_eq!(moved, SimTime::ZERO);
     }
 
     const GB: f64 = 8e9; // 1 gigabyte in bits

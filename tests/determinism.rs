@@ -20,6 +20,69 @@ use hpn_bench::gate::{run_gate, FigureStatus, GATE_FIGURES};
 use hpn_bench::runner::{run_plan, variance_json, write_sweep_outputs, RunPlan};
 use hpn_bench::Scale;
 
+mod parallel_allocator {
+    //! The parallel allocator's worker count may only change wall-clock,
+    //! never a byte: a session using [`AllocatorKind::Parallel`] must
+    //! produce bitwise-identical telemetry and iteration timings whether
+    //! the component pool runs 1 worker or 8.
+
+    use hpn::collectives::CommConfig;
+    use hpn::core::{placement, TrainingSession};
+    use hpn::routing::HashMode;
+    use hpn::sim::AllocatorKind;
+    use hpn::telemetry::{JsonlRecorder, SharedBuf, SharedRecorder, SimCtx};
+    use hpn::topology::HpnConfig;
+    use hpn::transport::ClusterSim;
+    use hpn::workload::{ModelSpec, ParallelismPlan, TrainingJob};
+
+    fn session_fingerprint(jobs: &str) -> (Vec<u64>, String) {
+        // `HPN_ALLOC_JOBS` pins the pool size the parallel allocator
+        // spawns. Nothing else in this test binary reads the variable
+        // (figure runs stay on the dense default), so setting it here is
+        // safe under parallel test threads.
+        std::env::set_var("HPN_ALLOC_JOBS", jobs);
+        let buf = SharedBuf::new();
+        let ctx = SimCtx::new()
+            .with_recorder(SharedRecorder::new(Box::new(JsonlRecorder::new(
+                buf.clone(),
+            ))))
+            .with_allocator(AllocatorKind::Parallel);
+        let mut cs = ClusterSim::with_ctx(HpnConfig::medium().build(), HashMode::Polarized, &ctx);
+        let rails = cs.fabric.host_params.rails;
+        let hosts = placement::place_segment_first(&cs.fabric, 8).unwrap();
+        let job = TrainingJob::new(
+            ModelSpec::llama_7b(),
+            ParallelismPlan::new(rails, 2, 4),
+            hosts,
+            rails,
+            256,
+        );
+        let mut session = TrainingSession::new(job, CommConfig::hpn_default());
+        session.run_iterations(&mut cs, 3);
+        std::env::remove_var("HPN_ALLOC_JOBS");
+        let nanos = session.records().iter().map(|r| r.end.as_nanos()).collect();
+        (nanos, buf.text())
+    }
+
+    #[test]
+    fn parallel_allocator_session_is_byte_identical_at_jobs_1_and_8() {
+        let (nanos_1, telemetry_1) = session_fingerprint("1");
+        let (nanos_8, telemetry_8) = session_fingerprint("8");
+        assert_eq!(
+            nanos_1, nanos_8,
+            "iteration timings drifted with the allocator worker count"
+        );
+        assert_eq!(
+            telemetry_1, telemetry_8,
+            "telemetry stream is not byte-identical between 1 and 8 workers"
+        );
+        assert!(
+            telemetry_1.contains("\"ev\":\"rate_recompute\""),
+            "session never exercised the rate allocator"
+        );
+    }
+}
+
 /// Fresh per-test scratch dir under the target tree.
 fn tmp_dir(name: &str) -> PathBuf {
     let d = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);

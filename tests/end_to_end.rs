@@ -2,15 +2,18 @@
 //! collectives → workload, exercised together the way the experiment
 //! harness uses them.
 //!
-//! Each simulator-building test scopes its own telemetry recorder to the
-//! test thread (see [`scoped_telemetry`]) rather than touching the shared
-//! ambient default, so the suite is safe under `cargo test`'s default
-//! parallelism — no `--test-threads=1` required.
+//! Telemetry is passed explicitly: a test that wants to observe events
+//! builds a [`hpn::telemetry::SimCtx`] carrying its own
+//! [`hpn::telemetry::EventLog`] (see [`logging_ctx`]) and hands it to
+//! [`ClusterSim::with_ctx`]. There is no ambient recorder to isolate
+//! from, so the suite is safe under `cargo test`'s default parallelism —
+//! no `--test-threads=1` required.
 
 use hpn::collectives::{bw, graph, CommConfig, Communicator, Runner};
 use hpn::core::{placement, IterationOutcome, TrainingSession};
 use hpn::routing::{repac, HashMode};
 use hpn::sim::{SimDuration, SimTime};
+use hpn::telemetry::SimCtx;
 use hpn::topology::{DcnPlusConfig, HpnConfig};
 use hpn::transport::ClusterSim;
 use hpn::workload::{ModelSpec, ParallelismPlan, TrainingJob};
@@ -19,22 +22,21 @@ fn hpn_cluster() -> ClusterSim {
     ClusterSim::new(HpnConfig::medium().build(), HashMode::Polarized)
 }
 
-/// Attach a per-test recorder scope: simulators built while the scope is
-/// alive record into this test's own [`hpn::telemetry::EventLog`], and the
-/// previous ambient recorder is restored when the scope drops (even on
-/// unwind), so concurrent tests never share recorder state.
-fn scoped_telemetry() -> (hpn::telemetry::EventLog, hpn::telemetry::RecorderScope) {
+/// A context recording into this test's own [`hpn::telemetry::EventLog`].
+/// Simulators built from the context record there and nowhere else —
+/// concurrent tests cannot share recorder state because nothing is
+/// thread- or process-global.
+fn logging_ctx() -> (hpn::telemetry::EventLog, SimCtx) {
     let log = hpn::telemetry::EventLog::new();
-    let scope = hpn::telemetry::RecorderScope::attach(hpn::telemetry::SharedRecorder::new(
-        Box::new(log.clone()),
-    ));
-    (log, scope)
+    let ctx =
+        SimCtx::new().with_recorder(hpn::telemetry::SharedRecorder::new(Box::new(log.clone())));
+    (log, ctx)
 }
 
 #[test]
 fn allreduce_on_hpn_reaches_sane_busbw() {
-    let (log, _scope) = scoped_telemetry();
-    let mut cs = hpn_cluster();
+    let (log, ctx) = logging_ctx();
+    let mut cs = ClusterSim::with_ctx(HpnConfig::medium().build(), HashMode::Polarized, &ctx);
     let hosts = 8usize;
     let rails = cs.fabric.host_params.rails;
     let ranks: Vec<(u32, usize)> = (0..hosts as u32)
@@ -67,10 +69,10 @@ fn allreduce_on_hpn_reaches_sane_busbw() {
 #[test]
 fn training_iterations_are_deterministic_across_runs() {
     let run = || {
-        // Fresh recorder scope per run: telemetry is an observer, so the
-        // two runs stay nanosecond-identical with recording enabled.
-        let (_log, _scope) = scoped_telemetry();
-        let mut cs = hpn_cluster();
+        // Fresh recording context per run: telemetry is an observer, so
+        // the two runs stay nanosecond-identical with recording enabled.
+        let (_log, ctx) = logging_ctx();
+        let mut cs = ClusterSim::with_ctx(HpnConfig::medium().build(), HashMode::Polarized, &ctx);
         let rails = cs.fabric.host_params.rails;
         let hosts = placement::place_segment_first(&cs.fabric, 8).unwrap();
         let job = TrainingJob::new(
@@ -93,7 +95,6 @@ fn training_iterations_are_deterministic_across_runs() {
 
 #[test]
 fn hpn_beats_dcn_on_cross_segment_multiallreduce() {
-    let (_log, _scope) = scoped_telemetry();
     let time_on = |cs: &mut ClusterSim| {
         let hosts = 24usize;
         let rails = cs.fabric.host_params.rails;
@@ -138,7 +139,6 @@ fn hpn_beats_dcn_on_cross_segment_multiallreduce() {
 
 #[test]
 fn repac_paths_survive_failures_and_training_continues() {
-    let (_log, _scope) = scoped_telemetry();
     let mut cs = hpn_cluster();
     let rails = cs.fabric.host_params.rails;
     let hosts = placement::place_segment_first(&cs.fabric, 8).unwrap();
@@ -167,7 +167,6 @@ fn repac_paths_survive_failures_and_training_continues() {
 
 #[test]
 fn find_paths_is_consistent_with_cluster_routing() {
-    let (_log, _scope) = scoped_telemetry();
     let cs = hpn_cluster();
     let dst = cs.fabric.segment_hosts(1)[0].id;
     let res = repac::find_paths(&cs.router, &cs.fabric, &cs.health, 0, 0, dst, 0, 8, 49152);
@@ -198,7 +197,6 @@ fn find_paths_is_consistent_with_cluster_routing() {
 fn workload_traffic_volumes_survive_composition() {
     // The iteration graph's network bytes must equal Table-3 composition
     // even after placement on a real fabric.
-    let (_log, _scope) = scoped_telemetry();
     let cs = hpn_cluster();
     let rails = cs.fabric.host_params.rails;
     let hosts = placement::place_segment_first(&cs.fabric, 16).unwrap();

@@ -1,10 +1,11 @@
 //! Reliability integration: stochastic fault injection driving the full
 //! stack (faults → transport failover → collectives → training).
 //!
-//! Every simulator-building test scopes its own telemetry recorder to the
-//! test thread (see [`scoped_telemetry`]) instead of sharing the ambient
-//! default, so the suite runs under `cargo test`'s default parallelism
-//! without cross-test interference.
+//! Telemetry is passed explicitly: a test that wants to observe events
+//! builds a [`hpn::telemetry::SimCtx`] carrying its own
+//! [`hpn::telemetry::EventLog`] and hands it to [`ClusterSim::with_ctx`].
+//! There is no ambient recorder, so the suite runs under `cargo test`'s
+//! default parallelism without cross-test interference.
 
 use hpn::collectives::CommConfig;
 use hpn::core::{placement, IterationOutcome, TrainingSession};
@@ -15,33 +16,34 @@ use hpn::topology::{wiring, HpnConfig};
 use hpn::transport::ClusterSim;
 use hpn::workload::{ModelSpec, ParallelismPlan, TrainingJob};
 
-/// Attach a per-test recorder to this test's thread. `ClusterSim::new`
-/// attaches the *ambient* recorder, which is thread-local state: without a
-/// scope, two tests on the same harness thread (or a test that panics
-/// mid-way) could observe each other's recorder. The returned scope
-/// restores the previous ambient on drop — even on unwind.
-fn scoped_telemetry() -> (hpn::telemetry::EventLog, hpn::telemetry::RecorderScope) {
+/// A context recording into this test's own [`hpn::telemetry::EventLog`].
+/// Clusters built with it record there and nowhere else; no state is
+/// shared between tests because nothing is thread- or process-global.
+fn logging_ctx() -> (hpn::telemetry::EventLog, hpn::telemetry::SimCtx) {
     let log = hpn::telemetry::EventLog::new();
-    let scope = hpn::telemetry::RecorderScope::attach(hpn::telemetry::SharedRecorder::new(
-        Box::new(log.clone()),
-    ));
-    (log, scope)
+    let ctx = hpn::telemetry::SimCtx::new()
+        .with_recorder(hpn::telemetry::SharedRecorder::new(Box::new(log.clone())));
+    (log, ctx)
 }
 
-fn small_cluster() -> ClusterSim {
+fn small_fabric() -> hpn::topology::Fabric {
     let mut cfg = HpnConfig::paper();
     cfg.segments_per_pod = 2;
     cfg.hosts_per_segment = 8;
     cfg.backup_hosts_per_segment = 1;
     cfg.aggs_per_plane = 8;
     cfg.cores_per_plane = 8;
-    ClusterSim::new(cfg.build(), HashMode::Polarized)
+    cfg.build()
+}
+
+fn small_cluster() -> ClusterSim {
+    ClusterSim::new(small_fabric(), HashMode::Polarized)
 }
 
 #[test]
 fn training_survives_an_accelerated_month_of_faults() {
-    let (log, _scope) = scoped_telemetry();
-    let mut cs = small_cluster();
+    let (log, ctx) = logging_ctx();
+    let mut cs = ClusterSim::with_ctx(small_fabric(), HashMode::Polarized, &ctx);
     // Accelerate the production rates so a few simulated minutes see many
     // failures; repairs are quick so redundancy windows overlap.
     let mut rates = FaultRates::paper();
@@ -108,7 +110,6 @@ fn training_survives_an_accelerated_month_of_faults() {
 
 #[test]
 fn fault_schedule_covers_all_access_links_eventually() {
-    let (_log, _scope) = scoped_telemetry();
     let cs = small_cluster();
     let mut rates = FaultRates::paper();
     rates.link_fail_per_month = 0.9; // near-certain monthly failure
@@ -133,7 +134,6 @@ fn fault_schedule_covers_all_access_links_eventually() {
 
 #[test]
 fn backup_swap_after_tor_level_loss_keeps_the_job_alive() {
-    let (_log, _scope) = scoped_telemetry();
     let mut cs = small_cluster();
     let rails = cs.fabric.host_params.rails;
     let mut hosts = placement::place_segment_first(&cs.fabric, 8).unwrap();
@@ -167,7 +167,6 @@ fn asymmetric_link_failure_degrades_but_does_not_crash() {
     // §10's "asymmetric link states" lesson: the NIC→ToR direction dies
     // (bad optics + LFS notification lost) while ToR→NIC stays up. The
     // dual-ToR design turns this into degradation, not a crash.
-    let (_log, _scope) = scoped_telemetry();
     let mut cs = small_cluster();
     let rails = cs.fabric.host_params.rails;
     let hosts = placement::place_segment_first(&cs.fabric, 8).unwrap();
