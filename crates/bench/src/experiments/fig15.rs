@@ -11,12 +11,12 @@
 use std::sync::{Arc, Mutex};
 
 use hpn_scenario::{links, ModelId, Scenario, TopologySpec, WorkloadSpec};
-use hpn_sim::{SimDuration, TimeSeries};
+use hpn_sim::{QuantileSketch, SimDuration, TimeSeries};
 
 use hpn_telemetry::SimCtx;
 
 use crate::experiments::common;
-use crate::report::{pct_gain, Report};
+use crate::report::{fct_quantiles, pct_gain, Report};
 use crate::Scale;
 
 struct RunOut {
@@ -24,6 +24,7 @@ struct RunOut {
     agg_ingress: TimeSeries,
     agg_queue_max: TimeSeries,
     segments_spanned: usize,
+    fct: QuantileSketch,
 }
 
 fn run_on(
@@ -60,6 +61,14 @@ fn run_on(
             .iter()
             .map(|&l| cs.net.link(l).queue_bits / 8e3)
             .fold(0.0, f64::max);
+        // Feed the per-link queue-delay sketch: each sample carries the
+        // link's capacity, so the telemetry registry can turn queue bits
+        // into queueing delay quantiles.
+        if cs.telemetry().enabled() {
+            for &l in &agg_links {
+                cs.sample_link_telemetry(l);
+            }
+        }
         let mut a = acc2.lock().expect("sampler accumulator");
         a.0.push(t, rate);
         a.1.push(t, maxq);
@@ -72,6 +81,7 @@ fn run_on(
         agg_ingress: a.0.clone(),
         agg_queue_max: a.1.clone(),
         segments_spanned: segments,
+        fct: cs.net.fct_sketch().clone(),
     }
 }
 
@@ -142,6 +152,8 @@ pub fn run(ctx: &SimCtx, scale: Scale) -> Report {
             hpn.agg_queue_max.max()
         ),
     );
+    r.row("DCN+ FCT", fct_quantiles(&dcn.fct));
+    r.row("HPN FCT", fct_quantiles(&hpn.fct));
     let mut s = dcn.agg_ingress.resample_avg(10.0);
     s.name = "DCN+ Agg ingress Gbps (10s avg)".into();
     r.push_series(s);

@@ -5,12 +5,12 @@
 //! HPN vs DCN+.
 
 use hpn_collectives::CommConfig;
-use hpn_sim::TimeSeries;
+use hpn_sim::{QuantileSketch, TimeSeries};
 
 use hpn_telemetry::SimCtx;
 
 use crate::experiments::common::{self, CollectiveKind};
-use crate::report::Report;
+use crate::report::{fct_quantiles, Report};
 use crate::Scale;
 
 /// Run the experiment.
@@ -30,6 +30,8 @@ pub fn run(ctx: &SimCtx, scale: Scale) -> Report {
     ] {
         let mut hpn_curve = TimeSeries::new(format!("{label} HPN busbw GB/s"));
         let mut dcn_curve = TimeSeries::new(format!("{label} DCN+ busbw GB/s"));
+        let mut hpn_fct = QuantileSketch::default();
+        let mut dcn_fct = QuantileSketch::default();
         let mut max_gain = f64::MIN;
         for (i, &size) in sizes.iter().enumerate() {
             let mut cs = common::build_cluster(ctx, common::hpn_topology(scale, 1, hosts as u32));
@@ -41,6 +43,7 @@ pub fn run(ctx: &SimCtx, scale: Scale) -> Report {
                 CommConfig::hpn_default(),
                 49152,
             );
+            hpn_fct.merge(cs.net.fct_sketch());
             let mut cs = common::build_cluster(ctx, common::dcn_topology(scale, hosts as u32));
             let (_, dcn_bw) = common::run_collective(
                 &mut cs,
@@ -50,6 +53,7 @@ pub fn run(ctx: &SimCtx, scale: Scale) -> Report {
                 CommConfig::hpn_default(),
                 49152,
             );
+            dcn_fct.merge(cs.net.fct_sketch());
             // Index the curve by log2(size in MB) for readability.
             let x = hpn_sim::SimTime::from_secs(i as u64);
             hpn_curve.push(x, hpn_bw / 1e9);
@@ -68,6 +72,10 @@ pub fn run(ctx: &SimCtx, scale: Scale) -> Report {
                 dcn_curve.samples().last().unwrap().1
             ),
         );
+        // Flow-level tails pooled across the size sweep: polarized DCN+
+        // paths show up as a fatter FCT tail, not just lower busbw.
+        r.row(format!("{label} FCT (HPN)"), fct_quantiles(&hpn_fct));
+        r.row(format!("{label} FCT (DCN+)"), fct_quantiles(&dcn_fct));
         r.push_series(hpn_curve);
         r.push_series(dcn_curve);
     }

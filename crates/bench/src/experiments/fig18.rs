@@ -10,12 +10,12 @@
 
 use hpn_core::IterationOutcome;
 use hpn_scenario::{ModelId, Scenario, TopologySpec, WorkloadSpec};
-use hpn_sim::SimDuration;
+use hpn_sim::{QuantileSketch, SimDuration};
 
 use hpn_telemetry::SimCtx;
 
 use crate::experiments::common;
-use crate::report::Report;
+use crate::report::{fct_quantiles, Report};
 use crate::Scale;
 
 struct CaseOut {
@@ -23,6 +23,7 @@ struct CaseOut {
     during_sps: f64,
     after_sps: f64,
     timed_out: bool,
+    fct: QuantileSketch,
 }
 
 fn topology_for(scale: Scale, dual_tor: bool, hosts: u32) -> TopologySpec {
@@ -99,6 +100,7 @@ fn run_case(ctx: &SimCtx, scale: Scale, dual_tor: bool, outage: Option<SimDurati
         during_sps: during,
         after_sps: last,
         timed_out,
+        fct: cs.net.fct_sketch().clone(),
     }
 }
 
@@ -126,6 +128,12 @@ pub fn run(ctx: &SimCtx, scale: Scale) -> Report {
                 if halted { " — HALTED" } else { "" },
                 out.after_sps
             ),
+        );
+        // The outage shows up in the flow-level tail: single-ToR's stalled
+        // collectives stretch p99/p999 FCT far past the dual-ToR run's.
+        r.row(
+            format!("FCT across 60s failure, {label}"),
+            fct_quantiles(&out.fct),
         );
     }
 

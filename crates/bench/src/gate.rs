@@ -41,6 +41,16 @@ pub fn golden_path() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/figure_hashes.json")
 }
 
+/// Location of the golden latency-summary fingerprints: SHA-256 of each
+/// figure's [`hpn_telemetry::Registry::latency_summary_json`] — the
+/// FCT/queue-delay quantile block. A separate golden from the figure
+/// hashes because it guards a different failure mode: a change that leaves
+/// every report row intact but silently shifts the latency distributions
+/// (a sketch bug, a mis-fed event) drifts here and only here.
+pub fn latency_golden_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/latency_hashes.json")
+}
+
 /// SHA-256 fingerprint of a report's canonical bytes.
 ///
 /// The canonical form is [`Report::to_json`] — id, rows, every series
@@ -62,10 +72,16 @@ pub enum FigureStatus {
     Missing(String),
 }
 
+/// Per-figure `(id, fingerprint, status)` rows, in run order.
+pub type StatusRows = Vec<(String, String, FigureStatus)>;
+
 /// Result of a full gate run.
 pub struct GateOutcome {
     /// Per-figure `(id, fingerprint, status)`, in run order.
-    pub figures: Vec<(String, String, FigureStatus)>,
+    pub figures: StatusRows,
+    /// Per-figure latency-summary `(id, fingerprint, status)` against
+    /// [`latency_golden_path`], in run order.
+    pub latency: StatusRows,
     /// The manifest describing this run (written to the out dir, if any).
     pub manifest: RunManifest,
     /// Whether the golden file was (re)written.
@@ -77,12 +93,14 @@ pub struct GateOutcome {
 }
 
 impl GateOutcome {
-    /// True when every figure matched (or the golden file was updated).
+    /// True when every figure and latency summary matched (or the golden
+    /// files were updated).
     pub fn passed(&self) -> bool {
         self.updated
             || self
                 .figures
                 .iter()
+                .chain(&self.latency)
                 .all(|(_, _, s)| *s == FigureStatus::Match)
     }
 }
@@ -126,6 +144,7 @@ pub fn run_gate(
     let results = run_plan(&RunPlan::figures_only(ids, scale), jobs);
 
     let mut fingerprints: BTreeMap<String, String> = BTreeMap::new();
+    let mut latency_fps: BTreeMap<String, String> = BTreeMap::new();
     let mut timings = Vec::with_capacity(results.len());
     for r in &results {
         let id = r.cell.figure.as_str();
@@ -136,67 +155,82 @@ pub fn run_gate(
         manifest.record_figure(id, &r.fingerprint);
         manifest.record_telemetry(id, &r.registry);
         fingerprints.insert(id.to_string(), r.fingerprint.clone());
+        latency_fps.insert(
+            id.to_string(),
+            hex_digest(r.registry.latency_summary_json().as_bytes()),
+        );
         timings.push((id.to_string(), r.wall));
     }
 
-    let golden = golden_path();
-    let (figures, updated) = if update {
-        if let Some(parent) = golden.parent() {
-            fs::create_dir_all(parent)?;
-        }
-        let mut body = flat_map_json(&fingerprints, 2);
-        body.push('\n');
-        fs::write(&golden, body)?;
-        (
-            ids.iter()
-                .map(|id| {
-                    let h = fingerprints[*id].clone();
-                    (id.to_string(), h, FigureStatus::Match)
-                })
-                .collect(),
-            true,
-        )
-    } else {
-        let expected = match fs::read_to_string(&golden) {
-            Ok(src) => parse_flat_map(&src).map_err(|e| {
-                std::io::Error::new(
-                    std::io::ErrorKind::InvalidData,
-                    format!("malformed golden file {}: {e}", golden.display()),
-                )
-            })?,
-            Err(e) => {
-                return Err(std::io::Error::new(
-                    e.kind(),
-                    format!(
-                        "cannot read golden file {} ({e}); run `hpn-experiments gate --update`",
-                        golden.display()
-                    ),
-                ))
-            }
-        };
-        (
-            ids.iter()
-                .map(|id| {
-                    let actual = fingerprints[*id].clone();
-                    let status = match expected.get(*id) {
-                        Some(want) if *want == actual => FigureStatus::Match,
-                        Some(want) => FigureStatus::Drift(want.clone(), actual.clone()),
-                        None => FigureStatus::Missing(actual.clone()),
-                    };
-                    (id.to_string(), actual, status)
-                })
-                .collect(),
-            false,
-        )
-    };
+    let (figures, updated) = reconcile_golden(&golden_path(), ids, &fingerprints, update)?;
+    let (latency, _) = reconcile_golden(&latency_golden_path(), ids, &latency_fps, update)?;
 
     if let Some(dir) = out_dir {
         manifest.write(&dir.join("manifest.json"))?;
     }
     Ok(GateOutcome {
         figures,
+        latency,
         manifest,
         updated,
         timings,
     })
+}
+
+/// Compare `actual` fingerprints against (or, with `update`, rewrite) one
+/// golden flat-map file. Returns per-id statuses in `ids` order.
+fn reconcile_golden(
+    golden: &Path,
+    ids: &[&str],
+    actual: &BTreeMap<String, String>,
+    update: bool,
+) -> std::io::Result<(StatusRows, bool)> {
+    if update {
+        if let Some(parent) = golden.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut body = flat_map_json(actual, 2);
+        body.push('\n');
+        fs::write(golden, body)?;
+        return Ok((
+            ids.iter()
+                .map(|id| {
+                    let h = actual[*id].clone();
+                    (id.to_string(), h, FigureStatus::Match)
+                })
+                .collect(),
+            true,
+        ));
+    }
+    let expected = match fs::read_to_string(golden) {
+        Ok(src) => parse_flat_map(&src).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("malformed golden file {}: {e}", golden.display()),
+            )
+        })?,
+        Err(e) => {
+            return Err(std::io::Error::new(
+                e.kind(),
+                format!(
+                    "cannot read golden file {} ({e}); run `hpn-experiments gate --update`",
+                    golden.display()
+                ),
+            ))
+        }
+    };
+    Ok((
+        ids.iter()
+            .map(|id| {
+                let got = actual[*id].clone();
+                let status = match expected.get(*id) {
+                    Some(want) if *want == got => FigureStatus::Match,
+                    Some(want) => FigureStatus::Drift(want.clone(), got.clone()),
+                    None => FigureStatus::Missing(got.clone()),
+                };
+                (id.to_string(), got, status)
+            })
+            .collect(),
+        false,
+    ))
 }

@@ -10,6 +10,7 @@
 //! the whole suite runs in CI time while preserving every qualitative
 //! claim (who wins, and roughly by how much).
 
+pub mod bench_regression;
 pub mod experiments;
 pub mod gate;
 pub mod report;

@@ -13,7 +13,15 @@
 //! hpn-experiments scenario check a.toml b.toml…
 //!                                      # validate scenario files (no run)
 //! hpn-experiments scenario run a.toml… [--quick] [--jobs N] [--out DIR]
-//!                                      # execute user-authored scenarios
+//!                               [--latency sim|estimate|both]
+//!                                      # execute user-authored scenarios;
+//!                                      # --latency adds FCT tail rows
+//!                                      # (simulated, estimated, or both
+//!                                      # plus relative error)
+//! hpn-experiments bench-regression [--baseline FILE] [--current FILE]
+//!                                  [--threshold F] [--update-baseline]
+//!                                      # compare allocator-churn µs/event
+//!                                      # against the checked-in baseline
 //! hpn-experiments scenario fuzz [--seeds A..B] [--jobs N]
 //!                               [--budget-secs S] [--mutate M] [--out DIR]
 //!                               [repro.toml…]
@@ -74,6 +82,10 @@ fn main() {
     let seeds_arg = opt_value(&args, "--seeds");
     let budget_arg = opt_value(&args, "--budget-secs");
     let mutate_arg = opt_value(&args, "--mutate");
+    let latency_arg = opt_value(&args, "--latency");
+    let baseline_arg = opt_value(&args, "--baseline");
+    let current_arg = opt_value(&args, "--current");
+    let threshold_arg = opt_value(&args, "--threshold");
     let jobs = match &jobs_arg {
         None => 1,
         Some(v) => match v.parse::<usize>() {
@@ -93,6 +105,10 @@ fn main() {
         &seeds_arg,
         &budget_arg,
         &mutate_arg,
+        &latency_arg,
+        &baseline_arg,
+        &current_arg,
+        &threshold_arg,
     ]
     .iter()
     .filter_map(|o| o.as_deref())
@@ -137,11 +153,22 @@ fn main() {
                     if files.is_empty() {
                         eprintln!(
                             "usage: hpn-experiments scenario run <file.toml>… \
-                             [--quick] [--jobs N] [--out DIR]"
+                             [--quick] [--jobs N] [--out DIR] \
+                             [--latency sim|estimate|both]"
                         );
                         std::process::exit(2);
                     }
-                    scenario_run(files, scale, jobs, out_dir.as_deref());
+                    let latency = match latency_arg.as_deref() {
+                        None => hpn_bench::scenario_cli::LatencyMode::Off,
+                        Some(v) => match hpn_bench::scenario_cli::LatencyMode::from_name(v) {
+                            Some(m) => m,
+                            None => {
+                                eprintln!("--latency: unknown mode '{v}' — use sim|estimate|both");
+                                std::process::exit(2);
+                            }
+                        },
+                    };
+                    scenario_run(files, scale, jobs, out_dir.as_deref(), latency);
                 }
                 "fuzz" => {
                     let seeds = match seeds_arg.as_deref().map(parse_seeds) {
@@ -188,6 +215,25 @@ fn main() {
                     std::process::exit(2);
                 }
             }
+        }
+        "bench-regression" => {
+            let threshold = match threshold_arg.as_deref() {
+                None => hpn_bench::bench_regression::DEFAULT_THRESHOLD,
+                Some(v) => match v.parse::<f64>() {
+                    Ok(t) if t > 0.0 && t.is_finite() => t,
+                    _ => {
+                        eprintln!("--threshold wants a positive fraction (e.g. 0.25), got '{v}'");
+                        std::process::exit(2);
+                    }
+                },
+            };
+            let update = args.iter().any(|a| a == "--update-baseline");
+            bench_regression(
+                baseline_arg.as_deref(),
+                current_arg.as_deref(),
+                threshold,
+                update,
+            );
         }
         "run" => {
             let seeds = match seeds_arg.as_deref().map(parse_seeds) {
@@ -255,13 +301,17 @@ fn gate(scale: Scale, update: bool, out_dir: Option<&str>, jobs: usize) {
         }
     };
     let wall = start.elapsed();
-    for (id, hash, status) in &outcome.figures {
-        match status {
-            FigureStatus::Match => println!("  {id:<8} {hash}  ok"),
-            FigureStatus::Drift(want, _) => {
-                println!("  {id:<8} {hash}  DRIFT (golden {want})")
+    for (label, set) in [("", &outcome.figures), (" (latency)", &outcome.latency)] {
+        for (id, hash, status) in set {
+            match status {
+                FigureStatus::Match => println!("  {id:<8} {hash}  ok{label}"),
+                FigureStatus::Drift(want, _) => {
+                    println!("  {id:<8} {hash}  DRIFT{label} (golden {want})")
+                }
+                FigureStatus::Missing(_) => {
+                    println!("  {id:<8} {hash}  MISSING{label} from golden file")
+                }
             }
-            FigureStatus::Missing(_) => println!("  {id:<8} {hash}  MISSING from golden file"),
         }
     }
     let cell_total: std::time::Duration = outcome.timings.iter().map(|(_, d)| *d).sum();
@@ -278,12 +328,103 @@ fn gate(scale: Scale, update: bool, out_dir: Option<&str>, jobs: usize) {
     }
     if outcome.updated {
         eprintln!("updated {}", hpn_bench::gate::golden_path().display());
+        eprintln!(
+            "updated {}",
+            hpn_bench::gate::latency_golden_path().display()
+        );
     } else if !outcome.passed() {
-        eprintln!("gate FAILED: figure output drifted from tests/golden/figure_hashes.json");
+        eprintln!(
+            "gate FAILED: output drifted from tests/golden/figure_hashes.json \
+             or tests/golden/latency_hashes.json"
+        );
         eprintln!("(if the change is intended: hpn-experiments gate --quick --update)");
         std::process::exit(1);
     } else {
         eprintln!("gate passed");
+    }
+}
+
+/// The `bench-regression` subcommand: compare a freshly measured
+/// `BENCH_alloc.json` against the checked-in baseline (±`threshold`), or
+/// promote the current measurement to be the new baseline.
+fn bench_regression(baseline: Option<&str>, current: Option<&str>, threshold: f64, update: bool) {
+    use hpn_bench::bench_regression::{baseline_path, compare, load, passed, KeyStatus};
+
+    let default = baseline_path();
+    let baseline = baseline
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| default.clone());
+    let current = current
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| default.clone());
+
+    if update {
+        // Validate before promoting — a truncated bench file must not
+        // become the new golden.
+        if let Err(e) = load(&current) {
+            eprintln!("bench-regression: refusing to promote baseline: {e}");
+            std::process::exit(2);
+        }
+        if baseline != current {
+            if let Err(e) = std::fs::copy(&current, &baseline) {
+                eprintln!(
+                    "bench-regression: copying {} -> {} failed: {e}",
+                    current.display(),
+                    baseline.display()
+                );
+                std::process::exit(2);
+            }
+        }
+        eprintln!(
+            "bench-regression: baseline updated at {} — commit it",
+            baseline.display()
+        );
+        return;
+    }
+
+    let (base, cur) = match (load(&baseline), load(&current)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (b, c) => {
+            for e in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench-regression: {e}");
+            }
+            std::process::exit(2);
+        }
+    };
+    let rows = compare(&base, &cur, threshold);
+    for r in &rows {
+        let fmt = |v: Option<f64>| v.map_or_else(|| "      --".to_string(), |v| format!("{v:8.2}"));
+        let delta = match (r.baseline, r.current) {
+            (Some(b), Some(c)) if b > 0.0 => format!("{:+6.1}%", (c - b) / b * 100.0),
+            _ => "     --".to_string(),
+        };
+        let tag = match r.status {
+            KeyStatus::Ok => "ok",
+            KeyStatus::Regressed => "REGRESSED",
+            KeyStatus::Improved => "improved (consider --update-baseline)",
+            KeyStatus::MissingFromCurrent => "MISSING from current run",
+            KeyStatus::MissingFromBaseline => "MISSING from baseline",
+        };
+        println!(
+            "  {:<20} {} -> {} µs/event {delta}  {tag}",
+            r.key,
+            fmt(r.baseline),
+            fmt(r.current)
+        );
+    }
+    if passed(&rows) {
+        eprintln!(
+            "bench-regression: {} key(s) within ±{:.0}%",
+            rows.len(),
+            threshold * 100.0
+        );
+    } else {
+        eprintln!(
+            "bench-regression: FAILED (threshold {:.0}%) — if the perf change is \
+             intended, re-measure on a quiet machine and run with --update-baseline",
+            threshold * 100.0
+        );
+        std::process::exit(1);
     }
 }
 
@@ -369,7 +510,13 @@ fn run(ids: &[String], scale: Scale, jobs: usize, seeds: Option<Vec<u64>>, out_d
 /// the last file cannot waste a long run), then execute each scenario as a
 /// cell on the parallel runner, and write the same manifest + telemetry
 /// outputs a figure run produces.
-fn scenario_run(files: &[String], scale: Scale, jobs: usize, out_dir: Option<&str>) {
+fn scenario_run(
+    files: &[String],
+    scale: Scale,
+    jobs: usize,
+    out_dir: Option<&str>,
+    latency: hpn_bench::scenario_cli::LatencyMode,
+) {
     use hpn_bench::gate::allocator_label;
     use hpn_bench::runner::{run_cells, write_sweep_outputs, Cell, RunPlan};
     use hpn_bench::scenario_cli;
@@ -417,7 +564,7 @@ fn scenario_run(files: &[String], scale: Scale, jobs: usize, out_dir: Option<&st
                 seed: None,
             };
             (cell, move |ctx: &SimCtx, scale| {
-                scenario_cli::report_for(ctx, &sc, scale)
+                scenario_cli::report_with_latency(ctx, &sc, scale, latency)
             })
         })
         .collect();
@@ -528,6 +675,8 @@ fn scenario_fuzz(
 
     let out = std::path::PathBuf::from(out_dir.unwrap_or("target/fuzz"));
     let (mut checked, mut failing, mut skipped) = (0usize, 0usize, 0usize);
+    let mut by_invariant: std::collections::BTreeMap<String, usize> =
+        std::collections::BTreeMap::new();
     for res in results {
         let Some((label, seed, outcome)) = res else {
             skipped += 1;
@@ -543,6 +692,7 @@ fn scenario_fuzz(
                 shrunk_hosts,
             } => {
                 failing += 1;
+                *by_invariant.entry(invariant.clone()).or_insert(0) += 1;
                 println!("  {label:<12} FAIL  invariant={invariant} shrunk_hosts={shrunk_hosts}");
                 println!("    {detail}");
                 if let Err(e) = std::fs::create_dir_all(&out) {
@@ -562,6 +712,16 @@ fn scenario_fuzz(
         "fuzz: {checked} checked, {failing} failing, {skipped} skipped (budget), {:.2}s wall (jobs={jobs})",
         wall.as_secs_f64()
     );
+    if !by_invariant.is_empty() {
+        // Per-invariant counts so a nightly log distinguishes "one oracle
+        // tripped everywhere" from "many independent breakages" at a glance.
+        let breakdown = by_invariant
+            .iter()
+            .map(|(inv, n)| format!("{inv}×{n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        eprintln!("fuzz failures by invariant: {breakdown}");
+    }
     if failing > 0 {
         eprintln!(
             "re-run one case: hpn-experiments scenario fuzz --seeds <seed> [--mutate {}]",

@@ -183,6 +183,25 @@ pub fn pct_gain(new: f64, old: f64) -> String {
     format!("{:+.1}%", (new / old - 1.0) * 100.0)
 }
 
+/// Render an FCT sketch (seconds) as the standard quantile row:
+/// `p50 … / p90 … / p99 … / p999 … (N flows)`. Shared by the figure
+/// reports and `scenario run --latency` so distributions always print —
+/// and fingerprint — the same way.
+pub fn fct_quantiles(s: &hpn_sim::QuantileSketch) -> String {
+    if s.count() == 0 {
+        return "no samples".to_string();
+    }
+    let ms = |q: f64| format!("{:.3}ms", s.quantile(q).unwrap_or(0.0) * 1e3);
+    format!(
+        "p50 {} / p90 {} / p99 {} / p999 {} ({} flows)",
+        ms(0.50),
+        ms(0.90),
+        ms(0.99),
+        ms(0.999),
+        s.count()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

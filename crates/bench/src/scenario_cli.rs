@@ -18,12 +18,68 @@ use hpn_core::{IterationOutcome, TrainingSession};
 use hpn_faults::{FaultEvent, FaultKind};
 use hpn_routing::HashMode;
 use hpn_scenario::{Scenario, ScenarioError};
-use hpn_sim::TimeSeries;
+use hpn_sim::{LinkDecompositionEstimator, QuantileSketch, TimeSeries};
 use hpn_telemetry::SimCtx;
 use hpn_transport::ClusterSim;
 
 use crate::report::Report;
 use crate::Scale;
+
+/// Which latency pipeline `scenario run --latency` engages.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum LatencyMode {
+    /// No latency rows — output identical to a run without the flag.
+    #[default]
+    Off,
+    /// Report FCT tail quantiles measured by the full fluid simulation.
+    Sim,
+    /// Report the link-decomposition estimator's predicted quantiles
+    /// (see [`hpn_sim::tail`]).
+    Estimate,
+    /// Report both plus their relative error — the cross-validation mode
+    /// the estimator's documented error bound comes from.
+    Both,
+}
+
+impl LatencyMode {
+    /// Parse a `--latency` value.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "sim" => Some(LatencyMode::Sim),
+            "estimate" => Some(LatencyMode::Estimate),
+            "both" => Some(LatencyMode::Both),
+            _ => None,
+        }
+    }
+
+    fn wants_sim(self) -> bool {
+        matches!(self, LatencyMode::Sim | LatencyMode::Both)
+    }
+
+    fn wants_estimate(self) -> bool {
+        matches!(self, LatencyMode::Estimate | LatencyMode::Both)
+    }
+}
+
+use crate::report::fct_quantiles as quantile_row;
+
+/// Signed relative error of `est` vs `sim` at each reported quantile.
+fn rel_err_row(est: &QuantileSketch, sim: &QuantileSketch) -> String {
+    if est.count() == 0 || sim.count() == 0 {
+        return "n/a (no samples on one side)".to_string();
+    }
+    let one = |q: f64| match (est.quantile(q), sim.quantile(q)) {
+        (Some(e), Some(s)) if s > 0.0 => format!("{:+.1}%", (e - s) / s * 100.0),
+        _ => "n/a".to_string(),
+    };
+    format!(
+        "p50 {} / p90 {} / p99 {} / p999 {}",
+        one(0.50),
+        one(0.90),
+        one(0.99),
+        one(0.999)
+    )
+}
 
 /// Load and parse a scenario file; every diagnostic names the file.
 pub fn load(path: &Path) -> Result<Scenario, ScenarioError> {
@@ -108,11 +164,49 @@ fn run_training(
     }
 }
 
+/// Append the latency rows selected by `mode` after training finished.
+fn add_latency_rows(r: &mut Report, cs: &mut ClusterSim, mode: LatencyMode) {
+    if mode.wants_sim() {
+        r.row("simulated FCT", quantile_row(cs.net.fct_sketch()));
+    }
+    if mode.wants_estimate() {
+        let est = cs
+            .net
+            .take_estimator()
+            .expect("estimator attached before training");
+        let mut detail = quantile_row(est.fct_sketch());
+        if est.skipped() > 0 {
+            detail.push_str(&format!(" — {} skipped on down links", est.skipped()));
+        }
+        r.row(format!("estimated FCT ({})", est.name()), detail);
+        if mode == LatencyMode::Both {
+            r.row(
+                "estimator rel. error",
+                rel_err_row(est.fct_sketch(), cs.net.fct_sketch()),
+            );
+        }
+    }
+}
+
 /// Execute one scenario at `scale` and reduce it to a [`Report`].
 ///
 /// Panics only if the scenario fails to build — `scenario run` validates
 /// every file before scheduling any cell, so a failure here is a bug.
 pub fn report_for(ctx: &SimCtx, sc: &Scenario, scale: Scale) -> Report {
+    report_with_latency(ctx, sc, scale, LatencyMode::Off)
+}
+
+/// [`report_for`] plus the `--latency` pipeline: `sim` reports the fluid
+/// model's measured FCT quantiles, `estimate` attaches a
+/// [`LinkDecompositionEstimator`] before training and reports its
+/// predictions, `both` reports both and the estimator's signed relative
+/// error at each quantile. `Off` is byte-identical to [`report_for`].
+pub fn report_with_latency(
+    ctx: &SimCtx,
+    sc: &Scenario,
+    scale: Scale,
+    latency: LatencyMode,
+) -> Report {
     let mut built = sc
         .build_with(ctx)
         .unwrap_or_else(|e| panic!("scenario '{}' failed to build: {e}", sc.name));
@@ -170,6 +264,9 @@ pub fn report_for(ctx: &SimCtx, sc: &Scenario, scale: Scale) -> Report {
     }
     match built.workload.take() {
         None => {
+            if latency != LatencyMode::Off {
+                r.row("latency", "topology-only scenario — no flows to measure");
+            }
             r.verdict("topology-only scenario: inventory built and validated");
         }
         Some(w) => {
@@ -188,7 +285,14 @@ pub fn report_for(ctx: &SimCtx, sc: &Scenario, scale: Scale) -> Report {
             );
             let iterations = scale.pick(w.iterations, w.iterations.min(2));
             schedule_faults(&mut built.cluster, &built.faults);
+            if latency.wants_estimate() {
+                built
+                    .cluster
+                    .net
+                    .set_estimator(Some(Box::new(LinkDecompositionEstimator::new())));
+            }
             run_training(&mut r, &mut built.cluster, w.session(), iterations);
+            add_latency_rows(&mut r, &mut built.cluster, latency);
         }
     }
     r
@@ -267,6 +371,57 @@ mod tests {
             "severed host must stall the job: {:?}",
             r.rows
         );
+    }
+
+    #[test]
+    fn latency_both_reports_sim_estimate_and_error() {
+        let r = report_with_latency(
+            &SimCtx::new(),
+            &training_scenario(),
+            Scale::Quick,
+            LatencyMode::Both,
+        );
+        let get = |k: &str| r.rows.iter().find(|(key, _)| key == k).map(|(_, v)| v);
+        let sim = get("simulated FCT").expect("sim row");
+        assert!(sim.contains("p99"), "{sim}");
+        let est = get("estimated FCT (link-decomposition)").expect("estimate row");
+        assert!(est.contains("p99"), "{est}");
+        let err = get("estimator rel. error").expect("error row");
+        assert!(err.contains('%'), "{err}");
+    }
+
+    #[test]
+    fn latency_off_matches_report_for_byte_for_byte() {
+        let a = report_for(&SimCtx::new(), &training_scenario(), Scale::Quick);
+        let b = report_with_latency(
+            &SimCtx::new(),
+            &training_scenario(),
+            Scale::Quick,
+            LatencyMode::Off,
+        );
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn latency_on_topology_only_scenario_explains_itself() {
+        let sc = Scenario::new("inv", TopologySpec::Hpn(HpnConfig::tiny()));
+        let r = report_with_latency(&SimCtx::new(), &sc, Scale::Quick, LatencyMode::Both);
+        assert!(r
+            .rows
+            .iter()
+            .any(|(k, v)| k == "latency" && v.contains("no flows")));
+    }
+
+    #[test]
+    fn latency_mode_parses_cli_values() {
+        assert_eq!(LatencyMode::from_name("sim"), Some(LatencyMode::Sim));
+        assert_eq!(
+            LatencyMode::from_name("estimate"),
+            Some(LatencyMode::Estimate)
+        );
+        assert_eq!(LatencyMode::from_name("both"), Some(LatencyMode::Both));
+        assert_eq!(LatencyMode::from_name("off"), None);
+        assert_eq!(LatencyMode::from_name(""), None);
     }
 
     #[test]

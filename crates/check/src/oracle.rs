@@ -32,10 +32,11 @@ use std::fmt;
 use hpn_routing::{LinkHealth, RouteRequest, Router};
 use hpn_scenario::{Scenario, Session};
 use hpn_sim::{
-    label_hash, split_seed, AllocatorKind, FlowHandle, FlowNet, FlowSpec, LinkId,
-    ParallelIncrementalMaxMin, PathId, SimDuration, SimTime, StreamSeed, Xoshiro256,
+    label_hash, split_seed, AllocatorKind, FlowHandle, FlowNet, FlowSpec,
+    LinkDecompositionEstimator, LinkId, ParallelIncrementalMaxMin, PathId, QuantileSketch,
+    SimDuration, SimTime, StreamSeed, Xoshiro256,
 };
-use hpn_telemetry::{Event, EventLog, SharedRecorder, SimCtx};
+use hpn_telemetry::{replay, Event, EventLog, Registry, SharedRecorder, SimCtx};
 use hpn_topology::{Fabric, LinkIdx};
 use hpn_transport::{ClusterApp, ClusterSim, MessageDone};
 
@@ -654,20 +655,32 @@ fn fault_horizon(schedule: &[hpn_faults::FaultEvent]) -> SimTime {
     last + SimDuration::from_secs_f64(1.0)
 }
 
+/// Latency state salvaged from a finished session: the fluid net's
+/// measured FCT sketch plus the attached estimator's predictions.
+struct LatencyTrace {
+    sim_fct: QuantileSketch,
+    est_fct: QuantileSketch,
+    est_skipped: u64,
+}
+
 /// Build and run the scenario's full session under an explicit context
 /// with a capturing recorder, then audit iteration records, telemetry
-/// monotonicity, flow add/remove balance and final capacity conservation.
+/// monotonicity, flow add/remove balance, final capacity conservation,
+/// quantile-sketch mass/merge conservation, and the tail estimator's
+/// error bound against the simulated FCT distribution.
 fn check_session(sc: &Scenario) -> Result<(usize, usize), Failure> {
     let log = EventLog::new();
     let ctx = SimCtx::new().with_recorder(SharedRecorder::new(Box::new(log.clone())));
     let outcome = build_and_run(sc, &ctx);
     let events = log.take();
-    let (iters, final_flows) = outcome?;
+    let (iters, final_flows, latency) = outcome?;
     check_telemetry(&events, final_flows)?;
+    check_latency_sketches(&events)?;
+    check_estimator(&events, &latency)?;
     Ok((iters, events.len()))
 }
 
-fn build_and_run(sc: &Scenario, ctx: &SimCtx) -> Result<(usize, usize), Failure> {
+fn build_and_run(sc: &Scenario, ctx: &SimCtx) -> Result<(usize, usize, LatencyTrace), Failure> {
     let session = sc
         .build_with(ctx)
         .map_err(|e| fail("scenario_build", e.to_string()))?;
@@ -677,6 +690,10 @@ fn build_and_run(sc: &Scenario, ctx: &SimCtx) -> Result<(usize, usize), Failure>
         faults,
     } = session;
     schedule_faults(&mut cs, &faults);
+    // Ride the whole session with the tail estimator so every fuzzed
+    // scenario cross-validates prediction against simulation for free.
+    cs.net
+        .set_estimator(Some(Box::new(LinkDecompositionEstimator::new())));
 
     let mut iters = 0;
     match workload {
@@ -728,7 +745,16 @@ fn build_and_run(sc: &Scenario, ctx: &SimCtx) -> Result<(usize, usize), Failure>
             ));
         }
     }
-    Ok((iters, cs.net.flow_count()))
+    let est = cs
+        .net
+        .take_estimator()
+        .expect("estimator attached at session start");
+    let latency = LatencyTrace {
+        sim_fct: cs.net.fct_sketch().clone(),
+        est_fct: est.fct_sketch().clone(),
+        est_skipped: est.skipped(),
+    };
+    Ok((iters, cs.net.flow_count(), latency))
 }
 
 /// Telemetry-stream invariants: per-segment sim-time monotonicity, and
@@ -786,6 +812,114 @@ fn check_telemetry(events: &[Event], final_flows: usize) -> Result<(), Failure> 
                 removed.len()
             ),
         ));
+    }
+    Ok(())
+}
+
+/// Quantile-sketch invariants over the session's telemetry stream:
+///
+/// * **Mass conservation** — every sample a latency sketch counted is
+///   still present as bucket occupancy (no silent drops or double
+///   counting through the registry path).
+/// * **Merge determinism** — replaying the stream through one registry
+///   must produce byte-identical latency summaries to replaying each
+///   `SimStart`-delimited segment through its own registry and merging
+///   in order: exactly the reduction `--jobs N` performs.
+fn check_latency_sketches(events: &[Event]) -> Result<(), Failure> {
+    let mut sequential = Registry::new();
+    replay(events, &mut sequential);
+
+    let mut merged = Registry::new();
+    let mut segment: Vec<Event> = Vec::new();
+    let flush = |segment: &mut Vec<Event>, merged: &mut Registry| {
+        if !segment.is_empty() {
+            let mut worker = Registry::new();
+            replay(segment, &mut worker);
+            merged.merge(&worker);
+            segment.clear();
+        }
+    };
+    for ev in events {
+        if matches!(ev, Event::SimStart { .. }) {
+            flush(&mut segment, &mut merged);
+        }
+        segment.push(ev.clone());
+    }
+    flush(&mut segment, &mut merged);
+
+    let lat = sequential.latency();
+    for (name, s) in [("fct", &lat.fct), ("queue_delay", &lat.queue_delay)] {
+        if s.bucket_mass() != s.count() {
+            return Err(fail(
+                "sketch_mass_conservation",
+                format!(
+                    "{name} sketch holds {} bucket mass for {} recorded samples",
+                    s.bucket_mass(),
+                    s.count()
+                ),
+            ));
+        }
+    }
+    let (a, b) = (
+        sequential.latency_summary_json(),
+        merged.latency_summary_json(),
+    );
+    if a != b {
+        return Err(fail(
+            "sketch_merge_determinism",
+            format!("sequential latency summary {a} != segment-merged {b}"),
+        ));
+    }
+    Ok(())
+}
+
+/// Factor by which the estimator's p99 FCT may deviate from simulation
+/// before the fuzz oracle fires. The link-decomposition model is an
+/// approximation — EXPERIMENTS.md documents its accuracy on the shipped
+/// scenarios — so the fuzz bound is deliberately loose: it catches
+/// wiring and unit bugs (seconds vs nanoseconds, inverted shares,
+/// zero-capacity paths), not model error on adversarial random fabrics.
+const EST_P99_FACTOR_BOUND: f64 = 16.0;
+
+/// Minimum samples on both sides before the p99 comparison means much.
+const EST_MIN_SAMPLES: u64 = 16;
+
+/// The estimator oracles: every started flow is either predicted or
+/// explicitly skipped, and when both distributions are populated the
+/// estimated p99 FCT stays within [`EST_P99_FACTOR_BOUND`]× of the
+/// simulated one.
+fn check_estimator(events: &[Event], lat: &LatencyTrace) -> Result<(), Failure> {
+    let started = events
+        .iter()
+        .filter(|e| matches!(e, Event::FlowAdd { .. }))
+        .count() as u64;
+    let covered = lat.est_fct.count() + lat.est_skipped;
+    if covered != started {
+        return Err(fail(
+            "estimator_coverage",
+            format!(
+                "{started} flows started but the estimator saw {covered} \
+                 ({} predicted + {} skipped)",
+                lat.est_fct.count(),
+                lat.est_skipped
+            ),
+        ));
+    }
+    if lat.sim_fct.count() >= EST_MIN_SAMPLES && lat.est_fct.count() >= EST_MIN_SAMPLES {
+        let sim = lat.sim_fct.quantile(0.99).unwrap_or(0.0);
+        let est = lat.est_fct.quantile(0.99).unwrap_or(0.0);
+        if sim > 0.0 && est > 0.0 {
+            let factor = (est / sim).max(sim / est);
+            if !factor.is_finite() || factor > EST_P99_FACTOR_BOUND {
+                return Err(fail(
+                    "estimator_error_bound",
+                    format!(
+                        "estimated p99 FCT {est:.6}s vs simulated {sim:.6}s — \
+                         off by ×{factor:.1} (bound ×{EST_P99_FACTOR_BOUND})"
+                    ),
+                ));
+            }
+        }
     }
     Ok(())
 }

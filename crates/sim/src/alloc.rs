@@ -687,9 +687,9 @@ const PAR_MIN_FLOWS: usize = 256;
 /// [`IncrementalMaxMin`]'s scoping with the perturbed closure's connected
 /// components solved concurrently on [`crate::pool`].
 ///
-/// The recompute pipeline is: BFS closure (shared [`IncrementalCore`]) →
-/// partition into true components (shared [`ComponentFill::partition`]) →
-/// one [`Fill`] per component on the pool, each worker reusing its own
+/// The recompute pipeline is: BFS closure (shared `IncrementalCore`) →
+/// partition into true components (shared `ComponentFill::partition`) →
+/// one `Fill` per component on the pool, each worker reusing its own
 /// scratch → merge rates **in component order**, not completion order.
 /// Components share no links, so each fill sees exactly the operands the
 /// sequential solver would feed it and the merged rates are bitwise-equal

@@ -30,7 +30,9 @@ use crate::alloc::{AllocCtx, AllocatorKind, RateAllocator};
 use crate::arena::{Flow, FlowArena};
 use crate::path::{PathId, PathInterner};
 use crate::probe::NetProbe;
+use crate::sketch::QuantileSketch;
 use crate::stats::RecomputeScope;
+use crate::tail::{LinkView, TailEstimator};
 use crate::time::SimTime;
 
 /// Index of a link within a [`FlowNet`].
@@ -157,6 +159,11 @@ pub struct FlowNet {
     allocator: Box<dyn RateAllocator>,
     scope: RecomputeScope,
     probe: Option<Box<dyn NetProbe + Send>>,
+    estimator: Option<Box<dyn TailEstimator>>,
+    /// Streaming sketch of completed-flow FCTs (seconds). Always on — one
+    /// log-bucket update per completion — so figures and oracles can read
+    /// tail quantiles without pre-arranging instrumentation.
+    fct: QuantileSketch,
 }
 
 impl Default for FlowNet {
@@ -196,6 +203,8 @@ impl FlowNet {
             allocator,
             scope: RecomputeScope::default(),
             probe: None,
+            estimator: None,
+            fct: QuantileSketch::default(),
         }
     }
 
@@ -216,6 +225,38 @@ impl FlowNet {
     /// probe accumulated (e.g. a counting probe's totals).
     pub fn take_probe(&mut self) -> Option<Box<dyn NetProbe + Send>> {
         self.probe.take()
+    }
+
+    /// Attach a tail-latency estimator (see [`crate::tail`]). Pass `None`
+    /// to detach. Each subsequent [`FlowNet::start_flow`] feeds the
+    /// estimator a [`LinkView`] snapshot of the flow's path, taken after
+    /// the rate allocator has accounted for the new flow — which costs one
+    /// extra (otherwise lazy) rate recompute per injection, so a net
+    /// without an estimator pays nothing.
+    pub fn set_estimator(&mut self, estimator: Option<Box<dyn TailEstimator>>) {
+        self.estimator = estimator;
+    }
+
+    /// Whether a tail estimator is attached.
+    pub fn has_estimator(&self) -> bool {
+        self.estimator.is_some()
+    }
+
+    /// Read-only view of the attached estimator, if any.
+    pub fn estimator(&self) -> Option<&dyn TailEstimator> {
+        self.estimator.as_deref()
+    }
+
+    /// Detach and return the estimator, if any — callers recover its
+    /// accumulated prediction sketch.
+    pub fn take_estimator(&mut self) -> Option<Box<dyn TailEstimator>> {
+        self.estimator.take()
+    }
+
+    /// Streaming sketch of the FCTs (seconds) of every *completed* flow —
+    /// killed flows are excluded. See [`crate::sketch`].
+    pub fn fct_sketch(&self) -> &QuantileSketch {
+        &self.fct
     }
 
     /// Which rate allocator this net runs.
@@ -350,6 +391,28 @@ impl FlowNet {
             let path_links = self.paths.get(spec.path).len() as u32;
             p.flow_added(now, id, path_links, spec.size_bits);
         }
+        if self.estimator.is_some() {
+            // Snapshot the path after the allocator accounts for the new
+            // flow, so `active_flows`/utilization include it.
+            self.recompute_if_dirty();
+            let views: Vec<LinkView> = self
+                .paths
+                .get(spec.path)
+                .iter()
+                .map(|&l| {
+                    let s = &self.links[l.0 as usize];
+                    LinkView {
+                        capacity_bps: s.capacity_bps(),
+                        active_flows: s.active_flows,
+                        queue_bits: s.queue_bits,
+                        utilization: s.utilization(),
+                    }
+                })
+                .collect();
+            if let Some(e) = self.estimator.as_mut() {
+                e.on_flow_start(spec.size_bits, spec.demand_bps, &views);
+            }
+        }
         FlowHandle(id)
     }
 
@@ -402,6 +465,7 @@ impl FlowNet {
             if let Some(p) = self.probe.as_mut() {
                 p.flow_removed(now, id, true);
             }
+            self.fct.record((now - f.started).as_secs_f64());
             done.push(Completion {
                 handle: FlowHandle(id),
                 tag: f.spec.tag,
@@ -827,6 +891,55 @@ mod tests {
                 tag: 0,
             },
         );
+    }
+
+    #[test]
+    fn fct_sketch_records_completions_not_kills() {
+        let (mut net, l) = net_with_links(&[100.0 * GBPS]);
+        let s = spec(&mut net, &l, 100.0 * GBPS, f64::INFINITY, 0);
+        net.start_flow(SimTime::ZERO, s);
+        let victim = net.start_flow(SimTime::ZERO, FlowSpec { tag: 1, ..s });
+        net.kill_flow(SimTime::from_millis(100), victim);
+        let t = net.next_completion().expect("survivor completes");
+        net.advance(t);
+        assert_eq!(net.fct_sketch().count(), 1, "kills are not FCTs");
+        let fct = net.fct_sketch().quantile(0.5).unwrap();
+        // 100 Gbit: shared 100ms at 50G (5 Gbit done), rest at 100G.
+        assert!((fct - 1.05).abs() < 0.02, "fct {fct}");
+    }
+
+    #[test]
+    fn estimator_sees_post_admission_link_views() {
+        use crate::tail::LinkDecompositionEstimator;
+        let (mut net, l) = net_with_links(&[100.0 * GBPS]);
+        net.set_estimator(Some(Box::new(LinkDecompositionEstimator::new())));
+        assert!(net.has_estimator());
+        let s = spec(&mut net, &l, 100.0 * GBPS, f64::INFINITY, 0);
+        net.start_flow(SimTime::ZERO, s);
+        net.start_flow(SimTime::ZERO, FlowSpec { tag: 1, ..s });
+        let e = net.take_estimator().expect("estimator attached");
+        assert!(!net.has_estimator());
+        assert_eq!(e.fct_sketch().count(), 2);
+        // Second flow saw 2 active flows → ~2s share estimate (plus the
+        // M/M/1 inflation from the first flow's full-utilization epoch).
+        let worst = e.fct_sketch().max().unwrap();
+        assert!(
+            worst >= 2.0,
+            "second estimate accounts for sharing: {worst}"
+        );
+    }
+
+    #[test]
+    fn estimator_skips_flows_on_down_links() {
+        use crate::tail::LinkDecompositionEstimator;
+        let (mut net, l) = net_with_links(&[100.0 * GBPS]);
+        net.set_link_up(l[0], false);
+        net.set_estimator(Some(Box::new(LinkDecompositionEstimator::new())));
+        let s = spec(&mut net, &l, GBPS, f64::INFINITY, 0);
+        net.start_flow(SimTime::ZERO, s);
+        let e = net.take_estimator().unwrap();
+        assert_eq!(e.fct_sketch().count(), 0);
+        assert_eq!(e.skipped(), 1);
     }
 
     #[test]

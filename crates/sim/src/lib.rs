@@ -24,6 +24,10 @@
 //!   PRNGs so simulation runs are exactly reproducible from a seed,
 //! * [`TimeSeries`] and [`stats`] — recording utilities used by the
 //!   experiment harness to regenerate the paper's figures,
+//! * [`QuantileSketch`] — a mergeable, relative-error-bounded streaming
+//!   quantile sketch for FCT/queue-delay tails, and [`tail`] — a fast
+//!   link-decomposition tail-latency estimator ([`TailEstimator`])
+//!   cross-validated against the full fluid model,
 //! * [`packetval`] — a minimal exact packet-level link simulator whose only
 //!   job is to certify the fluid queue model's steady states.
 //!
@@ -45,7 +49,9 @@ pub mod pool;
 pub mod probe;
 pub mod rng;
 pub mod series;
+pub mod sketch;
 pub mod stats;
+pub mod tail;
 pub mod time;
 pub mod units;
 
@@ -57,5 +63,7 @@ pub use path::{PathId, PathInterner};
 pub use probe::NetProbe;
 pub use rng::{label_hash, split_seed, SplitMix64, StreamSeed, Xoshiro256};
 pub use series::TimeSeries;
+pub use sketch::QuantileSketch;
 pub use stats::RecomputeScope;
+pub use tail::{LinkDecompositionEstimator, LinkView, TailEstimator};
 pub use time::{SimDuration, SimTime};

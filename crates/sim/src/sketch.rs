@@ -1,0 +1,446 @@
+//! Mergeable streaming quantile sketch (DDSketch-style).
+//!
+//! A [`QuantileSketch`] summarizes a stream of non-negative values (flow
+//! completion times, per-link queueing delays) into logarithmically spaced
+//! buckets with a configurable *relative* accuracy guarantee: the value
+//! returned for any quantile is within a factor `1 ± alpha` of an exact
+//! rank-order statistic of the stream. Memory is bounded by the dynamic
+//! range of the data (one `u64` counter per occupied bucket), never by the
+//! stream length — no samples are hoarded.
+//!
+//! The sketch is **exactly mergeable**: merging is bucket-count addition,
+//! so any grouping of sub-streams produces the same sketch as observing
+//! the union sequentially. That property is what lets the experiment
+//! runner aggregate per-cell sketches in plan order and emit byte-identical
+//! quantile summaries at any `--jobs` level (the same contract the rest of
+//! [`crate::stats`] honours).
+//!
+//! Design follows DDSketch (Masson, Rim, Lee — VLDB 2019): a value `v > 0`
+//! lands in bucket `ceil(log_γ v)` with `γ = (1+α)/(1−α)`; bucket `i`
+//! covers `(γ^(i−1), γ^i]` and is represented by `2γ^i/(γ+1)`, the point
+//! minimizing worst-case relative error over the bucket. Values `≤ 0`
+//! (and only those) land in a dedicated zero bucket represented by `0.0`.
+//! Non-finite values are ignored.
+
+use std::collections::BTreeMap;
+
+/// Default relative-error bound used by the telemetry registry's FCT and
+/// queue-delay sketches: quantile estimates within ±1%.
+pub const DEFAULT_ALPHA: f64 = 0.01;
+
+/// A relative-error-bounded streaming quantile sketch. See the module
+/// docs for the accuracy and mergeability contracts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantileSketch {
+    alpha: f64,
+    gamma: f64,
+    ln_gamma: f64,
+    /// Count of values `≤ 0`.
+    zero_count: u64,
+    /// Log-bucket index → occupancy. `BTreeMap` iterates in ascending
+    /// index order, which both the quantile walk and the (deterministic)
+    /// serialization rely on.
+    buckets: BTreeMap<i32, u64>,
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        Self::new(DEFAULT_ALPHA)
+    }
+}
+
+impl QuantileSketch {
+    /// An empty sketch with relative-error bound `alpha` (e.g. `0.01`).
+    ///
+    /// # Panics
+    /// Panics unless `0 < alpha < 1`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha < 1.0,
+            "sketch alpha must be in (0, 1), got {alpha}"
+        );
+        let gamma = (1.0 + alpha) / (1.0 - alpha);
+        QuantileSketch {
+            alpha,
+            gamma,
+            ln_gamma: gamma.ln(),
+            zero_count: 0,
+            buckets: BTreeMap::new(),
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The relative-error bound this sketch was built with.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Record one value. Values `≤ 0` go to the zero bucket; non-finite
+    /// values are ignored (they carry no rank information).
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        if v <= 0.0 {
+            self.zero_count += 1;
+        } else {
+            let idx = self.bucket_index(v);
+            *self.buckets.entry(idx).or_insert(0) += 1;
+        }
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn bucket_index(&self, v: f64) -> i32 {
+        // ln of any positive f64 is within ±745, so the index magnitude is
+        // bounded by 745/ln γ (≈ 37k at α = 0.01) — comfortably i32.
+        (v.ln() / self.ln_gamma).ceil() as i32
+    }
+
+    /// Merge another sketch into this one. Merging is commutative and
+    /// associative (bucket-count addition), so any merge tree over the
+    /// same sub-streams yields an identical sketch.
+    ///
+    /// # Panics
+    /// Panics if the two sketches were built with different `alpha`
+    /// (their buckets would not be comparable).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        assert!(
+            self.alpha == other.alpha,
+            "cannot merge sketches with different alpha: {} vs {}",
+            self.alpha,
+            other.alpha
+        );
+        self.zero_count += other.zero_count;
+        for (&i, &n) in &other.buckets {
+            *self.buckets.entry(i).or_insert(0) += n;
+        }
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of recorded values that were `≤ 0`.
+    pub fn zero_count(&self) -> u64 {
+        self.zero_count
+    }
+
+    /// Sum of all bucket occupancies, zero bucket included. Mass
+    /// conservation — `bucket_mass() == count()` — is one of the
+    /// `hpn-check` telemetry oracles.
+    pub fn bucket_mass(&self) -> u64 {
+        self.zero_count + self.buckets.values().sum::<u64>()
+    }
+
+    /// Smallest recorded value, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`, or `None` when the sketch is
+    /// empty. The result is within relative error `alpha` of the exact
+    /// rank statistic (exactly `0.0` if that statistic is in the zero
+    /// bucket).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based rank of the order statistic we are after.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank <= self.zero_count {
+            return Some(0.0);
+        }
+        let mut seen = self.zero_count;
+        for (&i, &n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return Some(self.bucket_value(i));
+            }
+        }
+        // Unreachable while mass conservation holds; fall back to max.
+        Some(self.max)
+    }
+
+    fn bucket_value(&self, i: i32) -> f64 {
+        // Midpoint (in relative terms) of (γ^(i−1), γ^i].
+        2.0 * (i as f64 * self.ln_gamma).exp() / (self.gamma + 1.0)
+    }
+
+    /// Deterministic JSON serialization: `alpha`, counters, min/max and
+    /// the occupied buckets in ascending index order. Two sketches over
+    /// the same multiset of values serialize to identical bytes no matter
+    /// how the stream was split and merged.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"alpha\":{},\"count\":{},\"zero\":{},\"min\":{},\"max\":{},\"buckets\":{{",
+            fmt_f64(self.alpha),
+            self.count,
+            self.zero_count,
+            if self.count > 0 {
+                fmt_f64(self.min)
+            } else {
+                "null".to_string()
+            },
+            if self.count > 0 {
+                fmt_f64(self.max)
+            } else {
+                "null".to_string()
+            },
+        );
+        for (j, (&i, &n)) in self.buckets.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{i}\":{n}"));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sketch_has_no_quantiles() {
+        let s = QuantileSketch::default();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.bucket_mass(), 0);
+    }
+
+    #[test]
+    fn single_value_round_trips_within_alpha() {
+        let mut s = QuantileSketch::new(0.01);
+        s.record(3.7);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let est = s.quantile(q).unwrap();
+            assert!(
+                (est - 3.7).abs() / 3.7 <= 0.01 + 1e-12,
+                "q={q}: {est} vs 3.7"
+            );
+        }
+        assert_eq!(s.min(), Some(3.7));
+        assert_eq!(s.max(), Some(3.7));
+    }
+
+    #[test]
+    fn zero_and_negative_land_in_zero_bucket() {
+        let mut s = QuantileSketch::default();
+        s.record(0.0);
+        s.record(-2.5);
+        s.record(1.0);
+        assert_eq!(s.zero_count(), 2);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.bucket_mass(), 3);
+        assert_eq!(s.quantile(0.5), Some(0.0), "median is in the zero bucket");
+        assert_eq!(s.min(), Some(-2.5));
+    }
+
+    #[test]
+    fn non_finite_values_are_ignored() {
+        let mut s = QuantileSketch::default();
+        s.record(f64::NAN);
+        s.record(f64::INFINITY);
+        s.record(f64::NEG_INFINITY);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn quantiles_match_exact_sort_within_alpha() {
+        let alpha = 0.02;
+        let mut s = QuantileSketch::new(alpha);
+        let mut vals: Vec<f64> = (1..=1000).map(|i| (i as f64).powf(1.7) * 1e-3).collect();
+        for &v in &vals {
+            s.record(v);
+        }
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+            let exact = vals[rank - 1];
+            let est = s.quantile(q).unwrap();
+            assert!(
+                (est - exact).abs() / exact <= alpha + 1e-9,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_sequential_observation() {
+        let vals: Vec<f64> = (1..200).map(|i| i as f64 * 0.37).collect();
+        let mut seq = QuantileSketch::default();
+        let mut a = QuantileSketch::default();
+        let mut b = QuantileSketch::default();
+        for (i, &v) in vals.iter().enumerate() {
+            seq.record(v);
+            if i % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, seq);
+        assert_eq!(a.to_json(), seq.to_json(), "byte-identical serialization");
+    }
+
+    #[test]
+    #[should_panic(expected = "different alpha")]
+    fn merge_rejects_mismatched_alpha() {
+        let mut a = QuantileSketch::new(0.01);
+        let b = QuantileSketch::new(0.05);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn serialization_is_deterministic_and_parsable_shape() {
+        let mut s = QuantileSketch::default();
+        s.record(1.0);
+        s.record(1e6);
+        let j = s.to_json();
+        assert_eq!(j, s.to_json());
+        assert!(j.starts_with("{\"alpha\":0.01,\"count\":2,"), "{j}");
+        assert!(j.contains("\"buckets\":{"), "{j}");
+    }
+
+    #[test]
+    fn huge_dynamic_range_stays_bounded() {
+        let mut s = QuantileSketch::default();
+        for e in -300..300 {
+            s.record(10f64.powi(e));
+        }
+        assert_eq!(s.count(), 600);
+        assert_eq!(s.bucket_mass(), 600);
+        // ~600 occupied buckets max — one per distinct value, not per ulp.
+        let top = s.quantile(1.0).unwrap();
+        assert!((top - 1e299).abs() / 1e299 <= s.alpha() + 1e-9, "{top}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Integer-derived positive floats (the shim has no float strategies).
+    fn val(raw: u64) -> f64 {
+        (raw + 1) as f64 * 1e-4
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Merge is commutative: a∪b == b∪a, down to serialized bytes.
+        #[test]
+        fn merge_commutes(
+            xs in proptest::collection::vec(0u64..1_000_000, 0..300),
+            ys in proptest::collection::vec(0u64..1_000_000, 0..300),
+        ) {
+            let mut a = QuantileSketch::default();
+            let mut b = QuantileSketch::default();
+            for &x in &xs { a.record(val(x)); }
+            for &y in &ys { b.record(val(y)); }
+            let mut ab = a.clone();
+            ab.merge(&b);
+            let mut ba = b.clone();
+            ba.merge(&a);
+            prop_assert_eq!(ab.to_json(), ba.to_json());
+        }
+
+        /// Merge is associative: (a∪b)∪c == a∪(b∪c), down to bytes.
+        #[test]
+        fn merge_associates(
+            xs in proptest::collection::vec(0u64..1_000_000, 0..200),
+            ys in proptest::collection::vec(0u64..1_000_000, 0..200),
+            zs in proptest::collection::vec(0u64..1_000_000, 0..200),
+        ) {
+            let (mut a, mut b, mut c) = (
+                QuantileSketch::default(),
+                QuantileSketch::default(),
+                QuantileSketch::default(),
+            );
+            for &x in &xs { a.record(val(x)); }
+            for &y in &ys { b.record(val(y)); }
+            for &z in &zs { c.record(val(z)); }
+            let mut left = a.clone();
+            left.merge(&b);
+            left.merge(&c);
+            let mut bc = b.clone();
+            bc.merge(&c);
+            let mut right = a.clone();
+            right.merge(&bc);
+            prop_assert_eq!(left.to_json(), right.to_json());
+        }
+
+        /// Every quantile estimate is within alpha of the exact rank
+        /// statistic of the observed stream (up to 64k samples).
+        #[test]
+        fn relative_error_bound_vs_exact_sort(
+            raw in proptest::collection::vec(0u64..1_000_000_000, 1..2000),
+            q_pm in 0u64..=1000,
+        ) {
+            let mut s = QuantileSketch::default();
+            let mut vals: Vec<f64> = raw.iter().map(|&r| val(r)).collect();
+            for &v in &vals { s.record(v); }
+            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let q = q_pm as f64 / 1000.0;
+            let rank = ((q * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+            let exact = vals[rank - 1];
+            let est = s.quantile(q).unwrap();
+            prop_assert!(
+                (est - exact).abs() / exact <= s.alpha() + 1e-9,
+                "q={} est={} exact={}", q, est, exact
+            );
+            prop_assert_eq!(s.bucket_mass(), s.count(), "mass conservation");
+        }
+
+        /// Byte determinism under arbitrary stream splits: observing the
+        /// whole stream sequentially equals splitting it across k sketches
+        /// (round-robin, like runner cells) and merging in order.
+        #[test]
+        fn split_merge_is_byte_deterministic(
+            raw in proptest::collection::vec(0u64..1_000_000, 1..500),
+            k in 1usize..8,
+        ) {
+            let mut seq = QuantileSketch::default();
+            let mut parts: Vec<QuantileSketch> =
+                (0..k).map(|_| QuantileSketch::default()).collect();
+            for (i, &r) in raw.iter().enumerate() {
+                seq.record(val(r));
+                parts[i % k].record(val(r));
+            }
+            let mut merged = QuantileSketch::default();
+            for p in &parts { merged.merge(p); }
+            prop_assert_eq!(merged.to_json(), seq.to_json());
+        }
+    }
+}

@@ -105,6 +105,9 @@ pub enum Event {
         utilization: f64,
         /// Queue occupancy in bits.
         queue_bits: f64,
+        /// Effective link capacity in bits/s (zero when the link is down);
+        /// turns `queue_bits` into a queueing *delay* downstream.
+        capacity_bps: f64,
     },
     /// A collective step (one op-graph job) completed.
     CollectiveStep {
@@ -250,12 +253,14 @@ impl Event {
                 link,
                 utilization,
                 queue_bits,
+                capacity_bps,
             } => {
                 push_t(&mut s, *t_ns);
                 s.push_str(&format!(
-                    ",\"link\":{link},\"utilization\":{},\"queue_bits\":{}",
+                    ",\"link\":{link},\"utilization\":{},\"queue_bits\":{},\"capacity_bps\":{}",
                     json_num(*utilization),
-                    json_num(*queue_bits)
+                    json_num(*queue_bits),
+                    json_num(*capacity_bps)
                 ));
             }
             Event::CollectiveStep { t_ns, job, dur_ns } => {
@@ -356,8 +361,10 @@ mod tests {
             link: 0,
             utilization: f64::NAN,
             queue_bits: 0.5,
+            capacity_bps: 4e11,
         };
         assert!(ev.to_json().contains("\"utilization\":null"));
         assert!(ev.to_json().contains("\"queue_bits\":0.5"));
+        assert!(ev.to_json().contains("\"capacity_bps\":400000000000"));
     }
 }

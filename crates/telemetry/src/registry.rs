@@ -9,6 +9,7 @@
 use std::collections::BTreeMap;
 
 use hpn_sim::stats::{Ecdf, Histogram};
+use hpn_sim::QuantileSketch;
 
 use crate::event::{json_num, json_str, Event};
 use crate::recorder::Recorder;
@@ -89,6 +90,23 @@ pub struct RecomputeMetrics {
     pub flows_active: u64,
 }
 
+/// Streaming latency tails: per-flow FCT and per-link queueing delay,
+/// both in seconds, in mergeable [`QuantileSketch`]es (±1% relative
+/// error, constant memory — see [`hpn_sim::sketch`]).
+#[derive(Clone, Debug, Default)]
+pub struct LatencyMetrics {
+    /// Flow completion times of *completed* flows, from matching
+    /// `FlowAdd`/`FlowRemove{completed: true}` pairs.
+    pub fct: QuantileSketch,
+    /// Per-link queueing delay (`queue_bits / capacity_bps`) from
+    /// `LinkSample` events; samples on down links are skipped.
+    pub queue_delay: QuantileSketch,
+    /// Flow → `FlowAdd` timestamp, awaiting the matching remove. Flow ids
+    /// restart at each `SimStart` (every segment owns its clock and its
+    /// fluid net), so the map is cleared there.
+    pending: BTreeMap<u64, u64>,
+}
+
 /// The registry: event counts plus per-link and per-flow aggregates.
 #[derive(Clone, Debug, Default)]
 pub struct Registry {
@@ -96,6 +114,7 @@ pub struct Registry {
     links: BTreeMap<u32, LinkMetrics>,
     flows: FlowMetrics,
     recompute: RecomputeMetrics,
+    latency: LatencyMetrics,
     /// Collective step durations in seconds (capped).
     step_durs: Vec<f64>,
 }
@@ -110,15 +129,36 @@ impl Registry {
     pub fn observe(&mut self, ev: &Event) {
         *self.counts.entry(ev.kind()).or_insert(0) += 1;
         match *ev {
-            Event::FlowAdd { size_bits, .. } => {
+            Event::SimStart { .. } => {
+                // A new segment restarts flow ids at 0; in-flight flows of
+                // the previous segment can never complete.
+                self.latency.pending.clear();
+            }
+            Event::FlowAdd {
+                t_ns,
+                flow,
+                size_bits,
+                ..
+            } => {
                 self.flows.added += 1;
                 if self.flows.sizes.len() < MAX_RAW_SAMPLES {
                     self.flows.sizes.push(size_bits);
                 }
+                self.latency.pending.insert(flow, t_ns);
             }
-            Event::FlowRemove { completed, .. } => {
+            Event::FlowRemove {
+                t_ns,
+                flow,
+                completed,
+            } => {
+                let start = self.latency.pending.remove(&flow);
                 if completed {
                     self.flows.completed += 1;
+                    if let Some(start) = start {
+                        self.latency
+                            .fct
+                            .record(t_ns.saturating_sub(start) as f64 / 1e9);
+                    }
                 } else {
                     self.flows.killed += 1;
                 }
@@ -141,6 +181,7 @@ impl Registry {
                 link,
                 utilization,
                 queue_bits,
+                capacity_bps,
                 ..
             } => {
                 let m = self.links.entry(link).or_default();
@@ -148,6 +189,9 @@ impl Registry {
                 m.util_sum += utilization;
                 m.utilization.record(utilization.clamp(0.0, 1.0));
                 m.peak_queue_bits = m.peak_queue_bits.max(queue_bits);
+                if capacity_bps > 0.0 {
+                    self.latency.queue_delay.record(queue_bits / capacity_bps);
+                }
             }
             Event::CollectiveStep { dur_ns, .. } if self.step_durs.len() < MAX_RAW_SAMPLES => {
                 self.step_durs.push(dur_ns as f64 / 1e9);
@@ -180,6 +224,12 @@ impl Registry {
         self.flows.added += other.flows.added;
         self.flows.completed += other.flows.completed;
         self.flows.killed += other.flows.killed;
+        // Sketches merge exactly (bucket addition). Pending FlowAdds are
+        // per-cell bookkeeping: a cell's unmatched flows were still in
+        // flight when its last segment ended, so they contribute no FCT
+        // either way and are dropped.
+        self.latency.fct.merge(&other.latency.fct);
+        self.latency.queue_delay.merge(&other.latency.queue_delay);
         let room = MAX_RAW_SAMPLES.saturating_sub(self.flows.sizes.len());
         self.flows
             .sizes
@@ -228,6 +278,23 @@ impl Registry {
         Ecdf::from_samples(self.step_durs.clone())
     }
 
+    /// Latency-tail aggregates (FCT and queue-delay sketches).
+    pub fn latency(&self) -> &LatencyMetrics {
+        &self.latency
+    }
+
+    /// The latency-tail summary alone, as deterministic JSON — the bytes
+    /// the CI latency gate fingerprints. Quantiles come from integer
+    /// bucket walks, so any plan-order merge grouping yields identical
+    /// output (same guarantee as [`Registry::summary_json`]).
+    pub fn latency_summary_json(&self) -> String {
+        format!(
+            "{{\"fct\":{},\"queue_delay\":{}}}",
+            sketch_summary_json(&self.latency.fct),
+            sketch_summary_json(&self.latency.queue_delay)
+        )
+    }
+
     /// Compact JSON summary, embedded in the run manifest.
     pub fn summary_json(&self) -> String {
         let mut s = String::from("{\"event_counts\":{");
@@ -248,6 +315,11 @@ impl Registry {
             self.recompute.flows_touched,
             self.recompute.links_touched,
             self.recompute.flows_active
+        ));
+        s.push_str(&format!(
+            "\"fct\":{},\"queue_delay\":{},",
+            sketch_summary_json(&self.latency.fct),
+            sketch_summary_json(&self.latency.queue_delay)
         ));
         let hottest = self
             .links
@@ -274,6 +346,23 @@ impl Recorder for Registry {
     fn record(&mut self, ev: &Event) {
         self.observe(ev);
     }
+}
+
+/// `{"count":N,"p50":...,"p90":...,"p99":...,"p999":...}` for a sketch
+/// of seconds — quantiles are `null` while the sketch is empty.
+fn sketch_summary_json(s: &QuantileSketch) -> String {
+    let q = |q: f64| match s.quantile(q) {
+        Some(v) => json_num(v),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
+        s.count(),
+        q(0.50),
+        q(0.90),
+        q(0.99),
+        q(0.999)
+    )
 }
 
 #[cfg(test)]
@@ -311,9 +400,12 @@ mod tests {
                 link: 7,
                 utilization: 0.25 * i as f64,
                 queue_bits: 100.0 * i as f64,
+                capacity_bps: 400e9,
             });
         }
         assert_eq!(r.count("flow_add"), 2);
+        assert_eq!(r.latency().fct.count(), 1, "only the completed flow");
+        assert_eq!(r.latency().queue_delay.count(), 4);
         assert_eq!(r.flows().added, 2);
         assert_eq!(r.flows().completed, 1);
         assert_eq!(r.flows().killed, 1);
@@ -363,6 +455,7 @@ mod tests {
                 link,
                 utilization: 0.5,
                 queue_bits: 10.0 * link as f64,
+                capacity_bps: 100e9,
             },
             Event::FlowRemove {
                 t_ns: base_t + 2,
@@ -412,6 +505,97 @@ mod tests {
             assert_eq!(a.utilization.bins(), b.utilization.bins());
         }
         assert_eq!(seq.summary_json(), merged.summary_json());
+        assert_eq!(seq.latency_summary_json(), merged.latency_summary_json());
+    }
+
+    #[test]
+    fn fct_is_measured_per_completed_flow() {
+        let mut r = Registry::new();
+        // Three flows: 1s, 2s, and a kill at 3s (not an FCT).
+        for (flow, add, remove, completed) in [
+            (0u64, 0u64, 1_000_000_000u64, true),
+            (1, 0, 2_000_000_000, true),
+            (2, 0, 3_000_000_000, false),
+        ] {
+            r.observe(&Event::FlowAdd {
+                t_ns: add,
+                flow,
+                path_links: 1,
+                size_bits: 1e9,
+            });
+            r.observe(&Event::FlowRemove {
+                t_ns: remove,
+                flow,
+                completed,
+            });
+        }
+        let fct = &r.latency().fct;
+        assert_eq!(fct.count(), 2);
+        let p999 = fct.quantile(0.999).unwrap();
+        assert!((p999 - 2.0).abs() / 2.0 <= fct.alpha() + 1e-9, "{p999}");
+    }
+
+    #[test]
+    fn sim_start_resets_flow_id_space() {
+        let mut r = Registry::new();
+        r.observe(&Event::FlowAdd {
+            t_ns: 5_000_000_000,
+            flow: 0,
+            path_links: 1,
+            size_bits: 1e9,
+        });
+        // New segment: clocks and flow ids restart. A remove for flow 0
+        // at t=1s must not pair with the t=5s add of the old segment
+        // (which would yield a bogus "negative" FCT).
+        r.observe(&Event::SimStart {
+            label: "seg2".into(),
+        });
+        r.observe(&Event::FlowRemove {
+            t_ns: 1_000_000_000,
+            flow: 0,
+            completed: true,
+        });
+        assert_eq!(
+            r.latency().fct.count(),
+            0,
+            "unmatched remove records nothing"
+        );
+        assert_eq!(r.flows().completed, 1, "population counters still tally");
+    }
+
+    #[test]
+    fn down_link_samples_skip_queue_delay() {
+        let mut r = Registry::new();
+        r.observe(&Event::LinkSample {
+            t_ns: 0,
+            link: 1,
+            utilization: 0.0,
+            queue_bits: 5e9,
+            capacity_bps: 0.0,
+        });
+        r.observe(&Event::LinkSample {
+            t_ns: 1,
+            link: 1,
+            utilization: 0.5,
+            queue_bits: 5e9,
+            capacity_bps: 100e9,
+        });
+        let qd = &r.latency().queue_delay;
+        assert_eq!(qd.count(), 1, "down-link sample has no finite delay");
+        let p50 = qd.quantile(0.5).unwrap();
+        assert!((p50 - 0.05).abs() / 0.05 <= qd.alpha() + 1e-9, "{p50}");
+    }
+
+    #[test]
+    fn latency_summary_shapes_are_stable() {
+        let r = Registry::new();
+        assert_eq!(
+            r.latency_summary_json(),
+            "{\"fct\":{\"count\":0,\"p50\":null,\"p90\":null,\"p99\":null,\"p999\":null},\
+             \"queue_delay\":{\"count\":0,\"p50\":null,\"p90\":null,\"p99\":null,\"p999\":null}}"
+        );
+        assert!(r.summary_json().contains("\"fct\":{\"count\":0"));
+        assert!(r.summary_json().contains("\"queue_delay\":{\"count\":0"));
     }
 
     #[test]

@@ -30,6 +30,7 @@ fn emit_cell(ctx: &SimCtx, cell: u32, events_per_cell: u64) {
             link: cell % 3,
             utilization: (i % 10) as f64 / 10.0,
             queue_bits: i as f64,
+            capacity_bps: 400e9,
         });
     }
 }
@@ -120,6 +121,11 @@ fn merged_registry_equals_sequential_registry() {
         assert_eq!(a.mean_utilization(), b.mean_utilization());
     }
     assert_eq!(sequential.summary_json(), merged.summary_json());
+    assert_eq!(
+        sequential.latency_summary_json(),
+        merged.latency_summary_json(),
+        "quantile summaries are byte-identical across merge groupings"
+    );
 }
 
 #[test]

@@ -211,6 +211,7 @@ impl ClusterSim {
                 link: link.0,
                 utilization: l.utilization(),
                 queue_bits: l.queue_bits,
+                capacity_bps: l.capacity_bps(),
             };
             self.telemetry.record(&ev);
         }
