@@ -141,11 +141,57 @@ pub fn parse_results(src: &str) -> Result<BTreeMap<String, f64>, String> {
     Ok(map)
 }
 
+/// Parse the top-level `"events_per_iteration"` field of a
+/// `BENCH_alloc.json`. The µs/event figures are `mean_ns / batch / 1000`,
+/// so two files measured under different batch sizes are not comparable —
+/// [`check_events_per_iteration`] rejects that pairing.
+pub fn parse_events_per_iteration(src: &str) -> Result<u64, String> {
+    let start = src
+        .find("\"events_per_iteration\"")
+        .ok_or("no \"events_per_iteration\" key in bench file")?;
+    let rest = &src[start + "\"events_per_iteration\"".len()..];
+    let rest = rest
+        .trim_start()
+        .strip_prefix(':')
+        .ok_or("malformed \"events_per_iteration\" entry")?;
+    let end = rest
+        .find([',', '}', '\n'])
+        .ok_or("unterminated \"events_per_iteration\" value")?;
+    let val: u64 = rest[..end]
+        .trim()
+        .parse()
+        .map_err(|_| format!("non-integer events_per_iteration '{}'", rest[..end].trim()))?;
+    if val == 0 {
+        return Err("events_per_iteration must be positive".to_string());
+    }
+    Ok(val)
+}
+
+/// Both files of a comparison must agree on the churn batch size; returns
+/// the shared value or an error describing the mismatch.
+pub fn check_events_per_iteration(baseline: &str, current: &str) -> Result<u64, String> {
+    let b = parse_events_per_iteration(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let c = parse_events_per_iteration(current).map_err(|e| format!("current: {e}"))?;
+    if b != c {
+        return Err(format!(
+            "events_per_iteration mismatch: baseline measured {b} churn events per \
+             iteration but current measured {c} — µs/event figures are not comparable \
+             (re-measure and --update-baseline)"
+        ));
+    }
+    Ok(b)
+}
+
 /// Load and parse a bench file.
 pub fn load(path: &Path) -> Result<BTreeMap<String, f64>, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     parse_results(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Load the raw text of a bench file (for header-field checks).
+pub fn load_text(path: &Path) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))
 }
 
 #[cfg(test)]
@@ -222,6 +268,29 @@ mod tests {
         assert!(!passed(&rows));
         assert_eq!(rows[0].status, KeyStatus::MissingFromCurrent);
         assert_eq!(rows[1].status, KeyStatus::MissingFromBaseline);
+    }
+
+    #[test]
+    fn events_per_iteration_parses_and_gates() {
+        assert_eq!(parse_events_per_iteration(SAMPLE).unwrap(), 8);
+        assert!(parse_events_per_iteration("{\"results\":{}}").is_err());
+        assert!(parse_events_per_iteration("{\"events_per_iteration\": 0}").is_err());
+        assert!(parse_events_per_iteration("{\"events_per_iteration\": \"x\"}").is_err());
+
+        assert_eq!(check_events_per_iteration(SAMPLE, SAMPLE).unwrap(), 8);
+        let rebatched =
+            SAMPLE.replace("\"events_per_iteration\": 8", "\"events_per_iteration\": 4");
+        let err = check_events_per_iteration(SAMPLE, &rebatched).unwrap_err();
+        assert!(
+            err.contains("mismatch") && err.contains('8') && err.contains('4'),
+            "{err}"
+        );
+        let checked_in = load_text(&baseline_path()).expect("checked-in baseline readable");
+        assert_eq!(
+            parse_events_per_iteration(&checked_in).unwrap(),
+            8,
+            "checked-in baseline carries the CHURN_BATCH the bench uses"
+        );
     }
 
     #[test]

@@ -111,6 +111,7 @@ pub fn allocator_label() -> &'static str {
         AllocatorKind::Dense => "dense",
         AllocatorKind::Incremental => "incremental",
         AllocatorKind::Parallel => "parallel",
+        AllocatorKind::Surrogate => "surrogate",
     }
 }
 

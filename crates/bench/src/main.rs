@@ -35,6 +35,12 @@
 //! byte-identical to `--jobs 1`. `--seeds A..B` (half-open, or `A..=B`
 //! inclusive) sweeps root seeds: one manifest per seed plus an aggregated
 //! `variance.json`.
+//!
+//! `--validate-every N` sets the surrogate allocator's online-validation
+//! cadence (equivalent to `HPN_SURROGATE_VALIDATE_EVERY=N`; only
+//! meaningful under `HPN_ALLOCATOR=surrogate`): every Nth prediction is
+//! re-solved exactly, `1` forces bitwise-exact rates, `0` disables
+//! validation entirely.
 
 use std::io::Write as _;
 
@@ -86,6 +92,17 @@ fn main() {
     let baseline_arg = opt_value(&args, "--baseline");
     let current_arg = opt_value(&args, "--current");
     let threshold_arg = opt_value(&args, "--threshold");
+    let validate_every_arg = opt_value(&args, "--validate-every");
+    if let Some(v) = &validate_every_arg {
+        match v.parse::<u32>() {
+            // `0` = never validate is a legal cadence for perf probing.
+            Ok(n) => std::env::set_var("HPN_SURROGATE_VALIDATE_EVERY", n.to_string()),
+            Err(_) => {
+                eprintln!("--validate-every wants a non-negative integer, got '{v}'");
+                std::process::exit(2);
+            }
+        }
+    }
     let jobs = match &jobs_arg {
         None => 1,
         Some(v) => match v.parse::<usize>() {
@@ -109,6 +126,7 @@ fn main() {
         &baseline_arg,
         &current_arg,
         &threshold_arg,
+        &validate_every_arg,
     ]
     .iter()
     .filter_map(|o| o.as_deref())
@@ -348,7 +366,9 @@ fn gate(scale: Scale, update: bool, out_dir: Option<&str>, jobs: usize) {
 /// `BENCH_alloc.json` against the checked-in baseline (±`threshold`), or
 /// promote the current measurement to be the new baseline.
 fn bench_regression(baseline: Option<&str>, current: Option<&str>, threshold: f64, update: bool) {
-    use hpn_bench::bench_regression::{baseline_path, compare, load, passed, KeyStatus};
+    use hpn_bench::bench_regression::{
+        baseline_path, check_events_per_iteration, compare, load, load_text, passed, KeyStatus,
+    };
 
     let default = baseline_path();
     let baseline = baseline
@@ -391,6 +411,22 @@ fn bench_regression(baseline: Option<&str>, current: Option<&str>, threshold: f6
             std::process::exit(2);
         }
     };
+    // A batch-size drift makes every µs/event figure incomparable, so it
+    // fails the gate before any per-key verdict can mislead.
+    match (load_text(&baseline), load_text(&current)) {
+        (Ok(b), Ok(c)) => {
+            if let Err(e) = check_events_per_iteration(&b, &c) {
+                eprintln!("bench-regression: {e}");
+                std::process::exit(1);
+            }
+        }
+        (b, c) => {
+            for e in [b.err(), c.err()].into_iter().flatten() {
+                eprintln!("bench-regression: {e}");
+            }
+            std::process::exit(2);
+        }
+    }
     let rows = compare(&base, &cur, threshold);
     for r in &rows {
         let fmt = |v: Option<f64>| v.map_or_else(|| "      --".to_string(), |v| format!("{v:8.2}"));

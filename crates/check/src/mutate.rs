@@ -8,7 +8,7 @@
 //! exactly that.
 
 use hpn_sim::alloc::AllocCtx;
-use hpn_sim::{AllocatorKind, LinkId, RateAllocator};
+use hpn_sim::{AllocatorKind, FlowSpec, LinkId, RateAllocator};
 
 /// Which deliberate bug to inject into the incremental allocator.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -65,8 +65,8 @@ impl RateAllocator for MutantAlloc {
         self.inner.on_link_added(link);
     }
 
-    fn on_flow_added(&mut self, id: u64, path: &[LinkId]) {
-        self.inner.on_flow_added(id, path);
+    fn on_flow_added(&mut self, id: u64, spec: &FlowSpec, path: &[LinkId]) {
+        self.inner.on_flow_added(id, spec, path);
     }
 
     fn on_flow_removed(&mut self, id: u64, path: &[LinkId]) {

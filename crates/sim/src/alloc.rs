@@ -41,10 +41,9 @@
 //! [`crate::stats::RecomputeScope`], making the incremental win observable
 //! (`hpn-experiments`/benches report flows-touched-per-event ratios).
 
-use std::collections::{HashMap, HashSet};
-
 use crate::arena::FlowArena;
-use crate::flownet::{LinkId, LinkState, RATE_EPS};
+use crate::flownet::{FlowSpec, LinkId, LinkState, RATE_EPS};
+use crate::fxhash::FxHashMap;
 use crate::path::PathInterner;
 use crate::stats::RecomputeScope;
 
@@ -60,17 +59,24 @@ pub enum AllocatorKind {
     /// concurrently on the work-stealing pool. Bitwise-equal to
     /// [`AllocatorKind::Incremental`] at any worker count.
     Parallel,
+    /// Memoized surrogate fast path: canonical-component-shape → rates
+    /// cache with an analytic water-filling miss path, self-validated
+    /// against the exact solver every Nth prediction
+    /// ([`crate::surrogate::SurrogateMaxMin`]).
+    Surrogate,
 }
 
 impl AllocatorKind {
     /// Resolve from the `HPN_ALLOCATOR` environment variable (`dense`,
-    /// `incremental` or `parallel`), defaulting to incremental. The
-    /// experiment harness uses this to regenerate figures under every
-    /// allocator without threading a parameter through every experiment.
+    /// `incremental`, `parallel` or `surrogate`), defaulting to
+    /// incremental. The experiment harness uses this to regenerate figures
+    /// under every allocator without threading a parameter through every
+    /// experiment.
     pub fn from_env() -> Self {
         match std::env::var("HPN_ALLOCATOR").as_deref() {
             Ok("dense") => AllocatorKind::Dense,
             Ok("parallel") => AllocatorKind::Parallel,
+            Ok("surrogate") => AllocatorKind::Surrogate,
             _ => AllocatorKind::Incremental,
         }
     }
@@ -81,6 +87,7 @@ impl AllocatorKind {
             AllocatorKind::Dense => Box::new(DenseMaxMin::default()),
             AllocatorKind::Incremental => Box::new(IncrementalMaxMin::default()),
             AllocatorKind::Parallel => Box::new(ParallelIncrementalMaxMin::from_env()),
+            AllocatorKind::Surrogate => Box::new(crate::surrogate::SurrogateMaxMin::from_env()),
         }
     }
 }
@@ -118,9 +125,12 @@ pub trait RateAllocator: Send {
         let _ = link;
     }
 
-    /// A flow was injected with the given resolved path.
-    fn on_flow_added(&mut self, id: u64, path: &[LinkId]) {
-        let _ = (id, path);
+    /// A flow was injected with the given spec and resolved path. The spec
+    /// is passed so membership-tracking allocators can record the flow's
+    /// `(path, demand)` problem row up front and never page the flow arena
+    /// back in during `recompute` closures.
+    fn on_flow_added(&mut self, id: u64, spec: &FlowSpec, path: &[LinkId]) {
+        let _ = (id, spec, path);
     }
 
     /// A flow completed or was killed; `path` is its resolved path.
@@ -138,6 +148,20 @@ pub trait RateAllocator: Send {
     /// (`active_flows`, `allocated_bps`, `offered_bps`), update the hot
     /// set, and record the touched scope.
     fn recompute(&mut self, ctx: &mut AllocCtx<'_>);
+
+    /// Cumulative surrogate-cache counters, if this allocator keeps any.
+    /// Only [`crate::surrogate::SurrogateMaxMin`] returns `Some`; the exact
+    /// allocators report `None` and the probe layer stays silent.
+    fn surrogate_stats(&self) -> Option<crate::surrogate::SurrogateStats> {
+        None
+    }
+
+    /// Set the online-validation cadence (validate every Nth prediction;
+    /// `0` disables validation, `1` validates everything). A no-op for the
+    /// exact allocators.
+    fn set_validate_every(&mut self, every: u32) {
+        let _ = every;
+    }
 }
 
 /// Shared core: progressive filling over one set of flows.
@@ -148,17 +172,17 @@ pub trait RateAllocator: Send {
 /// table and zeroed outside the `touched` links; `touched` collects every
 /// link the fill used so the caller can sparsely reset the scratch and
 /// refresh aggregates.
-struct Fill<'a> {
-    links: &'a [LinkState],
-    paths: &'a PathInterner,
-    free: &'a mut Vec<f64>,
-    unfrozen_on: &'a mut Vec<u32>,
+pub(crate) struct Fill<'a> {
+    pub(crate) links: &'a [LinkState],
+    pub(crate) paths: &'a PathInterner,
+    pub(crate) free: &'a mut Vec<f64>,
+    pub(crate) unfrozen_on: &'a mut Vec<u32>,
 }
 
 impl Fill<'_> {
     /// Run progressive filling. `flows[i] = (path, demand)`; returns rates
     /// per flow plus the set of links touched (in first-crossed order).
-    fn run(&mut self, flows: &[(crate::path::PathId, f64)]) -> (Vec<f64>, Vec<usize>) {
+    pub(crate) fn run(&mut self, flows: &[(crate::path::PathId, f64)]) -> (Vec<f64>, Vec<usize>) {
         let n = flows.len();
         let nlinks = self.links.len();
         self.free.resize(nlinks, 0.0);
@@ -304,7 +328,7 @@ fn uf_find(parent: &mut [u32], stamp: &mut [u64], epoch: u64, x: u32) -> u32 {
 /// bitwise identical: a component's filling arithmetic sees exactly the
 /// same operands in the same order no matter which flows outside it exist.
 #[derive(Default)]
-struct ComponentFill {
+pub(crate) struct ComponentFill {
     free: Vec<f64>,
     unfrozen_on: Vec<u32>,
     uf_parent: Vec<u32>,
@@ -318,7 +342,7 @@ impl ComponentFill {
     /// first-seen (ascending smallest-flow-id) order, flow order preserved
     /// within each group. Deterministic: depends only on `flows` order and
     /// the paths, never on thread scheduling.
-    fn partition(
+    pub(crate) fn partition(
         &mut self,
         nlinks: usize,
         paths: &PathInterner,
@@ -340,7 +364,7 @@ impl ComponentFill {
             }
         }
         let mut groups: Vec<Vec<usize>> = Vec::new();
-        let mut group_of: HashMap<u32, usize> = HashMap::new();
+        let mut group_of: FxHashMap<u32, usize> = FxHashMap::default();
         for (i, &(path, _)) in flows.iter().enumerate() {
             let root = uf_find(parent, stamp, epoch, paths.get(path)[0].0);
             let gi = *group_of.entry(root).or_insert_with(|| {
@@ -356,7 +380,7 @@ impl ComponentFill {
     /// The per-group arithmetic is independent of the other groups (they
     /// share no links), which is what lets [`ParallelIncrementalMaxMin`]
     /// run the same groups concurrently and still match bitwise.
-    fn run_groups(
+    pub(crate) fn run_groups(
         &mut self,
         links: &[LinkState],
         paths: &PathInterner,
@@ -393,15 +417,43 @@ impl ComponentFill {
         let groups = self.partition(links.len(), paths, flows);
         self.run_groups(links, paths, flows, &groups)
     }
+
+    /// Fill one pre-isolated component (all `flows` share one true
+    /// component) with this solver's scratch, returning its rates. This is
+    /// exactly the arithmetic one `run_groups` group performs — the
+    /// surrogate allocator's exact fallback and validation path route
+    /// through it so validated rates are bitwise-comparable to the
+    /// incremental solver's.
+    pub(crate) fn fill_component(
+        &mut self,
+        links: &[LinkState],
+        paths: &PathInterner,
+        flows: &[(crate::path::PathId, f64)],
+    ) -> Vec<f64> {
+        Fill {
+            links,
+            paths,
+            free: &mut self.free,
+            unfrozen_on: &mut self.unfrozen_on,
+        }
+        .run(flows)
+        .0
+    }
 }
 
 /// Refresh `active_flows`/`allocated_bps`/`offered_bps` on the given links
-/// from the given flows. Callers guarantee closure: every flow crossing a
-/// listed link is listed, and every link of a listed flow is listed.
-fn refresh_link_aggregates(
+/// from the given `(path, demand)` problem rows and their solved rates
+/// (indexed alike, ascending flow-id order). Callers guarantee closure:
+/// every flow crossing a listed link is listed, and every link of a listed
+/// flow is listed. Working from rows rather than flow ids keeps this free
+/// of arena lookups; the float-op order is exactly the id-iteration order
+/// the original arena-walking version used, so aggregates stay bitwise
+/// identical across allocators.
+pub(crate) fn refresh_link_aggregates_rows(
     ctx: &mut AllocCtx<'_>,
     link_indices: &[usize],
-    flow_ids: impl Iterator<Item = u64> + Clone,
+    flows: &[(crate::path::PathId, f64)],
+    rate: &[f64],
 ) {
     for &li in link_indices {
         let l = &mut ctx.links[li];
@@ -409,13 +461,11 @@ fn refresh_link_aggregates(
         l.allocated_bps = 0.0;
         l.offered_bps = 0.0;
     }
-    for id in flow_ids.clone() {
-        let f = ctx.flows.get(id).expect("aggregating a live flow");
-        let (path, rate) = (f.spec.path, f.rate_bps);
+    for (&(path, _), &r) in flows.iter().zip(rate.iter()) {
         for l in ctx.paths.get(path) {
             let ls = &mut ctx.links[l.0 as usize];
             ls.active_flows += 1;
-            ls.allocated_bps += rate;
+            ls.allocated_bps += r;
         }
     }
     // Offered load seen by each link: the flow's demand clamped by the
@@ -425,22 +475,20 @@ fn refresh_link_aggregates(
     // offer 2× the port rate downstream and fabricate queues that
     // cannot physically exist (the dual-plane no-queue result of
     // Fig 14b depends on getting this right).
-    for id in flow_ids {
-        let f = ctx.flows.get(id).expect("aggregating a live flow");
-        let (path, rate, demand) = (f.spec.path, f.rate_bps, f.spec.demand_bps);
-        let mut upstream = if demand.is_finite() { demand } else { rate };
+    for (&(path, demand), &r) in flows.iter().zip(rate.iter()) {
+        let mut upstream = if demand.is_finite() { demand } else { r };
         for l in ctx.paths.get(path) {
             let ls = &mut ctx.links[l.0 as usize];
             ls.offered_bps += upstream;
             let share = ls.capacity_bps() / ls.active_flows.max(1) as f64;
-            upstream = upstream.min(share.max(rate));
+            upstream = upstream.min(share.max(r));
         }
     }
 }
 
 /// Merge `touched` links into the hot set and drop entries that neither
 /// carry flows nor hold queue.
-fn refresh_hot(ctx: &mut AllocCtx<'_>, touched: &[usize]) {
+pub(crate) fn refresh_hot(ctx: &mut AllocCtx<'_>, touched: &[usize]) {
     ctx.hot_links.extend(touched.iter().map(|&l| l as u32));
     ctx.hot_links.sort_unstable();
     ctx.hot_links.dedup();
@@ -462,7 +510,6 @@ fn refresh_hot(ctx: &mut AllocCtx<'_>, touched: &[usize]) {
 pub struct DenseMaxMin {
     solver: ComponentFill,
     scratch_flows: Vec<(crate::path::PathId, f64)>,
-    scratch_ids: Vec<u64>,
 }
 
 impl RateAllocator for DenseMaxMin {
@@ -475,11 +522,9 @@ impl RateAllocator for DenseMaxMin {
         // (arena) order. No per-recompute `Vec<&Flow>` snapshot: the arena
         // iterates in place and the fill works on (path-id, demand) pairs.
         self.scratch_flows.clear();
-        self.scratch_ids.clear();
-        for (id, f) in ctx.flows.iter() {
+        for (_, f) in ctx.flows.iter() {
             self.scratch_flows
                 .push((f.spec().path, f.spec().demand_bps));
-            self.scratch_ids.push(id);
         }
         let (rate, active_links) = self.solver.run(ctx.links, ctx.paths, &self.scratch_flows);
 
@@ -493,12 +538,15 @@ impl RateAllocator for DenseMaxMin {
         touched.extend(ctx.hot_links.iter().map(|&l| l as usize));
         touched.sort_unstable();
         touched.dedup();
-        refresh_link_aggregates(ctx, &touched, self.scratch_ids.iter().copied());
+        refresh_link_aggregates_rows(ctx, &touched, &self.scratch_flows, &rate);
         refresh_hot(ctx, &touched);
         let n = ctx.flows.len();
         ctx.scope.record(n, touched.len(), n);
     }
 }
+
+/// One closure problem row: `(flow id, path, demand_bps)`.
+pub(crate) type ProblemRow = (u64, crate::path::PathId, f64);
 
 /// Shared bookkeeping for the incremental allocators: per-link flow
 /// membership, the dirty-seed list, and the BFS closure over the
@@ -506,58 +554,72 @@ impl RateAllocator for DenseMaxMin {
 /// [`ParallelIncrementalMaxMin`] differ only in how they *solve* the
 /// closure this core computes.
 #[derive(Default)]
-struct IncrementalCore {
-    /// Per link: ids of flows crossing it, with multiplicity for repeated
-    /// path entries (mirrors the fill's per-occurrence share accounting).
-    members: Vec<Vec<u64>>,
+pub(crate) struct IncrementalCore {
+    /// Per link: `(flow id, path, demand)` of flows crossing it, with
+    /// multiplicity for repeated path entries (mirrors the fill's
+    /// per-occurrence share accounting). Carrying the problem row alongside
+    /// the id means [`IncrementalCore::closure`] never touches the flow
+    /// arena: everything a recompute solves over comes straight out of this
+    /// membership table.
+    members: Vec<Vec<(u64, crate::path::PathId, f64)>>,
     /// Links perturbed since the last recompute (seeds; may repeat).
     dirty: Vec<u32>,
     /// BFS visit stamps per link, keyed by epoch (no per-event clearing).
     link_mark: Vec<u64>,
     epoch: u64,
-    seen_flows: HashSet<u64>,
+    /// Reusable BFS queue scratch.
+    queue: Vec<usize>,
 }
 
 impl IncrementalCore {
-    fn on_link_added(&mut self) {
+    pub(crate) fn on_link_added(&mut self) {
         self.members.push(Vec::new());
         self.link_mark.push(0);
     }
 
-    fn on_flow_added(&mut self, id: u64, path: &[LinkId]) {
+    pub(crate) fn on_flow_added(&mut self, id: u64, spec: &FlowSpec, path: &[LinkId]) {
         for l in path {
-            self.members[l.0 as usize].push(id);
+            self.members[l.0 as usize].push((id, spec.path, spec.demand_bps));
             self.dirty.push(l.0);
         }
     }
 
-    fn on_flow_removed(&mut self, id: u64, path: &[LinkId]) {
+    pub(crate) fn on_flow_removed(&mut self, id: u64, path: &[LinkId]) {
         for l in path {
             let m = &mut self.members[l.0 as usize];
             let pos = m
                 .iter()
-                .position(|&fid| fid == id)
+                .position(|&(fid, _, _)| fid == id)
                 .expect("removed flow was a member of its links");
             m.swap_remove(pos);
             self.dirty.push(l.0);
         }
     }
 
-    fn on_link_changed(&mut self, link: LinkId) {
+    pub(crate) fn on_link_changed(&mut self, link: LinkId) {
         self.dirty.push(link.0);
     }
 
-    fn is_clean(&self) -> bool {
+    pub(crate) fn is_clean(&self) -> bool {
         self.dirty.is_empty()
     }
 
     /// BFS closure over the flow↔link sharing graph from the dirty seeds.
-    /// Returns the perturbed flows (ascending-id order, matching the dense
-    /// solver's freeze order) and the perturbed links (unsorted).
-    fn closure(&mut self, ctx: &AllocCtx<'_>) -> (Vec<u64>, Vec<usize>) {
+    /// Returns the perturbed flows as full `(id, path, demand)` problem
+    /// rows (ascending-id order, matching the dense solver's freeze order)
+    /// and the perturbed links (unsorted). Runs entirely over the
+    /// membership table — no flow-arena lookups.
+    ///
+    /// Flow dedup rides on the sort the rows need anyway: the BFS collects
+    /// one row per member *occurrence* (a flow appears once per visited
+    /// link it crosses) and a sort + dedup-by-id collapses them. That is
+    /// cheaper than a hash-set membership probe per occurrence, and path
+    /// expansion stays idempotent through the link visit stamps.
+    pub(crate) fn closure(&mut self, paths: &PathInterner) -> (Vec<ProblemRow>, Vec<usize>) {
         self.epoch += 1;
         let epoch = self.epoch;
-        let mut queue: Vec<usize> = Vec::new();
+        let mut queue = std::mem::take(&mut self.queue);
+        queue.clear();
         for l in self.dirty.drain(..) {
             let li = l as usize;
             if self.link_mark[li] != epoch {
@@ -565,65 +627,117 @@ impl IncrementalCore {
                 queue.push(li);
             }
         }
-        self.seen_flows.clear();
         let mut comp_links: Vec<usize> = Vec::new();
-        let mut comp_flows: Vec<u64> = Vec::new();
+        let mut rows: Vec<(u64, crate::path::PathId, f64)> = Vec::new();
         while let Some(li) = queue.pop() {
             comp_links.push(li);
-            for &fid in &self.members[li] {
-                if self.seen_flows.insert(fid) {
-                    comp_flows.push(fid);
-                    let f = ctx.flows.get(fid).expect("member flow is live");
-                    for l in ctx.paths.get(f.spec().path) {
-                        let lj = l.0 as usize;
-                        if self.link_mark[lj] != epoch {
-                            self.link_mark[lj] = epoch;
-                            queue.push(lj);
-                        }
+            for &(fid, path, demand) in &self.members[li] {
+                rows.push((fid, path, demand));
+                for l in paths.get(path) {
+                    let lj = l.0 as usize;
+                    if self.link_mark[lj] != epoch {
+                        self.link_mark[lj] = epoch;
+                        queue.push(lj);
                     }
                 }
             }
         }
-        comp_flows.sort_unstable();
-        (comp_flows, comp_links)
+        rows.sort_unstable_by_key(|&(id, _, _)| id);
+        rows.dedup_by_key(|&mut (id, _, _)| id);
+        self.queue = queue;
+        (rows, comp_links)
     }
-}
 
-/// Look up each component flow's (path, demand) problem row, in the given
-/// (ascending-id) order.
-fn component_problem(ctx: &AllocCtx<'_>, comp_flows: &[u64]) -> Vec<(crate::path::PathId, f64)> {
-    comp_flows
-        .iter()
-        .map(|&id| {
-            let f = ctx.flows.get(id).expect("component flow is live");
-            (f.spec().path, f.spec().demand_bps)
-        })
-        .collect()
+    /// Like [`Self::closure`], but additionally reports the row ranges of
+    /// the closure's *true* connected components, sparing the caller a
+    /// second connectivity pass over the rows. Each dirty seed that is
+    /// still unvisited starts one BFS wave, and a wave can only reach its
+    /// own component, so draining the queue per seed yields one group per
+    /// component. Rows are sorted and deduped per group (a flow's
+    /// occurrences never cross groups); within a group they are ascending
+    /// by id, matching [`Self::closure`]'s order link-for-link.
+    ///
+    /// Returns `(rows, comp_links, bounds)` where `bounds[g]` is the row
+    /// range `bounds[g]..bounds[g + 1]` of group `g`. Seeds with no member
+    /// flows (e.g. a link whose last flow just left) contribute their links
+    /// but no group.
+    pub(crate) fn closure_grouped(
+        &mut self,
+        paths: &PathInterner,
+    ) -> (Vec<ProblemRow>, Vec<usize>, Vec<usize>) {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let mut queue = std::mem::take(&mut self.queue);
+        queue.clear();
+        let mut comp_links: Vec<usize> = Vec::new();
+        let mut rows: Vec<(u64, crate::path::PathId, f64)> = Vec::new();
+        let mut bounds: Vec<usize> = vec![0];
+        let seeds = std::mem::take(&mut self.dirty);
+        for l in &seeds {
+            let li = *l as usize;
+            if self.link_mark[li] == epoch {
+                continue;
+            }
+            self.link_mark[li] = epoch;
+            queue.push(li);
+            let start = rows.len();
+            while let Some(lj) = queue.pop() {
+                comp_links.push(lj);
+                for &(fid, path, demand) in &self.members[lj] {
+                    rows.push((fid, path, demand));
+                    for lk in paths.get(path) {
+                        let lk = lk.0 as usize;
+                        if self.link_mark[lk] != epoch {
+                            self.link_mark[lk] = epoch;
+                            queue.push(lk);
+                        }
+                    }
+                }
+            }
+            rows[start..].sort_unstable_by_key(|&(id, _, _)| id);
+            // Suffix-local dedup: occurrences of one flow never cross
+            // group boundaries, so earlier groups need no rescan.
+            let mut w = start;
+            for r in start..rows.len() {
+                if w == start || rows[r].0 != rows[w - 1].0 {
+                    rows[w] = rows[r];
+                    w += 1;
+                }
+            }
+            rows.truncate(w);
+            if rows.len() > start {
+                bounds.push(rows.len());
+            }
+        }
+        let mut seeds = seeds;
+        seeds.clear();
+        self.dirty = seeds;
+        self.queue = queue;
+        (rows, comp_links, bounds)
+    }
 }
 
 /// Write solved rates back and refresh aggregates/hot set/scope for one
-/// incremental recompute. Shared tail of both incremental allocators, so
-/// their observable effects (including `RecomputeScope` counters) match.
-fn finish_incremental_recompute(
+/// incremental recompute. `rows` are the closure's `(id, path, demand)`
+/// rows and `flows` the matching `(path, demand)` problem, both indexed
+/// alike with `rate`. Shared tail of both incremental allocators, so their
+/// observable effects (including `RecomputeScope` counters) match.
+pub(crate) fn finish_incremental_recompute(
     ctx: &mut AllocCtx<'_>,
-    comp_flows: &[u64],
+    rows: &[(u64, crate::path::PathId, f64)],
     mut comp_links: Vec<usize>,
+    flows: &[(crate::path::PathId, f64)],
     rate: &[f64],
     total_flows: usize,
 ) {
-    for (&id, &r) in comp_flows.iter().zip(rate.iter()) {
-        ctx.flows
-            .get_mut(id)
-            .expect("component flow is live")
-            .set_rate_bps(r);
-    }
+    ctx.flows
+        .set_rates_ascending(rows.iter().map(|&(id, _, _)| id), rate);
     // Aggregates refresh over ALL component links — including seeds
     // whose last flow just left, which must read as idle again.
     comp_links.sort_unstable();
-    refresh_link_aggregates(ctx, &comp_links, comp_flows.iter().copied());
+    refresh_link_aggregates_rows(ctx, &comp_links, flows, rate);
     refresh_hot(ctx, &comp_links);
-    ctx.scope
-        .record(comp_flows.len(), comp_links.len(), total_flows);
+    ctx.scope.record(rows.len(), comp_links.len(), total_flows);
 }
 
 /// Component-scoped max-min: recomputes only flows/links reachable from
@@ -650,8 +764,8 @@ impl RateAllocator for IncrementalMaxMin {
         self.core.on_link_added();
     }
 
-    fn on_flow_added(&mut self, id: u64, path: &[LinkId]) {
-        self.core.on_flow_added(id, path);
+    fn on_flow_added(&mut self, id: u64, spec: &FlowSpec, path: &[LinkId]) {
+        self.core.on_flow_added(id, spec, path);
     }
 
     fn on_flow_removed(&mut self, id: u64, path: &[LinkId]) {
@@ -668,14 +782,14 @@ impl RateAllocator for IncrementalMaxMin {
             ctx.scope.record(0, 0, total_flows);
             return;
         }
-        let (comp_flows, comp_links) = self.core.closure(ctx);
-        let flows = component_problem(ctx, &comp_flows);
+        let (rows, comp_links) = self.core.closure(ctx.paths);
+        let flows: Vec<(crate::path::PathId, f64)> = rows.iter().map(|&(_, p, d)| (p, d)).collect();
         // The BFS set may span several true components (e.g. seeds in two
         // unrelated components batched into one recompute, or a removed
         // flow that had bridged two); ComponentFill re-partitions so each
         // is filled with the exact arithmetic the dense solver uses.
         let (rate, _active) = self.solver.run(ctx.links, ctx.paths, &flows);
-        finish_incremental_recompute(ctx, &comp_flows, comp_links, &rate, total_flows);
+        finish_incremental_recompute(ctx, &rows, comp_links, &flows, &rate, total_flows);
     }
 }
 
@@ -763,8 +877,8 @@ impl RateAllocator for ParallelIncrementalMaxMin {
         self.core.on_link_added();
     }
 
-    fn on_flow_added(&mut self, id: u64, path: &[LinkId]) {
-        self.core.on_flow_added(id, path);
+    fn on_flow_added(&mut self, id: u64, spec: &FlowSpec, path: &[LinkId]) {
+        self.core.on_flow_added(id, spec, path);
     }
 
     fn on_flow_removed(&mut self, id: u64, path: &[LinkId]) {
@@ -781,57 +895,56 @@ impl RateAllocator for ParallelIncrementalMaxMin {
             ctx.scope.record(0, 0, total_flows);
             return;
         }
-        let (comp_flows, comp_links) = self.core.closure(ctx);
-        let flows = component_problem(ctx, &comp_flows);
+        let (rows, comp_links) = self.core.closure(ctx.paths);
+        let flows: Vec<(crate::path::PathId, f64)> = rows.iter().map(|&(_, p, d)| (p, d)).collect();
         let groups = self.solver.partition(ctx.links.len(), ctx.paths, &flows);
 
-        let rate: Vec<f64> =
-            if self.jobs < 2 || groups.len() < 2 || comp_flows.len() < self.min_flows {
-                // Sequential fallback: literally the incremental solver's path.
-                self.solver
-                    .run_groups(ctx.links, ctx.paths, &flows, &groups)
-                    .0
-            } else {
-                // One fill task per component. Workers borrow the link table
-                // and path interner (read-only) and keep private fill scratch;
-                // results come back indexed by component, so the merge below
-                // is in partition order — identical to the sequential loop.
-                let links: &[LinkState] = ctx.links;
-                let paths: &PathInterner = ctx.paths;
-                let problems: Vec<Vec<(crate::path::PathId, f64)>> = groups
-                    .iter()
-                    .map(|idxs| idxs.iter().map(|&i| flows[i]).collect())
-                    .collect();
-                let solved = crate::pool::run_indexed_with(
-                    self.jobs,
-                    problems,
-                    || (Vec::<f64>::new(), Vec::<u32>::new()),
-                    |scratch, _gi, comp| {
-                        let (free, unfrozen_on) = scratch;
-                        Fill {
-                            links,
-                            paths,
-                            free,
-                            unfrozen_on,
-                        }
-                        .run(&comp)
-                        .0
-                    },
-                );
-                let mut rate = vec![0.0f64; flows.len()];
-                for (idxs, group_rates) in groups.iter().zip(solved) {
-                    for (&i, ri) in idxs.iter().zip(group_rates) {
-                        rate[i] = ri;
+        let rate: Vec<f64> = if self.jobs < 2 || groups.len() < 2 || rows.len() < self.min_flows {
+            // Sequential fallback: literally the incremental solver's path.
+            self.solver
+                .run_groups(ctx.links, ctx.paths, &flows, &groups)
+                .0
+        } else {
+            // One fill task per component. Workers borrow the link table
+            // and path interner (read-only) and keep private fill scratch;
+            // results come back indexed by component, so the merge below
+            // is in partition order — identical to the sequential loop.
+            let links: &[LinkState] = ctx.links;
+            let paths: &PathInterner = ctx.paths;
+            let problems: Vec<Vec<(crate::path::PathId, f64)>> = groups
+                .iter()
+                .map(|idxs| idxs.iter().map(|&i| flows[i]).collect())
+                .collect();
+            let solved = crate::pool::run_indexed_with(
+                self.jobs,
+                problems,
+                || (Vec::<f64>::new(), Vec::<u32>::new()),
+                |scratch, _gi, comp| {
+                    let (free, unfrozen_on) = scratch;
+                    Fill {
+                        links,
+                        paths,
+                        free,
+                        unfrozen_on,
                     }
+                    .run(&comp)
+                    .0
+                },
+            );
+            let mut rate = vec![0.0f64; flows.len()];
+            for (idxs, group_rates) in groups.iter().zip(solved) {
+                for (&i, ri) in idxs.iter().zip(group_rates) {
+                    rate[i] = ri;
                 }
-                rate
-            };
-        finish_incremental_recompute(ctx, &comp_flows, comp_links, &rate, total_flows);
+            }
+            rate
+        };
+        finish_incremental_recompute(ctx, &rows, comp_links, &flows, &rate, total_flows);
     }
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::flownet::{FlowNet, FlowSpec};
     use crate::time::SimTime;
@@ -899,6 +1012,10 @@ mod tests {
             ParallelIncrementalMaxMin::with_jobs(3).kind(),
             AllocatorKind::Parallel
         );
+        assert_eq!(
+            crate::surrogate::SurrogateMaxMin::default().kind(),
+            AllocatorKind::Surrogate
+        );
         assert_eq!(AllocatorKind::default(), AllocatorKind::Incremental);
     }
 
@@ -907,7 +1024,11 @@ mod tests {
     /// kills one flow and starts another in rotating pods, then observes
     /// rates (forcing a recompute of every perturbed component at once).
     /// Returns the exact bit pattern of every live rate after every step.
-    fn churn_rate_bits(allocator: Box<dyn RateAllocator>, pods: usize, steps: usize) -> Vec<u64> {
+    pub(crate) fn churn_rate_bits(
+        allocator: Box<dyn RateAllocator>,
+        pods: usize,
+        steps: usize,
+    ) -> Vec<u64> {
         let mut net = FlowNet::with_allocator_box(allocator);
         let mut paths = Vec::new();
         for p in 0..pods {

@@ -58,6 +58,11 @@ impl Flow {
 pub struct FlowArena {
     /// Ascending by id; `None` marks a removed flow awaiting compaction.
     slots: Vec<(u64, Option<Flow>)>,
+    /// Shadow of `slots`' ids, kept 1:1 (tombstones included): binary
+    /// searches probe this compact 8-byte-per-element vector instead of
+    /// striding over the wide slot tuples, which keeps the whole index in
+    /// cache even when tens of thousands of flows are live.
+    ids: Vec<u64>,
     live: usize,
 }
 
@@ -87,6 +92,7 @@ impl FlowArena {
             assert!(id > last, "flow ids must be inserted in increasing order");
         }
         self.slots.push((id, Some(flow)));
+        self.ids.push(id);
         self.live += 1;
     }
 
@@ -99,6 +105,8 @@ impl FlowArena {
             let dead = self.slots.len() - self.live;
             if self.slots.len() >= COMPACT_MIN_SLOTS && dead * 2 > self.slots.len() {
                 self.slots.retain(|(_, f)| f.is_some());
+                self.ids.clear();
+                self.ids.extend(self.slots.iter().map(|&(id, _)| id));
             }
         }
         taken
@@ -142,8 +150,40 @@ impl FlowArena {
         &mut self.slots
     }
 
+    /// Set rates for live flows with the given **ascending** ids (`rates`
+    /// indexed alike). A galloping merge against the id index: each lookup
+    /// searches only past the previous match, so k nearby updates over an
+    /// n-slot arena cost O(k·log(stride)) instead of k full binary
+    /// searches. This is the rate-writeback path of every component-scoped
+    /// recompute.
+    pub fn set_rates_ascending(&mut self, ids: impl IntoIterator<Item = u64>, rates: &[f64]) {
+        let n = self.ids.len();
+        let mut pos = 0usize;
+        for (id, &r) in ids.into_iter().zip(rates.iter()) {
+            // Gallop: exponentially widen [lo, hi) until ids[hi] >= id.
+            let mut step = 1usize;
+            let mut lo = pos;
+            let mut hi = pos;
+            while hi < n && self.ids[hi] < id {
+                lo = hi + 1;
+                hi += step;
+                step <<= 1;
+            }
+            let hi = hi.min(n);
+            let idx = lo + self.ids[lo..hi].partition_point(|&x| x < id);
+            debug_assert!(idx < n && self.ids[idx] == id, "unknown flow id {id}");
+            self.slots[idx]
+                .1
+                .as_mut()
+                .expect("rate writeback targets a live flow")
+                .set_rate_bps(r);
+            pos = idx + 1;
+        }
+    }
+
     fn find(&self, id: u64) -> Option<usize> {
-        self.slots.binary_search_by(|&(sid, _)| sid.cmp(&id)).ok()
+        debug_assert_eq!(self.ids.len(), self.slots.len());
+        self.ids.binary_search(&id).ok()
     }
 }
 

@@ -32,6 +32,7 @@ use crate::path::{PathId, PathInterner};
 use crate::probe::NetProbe;
 use crate::sketch::QuantileSketch;
 use crate::stats::RecomputeScope;
+use crate::surrogate::SurrogateStats;
 use crate::tail::{LinkView, TailEstimator};
 use crate::time::SimTime;
 
@@ -158,6 +159,9 @@ pub struct FlowNet {
     hot_links: Vec<u32>,
     allocator: Box<dyn RateAllocator>,
     scope: RecomputeScope,
+    /// Last observed surrogate-cache counters, for per-recompute probe
+    /// deltas (all-zero for the exact allocators).
+    last_surrogate: SurrogateStats,
     probe: Option<Box<dyn NetProbe + Send>>,
     estimator: Option<Box<dyn TailEstimator>>,
     /// Streaming sketch of completed-flow FCTs (seconds). Always on — one
@@ -202,6 +206,7 @@ impl FlowNet {
             hot_links: Vec::new(),
             allocator,
             scope: RecomputeScope::default(),
+            last_surrogate: SurrogateStats::default(),
             probe: None,
             estimator: None,
             fct: QuantileSketch::default(),
@@ -385,7 +390,8 @@ impl FlowNet {
                 spec,
             },
         );
-        self.allocator.on_flow_added(id, self.paths.get(spec.path));
+        self.allocator
+            .on_flow_added(id, &spec, self.paths.get(spec.path));
         self.rates_dirty = true;
         if let Some(p) = self.probe.as_mut() {
             let path_links = self.paths.get(spec.path).len() as u32;
@@ -532,8 +538,34 @@ impl FlowNet {
             if let Some(p) = self.probe.as_mut() {
                 let d = self.scope.since(&before);
                 p.rate_recompute(self.clock, d.flows_touched, d.links_touched, d.flows_active);
+                if let Some(stats) = self.allocator.surrogate_stats() {
+                    let ds = stats.since(&self.last_surrogate);
+                    if ds.lookups > 0 || ds.mismatches > 0 {
+                        p.surrogate_cache(
+                            self.clock,
+                            ds.lookups,
+                            ds.misses,
+                            ds.validations,
+                            ds.mismatches,
+                        );
+                    }
+                    self.last_surrogate = stats;
+                }
             }
         }
+    }
+
+    /// Cumulative surrogate-cache counters, when the allocator is
+    /// [`AllocatorKind::Surrogate`] (`None` for the exact allocators).
+    pub fn surrogate_stats(&self) -> Option<SurrogateStats> {
+        self.allocator.surrogate_stats()
+    }
+
+    /// Set the surrogate allocator's online-validation cadence (validate
+    /// every Nth prediction; `0` = never, `1` = always). A no-op for the
+    /// exact allocators.
+    pub fn set_surrogate_validate_every(&mut self, every: u32) {
+        self.allocator.set_validate_every(every);
     }
 
     /// Apply progress/queues from `clock` to `now` using current rates.
@@ -963,6 +995,7 @@ mod tests {
             AllocatorKind::Dense,
             AllocatorKind::Incremental,
             AllocatorKind::Parallel,
+            AllocatorKind::Surrogate,
         ] {
             let mut net = FlowNet::with_allocator(kind);
             let l0 = net.add_link(100.0 * GBPS, f64::INFINITY);

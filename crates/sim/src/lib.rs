@@ -43,6 +43,7 @@ pub mod alloc;
 pub mod arena;
 pub mod engine;
 pub mod flownet;
+mod fxhash;
 pub mod packetval;
 pub mod path;
 pub mod pool;
@@ -51,6 +52,7 @@ pub mod rng;
 pub mod series;
 pub mod sketch;
 pub mod stats;
+pub mod surrogate;
 pub mod tail;
 pub mod time;
 pub mod units;
@@ -65,5 +67,6 @@ pub use rng::{label_hash, split_seed, SplitMix64, StreamSeed, Xoshiro256};
 pub use series::TimeSeries;
 pub use sketch::QuantileSketch;
 pub use stats::RecomputeScope;
+pub use surrogate::{SurrogateConfig, SurrogateMaxMin, SurrogateStats};
 pub use tail::{LinkDecompositionEstimator, LinkView, TailEstimator};
 pub use time::{SimDuration, SimTime};

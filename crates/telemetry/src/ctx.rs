@@ -36,16 +36,23 @@ pub struct SimCtx {
     recorder: SharedRecorder,
     root_seed: Option<u64>,
     allocator: AllocatorKind,
+    validate_every: u32,
 }
 
 impl Default for SimCtx {
-    /// Null recorder, no sweep root, allocator from `HPN_ALLOCATOR` —
-    /// the exact behaviour sessions got from the old ambient defaults.
+    /// Null recorder, no sweep root, allocator from `HPN_ALLOCATOR`,
+    /// surrogate validation cadence from `HPN_SURROGATE_VALIDATE_EVERY`
+    /// (default 64) — the exact behaviour sessions got from the old
+    /// ambient defaults.
     fn default() -> Self {
         SimCtx {
             recorder: SharedRecorder::null(),
             root_seed: None,
             allocator: AllocatorKind::from_env(),
+            validate_every: std::env::var("HPN_SURROGATE_VALIDATE_EVERY")
+                .ok()
+                .and_then(|v| v.parse::<u32>().ok())
+                .unwrap_or(64),
         }
     }
 }
@@ -76,6 +83,15 @@ impl SimCtx {
         self
     }
 
+    /// Pin the surrogate allocator's online-validation cadence (validate
+    /// every Nth prediction; `0` = never, `1` = always) instead of the
+    /// `HPN_SURROGATE_VALIDATE_EVERY` default. Only meaningful when the
+    /// allocator is [`AllocatorKind::Surrogate`].
+    pub fn with_validate_every(mut self, every: u32) -> Self {
+        self.validate_every = every;
+        self
+    }
+
     /// The recorder sessions built from this context emit into.
     pub fn recorder(&self) -> &SharedRecorder {
         &self.recorder
@@ -89,6 +105,11 @@ impl SimCtx {
     /// Which rate allocator sessions built from this context run.
     pub fn allocator(&self) -> AllocatorKind {
         self.allocator
+    }
+
+    /// The surrogate allocator's online-validation cadence.
+    pub fn validate_every(&self) -> u32 {
+        self.validate_every
     }
 
     /// The seed a call site with fixed identity `site` should use: split

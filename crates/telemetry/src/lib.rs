@@ -50,7 +50,9 @@ pub use ctx::SimCtx;
 pub use event::Event;
 pub use manifest::{flat_map_json, git_describe, parse_flat_map, RunManifest};
 pub use recorder::{JsonlRecorder, NullRecorder, Recorder, SharedBuf};
-pub use registry::{FlowMetrics, LatencyMetrics, LinkMetrics, RecomputeMetrics, Registry};
+pub use registry::{
+    FlowMetrics, LatencyMetrics, LinkMetrics, RecomputeMetrics, Registry, SurrogateMetrics,
+};
 pub use segment::{merge_segments, replay, EventLog};
 pub use sha256::{hex_digest, Sha256};
 pub use share::SharedRecorder;

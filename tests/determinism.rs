@@ -83,6 +83,84 @@ mod parallel_allocator {
     }
 }
 
+mod surrogate_allocator {
+    //! The memoized surrogate allocator's determinism contract: a
+    //! surrogate session is byte-reproducible run-to-run, indifferent to
+    //! the component pool's worker count (it never uses the pool), and at
+    //! validation cadence 1 its iteration timings match the incremental
+    //! reference exactly.
+
+    use hpn::collectives::CommConfig;
+    use hpn::core::{placement, TrainingSession};
+    use hpn::routing::HashMode;
+    use hpn::sim::AllocatorKind;
+    use hpn::telemetry::{JsonlRecorder, SharedBuf, SharedRecorder, SimCtx};
+    use hpn::topology::HpnConfig;
+    use hpn::transport::ClusterSim;
+    use hpn::workload::{ModelSpec, ParallelismPlan, TrainingJob};
+
+    /// Run one medium-fabric training session under an explicit context —
+    /// no `HPN_ALLOCATOR` environment writes, so this is safe under
+    /// parallel test threads.
+    fn session_fingerprint(kind: AllocatorKind, validate_every: u32) -> (Vec<u64>, String) {
+        let buf = SharedBuf::new();
+        let ctx = SimCtx::new()
+            .with_recorder(SharedRecorder::new(Box::new(JsonlRecorder::new(
+                buf.clone(),
+            ))))
+            .with_allocator(kind)
+            .with_validate_every(validate_every);
+        let mut cs = ClusterSim::with_ctx(HpnConfig::medium().build(), HashMode::Polarized, &ctx);
+        let rails = cs.fabric.host_params.rails;
+        let hosts = placement::place_segment_first(&cs.fabric, 8).unwrap();
+        let job = TrainingJob::new(
+            ModelSpec::llama_7b(),
+            ParallelismPlan::new(rails, 2, 4),
+            hosts,
+            rails,
+            256,
+        );
+        let mut session = TrainingSession::new(job, CommConfig::hpn_default());
+        session.run_iterations(&mut cs, 3);
+        let nanos = session.records().iter().map(|r| r.end.as_nanos()).collect();
+        (nanos, buf.text())
+    }
+
+    #[test]
+    fn surrogate_session_is_byte_reproducible() {
+        let (nanos_a, telemetry_a) = session_fingerprint(AllocatorKind::Surrogate, 64);
+        let (nanos_b, telemetry_b) = session_fingerprint(AllocatorKind::Surrogate, 64);
+        assert_eq!(nanos_a, nanos_b, "surrogate iteration timings drifted");
+        assert_eq!(
+            telemetry_a, telemetry_b,
+            "surrogate telemetry stream is not byte-identical across runs"
+        );
+        assert!(
+            telemetry_a.contains("\"ev\":\"rate_recompute\""),
+            "session never exercised the rate allocator"
+        );
+    }
+
+    #[test]
+    fn surrogate_at_cadence_one_times_like_incremental() {
+        // At validate_every=1 every prediction is re-solved exactly, so
+        // flow rates — and therefore completion times and iteration
+        // timings — must match the incremental reference bit for bit.
+        // (The telemetry text differs: surrogate sessions emit extra
+        // surrogate_miss events.)
+        let (nanos_incr, _) = session_fingerprint(AllocatorKind::Incremental, 0);
+        let (nanos_surr, telemetry_surr) = session_fingerprint(AllocatorKind::Surrogate, 1);
+        assert_eq!(
+            nanos_incr, nanos_surr,
+            "surrogate at cadence 1 drifted from the incremental reference"
+        );
+        assert!(
+            telemetry_surr.contains("\"ev\":\"surrogate_miss\""),
+            "surrogate session emitted no cache telemetry"
+        );
+    }
+}
+
 /// Fresh per-test scratch dir under the target tree.
 fn tmp_dir(name: &str) -> PathBuf {
     let d = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
