@@ -30,7 +30,7 @@ fn fabric_cfg(scale: Scale) -> HpnConfig {
 
 fn all_to_all_time(ctx: &SimCtx, topo: TopologySpec, scale: Scale, relay: bool) -> f64 {
     let mut cs = common::build_cluster(ctx, topo);
-    cs.router.relay_cross_rail = relay;
+    cs.router_mut().relay_cross_rail = relay;
     let rails = cs.fabric.host_params.rails;
     let hosts = scale.pick(6usize, 4);
     // Ranks across rails AND hosts — the expert layout that breaks the
@@ -65,7 +65,7 @@ pub fn run(ctx: &SimCtx, scale: Scale) -> Report {
     let rail = all_to_all_time(ctx, TopologySpec::RailOnly(cfg), scale, true);
     let serverless_on_rail_only = {
         let mut cs = common::build_cluster(ctx, TopologySpec::RailOnly(cfg));
-        cs.router.relay_cross_rail = false;
+        cs.router_mut().relay_cross_rail = false;
         let dst = cs.fabric.segment_hosts(0)[1].id;
         cs.router
             .route(

@@ -16,6 +16,7 @@ pub mod gate;
 pub mod report;
 pub mod runner;
 pub mod scenario_cli;
+pub mod serve;
 
 // The work-stealing pool moved down into `hpn-sim` so the parallel rate
 // allocator could share it; re-exported here for the bench binaries.

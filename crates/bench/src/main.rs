@@ -24,10 +24,17 @@
 //!                                      # against the checked-in baseline
 //! hpn-experiments scenario fuzz [--seeds A..B] [--jobs N]
 //!                               [--budget-secs S] [--mutate M] [--out DIR]
-//!                               [repro.toml…]
+//!                               [--serve] [repro.toml…]
 //!                                      # property-fuzz the simulator; shrunk
 //!                                      # reproducers land in --out (default
-//!                                      # target/fuzz)
+//!                                      # target/fuzz); --serve instead POSTs
+//!                                      # fuzz-derived scenarios to an
+//!                                      # in-process serve instance and
+//!                                      # requires bitwise-oracle-equal output
+//! hpn-experiments serve [--addr H:P] [--jobs N] [--quick] [--share-memo]
+//!                                      # long-running what-if server with a
+//!                                      # cross-request artifact cache; see
+//!                                      # EXPERIMENTS.md "Service mode"
 //! ```
 //!
 //! `--jobs N` runs experiment cells on up to N worker threads; outputs are
@@ -93,6 +100,7 @@ fn main() {
     let current_arg = opt_value(&args, "--current");
     let threshold_arg = opt_value(&args, "--threshold");
     let validate_every_arg = opt_value(&args, "--validate-every");
+    let addr_arg = opt_value(&args, "--addr");
     if let Some(v) = &validate_every_arg {
         match v.parse::<u32>() {
             // `0` = never validate is a legal cadence for perf probing.
@@ -127,6 +135,7 @@ fn main() {
         &current_arg,
         &threshold_arg,
         &validate_every_arg,
+        &addr_arg,
     ]
     .iter()
     .filter_map(|o| o.as_deref())
@@ -197,6 +206,10 @@ fn main() {
                             std::process::exit(2);
                         }
                     };
+                    if args.iter().any(|a| a == "--serve") {
+                        scenario_fuzz_serve(files, jobs, seeds);
+                        return;
+                    }
                     let budget_secs = match &budget_arg {
                         None => None,
                         Some(v) => match v.parse::<f64>() {
@@ -252,6 +265,11 @@ fn main() {
                 threshold,
                 update,
             );
+        }
+        "serve" => {
+            let addr = addr_arg.as_deref().unwrap_or("127.0.0.1:7070");
+            let share_memo = args.iter().any(|a| a == "--share-memo");
+            serve(addr, jobs, scale, share_memo);
         }
         "run" => {
             let seeds = match seeds_arg.as_deref().map(parse_seeds) {
@@ -763,6 +781,115 @@ fn scenario_fuzz(
             "re-run one case: hpn-experiments scenario fuzz --seeds <seed> [--mutate {}]",
             mutation.name()
         );
+        std::process::exit(1);
+    }
+}
+
+/// The `serve` subcommand: run the what-if server until `POST /shutdown`.
+fn serve(addr: &str, jobs: usize, scale: Scale, share_memo: bool) {
+    use hpn_bench::serve::{ServeConfig, Server};
+    let server = match Server::spawn(
+        addr,
+        ServeConfig {
+            jobs,
+            scale,
+            share_memo,
+        },
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve: cannot bind {addr}: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "serve: listening on http://{} ({:?}, jobs={jobs}, memo sharing {})",
+        server.addr(),
+        scale,
+        if share_memo { "on" } else { "off" },
+    );
+    eprintln!("serve: POST /scenario/check | POST /scenario/run | GET /status | POST /shutdown");
+    server.join();
+    eprintln!("serve: shut down cleanly");
+}
+
+/// The `scenario fuzz --serve` leg: POST fuzz-derived scenarios (generated
+/// from seeds, or loaded reproducer files) to an in-process serve instance
+/// and require each response to be bitwise equal to the in-process,
+/// cache-free oracle. Repeats share the server's artifact cache, so this
+/// sweeps warm-cache states the unit tests cannot reach.
+fn scenario_fuzz_serve(files: &[String], jobs: usize, seeds: Option<Vec<u64>>) {
+    use hpn_bench::scenario_cli;
+    use hpn_bench::serve::{diff_vs_oracle, ServeConfig, Server};
+
+    let mut cases: Vec<(String, hpn_scenario::Scenario)> = Vec::new();
+    if files.is_empty() {
+        // Default smaller than the invariant-fuzz range: every case runs
+        // the full simulation twice (served + oracle).
+        for seed in seeds.unwrap_or_else(|| (1..=10).collect()) {
+            cases.push((format!("seed {seed}"), hpn_check::generate(seed)));
+        }
+    } else {
+        let mut bad = false;
+        for p in files {
+            match scenario_cli::load(std::path::Path::new(p)).and_then(|sc| sc.check().map(|()| sc))
+            {
+                Ok(sc) => cases.push((p.clone(), sc)),
+                Err(e) => {
+                    eprintln!("{e}");
+                    bad = true;
+                }
+            }
+        }
+        if bad {
+            std::process::exit(2);
+        }
+    }
+    let server = match Server::spawn(
+        "127.0.0.1:0",
+        ServeConfig {
+            jobs,
+            scale: Scale::Quick,
+            share_memo: false,
+        },
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fuzz --serve: cannot bind loopback: {e}");
+            std::process::exit(2);
+        }
+    };
+    eprintln!(
+        "scenario fuzz --serve: {} case(s) against http://{} (jobs={jobs})",
+        cases.len(),
+        server.addr()
+    );
+    let start = std::time::Instant::now();
+    let mut failing = 0usize;
+    for (label, sc) in &cases {
+        match diff_vs_oracle(server.addr(), sc, Scale::Quick) {
+            Ok(()) => println!(
+                "  {label:<12} ok    serve ≡ oracle (scenario '{}')",
+                sc.name
+            ),
+            Err(e) => {
+                failing += 1;
+                println!("  {label:<12} FAIL  {e}");
+            }
+        }
+    }
+    let stats = server.cache_stats();
+    server.stop();
+    server.join();
+    eprintln!(
+        "fuzz --serve: {} checked, {failing} failing, {:.2}s wall \
+         (cache: {} topology hits / {} misses)",
+        cases.len(),
+        start.elapsed().as_secs_f64(),
+        stats.topology_hits,
+        stats.topology_misses,
+    );
+    if failing > 0 {
         std::process::exit(1);
     }
 }

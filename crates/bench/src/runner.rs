@@ -173,8 +173,22 @@ fn cell_label(cell: &Cell, scale: Scale) -> String {
 /// (closures built by `scenario_cli`) run through the exact same context /
 /// telemetry / fingerprint machinery as the registered experiments.
 fn run_cell<F: Fn(&SimCtx, Scale) -> Report>(cell: &Cell, scale: Scale, f: F) -> CellResult {
+    run_cell_into(cell, scale, EventLog::new(), f)
+}
+
+/// Run one cell capturing into a caller-supplied [`EventLog`]. The serve
+/// path hands in a log it keeps a clone of, so a connection thread can
+/// stream the cell's telemetry ([`hpn_telemetry::EventStream`]) while the
+/// cell still runs; the result's `events` are the complete segment either
+/// way, so downstream manifest/fingerprint handling is identical.
+pub fn run_cell_into<F: Fn(&SimCtx, Scale) -> Report>(
+    cell: &Cell,
+    scale: Scale,
+    log: EventLog,
+    f: F,
+) -> CellResult {
     let start = std::time::Instant::now();
-    let log = EventLog::new();
+    assert!(log.is_empty(), "cell log must start empty");
     let registry = Arc::new(Mutex::new(Registry::new()));
     let rec = SharedRecorder::new(Box::new(CellSink {
         log: log.clone(),

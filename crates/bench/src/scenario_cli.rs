@@ -17,7 +17,7 @@ use std::path::Path;
 use hpn_core::{IterationOutcome, TrainingSession};
 use hpn_faults::{FaultEvent, FaultKind};
 use hpn_routing::HashMode;
-use hpn_scenario::{Scenario, ScenarioError};
+use hpn_scenario::{ArtifactCache, Scenario, ScenarioError};
 use hpn_sim::{LinkDecompositionEstimator, QuantileSketch, TimeSeries};
 use hpn_telemetry::SimCtx;
 use hpn_transport::ClusterSim;
@@ -207,9 +207,43 @@ pub fn report_with_latency(
     scale: Scale,
     latency: LatencyMode,
 ) -> Report {
-    let mut built = sc
+    let built = sc
         .build_with(ctx)
         .unwrap_or_else(|e| panic!("scenario '{}' failed to build: {e}", sc.name));
+    report_from_session(sc, built, scale, latency).0
+}
+
+/// [`report_with_latency`] with every cacheable build phase routed through
+/// `cache` ([`Scenario::build_cached`]), and the finished run's artifacts
+/// harvested back so the next same-shape request starts warm. This is the
+/// serve path; the batch CLI stays cache-free. With memo sharing off (the
+/// default) the output is byte-identical to the uncached path — fabric and
+/// router are immutable shares and the warmed path interner never reaches
+/// output bytes (DESIGN.md §9).
+pub fn report_with_latency_cached(
+    ctx: &SimCtx,
+    sc: &Scenario,
+    scale: Scale,
+    latency: LatencyMode,
+    cache: &ArtifactCache,
+) -> Report {
+    let built = sc
+        .build_cached(ctx, cache)
+        .unwrap_or_else(|e| panic!("scenario '{}' failed to build: {e}", sc.name));
+    let (r, cluster) = report_from_session(sc, built, scale, latency);
+    cache.harvest(sc, &cluster);
+    r
+}
+
+/// The shared reduction: drive a built [`Session`] to a [`Report`],
+/// returning the cluster too so the cached path can harvest its artifacts
+/// after the run.
+fn report_from_session(
+    sc: &Scenario,
+    mut built: hpn_scenario::Session,
+    scale: Scale,
+    latency: LatencyMode,
+) -> (Report, ClusterSim) {
     let mut r = Report::new(
         &sc.name,
         &format!("user scenario ({} topology)", sc.topology.kind()),
@@ -295,7 +329,7 @@ pub fn report_with_latency(
             add_latency_rows(&mut r, &mut built.cluster, latency);
         }
     }
-    r
+    (r, built.cluster)
 }
 
 /// `scenario check`: validate every file, print one line per file, and
@@ -422,6 +456,24 @@ mod tests {
         assert_eq!(LatencyMode::from_name("both"), Some(LatencyMode::Both));
         assert_eq!(LatencyMode::from_name("off"), None);
         assert_eq!(LatencyMode::from_name(""), None);
+    }
+
+    #[test]
+    fn cached_report_matches_uncached_cold_and_warm() {
+        let cache = ArtifactCache::new();
+        let sc = training_scenario();
+        let plain = report_for(&SimCtx::new(), &sc, Scale::Quick);
+        let cold =
+            report_with_latency_cached(&SimCtx::new(), &sc, Scale::Quick, LatencyMode::Off, &cache);
+        let warm =
+            report_with_latency_cached(&SimCtx::new(), &sc, Scale::Quick, LatencyMode::Off, &cache);
+        assert_eq!(plain.to_json(), cold.to_json());
+        assert_eq!(plain.to_json(), warm.to_json());
+        let stats = cache.stats();
+        assert_eq!(stats.topology_hits, 1, "warm run reused the fabric");
+        assert_eq!(stats.router_hits, 1, "warm run reused the router");
+        assert_eq!(stats.path_hits, 1, "warm run reused the route set");
+        assert_eq!(stats.harvests, 2);
     }
 
     #[test]

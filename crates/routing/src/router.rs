@@ -120,6 +120,12 @@ impl std::fmt::Display for RouteError {
 impl std::error::Error for RouteError {}
 
 /// The router: precomputed candidate tables over one fabric.
+///
+/// `Clone` exists so an `Arc`-shared router can be copy-on-write mutated
+/// (`Arc::make_mut`) by experiments that flip policy knobs like
+/// [`Router::relay_cross_rail`] without disturbing other sessions sharing
+/// the same tables.
+#[derive(Clone)]
 pub struct Router {
     hasher: EcmpHasher,
     /// Core egress policy.

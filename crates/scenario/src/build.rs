@@ -7,9 +7,12 @@
 //! Everything that used to be a scattered `unwrap`/`assert` in experiment
 //! code surfaces here as a [`ScenarioError`] naming the offending field.
 
+use std::sync::Arc;
+
 use hpn_collectives::CommConfig;
 use hpn_core::{placement, TrainingSession};
 use hpn_faults::{FaultEvent, FaultKind, FaultRates};
+use hpn_routing::router::Router;
 use hpn_sim::{SimDuration, SimTime};
 use hpn_telemetry::SimCtx;
 use hpn_topology::{try_build_rail_only, try_fat_tree, Fabric};
@@ -262,8 +265,47 @@ impl Scenario {
     /// recorder and runs its rate allocator. The resulting session is
     /// `Send`, so the experiment runner builds one per sweep cell and
     /// ships it to a worker thread.
+    ///
+    /// Composed from the three cacheable phases —
+    /// [`build_topology`](Scenario::build_topology) →
+    /// [`build_routing`](Scenario::build_routing) →
+    /// [`attach_workload`](Scenario::attach_workload) — so a cold build
+    /// and a cache-warm [`build_cached`](Scenario::build_cached) run the
+    /// exact same construction code.
     pub fn build_with(&self, ctx: &SimCtx) -> Result<Session, ScenarioError> {
-        let fabric = self.topology.try_build()?;
+        let fabric = self.build_topology()?;
+        let router = self.build_routing(&fabric);
+        self.attach_workload(fabric, router, ctx)
+    }
+
+    /// Phase 1 of the build: the fabric wiring this scenario's
+    /// `[topology]` section describes, `Arc`-shared so an artifact cache
+    /// can hand the same built fabric to many sessions. Deterministic in
+    /// the section alone — two scenarios with byte-equal canonical
+    /// `[topology]` sections build interchangeable fabrics.
+    pub fn build_topology(&self) -> Result<Arc<Fabric>, ScenarioError> {
+        Ok(Arc::new(self.topology.try_build()?))
+    }
+
+    /// Phase 2 of the build: routing tables over a built fabric, plus the
+    /// `[routing]` section's hash-mode selection. Pure in (fabric,
+    /// section), so it is cacheable under the two sections combined.
+    pub fn build_routing(&self, fabric: &Fabric) -> Arc<Router> {
+        Arc::new(Router::new(fabric, self.routing.hash))
+    }
+
+    /// Phase 3 of the build: validate the `[workload]` and `[faults]`
+    /// sections against the (possibly cache-shared) fabric, then wire the
+    /// cluster runtime around the pre-built parts. Validation runs
+    /// *before* the runtime is constructed, so an unbuildable scenario
+    /// errors without emitting a `SimStart` marker — exactly as the
+    /// monolithic `build_with` always behaved.
+    pub fn attach_workload(
+        &self,
+        fabric: Arc<Fabric>,
+        router: Arc<Router>,
+        ctx: &SimCtx,
+    ) -> Result<Session, ScenarioError> {
         let workload = match &self.workload {
             None => None,
             Some(w) => Some(build_workload(&fabric, w)?),
@@ -272,7 +314,7 @@ impl Scenario {
             None => Vec::new(),
             Some(f) => build_faults(&fabric, f)?,
         };
-        let cluster = ClusterSim::with_ctx(fabric, self.routing.hash, ctx);
+        let cluster = ClusterSim::from_parts(fabric, router, ctx);
         Ok(Session {
             cluster,
             workload,

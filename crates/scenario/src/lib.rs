@@ -37,12 +37,14 @@
 #![warn(missing_docs)]
 
 mod build;
+pub mod cache;
 mod error;
 pub mod links;
 mod spec;
 pub mod toml;
 
 pub use build::{BuiltWorkload, Session};
+pub use cache::{ArtifactCache, CacheStats};
 pub use error::ScenarioError;
 pub use spec::{
     FaultsSpec, Injection, ModelId, PlacementSpec, RoutingSpec, Scenario, TopologySpec,

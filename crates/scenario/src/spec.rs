@@ -8,6 +8,7 @@
 //! exactly the wiring the figures exercise.
 
 use hpn_routing::HashMode;
+use hpn_topology::fabric::HostParams;
 use hpn_topology::{DcnPlusConfig, HpnConfig};
 use hpn_workload::ModelSpec;
 
@@ -475,6 +476,45 @@ impl<'a> Sect<'a> {
     }
 }
 
+/// Parse a `[topology.host]` sub-table over `cfg` (preset values stand for
+/// any key the table omits).
+fn read_host(sect: &Sect, cfg: &mut HostParams) -> Result<(), ScenarioError> {
+    sect.check_keys(&[
+        "rails",
+        "nvlink_bps",
+        "pcie_bps",
+        "nic_port_bps",
+        "host_buffer_bits",
+    ])?;
+    if let Some(v) = sect.opt_usize("rails")? {
+        cfg.rails = v;
+    }
+    if let Some(v) = sect.opt_f64("nvlink_bps")? {
+        cfg.nvlink_bps = v;
+    }
+    if let Some(v) = sect.opt_f64("pcie_bps")? {
+        cfg.pcie_bps = v;
+    }
+    if let Some(v) = sect.opt_f64("nic_port_bps")? {
+        cfg.nic_port_bps = v;
+    }
+    if let Some(v) = sect.opt_f64("host_buffer_bits")? {
+        cfg.host_buffer_bits = v;
+    }
+    Ok(())
+}
+
+/// The `[topology.host]` table `read_host` inverts.
+fn host_table(h: &HostParams) -> Table {
+    let mut t = Table::new();
+    t.set("rails", Value::Int(h.rails as i64));
+    t.set("nvlink_bps", Value::Float(h.nvlink_bps));
+    t.set("pcie_bps", Value::Float(h.pcie_bps));
+    t.set("nic_port_bps", Value::Float(h.nic_port_bps));
+    t.set("host_buffer_bits", Value::Float(h.host_buffer_bits));
+    t
+}
+
 fn read_hpn(sect: &Sect) -> Result<HpnConfig, ScenarioError> {
     sect.check_keys(&[
         "kind",
@@ -491,6 +531,7 @@ fn read_hpn(sect: &Sect) -> Result<HpnConfig, ScenarioError> {
         "dual_tor",
         "dual_plane",
         "rail_optimized",
+        "host",
     ])?;
     let mut cfg = match sect.opt_str("preset")? {
         None => HpnConfig::paper(),
@@ -543,6 +584,9 @@ fn read_hpn(sect: &Sect) -> Result<HpnConfig, ScenarioError> {
     if let Some(v) = sect.opt_bool("rail_optimized")? {
         cfg.rail_optimized = v;
     }
+    if let Some(h) = sect.sub("host")? {
+        read_host(&h, &mut cfg.host)?;
+    }
     Ok(cfg)
 }
 
@@ -559,6 +603,7 @@ fn read_dcnplus(sect: &Sect) -> Result<DcnPlusConfig, ScenarioError> {
         "cores",
         "trunk_bps",
         "switch_buffer_bits",
+        "host",
     ])?;
     let mut cfg = match sect.opt_str("preset")? {
         None => DcnPlusConfig::paper(),
@@ -600,6 +645,9 @@ fn read_dcnplus(sect: &Sect) -> Result<DcnPlusConfig, ScenarioError> {
     }
     if let Some(v) = sect.opt_f64("switch_buffer_bits")? {
         cfg.switch_buffer_bits = v;
+    }
+    if let Some(h) = sect.sub("host")? {
+        read_host(&h, &mut cfg.host)?;
     }
     Ok(cfg)
 }
@@ -787,6 +835,12 @@ impl Scenario {
     }
 
     /// Serialize to a document (`from_doc` inverts this).
+    ///
+    /// Every field that affects the built fabric is written explicitly —
+    /// including the `[topology.host]` hardware parameters — so parsing the
+    /// document back never has to guess a preset. This is what makes
+    /// `to_doc` usable as a cache key and `to_toml` safe to POST to a
+    /// server: the server rebuilds exactly the scenario the client held.
     pub fn to_doc(&self) -> Table {
         let mut doc = Table::new();
         doc.set("name", Value::Str(self.name.clone()));
@@ -813,6 +867,7 @@ impl Scenario {
                 topo.set("dual_tor", Value::Bool(cfg.dual_tor));
                 topo.set("dual_plane", Value::Bool(cfg.dual_plane));
                 topo.set("rail_optimized", Value::Bool(cfg.rail_optimized));
+                topo.set("host", Value::Table(host_table(&cfg.host)));
             }
             TopologySpec::DcnPlus(cfg) => {
                 topo.set("pods", Value::Int(cfg.pods as i64));
@@ -827,6 +882,7 @@ impl Scenario {
                 topo.set("cores", Value::Int(cfg.cores as i64));
                 topo.set("trunk_bps", Value::Float(cfg.trunk_bps));
                 topo.set("switch_buffer_bits", Value::Float(cfg.switch_buffer_bits));
+                topo.set("host", Value::Table(host_table(&cfg.host)));
             }
             TopologySpec::FatTree {
                 k,
@@ -939,6 +995,23 @@ mod tests {
         let text = s.to_toml();
         let back = Scenario::parse_toml(&text).expect("round-trips");
         assert_eq!(s, back, "serialized:\n{text}");
+    }
+
+    /// Host hardware parameters must survive the round trip even when they
+    /// differ from the `paper` defaults the parser starts from — `tiny()`
+    /// has 2 rails, not 8, and dropping that silently quadruples the
+    /// fabric a server rebuilds from the serialized form.
+    #[test]
+    fn toml_round_trip_keeps_host_params() {
+        for spec in [
+            TopologySpec::Hpn(HpnConfig::tiny()),
+            TopologySpec::RailOnly(HpnConfig::tiny()),
+            TopologySpec::DcnPlus(DcnPlusConfig::tiny()),
+        ] {
+            let s = Scenario::new("host-params", spec);
+            let back = Scenario::parse_toml(&s.to_toml()).expect("round-trips");
+            assert_eq!(s, back, "serialized:\n{}", s.to_toml());
+        }
     }
 
     #[test]

@@ -162,6 +162,21 @@ pub trait RateAllocator: Send {
     fn set_validate_every(&mut self, every: u32) {
         let _ = every;
     }
+
+    /// Export the allocator's shareable memo state for a cross-run
+    /// artifact cache. Only [`crate::surrogate::SurrogateMaxMin`] has one
+    /// (its canonical-shape cache); the exact allocators return `None`.
+    fn export_memo(&self) -> Option<crate::surrogate::SurrogateSeed> {
+        None
+    }
+
+    /// Warm the allocator from a previously exported memo. Returns whether
+    /// the allocator accepted the seed; the exact allocators ignore it and
+    /// return `false`.
+    fn seed_memo(&mut self, seed: &crate::surrogate::SurrogateSeed) -> bool {
+        let _ = seed;
+        false
+    }
 }
 
 /// Shared core: progressive filling over one set of flows.

@@ -326,6 +326,34 @@ impl FlowNet {
         self.paths.len()
     }
 
+    /// A frozen snapshot of every interned path (insertion order,
+    /// `Arc`-shared) — the cacheable route-set artifact of this net. See
+    /// [`FlowNet::seed_paths`].
+    pub fn path_snapshot(&self) -> crate::path::PathSet {
+        self.paths.snapshot()
+    }
+
+    /// Warm a **fresh** net's interner from a snapshot taken off an
+    /// identical fabric: every path is re-interned in the donor's
+    /// insertion order, so later `intern_path` calls for the same routes
+    /// become lookups instead of allocations. `PathId` values never reach
+    /// simulation output bytes (events carry path *lengths*; allocator
+    /// math is id-independent), so seeding cannot change results — see
+    /// DESIGN.md §9 for the full argument.
+    ///
+    /// # Panics
+    /// Panics if this net already interned paths, or if the snapshot
+    /// references a link this net does not have.
+    pub fn seed_paths(&mut self, set: &crate::path::PathSet) {
+        if let Some(max) = set.max_link() {
+            assert!(
+                (max.0 as usize) < self.links.len(),
+                "path snapshot references unknown link {max:?}"
+            );
+        }
+        self.paths.seed(set);
+    }
+
     /// Number of links.
     pub fn link_count(&self) -> usize {
         self.links.len()
@@ -566,6 +594,21 @@ impl FlowNet {
     /// exact allocators.
     pub fn set_surrogate_validate_every(&mut self, every: u32) {
         self.allocator.set_validate_every(every);
+    }
+
+    /// Export the allocator's shareable memo (the surrogate's
+    /// canonical-shape cache), if it keeps one.
+    pub fn export_surrogate_memo(&self) -> Option<crate::surrogate::SurrogateSeed> {
+        self.allocator.export_memo()
+    }
+
+    /// Warm the allocator from a previously exported memo. Returns whether
+    /// the allocator accepted it (`false` for the exact allocators).
+    /// Warm-memo hits change the surrogate's hit/miss telemetry — they are
+    /// honest about inherited state — so callers that require cold-vs-warm
+    /// byte identity under the surrogate allocator must not seed.
+    pub fn seed_surrogate_memo(&mut self, seed: &crate::surrogate::SurrogateSeed) -> bool {
+        self.allocator.seed_memo(seed)
     }
 
     /// Apply progress/queues from `clock` to `now` using current rates.

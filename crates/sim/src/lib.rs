@@ -61,12 +61,12 @@ pub use alloc::{AllocatorKind, ParallelIncrementalMaxMin, RateAllocator};
 pub use arena::{Flow, FlowArena};
 pub use engine::{Engine, EventId};
 pub use flownet::{FlowHandle, FlowNet, FlowSpec, LinkId, LinkState};
-pub use path::{PathId, PathInterner};
+pub use path::{PathId, PathInterner, PathSet};
 pub use probe::NetProbe;
 pub use rng::{label_hash, split_seed, SplitMix64, StreamSeed, Xoshiro256};
 pub use series::TimeSeries;
 pub use sketch::QuantileSketch;
 pub use stats::RecomputeScope;
-pub use surrogate::{SurrogateConfig, SurrogateMaxMin, SurrogateStats};
+pub use surrogate::{SurrogateConfig, SurrogateMaxMin, SurrogateSeed, SurrogateStats};
 pub use tail::{LinkDecompositionEstimator, LinkView, TailEstimator};
 pub use time::{SimDuration, SimTime};

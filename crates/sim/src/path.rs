@@ -75,6 +75,79 @@ impl PathInterner {
     pub fn is_empty(&self) -> bool {
         self.paths.is_empty()
     }
+
+    /// A frozen, cheaply clonable snapshot of every interned path, in
+    /// insertion order. The snapshot shares the underlying `Arc<[LinkId]>`
+    /// allocations, so taking one is O(paths) pointer copies, not a deep
+    /// copy of the link sequences.
+    pub fn snapshot(&self) -> PathSet {
+        PathSet {
+            paths: self.paths.clone().into(),
+        }
+    }
+
+    /// Pre-populate an **empty** interner from a snapshot, in the
+    /// snapshot's insertion order. Used to warm a fresh simulation with
+    /// the route set of an identical earlier one: interning is
+    /// insertion-ordered, so re-interning the same sequences in the same
+    /// order assigns the same ids the donor run assigned (and `PathId`
+    /// values never reach simulation output bytes regardless — see the
+    /// cache-safety notes in DESIGN.md §9).
+    ///
+    /// # Panics
+    /// Panics if this interner already holds paths: seeding a used
+    /// interner would renumber nothing and silently diverge from the
+    /// snapshot's id assignment.
+    pub fn seed(&mut self, set: &PathSet) {
+        assert!(
+            self.is_empty(),
+            "seed() on a non-empty interner ({} paths)",
+            self.paths.len()
+        );
+        for links in set.paths.iter() {
+            let id = PathId(u32::try_from(self.paths.len()).expect("path overflow"));
+            self.paths.push(links.clone());
+            self.by_links.insert(links.clone(), id);
+        }
+    }
+}
+
+/// A frozen, `Arc`-shared set of interned paths — the cacheable artifact a
+/// [`PathInterner`] produces via [`PathInterner::snapshot`] and consumes
+/// via [`PathInterner::seed`]. Clones share the backing storage, so a
+/// cross-request artifact cache can hand the same snapshot to many
+/// concurrent sessions without copying.
+#[derive(Clone, Debug, Default)]
+pub struct PathSet {
+    paths: Arc<[Arc<[LinkId]>]>,
+}
+
+impl PathSet {
+    /// Number of paths in the set.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True when the set holds no paths.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// The paths, in the donor interner's insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &[LinkId]> {
+        self.paths.iter().map(|p| p.as_ref())
+    }
+
+    /// The largest link id referenced by any path, if the set is
+    /// non-empty. Callers seeding a `FlowNet` use this to check the
+    /// snapshot fits the target link space.
+    pub fn max_link(&self) -> Option<LinkId> {
+        self.paths
+            .iter()
+            .flat_map(|p| p.iter())
+            .copied()
+            .max_by_key(|l| l.0)
+    }
 }
 
 #[cfg(test)]
@@ -107,5 +180,49 @@ mod tests {
         let id = it.intern(&[LinkId(3)]);
         assert!(it.contains(id));
         assert!(!it.contains(PathId(1)));
+    }
+
+    #[test]
+    fn snapshot_seed_round_trips_ids_and_order() {
+        let mut donor = PathInterner::new();
+        let a = donor.intern(&[LinkId(0), LinkId(1)]);
+        let b = donor.intern(&[LinkId(2)]);
+        let c = donor.intern(&[LinkId(1), LinkId(0)]);
+        let snap = donor.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap.max_link(), Some(LinkId(2)));
+
+        let mut warmed = PathInterner::new();
+        warmed.seed(&snap);
+        assert_eq!(warmed.len(), 3);
+        // Re-interning the donor's sequences yields the donor's ids.
+        assert_eq!(warmed.intern(&[LinkId(0), LinkId(1)]), a);
+        assert_eq!(warmed.intern(&[LinkId(2)]), b);
+        assert_eq!(warmed.intern(&[LinkId(1), LinkId(0)]), c);
+        // New paths extend past the seeded range.
+        let d = warmed.intern(&[LinkId(5)]);
+        assert_eq!(d, PathId(3));
+        assert_eq!(warmed.get(a), &[LinkId(0), LinkId(1)]);
+    }
+
+    #[test]
+    fn empty_snapshot_is_a_noop_seed() {
+        let snap = PathInterner::new().snapshot();
+        assert!(snap.is_empty());
+        assert_eq!(snap.max_link(), None);
+        let mut it = PathInterner::new();
+        it.seed(&snap);
+        assert!(it.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty interner")]
+    fn seeding_a_used_interner_is_rejected() {
+        let mut donor = PathInterner::new();
+        donor.intern(&[LinkId(0)]);
+        let snap = donor.snapshot();
+        let mut it = PathInterner::new();
+        it.intern(&[LinkId(9)]);
+        it.seed(&snap);
     }
 }

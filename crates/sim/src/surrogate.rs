@@ -578,6 +578,45 @@ struct FrontEntry {
     rates: Option<(u64, Arc<Vec<f64>>)>,
 }
 
+/// A frozen export of the canonical-shape cache — the cross-run shareable
+/// half of a [`SurrogateMaxMin`]'s memo. Entries are `(canonical key,
+/// rates at canonical scale)` in the donor's FIFO insertion order, and the
+/// backing storage is `Arc`-shared, so a cross-request artifact cache can
+/// hand one seed to many sessions without copying rate vectors.
+///
+/// Only the *canonical* layer is exported: canonical keys and their scale
+/// normalization are independent of `PathId` assignment and flow ids, so
+/// they transplant across simulations of the same fabric. The raw
+/// front-memo (`shapes`) embeds interner-local path ids in its sort keys
+/// and is deliberately not part of a seed.
+#[derive(Clone, Default)]
+pub struct SurrogateSeed {
+    entries: Arc<Vec<SeedEntry>>,
+}
+
+/// One exported cache entry: `(canonical key, rates at canonical scale)`.
+type SeedEntry = (Vec<u64>, Arc<Vec<f64>>);
+
+impl SurrogateSeed {
+    /// Number of cached shapes in the seed.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the seed holds no shapes.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl std::fmt::Debug for SurrogateSeed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SurrogateSeed")
+            .field("shapes", &self.entries.len())
+            .finish()
+    }
+}
+
 /// The memoized surrogate allocator. See the module docs for the cache
 /// design and the memoization-safety argument.
 pub struct SurrogateMaxMin {
@@ -660,6 +699,46 @@ impl SurrogateMaxMin {
     /// Cumulative cache counters.
     pub fn stats(&self) -> SurrogateStats {
         self.stats
+    }
+
+    /// Export the canonical-shape cache as a shareable [`SurrogateSeed`]:
+    /// live entries in FIFO insertion order (stale keys left behind by
+    /// invalidation are skipped, duplicates collapsed to first
+    /// occurrence). The export is a pure read — stats and cache state are
+    /// untouched.
+    pub fn memo_seed(&self) -> SurrogateSeed {
+        let mut seen: std::collections::HashSet<&[u64]> = std::collections::HashSet::new();
+        let mut entries = Vec::with_capacity(self.cache.len());
+        for k in &self.order {
+            if !seen.insert(k.as_slice()) {
+                continue;
+            }
+            if let Some(r) = self.cache.get(k) {
+                entries.push((k.clone(), Arc::clone(r)));
+            }
+        }
+        SurrogateSeed {
+            entries: Arc::new(entries),
+        }
+    }
+
+    /// Warm the canonical-shape cache from a seed, in the seed's FIFO
+    /// order, stopping at the configured `cache_cap`. Keys already present
+    /// keep their existing rates (first writer wins, matching the cache's
+    /// own insert-once discipline). Seeded entries do not count as
+    /// insertions in [`SurrogateStats`] — the stats describe this run's
+    /// predictions, not inherited state — but later lookups that hit a
+    /// seeded shape count as hits like any other.
+    pub fn absorb_memo(&mut self, seed: &SurrogateSeed) {
+        for (k, r) in seed.entries.iter() {
+            if self.cache.len() >= self.cfg.cache_cap {
+                break;
+            }
+            if !self.cache.contains_key(k) {
+                self.cache.insert(k.clone(), Arc::clone(r));
+                self.order.push_back(k.clone());
+            }
+        }
     }
 
     /// Raw (un-canonicalized) key of one component problem: flow count,
@@ -921,6 +1000,15 @@ impl RateAllocator for SurrogateMaxMin {
     fn set_validate_every(&mut self, every: u32) {
         self.cfg.validate_every = every;
     }
+
+    fn export_memo(&self) -> Option<SurrogateSeed> {
+        Some(self.memo_seed())
+    }
+
+    fn seed_memo(&mut self, seed: &SurrogateSeed) -> bool {
+        self.absorb_memo(seed);
+        true
+    }
 }
 
 #[cfg(test)]
@@ -965,6 +1053,80 @@ mod tests {
 
     fn exact(links: &[LinkState], paths: &PathInterner, comp: &[(PathId, f64)]) -> Vec<f64> {
         ComponentFill::default().fill_component(links, paths, comp)
+    }
+
+    #[test]
+    fn memo_seed_transplants_the_canonical_cache_across_interners() {
+        let cfg = SurrogateConfig {
+            validate_every: 0,
+            cache_cap: 4096,
+        };
+        let (links, paths, comp) = problem(
+            &[10.0 * GBPS, 25.0 * GBPS],
+            &[(&[0, 1], 4.0 * GBPS), (&[0], 9.0 * GBPS)],
+        );
+        let mut donor = SurrogateMaxMin::with_config(cfg);
+        let r1 = donor.predict(&links, &paths, &comp);
+        assert_eq!(donor.stats().misses, 1);
+        let seed = donor.memo_seed();
+        assert_eq!(seed.len(), 1);
+
+        // A fresh allocator over a *differently interned* but isomorphic
+        // problem hits the transplanted canonical entry bitwise.
+        let links2: Vec<LinkState> = [10.0 * GBPS, 25.0 * GBPS]
+            .iter()
+            .map(|&c| mk_link(c))
+            .collect();
+        let mut paths2 = PathInterner::new();
+        paths2.intern(&[LinkId(1)]); // shift id assignment vs the donor
+        let comp2 = vec![
+            (paths2.intern(&[LinkId(0), LinkId(1)]), 4.0 * GBPS),
+            (paths2.intern(&[LinkId(0)]), 9.0 * GBPS),
+        ];
+        let mut warmed = SurrogateMaxMin::with_config(cfg);
+        warmed.absorb_memo(&seed);
+        let r2 = warmed.predict(&links2, &paths2, &comp2);
+        assert_eq!(warmed.stats().hits, 1, "first lookup hits the seed");
+        assert_eq!(warmed.stats().misses, 0);
+        let bits1: Vec<u64> = r1.iter().map(|r| r.to_bits()).collect();
+        let bits2: Vec<u64> = r2.iter().map(|r| r.to_bits()).collect();
+        assert_eq!(bits1, bits2, "seeded hit rehydrates bitwise");
+        assert_eq!(
+            bits1,
+            exact(&links, &paths, &comp)
+                .iter()
+                .map(|r| r.to_bits())
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn absorb_memo_respects_cache_cap_and_existing_entries() {
+        let small = SurrogateConfig {
+            validate_every: 0,
+            cache_cap: 1,
+        };
+        let (la, pa, ca) = problem(&[10.0 * GBPS], &[(&[0], 2.0 * GBPS)]);
+        let (lb, pb, cb) = problem(&[10.0 * GBPS], &[(&[0], 3.0 * GBPS), (&[0], 5.0 * GBPS)]);
+        let mut donor = SurrogateMaxMin::with_config(SurrogateConfig {
+            validate_every: 0,
+            cache_cap: 4096,
+        });
+        donor.predict(&la, &pa, &ca);
+        donor.predict(&lb, &pb, &cb);
+        let seed = donor.memo_seed();
+        assert_eq!(seed.len(), 2);
+        let mut warmed = SurrogateMaxMin::with_config(small);
+        warmed.absorb_memo(&seed);
+        // Cap 1: only the donor's first (FIFO-oldest) shape fits.
+        warmed.predict(&la, &pa, &ca);
+        assert_eq!(warmed.stats().hits, 1);
+        warmed.predict(&lb, &pb, &cb);
+        assert_eq!(
+            warmed.stats().misses,
+            1,
+            "second shape was dropped at the cap"
+        );
     }
 
     #[test]

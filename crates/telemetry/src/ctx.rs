@@ -4,7 +4,7 @@
 //! to answer through ambient state:
 //!
 //! * **Where do events go?** A [`SharedRecorder`] handle (replaces the
-//!   thread-local ambient recorder of [`crate::share`]).
+//!   removed thread-local ambient recorder `share::install`/`current`).
 //! * **Where does randomness come from?** An optional root seed, split
 //!   per call site with [`hpn_sim::split_seed`] (replaces the experiment
 //!   harness's thread-local `SweepScope`).

@@ -25,9 +25,9 @@
 //! and the rate-allocator selection, and is passed to every session
 //! constructor (`ClusterSim::with_ctx`, `Scenario::build_with`). All of
 //! its parts are `Send`, so sessions migrate freely across worker
-//! threads. The former thread-local ambient recorder
-//! ([`share::install`] / [`share::current`] / [`share::RecorderScope`])
-//! is deprecated and retained only as a shim for one release.
+//! threads. The former thread-local ambient recorder (`share::install` /
+//! `share::current` / `share::RecorderScope`) has been removed after its
+//! one-release deprecation window.
 //!
 //! Layering: `hpn-sim` cannot depend on this crate, so it exposes the
 //! [`hpn_sim::NetProbe`] callback trait instead; [`SharedRecorder::net_probe`]
@@ -53,8 +53,6 @@ pub use recorder::{JsonlRecorder, NullRecorder, Recorder, SharedBuf};
 pub use registry::{
     FlowMetrics, LatencyMetrics, LinkMetrics, RecomputeMetrics, Registry, SurrogateMetrics,
 };
-pub use segment::{merge_segments, replay, EventLog};
+pub use segment::{merge_segments, replay, EventLog, EventStream};
 pub use sha256::{hex_digest, Sha256};
 pub use share::SharedRecorder;
-#[allow(deprecated)]
-pub use share::{current, install, uninstall, with_recorder, RecorderScope};

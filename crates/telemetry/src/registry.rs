@@ -27,6 +27,11 @@ pub struct LinkMetrics {
     pub utilization: Histogram,
     /// Peak queue occupancy seen, in bits.
     pub peak_queue_bits: f64,
+    /// This link's queueing-delay distribution (`queue_bits /
+    /// capacity_bps`, seconds) — the per-link attribution of the
+    /// aggregate [`LatencyMetrics::queue_delay`] sketch, recorded from the
+    /// same samples.
+    pub queue_delay: QuantileSketch,
     /// Mean utilization accumulator.
     util_sum: f64,
     /// Physical up/down transitions.
@@ -39,6 +44,7 @@ impl Default for LinkMetrics {
             samples: 0,
             utilization: Histogram::new(0.0, 1.0, 20),
             peak_queue_bits: 0.0,
+            queue_delay: QuantileSketch::default(),
             util_sum: 0.0,
             state_changes: 0,
         }
@@ -244,7 +250,9 @@ impl Registry {
                 m.utilization.record(utilization.clamp(0.0, 1.0));
                 m.peak_queue_bits = m.peak_queue_bits.max(queue_bits);
                 if capacity_bps > 0.0 {
-                    self.latency.queue_delay.record(queue_bits / capacity_bps);
+                    let delay = queue_bits / capacity_bps;
+                    m.queue_delay.record(delay);
+                    self.latency.queue_delay.record(delay);
                 }
             }
             Event::CollectiveStep { dur_ns, .. } if self.step_durs.len() < MAX_RAW_SAMPLES => {
@@ -273,6 +281,7 @@ impl Registry {
             mine.util_sum += m.util_sum;
             mine.utilization.merge(&m.utilization);
             mine.peak_queue_bits = mine.peak_queue_bits.max(m.peak_queue_bits);
+            mine.queue_delay.merge(&m.queue_delay);
             mine.state_changes += m.state_changes;
         }
         self.flows.added += other.flows.added;
@@ -351,12 +360,62 @@ impl Registry {
     /// the CI latency gate fingerprints. Quantiles come from integer
     /// bucket walks, so any plan-order merge grouping yields identical
     /// output (same guarantee as [`Registry::summary_json`]).
+    ///
+    /// Alongside the aggregate sketches, `queue_delay_links` attributes
+    /// the queueing tail to links: the worst links by queue-delay p99
+    /// (ties broken by link id), capped at
+    /// [`Registry::QUEUE_DELAY_LINKS`] entries so full-scale manifests
+    /// stay small. Links whose samples never saw queue are omitted.
     pub fn latency_summary_json(&self) -> String {
         format!(
-            "{{\"fct\":{},\"queue_delay\":{}}}",
+            "{{\"fct\":{},\"queue_delay\":{},\"queue_delay_links\":{}}}",
             sketch_summary_json(&self.latency.fct),
-            sketch_summary_json(&self.latency.queue_delay)
+            sketch_summary_json(&self.latency.queue_delay),
+            self.queue_delay_links_json()
         )
+    }
+
+    /// Cap on per-link entries in the `queue_delay_links` attribution
+    /// block of [`Registry::latency_summary_json`].
+    pub const QUEUE_DELAY_LINKS: usize = 8;
+
+    /// The worst links by queue-delay p99 — `(link, p99 seconds)`,
+    /// descending, ties broken by ascending link id, at most
+    /// [`Registry::QUEUE_DELAY_LINKS`] entries. Links with no positive
+    /// queue-delay p99 are excluded.
+    pub fn worst_queue_delay_links(&self) -> Vec<(u32, f64)> {
+        let mut worst: Vec<(u32, f64)> = self
+            .links
+            .iter()
+            .filter_map(|(&l, m)| match m.queue_delay.quantile(0.99) {
+                Some(p99) if p99 > 0.0 => Some((l, p99)),
+                _ => None,
+            })
+            .collect();
+        worst.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("p99 is not NaN")
+                .then(a.0.cmp(&b.0))
+        });
+        worst.truncate(Self::QUEUE_DELAY_LINKS);
+        worst
+    }
+
+    fn queue_delay_links_json(&self) -> String {
+        let mut s = String::from("[");
+        for (i, (l, _)) in self.worst_queue_delay_links().iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let sketch = &self.links[l].queue_delay;
+            // Splice the link id into the sketch's own summary object.
+            s.push_str(&format!(
+                "{{\"link\":{l},{}",
+                &sketch_summary_json(sketch)[1..]
+            ));
+        }
+        s.push(']');
+        s
     }
 
     /// Compact JSON summary, embedded in the run manifest.
@@ -667,12 +726,80 @@ mod tests {
     }
 
     #[test]
+    fn queue_delay_links_rank_worst_first_and_are_bounded() {
+        let mut r = Registry::new();
+        // More links than the cap, each with one sample; link id and delay
+        // move in opposite directions so the p99 ordering is the reverse of
+        // the id ordering.
+        let n = Registry::QUEUE_DELAY_LINKS + 3;
+        for i in 0..n {
+            r.observe(&Event::LinkSample {
+                t_ns: 0,
+                link: i as u32,
+                utilization: 0.5,
+                queue_bits: 1e9 * (n - i) as f64,
+                capacity_bps: 100e9,
+            });
+        }
+        // A queue-free link never appears in the attribution.
+        r.observe(&Event::LinkSample {
+            t_ns: 0,
+            link: 99,
+            utilization: 0.9,
+            queue_bits: 0.0,
+            capacity_bps: 100e9,
+        });
+        let worst = r.worst_queue_delay_links();
+        assert_eq!(worst.len(), Registry::QUEUE_DELAY_LINKS);
+        let ids: Vec<u32> = worst.iter().map(|&(l, _)| l).collect();
+        let expect: Vec<u32> = (0..Registry::QUEUE_DELAY_LINKS as u32).collect();
+        assert_eq!(ids, expect, "worst queue delay belongs to lowest ids");
+        assert!(
+            worst.windows(2).all(|w| w[0].1 >= w[1].1),
+            "p99 descending: {worst:?}"
+        );
+        let json = r.latency_summary_json();
+        assert!(
+            json.contains("\"queue_delay_links\":[{\"link\":0,"),
+            "{json}"
+        );
+        assert!(!json.contains("\"link\":99"), "{json}");
+    }
+
+    #[test]
+    fn queue_delay_links_survive_merge() {
+        let (mut a, mut b) = (Registry::new(), Registry::new());
+        for (reg, bits) in [(&mut a, 2e9), (&mut b, 8e9)] {
+            reg.observe(&Event::LinkSample {
+                t_ns: 0,
+                link: 7,
+                utilization: 0.5,
+                queue_bits: bits,
+                capacity_bps: 100e9,
+            });
+        }
+        let mut seq = Registry::new();
+        for bits in [2e9, 8e9] {
+            seq.observe(&Event::LinkSample {
+                t_ns: 0,
+                link: 7,
+                utilization: 0.5,
+                queue_bits: bits,
+                capacity_bps: 100e9,
+            });
+        }
+        a.merge(&b);
+        assert_eq!(a.latency_summary_json(), seq.latency_summary_json());
+    }
+
+    #[test]
     fn latency_summary_shapes_are_stable() {
         let r = Registry::new();
         assert_eq!(
             r.latency_summary_json(),
             "{\"fct\":{\"count\":0,\"p50\":null,\"p90\":null,\"p99\":null,\"p999\":null},\
-             \"queue_delay\":{\"count\":0,\"p50\":null,\"p90\":null,\"p99\":null,\"p999\":null}}"
+             \"queue_delay\":{\"count\":0,\"p50\":null,\"p90\":null,\"p99\":null,\"p999\":null},\
+             \"queue_delay_links\":[]}"
         );
         assert!(r.summary_json().contains("\"fct\":{\"count\":0"));
         assert!(r.summary_json().contains("\"queue_delay\":{\"count\":0"));

@@ -59,6 +59,73 @@ impl Recorder for EventLog {
     }
 }
 
+/// A forwarding cursor over a live [`EventLog`]: repeatedly [`pump`]s the
+/// events appended since the last call into a sink, without draining the
+/// log. Because the log is append-only while a cell runs (the producer
+/// only [`take`](EventLog::take)s at the very end) and every segment opens
+/// with [`Event::SimStart`], pumping preserves the per-segment sim-time
+/// monotonicity contract — a downstream [`JsonlRecorder`](crate::JsonlRecorder)
+/// over a socket writer re-validates exactly the bytes a post-hoc
+/// [`replay`] would produce.
+///
+/// The cursor holds the lock only long enough to clone the new tail, so a
+/// streaming reader never blocks the simulation for more than a batch
+/// copy.
+///
+/// [`pump`]: EventStream::pump
+pub struct EventStream {
+    log: EventLog,
+    pos: usize,
+}
+
+impl EventStream {
+    /// A cursor positioned at the start of `log`.
+    pub fn new(log: EventLog) -> Self {
+        EventStream { log, pos: 0 }
+    }
+
+    /// How many events this cursor has forwarded so far.
+    pub fn forwarded(&self) -> usize {
+        self.pos
+    }
+
+    /// Forward every event appended since the last pump into `sink`,
+    /// returning how many were forwarded. Does not flush the sink.
+    pub fn pump(&mut self, sink: &mut dyn Recorder) -> usize {
+        let tail: Vec<Event> = {
+            let buf = self.log.0.lock().expect("event log");
+            if self.pos >= buf.len() {
+                return 0;
+            }
+            buf[self.pos..].to_vec()
+        };
+        for ev in &tail {
+            sink.record(ev);
+        }
+        self.pos += tail.len();
+        tail.len()
+    }
+
+    /// Forward the rest of a *finished* cell from its collected segment:
+    /// the producer has already [`take`](EventLog::take)n the log (so the
+    /// live buffer is empty), and `events` is that complete segment. The
+    /// already-pumped prefix is skipped; everything after the cursor is
+    /// forwarded. Returns how many events were forwarded.
+    pub fn finish(mut self, events: &[Event], sink: &mut dyn Recorder) -> usize {
+        // Drain any stragglers still in the live buffer first (the
+        // producer may not have taken the log at all). After this, `pos`
+        // counts forwarded events — an index into the full segment whether
+        // they came from the live buffer or from `events`.
+        let live = self.pump(sink);
+        let rest = &events[self.pos.min(events.len())..];
+        for ev in rest {
+            sink.record(ev);
+        }
+        sink.flush();
+        live + rest.len()
+    }
+}
+
 /// Merge per-cell segments **in the given (plan) order** into one stream.
 ///
 /// # Panics
@@ -143,6 +210,51 @@ mod tests {
         assert_eq!(text.lines().count(), 6);
         // Plan order, not completion order: a's events precede b's.
         assert!(text.find("\"label\":\"a\"").unwrap() < text.find("\"label\":\"b\"").unwrap());
+    }
+
+    #[test]
+    fn event_stream_pumps_incrementally_and_matches_replay() {
+        let log = EventLog::new();
+        let mut producer: Box<dyn Recorder> = Box::new(log.clone());
+        let mut stream = EventStream::new(log.clone());
+        let streamed = SharedBuf::new();
+        let mut out = JsonlRecorder::new(streamed.clone());
+
+        let segment = seg("cell", &[1, 2, 3, 4]);
+        producer.record(&segment[0]);
+        producer.record(&segment[1]);
+        assert_eq!(stream.pump(&mut out), 2);
+        assert_eq!(stream.pump(&mut out), 0, "no new events, nothing pumped");
+        producer.record(&segment[2]);
+        assert_eq!(stream.pump(&mut out), 1);
+        producer.record(&segment[3]);
+        producer.record(&segment[4]);
+        // Producer hands the finished segment over (as the runner does).
+        let collected = log.take();
+        assert_eq!(stream.finish(&collected, &mut out), 2);
+
+        // Byte-identical to a post-hoc replay of the collected segment.
+        let replayed = SharedBuf::new();
+        let mut sink = JsonlRecorder::new(replayed.clone());
+        replay(&segment, &mut sink);
+        assert_eq!(streamed.text(), replayed.text());
+    }
+
+    #[test]
+    fn event_stream_finish_skips_the_pumped_prefix() {
+        let log = EventLog::new();
+        let mut producer: Box<dyn Recorder> = Box::new(log.clone());
+        let segment = seg("cell", &[7]);
+        for ev in &segment {
+            producer.record(ev);
+        }
+        // Never pumped live; the full segment arrives at finish time while
+        // the live buffer still holds everything.
+        let stream = EventStream::new(log.clone());
+        let streamed = SharedBuf::new();
+        let mut out = JsonlRecorder::new(streamed.clone());
+        assert_eq!(stream.finish(&log.events(), &mut out), 2);
+        assert_eq!(streamed.text().lines().count(), 2, "no duplicate lines");
     }
 
     #[test]

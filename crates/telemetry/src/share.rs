@@ -1,5 +1,4 @@
-//! Shared recorder handles, plus the deprecated ambient (thread-local)
-//! recorder shims.
+//! Shared recorder handles.
 //!
 //! Simulations are built from several layers (fluid net, routing, transport,
 //! collectives, faults) that all want to emit into *one* sink. A
@@ -10,11 +9,11 @@
 //! The recorder reaches a simulation **explicitly**, through a
 //! [`SimCtx`](crate::SimCtx) passed to the session constructor
 //! (`ClusterSim::with_ctx`, `Scenario::build_with`). The previous
-//! `tracing`-style *ambient* recorder ([`install`] / [`current`] /
-//! [`RecorderScope`]) is deprecated: thread-local state pinned every
-//! session to its construction thread, which blocked `Send`-clean sessions
-//! and the parallel allocator. The shims remain for one release so
-//! downstream code keeps compiling.
+//! `tracing`-style ambient (thread-local) recorder shims — `install` /
+//! `current` / `RecorderScope` — were deprecated when `SimCtx` landed and
+//! have now been removed: thread-local state pinned every session to its
+//! construction thread, which blocked `Send`-clean sessions, the parallel
+//! allocator, and the long-running `serve` workers.
 
 use std::sync::{Arc, Mutex};
 
@@ -158,119 +157,7 @@ impl NetProbe for ProbeAdapter {
     }
 }
 
-// ---------------------------------------------------------------------------
-// Deprecated ambient-recorder shims.
-//
-// This thread_local is the one sanctioned exception to the workspace's
-// "no thread_local! outside crates/telemetry" lint: it only backs the
-// deprecated shims below and goes away with them.
-thread_local! {
-    static AMBIENT: std::cell::RefCell<SharedRecorder> =
-        std::cell::RefCell::new(SharedRecorder::null());
-}
-
-/// Install `rec` as this thread's ambient recorder and return the previous
-/// one.
-#[deprecated(
-    since = "0.1.0",
-    note = "thread-local ambient state pins sessions to one thread; pass a \
-            recorder explicitly via `SimCtx` (e.g. `ClusterSim::with_ctx`)"
-)]
-pub fn install(rec: SharedRecorder) -> SharedRecorder {
-    AMBIENT.with(|a| std::mem::replace(&mut *a.borrow_mut(), rec))
-}
-
-/// Reset the ambient recorder to the disabled default, returning the
-/// previously installed one (so callers can flush or inspect it).
-#[deprecated(
-    since = "0.1.0",
-    note = "thread-local ambient state pins sessions to one thread; pass a \
-            recorder explicitly via `SimCtx` (e.g. `ClusterSim::with_ctx`)"
-)]
-#[allow(deprecated)]
-pub fn uninstall() -> SharedRecorder {
-    install(SharedRecorder::null())
-}
-
-/// A handle to this thread's ambient recorder (disabled [`NullRecorder`]
-/// unless something was [`install`]ed).
-#[deprecated(
-    since = "0.1.0",
-    note = "thread-local ambient state pins sessions to one thread; read the \
-            recorder from the session's `SimCtx` instead"
-)]
-pub fn current() -> SharedRecorder {
-    AMBIENT.with(|a| a.borrow().clone())
-}
-
-/// RAII scope for the deprecated ambient recorder: attaches a recorder to
-/// the current thread on construction and restores the previous ambient
-/// when dropped (or explicitly [`detach`](RecorderScope::detach)ed).
-#[deprecated(
-    since = "0.1.0",
-    note = "thread-local ambient state pins sessions to one thread; build a \
-            `SimCtx` with the recorder and pass it to the session instead"
-)]
-pub struct RecorderScope {
-    prev: Option<SharedRecorder>,
-    attached: SharedRecorder,
-}
-
-#[allow(deprecated)]
-impl RecorderScope {
-    /// Attach `rec` as the current thread's ambient recorder.
-    pub fn attach(rec: SharedRecorder) -> Self {
-        let attached = rec.clone();
-        let prev = install(rec);
-        RecorderScope {
-            prev: Some(prev),
-            attached,
-        }
-    }
-
-    /// The recorder this scope attached.
-    pub fn recorder(&self) -> &SharedRecorder {
-        &self.attached
-    }
-
-    /// Restore the previous ambient recorder and hand back the attached
-    /// one, flushed, so the caller can collect what it captured.
-    pub fn detach(mut self) -> SharedRecorder {
-        if let Some(prev) = self.prev.take() {
-            install(prev);
-        }
-        self.attached.flush();
-        self.attached.clone()
-    }
-}
-
-#[allow(deprecated)]
-impl Drop for RecorderScope {
-    fn drop(&mut self) {
-        if let Some(prev) = self.prev.take() {
-            install(prev);
-            self.attached.flush();
-        }
-    }
-}
-
-/// Run `f` with `rec` attached as this thread's ambient recorder, restoring
-/// the previous ambient (and flushing `rec`) afterwards.
-#[deprecated(
-    since = "0.1.0",
-    note = "thread-local ambient state pins sessions to one thread; build a \
-            `SimCtx` with the recorder and pass it to the session instead"
-)]
-#[allow(deprecated)]
-pub fn with_recorder<T>(rec: SharedRecorder, f: impl FnOnce() -> T) -> T {
-    let scope = RecorderScope::attach(rec);
-    let out = f();
-    scope.detach();
-    out
-}
-
 #[cfg(test)]
-#[allow(deprecated)] // the deprecated ambient shims keep their coverage
 mod tests {
     use super::*;
     use crate::recorder::{JsonlRecorder, SharedBuf};
@@ -298,91 +185,6 @@ mod tests {
         b.emit(|| Event::SimStart { label: "b".into() });
         a.flush();
         assert_eq!(buf.text().lines().count(), 2);
-    }
-
-    #[test]
-    fn ambient_install_and_restore() {
-        assert!(!current().enabled(), "default ambient is disabled");
-        let buf = SharedBuf::new();
-        let prev = install(SharedRecorder::new(Box::new(JsonlRecorder::new(
-            buf.clone(),
-        ))));
-        assert!(!prev.enabled());
-        assert!(current().enabled());
-        current().emit(|| Event::SimStart { label: "x".into() });
-        let mine = uninstall();
-        mine.flush();
-        assert!(!current().enabled());
-        assert!(buf.text().contains("sim_start"));
-    }
-
-    #[test]
-    fn recorder_scope_attaches_and_restores() {
-        assert!(!current().enabled());
-        let buf = SharedBuf::new();
-        {
-            let scope = RecorderScope::attach(SharedRecorder::new(Box::new(JsonlRecorder::new(
-                buf.clone(),
-            ))));
-            assert!(current().enabled(), "scope attached the recorder");
-            current().emit(|| Event::SimStart { label: "s".into() });
-            let rec = scope.detach();
-            assert!(rec.enabled());
-        }
-        assert!(!current().enabled(), "detach restored the null ambient");
-        assert!(buf.text().contains("sim_start"));
-    }
-
-    #[test]
-    fn recorder_scope_restores_on_drop_and_unwind() {
-        let buf = SharedBuf::new();
-        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _scope = RecorderScope::attach(SharedRecorder::new(Box::new(JsonlRecorder::new(
-                buf.clone(),
-            ))));
-            assert!(current().enabled());
-            panic!("unwind through the scope");
-        }));
-        assert!(caught.is_err());
-        assert!(
-            !current().enabled(),
-            "ambient restored even when the scope unwinds"
-        );
-    }
-
-    #[test]
-    fn with_recorder_scopes_the_closure() {
-        let buf = SharedBuf::new();
-        let n = with_recorder(
-            SharedRecorder::new(Box::new(JsonlRecorder::new(buf.clone()))),
-            || {
-                current().emit(|| Event::SimStart { label: "w".into() });
-                7
-            },
-        );
-        assert_eq!(n, 7);
-        assert!(!current().enabled());
-        assert_eq!(buf.text().lines().count(), 1);
-    }
-
-    #[test]
-    fn nested_scopes_restore_in_order() {
-        let outer_buf = SharedBuf::new();
-        let inner_buf = SharedBuf::new();
-        let outer = RecorderScope::attach(SharedRecorder::new(Box::new(JsonlRecorder::new(
-            outer_buf.clone(),
-        ))));
-        current().emit(|| Event::SimStart { label: "o1".into() });
-        {
-            let _inner = RecorderScope::attach(SharedRecorder::new(Box::new(JsonlRecorder::new(
-                inner_buf.clone(),
-            ))));
-            current().emit(|| Event::SimStart { label: "i".into() });
-        }
-        current().emit(|| Event::SimStart { label: "o2".into() });
-        outer.detach();
-        assert_eq!(outer_buf.text().matches("sim_start").count(), 2);
-        assert_eq!(inner_buf.text().matches("sim_start").count(), 1);
     }
 
     #[test]

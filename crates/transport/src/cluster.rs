@@ -21,6 +21,7 @@
 
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::Arc;
 
 use hpn_routing::bgp::DEFAULT_CONVERGENCE;
 use hpn_routing::repac;
@@ -112,11 +113,17 @@ pub struct TransportStats {
 
 /// The cluster runtime. Public fields invite read-only inspection by
 /// experiments (link rates, queue lengths); mutation goes through methods.
+///
+/// The fabric and router are `Arc`-shared: both are immutable after
+/// construction (the router's policy knobs use copy-on-write via
+/// [`ClusterSim::router_mut`]), so a cross-request artifact cache can hand
+/// one built fabric/router to many concurrent sessions. Field reads
+/// (`cs.fabric.hosts`, `cs.router.route(...)`) deref-coerce unchanged.
 pub struct ClusterSim {
-    /// The fabric wiring.
-    pub fabric: Fabric,
-    /// The router (pure).
-    pub router: Router,
+    /// The fabric wiring (shared, immutable after build).
+    pub fabric: Arc<Fabric>,
+    /// The router (pure; copy-on-write for policy knobs).
+    pub router: Arc<Router>,
     /// Converged routing view.
     pub health: LinkHealth,
     /// The physical fluid network.
@@ -157,6 +164,17 @@ impl ClusterSim {
     /// can migrate to a worker thread.
     pub fn with_ctx(fabric: Fabric, mode: HashMode, ctx: &SimCtx) -> Self {
         let router = Router::new(&fabric, mode);
+        Self::from_parts(Arc::new(fabric), Arc::new(router), ctx)
+    }
+
+    /// Build a runtime from pre-built, `Arc`-shared parts — the cache-warm
+    /// path. `router` must have been built over `fabric` (the batch path,
+    /// [`ClusterSim::with_ctx`], guarantees this by construction; an
+    /// artifact cache guarantees it by keying the router on the topology
+    /// section). Behaves byte-identically to `with_ctx`: the same
+    /// `SimStart` marker is emitted and the same probe attached, so warm
+    /// and cold construction are indistinguishable in telemetry.
+    pub fn from_parts(fabric: Arc<Fabric>, router: Arc<Router>, ctx: &SimCtx) -> Self {
         let health = LinkHealth::new(fabric.net.link_count());
         let mut net = fabric.to_flownet_with(ctx.allocator());
         net.set_surrogate_validate_every(ctx.validate_every());
@@ -198,6 +216,14 @@ impl ClusterSim {
     /// the whole run lands in one ordered stream.
     pub fn telemetry(&self) -> &SharedRecorder {
         &self.telemetry
+    }
+
+    /// Mutable access to the router's policy knobs (e.g.
+    /// [`Router::relay_cross_rail`]). Copy-on-write: when the router is
+    /// shared with an artifact cache or another session, the first
+    /// mutation clones the tables so the shared copy stays pristine.
+    pub fn router_mut(&mut self) -> &mut Router {
+        Arc::make_mut(&mut self.router)
     }
 
     /// Emit a [`Event::LinkSample`] for a fluid-net link (utilization and

@@ -74,7 +74,7 @@ fn main() {
         ),
         ("disjoint + least-WQE   ", CommConfig::hpn_default()),
     ] {
-        let mut cs2 = ClusterSim::new(cs.fabric.clone(), HashMode::Polarized);
+        let mut cs2 = ClusterSim::new((*cs.fabric).clone(), HashMode::Polarized);
         for &t in &cs2.fabric.tors.clone() {
             for (i, l) in cs2.fabric.tor_uplinks(t).into_iter().enumerate() {
                 if i % 4 == 0 {
